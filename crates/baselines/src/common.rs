@@ -1,0 +1,271 @@
+//! Shared machinery for the baseline fuzzers: seed pools, operator swap
+//! tables, atom mining, and typed-subterm collection.
+
+use o4a_core::parsed_seeds;
+use o4a_smtlib::typeck::{check_term, SortContext};
+use o4a_smtlib::{Op, Script, Sort, Term};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A shared, lazily-parsed seed pool (all baselines use the same seeds as
+/// Once4All, per the paper's fair-comparison protocol).
+pub fn seed_pool() -> Vec<Script> {
+    parsed_seeds()
+}
+
+/// Picks a random seed.
+pub fn random_seed(seeds: &[Script], rng: &mut StdRng) -> Script {
+    seeds[rng.gen_range(0..seeds.len())].clone()
+}
+
+/// Type-preserving operator swap groups (the OpFuzz mutation space).
+pub fn swap_group(op: &Op) -> Option<&'static [Op]> {
+    use Op::*;
+    const CMP: &[Op] = &[Le, Lt, Ge, Gt];
+    const EQ: &[Op] = &[Eq, Distinct];
+    const BOOL2: &[Op] = &[And, Or, Xor];
+    const ARITH: &[Op] = &[Add, Sub, Mul];
+    const IDIV: &[Op] = &[IntDiv, Mod];
+    const BVA: &[Op] = &[BvAdd, BvSub, BvMul];
+    const BVB: &[Op] = &[BvAnd, BvOr, BvXor];
+    const BVCMP: &[Op] = &[BvUlt, BvUle, BvUgt, BvUge, BvSlt, BvSle, BvSgt, BvSge];
+    const BVSH: &[Op] = &[BvShl, BvLshr, BvAshr];
+    const STRP: &[Op] = &[StrContains, StrPrefixof, StrSuffixof];
+    const STRC: &[Op] = &[StrLt, StrLe];
+    const SEQP: &[Op] = &[SeqPrefixof, SeqSuffixof, SeqContains];
+    let group: &[Op] = match op {
+        Le | Lt | Ge | Gt => CMP,
+        Eq | Distinct => EQ,
+        And | Or | Xor => BOOL2,
+        Add | Sub | Mul => ARITH,
+        IntDiv | Mod => IDIV,
+        BvAdd | BvSub | BvMul => BVA,
+        BvAnd | BvOr | BvXor => BVB,
+        BvUlt | BvUle | BvUgt | BvUge | BvSlt | BvSle | BvSgt | BvSge => BVCMP,
+        BvShl | BvLshr | BvAshr => BVSH,
+        StrContains | StrPrefixof | StrSuffixof => STRP,
+        StrLt | StrLe => STRC,
+        SeqPrefixof | SeqSuffixof | SeqContains => SEQP,
+        _ => return None,
+    };
+    Some(group)
+}
+
+/// Replaces `count` random swappable operators in a term.
+pub fn swap_ops(term: &Term, count: usize, rng: &mut StdRng) -> Term {
+    // First pass: index swappable positions.
+    let mut positions = 0usize;
+    term.visit(&mut |t| {
+        if let Term::App(op, _) = t {
+            if swap_group(op).is_some() {
+                positions += 1;
+            }
+        }
+    });
+    if positions == 0 {
+        return term.clone();
+    }
+    let targets: Vec<usize> = (0..count.max(1))
+        .map(|_| rng.gen_range(0..positions))
+        .collect();
+    let mut idx = 0usize;
+    let mut replacements: Vec<(usize, Op)> = Vec::new();
+    term.visit(&mut |t| {
+        if let Term::App(op, _) = t {
+            if let Some(group) = swap_group(op) {
+                if targets.contains(&idx) {
+                    let choice = group[rng.gen_range(0..group.len())].clone();
+                    replacements.push((idx, choice));
+                }
+                idx += 1;
+            }
+        }
+    });
+    // Second pass: rebuild.
+    let mut seen = 0usize;
+    rebuild_with_swaps(term, &mut seen, &replacements)
+}
+
+fn rebuild_with_swaps(t: &Term, seen: &mut usize, repl: &[(usize, Op)]) -> Term {
+    match t {
+        Term::App(op, args) => {
+            // Pre-order numbering, matching the indexing pass above.
+            let mut new_op = op.clone();
+            if swap_group(op).is_some() {
+                if let Some((_, r)) = repl.iter().find(|(i, _)| *i == *seen) {
+                    new_op = r.clone();
+                }
+                *seen += 1;
+            }
+            let new_args: Vec<Term> = args
+                .iter()
+                .map(|a| rebuild_with_swaps(a, seen, repl))
+                .collect();
+            Term::App(new_op, new_args)
+        }
+        Term::Let(binds, body) => Term::Let(
+            binds
+                .iter()
+                .map(|(n, v)| (n.clone(), rebuild_with_swaps(v, seen, repl)))
+                .collect(),
+            Box::new(rebuild_with_swaps(body, seen, repl)),
+        ),
+        Term::Quant(q, vars, body) => Term::Quant(
+            *q,
+            vars.clone(),
+            Box::new(rebuild_with_swaps(body, seen, repl)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Collects binder-free subterms of the script's assertions together with
+/// their sorts (TypeFuzz's replacement pool).
+pub fn typed_subterms(script: &Script) -> Vec<(Term, Sort)> {
+    let Ok(ctx) = SortContext::from_script(script) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for a in script.assertions() {
+        collect_free_subterms(a, &ctx, &mut out);
+    }
+    out
+}
+
+fn collect_free_subterms(t: &Term, ctx: &SortContext, out: &mut Vec<(Term, Sort)>) {
+    // Stop at binders: bound variables make sorts context-dependent.
+    match t {
+        Term::Quant(_, _, _) | Term::Let(_, _) => {}
+        Term::App(_, args) => {
+            if let Ok(sort) = check_term(t, ctx) {
+                out.push((t.clone(), sort));
+            }
+            for a in args {
+                collect_free_subterms(a, ctx, out);
+            }
+        }
+        Term::Var(_) | Term::Const(_) => {
+            if let Ok(sort) = check_term(t, ctx) {
+                out.push((t.clone(), sort));
+            }
+        }
+        Term::Placeholder(_) => {}
+    }
+}
+
+/// Mines Boolean atoms (non-connective Boolean subterms outside binders)
+/// from a set of scripts — HistFuzz's historical-atom pool.
+pub fn mine_atoms(scripts: &[Script]) -> Vec<(Term, Script)> {
+    let mut out = Vec::new();
+    for s in scripts {
+        for (t, sort) in typed_subterms(s) {
+            if sort == Sort::Bool && !t.is_logical_connective() && matches!(t, Term::App(_, _)) {
+                out.push((t, s.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the full declaration prefix needed by `term`'s free variables,
+/// looked up in its origin script. Returns `None` when a symbol cannot be
+/// resolved (e.g. mined from under a binder).
+pub fn decls_for(term: &Term, origin: &Script) -> Option<Vec<o4a_smtlib::Command>> {
+    let decls = origin.declarations();
+    let mut out = Vec::new();
+    for v in term.free_vars() {
+        let (name, args, ret) = decls.iter().find(|(n, _, _)| *n == v)?.clone();
+        out.push(if args.is_empty() {
+            o4a_smtlib::Command::DeclareConst(name, ret)
+        } else {
+            o4a_smtlib::Command::DeclareFun(name, args, ret)
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_smtlib::parse_script;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swap_groups_are_type_preserving() {
+        for op in Op::all_simple() {
+            if let Some(group) = swap_group(&op) {
+                assert!(group.contains(&op), "{op:?} not in its own group");
+                for other in group {
+                    assert_eq!(
+                        op.theory().is_standard(),
+                        other.theory().is_standard(),
+                        "{op:?} vs {other:?} cross theory class"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_ops_keeps_well_sortedness() {
+        let s = parse_script(
+            "(declare-const x Int)(declare-const y Int)\
+             (assert (and (< x y) (= (+ x 1) (* y 2))))(check-sat)",
+        )
+        .unwrap();
+        let term = s.assertions().next().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let mutated = swap_ops(term, 2, &mut rng);
+            let mut s2 = s.clone();
+            *s2.assertions_mut().next().unwrap() = mutated;
+            o4a_smtlib::typeck::check_script(&s2)
+                .unwrap_or_else(|e| panic!("{e}\n{s2}"));
+        }
+    }
+
+    #[test]
+    fn typed_subterms_exclude_binder_scopes() {
+        let s = parse_script(
+            "(declare-const x Int)\
+             (assert (and (> x 0) (forall ((k Int)) (distinct k x))))(check-sat)",
+        )
+        .unwrap();
+        let subs = typed_subterms(&s);
+        assert!(subs.iter().any(|(t, _)| t.to_string() == "(> x 0)"));
+        // Terms from inside the binder scope (mentioning `k` freely) must
+        // be excluded; the enclosing quantified term itself is fine since
+        // it is closed.
+        assert!(
+            !subs.iter().any(|(t, _)| t.free_vars().contains("k")),
+            "binder-scoped terms must be excluded"
+        );
+        assert!(
+            !subs
+                .iter()
+                .any(|(t, _)| t.to_string() == "(distinct k x)"),
+            "the binder-internal atom must not be pooled"
+        );
+    }
+
+    #[test]
+    fn atom_mining_finds_atoms() {
+        let pool = mine_atoms(&seed_pool());
+        assert!(pool.len() > 50, "only {} atoms mined", pool.len());
+        for (t, _) in pool.iter().take(20) {
+            assert!(!t.is_logical_connective());
+        }
+    }
+
+    #[test]
+    fn decls_for_resolves_free_vars() {
+        let s = parse_script(
+            "(declare-const x Int)(declare-fun f (Int) Int)\
+             (assert (= (f x) 0))(check-sat)",
+        )
+        .unwrap();
+        let term = s.assertions().next().unwrap();
+        let decls = decls_for(term, &s).unwrap();
+        assert_eq!(decls.len(), 2);
+    }
+}

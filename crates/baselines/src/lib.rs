@@ -1,0 +1,63 @@
+//! # o4a-baselines
+//!
+//! The eight comparison fuzzers of the paper's RQ2 (Figures 6–7), all
+//! implementing [`o4a_core::Fuzzer`] so the shared campaign runner
+//! compares them under identical seeds, solvers, and time accounting:
+//!
+//! | Baseline | Class | Simulated essence |
+//! |---|---|---|
+//! | ET | generation | expert grammar, systematic enumeration, standard theories |
+//! | Storm | mutation | atom shuffling over seed fragments |
+//! | YinYang | mutation | semantic fusion of seed pairs |
+//! | OpFuzz | mutation | type-aware operator swaps |
+//! | TypeFuzz | mutation | generative same-sort subterm replacement |
+//! | HistFuzz | mutation | seed skeletons + mined seed atoms |
+//! | Fuzz4All | LLM | whole-formula generation, per-case LLM latency, ~50% invalid |
+//! | LaST | LLM | retrained-LM seed interpolation, ~80% valid |
+
+#![warn(missing_docs)]
+
+mod common;
+mod et;
+mod histfuzz;
+mod llm_based;
+mod mutation;
+
+pub use common::{mine_atoms, seed_pool, swap_group, swap_ops, typed_subterms};
+pub use et::Et;
+pub use histfuzz::HistFuzz;
+pub use llm_based::{Fuzz4All, LaST};
+pub use mutation::{OpFuzz, Storm, TypeFuzz, YinYang};
+
+use o4a_core::Fuzzer;
+
+/// All baselines, freshly constructed, in the order the paper's figures
+/// list them.
+pub fn all_baselines() -> Vec<Box<dyn Fuzzer>> {
+    vec![
+        Box::new(Et::new()),
+        Box::new(Fuzz4All::new()),
+        Box::new(HistFuzz::new()),
+        Box::new(LaST::new()),
+        Box::new(OpFuzz::new()),
+        Box::new(Storm::new()),
+        Box::new(TypeFuzz::new()),
+        Box::new(YinYang::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_constructible_and_named() {
+        let names: Vec<String> = all_baselines().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ET", "Fuzz4All", "HistFuzz", "LaST", "OpFuzz", "Storm", "TypeFuzz", "YinYang"
+            ]
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 5** (bug lifespans across release versions) at
+//! bench scale and measures the replay analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{fig5, render_fig5, trunk_campaign, Scale};
+use o4a_core::{dedup, lifespan_series};
+use o4a_solvers::SolverId;
+
+const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    let result = trunk_campaign(BENCH_SCALE);
+    println!("{}", render_fig5(&fig5(&result)));
+
+    let issues = dedup(&result.findings);
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(20);
+    g.bench_function("lifespan_replay", |b| {
+        b.iter(|| {
+            lifespan_series(SolverId::OxiZ, &issues).len()
+                + lifespan_series(SolverId::Cervo, &issues).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

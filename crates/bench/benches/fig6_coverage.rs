@@ -1,0 +1,38 @@
+//! Regenerates **Figure 6** (coverage growth for nine fuzzers on both
+//! solvers) at bench scale and measures one coverage campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{all_fuzzers, coverage_comparison, render_coverage_panel, trunk_solvers, Scale};
+use o4a_solvers::SolverId;
+
+const BENCH_SCALE: Scale = Scale { time_scale: 6_000, max_cases: 1_500, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    let results = coverage_comparison(all_fuzzers(), BENCH_SCALE, trunk_solvers());
+    for (solver, lines, title) in [
+        (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
+        (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
+        (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
+        (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+    ] {
+        println!("{}", render_coverage_panel(title, &results, solver, lines));
+    }
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("one_coverage_campaign", |b| {
+        b.iter(|| {
+            let tiny = Scale { time_scale: 2_000_000, max_cases: 80, hours: 24 };
+            coverage_comparison(
+                vec![Box::new(o4a_core::Once4AllFuzzer::with_defaults())],
+                tiny,
+                trunk_solvers(),
+            )
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

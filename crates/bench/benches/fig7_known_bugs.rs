@@ -1,0 +1,57 @@
+//! Regenerates **Figure 7** (unique known bugs found on previous solver
+//! versions) at bench scale and measures correcting-commit bisection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{all_fuzzers, known_bug_comparison, render_known_bugs, Scale};
+use o4a_core::correcting_commit;
+use o4a_solvers::{EngineConfig, SolverId, TRUNK_COMMIT};
+
+const BENCH_SCALE: Scale = Scale { time_scale: 3_000, max_cases: 1_500, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    let sets = known_bug_comparison(all_fuzzers(), BENCH_SCALE);
+    println!(
+        "{}",
+        render_known_bugs(
+            "Figure 7: unique known bugs found on previous solver versions",
+            &sets
+        )
+    );
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    // A known-triggering case for hz-01 discovered by sweep.
+    let case = (0..200)
+        .map(|n| {
+            format!(
+                "(declare-const x Int)(assert (= (+ x {n}) (mod x 3)))(check-sat)"
+            )
+        })
+        .find(|text| {
+            let script = o4a_smtlib::parse_script(text).unwrap();
+            let f = o4a_solvers::FormulaFeatures::of(&script);
+            o4a_solvers::bugs::registry()
+                .iter()
+                .find(|b| b.id == "hz-01")
+                .unwrap()
+                .trigger
+                .fires(&f)
+        });
+    if let Some(case) = case {
+        g.bench_function("bisect_one_bug", |b| {
+            b.iter(|| {
+                correcting_commit(
+                    SolverId::OxiZ,
+                    &case,
+                    70,
+                    TRUNK_COMMIT,
+                    &EngineConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 9** (unique known bugs found by Once4All variants)
+//! at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{all_variants, known_bug_comparison, render_known_bugs, Scale};
+
+const BENCH_SCALE: Scale = Scale { time_scale: 3_000, max_cases: 1_500, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    let sets = known_bug_comparison(all_variants(), BENCH_SCALE);
+    println!(
+        "{}",
+        render_known_bugs("Figure 9: unique known bugs found by variants", &sets)
+    );
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("variant_known_bug_run", |b| {
+        b.iter(|| {
+            let tiny = Scale { time_scale: 3_000_000, max_cases: 60, hours: 24 };
+            known_bug_comparison(
+                vec![Box::new(o4a_core::Once4AllFuzzer::with_defaults())],
+                tiny,
+            )
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Substrate micro-benchmarks: parsing, printing, sort checking, golden
+//! evaluation, and solving throughput — the per-case costs behind every
+//! campaign throughput number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_smtlib::eval::{no_defs, DomainConfig, Evaluator};
+use o4a_smtlib::{parse_script, typeck, Model, Symbol, Value};
+use o4a_solvers::{Cervo, EngineConfig, OxiZ, SmtSolver};
+
+const FORMULA: &str = "(declare-const x Int)(declare-const s String)\
+    (assert (and (> x (str.len s)) (exists ((k Int)) (= (* k k) x))))\
+    (assert (str.prefixof \"ab\" s))(check-sat)";
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(20);
+
+    g.bench_function("parse", |b| {
+        b.iter(|| parse_script(std::hint::black_box(FORMULA)).unwrap())
+    });
+
+    let script = parse_script(FORMULA).unwrap();
+    g.bench_function("print", |b| b.iter(|| script.to_string()));
+    g.bench_function("typecheck", |b| {
+        b.iter(|| typeck::check_script(&script).unwrap())
+    });
+
+    let mut model = Model::new();
+    model.set_const(Symbol::new("x"), Value::Int(4));
+    model.set_const(Symbol::new("s"), Value::Str("abc".into()));
+    let cfg = DomainConfig::default();
+    g.bench_function("golden_eval", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(&model, no_defs(), &cfg, 100_000);
+            for a in script.assertions() {
+                let _ = ev.eval(a);
+            }
+        })
+    });
+
+    let engine = EngineConfig {
+        bugs_enabled: false,
+        ..EngineConfig::default()
+    };
+    g.bench_function("solve_oxiz", |b| {
+        b.iter(|| {
+            let mut s = OxiZ::new().with_config(engine.clone());
+            s.check(FORMULA)
+        })
+    });
+    g.bench_function("solve_cervo", |b| {
+        b.iter(|| {
+            let mut s = Cervo::new().with_config(engine.clone());
+            s.check(FORMULA)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

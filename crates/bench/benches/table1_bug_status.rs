@@ -1,0 +1,27 @@
+//! Regenerates **Table 1** (status of bugs found in the solvers) at bench
+//! scale and measures the trunk-campaign throughput that produces it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{render_table1, table1, trunk_campaign, Scale};
+
+const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once (tee'd into bench_output.txt).
+    let result = trunk_campaign(BENCH_SCALE);
+    println!("{}", render_table1(&table1(&result)));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("trunk_campaign_200_cases", |b| {
+        b.iter(|| {
+            trunk_campaign(Scale { time_scale: 1_000_000, max_cases: 200, hours: 24 })
+                .stats
+                .cases
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates **Table 2** (bug types among the reported bugs) at bench
+//! scale and measures triage/deduplication cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{render_table2, table2, trunk_campaign, Scale};
+use o4a_core::dedup;
+
+const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+
+fn bench(c: &mut Criterion) {
+    let result = trunk_campaign(BENCH_SCALE);
+    println!("{}", render_table2(&table2(&result)));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("triage_dedup", |b| b.iter(|| dedup(&result.findings).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

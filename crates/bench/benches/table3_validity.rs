@@ -1,0 +1,28 @@
+//! Regenerates the **§5.1 validity study** (Table 3 here): generator
+//! validity before/after self-correction, per theory, and measures the
+//! construction cost of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_bench::{render_table3, table3_validity};
+use o4a_llm::{construct_generators, ConstructOptions, LlmProfile, SimulatedLlm, TypecheckValidator, Validator};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table3(&table3_validity(LlmProfile::gpt4())));
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("algorithm1_one_theory", |b| {
+        b.iter(|| {
+            let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
+            let docs = o4a_llm::corpus::corpus();
+            let mut vs: Vec<Box<dyn Validator>> = vec![Box::new(TypecheckValidator)];
+            construct_generators(&mut llm, &docs[..1], &mut vs, ConstructOptions::default())
+                .generators
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Full-scale experiment driver: regenerates every table and figure.
+//!
+//! Usage:
+//! ```text
+//! experiments [table1|table2|table3|fig5|fig6|fig7|fig8|fig9|stats|all] [--quick]
+//! ```
+
+use o4a_bench::*;
+use o4a_llm::LlmProfile;
+use o4a_solvers::SolverId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { QUICK } else { FULL };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run_t12 = matches!(what.as_str(), "table1" | "table2" | "fig5" | "stats" | "all");
+    let mut trunk = None;
+    if run_t12 {
+        eprintln!("[experiments] running trunk bug-hunting campaign ({scale:?})...");
+        trunk = Some(trunk_campaign(scale));
+    }
+
+    match what.as_str() {
+        "table1" => {
+            let r = trunk.as_ref().expect("campaign ran");
+            print!("{}", render_table1(&table1(r)));
+        }
+        "table2" => {
+            let r = trunk.as_ref().expect("campaign ran");
+            print!("{}", render_table2(&table2(r)));
+        }
+        "table3" => {
+            print!("{}", render_table3(&table3_validity(LlmProfile::gpt4())));
+        }
+        "fig5" => {
+            let r = trunk.as_ref().expect("campaign ran");
+            print!("{}", render_fig5(&fig5(r)));
+        }
+        "fig6" => {
+            eprintln!("[experiments] running 9 coverage campaigns...");
+            let results = coverage_comparison(all_fuzzers(), scale, trunk_solvers());
+            for (solver, lines, title) in [
+                (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
+                (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
+                (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
+                (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+            ] {
+                print!("{}", render_coverage_panel(title, &results, solver, lines));
+            }
+            let others: Vec<&o4a_core::CampaignResult> = results[1..].iter().collect();
+            print!("{}", render_exclusive(&results[0], &others));
+        }
+        "fig7" => {
+            eprintln!("[experiments] running 9 known-bug campaigns + bisection...");
+            let sets = known_bug_comparison(all_fuzzers(), scale);
+            print!(
+                "{}",
+                render_known_bugs(
+                    "Figure 7: unique known bugs found on previous solver versions",
+                    &sets
+                )
+            );
+        }
+        "fig8" => {
+            eprintln!("[experiments] running 4 variant coverage campaigns...");
+            let results = coverage_comparison(all_variants(), scale, trunk_solvers());
+            for (solver, lines, title) in [
+                (SolverId::OxiZ, true, "Figure 8a: line coverage on Z3* (variants)"),
+                (SolverId::Cervo, true, "Figure 8b: line coverage on cvc5* (variants)"),
+                (SolverId::OxiZ, false, "Figure 8c: function coverage on Z3* (variants)"),
+                (SolverId::Cervo, false, "Figure 8d: function coverage on cvc5* (variants)"),
+            ] {
+                print!("{}", render_coverage_panel(title, &results, solver, lines));
+            }
+        }
+        "fig9" => {
+            eprintln!("[experiments] running 4 variant known-bug campaigns + bisection...");
+            let sets = known_bug_comparison(all_variants(), scale);
+            print!(
+                "{}",
+                render_known_bugs("Figure 9: unique known bugs found by variants", &sets)
+            );
+        }
+        "stats" => {
+            let r = trunk.as_ref().expect("campaign ran");
+            print!("{}", render_stats(r));
+        }
+        "all" => {
+            let r = trunk.as_ref().expect("campaign ran");
+            print!("{}", render_table1(&table1(r)));
+            print!("{}", render_table2(&table2(r)));
+            print!("{}", render_fig5(&fig5(r)));
+            print!("{}", render_stats(r));
+            print!("{}", render_table3(&table3_validity(LlmProfile::gpt4())));
+            eprintln!("[experiments] running 9 coverage campaigns (fig6)...");
+            let results = coverage_comparison(all_fuzzers(), scale, trunk_solvers());
+            for (solver, lines, title) in [
+                (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
+                (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
+                (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
+                (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+            ] {
+                print!("{}", render_coverage_panel(title, &results, solver, lines));
+            }
+            let others: Vec<&o4a_core::CampaignResult> = results[1..].iter().collect();
+            print!("{}", render_exclusive(&results[0], &others));
+            eprintln!("[experiments] running known-bug comparisons (fig7)...");
+            let sets = known_bug_comparison(all_fuzzers(), scale);
+            print!(
+                "{}",
+                render_known_bugs(
+                    "Figure 7: unique known bugs found on previous solver versions",
+                    &sets
+                )
+            );
+            eprintln!("[experiments] running variant campaigns (fig8/fig9)...");
+            let vresults = coverage_comparison(all_variants(), scale, trunk_solvers());
+            for (solver, lines, title) in [
+                (SolverId::OxiZ, true, "Figure 8a: line coverage on Z3* (variants)"),
+                (SolverId::Cervo, true, "Figure 8b: line coverage on cvc5* (variants)"),
+            ] {
+                print!("{}", render_coverage_panel(title, &vresults, solver, lines));
+            }
+            let vsets = known_bug_comparison(all_variants(), scale);
+            print!(
+                "{}",
+                render_known_bugs("Figure 9: unique known bugs found by variants", &vsets)
+            );
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

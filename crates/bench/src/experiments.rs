@@ -1,0 +1,259 @@
+//! Experiment drivers, one per table/figure of the evaluation.
+
+use o4a_core::{
+    correcting_commit, dedup, run_campaign, CampaignConfig, CampaignResult, Fuzzer, Issue,
+    LifespanPoint, Once4AllConfig, Once4AllFuzzer,
+};
+use o4a_llm::{
+    construct_generators, ConstructOptions, ConstructionReport, LlmProfile, SimulatedLlm,
+};
+use o4a_solvers::versions::latest_release;
+use o4a_solvers::{CommitIdx, EngineConfig, SolverId, TRUNK_COMMIT};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Experiment scale: trades real runtime for virtual-campaign resolution.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Campaign time scale (higher = fewer real cases per virtual hour).
+    pub time_scale: u64,
+    /// Hard case cap per campaign.
+    pub max_cases: usize,
+    /// Virtual hours per campaign.
+    pub hours: u32,
+}
+
+/// Bench scale: seconds per campaign — used by `cargo bench`.
+pub const QUICK: Scale = Scale {
+    time_scale: 600,
+    max_cases: 8_000,
+    hours: 24,
+};
+
+/// Full scale: the `experiments` binary default.
+pub const FULL: Scale = Scale {
+    time_scale: 80,
+    max_cases: 60_000,
+    hours: 24,
+};
+
+impl Scale {
+    fn config(&self, solvers: Vec<(SolverId, CommitIdx)>, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            virtual_hours: self.hours,
+            time_scale: self.time_scale,
+            solvers,
+            engine: EngineConfig::default(),
+            seed,
+            max_cases: self.max_cases,
+        }
+    }
+}
+
+/// Trunk solvers (the RQ1 bug-hunting configuration).
+pub fn trunk_solvers() -> Vec<(SolverId, CommitIdx)> {
+    vec![
+        (SolverId::OxiZ, TRUNK_COMMIT),
+        (SolverId::Cervo, TRUNK_COMMIT),
+    ]
+}
+
+/// Latest-release solvers (the RQ2 known-bug configuration).
+pub fn release_solvers() -> Vec<(SolverId, CommitIdx)> {
+    vec![
+        (SolverId::OxiZ, latest_release(SolverId::OxiZ).commit),
+        (SolverId::Cervo, latest_release(SolverId::Cervo).commit),
+    ]
+}
+
+/// Runs the RQ1 trunk bug-hunting campaign with Once4All
+/// (Tables 1–2, Figure 5 input, §4.2 statistics).
+pub fn trunk_campaign(scale: Scale) -> CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+    run_campaign(&mut fuzzer, &scale.config(trunk_solvers(), 0x04a1_1))
+}
+
+/// Table 1: bug status per solver from a campaign's findings.
+pub fn table1(result: &CampaignResult) -> BTreeMap<SolverId, o4a_core::StatusCounts> {
+    o4a_core::status_table(&dedup(&result.findings))
+}
+
+/// Table 2: bug-type distribution per solver.
+pub fn table2(
+    result: &CampaignResult,
+) -> BTreeMap<SolverId, BTreeMap<o4a_core::FoundKind, usize>> {
+    o4a_core::type_table(&dedup(&result.findings))
+}
+
+/// Figure 5: lifespan series per solver from a campaign's issues.
+pub fn fig5(result: &CampaignResult) -> BTreeMap<SolverId, Vec<LifespanPoint>> {
+    let issues = dedup(&result.findings);
+    SolverId::ALL
+        .iter()
+        .map(|&s| (s, o4a_core::lifespan_series(s, &issues)))
+        .collect()
+}
+
+/// §5.1 / "Table 3": per-theory validity before and after self-correction.
+pub fn table3_validity(profile: LlmProfile) -> ConstructionReport {
+    let mut llm = SimulatedLlm::new(profile);
+    let docs = o4a_llm::corpus::corpus();
+    let mut validators: Vec<Box<dyn o4a_llm::Validator>> = vec![
+        Box::new(o4a_core::FrontendValidator::new(SolverId::OxiZ)),
+        Box::new(o4a_core::FrontendValidator::new(SolverId::Cervo)),
+    ];
+    construct_generators(&mut llm, &docs, &mut validators, ConstructOptions::default())
+}
+
+/// The nine fuzzers of Figure 6/7 in figure order: Once4All + baselines.
+pub fn all_fuzzers() -> Vec<Box<dyn Fuzzer>> {
+    let mut v: Vec<Box<dyn Fuzzer>> = vec![Box::new(Once4AllFuzzer::with_defaults())];
+    v.extend(o4a_baselines::all_baselines());
+    v
+}
+
+/// The four Once4All variants of Figures 8/9.
+pub fn all_variants() -> Vec<Box<dyn Fuzzer>> {
+    vec![
+        Box::new(Once4AllFuzzer::new(Once4AllConfig::default())),
+        Box::new(Once4AllFuzzer::new(Once4AllConfig {
+            use_skeletons: false,
+            ..Once4AllConfig::default()
+        })),
+        Box::new(Once4AllFuzzer::new(Once4AllConfig {
+            profile: LlmProfile::claude(),
+            ..Once4AllConfig::default()
+        })),
+        Box::new(Once4AllFuzzer::new(Once4AllConfig {
+            profile: LlmProfile::gemini(),
+            ..Once4AllConfig::default()
+        })),
+    ]
+}
+
+/// Runs one coverage-comparison campaign per fuzzer against the given
+/// solver versions (Figures 6 and 8).
+pub fn coverage_comparison(
+    mut fuzzers: Vec<Box<dyn Fuzzer>>,
+    scale: Scale,
+    solvers: Vec<(SolverId, CommitIdx)>,
+) -> Vec<CampaignResult> {
+    fuzzers
+        .iter_mut()
+        .enumerate()
+        .map(|(i, f)| {
+            run_campaign(
+                f.as_mut(),
+                &scale.config(solvers.clone(), 0xf16_6 ^ (i as u64) << 8),
+            )
+        })
+        .collect()
+}
+
+/// One fuzzer's unique known bugs: distinct (solver, correcting commit)
+/// pairs recovered by bisection from its release-campaign findings
+/// (Figures 7 and 9).
+pub fn unique_known_bugs(
+    result: &CampaignResult,
+    engine: &EngineConfig,
+) -> BTreeSet<(SolverId, CommitIdx)> {
+    let mut out = BTreeSet::new();
+    let issues: Vec<Issue> = dedup(&result.findings);
+    for issue in issues {
+        let release = latest_release(issue.solver);
+        if let Some(fix) = correcting_commit(
+            issue.solver,
+            &issue.representative,
+            release.commit,
+            TRUNK_COMMIT,
+            engine,
+        ) {
+            out.insert((issue.solver, fix));
+        }
+    }
+    out
+}
+
+/// Runs the known-bug comparison for a set of fuzzers: campaign on the
+/// latest releases, then bisection. Returns per-fuzzer unique-bug sets.
+pub fn known_bug_comparison(
+    mut fuzzers: Vec<Box<dyn Fuzzer>>,
+    scale: Scale,
+) -> Vec<(String, BTreeSet<(SolverId, CommitIdx)>)> {
+    let engine = EngineConfig::default();
+    fuzzers
+        .iter_mut()
+        .enumerate()
+        .map(|(i, f)| {
+            let result = run_campaign(
+                f.as_mut(),
+                &scale.config(release_solvers(), 0xf17_7 ^ (i as u64) << 8),
+            );
+            (f.name(), unique_known_bugs(&result, &engine))
+        })
+        .collect()
+}
+
+/// The coverage-complementarity analysis (§4.3): function names covered by
+/// `a` but by none of `others`, per solver.
+pub fn exclusive_coverage(
+    a: &CampaignResult,
+    others: &[&CampaignResult],
+) -> BTreeMap<SolverId, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for (solver, names) in &a.covered_functions {
+        let mine: BTreeSet<&String> = names.iter().collect();
+        let mut theirs: BTreeSet<&String> = BTreeSet::new();
+        for o in others {
+            if let Some(n) = o.covered_functions.get(solver) {
+                theirs.extend(n.iter());
+            }
+        }
+        out.insert(
+            *solver,
+            mine.difference(&theirs).map(|s| s.to_string()).collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: Scale = Scale {
+        time_scale: 30_000,
+        max_cases: 150,
+        hours: 24,
+    };
+
+    #[test]
+    fn trunk_campaign_finds_bugs_even_at_smoke_scale() {
+        let result = trunk_campaign(SMOKE);
+        assert!(result.stats.cases > 50);
+        assert!(
+            result.stats.bug_triggering > 0,
+            "no bug-triggering formulas in {} cases",
+            result.stats.cases
+        );
+        let t1 = table1(&result);
+        let total_reported: usize = t1.values().map(|c| c.reported).sum();
+        assert!(total_reported > 0);
+    }
+
+    #[test]
+    fn validity_experiment_matches_paper_shape() {
+        let report = table3_validity(LlmProfile::gpt4());
+        let ff = report
+            .generator_for(o4a_smtlib::Theory::FiniteFields)
+            .unwrap();
+        let reals = report.generator_for(o4a_smtlib::Theory::Reals).unwrap();
+        assert!(ff.validity_before < reals.validity_before);
+        assert!(ff.validity_after > 0.8);
+    }
+
+    #[test]
+    fn fuzzer_rosters_have_paper_cardinality() {
+        assert_eq!(all_fuzzers().len(), 9, "Figure 6 compares nine fuzzers");
+        assert_eq!(all_variants().len(), 4, "Figure 8 compares four variants");
+    }
+}

@@ -1,0 +1,14 @@
+//! # o4a-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, shared by the Criterion benches (scaled-down) and the
+//! `experiments` binary (full scale). See `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::*;
+pub use render::*;

@@ -1,0 +1,255 @@
+//! ASCII rendering of tables and figure series, matching the paper's
+//! row/column layout so outputs can be compared side by side.
+
+use crate::experiments;
+use o4a_core::{CampaignResult, FoundKind, LifespanPoint, StatusCounts};
+use o4a_llm::ConstructionReport;
+use o4a_solvers::{CommitIdx, SolverId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+fn header(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Renders Table 1 (status of bugs found in the solvers).
+pub fn render_table1(table: &BTreeMap<SolverId, StatusCounts>) -> String {
+    let mut out = header("Table 1: Status of bugs found in the solvers");
+    let oz = table.get(&SolverId::OxiZ).copied().unwrap_or_default();
+    let cv = table.get(&SolverId::Cervo).copied().unwrap_or_default();
+    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8}", "Status", "Z3*", "cvc5*", "Total");
+    for (label, a, b) in [
+        ("Reported", oz.reported, cv.reported),
+        ("Confirmed", oz.confirmed, cv.confirmed),
+        ("Fixed", oz.fixed, cv.fixed),
+        ("Duplicate", oz.duplicate, cv.duplicate),
+    ] {
+        let _ = writeln!(out, "{label:<12} {a:>8} {b:>8} {:>8}", a + b);
+    }
+    out.push_str("(Z3* = OxiZ, cvc5* = Cervo; see DESIGN.md)\n");
+    out
+}
+
+/// Renders Table 2 (bug types among the reported bugs).
+pub fn render_table2(table: &BTreeMap<SolverId, BTreeMap<FoundKind, usize>>) -> String {
+    let mut out = header("Table 2: Bug types among the reported bugs");
+    let get = |s: SolverId, k: FoundKind| -> usize {
+        table.get(&s).and_then(|m| m.get(&k)).copied().unwrap_or(0)
+    };
+    let _ = writeln!(out, "{:<15} {:>8} {:>8} {:>8}", "Type", "Z3*", "cvc5*", "Total");
+    for kind in [FoundKind::Crash, FoundKind::InvalidModel, FoundKind::Soundness] {
+        let a = get(SolverId::OxiZ, kind);
+        let b = get(SolverId::Cervo, kind);
+        let _ = writeln!(out, "{:<15} {a:>8} {b:>8} {:>8}", kind.label(), a + b);
+    }
+    out
+}
+
+/// Renders the §5.1 validity study ("Table 3").
+pub fn render_table3(report: &ConstructionReport) -> String {
+    let mut out = header("Table 3 (§5.1): Generator validity before/after self-correction");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>6}",
+        "Theory", "Before", "After", "Iters"
+    );
+    for g in &report.generators {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.0}% {:>9.0}% {:>6}",
+            g.program.theory.name(),
+            g.validity_before * 100.0,
+            g.validity_after * 100.0,
+            g.iterations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "One-time LLM investment: {} requests, {:.1} virtual minutes",
+        report.total_requests,
+        report.total_llm_micros as f64 / 60_000_000.0
+    );
+    out
+}
+
+/// Renders Figure 5 (confirmed bugs affecting release versions).
+pub fn render_fig5(series: &BTreeMap<SolverId, Vec<LifespanPoint>>) -> String {
+    let mut out = header("Figure 5: Confirmed bugs affecting release versions");
+    for (solver, points) in series {
+        let _ = writeln!(out, "[{}]", solver.stands_for());
+        for p in points {
+            let bar: String = "#".repeat(p.affected);
+            let _ = writeln!(out, "  {:>8}: {:>3} {bar}", p.release.version, p.affected);
+        }
+    }
+    out
+}
+
+/// Renders one Figure 6/8 panel: hourly coverage series for many fuzzers.
+pub fn render_coverage_panel(
+    title: &str,
+    results: &[CampaignResult],
+    solver: SolverId,
+    lines: bool,
+) -> String {
+    let mut out = header(title);
+    let hours: Vec<u32> = results
+        .first()
+        .map(|r| r.snapshots.iter().map(|s| s.hour).collect())
+        .unwrap_or_default();
+    let _ = write!(out, "{:<20}", "Fuzzer \\ hour");
+    for h in hours.iter().filter(|h| *h % 4 == 0 || **h == 1) {
+        let _ = write!(out, "{h:>7}");
+    }
+    out.push('\n');
+    for r in results {
+        let _ = write!(out, "{:<20}", r.fuzzer);
+        for s in &r.snapshots {
+            if s.hour % 4 == 0 || s.hour == 1 {
+                let cov = s.coverage.get(&solver).copied().unwrap_or_default();
+                let v = if lines { cov.line_pct } else { cov.function_pct };
+                let _ = write!(out, "{v:>6.1}%");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Figure 7/9 known-bug comparison.
+pub fn render_known_bugs(
+    title: &str,
+    sets: &[(String, BTreeSet<(SolverId, CommitIdx)>)],
+) -> String {
+    let mut out = header(title);
+    let mut all: BTreeSet<(SolverId, CommitIdx)> = BTreeSet::new();
+    for (_, s) in sets {
+        all.extend(s.iter().copied());
+    }
+    for (name, s) in sets {
+        let exclusive = s
+            .iter()
+            .filter(|b| {
+                sets.iter()
+                    .filter(|(n, _)| n != name)
+                    .all(|(_, o)| !o.contains(b))
+            })
+            .count();
+        let _ = writeln!(
+            out,
+            "{name:<22} unique known bugs: {:>2}   (exclusive: {exclusive})",
+            s.len()
+        );
+    }
+    let _ = writeln!(out, "{:<22} distinct bugs overall: {}", "", all.len());
+    out
+}
+
+/// Renders campaign statistics (§4.2).
+pub fn render_stats(result: &CampaignResult) -> String {
+    let mut out = header("Campaign statistics (§4.2)");
+    let s = &result.stats;
+    let _ = writeln!(out, "test cases executed      : {}", s.cases);
+    let _ = writeln!(out, "mean formula size        : {:.0} bytes", s.mean_bytes());
+    let _ = writeln!(out, "bug-triggering formulas  : {}", s.bug_triggering);
+    let _ = writeln!(out, "frontend-rejected inputs : {}", s.rejected);
+    let _ = writeln!(out, "decisive (sat/unsat)     : {}", s.decisive);
+    let _ = writeln!(out, "virtual time             : {} s", s.virtual_seconds);
+    let _ = writeln!(
+        out,
+        "one-time setup (LLM)     : {} s virtual",
+        s.setup_virtual_seconds
+    );
+    for (solver, cov) in &result.final_coverage {
+        let _ = writeln!(
+            out,
+            "final coverage {:<9} : {:.1}% lines, {:.1}% functions",
+            solver.to_string(),
+            cov.line_pct,
+            cov.function_pct
+        );
+    }
+    out
+}
+
+/// Renders the exclusive-coverage analysis (which modules only Once4All
+/// reaches).
+pub fn render_exclusive(
+    once4all: &CampaignResult,
+    others: &[&CampaignResult],
+) -> String {
+    let mut out = header("Coverage complementarity: functions only Once4All reaches");
+    let excl = experiments::exclusive_coverage(once4all, others);
+    for (solver, names) in excl {
+        let extended: Vec<&String> = names
+            .iter()
+            .filter(|n| {
+                n.contains("::sets") || n.contains("::bags") || n.contains("::finite-fields")
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "[{}] {} exclusive functions, {} in extended-theory modules",
+            solver.stands_for(),
+            names.len(),
+            extended.len()
+        );
+        for n in extended.iter().take(6) {
+            let _ = writeln!(out, "    {n}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let mut t = BTreeMap::new();
+        t.insert(
+            SolverId::OxiZ,
+            StatusCounts {
+                reported: 27,
+                confirmed: 25,
+                fixed: 24,
+                duplicate: 2,
+            },
+        );
+        t.insert(
+            SolverId::Cervo,
+            StatusCounts {
+                reported: 18,
+                confirmed: 18,
+                fixed: 16,
+                duplicate: 0,
+            },
+        );
+        let s = render_table1(&t);
+        assert!(s.contains("Reported"));
+        assert!(s.contains("45"));
+        assert!(s.contains("43"));
+        assert!(s.contains("40"));
+    }
+
+    #[test]
+    fn known_bugs_rendering_counts_exclusives() {
+        let sets = vec![
+            (
+                "Once4All".to_string(),
+                [(SolverId::OxiZ, 75u32), (SolverId::Cervo, 65u32)]
+                    .into_iter()
+                    .collect::<BTreeSet<_>>(),
+            ),
+            (
+                "OpFuzz".to_string(),
+                [(SolverId::OxiZ, 75u32)].into_iter().collect(),
+            ),
+        ];
+        let s = render_known_bugs("Figure 7", &sets);
+        assert!(s.contains("Once4All"));
+        assert!(s.contains("distinct bugs overall: 2"));
+        assert!(s.contains("(exclusive: 1)"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Term adaptation and formula synthesis (paper §3.3, steps 2–3): parse
+//! generator output, rename generated variables to sort-compatible skeleton
+//! variables, merge declarations, and fill the placeholders.
+
+use crate::skeleton::Skeleton;
+use o4a_llm::RawTerm;
+use o4a_smtlib::{
+    parse_script, typeck, Command, Script, Sort, Symbol, Term,
+};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A parsed, well-formed generator sample ready for insertion.
+#[derive(Clone, Debug)]
+pub struct ParsedFill {
+    /// Declarations the term needs (name → sort).
+    pub decls: Vec<(Symbol, Sort)>,
+    /// The Boolean term.
+    pub term: Term,
+}
+
+/// Parses and validates one generator sample.
+///
+/// # Errors
+///
+/// Returns the solver-style error message when the sample does not parse
+/// or does not sort-check as a Boolean assertion — the fuzzer then submits
+/// the raw text instead (invalid inputs still exercise solver frontends).
+pub fn parse_fill(raw: &RawTerm) -> Result<ParsedFill, String> {
+    let script_text = raw.to_script_text();
+    let script = parse_script(&script_text).map_err(|e| e.to_string())?;
+    typeck::check_script(&script).map_err(|e| e.to_string())?;
+    let decls = script
+        .declarations()
+        .into_iter()
+        .filter(|(_, args, _)| args.is_empty())
+        .map(|(n, _, s)| (n, s))
+        .collect();
+    let term = script
+        .assertions()
+        .next()
+        .cloned()
+        .ok_or_else(|| "generator sample has no assertion".to_string())?;
+    Ok(ParsedFill { decls, term })
+}
+
+/// Probability that a generated variable with a sort-compatible skeleton
+/// variable is renamed to it ("enhancing semantic interactions", §3.3).
+pub const ADAPT_PROBABILITY: f64 = 0.6;
+
+/// Adapts a fill to a skeleton: generated variables are renamed to skeleton
+/// variables of the same sort with [`ADAPT_PROBABILITY`]; adapted variables
+/// lose their own declarations.
+pub fn adapt_fill(fill: &ParsedFill, skeleton: &Skeleton, rng: &mut impl Rng) -> ParsedFill {
+    let mut by_sort: BTreeMap<&Sort, Vec<&Symbol>> = BTreeMap::new();
+    for (name, sort) in &skeleton.variables {
+        by_sort.entry(sort).or_default().push(name);
+    }
+    let mut term = fill.term.clone();
+    let mut decls = Vec::new();
+    for (name, sort) in &fill.decls {
+        let candidates = by_sort.get(sort);
+        let adapt = candidates
+            .filter(|c| !c.is_empty())
+            .filter(|_| rng.gen_bool(ADAPT_PROBABILITY));
+        match adapt {
+            Some(c) => {
+                let target = c[rng.gen_range(0..c.len())].clone();
+                term = term.rename_free_var(name, &target);
+            }
+            None => decls.push((name.clone(), sort.clone())),
+        }
+    }
+    ParsedFill { decls, term }
+}
+
+/// Fills a skeleton's placeholders with adapted terms and merges
+/// declarations, producing a complete test script ending in `check-sat`.
+///
+/// Generated declarations that clash with existing names (same name,
+/// different sort) are renamed with a numeric suffix; clashes with equal
+/// sorts are merged silently.
+pub fn synthesize(skeleton: &Skeleton, fills: &[ParsedFill], rng: &mut impl Rng) -> Script {
+    let mut script = skeleton.script.clone();
+    crate::skeleton::strip_commands(&mut script);
+
+    // Merge declarations, renaming on sort clashes.
+    let mut declared: BTreeMap<Symbol, Sort> = skeleton
+        .script
+        .declarations()
+        .into_iter()
+        .filter(|(_, args, _)| args.is_empty())
+        .map(|(n, _, s)| (n, s))
+        .collect();
+    let mut renames: Vec<(Symbol, Symbol)> = Vec::new();
+    let mut new_decls: Vec<(Symbol, Sort)> = Vec::new();
+    for fill in fills {
+        for (name, sort) in &fill.decls {
+            match declared.get(name) {
+                Some(existing) if existing == sort => {} // share the variable
+                Some(_) => {
+                    let mut k = 0u64;
+                    let fresh = loop {
+                        let candidate = name.with_suffix(k);
+                        if !declared.contains_key(&candidate) {
+                            break candidate;
+                        }
+                        k += 1;
+                    };
+                    declared.insert(fresh.clone(), sort.clone());
+                    new_decls.push((fresh.clone(), sort.clone()));
+                    renames.push((name.clone(), fresh));
+                }
+                None => {
+                    declared.insert(name.clone(), sort.clone());
+                    new_decls.push((name.clone(), sort.clone()));
+                }
+            }
+        }
+    }
+
+    // Insert declarations before the first assert.
+    let insert_at = script
+        .commands
+        .iter()
+        .position(|c| matches!(c, Command::Assert(_)))
+        .unwrap_or(script.commands.len());
+    for (i, (name, sort)) in new_decls.into_iter().enumerate() {
+        script
+            .commands
+            .insert(insert_at + i, Command::DeclareConst(name, sort));
+    }
+
+    // Fill placeholders round-robin (with per-fill renames applied).
+    let adapted: Vec<Term> = fills
+        .iter()
+        .map(|f| {
+            let mut t = f.term.clone();
+            for (from, to) in &renames {
+                if f.decls.iter().any(|(n, _)| n == from) {
+                    t = t.rename_free_var(from, to);
+                }
+            }
+            t
+        })
+        .collect();
+    let mut next = 0usize;
+    for term in script.assertions_mut() {
+        *term = term.map_bottom_up(&mut |node| match node {
+            Term::Placeholder(_) if !adapted.is_empty() => {
+                let t = adapted[next % adapted.len()].clone();
+                next += 1;
+                t
+            }
+            Term::Placeholder(_) => Term::tru(),
+            other => other,
+        });
+    }
+    let _ = rng;
+    script.ensure_check_sat();
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{skeletonize, SkeletonConfig};
+    use o4a_smtlib::parse_term;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn fill_from(decl_sorts: &[(&str, Sort)], term: &str) -> ParsedFill {
+        ParsedFill {
+            decls: decl_sorts
+                .iter()
+                .map(|(n, s)| (Symbol::new(n), s.clone()))
+                .collect(),
+            term: parse_term(term).unwrap(),
+        }
+    }
+
+    fn skeleton_of(text: &str, p: f64) -> Skeleton {
+        let seed = parse_script(text).unwrap();
+        skeletonize(
+            &seed,
+            SkeletonConfig {
+                replace_probability: p,
+                max_placeholders: 4,
+            },
+            &mut rng(),
+        )
+    }
+
+    #[test]
+    fn parse_fill_accepts_valid_samples() {
+        let raw = RawTerm {
+            decls: vec!["(declare-const i0 Int)".into()],
+            term: "(= (mod i0 3) 0)".into(),
+        };
+        let f = parse_fill(&raw).unwrap();
+        assert_eq!(f.decls.len(), 1);
+        assert_eq!(f.decls[0].1, Sort::Int);
+    }
+
+    #[test]
+    fn parse_fill_rejects_flawed_samples() {
+        let raw = RawTerm {
+            decls: vec![],
+            term: "(= i9 0)".into(), // undeclared
+        };
+        assert!(parse_fill(&raw).is_err());
+        let raw2 = RawTerm {
+            decls: vec!["(declare-const i0 Int)".into()],
+            term: "(+ i0 1)".into(), // not Boolean
+        };
+        assert!(parse_fill(&raw2).is_err());
+    }
+
+    #[test]
+    fn synthesized_script_is_well_formed() {
+        // The paper's Figure 4 walk-through: seed with Int variable T,
+        // Int+String fills, adapted and merged.
+        let sk = skeleton_of(
+            "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
+            1.0,
+        );
+        let fills = vec![
+            fill_from(
+                &[("int0", Sort::Int)],
+                "((_ divisible 3) (mod int0 3))",
+            ),
+            fill_from(&[("str0", Sort::String)], "(= str0 \"\")"),
+        ];
+        let mut r = rng();
+        let out = synthesize(
+            &sk,
+            &fills
+                .iter()
+                .map(|f| adapt_fill(f, &sk, &mut r))
+                .collect::<Vec<_>>(),
+            &mut r,
+        );
+        typeck::check_script(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
+        let text = out.to_string();
+        assert!(text.ends_with("(check-sat)"));
+        assert!(!out.has_placeholders());
+    }
+
+    #[test]
+    fn adaptation_renames_to_skeleton_variable() {
+        let sk = skeleton_of(
+            "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
+            1.0,
+        );
+        let fill = fill_from(&[("int0", Sort::Int)], "(> int0 5)");
+        // Sweep seeds until adaptation fires (probability 0.6).
+        let mut adapted_seen = false;
+        for s in 0..20 {
+            let mut r = StdRng::seed_from_u64(s);
+            let a = adapt_fill(&fill, &sk, &mut r);
+            if a.decls.is_empty() {
+                adapted_seen = true;
+                assert!(a.term.free_vars().contains("T"));
+            }
+        }
+        assert!(adapted_seen, "adaptation never fired in 20 trials");
+    }
+
+    #[test]
+    fn clashing_declarations_renamed() {
+        // Skeleton declares T : Int; fill declares T : String.
+        let sk = skeleton_of(
+            "(declare-fun T () Int)(assert (= T 0))(check-sat)",
+            1.0,
+        );
+        let fill = fill_from(&[("T", Sort::String)], "(= T \"x\")");
+        let mut r = rng();
+        let out = synthesize(&sk, &[fill], &mut r);
+        typeck::check_script(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
+        assert!(out.to_string().contains("T!0"));
+    }
+
+    #[test]
+    fn shared_sort_declarations_merge() {
+        let sk = skeleton_of(
+            "(declare-fun T () Int)(assert (= T 0))(check-sat)",
+            1.0,
+        );
+        let fill = fill_from(&[("T", Sort::Int)], "(> T 5)");
+        let mut r = rng();
+        let out = synthesize(&sk, &[fill], &mut r);
+        typeck::check_script(&out).unwrap();
+        // Only one declaration of T.
+        assert_eq!(out.to_string().matches("declare-").count(), 1);
+    }
+
+    #[test]
+    fn quantified_skeleton_fill_typechecks() {
+        let sk = skeleton_of(
+            "(declare-fun s () (Seq Int))\
+             (assert (exists ((f Int)) (distinct (seq.len s) 0)))(check-sat)",
+            1.0,
+        );
+        let fill = fill_from(&[("i0", Sort::Int)], "(= (div i0 2) 1)");
+        let mut r = rng();
+        let out = synthesize(&sk, &[adapt_fill(&fill, &sk, &mut r)], &mut r);
+        typeck::check_script(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
+        assert!(out.to_string().contains("exists"));
+    }
+
+    #[test]
+    fn more_placeholders_than_fills_reuses_round_robin() {
+        let sk = skeleton_of(
+            "(declare-const a Bool)(declare-const b Bool)(declare-const c Bool)\
+             (assert (and a b c))(check-sat)",
+            1.0,
+        );
+        assert!(sk.placeholder_count >= 2);
+        let fill = fill_from(&[("i0", Sort::Int)], "(> i0 0)");
+        let mut r = rng();
+        let out = synthesize(&sk, &[fill], &mut r);
+        typeck::check_script(&out).unwrap();
+        assert!(!out.has_placeholders());
+    }
+}

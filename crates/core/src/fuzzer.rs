@@ -1,0 +1,422 @@
+//! The `Fuzzer` plugin interface and the Once4All fuzzer itself
+//! (Algorithm 2's main loop).
+
+use crate::fill::{adapt_fill, parse_fill, synthesize, ParsedFill};
+use crate::seeds::parsed_seeds;
+use crate::skeleton::{skeletonize, Skeleton, SkeletonConfig};
+use o4a_llm::{
+    construct_generators, ConstructOptions, ConstructionReport, CorrectedGenerator, LlmProfile,
+    SimulatedLlm, Validator,
+};
+use o4a_smtlib::Script;
+use o4a_solvers::coverage::universe;
+use o4a_solvers::{CoverageMap, Frontend, SolverId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One generated test case: SMT-LIB text plus the virtual cost of
+/// producing it (LLM-per-input fuzzers are expensive here; Once4All is
+/// nearly free after setup).
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// The SMT-LIB script text.
+    pub text: String,
+    /// Virtual microseconds spent generating it.
+    pub gen_micros: u64,
+}
+
+/// A fuzzer plugin: Once4All, its variants, and all baselines implement
+/// this, so the campaign runner compares them under identical protocol.
+pub trait Fuzzer {
+    /// Display name used in figures and tables.
+    fn name(&self) -> String;
+    /// One-time setup; returns virtual microseconds consumed (e.g. the LLM
+    /// generator-construction investment).
+    fn setup(&mut self, rng: &mut StdRng) -> u64 {
+        let _ = rng;
+        0
+    }
+    /// Produces the next test case.
+    fn next_case(&mut self, rng: &mut StdRng) -> TestCase;
+}
+
+/// A generator-construction validator backed by a real solver frontend —
+/// what Algorithm 1 plugs in for `Parse(t)`.
+pub struct FrontendValidator {
+    solver: SolverId,
+    universe: o4a_solvers::Universe,
+}
+
+impl FrontendValidator {
+    /// Creates a validator for one solver's frontend.
+    pub fn new(solver: SolverId) -> FrontendValidator {
+        FrontendValidator {
+            solver,
+            universe: universe(solver),
+        }
+    }
+}
+
+impl Validator for FrontendValidator {
+    fn name(&self) -> &str {
+        self.solver.name()
+    }
+
+    fn validate(&mut self, script_text: &str) -> Result<(), String> {
+        let mut cov = CoverageMap::new();
+        Frontend::new(self.solver)
+            .analyze(script_text, &self.universe, &mut cov)
+            .map(|_| ())
+    }
+}
+
+/// Configuration of the Once4All fuzzer.
+#[derive(Clone, Debug)]
+pub struct Once4AllConfig {
+    /// Mutation iterations applied per selected seed (paper: 10).
+    pub mutations_per_seed: usize,
+    /// Skeleton extraction tuning.
+    pub skeleton: SkeletonConfig,
+    /// When false, skeletons are disabled and test cases are plain
+    /// conjunctions of generated terms — the `Once4All w/oS` ablation.
+    pub use_skeletons: bool,
+    /// LLM profile used for generator construction.
+    pub profile: LlmProfile,
+    /// Maximum fills per skeleton.
+    pub max_fills: usize,
+}
+
+impl Default for Once4AllConfig {
+    fn default() -> Self {
+        Once4AllConfig {
+            mutations_per_seed: 10,
+            skeleton: SkeletonConfig::default(),
+            use_skeletons: true,
+            profile: LlmProfile::gpt4(),
+            max_fills: 2,
+        }
+    }
+}
+
+/// The Once4All fuzzer: skeleton-guided mutation with LLM-synthesized
+/// generators.
+pub struct Once4AllFuzzer {
+    config: Once4AllConfig,
+    seeds: Vec<Script>,
+    generators: Vec<CorrectedGenerator>,
+    construction: Option<ConstructionReport>,
+    current: Option<Script>,
+    iterations_left: usize,
+    cases_emitted: u64,
+    invalid_fills: u64,
+    total_fills: u64,
+}
+
+impl Once4AllFuzzer {
+    /// Creates the fuzzer with a configuration; generators are synthesized
+    /// in [`Fuzzer::setup`].
+    pub fn new(config: Once4AllConfig) -> Once4AllFuzzer {
+        Once4AllFuzzer {
+            config,
+            seeds: parsed_seeds(),
+            generators: Vec::new(),
+            construction: None,
+            current: None,
+            iterations_left: 0,
+            cases_emitted: 0,
+            invalid_fills: 0,
+            total_fills: 0,
+        }
+    }
+
+    /// The default (paper) configuration.
+    pub fn with_defaults() -> Once4AllFuzzer {
+        Once4AllFuzzer::new(Once4AllConfig::default())
+    }
+
+    /// The construction-phase report (after setup).
+    pub fn construction_report(&self) -> Option<&ConstructionReport> {
+        self.construction.as_ref()
+    }
+
+    /// Fraction of generator samples that were invalid during fuzzing.
+    pub fn invalid_fill_rate(&self) -> f64 {
+        if self.total_fills == 0 {
+            0.0
+        } else {
+            self.invalid_fills as f64 / self.total_fills as f64
+        }
+    }
+
+    fn draw_fill(&mut self, rng: &mut StdRng) -> Result<ParsedFill, String> {
+        self.draw_fill_from(None, rng)
+    }
+
+    /// Draws a fill, preferring the focus generator when one is given
+    /// (deep single-theory interaction is what exposes theory-internal
+    /// bugs; cross-theory mixing still happens 30% of the time).
+    fn draw_fill_from(
+        &mut self,
+        focus: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Result<ParsedFill, String> {
+        if self.generators.is_empty() {
+            return Err("no generators constructed".into());
+        }
+        let gi = match focus {
+            Some(g) if rng.gen_bool(0.7) => g,
+            _ => rng.gen_range(0..self.generators.len()),
+        };
+        let mut sample_rng = StdRng::from_rng_seed(rng.gen());
+        self.total_fills += 1;
+        let raw = self.generators[gi]
+            .program
+            .generate(&mut sample_rng)
+            .map_err(|e| e.to_string())?;
+        match parse_fill(&raw) {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.invalid_fills += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Emits a skeleton-free case (the w/oS variant and the fallback when a
+    /// seed yields no usable skeleton).
+    fn generator_only_case(&mut self, rng: &mut StdRng) -> Script {
+        let n = rng.gen_range(1..=self.config.max_fills.max(1));
+        let mut fills = Vec::new();
+        for _ in 0..n {
+            if let Ok(f) = self.draw_fill(rng) {
+                fills.push(f);
+            }
+        }
+        // Assemble a flat conjunction script.
+        let mut script = Script::new();
+        let mut declared = std::collections::BTreeMap::new();
+        for f in &fills {
+            for (name, sort) in &f.decls {
+                declared.entry(name.clone()).or_insert_with(|| sort.clone());
+            }
+        }
+        for (name, sort) in declared {
+            script
+                .commands
+                .push(o4a_smtlib::Command::DeclareConst(name, sort));
+        }
+        for f in &fills {
+            script
+                .commands
+                .push(o4a_smtlib::Command::Assert(f.term.clone()));
+        }
+        if fills.is_empty() {
+            script
+                .commands
+                .push(o4a_smtlib::Command::Assert(o4a_smtlib::Term::tru()));
+        }
+        script.ensure_check_sat();
+        script
+    }
+}
+
+/// Extension trait alias for seeding an `StdRng` from another RNG draw.
+trait FromRngSeed {
+    fn from_rng_seed(seed: u64) -> StdRng;
+}
+
+impl FromRngSeed for StdRng {
+    fn from_rng_seed(seed: u64) -> StdRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+impl Fuzzer for Once4AllFuzzer {
+    fn name(&self) -> String {
+        let mut name = "Once4All".to_string();
+        if !self.config.use_skeletons {
+            name.push_str(" w/oS");
+        }
+        match self.config.profile.kind {
+            o4a_llm::LlmKind::Gpt4 => {}
+            o4a_llm::LlmKind::Gemini25Pro => name.push_str(" (Gemini)"),
+            o4a_llm::LlmKind::Claude45Sonnet => name.push_str(" (Claude)"),
+        }
+        name
+    }
+
+    fn setup(&mut self, _rng: &mut StdRng) -> u64 {
+        let mut llm = SimulatedLlm::new(self.config.profile.clone());
+        let docs = o4a_llm::corpus::corpus();
+        let mut validators: Vec<Box<dyn Validator>> = vec![
+            Box::new(FrontendValidator::new(SolverId::OxiZ)),
+            Box::new(FrontendValidator::new(SolverId::Cervo)),
+        ];
+        let report =
+            construct_generators(&mut llm, &docs, &mut validators, ConstructOptions::default());
+        self.generators = report.generators.clone();
+        let cost = report.total_llm_micros;
+        self.construction = Some(report);
+        cost
+    }
+
+    fn next_case(&mut self, rng: &mut StdRng) -> TestCase {
+        self.cases_emitted += 1;
+        let script = if !self.config.use_skeletons {
+            self.generator_only_case(rng)
+        } else {
+            // Algorithm 2: pick a seed, then mutate it for N iterations
+            // before picking the next.
+            if self.current.is_none() || self.iterations_left == 0 {
+                let k = rng.gen_range(0..self.seeds.len());
+                self.current = Some(self.seeds[k].clone());
+                self.iterations_left = self.config.mutations_per_seed;
+            }
+            self.iterations_left -= 1;
+            let seed = self.current.clone().expect("seed selected above");
+            let skeleton: Skeleton = skeletonize(&seed, self.config.skeleton, rng);
+            let n_fills = rng.gen_range(1..=self.config.max_fills.max(1));
+            let focus = if self.generators.is_empty() {
+                None
+            } else {
+                Some(rng.gen_range(0..self.generators.len()))
+            };
+            let mut fills = Vec::new();
+            for _ in 0..n_fills {
+                if let Ok(f) = self.draw_fill_from(focus, rng) {
+                    fills.push(adapt_fill(&f, &skeleton, rng));
+                }
+            }
+            if fills.is_empty() {
+                // All samples invalid this round: fall back to a
+                // generator-only case so throughput is preserved.
+                self.generator_only_case(rng)
+            } else {
+                let out = synthesize(&skeleton, &fills, rng);
+                // The mutant becomes the next iteration's seed (the paper
+                // mutates f in place across the repeat loop) — unless it
+                // outgrew the size budget, in which case the next call
+                // restarts from a fresh seed (keeps throughput and mean
+                // formula size in the paper's ballpark).
+                if out.byte_len() > 3_000 {
+                    self.current = None;
+                } else {
+                    self.current = Some(out.clone());
+                }
+                out
+            }
+        };
+        let text = script.to_string();
+        let gen_micros = 150 + text.len() as u64;
+        TestCase { text, gen_micros }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup_fuzzer(cfg: Once4AllConfig) -> Once4AllFuzzer {
+        let mut f = Once4AllFuzzer::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cost = f.setup(&mut rng);
+        assert!(cost > 0, "construction must cost LLM latency");
+        f
+    }
+
+    #[test]
+    fn produces_parseable_cases() {
+        let mut f = setup_fuzzer(Once4AllConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut parsed_ok = 0;
+        for _ in 0..60 {
+            let case = f.next_case(&mut rng);
+            if o4a_smtlib::parse_script(&case.text).is_ok() {
+                parsed_ok += 1;
+            }
+            assert!(case.text.contains("(check-sat)"));
+        }
+        assert!(parsed_ok >= 55, "only {parsed_ok}/60 parse");
+    }
+
+    #[test]
+    fn skeleton_cases_keep_structural_features() {
+        let mut f = setup_fuzzer(Once4AllConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut quantified = 0;
+        for _ in 0..80 {
+            let case = f.next_case(&mut rng);
+            if case.text.contains("forall") || case.text.contains("exists") {
+                quantified += 1;
+            }
+        }
+        assert!(
+            quantified >= 10,
+            "skeletons should preserve quantifiers, saw {quantified}/80"
+        );
+    }
+
+    #[test]
+    fn wos_variant_never_emits_quantifiers() {
+        let mut f = setup_fuzzer(Once4AllConfig {
+            use_skeletons: false,
+            ..Once4AllConfig::default()
+        });
+        assert_eq!(f.name(), "Once4All w/oS");
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..40 {
+            let case = f.next_case(&mut rng);
+            assert!(!case.text.contains("forall"));
+            assert!(!case.text.contains("exists"));
+        }
+    }
+
+    #[test]
+    fn cases_cover_extended_theories() {
+        let mut f = setup_fuzzer(Once4AllConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut extended = 0;
+        for _ in 0..120 {
+            let case = f.next_case(&mut rng);
+            if case.text.contains("ff.")
+                || case.text.contains("set.")
+                || case.text.contains("bag")
+                || case.text.contains("rel.")
+            {
+                extended += 1;
+            }
+        }
+        assert!(
+            extended >= 15,
+            "generators must reach extended theories, saw {extended}/120"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let mut f = setup_fuzzer(Once4AllConfig::default());
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10)
+                .map(|_| f.next_case(&mut rng).text)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn invalid_fill_rate_is_low_after_correction() {
+        let mut f = setup_fuzzer(Once4AllConfig::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..150 {
+            f.next_case(&mut rng);
+        }
+        let rate = f.invalid_fill_rate();
+        assert!(
+            rate < 0.35,
+            "invalid fill rate {rate:.2} too high after self-correction"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Bug lifespan analysis (paper Figure 5): replay confirmed bug-triggering
+//! formulas against each release version and count how many bugs affect
+//! each.
+
+use crate::triage::Issue;
+use o4a_solvers::versions::{lifespan_releases, Release};
+use o4a_solvers::SolverId;
+use std::collections::BTreeSet;
+
+/// One lifespan data point: a release and how many confirmed bugs affect
+/// it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LifespanPoint {
+    /// The release.
+    pub release: Release,
+    /// Number of confirmed bugs present at that release.
+    pub affected: usize,
+}
+
+/// Computes the Figure 5 series for one solver from deduplicated issues:
+/// a bug affects a release when its defect was already in the code at that
+/// release's commit ("the original formula successfully triggers the bug").
+pub fn lifespan_series(solver: SolverId, issues: &[Issue]) -> Vec<LifespanPoint> {
+    // Unique confirmed (non-duplicate) defects attributed to this solver.
+    let mut defects = BTreeSet::new();
+    for issue in issues {
+        if issue.solver != solver {
+            continue;
+        }
+        if let Some(spec) = issue.attributed {
+            if spec.duplicate_of.is_none() {
+                defects.insert(spec.id);
+            }
+        }
+    }
+    let specs: Vec<_> = o4a_solvers::bugs::registry()
+        .iter()
+        .filter(|b| defects.contains(b.id))
+        .collect();
+    lifespan_releases(solver)
+        .into_iter()
+        .map(|release| {
+            let affected = specs.iter().filter(|b| b.active_at(release.commit)).count();
+            LifespanPoint { release, affected }
+        })
+        .collect()
+}
+
+/// Bugs latent for a long time: present in the oldest studied release.
+pub fn long_latent_count(solver: SolverId, issues: &[Issue]) -> usize {
+    lifespan_series(solver, issues)
+        .first()
+        .map(|p| p.affected)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triage::FoundKind;
+    use o4a_solvers::bugs::{registry, trunk_bugs};
+
+    /// Builds synthetic issues covering every trunk defect of a solver
+    /// (what a fully successful campaign produces).
+    fn full_issues(solver: SolverId) -> Vec<Issue> {
+        trunk_bugs(solver)
+            .into_iter()
+            .map(|spec| Issue {
+                key: spec.id.to_string(),
+                solver,
+                kind: FoundKind::Crash,
+                occurrences: 1,
+                representative: String::new(),
+                attributed: Some(spec),
+                first_vhour: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_campaign_reproduces_figure5_oxiz() {
+        let series = lifespan_series(SolverId::OxiZ, &full_issues(SolverId::OxiZ));
+        let counts: Vec<usize> = series.iter().map(|p| p.affected).collect();
+        assert_eq!(counts, vec![3, 6, 6, 6, 8, 11, 25]);
+    }
+
+    #[test]
+    fn full_campaign_reproduces_figure5_cervo() {
+        let series = lifespan_series(SolverId::Cervo, &full_issues(SolverId::Cervo));
+        let counts: Vec<usize> = series.iter().map(|p| p.affected).collect();
+        assert_eq!(counts, vec![1, 2, 4, 5, 8, 18]);
+    }
+
+    #[test]
+    fn long_latent_bugs_match_paper_claim() {
+        // "three of the bugs in Z3 remained latent for over six years".
+        assert_eq!(
+            long_latent_count(SolverId::OxiZ, &full_issues(SolverId::OxiZ)),
+            3
+        );
+    }
+
+    #[test]
+    fn partial_findings_yield_partial_series() {
+        let one = registry().iter().find(|b| b.id == "cv-06").unwrap();
+        let issues = vec![Issue {
+            key: "x".into(),
+            solver: SolverId::Cervo,
+            kind: FoundKind::Crash,
+            occurrences: 1,
+            representative: String::new(),
+            attributed: Some(one),
+            first_vhour: 0.0,
+        }];
+        let series = lifespan_series(SolverId::Cervo, &issues);
+        // cv-06 introduced at commit 43: absent in 0.0.2..=1.1.0, present
+        // from 1.2.0 on.
+        let counts: Vec<usize> = series.iter().map(|p| p.affected).collect();
+        assert_eq!(counts, vec![0, 0, 0, 0, 1, 1]);
+    }
+}

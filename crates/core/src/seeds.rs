@@ -1,0 +1,183 @@
+//! The seed corpus: formulas in the style of the historical bug-triggering
+//! inputs prior work curated from the Z3/cvc5 issue trackers (the paper's
+//! seed set), plus a deterministic synthetic expander.
+//!
+//! Seeds matter to Once4All as *skeleton donors*: they are deliberately
+//! rich in quantifiers, `let` binders, nested Boolean structure,
+//! uninterpreted functions and multi-theory atoms. They deliberately avoid
+//! the cvc5-only extended theories (Sets/Bags/FiniteFields) — historical
+//! seeds predate those extensions, which is precisely why mutation-only
+//! baselines cannot reach them.
+
+use o4a_smtlib::{parse_script, Script};
+
+/// The embedded seed formulas (SMT-LIB text).
+pub const SEED_TEXTS: &[&str] = &[
+    // ---- Integer arithmetic with quantifiers and lets ----
+    "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
+    "(declare-const x Int)(declare-const y Int)(assert (and (> x y) (= (mod x 3) 1) (< y 10)))(check-sat)",
+    "(declare-const x Int)(assert (exists ((k Int)) (= x (* 2 k))))(check-sat)",
+    "(declare-const n Int)(assert (forall ((i Int)) (or (< i 0) (distinct (mod n 7) i) (> i 6))))(check-sat)",
+    "(declare-const a Int)(declare-const b Int)(assert (let ((s (+ a b))) (and (> s 0) (< s 10) (= (div s 2) a))))(check-sat)",
+    "(declare-const x Int)(assert (and ((_ divisible 4) x) (not ((_ divisible 8) x))))(check-sat)",
+    "(declare-const x Int)(declare-const y Int)(assert (=> (> x 0) (exists ((z Int)) (= (+ x z) y))))(check-sat)",
+    "(declare-const u Int)(assert (let ((v (abs u))) (or (= v u) (= v (- u)))))(check-sat)",
+    "(declare-const p Int)(assert (forall ((q Int)) (=> (and (> q 1) (< q p)) (distinct (mod p q) 0))))(check-sat)",
+    "(declare-const x Int)(declare-const y Int)(declare-const z Int)(assert (ite (> x y) (= z x) (= z y)))(assert (>= z x))(check-sat)",
+    "(declare-const k Int)(assert (exists ((m Int)) (and (= (* m m) k) (>= m 0))))(check-sat)",
+    "(declare-const w Int)(assert (and (or (= w 1) (= w 2) (= w 3)) (not (= w 2))))(check-sat)",
+    "(declare-const x Int)(assert (let ((a (div x 5)) (b (mod x 5))) (= x (+ (* 5 a) b))))(check-sat)",
+    "(declare-const t Int)(assert (forall ((s Int)) (or (distinct s t) (= (abs s) (abs t)))))(check-sat)",
+    "(declare-const x Int)(declare-const y Int)(assert (xor (> x y) (<= x y)))(check-sat)",
+    // ---- Reals and mixed arithmetic ----
+    "(declare-const r Real)(assert (and (< r 1.5) (> r 0.5) (= (to_int r) 1)))(check-sat)",
+    "(declare-const x Real)(declare-const y Real)(assert (= (* x y) 1.0))(assert (> x 0.0))(check-sat)",
+    "(declare-const x15 Bool)(declare-const x Real)(declare-const x1 Real)(declare-const x9 Bool)(declare-fun v () Real)(assert (forall ((r Real)) (or x9 (or (= (+ r 1.0) (mod 0 (to_int x)))))))(assert (and (> 0.0 x1) (< x (/ 1.0 (* v x))) (<= 0.0 (/ 0.0 v))))(check-sat)",
+    "(declare-const a Real)(assert (exists ((e Real)) (and (> e 0.0) (< (to_real (to_int a)) (+ a e)))))(check-sat)",
+    "(declare-const r Real)(assert (let ((h (/ r 2.0))) (= (+ h h) r)))(check-sat)",
+    "(declare-const x Real)(assert (is_int (* x 4.0)))(assert (not (is_int x)))(check-sat)",
+    "(declare-const p Real)(declare-const q Real)(assert (forall ((m Real)) (=> (and (< p m) (< m q)) (< p q))))(check-sat)",
+    // ---- Bit-vectors (including concat/extract/bvor for skeleton atoms) ----
+    "(declare-const b (_ BitVec 8))(assert (= (bvand b #x0f) #x0a))(check-sat)",
+    "(declare-const b (_ BitVec 8))(assert (bvult (bvadd b #x01) b))(check-sat)",
+    "(declare-const hi (_ BitVec 4))(declare-const lo (_ BitVec 4))(assert (= (concat hi lo) #xa5))(check-sat)",
+    "(declare-const w (_ BitVec 8))(assert (= ((_ extract 7 4) w) ((_ extract 3 0) w)))(check-sat)",
+    "(declare-const v (_ BitVec 8))(declare-const w (_ BitVec 4))(assert (= (bvor v ((_ extract 7 0) (concat w w))) v))(assert (distinct ((_ extract 3 0) (concat w w)) w))(check-sat)",
+    "(declare-const x (_ BitVec 8))(declare-const y (_ BitVec 8))(assert (and (bvslt x y) (bvsgt x (bvneg y))))(check-sat)",
+    "(declare-const b (_ BitVec 4))(assert (exists ((c (_ BitVec 4))) (= (bvxor b c) #xf)))(check-sat)",
+    "(declare-const s (_ BitVec 8))(assert (= (bvshl s #x02) (bvmul s #x04)))(check-sat)",
+    "(declare-const m (_ BitVec 8))(assert (distinct (bvlshr m #x01) (bvashr m #x01)))(check-sat)",
+    "(declare-const z (_ BitVec 8))(assert (let ((n (bvnot z))) (= (bvand z n) #x00)))(check-sat)",
+    "(declare-const a (_ BitVec 8))(assert (= (bvudiv a #x00) #xff))(check-sat)",
+    "(declare-const k (_ BitVec 4))(assert (= ((_ rotate_left 2) k) ((_ rotate_right 2) k)))(check-sat)",
+    // ---- Strings ----
+    "(declare-const s String)(assert (and (= (str.len s) 3) (str.prefixof \"ab\" s)))(check-sat)",
+    "(declare-const s String)(declare-const t String)(assert (= (str.++ s t) (str.++ t s)))(assert (distinct s t))(check-sat)",
+    "(declare-const u String)(assert (str.contains (str.replace u \"a\" \"b\") \"a\"))(check-sat)",
+    "(declare-const s String)(assert (exists ((i Int)) (and (>= i 0) (= (str.at s i) \"x\"))))(check-sat)",
+    "(declare-const w String)(assert (= (str.indexof w \"ab\" 0) 2))(assert (= (str.len w) 4))(check-sat)",
+    "(declare-const s String)(assert (let ((n (str.len s))) (and (> n 0) (= (str.substr s 0 n) s))))(check-sat)",
+    "(declare-const d String)(assert (and (str.is_digit d) (= (str.to_code d) 53)))(check-sat)",
+    "(declare-const s String)(assert (= (str.from_int (str.to_int s)) s))(check-sat)",
+    "(declare-const a String)(declare-const b String)(assert (forall ((c String)) (=> (and (str.prefixof c a) (str.suffixof c b)) (<= (str.len c) 2))))(check-sat)",
+    "(declare-const t String)(assert (distinct (str.replace_all t \"aa\" \"b\") t))(check-sat)",
+    // ---- Arrays ----
+    "(declare-const a (Array Int Int))(assert (= (select (store a 0 5) 0) 5))(check-sat)",
+    "(declare-const a (Array Int Int))(declare-const i Int)(assert (distinct (select (store (store a i 1) (+ i 1) 2) i) 1))(check-sat)",
+    "(declare-const a (Array Int Int))(declare-const b (Array Int Int))(assert (and (= (store a 1 2) (store b 1 2)) (distinct (select a 3) (select b 3))))(check-sat)",
+    "(declare-const a (Array Int Int))(assert (forall ((i Int)) (= (select a i) (select a (- i)))))(check-sat)",
+    "(declare-const a (Array Int Int))(assert (let ((v (select a 7))) (= (store a 7 v) a)))(check-sat)",
+    "(declare-const a (Array Int Int))(declare-const j Int)(assert (exists ((k Int)) (and (distinct k j) (= (select (store (store a j 1) k 2) j) 2))))(check-sat)",
+    // ---- Uninterpreted functions ----
+    "(declare-fun f (Int) Int)(declare-const x Int)(assert (= (f (f x)) x))(assert (distinct (f x) x))(check-sat)",
+    "(declare-fun g (Int Int) Bool)(assert (forall ((a Int) (b Int)) (=> (g a b) (g b a))))(assert (g 1 2))(check-sat)",
+    "(declare-fun h (Int) Int)(assert (exists ((y Int)) (and (= (h y) y) (> y 0))))(check-sat)",
+    "(declare-fun f (Int) Int)(declare-fun g (Int) Int)(assert (forall ((x Int)) (= (f (g x)) (g (f x)))))(assert (distinct (f 0) (g 0)))(check-sat)",
+    "(declare-sort U 0)(declare-const e U)(declare-fun m (U) U)(assert (distinct (m e) e))(check-sat)",
+    "(declare-fun p (Int) Bool)(assert (and (p 0) (not (p 1)) (forall ((i Int)) (=> (p i) (not (p (+ i 1)))))))(check-sat)",
+    // ---- Sequences (supported by both solvers; skeleton donors for the
+    //      Figure 1 bug family) ----
+    "(declare-fun s () (Seq Int))(assert (exists ((f Int)) (distinct (seq.len (seq.rev s)) (seq.nth (as seq.empty (Seq Int)) (div 0 0)))))(check-sat)",
+    "(declare-const q (Seq Int))(assert (= (seq.len q) 2))(assert (= (seq.nth q 0) (seq.nth q 1)))(check-sat)",
+    "(declare-const q (Seq Int))(assert (seq.contains q (seq.unit 3)))(assert (< (seq.len q) 3))(check-sat)",
+    "(declare-const a (Seq Int))(declare-const b (Seq Int))(assert (= (seq.++ a b) (seq.++ b a)))(assert (distinct a b))(check-sat)",
+    "(declare-const s (Seq Int))(assert (forall ((i Int)) (=> (and (>= i 0) (< i (seq.len s))) (>= (seq.nth s i) 0))))(check-sat)",
+    "(declare-const s (Seq Int))(assert (let ((r (seq.rev s))) (= (seq.len r) (seq.len s))))(check-sat)",
+    "(declare-const s (Seq Int))(assert (= (seq.extract s 0 1) (seq.at s 0)))(check-sat)",
+    "(declare-const s (Seq Int))(assert (exists ((k Int)) (= (seq.indexof s (seq.unit 5) 0) k)))(check-sat)",
+    // ---- Multi-theory combinations ----
+    "(declare-const x Int)(declare-const s String)(assert (= (str.len s) x))(assert (> x (str.to_int s)))(check-sat)",
+    "(declare-const b (_ BitVec 8))(declare-const i Int)(assert (and (> i 0) (bvult b #x10)))(assert (exists ((j Int)) (= (* j i) 12)))(check-sat)",
+    "(declare-const a (Array Int Int))(declare-fun f (Int) Int)(assert (forall ((i Int)) (= (select a i) (f i))))(assert (distinct (f 0) (select a 0)))(check-sat)",
+    "(declare-const r Real)(declare-const n Int)(assert (let ((c (to_real n))) (and (< c r) (< r (+ c 1.0)))))(check-sat)",
+    "(declare-const s String)(declare-const q (Seq Int))(assert (= (str.len s) (seq.len q)))(assert (exists ((i Int)) (= (seq.nth q i) (str.to_code (str.at s i)))))(check-sat)",
+    "(declare-const p Bool)(declare-const x Int)(assert (ite p (exists ((k Int)) (= x (* k k))) (forall ((k Int)) (distinct x (* k k)))))(check-sat)",
+    // ---- Deep boolean structure (skeleton donors) ----
+    "(declare-const p Bool)(declare-const q Bool)(declare-const r Bool)(assert (or (and p (not q)) (and q (not r)) (and r (not p))))(check-sat)",
+    "(declare-const a Bool)(declare-const b Bool)(assert (let ((c (xor a b))) (=> c (and (or a b) (not (and a b))))))(check-sat)",
+    "(declare-const x Int)(assert (not (or (not (and (> x 0) (< x 5))) (not (distinct x 3)))))(check-sat)",
+    "(declare-const u Int)(declare-const v Int)(assert (and (or (= u 0) (or (= v 0) (and (> u v) (< u (+ v 10))))) (not (and (= u 0) (= v 0)))))(check-sat)",
+    "(declare-const x Int)(assert (forall ((a Int)) (exists ((b Int)) (=> (> a x) (and (> b a) (let ((d (- b a))) (> d 0)))))))(check-sat)",
+];
+
+/// Parses every embedded seed.
+///
+/// # Panics
+///
+/// Panics when an embedded seed fails to parse — that is a build-breaking
+/// corpus bug, covered by tests.
+pub fn parsed_seeds() -> Vec<Script> {
+    SEED_TEXTS
+        .iter()
+        .map(|t| parse_script(t).unwrap_or_else(|e| panic!("bad seed: {e}\n{t}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_smtlib::{typeck, Theory};
+
+    #[test]
+    fn all_seeds_parse_and_typecheck() {
+        for text in SEED_TEXTS {
+            let s = parse_script(text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            typeck::check_script(&s).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn corpus_is_structurally_rich() {
+        let seeds = parsed_seeds();
+        assert!(seeds.len() >= 70);
+        let quantified = seeds
+            .iter()
+            .filter(|s| s.assertions().any(|a| a.has_quantifier()))
+            .count();
+        assert!(quantified >= 20, "only {quantified} quantified seeds");
+        let with_lets = seeds
+            .iter()
+            .filter(|s| {
+                s.assertions().any(|a| {
+                    let mut has = false;
+                    a.visit(&mut |t| {
+                        if matches!(t, o4a_smtlib::Term::Let(_, _)) {
+                            has = true;
+                        }
+                    });
+                    has
+                })
+            })
+            .count();
+        assert!(with_lets >= 8, "only {with_lets} seeds with let");
+    }
+
+    #[test]
+    fn corpus_avoids_cvc5_only_extensions() {
+        for s in parsed_seeds() {
+            let th = s.theories();
+            assert!(!th.contains(&Theory::Sets));
+            assert!(!th.contains(&Theory::Bags));
+            assert!(!th.contains(&Theory::FiniteFields));
+        }
+    }
+
+    #[test]
+    fn corpus_spans_standard_theories() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in parsed_seeds() {
+            seen.extend(s.theories());
+        }
+        for t in [
+            Theory::Ints,
+            Theory::Reals,
+            Theory::BitVectors,
+            Theory::Strings,
+            Theory::Arrays,
+            Theory::Uf,
+            Theory::Sequences,
+        ] {
+            assert!(seen.contains(&t), "no seed exercises {t}");
+        }
+    }
+}

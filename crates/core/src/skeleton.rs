@@ -1,0 +1,274 @@
+//! Skeleton extraction (paper §3.3, step 1): replace random atomic
+//! sub-formulas of a seed with `<placeholder>` markers while preserving the
+//! logical structure — quantifiers, `let` binders, and connectives — that
+//! Observation 2 identifies as bug-critical.
+
+use o4a_smtlib::{Command, Script, Sort, Symbol, Term};
+use rand::Rng;
+
+/// Tuning for skeleton extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct SkeletonConfig {
+    /// Probability of replacing each atomic sub-formula.
+    pub replace_probability: f64,
+    /// Upper bound on placeholders per script.
+    pub max_placeholders: usize,
+}
+
+impl Default for SkeletonConfig {
+    fn default() -> Self {
+        SkeletonConfig {
+            replace_probability: 0.6,
+            max_placeholders: 4,
+        }
+    }
+}
+
+/// A skeleton: the hollowed script plus bookkeeping about what it kept.
+#[derive(Clone, Debug)]
+pub struct Skeleton {
+    /// The script with placeholders in place of removed atoms.
+    pub script: Script,
+    /// Number of placeholders inserted.
+    pub placeholder_count: usize,
+    /// Declared variables visible to inserted terms (name, sort) — the
+    /// adaptation step matches generated-term variables against these.
+    pub variables: Vec<(Symbol, Sort)>,
+}
+
+/// Extracts a skeleton from a seed script.
+///
+/// Atomic Boolean sub-formulas (Boolean-valued applications whose head is
+/// not a connective) are replaced by placeholders with the configured
+/// probability; at least one placeholder is always inserted when any atom
+/// exists, so the skeleton is never a no-op.
+pub fn skeletonize(seed: &Script, cfg: SkeletonConfig, rng: &mut impl Rng) -> Skeleton {
+    let mut counter = 0u32;
+    let mut script = seed.clone();
+
+    // Collect atoms first so we can force at least one replacement.
+    let mut atom_total = 0usize;
+    for t in seed.assertions() {
+        atom_total += count_atoms(t);
+    }
+    let force_index = if atom_total > 0 {
+        Some(rng.gen_range(0..atom_total))
+    } else {
+        None
+    };
+
+    let mut seen = 0usize;
+    for term in script.assertions_mut() {
+        *term = replace_atoms(
+            term,
+            cfg,
+            rng,
+            &mut counter,
+            &mut seen,
+            force_index,
+        );
+    }
+
+    let variables = script
+        .declarations()
+        .into_iter()
+        .filter(|(_, args, _)| args.is_empty())
+        .map(|(name, _, ret)| (name, ret))
+        .collect();
+
+    Skeleton {
+        placeholder_count: counter as usize,
+        variables,
+        script,
+    }
+}
+
+/// True when a term is an *atomic formula* in the paper's sense: a
+/// Boolean-valued application whose head is not a logical connective.
+/// (Sort information is approximated structurally: comparison/predicate
+/// heads and Boolean constants/variables inside connectives.)
+fn is_atom(t: &Term) -> bool {
+    match t {
+        Term::App(_, _) => !t.is_logical_connective(),
+        Term::Const(o4a_smtlib::Value::Bool(_)) | Term::Var(_) => true,
+        _ => false,
+    }
+}
+
+fn count_atoms(t: &Term) -> usize {
+    match t {
+        Term::App(op, args) if t.is_logical_connective() => {
+            let _ = op;
+            args.iter().map(count_atoms).sum()
+        }
+        Term::Let(binds, body) => {
+            binds.iter().map(|(_, v)| count_atoms(v)).sum::<usize>() + count_atoms(body)
+        }
+        Term::Quant(_, _, body) => count_atoms(body),
+        t if is_atom(t) => 1,
+        _ => 0,
+    }
+}
+
+/// Walks the Boolean structure, replacing atoms. Only positions of Boolean
+/// sort are candidates: connective children, quantifier bodies, and `let`
+/// bodies in Boolean context (binder *values* are left untouched — their
+/// sort is unknown and replacing them would break well-sortedness).
+fn replace_atoms(
+    t: &Term,
+    cfg: SkeletonConfig,
+    rng: &mut impl Rng,
+    counter: &mut u32,
+    seen: &mut usize,
+    force_index: Option<usize>,
+) -> Term {
+    if is_atom(t) {
+        let my_index = *seen;
+        *seen += 1;
+        let forced = force_index == Some(my_index);
+        let replace = (*counter as usize) < cfg.max_placeholders
+            && (forced || rng.gen_bool(cfg.replace_probability));
+        if replace {
+            let p = Term::Placeholder(*counter);
+            *counter += 1;
+            return p;
+        }
+        return t.clone();
+    }
+    match t {
+        Term::App(op, args) if t.is_logical_connective() => Term::App(
+            op.clone(),
+            args.iter()
+                .map(|a| replace_atoms(a, cfg, rng, counter, seen, force_index))
+                .collect(),
+        ),
+        Term::Quant(q, vars, body) => Term::Quant(
+            *q,
+            vars.clone(),
+            Box::new(replace_atoms(body, cfg, rng, counter, seen, force_index)),
+        ),
+        Term::Let(binds, body) => {
+            // Binder values keep their atoms (counted but never replaced in
+            // non-Boolean positions; Boolean-valued binder values are rare
+            // and safely left intact).
+            for (_, v) in binds {
+                *seen += count_atoms(v);
+            }
+            Term::Let(
+                binds.clone(),
+                Box::new(replace_atoms(body, cfg, rng, counter, seen, force_index)),
+            )
+        }
+        other => other.clone(),
+    }
+}
+
+/// Strips `check-sat`/`get-model` commands from a skeleton script (the
+/// fuzzer re-appends them after filling).
+pub fn strip_commands(script: &mut Script) {
+    script
+        .commands
+        .retain(|c| !matches!(c, Command::CheckSat | Command::GetModel | Command::Exit));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_smtlib::parse_script;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn skeleton_always_inserts_at_least_one_placeholder() {
+        let seed = parse_script(
+            "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
+        )
+        .unwrap();
+        for i in 0..50 {
+            let mut r = StdRng::seed_from_u64(i);
+            let sk = skeletonize(&seed, SkeletonConfig::default(), &mut r);
+            assert!(sk.placeholder_count >= 1);
+            assert!(sk.script.has_placeholders());
+        }
+    }
+
+    #[test]
+    fn skeleton_preserves_quantifier_structure() {
+        // The paper's running example: (exists ((f Int)) <placeholder>).
+        let seed = parse_script(
+            "(declare-fun s () (Seq Int))\
+             (assert (exists ((f Int)) (distinct (seq.len s) 0)))(check-sat)",
+        )
+        .unwrap();
+        let cfg = SkeletonConfig {
+            replace_probability: 1.0,
+            max_placeholders: 8,
+        };
+        let sk = skeletonize(&seed, cfg, &mut rng());
+        let printed = sk.script.to_string();
+        assert!(
+            printed.contains("(exists ((f Int)) <placeholder>)"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn skeleton_respects_max_placeholders() {
+        let seed = parse_script(
+            "(declare-const a Bool)(declare-const b Bool)(declare-const c Bool)\
+             (declare-const d Bool)(declare-const e Bool)(declare-const f Bool)\
+             (assert (and a b c d e f))(check-sat)",
+        )
+        .unwrap();
+        let cfg = SkeletonConfig {
+            replace_probability: 1.0,
+            max_placeholders: 3,
+        };
+        let sk = skeletonize(&seed, cfg, &mut rng());
+        assert_eq!(sk.placeholder_count, 3);
+    }
+
+    #[test]
+    fn variables_collected_with_sorts() {
+        let seed = parse_script(
+            "(declare-const x Int)(declare-fun s () (Seq Int))\
+             (declare-fun f (Int) Int)\
+             (assert (> x (seq.len s)))(check-sat)",
+        )
+        .unwrap();
+        let sk = skeletonize(&seed, SkeletonConfig::default(), &mut rng());
+        // n-ary functions are not adaptation targets.
+        assert_eq!(sk.variables.len(), 2);
+        assert!(sk
+            .variables
+            .iter()
+            .any(|(n, s)| n.as_str() == "x" && *s == o4a_smtlib::Sort::Int));
+    }
+
+    #[test]
+    fn non_boolean_positions_untouched() {
+        // The arithmetic subterm (+ x 1) must never become a placeholder.
+        let seed = parse_script(
+            "(declare-const x Int)(assert (= (+ x 1) 2))(check-sat)",
+        )
+        .unwrap();
+        let cfg = SkeletonConfig {
+            replace_probability: 1.0,
+            max_placeholders: 8,
+        };
+        let sk = skeletonize(&seed, cfg, &mut rng());
+        assert_eq!(sk.placeholder_count, 1, "only the whole atom is replaced");
+        assert!(sk.script.to_string().contains("(assert <placeholder>)"));
+    }
+
+    #[test]
+    fn strip_commands_removes_check_sat() {
+        let mut s = parse_script("(assert true)(check-sat)(get-model)").unwrap();
+        strip_commands(&mut s);
+        assert_eq!(s.commands.len(), 1);
+    }
+}

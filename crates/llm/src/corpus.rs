@@ -1,0 +1,364 @@
+//! The embedded documentation corpus: one document per SMT theory, written
+//! in the style of the SMT-LIB theory pages and the Z3/cvc5 extension docs
+//! the paper's LLM phase consumes.
+//!
+//! Each document mixes prose with *signature lines* of the shape
+//!
+//! ```text
+//!   (seq.rev Seq) returns Seq; reverses the sequence.
+//! ```
+//!
+//! The simulated LLM "reads" these documents through a noisy signature
+//! extractor (`crate::llm`); side conditions that BNF cannot express (equal
+//! bit-widths, matching field moduli) appear only as prose — which is
+//! precisely why freshly-summarized grammars yield invalid terms until the
+//! self-correction loop repairs the generator.
+
+use o4a_smtlib::Theory;
+
+/// One theory's documentation.
+#[derive(Clone, Debug)]
+pub struct TheoryDoc {
+    /// The theory documented.
+    pub theory: Theory,
+    /// Document title (as it would appear on the website).
+    pub title: &'static str,
+    /// Where the document nominally comes from (SMT-LIB standard vs. a
+    /// solver-specific extension page) — extended theories are the ones
+    /// "only informally documented".
+    pub source: &'static str,
+    /// The document body.
+    pub text: &'static str,
+}
+
+/// Returns the whole corpus, one document per generator-relevant theory.
+pub fn corpus() -> Vec<TheoryDoc> {
+    vec![
+        TheoryDoc {
+            theory: Theory::Ints,
+            title: "Theory of Integer Arithmetic (Ints)",
+            source: "SMT-LIB standard",
+            text: r#"
+The Ints theory provides unbounded integers with the usual operations.
+Numerals denote non-negative integer constants; negative constants are
+written with unary minus.
+
+Core operations:
+  (+ Int Int) returns Int; addition, also n-ary.
+  (- Int Int) returns Int; subtraction; with one argument, negation.
+  (* Int Int) returns Int; multiplication, also n-ary.
+  (div Int Int) returns Int; Euclidean division.
+  (mod Int Int) returns Int; Euclidean remainder, always non-negative for positive divisors.
+  (abs Int) returns Int; absolute value.
+  ((_ divisible 3) Int) returns Bool; holds when the argument is divisible by the index.
+
+Predicates:
+  (<= Int Int) returns Bool; chainable.
+  (< Int Int) returns Bool; chainable.
+  (>= Int Int) returns Bool; chainable.
+  (> Int Int) returns Bool; chainable.
+  (= Int Int) returns Bool; equality, chainable.
+  (distinct Int Int) returns Bool; pairwise distinctness.
+
+Conversions shared with Reals:
+  (to_real Int) returns Real; injection.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Reals,
+            title: "Theory of Real Arithmetic (Reals)",
+            source: "SMT-LIB standard",
+            text: r#"
+The Reals theory interprets sorts and functions over the real numbers.
+Decimal literals such as 1.5 denote rational constants.
+
+Operations:
+  (+ Real Real) returns Real; addition, n-ary.
+  (- Real Real) returns Real; subtraction; unary minus with one argument.
+  (* Real Real) returns Real; multiplication, n-ary.
+  (/ Real Real) returns Real; division. Division by zero is left
+  uninterpreted by the standard; solvers totalize it.
+
+Predicates:
+  (<= Real Real) returns Bool; chainable.
+  (< Real Real) returns Bool; chainable.
+  (>= Real Real) returns Bool; chainable.
+  (> Real Real) returns Bool; chainable.
+  (= Real Real) returns Bool; equality.
+
+Mixed Int/Real operations:
+  (to_int Real) returns Int; floor conversion.
+  (is_int Real) returns Bool; integrality test.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::BitVectors,
+            title: "Theory of Fixed-Size Bit-Vectors (FixedSizeBitVectors)",
+            source: "SMT-LIB standard",
+            text: r#"
+Bit-vector sorts are written (_ BitVec n) for n >= 1. Literals are written
+in hexadecimal (#xA5) or binary (#b1010). All arithmetic is modulo 2^n.
+
+IMPORTANT side condition: every binary operation below requires both
+operands to have equal width n; the result has the same width unless noted.
+
+Bitwise and arithmetic operations:
+  (bvnot BV) returns BV; bitwise negation.
+  (bvneg BV) returns BV; two's-complement negation.
+  (bvand BV BV) returns BV; bitwise and.
+  (bvor BV BV) returns BV; bitwise or.
+  (bvxor BV BV) returns BV; bitwise xor.
+  (bvadd BV BV) returns BV; addition modulo 2^n.
+  (bvsub BV BV) returns BV; subtraction modulo 2^n.
+  (bvmul BV BV) returns BV; multiplication modulo 2^n.
+  (bvudiv BV BV) returns BV; unsigned division; x/0 is all-ones.
+  (bvurem BV BV) returns BV; unsigned remainder; x%0 is x.
+  (bvsdiv BV BV) returns BV; signed division (two's complement).
+  (bvsrem BV BV) returns BV; signed remainder.
+  (bvshl BV BV) returns BV; shift left.
+  (bvlshr BV BV) returns BV; logical shift right.
+  (bvashr BV BV) returns BV; arithmetic shift right.
+
+Comparison predicates (equal widths required):
+  (bvult BV BV) returns Bool; unsigned less-than.
+  (bvule BV BV) returns Bool; unsigned at-most.
+  (bvugt BV BV) returns Bool; unsigned greater-than.
+  (bvslt BV BV) returns Bool; signed less-than.
+  (bvsle BV BV) returns Bool; signed at-most.
+  (= BV BV) returns Bool; equality.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Strings,
+            title: "Theory of Unicode Strings (+ Z3 character extensions)",
+            source: "SMT-LIB standard / Z3 Unicode extension page",
+            text: r#"
+The Strings theory models finite sequences of Unicode characters. String
+literals are written in double quotes; a double quote inside a literal is
+escaped by doubling it.
+
+Core operations:
+  (str.++ String String) returns String; concatenation, n-ary.
+  (str.len String) returns Int; number of characters.
+  (str.at String Int) returns String; character at position, or "" out of range.
+  (str.substr String Int Int) returns String; substring (offset, length).
+  (str.contains String String) returns Bool; substring containment.
+  (str.prefixof String String) returns Bool; first is a prefix of second.
+  (str.suffixof String String) returns Bool; first is a suffix of second.
+  (str.indexof String String Int) returns Int; first match from offset, -1 if none.
+  (str.replace String String String) returns String; replace first occurrence.
+  (str.replace_all String String String) returns String; replace all occurrences.
+  (str.< String String) returns Bool; lexicographic order.
+  (str.<= String String) returns Bool; reflexive lexicographic order.
+
+Numeric conversions:
+  (str.to_int String) returns Int; value of a decimal numeral, -1 otherwise.
+  (str.from_int Int) returns String; decimal rendering of non-negative values.
+
+Z3 character (Unicode) extension:
+  (str.to_code String) returns Int; code point of a one-character string, -1 otherwise.
+  (str.from_code Int) returns String; one-character string for a valid code point.
+  (str.is_digit String) returns Bool; true for a single decimal digit.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Arrays,
+            title: "Theory of Functional Arrays with Extensionality (ArraysEx)",
+            source: "SMT-LIB standard",
+            text: r#"
+Arrays map an index sort to an element sort, written (Array I E). The
+examples below use integer indices and integer elements.
+
+Operations:
+  (select Array Int) returns Int; read at an index.
+  (store Array Int Int) returns Array; functional update.
+  (= Array Array) returns Bool; extensional equality.
+
+Constant arrays are written ((as const (Array Int Int)) v) where v is the
+default element.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Sequences,
+            title: "Theory of Sequences (cvc5 extension; partial Z3 support)",
+            source: "cvc5 extended-theories page",
+            text: r#"
+Sequences generalize strings to arbitrary element sorts. The sort of
+integer sequences is (Seq Int). The empty sequence must be annotated with
+its sort: (as seq.empty (Seq Int)). This theory is documented informally;
+several operations were added recently to model real-world sequences.
+
+Construction:
+  (seq.unit Elem) returns Seq; singleton sequence.
+  (seq.++ Seq Seq) returns Seq; concatenation, n-ary.
+
+Queries:
+  (seq.len Seq) returns Int; length.
+  (seq.nth Seq Int) returns Elem; element at position; out-of-range is
+  underspecified.
+  (seq.at Seq Int) returns Seq; unit sequence at position or empty.
+  (seq.contains Seq Seq) returns Bool; subsequence containment.
+  (seq.indexof Seq Seq Int) returns Int; first match from offset, -1 if none.
+  (seq.prefixof Seq Seq) returns Bool; prefix test.
+  (seq.suffixof Seq Seq) returns Bool; suffix test.
+
+Transformations (recently extended):
+  (seq.rev Seq) returns Seq; reversal.
+  (seq.extract Seq Int Int) returns Seq; subsequence (offset, length).
+  (seq.update Seq Int Seq) returns Seq; overwrite from position.
+  (seq.replace Seq Seq Seq) returns Seq; replace first occurrence.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Sets,
+            title: "Theory of Finite Sets and Relations (cvc5 extension)",
+            source: "cvc5 extended-theories page",
+            text: r#"
+Finite sets over an element sort are written (Set Int). Relations are sets
+of tuples: (Relation Int Int) abbreviates (Set (Tuple Int Int)). The empty
+set must be annotated: (as set.empty (Set Int)). This theory is specific
+to cvc5 and documented informally.
+
+Set operations:
+  (set.union Set Set) returns Set; union.
+  (set.inter Set Set) returns Set; intersection.
+  (set.minus Set Set) returns Set; difference.
+  (set.member Elem Set) returns Bool; membership.
+  (set.subset Set Set) returns Bool; inclusion.
+  (set.insert Elem Set) returns Set; insertion of one or more elements.
+  (set.singleton Elem) returns Set; singleton set.
+  (set.card Set) returns Int; cardinality.
+  (set.complement Set) returns Set; complement w.r.t. the element universe.
+
+Relation operations (tuples of arity >= 1):
+  (rel.join Rel Rel) returns Rel; relational join on the shared column.
+  (rel.product Rel Rel) returns RelProduct; cross product (arity grows).
+  (rel.transpose Rel) returns Rel; reverses every tuple.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Bags,
+            title: "Theory of Bags / Multisets (cvc5 extension)",
+            source: "cvc5 extended-theories page",
+            text: r#"
+Bags (multisets) count how many times each element occurs. The sort of
+integer bags is (Bag Int); the empty bag is (as bag.empty (Bag Int)).
+A literal bag with one element e occurring n times is written (bag e n).
+This theory is specific to cvc5.
+
+Operations:
+  (bag Elem Int) returns Bag; literal bag (element, multiplicity).
+  (bag.union_max Bag Bag) returns Bag; pointwise maximum of counts.
+  (bag.union_disjoint Bag Bag) returns Bag; pointwise sum of counts.
+  (bag.inter_min Bag Bag) returns Bag; pointwise minimum of counts.
+  (bag.difference_subtract Bag Bag) returns Bag; truncated count subtraction.
+  (bag.count Elem Bag) returns Int; multiplicity of an element.
+  (bag.card Bag) returns Int; total number of element occurrences.
+  (bag.member Elem Bag) returns Bool; positive multiplicity test.
+  (bag.subbag Bag Bag) returns Bool; pointwise count inclusion.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::FiniteFields,
+            title: "Theory of Finite Fields (cvc5 extension, 2022)",
+            source: "cvc5 extended-theories page",
+            text: r#"
+The finite-field theory models prime-order fields GF(p). The sort is
+written (_ FiniteField p) for a prime p. Field constants are written as
+annotated literals: (as ff3 (_ FiniteField 5)) denotes 3 in GF(5), and
+negative representatives are allowed: (as ff-1 (_ FiniteField 5)) is 4.
+
+IMPORTANT side condition: all operands of an operation must belong to the
+same field (equal modulus p). This recently added theory is documented
+only informally and its syntax is easy to get wrong: bare literals such as
+ff3 without the (as ... ) annotation are rejected by the parser.
+
+Operations:
+  (ff.add FF FF) returns FF; field addition, n-ary.
+  (ff.mul FF FF) returns FF; field multiplication, n-ary.
+  (ff.neg FF) returns FF; additive inverse.
+  (ff.bitsum FF FF) returns FF; positional sum: child i is scaled by 2^i.
+"#,
+        },
+        TheoryDoc {
+            theory: Theory::Core,
+            title: "Core Theory (Boolean connectives)",
+            source: "SMT-LIB standard",
+            text: r#"
+The Core theory defines the Boolean sort and connectives. All other
+theories build their atoms on top of it.
+
+Operations:
+  (not Bool) returns Bool; negation.
+  (and Bool Bool) returns Bool; conjunction, n-ary.
+  (or Bool Bool) returns Bool; disjunction, n-ary.
+  (xor Bool Bool) returns Bool; exclusive or.
+  (=> Bool Bool) returns Bool; implication, right-associative.
+  (= Bool Bool) returns Bool; equivalence.
+  (distinct Bool Bool) returns Bool; pairwise distinctness.
+  (ite Bool Bool Bool) returns Bool; conditional.
+"#,
+        },
+    ]
+}
+
+/// Looks up one theory's document.
+pub fn doc_for(theory: Theory) -> Option<TheoryDoc> {
+    corpus().into_iter().find(|d| d.theory == theory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_generator_theories() {
+        let c = corpus();
+        assert_eq!(c.len(), 10);
+        for t in [
+            Theory::Ints,
+            Theory::Reals,
+            Theory::BitVectors,
+            Theory::Strings,
+            Theory::Sequences,
+            Theory::Sets,
+            Theory::Bags,
+            Theory::FiniteFields,
+        ] {
+            assert!(doc_for(t).is_some(), "missing doc for {t}");
+        }
+    }
+
+    #[test]
+    fn extended_docs_are_marked_informal() {
+        for d in corpus() {
+            if d.theory.is_extended() {
+                assert!(
+                    d.source.contains("cvc5"),
+                    "{}: extended theory should come from a solver page",
+                    d.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn docs_contain_signature_lines() {
+        for d in corpus() {
+            let sigs = d
+                .text
+                .lines()
+                .filter(|l| l.trim_start().starts_with('(') && l.contains(" returns "))
+                .count();
+            assert!(sigs >= 3, "{} has too few signatures ({sigs})", d.title);
+        }
+    }
+
+    #[test]
+    fn side_conditions_live_in_prose_only() {
+        let bv = doc_for(Theory::BitVectors).unwrap();
+        assert!(bv.text.contains("equal width"));
+        let ff = doc_for(Theory::FiniteFields).unwrap();
+        assert!(ff.text.contains("same field"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # o4a-llm
+//!
+//! The LLM-assisted generator construction phase of Once4All (paper §3.2,
+//! Algorithm 1), built on a deterministic *simulated* LLM: it reads the
+//! embedded documentation [`corpus`], summarizes per-theory context-free
+//! grammars (with realistic imperfections), synthesizes term generators,
+//! and repairs them through the self-correction loop driven by solver
+//! parse errors.
+//!
+//! ```
+//! use o4a_llm::{construct_generators, corpus, ConstructOptions,
+//!               LlmProfile, SimulatedLlm, TypecheckValidator, Validator};
+//!
+//! let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
+//! let docs = corpus::corpus();
+//! let mut validators: Vec<Box<dyn Validator>> = vec![Box::new(TypecheckValidator)];
+//! let report = construct_generators(
+//!     &mut llm, &docs[..1], &mut validators, ConstructOptions::default());
+//! assert_eq!(report.generators.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+mod construct;
+mod generator;
+mod llm;
+mod profile;
+mod sig;
+
+pub use construct::{
+    construct_generators, measure_validity, ConstructOptions, ConstructionReport,
+    CorrectedGenerator, TypecheckValidator, Validator,
+};
+pub use corpus::{doc_for, TheoryDoc};
+pub use generator::{sample_rng, Flaw, GeneratorProgram, RawTerm};
+pub use llm::{classify_error, distill_errors, render_bnf, ErrorClass, SimulatedLlm};
+pub use profile::{LlmKind, LlmProfile, TheoryFlawRates};
+pub use sig::{extract_signatures, Signature, SortToken};

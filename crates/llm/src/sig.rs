@@ -1,0 +1,278 @@
+//! Signature extraction from documentation text.
+//!
+//! A signature line has the shape
+//!
+//! ```text
+//!   (bvadd BV BV) returns BV; addition modulo 2^n.
+//!   ((_ divisible 3) Int) returns Bool; divisibility by the index.
+//! ```
+//!
+//! The head may itself be a parenthesized indexed identifier. Argument and
+//! result positions use *sort tokens* ([`SortToken`]); everything the
+//! extractor cannot map is skipped (as an LLM skips what it cannot fit
+//! into a grammar).
+
+use std::fmt;
+
+/// Abstract sort tokens used in documentation signatures.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SortToken {
+    /// `Bool`.
+    Bool,
+    /// `Int`.
+    Int,
+    /// `Real`.
+    Real,
+    /// `String`.
+    Str,
+    /// `BV` — bit-vectors (width chosen by the generator).
+    Bv,
+    /// `FF` — finite-field elements.
+    Ff,
+    /// `Seq` — integer sequences.
+    Seq,
+    /// `Set` — integer sets.
+    Set,
+    /// `Bag` — integer bags.
+    Bag,
+    /// `Rel` — binary integer relations.
+    Rel,
+    /// `Elem` — the element sort (instantiated to `Int`).
+    Elem,
+    /// `Array` — `(Array Int Int)`.
+    Array,
+}
+
+impl SortToken {
+    /// Parses a documentation sort token.
+    pub fn parse(s: &str) -> Option<SortToken> {
+        Some(match s {
+            "Bool" => SortToken::Bool,
+            "Int" => SortToken::Int,
+            "Real" => SortToken::Real,
+            "String" => SortToken::Str,
+            "BV" => SortToken::Bv,
+            "FF" => SortToken::Ff,
+            "Seq" => SortToken::Seq,
+            "Set" => SortToken::Set,
+            "Bag" => SortToken::Bag,
+            "Rel" => SortToken::Rel,
+            "Elem" => SortToken::Elem,
+            "Array" => SortToken::Array,
+            _ => return None,
+        })
+    }
+
+    /// The grammar nonterminal for this token.
+    pub fn nonterminal(self) -> &'static str {
+        match self {
+            SortToken::Bool => "BoolTerm",
+            SortToken::Int => "IntTerm",
+            SortToken::Real => "RealTerm",
+            SortToken::Str => "StringTerm",
+            SortToken::Bv => "BVTerm",
+            SortToken::Ff => "FFTerm",
+            SortToken::Seq => "SeqTerm",
+            SortToken::Set => "SetTerm",
+            SortToken::Bag => "BagTerm",
+            SortToken::Rel => "RelTerm",
+            SortToken::Elem => "ElemTerm",
+            SortToken::Array => "ArrayTerm",
+        }
+    }
+}
+
+impl fmt::Display for SortToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.nonterminal())
+    }
+}
+
+/// An extracted operator signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The operator head as literal grammar tokens (single token for plain
+    /// operators; several for indexed heads like `(_ divisible 3)`).
+    pub head_tokens: Vec<String>,
+    /// Argument sort tokens.
+    pub args: Vec<SortToken>,
+    /// Result sort token.
+    pub ret: SortToken,
+}
+
+impl Signature {
+    /// Display name of the operator (first meaningful head token).
+    pub fn op_name(&self) -> &str {
+        self.head_tokens
+            .iter()
+            .find(|t| *t != "(" && *t != ")" && *t != "_")
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
+/// Extracts all parseable signatures from documentation text.
+pub fn extract_signatures(text: &str) -> Vec<Signature> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('(') {
+            continue;
+        }
+        let Some(ret_pos) = line.find(" returns ") else {
+            continue;
+        };
+        let sexpr = &line[..ret_pos];
+        let rest = &line[ret_pos + " returns ".len()..];
+        let ret_token = rest
+            .split([';', ' ', '.'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        let Some(ret) = SortToken::parse(ret_token) else {
+            continue;
+        };
+        let Some(sig) = parse_sig_sexpr(sexpr, ret) else {
+            continue;
+        };
+        out.push(sig);
+    }
+    out
+}
+
+/// Parses `(head args...)` where head is an atom or a nested s-expr.
+fn parse_sig_sexpr(s: &str, ret: SortToken) -> Option<Signature> {
+    let tokens = tokenize(s);
+    if tokens.first().map(String::as_str) != Some("(")
+        || tokens.last().map(String::as_str) != Some(")")
+    {
+        return None;
+    }
+    let inner = &tokens[1..tokens.len() - 1];
+    if inner.is_empty() {
+        return None;
+    }
+    // Head: either a single atom, or a balanced sub-expression.
+    let (head_tokens, arg_start) = if inner[0] == "(" {
+        let mut depth = 0usize;
+        let mut end = 0usize;
+        for (i, t) in inner.iter().enumerate() {
+            if t == "(" {
+                depth += 1;
+            } else if t == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+        }
+        (inner[..=end].to_vec(), end + 1)
+    } else {
+        (vec![inner[0].clone()], 1)
+    };
+    let mut args = Vec::new();
+    for t in &inner[arg_start..] {
+        let tok = SortToken::parse(t)?;
+        args.push(tok);
+    }
+    Some(Signature {
+        head_tokens,
+        args,
+        ret,
+    })
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | ')' => {
+                if !buf.is_empty() {
+                    out.push(std::mem::take(&mut buf));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !buf.is_empty() {
+                    out.push(std::mem::take(&mut buf));
+                }
+            }
+            other => buf.push(other),
+        }
+    }
+    if !buf.is_empty() {
+        out.push(buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::doc_for;
+    use o4a_smtlib::Theory;
+
+    #[test]
+    fn extracts_plain_signatures() {
+        let sigs = extract_signatures("  (bvadd BV BV) returns BV; addition modulo 2^n.\n");
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].op_name(), "bvadd");
+        assert_eq!(sigs[0].args, vec![SortToken::Bv, SortToken::Bv]);
+        assert_eq!(sigs[0].ret, SortToken::Bv);
+    }
+
+    #[test]
+    fn extracts_indexed_heads() {
+        let sigs = extract_signatures(
+            "  ((_ divisible 3) Int) returns Bool; divisibility test.\n",
+        );
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].op_name(), "divisible");
+        assert_eq!(
+            sigs[0].head_tokens,
+            vec!["(", "_", "divisible", "3", ")"]
+        );
+        assert_eq!(sigs[0].args, vec![SortToken::Int]);
+    }
+
+    #[test]
+    fn skips_unmappable_lines() {
+        let sigs = extract_signatures(
+            "  (rel.product Rel Rel) returns RelProduct; unknown return token.\n\
+             prose line\n\
+             (str.len String) returns Int; ok.\n",
+        );
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].op_name(), "str.len");
+    }
+
+    #[test]
+    fn corpus_docs_yield_signatures() {
+        for theory in [
+            Theory::Ints,
+            Theory::Reals,
+            Theory::BitVectors,
+            Theory::Strings,
+            Theory::Sequences,
+            Theory::Sets,
+            Theory::Bags,
+            Theory::FiniteFields,
+            Theory::Arrays,
+            Theory::Core,
+        ] {
+            let doc = doc_for(theory).unwrap();
+            let sigs = extract_signatures(doc.text);
+            assert!(sigs.len() >= 3, "{theory}: only {} sigs", sigs.len());
+        }
+    }
+
+    #[test]
+    fn seq_doc_contains_rev() {
+        let doc = doc_for(Theory::Sequences).unwrap();
+        let sigs = extract_signatures(doc.text);
+        assert!(sigs.iter().any(|s| s.op_name() == "seq.rev"));
+        assert!(sigs.iter().any(|s| s.op_name() == "seq.nth"));
+    }
+}

@@ -1,0 +1,412 @@
+//! # o4a-reduce
+//!
+//! A ddSMT-style delta debugger: shrinks bug-triggering SMT-LIB scripts
+//! while a caller-supplied property (usually "the bug still reproduces")
+//! keeps holding. This is the paper's bug-reduction step that turns fuzzer
+//! output into the minimal reports developers receive.
+//!
+//! The reducer applies, to fixpoint:
+//! 1. **Command removal** — drop whole `assert`s and unused declarations.
+//! 2. **Conjunct pruning** — shrink `and`/`or` argument lists.
+//! 3. **Subterm simplification** — replace subterms by a child of the same
+//!    sort or by the sort's default constant; drop quantifiers and `let`s
+//!    whose binders are unused.
+//!
+//! ```
+//! use o4a_reduce::{reduce_script, ReduceOptions};
+//! let script: o4a_smtlib::Script =
+//!     "(declare-const x Int)(declare-const y Int)\
+//!      (assert (and (> x 5) (< y 0)))(check-sat)".parse()?;
+//! // Property: the formula still mentions a strict lower bound on x.
+//! let reduced = reduce_script(&script, ReduceOptions::default(),
+//!     |s| s.to_string().contains("(> x 5)"));
+//! assert!(reduced.to_string().contains("(> x 5)"));
+//! assert!(!reduced.to_string().contains("y"), "{reduced}");
+//! # Ok::<(), o4a_smtlib::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use o4a_smtlib::typeck::{check_term, SortContext};
+use o4a_smtlib::{Command, Op, Script, Sort, Term, Value};
+
+/// Reduction tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceOptions {
+    /// Maximum fixpoint rounds.
+    pub max_rounds: usize,
+    /// Maximum property evaluations (each usually re-runs a solver).
+    pub max_checks: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            max_rounds: 8,
+            max_checks: 4_000,
+        }
+    }
+}
+
+/// Shrinks `script` while `property` holds. The returned script always
+/// satisfies the property (the original is returned when nothing shrinks).
+pub fn reduce_script(
+    script: &Script,
+    options: ReduceOptions,
+    mut property: impl FnMut(&Script) -> bool,
+) -> Script {
+    let mut current = script.clone();
+    if !property(&current) {
+        return current;
+    }
+    let mut checks = 0usize;
+    for _ in 0..options.max_rounds {
+        let mut progressed = false;
+        progressed |= remove_commands(&mut current, &mut property, &mut checks, options);
+        progressed |= shrink_terms(&mut current, &mut property, &mut checks, options);
+        progressed |= drop_unused_declarations(&mut current, &mut property, &mut checks, options);
+        if !progressed || checks >= options.max_checks {
+            break;
+        }
+    }
+    current
+}
+
+/// ddmin-style command removal: try dropping each removable command.
+fn remove_commands(
+    current: &mut Script,
+    property: &mut impl FnMut(&Script) -> bool,
+    checks: &mut usize,
+    options: ReduceOptions,
+) -> bool {
+    let mut progressed = false;
+    let mut i = 0;
+    while i < current.commands.len() {
+        if *checks >= options.max_checks {
+            break;
+        }
+        let removable = matches!(
+            current.commands[i],
+            Command::Assert(_) | Command::SetLogic(_) | Command::SetOption(_, _)
+                | Command::SetInfo(_, _)
+        );
+        if removable {
+            let mut candidate = current.clone();
+            candidate.commands.remove(i);
+            *checks += 1;
+            if property(&candidate) {
+                *current = candidate;
+                progressed = true;
+                continue; // same index now holds the next command
+            }
+        }
+        i += 1;
+    }
+    progressed
+}
+
+/// Drops declarations whose symbols no longer occur.
+fn drop_unused_declarations(
+    current: &mut Script,
+    property: &mut impl FnMut(&Script) -> bool,
+    checks: &mut usize,
+    options: ReduceOptions,
+) -> bool {
+    let mut used: std::collections::BTreeSet<o4a_smtlib::Symbol> = Default::default();
+    for t in current.assertions() {
+        used.extend(t.free_vars());
+    }
+    let mut progressed = false;
+    let mut i = 0;
+    while i < current.commands.len() {
+        if *checks >= options.max_checks {
+            break;
+        }
+        let unused = current.commands[i]
+            .declared_symbol()
+            .is_some_and(|s| !used.contains(s));
+        if unused {
+            let mut candidate = current.clone();
+            candidate.commands.remove(i);
+            *checks += 1;
+            if property(&candidate) {
+                *current = candidate;
+                progressed = true;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    progressed
+}
+
+/// Enumerates simplification candidates for one term, smallest-first.
+fn simplifications(term: &Term, sort: Option<&Sort>) -> Vec<Term> {
+    let mut out = Vec::new();
+    match term {
+        Term::App(op, args) => {
+            // Same-sort child promotion for connectives and chainable ops.
+            if matches!(op, Op::And | Op::Or | Op::Xor | Op::Implies) {
+                out.extend(args.iter().cloned());
+                if args.len() > 2 {
+                    for skip in 0..args.len() {
+                        let mut fewer = args.clone();
+                        fewer.remove(skip);
+                        out.push(Term::App(op.clone(), fewer));
+                    }
+                }
+            }
+            if matches!(op, Op::Not) {
+                out.extend(args.iter().cloned());
+            }
+            if matches!(op, Op::Ite) && args.len() == 3 {
+                out.push(args[1].clone());
+                out.push(args[2].clone());
+            }
+        }
+        Term::Quant(_, _, body) => {
+            // Dropping a binder is valid when the body has no bound vars
+            // free; the type check below guards it.
+            out.push((**body).clone());
+        }
+        Term::Let(_, body) => {
+            out.push((**body).clone());
+        }
+        _ => {}
+    }
+    if let Some(s) = sort {
+        out.push(Term::Const(Value::default_of(s)));
+    }
+    out
+}
+
+/// One pass of top-down subterm simplification over all assertions.
+fn shrink_terms(
+    current: &mut Script,
+    property: &mut impl FnMut(&Script) -> bool,
+    checks: &mut usize,
+    options: ReduceOptions,
+) -> bool {
+    let Ok(ctx) = SortContext::from_script(current) else {
+        return false;
+    };
+    let mut progressed = false;
+    let n_asserts = current.assertions().count();
+    for a_idx in 0..n_asserts {
+        loop {
+            if *checks >= options.max_checks {
+                return progressed;
+            }
+            let term = current
+                .assertions()
+                .nth(a_idx)
+                .expect("index in range")
+                .clone();
+            let Some(replacement) = find_one_shrink(&term, &ctx, current, property, checks, a_idx)
+            else {
+                break;
+            };
+            let t = current
+                .assertions_mut()
+                .nth(a_idx)
+                .expect("index in range");
+            *t = replacement;
+            progressed = true;
+        }
+    }
+    progressed
+}
+
+/// Finds the first accepted single-subterm shrink of assertion `a_idx`.
+fn find_one_shrink(
+    term: &Term,
+    ctx: &SortContext,
+    current: &Script,
+    property: &mut impl FnMut(&Script) -> bool,
+    checks: &mut usize,
+    a_idx: usize,
+) -> Option<Term> {
+    // Enumerate positions pre-order; for each, try candidates.
+    let size = term.size();
+    for pos in 0..size {
+        let sub = nth_subterm(term, pos)?;
+        // Skip binder-scoped internals: simplifying them risks unbound vars;
+        // the type check below catches any slip.
+        let sort = check_term(sub, ctx).ok();
+        for candidate_sub in simplifications(sub, sort.as_ref()) {
+            if candidate_sub == *sub || candidate_sub.size() >= sub.size() {
+                continue;
+            }
+            let candidate_term = replace_nth(term, pos, &candidate_sub);
+            let mut candidate = current.clone();
+            *candidate
+                .assertions_mut()
+                .nth(a_idx)
+                .expect("index in range") = candidate_term.clone();
+            if o4a_smtlib::typeck::check_script(&candidate).is_err() {
+                continue;
+            }
+            *checks += 1;
+            if property(&candidate) {
+                return Some(candidate_term);
+            }
+        }
+    }
+    None
+}
+
+fn nth_subterm(term: &Term, n: usize) -> Option<&Term> {
+    let mut i = 0usize;
+    let mut found = None;
+    term.visit(&mut |t| {
+        if i == n && found.is_none() {
+            found = Some(t);
+        }
+        i += 1;
+    });
+    found
+}
+
+fn replace_nth(term: &Term, n: usize, replacement: &Term) -> Term {
+    fn go(t: &Term, n: usize, replacement: &Term, i: &mut usize) -> Term {
+        let my = *i;
+        *i += 1;
+        if my == n {
+            return replacement.clone();
+        }
+        match t {
+            Term::App(op, args) => Term::App(
+                op.clone(),
+                args.iter().map(|a| go(a, n, replacement, i)).collect(),
+            ),
+            Term::Let(binds, body) => Term::Let(
+                binds
+                    .iter()
+                    .map(|(s, v)| (s.clone(), go(v, n, replacement, i)))
+                    .collect(),
+                Box::new(go(body, n, replacement, i)),
+            ),
+            Term::Quant(q, vars, body) => {
+                Term::Quant(*q, vars.clone(), Box::new(go(body, n, replacement, i)))
+            }
+            other => other.clone(),
+        }
+    }
+    let mut i = 0usize;
+    go(term, n, replacement, &mut i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_smtlib::parse_script;
+
+    fn reduce_with(text: &str, prop: impl FnMut(&Script) -> bool) -> Script {
+        let script = parse_script(text).unwrap();
+        reduce_script(&script, ReduceOptions::default(), prop)
+    }
+
+    #[test]
+    fn removes_irrelevant_assertions() {
+        let out = reduce_with(
+            "(declare-const x Int)(declare-const y Int)\
+             (assert (> x 5))(assert (< y 0))(assert (= (* y y) 4))(check-sat)",
+            |s| s.to_string().contains("(> x 5)"),
+        );
+        assert_eq!(out.assertions().count(), 1);
+        assert!(!out.to_string().contains("declare-const y"));
+    }
+
+    #[test]
+    fn shrinks_conjunctions() {
+        let out = reduce_with(
+            "(declare-const x Int)\
+             (assert (and (> x 5) (< x 100) (distinct x 7)))(check-sat)",
+            |s| s.to_string().contains("(> x 5)"),
+        );
+        assert_eq!(out.to_string(), "(declare-const x Int)\n(assert (> x 5))\n(check-sat)");
+    }
+
+    #[test]
+    fn drops_unused_quantifier() {
+        let out = reduce_with(
+            "(declare-const x Int)\
+             (assert (exists ((f Int)) (> x 5)))(check-sat)",
+            |s| s.to_string().contains("(> x 5)"),
+        );
+        assert!(!out.to_string().contains("exists"), "{out}");
+    }
+
+    #[test]
+    fn keeps_quantifier_when_property_needs_it() {
+        // The paper's Observation 2: the quantifier can be the trigger.
+        let out = reduce_with(
+            "(declare-const x Int)\
+             (assert (exists ((f Int)) (> x 5)))(check-sat)",
+            |s| {
+                let t = s.to_string();
+                t.contains("exists") && t.contains("(> x 5)")
+            },
+        );
+        assert!(out.to_string().contains("exists"));
+    }
+
+    #[test]
+    fn result_always_satisfies_property() {
+        let texts = [
+            "(declare-const a Bool)(declare-const b Bool)\
+             (assert (or a b))(assert (not a))(check-sat)",
+            "(declare-const s (Seq Int))\
+             (assert (exists ((f Int)) (distinct (seq.len (seq.rev s)) 0)))(check-sat)",
+        ];
+        for text in texts {
+            let needle = "seq.rev";
+            let prop = |s: &Script| {
+                let t = s.to_string();
+                t.contains(needle) || t.contains("(or a b)")
+            };
+            let out = reduce_with(text, prop);
+            let t = out.to_string();
+            assert!(t.contains(needle) || t.contains("(or a b)"), "{t}");
+        }
+    }
+
+    #[test]
+    fn reduction_keeps_scripts_well_sorted() {
+        let out = reduce_with(
+            "(declare-const x Int)(declare-const s String)\
+             (assert (and (> x (str.len s)) (str.prefixof \"a\" s)))(check-sat)",
+            |s| s.to_string().contains("str.len"),
+        );
+        o4a_smtlib::typeck::check_script(&out).unwrap();
+        assert!(out.to_string().contains("str.len"));
+    }
+
+    #[test]
+    fn noop_when_property_fails_upfront() {
+        let script = parse_script("(assert true)(check-sat)").unwrap();
+        let out = reduce_script(&script, ReduceOptions::default(), |_| false);
+        assert_eq!(out, script);
+    }
+
+    #[test]
+    fn figure1_style_reduction() {
+        // Start from a bloated variant of the paper's Figure 1 formula and
+        // reduce to the seq.rev/seq.len/quantifier core.
+        let out = reduce_with(
+            "(declare-fun s () (Seq Int))(declare-const pad Int)\
+             (assert (> pad 0))\
+             (assert (exists ((f Int)) (and (distinct (seq.len (seq.rev s)) \
+             (seq.nth (as seq.empty (Seq Int)) (div 0 0))) (= pad pad))))\
+             (check-sat)",
+            |s| {
+                let t = s.to_string();
+                t.contains("seq.rev") && t.contains("exists")
+            },
+        );
+        let t = out.to_string();
+        assert!(!t.contains("pad"), "{t}");
+        assert!(t.contains("seq.rev"));
+        o4a_smtlib::typeck::check_script(&out).unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! Error types for parsing, sort checking, and evaluation.
+
+use crate::{Sort, Symbol};
+use std::fmt;
+
+/// An error produced while lexing or parsing SMT-LIB text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable message in solver style, e.g.
+    /// `"unexpected token ')' expecting a term"`.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given input offset.
+    pub fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced while sort-checking a term or script.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SortError {
+    /// A symbol was used but never declared or bound.
+    UnknownSymbol(Symbol),
+    /// A function symbol was re-declared.
+    Redeclaration(Symbol),
+    /// An operator received the wrong number of arguments.
+    Arity {
+        /// Operator spelling.
+        op: String,
+        /// What the theory requires (prose, e.g. "exactly 2").
+        expected: String,
+        /// What the term supplied.
+        got: usize,
+    },
+    /// An argument had the wrong sort.
+    ArgSort {
+        /// Operator spelling.
+        op: String,
+        /// Zero-based argument position.
+        index: usize,
+        /// Required sort (prose, to allow families like "any (Seq _)").
+        expected: String,
+        /// Actual sort.
+        got: Sort,
+    },
+    /// Bit-vector operands of unequal width where equal widths are required.
+    WidthMismatch {
+        /// Operator spelling.
+        op: String,
+        /// Left width.
+        left: u32,
+        /// Right width.
+        right: u32,
+    },
+    /// An indexed operator's indices are out of range for the operand.
+    BadIndex {
+        /// Operator spelling with indices.
+        op: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// `rel.join`/`rel.product` applied to non-relations or nullary
+    /// relations (the cvc5 issue #11903 family).
+    BadRelation {
+        /// Operator spelling.
+        op: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Placeholders are not valid in finished formulas.
+    PlaceholderPresent,
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::UnknownSymbol(s) => {
+                write!(f, "unknown constant or function symbol '{s}'")
+            }
+            SortError::Redeclaration(s) => write!(f, "symbol '{s}' declared twice"),
+            SortError::Arity { op, expected, got } => write!(
+                f,
+                "invalid number of arguments to '{op}': expected {expected}, got {got}"
+            ),
+            SortError::ArgSort {
+                op,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "argument {index} of '{op}' has sort {got} but {expected} was expected"
+            ),
+            SortError::WidthMismatch { op, left, right } => write!(
+                f,
+                "operands of '{op}' must have equal bit-width, got {left} and {right}"
+            ),
+            SortError::BadIndex { op, reason } => {
+                write!(f, "invalid indices for '{op}': {reason}")
+            }
+            SortError::BadRelation { op, reason } => {
+                write!(f, "invalid relational operation '{op}': {reason}")
+            }
+            SortError::PlaceholderPresent => {
+                f.write_str("formula still contains skeleton placeholders")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+/// An error produced by the golden evaluator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A symbol had no interpretation in the model.
+    UnassignedSymbol(Symbol),
+    /// Arithmetic overflowed the fixed-precision representation.
+    Overflow,
+    /// A quantifier could not be decided within the bounded domain.
+    Incomplete,
+    /// The evaluation step budget was exhausted.
+    BudgetExhausted,
+    /// The term was ill-sorted (should have been caught by `typeck`).
+    IllSorted(String),
+    /// A placeholder cannot be evaluated.
+    Placeholder,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnassignedSymbol(s) => write!(f, "no model value for symbol '{s}'"),
+            EvalError::Overflow => f.write_str("arithmetic overflow during evaluation"),
+            EvalError::Incomplete => {
+                f.write_str("quantifier undecidable within the bounded domain")
+            }
+            EvalError::BudgetExhausted => f.write_str("evaluation budget exhausted"),
+            EvalError::IllSorted(m) => write!(f, "ill-sorted term during evaluation: {m}"),
+            EvalError::Placeholder => f.write_str("cannot evaluate a skeleton placeholder"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = SortError::WidthMismatch {
+            op: "bvadd".into(),
+            left: 8,
+            right: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bvadd"));
+        assert!(msg.contains("8"));
+        assert!(msg.contains("16"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let e = ParseError::new(42, "unexpected ')'");
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ParseError::new(0, "x"));
+        takes_err(SortError::PlaceholderPresent);
+        takes_err(EvalError::Overflow);
+    }
+}

@@ -1,0 +1,345 @@
+//! Tokenizer for SMT-LIB concrete syntax.
+
+use crate::{ParseError, Rational};
+
+/// A lexical token with its byte offset in the input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpannedToken {
+    /// Byte offset where the token starts.
+    pub offset: usize,
+    /// The token itself.
+    pub token: Token,
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// A simple or `|quoted|` symbol (quoting removed).
+    Symbol(String),
+    /// A `:keyword`.
+    Keyword(String),
+    /// An unsigned integer literal.
+    Numeral(i128),
+    /// A decimal literal, e.g. `1.5`.
+    Decimal(Rational),
+    /// `#x...` or `#b...` bit-vector literal: (width, bits).
+    BitVecLit(u32, u128),
+    /// A string literal (escapes resolved).
+    StringLit(String),
+}
+
+impl Token {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::Symbol(s) => format!("symbol '{s}'"),
+            Token::Keyword(k) => format!("keyword ':{k}'"),
+            Token::Numeral(n) => format!("numeral {n}"),
+            Token::Decimal(_) => "decimal literal".into(),
+            Token::BitVecLit(w, _) => format!("bit-vector literal of width {w}"),
+            Token::StringLit(_) => "string literal".into(),
+        }
+    }
+}
+
+/// Tokenizes SMT-LIB text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings/quoted symbols, malformed
+/// `#x`/`#b` literals, oversized numerals, or characters outside the SMT-LIB
+/// character set.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(SpannedToken {
+                    offset: i,
+                    token: Token::LParen,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedToken {
+                    offset: i,
+                    token: Token::RParen,
+                });
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'"' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Keep multi-byte UTF-8 intact.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                out.push(SpannedToken {
+                    offset: start,
+                    token: Token::StringLit(s),
+                });
+            }
+            '|' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'|' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "unterminated quoted symbol"));
+                }
+                out.push(SpannedToken {
+                    offset: start,
+                    token: Token::Symbol(input[begin..i].to_string()),
+                });
+                i += 1;
+            }
+            '#' => {
+                let start = i;
+                i += 1;
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "dangling '#'"));
+                }
+                let radix_char = bytes[i] as char;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let digits = &input[begin..i];
+                if digits.is_empty() {
+                    return Err(ParseError::new(start, "empty bit-vector literal"));
+                }
+                let (width, bits) = match radix_char {
+                    'x' | 'X' => {
+                        let bits = u128::from_str_radix(digits, 16).map_err(|_| {
+                            ParseError::new(start, format!("invalid hex literal '#x{digits}'"))
+                        })?;
+                        ((digits.len() * 4) as u32, bits)
+                    }
+                    'b' | 'B' => {
+                        let bits = u128::from_str_radix(digits, 2).map_err(|_| {
+                            ParseError::new(start, format!("invalid binary literal '#b{digits}'"))
+                        })?;
+                        (digits.len() as u32, bits)
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            start,
+                            format!("unknown literal prefix '#{other}'"),
+                        ))
+                    }
+                };
+                if width > 128 {
+                    return Err(ParseError::new(
+                        start,
+                        "bit-vector literals wider than 128 bits are not supported",
+                    ));
+                }
+                out.push(SpannedToken {
+                    offset: start,
+                    token: Token::BitVecLit(width, bits),
+                });
+            }
+            ':' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && is_symbol_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.push(SpannedToken {
+                    offset: start,
+                    token: Token::Keyword(input[begin..i].to_string()),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    let frac_begin = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let whole: i128 = input[start..frac_begin - 1].parse().map_err(|_| {
+                        ParseError::new(start, "decimal literal too large")
+                    })?;
+                    let frac_str = &input[frac_begin..i];
+                    if frac_str.is_empty() {
+                        return Err(ParseError::new(start, "decimal literal missing digits"));
+                    }
+                    let frac: i128 = frac_str
+                        .parse()
+                        .map_err(|_| ParseError::new(start, "decimal literal too large"))?;
+                    let den = 10i128
+                        .checked_pow(frac_str.len() as u32)
+                        .ok_or_else(|| ParseError::new(start, "decimal literal too precise"))?;
+                    let num = whole
+                        .checked_mul(den)
+                        .and_then(|w| w.checked_add(frac))
+                        .ok_or_else(|| ParseError::new(start, "decimal literal too large"))?;
+                    let r = Rational::new(num, den)
+                        .ok_or_else(|| ParseError::new(start, "decimal literal too large"))?;
+                    out.push(SpannedToken {
+                        offset: start,
+                        token: Token::Decimal(r),
+                    });
+                } else {
+                    let n: i128 = input[start..i]
+                        .parse()
+                        .map_err(|_| ParseError::new(start, "numeral too large"))?;
+                    out.push(SpannedToken {
+                        offset: start,
+                        token: Token::Numeral(n),
+                    });
+                }
+            }
+            _ if is_symbol_byte(bytes[i]) => {
+                let start = i;
+                while i < bytes.len() && is_symbol_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.push(SpannedToken {
+                    offset: start,
+                    token: Token::Symbol(input[start..i].to_string()),
+                });
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_symbol_byte(b: u8) -> bool {
+    let c = b as char;
+    c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("(assert (> x 10))"),
+            vec![
+                Token::LParen,
+                Token::Symbol("assert".into()),
+                Token::LParen,
+                Token::Symbol(">".into()),
+                Token::Symbol("x".into()),
+                Token::Numeral(10),
+                Token::RParen,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("; hello\n42"), vec![Token::Numeral(42)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a""b""#),
+            vec![Token::StringLit("a\"b".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        assert_eq!(toks("|a b|"), vec![Token::Symbol("a b".into())]);
+    }
+
+    #[test]
+    fn bitvector_literals() {
+        assert_eq!(toks("#xA5"), vec![Token::BitVecLit(8, 0xa5)]);
+        assert_eq!(toks("#b101"), vec![Token::BitVecLit(3, 0b101)]);
+    }
+
+    #[test]
+    fn decimals() {
+        assert_eq!(
+            toks("1.5"),
+            vec![Token::Decimal(Rational::new(3, 2).unwrap())]
+        );
+        assert_eq!(
+            toks("0.25"),
+            vec![Token::Decimal(Rational::new(1, 4).unwrap())]
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(
+            toks(":named"),
+            vec![Token::Keyword("named".into())]
+        );
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("|abc").is_err());
+        assert!(tokenize("#q12").is_err());
+        assert!(tokenize("[").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo\""), vec![Token::StringLit("héllo".into())]);
+    }
+}

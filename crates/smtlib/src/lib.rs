@@ -1,0 +1,62 @@
+//! # o4a-smtlib
+//!
+//! The SMT-LIB 2 substrate for the Once4All reproduction: sorts, values,
+//! terms and operators across ten theories (Core, Ints, Reals, BitVectors,
+//! Strings, Arrays, UF, and the extended Sequences, Sets/Relations, Bags,
+//! FiniteFields), together with a lexer, parser, printer, sort checker,
+//! model representation, and the *golden evaluator* that pins the intended
+//! bounded semantics both simulated solvers implement.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use o4a_smtlib::{parse_script, typeck};
+//!
+//! let script = parse_script(
+//!     "(declare-const x Int)\n(assert (> x 41))\n(check-sat)",
+//! )?;
+//! typeck::check_script(&script)?;
+//! assert_eq!(script.to_string().lines().count(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Design notes
+//!
+//! * **Bounded golden semantics.** [`eval`] defines evaluation for ground
+//!   terms plus quantifiers over finite candidate domains. Partial functions
+//!   are totalized with documented conventions (`div`-by-zero = 0,
+//!   out-of-range `seq.nth` = element default, `str.to_int` of a non-numeral
+//!   = -1). Both simulated solvers in `o4a-solvers` are independently written
+//!   against this contract.
+//! * **Placeholders.** [`Term::Placeholder`] is the `<placeholder>` marker
+//!   produced by skeleton extraction; it type-checks as `Bool` and prints a
+//!   deliberately invalid token so unfinished skeletons cannot be solved.
+
+#![warn(missing_docs)]
+
+mod command;
+mod error;
+pub mod eval;
+mod lexer;
+mod model;
+mod op;
+mod parser;
+mod printer;
+mod sort;
+mod symbol;
+mod term;
+mod theory;
+pub mod typeck;
+mod value;
+
+pub use command::{Command, Script};
+pub use error::{EvalError, ParseError, SortError};
+pub use lexer::{tokenize, SpannedToken, Token};
+pub use model::{Model, ModelEntry};
+pub use op::Op;
+pub use parser::{parse_script, parse_sort, parse_term};
+pub use sort::Sort;
+pub use symbol::Symbol;
+pub use term::{Quantifier, Term};
+pub use theory::Theory;
+pub use value::{escape_string, BitVecValue, FiniteFieldValue, Rational, Value};

@@ -1,0 +1,210 @@
+//! Models: interpretations returned by solvers for `sat` answers.
+
+use crate::{Sort, Symbol, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The interpretation of one declared symbol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelEntry {
+    /// A constant (0-ary function) value.
+    Const(Value),
+    /// An n-ary function as a finite exception table plus default result.
+    Fun {
+        /// Parameter sorts.
+        params: Vec<Sort>,
+        /// Explicit input/output pairs.
+        table: BTreeMap<Vec<Value>, Value>,
+        /// Result for inputs not in the table.
+        default: Value,
+    },
+}
+
+/// A model: a finite map from declared symbols to interpretations.
+///
+/// # Examples
+///
+/// ```
+/// use o4a_smtlib::{Model, Symbol, Value};
+/// let mut m = Model::new();
+/// m.set_const(Symbol::new("x"), Value::Int(7));
+/// assert_eq!(m.get_const(&Symbol::new("x")), Some(&Value::Int(7)));
+/// assert!(m.to_string().contains("(define-fun x () Int 7)"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Model {
+    entries: BTreeMap<Symbol, ModelEntry>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Number of interpreted symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no symbol is interpreted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Assigns a constant interpretation.
+    pub fn set_const(&mut self, name: Symbol, value: Value) {
+        self.entries.insert(name, ModelEntry::Const(value));
+    }
+
+    /// Assigns a function interpretation.
+    pub fn set_fun(
+        &mut self,
+        name: Symbol,
+        params: Vec<Sort>,
+        table: BTreeMap<Vec<Value>, Value>,
+        default: Value,
+    ) {
+        self.entries.insert(
+            name,
+            ModelEntry::Fun {
+                params,
+                table,
+                default,
+            },
+        );
+    }
+
+    /// Looks up a constant interpretation.
+    pub fn get_const(&self, name: &Symbol) -> Option<&Value> {
+        match self.entries.get(name) {
+            Some(ModelEntry::Const(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up any interpretation.
+    pub fn get(&self, name: &Symbol) -> Option<&ModelEntry> {
+        self.entries.get(name)
+    }
+
+    /// Applies an interpreted function to concrete arguments.
+    pub fn apply_fun(&self, name: &Symbol, args: &[Value]) -> Option<Value> {
+        match self.entries.get(name)? {
+            ModelEntry::Const(v) if args.is_empty() => Some(v.clone()),
+            ModelEntry::Fun { table, default, .. } => {
+                Some(table.get(args).cloned().unwrap_or_else(|| default.clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(symbol, entry)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &ModelEntry)> {
+        self.entries.iter()
+    }
+
+    /// Removes an interpretation (used by bug-effect simulation to produce
+    /// incomplete models).
+    pub fn remove(&mut self, name: &Symbol) -> Option<ModelEntry> {
+        self.entries.remove(name)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "(model")?;
+        for (name, entry) in &self.entries {
+            match entry {
+                ModelEntry::Const(v) => {
+                    writeln!(f, "  (define-fun {name} () {} {v})", v.sort())?;
+                }
+                ModelEntry::Fun {
+                    params,
+                    table,
+                    default,
+                } => {
+                    let param_list: Vec<String> = params
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| format!("(_arg{i} {s})"))
+                        .collect();
+                    write!(f, "  (define-fun {name} ({}) {} ", param_list.join(" "), default.sort())?;
+                    // Render the table as nested ite over argument tuples.
+                    let mut body = default.to_string();
+                    for (args, out) in table.iter().rev() {
+                        let cond: Vec<String> = args
+                            .iter()
+                            .enumerate()
+                            .map(|(i, a)| format!("(= _arg{i} {a})"))
+                            .collect();
+                        let cond = if cond.len() == 1 {
+                            cond[0].clone()
+                        } else {
+                            format!("(and {})", cond.join(" "))
+                        };
+                        body = format!("(ite {cond} {out} {body})");
+                    }
+                    writeln!(f, "{body})")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_round_trip() {
+        let mut m = Model::new();
+        m.set_const(Symbol::new("x"), Value::Int(-2));
+        assert_eq!(m.get_const(&Symbol::new("x")), Some(&Value::Int(-2)));
+        assert_eq!(m.apply_fun(&Symbol::new("x"), &[]), Some(Value::Int(-2)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fun_table_lookup() {
+        let mut m = Model::new();
+        let mut table = BTreeMap::new();
+        table.insert(vec![Value::Int(1)], Value::Bool(true));
+        m.set_fun(
+            Symbol::new("f"),
+            vec![Sort::Int],
+            table,
+            Value::Bool(false),
+        );
+        assert_eq!(
+            m.apply_fun(&Symbol::new("f"), &[Value::Int(1)]),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            m.apply_fun(&Symbol::new("f"), &[Value::Int(9)]),
+            Some(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn display_is_smtlib_model() {
+        let mut m = Model::new();
+        m.set_const(Symbol::new("b"), Value::Bool(true));
+        let mut table = BTreeMap::new();
+        table.insert(vec![Value::Int(0)], Value::Int(5));
+        m.set_fun(Symbol::new("g"), vec![Sort::Int], table, Value::Int(0));
+        let text = m.to_string();
+        assert!(text.starts_with("(model"));
+        assert!(text.contains("(define-fun b () Bool true)"));
+        assert!(text.contains("ite"));
+        assert!(text.ends_with(")"));
+    }
+
+    #[test]
+    fn missing_symbol_is_none() {
+        let m = Model::new();
+        assert!(m.get_const(&Symbol::new("zz")).is_none());
+        assert!(m.apply_fun(&Symbol::new("zz"), &[]).is_none());
+    }
+}

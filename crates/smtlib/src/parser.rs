@@ -1,0 +1,856 @@
+//! Recursive-descent parser from SMT-LIB text to [`Script`]/[`Term`].
+
+use crate::lexer::{tokenize, SpannedToken, Token};
+use crate::{
+    BitVecValue, Command, FiniteFieldValue, Op, ParseError, Quantifier, Rational, Script, Sort,
+    Symbol, Term, Value,
+};
+use std::str::FromStr;
+
+/// Parses a complete SMT-LIB script.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic problems. Sort errors are
+/// *not* detected here; run [`crate::typeck::check_script`] afterwards.
+///
+/// # Examples
+///
+/// ```
+/// let s = o4a_smtlib::parse_script("(declare-const x Int)(assert (= x 1))(check-sat)")?;
+/// assert_eq!(s.commands.len(), 3);
+/// # Ok::<(), o4a_smtlib::ParseError>(())
+/// ```
+pub fn parse_script(input: &str) -> Result<Script, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut commands = Vec::new();
+    while !p.at_end() {
+        commands.push(p.command()?);
+    }
+    Ok(Script { commands })
+}
+
+/// Parses a single term (for tests, generator output validation, and the
+/// reducer).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the input is not exactly one term.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.term()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after term"));
+    }
+    Ok(t)
+}
+
+/// Parses a single sort.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the input is not exactly one sort.
+pub fn parse_sort(input: &str) -> Result<Sort, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let s = p.sort()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after sort"));
+    }
+    Ok(s)
+}
+
+impl FromStr for Script {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_script(s)
+    }
+}
+
+impl FromStr for Term {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_term(s)
+    }
+}
+
+impl FromStr for Sort {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_sort(s)
+    }
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.offset(), msg)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| self.error("unexpected end of input"))?
+            .token
+            .clone();
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_lparen(&mut self) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::LParen => Ok(()),
+            other => Err(self.error(format!("expected '(' but found {}", other.describe()))),
+        }
+    }
+
+    fn expect_rparen(&mut self) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::RParen => Ok(()),
+            other => Err(self.error(format!("expected ')' but found {}", other.describe()))),
+        }
+    }
+
+    fn symbol(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Symbol(s) => Ok(s),
+            other => Err(self.error(format!("expected a symbol but found {}", other.describe()))),
+        }
+    }
+
+    fn numeral(&mut self) -> Result<i128, ParseError> {
+        match self.next()? {
+            Token::Numeral(n) => Ok(n),
+            other => Err(self.error(format!("expected a numeral but found {}", other.describe()))),
+        }
+    }
+
+    // ---- commands ----
+
+    fn command(&mut self) -> Result<Command, ParseError> {
+        self.expect_lparen()?;
+        let head = self.symbol()?;
+        let cmd = match head.as_str() {
+            "set-logic" => Command::SetLogic(self.symbol()?),
+            "set-option" => {
+                let key = match self.next()? {
+                    Token::Keyword(k) => k,
+                    other => {
+                        return Err(
+                            self.error(format!("expected option keyword, found {}", other.describe()))
+                        )
+                    }
+                };
+                Command::SetOption(key, self.attribute_value()?)
+            }
+            "set-info" => {
+                let key = match self.next()? {
+                    Token::Keyword(k) => k,
+                    other => {
+                        return Err(
+                            self.error(format!("expected info keyword, found {}", other.describe()))
+                        )
+                    }
+                };
+                Command::SetInfo(key, self.attribute_value()?)
+            }
+            "declare-const" => {
+                let name = Symbol::new(self.symbol()?);
+                let sort = self.sort()?;
+                Command::DeclareConst(name, sort)
+            }
+            "declare-fun" => {
+                let name = Symbol::new(self.symbol()?);
+                self.expect_lparen()?;
+                let mut args = Vec::new();
+                while self.peek() != Some(&Token::RParen) {
+                    args.push(self.sort()?);
+                }
+                self.expect_rparen()?;
+                let ret = self.sort()?;
+                if args.is_empty() {
+                    Command::DeclareConst(name, ret)
+                } else {
+                    Command::DeclareFun(name, args, ret)
+                }
+            }
+            "declare-sort" => {
+                let name = Symbol::new(self.symbol()?);
+                let arity = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                    self.numeral()?
+                } else {
+                    0
+                };
+                if arity != 0 {
+                    return Err(self.error("only arity-0 sort declarations are supported"));
+                }
+                Command::DeclareSort(name)
+            }
+            "define-fun" => {
+                let name = Symbol::new(self.symbol()?);
+                self.expect_lparen()?;
+                let mut params = Vec::new();
+                while self.peek() != Some(&Token::RParen) {
+                    self.expect_lparen()?;
+                    let p = Symbol::new(self.symbol()?);
+                    let s = self.sort()?;
+                    self.expect_rparen()?;
+                    params.push((p, s));
+                }
+                self.expect_rparen()?;
+                let ret = self.sort()?;
+                let body = self.term()?;
+                Command::DefineFun(name, params, ret, body)
+            }
+            "assert" => Command::Assert(self.term()?),
+            "check-sat" => Command::CheckSat,
+            "get-model" => Command::GetModel,
+            "get-value" => {
+                self.expect_lparen()?;
+                let mut ts = Vec::new();
+                while self.peek() != Some(&Token::RParen) {
+                    ts.push(self.term()?);
+                }
+                self.expect_rparen()?;
+                Command::GetValue(ts)
+            }
+            "push" => {
+                let n = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                    self.numeral()? as u32
+                } else {
+                    1
+                };
+                Command::Push(n)
+            }
+            "pop" => {
+                let n = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                    self.numeral()? as u32
+                } else {
+                    1
+                };
+                Command::Pop(n)
+            }
+            "exit" => Command::Exit,
+            other => return Err(self.error(format!("unknown command '{other}'"))),
+        };
+        self.expect_rparen()?;
+        Ok(cmd)
+    }
+
+    /// Reads one attribute value (atom or balanced s-expression) as raw text.
+    fn attribute_value(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Symbol(s) => Ok(s),
+            Token::Numeral(n) => Ok(n.to_string()),
+            Token::StringLit(s) => Ok(format!("\"{s}\"")),
+            Token::Decimal(d) => Ok(d.to_string()),
+            Token::Keyword(k) => Ok(format!(":{k}")),
+            Token::LParen => {
+                let mut depth = 1;
+                let mut parts = vec!["(".to_string()];
+                while depth > 0 {
+                    match self.next()? {
+                        Token::LParen => {
+                            depth += 1;
+                            parts.push("(".into());
+                        }
+                        Token::RParen => {
+                            depth -= 1;
+                            parts.push(")".into());
+                        }
+                        Token::Symbol(s) => parts.push(s),
+                        Token::Numeral(n) => parts.push(n.to_string()),
+                        Token::Decimal(d) => parts.push(d.to_string()),
+                        Token::StringLit(s) => parts.push(format!("\"{s}\"")),
+                        Token::Keyword(k) => parts.push(format!(":{k}")),
+                        Token::BitVecLit(w, b) => {
+                            parts.push(BitVecValue::new(w.max(1), b).to_string())
+                        }
+                    }
+                }
+                Ok(parts.join(" "))
+            }
+            other => Err(self.error(format!("invalid attribute value {}", other.describe()))),
+        }
+    }
+
+    // ---- sorts ----
+
+    fn sort(&mut self) -> Result<Sort, ParseError> {
+        match self.next()? {
+            Token::Symbol(s) => match s.as_str() {
+                "Bool" => Ok(Sort::Bool),
+                "Int" => Ok(Sort::Int),
+                "Real" => Ok(Sort::Real),
+                "String" => Ok(Sort::String),
+                "UnitTuple" => Ok(Sort::unit_tuple()),
+                other => Ok(Sort::Uninterpreted(Symbol::new(other))),
+            },
+            Token::LParen => {
+                let head = self.symbol()?;
+                let sort = match head.as_str() {
+                    "_" => {
+                        let name = self.symbol()?;
+                        match name.as_str() {
+                            "BitVec" => {
+                                let w = self.numeral()?;
+                                if !(1..=128).contains(&w) {
+                                    return Err(
+                                        self.error("bit-vector width must be in 1..=128")
+                                    );
+                                }
+                                Sort::BitVec(w as u32)
+                            }
+                            "FiniteField" => {
+                                let p = self.numeral()?;
+                                if p < 2 {
+                                    return Err(self.error("field modulus must be at least 2"));
+                                }
+                                Sort::FiniteField(p as u64)
+                            }
+                            other => {
+                                return Err(
+                                    self.error(format!("unknown indexed sort '{other}'"))
+                                )
+                            }
+                        }
+                    }
+                    "Seq" => Sort::seq(self.sort()?),
+                    "Set" => Sort::set(self.sort()?),
+                    "Bag" => Sort::bag(self.sort()?),
+                    "Array" => {
+                        let k = self.sort()?;
+                        let v = self.sort()?;
+                        Sort::array(k, v)
+                    }
+                    "Tuple" => {
+                        let mut elems = Vec::new();
+                        while self.peek() != Some(&Token::RParen) {
+                            elems.push(self.sort()?);
+                        }
+                        Sort::Tuple(elems)
+                    }
+                    "Relation" => {
+                        // cvc5 sugar: (Relation S1 ... Sn) = (Set (Tuple S1 ... Sn)).
+                        let mut elems = Vec::new();
+                        while self.peek() != Some(&Token::RParen) {
+                            elems.push(self.sort()?);
+                        }
+                        Sort::set(Sort::Tuple(elems))
+                    }
+                    other => return Err(self.error(format!("unknown sort constructor '{other}'"))),
+                };
+                self.expect_rparen()?;
+                Ok(sort)
+            }
+            other => Err(self.error(format!("expected a sort but found {}", other.describe()))),
+        }
+    }
+
+    // ---- terms ----
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next()? {
+            Token::Numeral(n) => Ok(Term::Const(Value::Int(n))),
+            Token::Decimal(d) => Ok(Term::Const(Value::Real(d))),
+            Token::StringLit(s) => Ok(Term::Const(Value::Str(s))),
+            Token::BitVecLit(w, b) => {
+                if w == 0 {
+                    return Err(self.error("empty bit-vector literal"));
+                }
+                Ok(Term::Const(Value::BitVec(BitVecValue::new(w, b))))
+            }
+            Token::Symbol(s) => Ok(match s.as_str() {
+                "true" => Term::tru(),
+                "false" => Term::fls(),
+                "tuple.unit" => Term::Const(Value::Tuple(Vec::new())),
+                other => Term::Var(Symbol::new(other)),
+            }),
+            Token::LParen => self.compound_term(),
+            other => Err(self.error(format!("expected a term but found {}", other.describe()))),
+        }
+    }
+
+    fn compound_term(&mut self) -> Result<Term, ParseError> {
+        // After '('. Possible heads: symbol, (_ indexed), (as qualified), let,
+        // quantifiers, ! annotations.
+        match self.next()? {
+            Token::Symbol(head) => match head.as_str() {
+                "let" => {
+                    self.expect_lparen()?;
+                    let mut binds = Vec::new();
+                    while self.peek() != Some(&Token::RParen) {
+                        self.expect_lparen()?;
+                        let name = Symbol::new(self.symbol()?);
+                        let value = self.term()?;
+                        self.expect_rparen()?;
+                        binds.push((name, value));
+                    }
+                    self.expect_rparen()?;
+                    let body = self.term()?;
+                    self.expect_rparen()?;
+                    Ok(Term::Let(binds, Box::new(body)))
+                }
+                "forall" | "exists" => {
+                    let q = if head == "forall" {
+                        Quantifier::Forall
+                    } else {
+                        Quantifier::Exists
+                    };
+                    self.expect_lparen()?;
+                    let mut vars = Vec::new();
+                    while self.peek() != Some(&Token::RParen) {
+                        self.expect_lparen()?;
+                        let name = Symbol::new(self.symbol()?);
+                        let sort = self.sort()?;
+                        self.expect_rparen()?;
+                        vars.push((name, sort));
+                    }
+                    self.expect_rparen()?;
+                    let body = self.term()?;
+                    self.expect_rparen()?;
+                    Ok(Term::Quant(q, vars, Box::new(body)))
+                }
+                "!" => {
+                    // Annotation: keep the term, drop attributes.
+                    let t = self.term()?;
+                    while self.peek() != Some(&Token::RParen) {
+                        match self.next()? {
+                            Token::Keyword(_) => {
+                                // Attribute value may be an atom or s-expr; skip one
+                                // balanced unit if present.
+                                if self.peek() != Some(&Token::RParen)
+                                    && !matches!(self.peek(), Some(Token::Keyword(_)))
+                                {
+                                    self.skip_sexpr()?;
+                                }
+                            }
+                            other => {
+                                return Err(self.error(format!(
+                                    "expected attribute keyword, found {}",
+                                    other.describe()
+                                )))
+                            }
+                        }
+                    }
+                    self.expect_rparen()?;
+                    Ok(t)
+                }
+                "as" => {
+                    let t = self.qualified_identifier()?;
+                    self.expect_rparen()?;
+                    Ok(t)
+                }
+                "_" => {
+                    let op = self.indexed_op_or_const()?;
+                    match op {
+                        IndexedHead::Const(v) => {
+                            self.expect_rparen()?;
+                            Ok(Term::Const(v))
+                        }
+                        IndexedHead::Op(_) => {
+                            Err(self.error("indexed operator used without arguments"))
+                        }
+                    }
+                }
+                name => {
+                    let mut args = Vec::new();
+                    while self.peek() != Some(&Token::RParen) {
+                        args.push(self.term()?);
+                    }
+                    self.expect_rparen()?;
+                    self.application(name, args)
+                }
+            },
+            Token::LParen => {
+                // Head is itself an s-expression: (_ op idx...) or (as const Sort).
+                let head = self.symbol()?;
+                match head.as_str() {
+                    "_" => {
+                        let op = self.indexed_op_or_const()?;
+                        self.expect_rparen()?; // close the head
+                        let mut args = Vec::new();
+                        while self.peek() != Some(&Token::RParen) {
+                            args.push(self.term()?);
+                        }
+                        self.expect_rparen()?;
+                        match op {
+                            IndexedHead::Op(op) => Ok(Term::App(op, args)),
+                            IndexedHead::Const(v) => {
+                                if args.is_empty() {
+                                    Ok(Term::Const(v))
+                                } else {
+                                    Err(self.error("constant head applied to arguments"))
+                                }
+                            }
+                        }
+                    }
+                    "as" => {
+                        let name = self.symbol()?;
+                        if name == "const" {
+                            let sort = self.sort()?;
+                            self.expect_rparen()?; // close head
+                            let arr_sort = match &sort {
+                                Sort::Array(_, _) => sort.clone(),
+                                _ => {
+                                    return Err(
+                                        self.error("'as const' requires an array sort annotation")
+                                    )
+                                }
+                            };
+                            let default = self.term()?;
+                            self.expect_rparen()?;
+                            Ok(Term::App(Op::ConstArray(arr_sort), vec![default]))
+                        } else {
+                            Err(self.error(format!(
+                                "unsupported qualified head '(as {name} ...)' in application position"
+                            )))
+                        }
+                    }
+                    other => Err(self.error(format!("invalid application head '({other} ...)'"))),
+                }
+            }
+            other => Err(self.error(format!(
+                "expected an application head but found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Parses the body of `(as <name> <sort>)` — qualified constants such as
+    /// `(as seq.empty (Seq Int))` and `(as ff-1 (_ FiniteField 3))`.
+    fn qualified_identifier(&mut self) -> Result<Term, ParseError> {
+        let name = self.symbol()?;
+        let sort = self.sort()?;
+        match name.as_str() {
+            "seq.empty" => match sort {
+                Sort::Seq(e) => Ok(Term::Const(Value::Seq(*e, Vec::new()))),
+                other => Err(self.error(format!("seq.empty annotated with non-Seq sort {other}"))),
+            },
+            "set.empty" => match sort {
+                Sort::Set(e) => Ok(Term::Const(Value::Set(*e, Default::default()))),
+                other => Err(self.error(format!("set.empty annotated with non-Set sort {other}"))),
+            },
+            "bag.empty" => match sort {
+                Sort::Bag(e) => Ok(Term::Const(Value::Bag(*e, Default::default()))),
+                other => Err(self.error(format!("bag.empty annotated with non-Bag sort {other}"))),
+            },
+            "tuple.unit" => match sort {
+                Sort::Tuple(es) if es.is_empty() => Ok(Term::Const(Value::Tuple(Vec::new()))),
+                other => Err(self.error(format!("tuple.unit annotated with sort {other}"))),
+            },
+            ff if ff.starts_with("ff") => {
+                let digits = &ff[2..];
+                let value: i128 = digits
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid finite-field literal '{ff}'")))?;
+                match sort {
+                    Sort::FiniteField(p) => Ok(Term::Const(Value::FiniteField(
+                        FiniteFieldValue::new(p, value),
+                    ))),
+                    other => Err(self.error(format!(
+                        "finite-field literal annotated with non-field sort {other}"
+                    ))),
+                }
+            }
+            other => Err(self.error(format!("unknown qualified identifier '{other}'"))),
+        }
+    }
+
+    fn indexed_op_or_const(&mut self) -> Result<IndexedHead, ParseError> {
+        let name = self.symbol()?;
+        let head = match name.as_str() {
+            "extract" => {
+                let i = self.numeral()? as u32;
+                let j = self.numeral()? as u32;
+                IndexedHead::Op(Op::Extract(i, j))
+            }
+            "zero_extend" => IndexedHead::Op(Op::ZeroExtend(self.numeral()? as u32)),
+            "sign_extend" => IndexedHead::Op(Op::SignExtend(self.numeral()? as u32)),
+            "rotate_left" => IndexedHead::Op(Op::RotateLeft(self.numeral()? as u32)),
+            "rotate_right" => IndexedHead::Op(Op::RotateRight(self.numeral()? as u32)),
+            "repeat" => IndexedHead::Op(Op::Repeat(self.numeral()? as u32)),
+            "divisible" => {
+                let n = self.numeral()?;
+                if n <= 0 {
+                    return Err(self.error("divisible index must be positive"));
+                }
+                IndexedHead::Op(Op::Divisible(n as u64))
+            }
+            "tuple.select" => IndexedHead::Op(Op::TupleSelect(self.numeral()? as u32)),
+            bv if bv.starts_with("bv") => {
+                let value: u128 = bv[2..]
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid bit-vector literal '{bv}'")))?;
+                let w = self.numeral()?;
+                if !(1..=128).contains(&w) {
+                    return Err(self.error("bit-vector width must be in 1..=128"));
+                }
+                IndexedHead::Const(Value::BitVec(BitVecValue::new(w as u32, value)))
+            }
+            other => return Err(self.error(format!("unknown indexed identifier '{other}'"))),
+        };
+        Ok(head)
+    }
+
+    /// Builds an application, folding literal negation/rationals so values
+    /// round-trip, and resolving symbolic heads to operators or UF calls.
+    fn application(&mut self, name: &str, args: Vec<Term>) -> Result<Term, ParseError> {
+        // Literal folding: (- 5) → -5, (- 1.5) → -1.5, (/ a b) over literals.
+        if name == "-" && args.len() == 1 {
+            match &args[0] {
+                Term::Const(Value::Int(n)) => return Ok(Term::Const(Value::Int(-n))),
+                Term::Const(Value::Real(r)) => {
+                    if let Some(neg) = r.neg() {
+                        return Ok(Term::Const(Value::Real(neg)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if name == "/" && args.len() == 2 {
+            if let (Term::Const(a), Term::Const(b)) = (&args[0], &args[1]) {
+                let num = match a {
+                    Value::Int(n) => Some(Rational::from_int(*n)),
+                    Value::Real(r) => Some(*r),
+                    _ => None,
+                };
+                let den = match b {
+                    Value::Int(n) if *n != 0 => Some(Rational::from_int(*n)),
+                    Value::Real(r) if *r != Rational::ZERO => Some(*r),
+                    _ => None,
+                };
+                if let (Some(n), Some(d)) = (num, den) {
+                    if let Some(q) = n.div(d) {
+                        return Ok(Term::Const(Value::Real(q)));
+                    }
+                }
+            }
+        }
+        let op = Op::from_simple_name(name).unwrap_or_else(|| Op::Uf(Symbol::new(name)));
+        Ok(Term::App(op, args))
+    }
+
+    fn skip_sexpr(&mut self) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::LParen => {
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next()? {
+                        Token::LParen => depth += 1,
+                        Token::RParen => depth -= 1,
+                        _ => {}
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+enum IndexedHead {
+    Op(Op),
+    Const(Value),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_script() {
+        let s = parse_script(
+            "(set-logic QF_LIA)(declare-const x Int)(assert (> x 0))(check-sat)",
+        )
+        .unwrap();
+        assert_eq!(s.commands.len(), 4);
+        assert_eq!(s.assertions().count(), 1);
+    }
+
+    #[test]
+    fn declare_fun_zero_arity_becomes_const() {
+        let s = parse_script("(declare-fun s () (Seq Int))").unwrap();
+        assert_eq!(
+            s.commands[0],
+            Command::DeclareConst(Symbol::new("s"), Sort::seq(Sort::Int))
+        );
+    }
+
+    #[test]
+    fn parse_quantifier_with_seq_ops() {
+        // The paper's Figure 1 formula.
+        let text = "(declare-fun s () (Seq Int))\n\
+                    (assert (exists ((f Int)) (distinct (seq.len (seq.rev s)) \
+                    (seq.nth (as seq.empty (Seq Int)) (div 0 0)))))\n\
+                    (check-sat)";
+        let s = parse_script(text).unwrap();
+        let a = s.assertions().next().unwrap();
+        assert!(a.has_quantifier());
+        assert!(a.ops().contains(&Op::SeqRev));
+        assert!(a.ops().contains(&Op::SeqNth));
+    }
+
+    #[test]
+    fn parse_indexed_ops() {
+        let t = parse_term("((_ extract 7 3) #xff)").unwrap();
+        assert!(matches!(t, Term::App(Op::Extract(7, 3), _)));
+        let d = parse_term("((_ divisible 3) (mod x 3))").unwrap();
+        assert!(matches!(d, Term::App(Op::Divisible(3), _)));
+    }
+
+    #[test]
+    fn parse_bv_literal_underscore_form() {
+        let t = parse_term("(_ bv5 8)").unwrap();
+        assert_eq!(
+            t,
+            Term::Const(Value::BitVec(BitVecValue::new(8, 5)))
+        );
+    }
+
+    #[test]
+    fn parse_qualified_empties() {
+        assert_eq!(
+            parse_term("(as seq.empty (Seq Int))").unwrap(),
+            Term::Const(Value::Seq(Sort::Int, vec![]))
+        );
+        assert!(parse_term("(as set.empty (Set Bool))").is_ok());
+        assert!(parse_term("(as bag.empty (Bag Int))").is_ok());
+        assert!(parse_term("(as seq.empty (Set Int))").is_err());
+    }
+
+    #[test]
+    fn parse_finite_field_literals() {
+        let t = parse_term("(as ff-1 (_ FiniteField 3))").unwrap();
+        assert_eq!(
+            t,
+            Term::Const(Value::FiniteField(FiniteFieldValue::new(3, -1)))
+        );
+        let p = parse_term("(as ff5 (_ FiniteField 7))").unwrap();
+        assert_eq!(
+            p,
+            Term::Const(Value::FiniteField(FiniteFieldValue::new(7, 5)))
+        );
+    }
+
+    #[test]
+    fn parse_negative_literal_folding() {
+        assert_eq!(parse_term("(- 5)").unwrap(), Term::int(-5));
+        assert_eq!(
+            parse_term("(- 1.5)").unwrap(),
+            Term::Const(Value::Real(Rational::new(-3, 2).unwrap()))
+        );
+        assert_eq!(
+            parse_term("(/ 1 3)").unwrap(),
+            Term::Const(Value::Real(Rational::new(1, 3).unwrap()))
+        );
+        // Division by zero literal must remain an application.
+        assert!(matches!(
+            parse_term("(/ 1 0)").unwrap(),
+            Term::App(Op::RealDiv, _)
+        ));
+        // Binary minus stays an application.
+        assert!(matches!(
+            parse_term("(- x 5)").unwrap(),
+            Term::App(Op::Sub, _)
+        ));
+    }
+
+    #[test]
+    fn parse_let_and_annotations() {
+        let t = parse_term("(let ((a (+ 1 2))) (! (= a 3) :named goal))").unwrap();
+        match t {
+            Term::Let(binds, body) => {
+                assert_eq!(binds.len(), 1);
+                assert!(matches!(*body, Term::App(Op::Eq, _)));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_const_array() {
+        let t = parse_term("((as const (Array Int Bool)) false)").unwrap();
+        match t {
+            Term::App(Op::ConstArray(s), args) => {
+                assert_eq!(s, Sort::array(Sort::Int, Sort::Bool));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected const array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_relation_sort_sugar() {
+        let s = parse_sort("(Relation Int Bool)").unwrap();
+        assert_eq!(s, Sort::set(Sort::Tuple(vec![Sort::Int, Sort::Bool])));
+    }
+
+    #[test]
+    fn parse_set_option() {
+        let s = parse_script("(set-option :model_validate true)").unwrap();
+        assert_eq!(
+            s.commands[0],
+            Command::SetOption("model_validate".into(), "true".into())
+        );
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse_script("(frobnicate)").is_err());
+    }
+
+    #[test]
+    fn unknown_uf_application_parses() {
+        let t = parse_term("(f x 1)").unwrap();
+        assert!(matches!(t, Term::App(Op::Uf(_), _)));
+    }
+
+    #[test]
+    fn error_on_unbalanced_parens() {
+        assert!(parse_script("(assert (= 1 1)").is_err());
+        assert!(parse_term("(and true false))").is_err());
+    }
+
+    #[test]
+    fn round_trip_examples() {
+        for text in [
+            "(and p (not q))",
+            "(exists ((f Int)) (= 2 f))",
+            "(or ((_ divisible 3) (mod T 3)) (= str0 \"\"))",
+            "(seq.++ (seq.unit 1) (as seq.empty (Seq Int)))",
+            "(set.insert 1 (set.singleton 2))",
+            "(bag.union_disjoint (bag 1 2) (as bag.empty (Bag Int)))",
+            "(ff.bitsum (ff.mul v v) (as ff-1 (_ FiniteField 3)))",
+            "((_ tuple.select 0) (tuple 1 true))",
+            "(forall ((r Real)) (or x9 (= (+ r 1.0) (mod 0 (to_int x)))))",
+        ] {
+            let t = parse_term(text).unwrap();
+            let printed = t.to_string();
+            let again = parse_term(&printed).unwrap();
+            assert_eq!(t, again, "round trip failed for {text}");
+        }
+    }
+}

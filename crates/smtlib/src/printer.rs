@@ -1,0 +1,119 @@
+//! Printing terms back to SMT-LIB concrete syntax.
+//!
+//! The printer produces text that the [`crate::parser`] reads back to an
+//! equal AST (round-trip property-tested in `tests/`), with one deliberate
+//! exception: [`Term::Placeholder`] prints as `<placeholder>`, which is not
+//! valid SMT-LIB — skeletons must be filled before they can be solved.
+
+use crate::{Op, Term};
+use std::fmt;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(s) => write!(f, "{s}"),
+            Term::Placeholder(_) => f.write_str("<placeholder>"),
+            Term::App(op, args) => {
+                if args.is_empty() {
+                    // Nullary applications print as the bare head (e.g. a
+                    // zero-argument UF call or `tuple` with no fields).
+                    return match op {
+                        Op::MkTuple => f.write_str("tuple.unit"),
+                        other => write!(f, "{other}"),
+                    };
+                }
+                write!(f, "({op}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                f.write_str(")")
+            }
+            Term::Let(binds, body) => {
+                f.write_str("(let (")?;
+                for (i, (s, t)) in binds.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "({s} {t})")?;
+                }
+                write!(f, ") {body})")
+            }
+            Term::Quant(q, vars, body) => {
+                write!(f, "({q} (")?;
+                for (i, (s, sort)) in vars.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "({s} {sort})")?;
+                }
+                write!(f, ") {body})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Op, Quantifier, Sort, Symbol, Term, Value};
+
+    #[test]
+    fn application_printing() {
+        let t = Term::app(
+            Op::And,
+            vec![Term::var("p"), Term::app(Op::Not, vec![Term::var("q")])],
+        );
+        assert_eq!(t.to_string(), "(and p (not q))");
+    }
+
+    #[test]
+    fn indexed_application_printing() {
+        let t = Term::app(Op::Extract(7, 0), vec![Term::var("b")]);
+        assert_eq!(t.to_string(), "((_ extract 7 0) b)");
+        let d = Term::app(Op::Divisible(3), vec![Term::var("x")]);
+        assert_eq!(d.to_string(), "((_ divisible 3) x)");
+    }
+
+    #[test]
+    fn quantifier_printing() {
+        let t = Term::Quant(
+            Quantifier::Exists,
+            vec![(Symbol::new("f"), Sort::Int)],
+            Box::new(Term::Placeholder(0)),
+        );
+        assert_eq!(t.to_string(), "(exists ((f Int)) <placeholder>)");
+    }
+
+    #[test]
+    fn let_printing() {
+        let t = Term::Let(
+            vec![(Symbol::new("a"), Term::int(1))],
+            Box::new(Term::var("a")),
+        );
+        assert_eq!(t.to_string(), "(let ((a 1)) a)");
+    }
+
+    #[test]
+    fn const_array_printing() {
+        let t = Term::app(
+            Op::ConstArray(Sort::array(Sort::Int, Sort::Int)),
+            vec![Term::int(0)],
+        );
+        assert_eq!(t.to_string(), "((as const (Array Int Int)) 0)");
+    }
+
+    #[test]
+    fn nullary_uf_prints_bare() {
+        let t = Term::app(Op::Uf(Symbol::new("c")), vec![]);
+        assert_eq!(t.to_string(), "c");
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(Term::int(-5).to_string(), "(- 5)");
+        assert_eq!(
+            Term::Const(Value::Real(crate::Rational::new(-1, 2).unwrap())).to_string(),
+            "(- (/ 1 2))"
+        );
+    }
+}

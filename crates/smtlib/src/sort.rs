@@ -1,0 +1,226 @@
+//! SMT-LIB sorts.
+
+use crate::{Symbol, Theory};
+use std::fmt;
+
+/// An SMT-LIB sort (type).
+///
+/// Sorts are structural: `(Seq Int)` equals `(Seq Int)` regardless of where
+/// it was parsed. Parametric sorts box their element sorts.
+///
+/// # Examples
+///
+/// ```
+/// use o4a_smtlib::Sort;
+/// let s = Sort::Seq(Box::new(Sort::Int));
+/// assert_eq!(s.to_string(), "(Seq Int)");
+/// assert_eq!(s.theory(), o4a_smtlib::Theory::Sequences);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sort {
+    /// `Bool`.
+    Bool,
+    /// Unbounded integers, `Int`.
+    Int,
+    /// Real numbers, `Real`.
+    Real,
+    /// Unicode strings, `String`.
+    String,
+    /// `(_ BitVec w)` with `w >= 1`.
+    BitVec(u32),
+    /// `(_ FiniteField p)` for a prime `p`.
+    FiniteField(u64),
+    /// `(Seq T)`.
+    Seq(Box<Sort>),
+    /// `(Set T)` (cvc5 extension).
+    Set(Box<Sort>),
+    /// `(Bag T)` (cvc5 extension).
+    Bag(Box<Sort>),
+    /// `(Array K V)`.
+    Array(Box<Sort>, Box<Sort>),
+    /// `(Tuple T1 ... Tn)`; `UnitTuple` is the empty tuple.
+    Tuple(Vec<Sort>),
+    /// A user-declared uninterpreted sort.
+    Uninterpreted(Symbol),
+}
+
+impl Sort {
+    /// Convenience constructor for `(Seq t)`.
+    pub fn seq(elem: Sort) -> Sort {
+        Sort::Seq(Box::new(elem))
+    }
+
+    /// Convenience constructor for `(Set t)`.
+    pub fn set(elem: Sort) -> Sort {
+        Sort::Set(Box::new(elem))
+    }
+
+    /// Convenience constructor for `(Bag t)`.
+    pub fn bag(elem: Sort) -> Sort {
+        Sort::Bag(Box::new(elem))
+    }
+
+    /// Convenience constructor for `(Array k v)`.
+    pub fn array(key: Sort, val: Sort) -> Sort {
+        Sort::Array(Box::new(key), Box::new(val))
+    }
+
+    /// The nullary tuple sort, spelled `UnitTuple` by cvc5.
+    pub fn unit_tuple() -> Sort {
+        Sort::Tuple(Vec::new())
+    }
+
+    /// The theory a sort primarily belongs to.
+    pub fn theory(&self) -> Theory {
+        match self {
+            Sort::Bool => Theory::Core,
+            Sort::Int => Theory::Ints,
+            Sort::Real => Theory::Reals,
+            Sort::String => Theory::Strings,
+            Sort::BitVec(_) => Theory::BitVectors,
+            Sort::FiniteField(_) => Theory::FiniteFields,
+            Sort::Seq(_) => Theory::Sequences,
+            Sort::Set(_) | Sort::Tuple(_) => Theory::Sets,
+            Sort::Bag(_) => Theory::Bags,
+            Sort::Array(_, _) => Theory::Arrays,
+            Sort::Uninterpreted(_) => Theory::Uf,
+        }
+    }
+
+    /// True when the sort has finitely many inhabitants *and* the golden
+    /// evaluator can exhaustively enumerate them within its budget.
+    ///
+    /// Solvers use this to decide whether an exhausted search proves `unsat`
+    /// (see `o4a-solvers`): only formulas whose free symbols all have
+    /// exhaustible sorts can be refuted by enumeration.
+    pub fn is_exhaustible(&self) -> bool {
+        match self {
+            Sort::Bool => true,
+            Sort::BitVec(w) => *w <= 4,
+            Sort::FiniteField(p) => *p <= 11,
+            Sort::Tuple(elems) => elems.iter().all(Sort::is_exhaustible),
+            Sort::Set(e) => e.is_exhaustible() && e.cardinality_bound().is_some_and(|c| c <= 4),
+            _ => false,
+        }
+    }
+
+    /// An upper bound on the number of inhabitants, when small and finite.
+    pub fn cardinality_bound(&self) -> Option<u64> {
+        match self {
+            Sort::Bool => Some(2),
+            Sort::BitVec(w) if *w <= 16 => Some(1u64 << w),
+            Sort::FiniteField(p) => Some(*p),
+            Sort::Tuple(elems) => {
+                let mut n: u64 = 1;
+                for e in elems {
+                    n = n.checked_mul(e.cardinality_bound()?)?;
+                }
+                Some(n)
+            }
+            Sort::Set(e) => {
+                let c = e.cardinality_bound()?;
+                if c <= 16 {
+                    Some(1u64 << c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over the immediate child sorts (element sorts).
+    pub fn children(&self) -> Vec<&Sort> {
+        match self {
+            Sort::Seq(e) | Sort::Set(e) | Sort::Bag(e) => vec![e],
+            Sort::Array(k, v) => vec![k, v],
+            Sort::Tuple(es) => es.iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Nesting depth of the sort; scalar sorts have depth 1.
+    pub fn depth(&self) -> usize {
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => f.write_str("Bool"),
+            Sort::Int => f.write_str("Int"),
+            Sort::Real => f.write_str("Real"),
+            Sort::String => f.write_str("String"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::FiniteField(p) => write!(f, "(_ FiniteField {p})"),
+            Sort::Seq(e) => write!(f, "(Seq {e})"),
+            Sort::Set(e) => write!(f, "(Set {e})"),
+            Sort::Bag(e) => write!(f, "(Bag {e})"),
+            Sort::Array(k, v) => write!(f, "(Array {k} {v})"),
+            Sort::Tuple(es) if es.is_empty() => f.write_str("UnitTuple"),
+            Sort::Tuple(es) => {
+                f.write_str("(Tuple")?;
+                for e in es {
+                    write!(f, " {e}")?;
+                }
+                f.write_str(")")
+            }
+            Sort::Uninterpreted(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+        assert_eq!(Sort::BitVec(8).to_string(), "(_ BitVec 8)");
+        assert_eq!(Sort::FiniteField(3).to_string(), "(_ FiniteField 3)");
+        assert_eq!(
+            Sort::array(Sort::Int, Sort::seq(Sort::Bool)).to_string(),
+            "(Array Int (Seq Bool))"
+        );
+        assert_eq!(Sort::unit_tuple().to_string(), "UnitTuple");
+        assert_eq!(
+            Sort::Tuple(vec![Sort::Int, Sort::Bool]).to_string(),
+            "(Tuple Int Bool)"
+        );
+    }
+
+    #[test]
+    fn exhaustibility() {
+        assert!(Sort::Bool.is_exhaustible());
+        assert!(Sort::BitVec(2).is_exhaustible());
+        assert!(!Sort::BitVec(32).is_exhaustible());
+        assert!(Sort::FiniteField(3).is_exhaustible());
+        assert!(!Sort::Int.is_exhaustible());
+        assert!(Sort::Tuple(vec![Sort::Bool, Sort::BitVec(1)]).is_exhaustible());
+        assert!(Sort::unit_tuple().is_exhaustible());
+    }
+
+    #[test]
+    fn cardinality_bounds() {
+        assert_eq!(Sort::Bool.cardinality_bound(), Some(2));
+        assert_eq!(Sort::BitVec(3).cardinality_bound(), Some(8));
+        assert_eq!(Sort::unit_tuple().cardinality_bound(), Some(1));
+        assert_eq!(Sort::set(Sort::Bool).cardinality_bound(), Some(4));
+        assert_eq!(Sort::Int.cardinality_bound(), None);
+    }
+
+    #[test]
+    fn theory_assignment() {
+        assert_eq!(Sort::set(Sort::Int).theory(), Theory::Sets);
+        assert_eq!(Sort::unit_tuple().theory(), Theory::Sets);
+        assert_eq!(Sort::seq(Sort::Int).theory(), Theory::Sequences);
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        assert_eq!(Sort::Int.depth(), 1);
+        assert_eq!(Sort::seq(Sort::seq(Sort::Int)).depth(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Interned-ish symbols used for variable, function, and sort names.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A symbol (identifier) appearing in an SMT-LIB script.
+///
+/// Symbols are immutable and cheap to clone (`Arc<str>` internally), which
+/// matters because fuzzing churns through millions of terms that share
+/// variable names.
+///
+/// # Examples
+///
+/// ```
+/// use o4a_smtlib::Symbol;
+/// let s = Symbol::new("x0");
+/// assert_eq!(s.as_str(), "x0");
+/// assert_eq!(s.to_string(), "x0");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a new symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a derived symbol with a numeric suffix, used when renaming
+    /// clashing declarations during formula synthesis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use o4a_smtlib::Symbol;
+    /// assert_eq!(Symbol::new("v").with_suffix(3).as_str(), "v!3");
+    /// ```
+    pub fn with_suffix(&self, n: u64) -> Self {
+        Symbol::new(format!("{}!{n}", self.0))
+    }
+
+    /// True when the symbol needs `|...|` quoting in SMT-LIB output.
+    pub fn needs_quoting(&self) -> bool {
+        let mut chars = self.0.chars();
+        match chars.next() {
+            None => return true,
+            Some(c) if c.is_ascii_digit() => return true,
+            Some(c) if !is_simple_symbol_char(c) => return true,
+            _ => {}
+        }
+        !self.0.chars().all(is_simple_symbol_char)
+    }
+}
+
+/// Characters allowed in unquoted SMT-LIB simple symbols.
+fn is_simple_symbol_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c)
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.needs_quoting() {
+            write!(f, "|{}|", self.0)
+        } else {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_plain() {
+        assert_eq!(Symbol::new("abc_1").to_string(), "abc_1");
+    }
+
+    #[test]
+    fn display_quoted_when_leading_digit() {
+        assert_eq!(Symbol::new("1abc").to_string(), "|1abc|");
+    }
+
+    #[test]
+    fn display_quoted_when_space() {
+        assert_eq!(Symbol::new("a b").to_string(), "|a b|");
+    }
+
+    #[test]
+    fn suffix_derivation() {
+        let s = Symbol::new("x");
+        assert_eq!(s.with_suffix(0).as_str(), "x!0");
+        assert_eq!(s.with_suffix(12).as_str(), "x!12");
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(Symbol::new("k"), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+}

@@ -1,0 +1,132 @@
+//! SMT theory identifiers.
+//!
+//! Theories classify operators, sorts, coverage points, and seeded bugs.
+//! The split between [`Theory::is_standard`] and extended/solver-specific
+//! theories mirrors the paper's distinction: Once4All's headline advantage is
+//! that it exercises *extended* theories (Seq, Sets/Relations, Bags, Finite
+//! Fields, Unicode string extensions) that baseline fuzzers never reach.
+
+use std::fmt;
+
+/// A background theory of the SMT-LIB language or a solver-specific
+/// extension.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Theory {
+    /// Core Boolean connectives (`and`, `or`, `not`, `ite`, ...).
+    Core,
+    /// Linear/non-linear integer arithmetic.
+    Ints,
+    /// Real arithmetic.
+    Reals,
+    /// Fixed-width bit-vectors.
+    BitVectors,
+    /// Unicode strings (SMT-LIB standard subset).
+    Strings,
+    /// Arrays with extensionality.
+    Arrays,
+    /// Uninterpreted functions.
+    Uf,
+    /// Sequences — a cvc5 extended theory (also partially in Z3).
+    Sequences,
+    /// Finite sets and relations — a cvc5 extended theory.
+    Sets,
+    /// Multisets (bags) — a cvc5 extended theory.
+    Bags,
+    /// Prime-order finite fields — a cvc5 extended theory (2022).
+    FiniteFields,
+}
+
+impl Theory {
+    /// All theories in a stable order.
+    pub const ALL: [Theory; 11] = [
+        Theory::Core,
+        Theory::Ints,
+        Theory::Reals,
+        Theory::BitVectors,
+        Theory::Strings,
+        Theory::Arrays,
+        Theory::Uf,
+        Theory::Sequences,
+        Theory::Sets,
+        Theory::Bags,
+        Theory::FiniteFields,
+    ];
+
+    /// Theories standardized by SMT-LIB (as opposed to solver-specific
+    /// extensions or recently added theories).
+    pub fn is_standard(self) -> bool {
+        matches!(
+            self,
+            Theory::Core
+                | Theory::Ints
+                | Theory::Reals
+                | Theory::BitVectors
+                | Theory::Strings
+                | Theory::Arrays
+                | Theory::Uf
+        )
+    }
+
+    /// Extended or solver-specific theories, the ones "existing SMT solver
+    /// fuzzers are fundamentally incapable of uncovering" bugs in.
+    pub fn is_extended(self) -> bool {
+        !self.is_standard()
+    }
+
+    /// Canonical lowercase name, used in documentation files, coverage point
+    /// labels and experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Theory::Core => "core",
+            Theory::Ints => "ints",
+            Theory::Reals => "reals",
+            Theory::BitVectors => "bitvectors",
+            Theory::Strings => "strings",
+            Theory::Arrays => "arrays",
+            Theory::Uf => "uf",
+            Theory::Sequences => "sequences",
+            Theory::Sets => "sets",
+            Theory::Bags => "bags",
+            Theory::FiniteFields => "finite-fields",
+        }
+    }
+
+    /// Parses a canonical theory name as produced by [`Theory::name`].
+    pub fn from_name(name: &str) -> Option<Theory> {
+        Theory::ALL.iter().copied().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for Theory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in Theory::ALL {
+            assert_eq!(Theory::from_name(t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn standard_extended_partition() {
+        let std_count = Theory::ALL.iter().filter(|t| t.is_standard()).count();
+        let ext_count = Theory::ALL.iter().filter(|t| t.is_extended()).count();
+        assert_eq!(std_count + ext_count, Theory::ALL.len());
+        assert_eq!(ext_count, 4);
+        assert!(Theory::Sets.is_extended());
+        assert!(Theory::FiniteFields.is_extended());
+        assert!(Theory::Strings.is_standard());
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        assert_eq!(Theory::from_name("floats"), None);
+    }
+}

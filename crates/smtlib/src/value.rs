@@ -1,0 +1,590 @@
+//! Concrete values: the results of evaluating ground terms and the contents
+//! of models.
+
+use crate::{Sort, Symbol};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An exact rational number with `i128` numerator/denominator.
+///
+/// Always kept in normal form: denominator positive, gcd(n, d) = 1.
+/// Arithmetic is checked; overflow surfaces as `None` so that the evaluator
+/// can report [`crate::EvalError::Overflow`] instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use o4a_smtlib::Rational;
+/// let half = Rational::new(1, 2).unwrap();
+/// let third = Rational::new(-2, -6).unwrap();
+/// assert_eq!(third.to_string(), "(/ 1 3)");
+/// assert_eq!(half.add(third).unwrap().to_string(), "(/ 5 6)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a normalized rational. Returns `None` when `den == 0` or
+    /// normalization overflows.
+    pub fn new(num: i128, den: i128) -> Option<Rational> {
+        if den == 0 {
+            return None;
+        }
+        let g = gcd(num, den);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if d < 0 {
+            n = n.checked_neg()?;
+            d = d.checked_neg()?;
+        }
+        Some(Rational { num: n, den: d })
+    }
+
+    /// Creates the rational `n/1`.
+    pub fn from_int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (normal form).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normal form, always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True when the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Checked addition.
+    pub fn add(self, o: Rational) -> Option<Rational> {
+        let n = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rational::new(n, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(self, o: Rational) -> Option<Rational> {
+        self.add(o.neg()?)
+    }
+
+    /// Checked multiplication.
+    pub fn mul(self, o: Rational) -> Option<Rational> {
+        Rational::new(self.num.checked_mul(o.num)?, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked division. `None` when dividing by zero or on overflow; SMT-LIB
+    /// totalization of `(/ x 0)` is handled by the evaluator, not here.
+    pub fn div(self, o: Rational) -> Option<Rational> {
+        if o.num == 0 {
+            return None;
+        }
+        Rational::new(self.num.checked_mul(o.den)?, self.den.checked_mul(o.num)?)
+    }
+
+    /// Checked negation.
+    pub fn neg(self) -> Option<Rational> {
+        Some(Rational {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+
+    /// Floor as an integer (SMT-LIB `to_int`).
+    pub fn floor(self) -> i128 {
+        let q = self.num / self.den;
+        if self.num % self.den != 0 && self.num < 0 {
+            q - 1
+        } else {
+            q
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare via cross multiplication in i256-ish space. i128 * i128 can
+        // overflow, so fall back to f64 comparison only when exact math
+        // overflows *and* values differ enough for f64 to be trustworthy.
+        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => {
+                let a = self.num as f64 / self.den as f64;
+                let b = other.num as f64 / other.den as f64;
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            if self.num < 0 {
+                write!(f, "(- {}.0)", -self.num)
+            } else {
+                write!(f, "{}.0", self.num)
+            }
+        } else if self.num < 0 {
+            write!(f, "(- (/ {} {}))", -self.num, self.den)
+        } else {
+            write!(f, "(/ {} {})", self.num, self.den)
+        }
+    }
+}
+
+/// A fixed-width bit-vector value. Widths up to 128 bits are supported.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BitVecValue {
+    width: u32,
+    bits: u128,
+}
+
+impl BitVecValue {
+    /// Creates a bit-vector value, masking `bits` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is 0 or greater than 128.
+    pub fn new(width: u32, bits: u128) -> BitVecValue {
+        assert!(width >= 1 && width <= 128, "bit-vector width out of range");
+        BitVecValue {
+            width,
+            bits: bits & Self::mask(width),
+        }
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The unsigned value.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// The value interpreted as two's-complement signed.
+    pub fn signed(&self) -> i128 {
+        let sign_bit = 1u128 << (self.width - 1);
+        if self.bits & sign_bit != 0 {
+            (self.bits as i128).wrapping_sub(1i128.wrapping_shl(self.width))
+        } else {
+            self.bits as i128
+        }
+    }
+}
+
+impl fmt::Display for BitVecValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width % 4 == 0 {
+            write!(
+                f,
+                "#x{:0>width$x}",
+                self.bits,
+                width = (self.width / 4) as usize
+            )
+        } else {
+            write!(f, "#b{:0>width$b}", self.bits, width = self.width as usize)
+        }
+    }
+}
+
+/// A finite-field element `value` in `GF(modulus)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FiniteFieldValue {
+    modulus: u64,
+    value: u64,
+}
+
+impl FiniteFieldValue {
+    /// Creates a field element, reducing `value` modulo `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus < 2`.
+    pub fn new(modulus: u64, value: i128) -> FiniteFieldValue {
+        assert!(modulus >= 2, "field modulus must be at least 2");
+        let m = modulus as i128;
+        let v = ((value % m) + m) % m;
+        FiniteFieldValue {
+            modulus,
+            value: v as u64,
+        }
+    }
+
+    /// The field modulus.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// The canonical representative in `[0, modulus)`.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Field addition.
+    pub fn add(self, o: FiniteFieldValue) -> FiniteFieldValue {
+        FiniteFieldValue::new(self.modulus, self.value as i128 + o.value as i128)
+    }
+
+    /// Field multiplication.
+    pub fn mul(self, o: FiniteFieldValue) -> FiniteFieldValue {
+        FiniteFieldValue::new(self.modulus, self.value as i128 * o.value as i128)
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> FiniteFieldValue {
+        FiniteFieldValue::new(self.modulus, -(self.value as i128))
+    }
+}
+
+impl fmt::Display for FiniteFieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(as ff{} (_ FiniteField {}))",
+            self.value, self.modulus
+        )
+    }
+}
+
+/// A concrete SMT value.
+///
+/// `Value` implements a total order (`Ord`) so collection values (sets, bags,
+/// array tables) can be stored canonically in B-trees; the order is by
+/// variant then by content and has no SMT-level meaning.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A Boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i128),
+    /// A real number.
+    Real(Rational),
+    /// A string.
+    Str(String),
+    /// A bit-vector.
+    BitVec(BitVecValue),
+    /// A finite-field element.
+    FiniteField(FiniteFieldValue),
+    /// A sequence with its element sort (needed to sort empty sequences).
+    Seq(Sort, Vec<Value>),
+    /// A finite set with its element sort.
+    Set(Sort, BTreeSet<Value>),
+    /// A bag (multiset) with its element sort; counts are strictly positive.
+    Bag(Sort, BTreeMap<Value, u64>),
+    /// A tuple.
+    Tuple(Vec<Value>),
+    /// An array as default value plus finite exception table.
+    Array {
+        /// Key sort.
+        key: Sort,
+        /// Value everywhere outside `table`.
+        default: Box<Value>,
+        /// Explicit key/value overrides.
+        table: BTreeMap<Value, Value>,
+    },
+    /// An element of an uninterpreted sort, written `(as @elem!k S)`.
+    Unin(Symbol, u32),
+}
+
+impl Value {
+    /// The sort this value inhabits.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Int(_) => Sort::Int,
+            Value::Real(_) => Sort::Real,
+            Value::Str(_) => Sort::String,
+            Value::BitVec(b) => Sort::BitVec(b.width()),
+            Value::FiniteField(x) => Sort::FiniteField(x.modulus()),
+            Value::Seq(e, _) => Sort::seq(e.clone()),
+            Value::Set(e, _) => Sort::set(e.clone()),
+            Value::Bag(e, _) => Sort::bag(e.clone()),
+            Value::Tuple(vs) => Sort::Tuple(vs.iter().map(Value::sort).collect()),
+            Value::Array { key, default, .. } => Sort::array(key.clone(), default.sort()),
+            Value::Unin(s, _) => Sort::Uninterpreted(s.clone()),
+        }
+    }
+
+    /// Convenience accessor; `None` when the value is not a Boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor; `None` when the value is not an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The canonical "default" inhabitant of a sort, used to totalize
+    /// partial operations (e.g. out-of-range `seq.nth`) and to seed reducer
+    /// replacements. Returns `None` for uninterpreted sorts of unknown
+    /// population only — every built-in sort has a default.
+    pub fn default_of(sort: &Sort) -> Value {
+        match sort {
+            Sort::Bool => Value::Bool(false),
+            Sort::Int => Value::Int(0),
+            Sort::Real => Value::Real(Rational::ZERO),
+            Sort::String => Value::Str(String::new()),
+            Sort::BitVec(w) => Value::BitVec(BitVecValue::new(*w, 0)),
+            Sort::FiniteField(p) => Value::FiniteField(FiniteFieldValue::new(*p, 0)),
+            Sort::Seq(e) => Value::Seq((**e).clone(), Vec::new()),
+            Sort::Set(e) => Value::Set((**e).clone(), BTreeSet::new()),
+            Sort::Bag(e) => Value::Bag((**e).clone(), BTreeMap::new()),
+            Sort::Array(k, v) => Value::Array {
+                key: (**k).clone(),
+                default: Box::new(Value::default_of(v)),
+                table: BTreeMap::new(),
+            },
+            Sort::Tuple(es) => Value::Tuple(es.iter().map(Value::default_of).collect()),
+            Sort::Uninterpreted(s) => Value::Unin(s.clone(), 0),
+        }
+    }
+}
+
+/// Escapes a string for SMT-LIB output (doubles `"` characters).
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        if c == '"' {
+            out.push_str("\"\"");
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) if *i < 0 => write!(f, "(- {})", -i),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "\"{}\"", escape_string(s)),
+            Value::BitVec(b) => write!(f, "{b}"),
+            Value::FiniteField(x) => write!(f, "{x}"),
+            Value::Seq(e, vs) => {
+                if vs.is_empty() {
+                    return write!(f, "(as seq.empty (Seq {e}))");
+                }
+                f.write_str("(seq.++")?;
+                for v in vs {
+                    write!(f, " (seq.unit {v})")?;
+                }
+                f.write_str(")")
+            }
+            Value::Set(e, vs) => {
+                if vs.is_empty() {
+                    return write!(f, "(as set.empty (Set {e}))");
+                }
+                let mut it = vs.iter();
+                let first = it.next().expect("non-empty set");
+                let mut txt = format!("(set.singleton {first})");
+                for v in it {
+                    txt = format!("(set.insert {v} {txt})");
+                }
+                f.write_str(&txt)
+            }
+            Value::Bag(e, vs) => {
+                if vs.is_empty() {
+                    return write!(f, "(as bag.empty (Bag {e}))");
+                }
+                let mut parts: Vec<String> = Vec::new();
+                for (v, n) in vs {
+                    parts.push(format!("(bag {v} {n})"));
+                }
+                if parts.len() == 1 {
+                    f.write_str(&parts[0])
+                } else {
+                    write!(f, "(bag.union_disjoint {})", parts.join(" "))
+                }
+            }
+            Value::Tuple(vs) => {
+                if vs.is_empty() {
+                    return f.write_str("tuple.unit");
+                }
+                f.write_str("(tuple")?;
+                for v in vs {
+                    write!(f, " {v}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Array {
+                key,
+                default,
+                table,
+            } => {
+                let base = format!(
+                    "((as const (Array {key} {})) {default})",
+                    default.sort()
+                );
+                let mut txt = base;
+                for (k, v) in table {
+                    txt = format!("(store {txt} {k} {v})");
+                }
+                f.write_str(&txt)
+            }
+            Value::Unin(s, k) => write!(f, "(as @{s}!{k} {s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_normalizes() {
+        let r = Rational::new(4, -8).unwrap();
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn rational_zero_denominator_rejected() {
+        assert!(Rational::new(1, 0).is_none());
+    }
+
+    #[test]
+    fn rational_arithmetic() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 6).unwrap();
+        assert_eq!(a.add(b).unwrap(), Rational::new(1, 2).unwrap());
+        assert_eq!(a.sub(b).unwrap(), Rational::new(1, 6).unwrap());
+        assert_eq!(a.mul(b).unwrap(), Rational::new(1, 18).unwrap());
+        assert_eq!(a.div(b).unwrap(), Rational::from_int(2));
+        assert!(a.div(Rational::ZERO).is_none());
+    }
+
+    #[test]
+    fn rational_floor() {
+        assert_eq!(Rational::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rational::new(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+    }
+
+    #[test]
+    fn rational_ordering() {
+        assert!(Rational::new(1, 3).unwrap() < Rational::new(1, 2).unwrap());
+        assert!(Rational::new(-1, 2).unwrap() < Rational::ZERO);
+    }
+
+    #[test]
+    fn bitvec_masks_and_signs() {
+        let b = BitVecValue::new(4, 0b1_1111);
+        assert_eq!(b.bits(), 0b1111);
+        assert_eq!(b.signed(), -1);
+        let c = BitVecValue::new(4, 0b0111);
+        assert_eq!(c.signed(), 7);
+    }
+
+    #[test]
+    fn bitvec_display() {
+        assert_eq!(BitVecValue::new(8, 0xa5).to_string(), "#xa5");
+        assert_eq!(BitVecValue::new(3, 0b101).to_string(), "#b101");
+    }
+
+    #[test]
+    fn finite_field_arithmetic() {
+        let a = FiniteFieldValue::new(3, 2);
+        let b = FiniteFieldValue::new(3, 2);
+        assert_eq!(a.add(b).value(), 1);
+        assert_eq!(a.mul(b).value(), 1);
+        assert_eq!(a.neg().value(), 1);
+        assert_eq!(FiniteFieldValue::new(5, -1).value(), 4);
+    }
+
+    #[test]
+    fn value_sorts() {
+        assert_eq!(Value::Int(3).sort(), Sort::Int);
+        assert_eq!(
+            Value::Seq(Sort::Int, vec![]).sort(),
+            Sort::seq(Sort::Int)
+        );
+        assert_eq!(Value::Tuple(vec![]).sort(), Sort::unit_tuple());
+    }
+
+    #[test]
+    fn value_display_round_trippable_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "(- 3)");
+        assert_eq!(Value::Str("a\"b".into()).to_string(), "\"a\"\"b\"");
+        assert_eq!(
+            Value::Seq(Sort::Int, vec![]).to_string(),
+            "(as seq.empty (Seq Int))"
+        );
+        let mut s = BTreeSet::new();
+        s.insert(Value::Int(1));
+        assert_eq!(
+            Value::Set(Sort::Int, s).to_string(),
+            "(set.singleton 1)"
+        );
+    }
+
+    #[test]
+    fn defaults_inhabit_their_sort() {
+        for sort in [
+            Sort::Bool,
+            Sort::Int,
+            Sort::Real,
+            Sort::String,
+            Sort::BitVec(5),
+            Sort::FiniteField(7),
+            Sort::seq(Sort::Bool),
+            Sort::set(Sort::Int),
+            Sort::bag(Sort::Int),
+            Sort::array(Sort::Int, Sort::Bool),
+            Sort::Tuple(vec![Sort::Int, Sort::Bool]),
+        ] {
+            assert_eq!(Value::default_of(&sort).sort(), sort);
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! The seeded-bug registry: ground truth for every bug-finding experiment.
+//!
+//! Each [`BugSpec`] models one real-world defect in the style the paper
+//! reports: a *kind* (crash / soundness / invalid model), a *theory*, a
+//! structural *trigger*, the commit that introduced it, optionally the
+//! commit that fixed it (historical bugs used for the RQ2 known-bug study),
+//! and developer-response metadata (confirmed / fixed / duplicate) that
+//! Table 1 aggregates.
+//!
+//! Trigger matching is deterministic: a bug fires on a formula when the
+//! formula's [`FormulaFeatures`] satisfy the structural requirements *and*
+//! the formula hash passes the bug's rarity gate (`hash % rarity == 0`).
+//! Rarity models how deep in the input space a defect hides: rarity 3 bugs
+//! fall out quickly, rarity 10+ bugs need hours of fuzzing — giving the
+//! discovery-over-time curves their realistic shape.
+
+use crate::features::FormulaFeatures;
+use crate::response::{CrashInfo, CrashKind, Outcome, SolverId, SolverResponse};
+use crate::versions::CommitIdx;
+use o4a_smtlib::{Theory, Value};
+use std::sync::OnceLock;
+
+/// The observable class of a bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BugKind {
+    /// The solver aborts (assertion violation, segfault, exception).
+    Crash(CrashKind),
+    /// The solver reports the *opposite* satisfiability verdict.
+    Soundness,
+    /// The solver answers `sat` but its model does not satisfy the formula.
+    InvalidModel,
+}
+
+impl BugKind {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BugKind::Crash(_) => "crash",
+            BugKind::Soundness => "soundness",
+            BugKind::InvalidModel => "invalid model",
+        }
+    }
+}
+
+/// Developer response to the (simulated) bug report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DevStatus {
+    /// Confirmed and fixed.
+    Fixed,
+    /// Confirmed, fix pending.
+    Confirmed,
+    /// Reported, no response yet.
+    Reported,
+}
+
+/// Structural trigger of a bug.
+#[derive(Clone, Debug, Default)]
+pub struct Trigger {
+    /// All of these operator names must occur.
+    pub all_ops: Vec<&'static str>,
+    /// The formula must contain a quantifier.
+    pub requires_quantifier: bool,
+    /// The formula must contain a `let` binder.
+    pub requires_let: bool,
+    /// The formula must exercise this theory.
+    pub theory: Option<Theory>,
+    /// Minimum assertion depth.
+    pub min_depth: usize,
+    /// Rarity gate: fires when `hash % rarity == 0` (1 = always).
+    pub rarity: u64,
+}
+
+impl Trigger {
+    /// True when the features satisfy the structural requirements
+    /// (ignoring the rarity gate).
+    pub fn matches_structure(&self, f: &FormulaFeatures) -> bool {
+        self.all_ops.iter().all(|op| f.has_op(op))
+            && (!self.requires_quantifier || f.has_quantifier)
+            && (!self.requires_let || f.has_let)
+            && self.theory.is_none_or(|t| f.theories.contains(&t))
+            && f.max_depth >= self.min_depth
+    }
+
+    /// Whether a formula hash passes the rarity gate. The raw FNV hash has
+    /// weak low bits, so a splitmix64-style finalizer runs before the
+    /// modulus.
+    pub fn passes_rarity(&self, hash: u64) -> bool {
+        mix(hash) % self.rarity.max(1) == 0
+    }
+
+    /// Full match including the rarity gate.
+    pub fn fires(&self, f: &FormulaFeatures) -> bool {
+        self.matches_structure(f) && self.passes_rarity(f.hash)
+    }
+}
+
+/// splitmix64 finalizer: spreads entropy across all bits before the rarity
+/// modulus.
+fn mix(hash: u64) -> u64 {
+    let mut x = hash;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// One seeded defect.
+#[derive(Clone, Debug)]
+pub struct BugSpec {
+    /// Stable identifier, e.g. `"oz-07"`.
+    pub id: &'static str,
+    /// Which solver contains the defect.
+    pub solver: SolverId,
+    /// Observable class.
+    pub kind: BugKind,
+    /// Theory the defect lives in (triage grouping key).
+    pub theory: Theory,
+    /// One-line description in issue-tracker style.
+    pub summary: &'static str,
+    /// Commit that introduced the defect.
+    pub introduced: CommitIdx,
+    /// Commit that fixed it; `None` for defects open at trunk.
+    pub fixed_commit: Option<CommitIdx>,
+    /// Developer response metadata (Table 1).
+    pub dev_status: DevStatus,
+    /// When this spec is a second signature of another defect, the original
+    /// bug id (Table 1's "Duplicate" row).
+    pub duplicate_of: Option<&'static str>,
+    /// Structural trigger.
+    pub trigger: Trigger,
+    /// Crash stack signature (crash bugs only).
+    pub crash_signature: Option<&'static str>,
+}
+
+impl BugSpec {
+    /// Whether the defect is present in the code at `commit`.
+    pub fn active_at(&self, commit: CommitIdx) -> bool {
+        self.introduced <= commit && self.fixed_commit.is_none_or(|f| commit < f)
+    }
+
+    /// Whether the defect fires on a formula at a commit.
+    pub fn fires(&self, commit: CommitIdx, features: &FormulaFeatures) -> bool {
+        self.active_at(commit) && self.trigger.fires(features)
+    }
+
+    /// Extended-theory bug (the class "existing fuzzers are fundamentally
+    /// incapable of uncovering").
+    pub fn is_extended_theory(&self) -> bool {
+        self.theory.is_extended()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bug(
+    id: &'static str,
+    solver: SolverId,
+    kind: BugKind,
+    theory: Theory,
+    summary: &'static str,
+    introduced: CommitIdx,
+    fixed_commit: Option<CommitIdx>,
+    dev_status: DevStatus,
+    trigger: Trigger,
+    crash_signature: Option<&'static str>,
+) -> BugSpec {
+    BugSpec {
+        id,
+        solver,
+        kind,
+        theory,
+        summary,
+        introduced,
+        fixed_commit,
+        dev_status,
+        duplicate_of: None,
+        trigger,
+        crash_signature,
+    }
+}
+
+fn trig(all_ops: &[&'static str], quant: bool, rarity: u64) -> Trigger {
+    Trigger {
+        all_ops: all_ops.to_vec(),
+        requires_quantifier: quant,
+        rarity,
+        ..Trigger::default()
+    }
+}
+
+/// The full registry, both solvers, trunk defects and historical (already
+/// fixed) defects. Built once.
+pub fn registry() -> &'static [BugSpec] {
+    static REG: OnceLock<Vec<BugSpec>> = OnceLock::new();
+    REG.get_or_init(build_registry)
+}
+
+fn build_registry() -> Vec<BugSpec> {
+    use BugKind::*;
+    use CrashKind::*;
+    use DevStatus::*;
+    use SolverId::*;
+    use Theory::*;
+
+    let mut v: Vec<BugSpec> = Vec::new();
+
+    // =====================================================================
+    // OxiZ (Z3 stand-in) — defects open at trunk. 25 unique + 2 duplicate
+    // signatures (Table 1: reported 27, confirmed 25, fixed 24, dup 2).
+    // Lifespan (Fig. 5): cumulative per release 3, 6, 6, 6, 8, 11, 25.
+    // =====================================================================
+    v.push(bug("oz-01", OxiZ, Crash(AssertionViolation), Ints,
+        "arith rewriter asserts on (mod _ 0) under to_int coercion",
+        5, None, Fixed, trig(&["mod", "to_int"], true, 6),
+        Some("oxiz::arith_rewriter::mk_mod_core:412")));
+    v.push(bug("oz-02", OxiZ, Crash(SegFault), Reals,
+        "null deref evaluating partial function interp with div-by-zero under forall",
+        8, None, Fixed, trig(&["/", "mod"], true, 6),
+        Some("oxiz::model_evaluator::eval_partial:188")));
+    v.push(bug("oz-03", OxiZ, Soundness, Strings,
+        "str.replace length abstraction drops a case, wrong unsat",
+        9, None, Fixed, trig(&["str.replace", "str.len"], false, 6), None));
+    v.push(bug("oz-04", OxiZ, Crash(InternalException), Core,
+        "ite lifting throws on deeply nested distinct chains",
+        12, None, Fixed,
+        Trigger { all_ops: vec!["ite", "distinct"], min_depth: 6, rarity: 6, ..Trigger::default() },
+        Some("oxiz::core_simplifier::lift_ite:97")));
+    v.push(bug("oz-05", OxiZ, Crash(AssertionViolation), BitVectors,
+        "bvshl of bvnot miscomputes width invariant",
+        15, None, Fixed, trig(&["bvshl", "bvnot"], false, 6),
+        Some("oxiz::bv_rewriter::mk_shl:233")));
+    v.push(bug("oz-06", OxiZ, InvalidModel, Ints,
+        "model completion assigns stale value to abs/div alias",
+        18, None, Fixed, trig(&["div", "abs"], false, 6), None));
+    v.push(bug("oz-07", OxiZ, Crash(AssertionViolation), Sequences,
+        "seq.len(seq.rev) not evaluated to a constant under a quantifier",
+        45, None, Fixed, trig(&["seq.rev", "seq.len"], true, 5),
+        Some("oxiz::seq_rewriter::mk_rev:184")));
+    v.push(bug("oz-08", OxiZ, Crash(SegFault), Strings,
+        "substr/indexof offset normalization underflows",
+        48, None, Fixed, trig(&["str.substr", "str.indexof"], false, 6),
+        Some("oxiz::str_solver::normalize_offsets:311")));
+    v.push(bug("oz-09", OxiZ, Soundness, BitVectors,
+        "bvashr sign propagation wrong for signed compare operands",
+        55, None, Fixed, trig(&["bvashr", "bvslt"], false, 6), None));
+    v.push(bug("oz-10", OxiZ, Crash(InternalException), Sequences,
+        "seq.update through seq.extract loses element sort",
+        57, None, Fixed, trig(&["seq.update", "seq.extract"], false, 6),
+        Some("oxiz::seq_rewriter::mk_update:266")));
+    v.push(bug("oz-11", OxiZ, InvalidModel, Reals,
+        "to_real coercion cached across quantifier scopes",
+        60, None, Fixed, trig(&["to_real", "<="], true, 6), None));
+    v.push(bug("oz-12", OxiZ, Crash(AssertionViolation), Arrays,
+        "store-over-store chain confuses array equality propagation",
+        62, None, Fixed,
+        Trigger { all_ops: vec!["store", "select"], min_depth: 5, rarity: 6, ..Trigger::default() },
+        Some("oxiz::array_solver::propagate_store:144")));
+    v.push(bug("oz-13", OxiZ, Crash(AssertionViolation), Ints,
+        "divisible index not validated in preprocessor",
+        64, None, Fixed, trig(&["divisible"], false, 5),
+        Some("oxiz::arith_rewriter::mk_divisible:88")));
+    v.push(bug("oz-14", OxiZ, Crash(SegFault), Strings,
+        "to_code/from_code roundtrip on non-BMP codepoints",
+        66, None, Fixed, trig(&["str.to_code", "str.from_code"], false, 6),
+        Some("oxiz::unicode::code_conv:59")));
+    v.push(bug("oz-15", OxiZ, Soundness, Ints,
+        "quantified div/mod axiom instantiated with swapped arguments",
+        68, None, Fixed, trig(&["mod", "div"], true, 6), None));
+    v.push(bug("oz-16", OxiZ, Crash(InternalException), Core,
+        "xor flattening inside let bindings corrupts node cache",
+        70, None, Fixed,
+        Trigger { all_ops: vec!["xor"], requires_let: true, rarity: 6, ..Trigger::default() },
+        Some("oxiz::core_simplifier::flatten_xor:171")));
+    v.push(bug("oz-17", OxiZ, Crash(AssertionViolation), BitVectors,
+        "concat of extract slices asserts on adjacent ranges",
+        72, None, Fixed, trig(&["concat", "extract"], false, 6),
+        Some("oxiz::bv_rewriter::mk_concat:402")));
+    v.push(bug("oz-18", OxiZ, InvalidModel, Strings,
+        "replace_all fixpoint loop stops one iteration early in model repair",
+        74, None, Fixed, trig(&["str.replace_all"], false, 6), None));
+    v.push(bug("oz-19", OxiZ, Crash(SegFault), Strings,
+        "prefix/suffix shared-node traversal over empty string",
+        76, None, Fixed, trig(&["str.prefixof", "str.suffixof"], false, 6),
+        Some("oxiz::str_solver::affix_check:205")));
+    v.push(bug("oz-20", OxiZ, Crash(AssertionViolation), Ints,
+        "abs of sum overflows internal small-int tag under quantifier",
+        78, None, Fixed, trig(&["abs", "+"], true, 6),
+        Some("oxiz::arith_rewriter::mk_abs:77")));
+    v.push(bug("oz-21", OxiZ, Crash(InternalException), Reals,
+        "to_int of real division caches wrong sort",
+        80, None, Fixed, trig(&["/", "to_int"], false, 6),
+        Some("oxiz::arith_rewriter::mk_to_int:133")));
+    v.push(bug("oz-22", OxiZ, Crash(AssertionViolation), Uf,
+        "congruence table rehash during model build drops UF entry",
+        82, None, Fixed,
+        Trigger { theory: Some(Uf), rarity: 6, ..Trigger::default() },
+        Some("oxiz::euf::rehash:520")));
+    v.push(bug("oz-23", OxiZ, InvalidModel, BitVectors,
+        "bvmul/bvudiv model value not reduced modulo width",
+        84, None, Fixed, trig(&["bvmul", "bvudiv"], false, 6), None));
+    v.push(bug("oz-24", OxiZ, Crash(SegFault), Strings,
+        "nested seq-string conversion frees shared buffer",
+        86, None, Fixed, trig(&["str.++", "str.at"], false, 6),
+        Some("oxiz::str_solver::concat_at:418")));
+    v.push(bug("oz-25", OxiZ, Crash(AssertionViolation), Core,
+        "deep quantified let nesting exhausts scope stack assertion",
+        88, None, Confirmed,
+        Trigger { requires_quantifier: true, requires_let: true, min_depth: 7, rarity: 6,
+                  ..Trigger::default() },
+        Some("oxiz::tactic::scope_stack:61")));
+    // Duplicate signatures of oz-07 and oz-17 (different stacks, same root
+    // cause — triage initially files them separately).
+    v.push(BugSpec {
+        duplicate_of: Some("oz-07"),
+        ..bug("oz-26", OxiZ, Crash(SegFault), Sequences,
+            "seq.rev under exists crashes in model evaluator (dup of oz-07)",
+            45, None, Fixed, trig(&["seq.rev", "seq.nth"], true, 6),
+            Some("oxiz::model_evaluator::eval_seq:233"))
+    });
+    v.push(BugSpec {
+        duplicate_of: Some("oz-17"),
+        ..bug("oz-27", OxiZ, Crash(AssertionViolation), BitVectors,
+            "extract over concat slices asserts (dup of oz-17)",
+            72, None, Fixed, trig(&["extract", "bvor"], false, 6),
+            Some("oxiz::bv_rewriter::mk_extract:391"))
+    });
+
+    // =====================================================================
+    // Cervo (cvc5 stand-in) — defects open at trunk. 18 unique.
+    // Lifespan (Fig. 5): cumulative per release 1, 2, 4, 5, 8, 18.
+    // =====================================================================
+    v.push(bug("cv-01", Cervo, Crash(AssertionViolation), Strings,
+        "indexof with str.at start offset asserts in locale-free compare",
+        7, None, Fixed, trig(&["str.indexof", "str.at"], false, 6),
+        Some("cervo::strings::core_solver::index_of:642")));
+    v.push(bug("cv-02", Cervo, Crash(InternalException), Ints,
+        "divisible-by composite folded with wrong remainder sign",
+        15, None, Fixed, trig(&["mod", "divisible"], false, 6),
+        Some("cervo::arith::rewriter::divisible:120")));
+    v.push(bug("cv-03", Cervo, Crash(AssertionViolation), Reals,
+        "is_int of division normalizes before totality check",
+        24, None, Fixed, trig(&["/", "is_int"], false, 6),
+        Some("cervo::arith::rewriter::is_int:208")));
+    v.push(bug("cv-04", Cervo, Crash(SegFault), BitVectors,
+        "bvsdiv overflow case INT_MIN/-1 in eager bit-blaster",
+        28, None, Fixed, trig(&["bvsdiv"], false, 6),
+        Some("cervo::bv::bitblast::sdiv:334")));
+    v.push(bug("cv-05", Cervo, InvalidModel, Ints,
+        "abs/mod witness under quantifier copied without scope shift",
+        36, None, Fixed, trig(&["abs", "mod"], true, 6), None));
+    v.push(bug("cv-06", Cervo, Crash(AssertionViolation), Sequences,
+        "seq.len(seq.rev s) not evaluated to constant; model rejected under exists",
+        43, None, Fixed, trig(&["seq.rev", "seq.len"], true, 5),
+        Some("cervo::seq::model_builder::eval_rev:291")));
+    v.push(bug("cv-07", Cervo, Crash(SegFault), Sets,
+        "rel.join over nullary relations: type checker assumes non-empty tuples",
+        46, None, Fixed, trig(&["rel.join"], false, 4),
+        Some("cervo::sets::type_rules::join_type:77")));
+    v.push(bug("cv-08", Cervo, InvalidModel, FiniteFields,
+        "ff.bitsum ignores coefficient multipliers for constant children",
+        49, None, Fixed, trig(&["ff.bitsum", "ff.mul"], false, 4), None));
+    v.push(bug("cv-09", Cervo, Crash(AssertionViolation), Bags,
+        "bag.union_disjoint of literal bag asserts on count normalization",
+        52, None, Fixed, trig(&["bag.union_disjoint", "bag"], false, 6),
+        Some("cervo::bags::rewriter::union_disjoint:150")));
+    v.push(bug("cv-10", Cervo, Crash(InternalException), Sequences,
+        "seq.update index reasoning conflicts with seq.nth lemma cache",
+        55, None, Fixed, trig(&["seq.update", "seq.nth"], false, 6),
+        Some("cervo::seq::inference::update_nth:488")));
+    v.push(bug("cv-11", Cervo, Crash(AssertionViolation), Sets,
+        "set.complement cardinality lemma divides by zero universe",
+        60, None, Fixed, trig(&["set.complement", "set.card"], false, 6),
+        Some("cervo::sets::cardinality::complement:216")));
+    v.push(bug("cv-12", Cervo, Crash(SegFault), FiniteFields,
+        "field negation under quantifier reuses freed Gröbner context",
+        65, None, Fixed, trig(&["ff.add", "ff.neg"], true, 6),
+        Some("cervo::ff::groebner::context:99")));
+    v.push(bug("cv-13", Cervo, Crash(AssertionViolation), Bags,
+        "inter_min/count lemma asserts when count exceeds cardinality",
+        70, None, Fixed, trig(&["bag.inter_min", "bag.count"], false, 6),
+        Some("cervo::bags::inference::inter_min:204")));
+    v.push(bug("cv-14", Cervo, Soundness, Sequences,
+        "seq.contains/seq.replace reduction drops overlap case, wrong unsat",
+        75, None, Confirmed, trig(&["seq.contains", "seq.replace"], false, 6), None));
+    v.push(bug("cv-15", Cervo, Crash(InternalException), Strings,
+        "replace_all/contains loop guard off by one in eager mode",
+        80, None, Fixed, trig(&["str.replace_all", "str.contains"], false, 6),
+        Some("cervo::strings::eager::replace_all:377")));
+    v.push(bug("cv-16", Cervo, Crash(AssertionViolation), Arrays,
+        "store chain under quantifier breaks weak-equivalence graph",
+        85, None, Fixed, trig(&["store", "select"], true, 6),
+        Some("cervo::arrays::weak_equiv:263")));
+    v.push(bug("cv-17", Cervo, Crash(SegFault), Ints,
+        "deep quantified div tower overflows recursive normalizer",
+        90, None, Fixed,
+        Trigger { all_ops: vec!["div"], requires_quantifier: true, min_depth: 6, rarity: 6,
+                  ..Trigger::default() },
+        Some("cervo::arith::normalizer::recurse:58")));
+    v.push(bug("cv-18", Cervo, Crash(AssertionViolation), Core,
+        "let-bound quantifier body shared across assertions asserts in preprocessing",
+        95, None, Confirmed,
+        Trigger { requires_quantifier: true, requires_let: true, rarity: 6, ..Trigger::default() },
+        Some("cervo::preprocessing::let_conversion:140")));
+
+    // =====================================================================
+    // Historical defects — introduced before the latest release, fixed on
+    // trunk. These are the "unique known bugs" of the RQ2 comparison
+    // (Figure 7) and the variant study (Figure 9).
+    // =====================================================================
+    v.push(bug("hz-01", OxiZ, Crash(AssertionViolation), Ints,
+        "sum/mod canonicalizer asserts on nested negation (fixed)",
+        30, Some(75), Fixed, trig(&["+", "mod"], false, 3),
+        Some("oxiz::arith_rewriter::canon_sum:512")));
+    v.push(bug("hz-02", OxiZ, Crash(SegFault), Strings,
+        "concat/len propagation reads freed node (fixed)",
+        40, Some(80), Fixed, trig(&["str.++", "str.len"], false, 4),
+        Some("oxiz::str_solver::len_prop:228")));
+    v.push(bug("hz-03", OxiZ, Soundness, Core,
+        "implication chains through ite simplified with wrong polarity (fixed)",
+        50, Some(85), Fixed, trig(&["=>", "ite"], false, 5), None));
+    v.push(bug("hz-04", OxiZ, Crash(AssertionViolation), Sequences,
+        "seq.rev under binder asserts in old model builder (fixed)",
+        55, Some(90), Fixed, trig(&["seq.rev"], true, 4),
+        Some("oxiz::seq_rewriter::rev_binder:166")));
+    v.push(bug("hz-05", OxiZ, Crash(InternalException), BitVectors,
+        "lshr/add fusion wrong carry width (fixed)",
+        60, Some(95), Fixed, trig(&["bvlshr", "bvadd"], false, 5),
+        Some("oxiz::bv_rewriter::shr_add:310")));
+
+    v.push(bug("hc-01", Cervo, Crash(AssertionViolation), Sets,
+        "member-of-union lemma asserts on shared subterm (fixed)",
+        40, Some(65), Fixed, trig(&["set.member", "set.union"], false, 3),
+        Some("cervo::sets::inference::member_union:188")));
+    v.push(bug("hc-02", Cervo, Crash(SegFault), FiniteFields,
+        "field multiplication table overflow for small primes (fixed)",
+        45, Some(70), Fixed, trig(&["ff.mul"], false, 3),
+        Some("cervo::ff::mul_table:92")));
+    v.push(bug("hc-03", Cervo, InvalidModel, Bags,
+        "bag.count model value duplicated across union (fixed)",
+        48, Some(75), Fixed, trig(&["bag.count"], false, 4), None));
+    v.push(bug("hc-04", Cervo, Crash(AssertionViolation), Sequences,
+        "nth/len lemma asserts on empty sequence (fixed)",
+        50, Some(80), Fixed, trig(&["seq.nth", "seq.len"], false, 4),
+        Some("cervo::seq::inference::nth_len:265")));
+    v.push(bug("hc-05", Cervo, Crash(SegFault), Sets,
+        "join column matching reads past tuple arity (fixed)",
+        52, Some(85), Fixed, trig(&["rel.join"], false, 4),
+        Some("cervo::sets::rels::join_cols:134")));
+    v.push(bug("hc-06", Cervo, Soundness, FiniteFields,
+        "bitsum linearization drops top coefficient, wrong unsat (fixed)",
+        54, Some(90), Fixed, trig(&["ff.bitsum"], false, 5), None));
+    v.push(bug("hc-07", Cervo, Crash(AssertionViolation), Strings,
+        "substr/indexof overlap lemma asserts (fixed)",
+        56, Some(92), Fixed, trig(&["str.substr", "str.indexof"], false, 4),
+        Some("cervo::strings::arith_entail:529")));
+    v.push(bug("hc-08", Cervo, Crash(InternalException), Ints,
+        "quantified div/abs instantiation loops then throws (fixed)",
+        58, Some(94), Fixed, trig(&["div", "abs"], true, 5),
+        Some("cervo::quantifiers::cegqi::div_abs:77")));
+    v.push(bug("hc-09", Cervo, Crash(AssertionViolation), Bags,
+        "union_max under quantifier breaks count invariant (fixed)",
+        59, Some(96), Fixed, trig(&["bag.union_max"], true, 5),
+        Some("cervo::bags::union_max_inv:241")));
+    v.push(bug("hc-10", Cervo, Crash(SegFault), Sequences,
+        "extract-of-concat shares node across contexts (fixed)",
+        60, Some(98), Fixed, trig(&["seq.extract", "seq.++"], false, 5),
+        Some("cervo::seq::extract_concat:319")));
+
+    v
+}
+
+/// Trunk-campaign bugs (open at trunk) for a solver — the Table 1/2 and
+/// Figure 5 population.
+pub fn trunk_bugs(solver: SolverId) -> Vec<&'static BugSpec> {
+    registry()
+        .iter()
+        .filter(|b| b.solver == solver && b.fixed_commit.is_none())
+        .collect()
+}
+
+/// Historical fixed bugs present in the latest release — the Figure 7/9
+/// known-bug population.
+pub fn historical_bugs(solver: SolverId) -> Vec<&'static BugSpec> {
+    registry()
+        .iter()
+        .filter(|b| b.solver == solver && b.fixed_commit.is_some())
+        .collect()
+}
+
+/// Applies the first firing bug's effect to a solver response. Returns the
+/// possibly-altered response and the id of the triggered bug, if any.
+///
+/// Crash effects replace the outcome outright; soundness effects flip a
+/// decisive verdict; invalid-model effects corrupt one model constant. A
+/// bug whose effect cannot manifest on this response (e.g. soundness bug on
+/// an `unknown`) is skipped, exactly like a real latent defect on a path
+/// that happens not to matter.
+pub fn apply_bug_effects(
+    solver: SolverId,
+    commit: CommitIdx,
+    features: &FormulaFeatures,
+    mut response: SolverResponse,
+) -> (SolverResponse, Option<&'static str>) {
+    for spec in registry() {
+        if spec.solver != solver || !spec.fires(commit, features) {
+            continue;
+        }
+        match spec.kind {
+            BugKind::Crash(kind) => {
+                response.outcome = Outcome::Crash(CrashInfo {
+                    signature: spec
+                        .crash_signature
+                        .unwrap_or("unknown::frame:0")
+                        .to_string(),
+                    kind,
+                });
+                response.model = None;
+                return (response, Some(spec.id));
+            }
+            BugKind::Soundness => match response.outcome {
+                Outcome::Sat => {
+                    response.outcome = Outcome::Unsat;
+                    response.model = None;
+                    return (response, Some(spec.id));
+                }
+                Outcome::Unsat => {
+                    response.outcome = Outcome::Sat;
+                    response.model = None; // sat without model: triage re-asks
+                    return (response, Some(spec.id));
+                }
+                _ => continue,
+            },
+            BugKind::InvalidModel => {
+                if let (Outcome::Sat, Some(model)) = (&response.outcome, &mut response.model) {
+                    // Corrupt every scalar constant: a stale-value bug in a
+                    // model builder poisons whole assignments, and the
+                    // formula is guaranteed to notice some corrupted input.
+                    let names: Vec<_> = model.iter().map(|(n, _)| n.clone()).collect();
+                    let mut corrupted_any = false;
+                    for name in names {
+                        let corrupted = match model.get_const(&name) {
+                            Some(Value::Int(i)) => Value::Int(i.wrapping_add(1)),
+                            Some(Value::Bool(b)) => Value::Bool(!b),
+                            _ => continue,
+                        };
+                        model.set_const(name, corrupted);
+                        corrupted_any = true;
+                    }
+                    if !corrupted_any {
+                        // No scalar to poison: drop the first interpretation
+                        // instead (an incomplete model).
+                        let first = model.iter().map(|(n, _)| n.clone()).next();
+                        if let Some(name) = first {
+                            model.remove(&name);
+                            corrupted_any = true;
+                        }
+                    }
+                    if corrupted_any {
+                        return (response, Some(spec.id));
+                    }
+                }
+                continue;
+            }
+        }
+    }
+    (response, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::{commit_of, TRUNK_COMMIT};
+    use o4a_smtlib::parse_script;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        let oz = trunk_bugs(SolverId::OxiZ);
+        let cv = trunk_bugs(SolverId::Cervo);
+        assert_eq!(oz.len(), 27, "OxiZ reported");
+        assert_eq!(cv.len(), 18, "Cervo reported");
+        let oz_dup = oz.iter().filter(|b| b.duplicate_of.is_some()).count();
+        assert_eq!(oz_dup, 2);
+        let oz_unique = oz.len() - oz_dup;
+        assert_eq!(oz_unique, 25, "OxiZ confirmed");
+        let oz_fixed = oz
+            .iter()
+            .filter(|b| b.duplicate_of.is_none() && b.dev_status == DevStatus::Fixed)
+            .count();
+        assert_eq!(oz_fixed, 24);
+        let cv_fixed = cv
+            .iter()
+            .filter(|b| b.dev_status == DevStatus::Fixed)
+            .count();
+        assert_eq!(cv_fixed, 16);
+    }
+
+    #[test]
+    fn table2_type_distribution_matches_paper() {
+        let count = |solver, pred: fn(&BugKind) -> bool| {
+            trunk_bugs(solver).iter().filter(|b| pred(&b.kind)).count()
+        };
+        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::Crash(_))), 20);
+        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::InvalidModel)), 4);
+        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::Soundness)), 3);
+        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::Crash(_))), 15);
+        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::InvalidModel)), 2);
+        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::Soundness)), 1);
+    }
+
+    #[test]
+    fn extended_theory_bug_count_matches_paper() {
+        let n = [SolverId::OxiZ, SolverId::Cervo]
+            .iter()
+            .flat_map(|&s| trunk_bugs(s))
+            .filter(|b| b.duplicate_of.is_none() && b.is_extended_theory())
+            .count();
+        assert_eq!(n, 11, "11 bugs involve newly added or solver-specific theories");
+    }
+
+    #[test]
+    fn fig5_lifespan_cumulative_counts() {
+        // Unique confirmed bugs active at each release (the bug must exist at
+        // that release's commit).
+        let cumulative = |solver: SolverId, version: &str| {
+            let c = commit_of(solver, version).unwrap();
+            trunk_bugs(solver)
+                .iter()
+                .filter(|b| b.duplicate_of.is_none() && b.active_at(c))
+                .count()
+        };
+        assert_eq!(cumulative(SolverId::OxiZ, "4.8.1"), 3);
+        assert_eq!(cumulative(SolverId::OxiZ, "4.9"), 6);
+        assert_eq!(cumulative(SolverId::OxiZ, "4.10"), 6);
+        assert_eq!(cumulative(SolverId::OxiZ, "4.11.0"), 6);
+        assert_eq!(cumulative(SolverId::OxiZ, "4.12.0"), 8);
+        assert_eq!(cumulative(SolverId::OxiZ, "4.13.0"), 11);
+        assert_eq!(cumulative(SolverId::OxiZ, "trunk"), 25);
+        assert_eq!(cumulative(SolverId::Cervo, "0.0.2"), 1);
+        assert_eq!(cumulative(SolverId::Cervo, "0.0.11"), 2);
+        assert_eq!(cumulative(SolverId::Cervo, "1.0.1"), 4);
+        assert_eq!(cumulative(SolverId::Cervo, "1.1.0"), 5);
+        assert_eq!(cumulative(SolverId::Cervo, "1.2.0"), 8);
+        assert_eq!(cumulative(SolverId::Cervo, "trunk"), 18);
+    }
+
+    #[test]
+    fn historical_bugs_present_in_release_fixed_on_trunk() {
+        for solver in SolverId::ALL {
+            let release = crate::versions::latest_release(solver);
+            for b in historical_bugs(solver) {
+                assert!(b.active_at(release.commit), "{} not in release", b.id);
+                assert!(!b.active_at(TRUNK_COMMIT), "{} still on trunk", b.id);
+            }
+        }
+        assert_eq!(historical_bugs(SolverId::OxiZ).len(), 5);
+        assert_eq!(historical_bugs(SolverId::Cervo).len(), 10);
+    }
+
+    #[test]
+    fn trigger_fires_on_matching_formula() {
+        // cv-06 is the Figure 1 bug: seq.rev + seq.len + quantifier.
+        let spec = registry().iter().find(|b| b.id == "cv-06").unwrap();
+        let base = "(declare-fun s () (Seq Int))\
+             (assert (exists ((f Int)) (distinct (seq.len (seq.rev s)) \
+             (seq.nth (as seq.empty (Seq Int)) (div {N} {N})))))(check-sat)";
+        // The rarity gate is hash-dependent; sweep a few variants until one
+        // passes, which is exactly how fuzzing encounters it.
+        let mut fired = false;
+        for n in 0..40 {
+            let text = base.replace("{N}", &n.to_string());
+            let f = FormulaFeatures::of(&parse_script(&text).unwrap());
+            assert!(spec.trigger.matches_structure(&f));
+            fired |= spec.fires(TRUNK_COMMIT, &f);
+        }
+        assert!(fired, "rarity gate never passed in 40 variants");
+    }
+
+    #[test]
+    fn trigger_respects_quantifier_requirement() {
+        let spec = registry().iter().find(|b| b.id == "cv-06").unwrap();
+        let s = parse_script(
+            "(declare-fun s () (Seq Int))\
+             (assert (distinct (seq.len (seq.rev s)) 0))(check-sat)",
+        )
+        .unwrap();
+        let f = FormulaFeatures::of(&s);
+        assert!(!spec.trigger.matches_structure(&f), "no quantifier, must not match");
+    }
+
+    #[test]
+    fn crash_effect_overrides_outcome() {
+        let s = parse_script(
+            "(declare-fun r () (Relation Int Int))\
+             (assert (set.subset (rel.join r r) (rel.join r r)))(check-sat)",
+        )
+        .unwrap();
+        let mut f = FormulaFeatures::of(&s);
+        // Force the rarity gate deterministically.
+        let spec = registry().iter().find(|b| b.id == "cv-07").unwrap();
+        f.hash = (0..10_000u64)
+            .find(|h| spec.trigger.passes_rarity(*h))
+            .expect("some hash passes");
+        let resp = SolverResponse {
+            outcome: Outcome::Unknown,
+            model: None,
+            stats: Default::default(),
+        };
+        let (out, id) = apply_bug_effects(SolverId::Cervo, TRUNK_COMMIT, &f, resp);
+        assert_eq!(id, Some("cv-07"));
+        assert!(matches!(out.outcome, Outcome::Crash(_)));
+    }
+
+    #[test]
+    fn soundness_effect_needs_decisive_outcome() {
+        let s = parse_script(
+            "(declare-const a String)\
+             (assert (= (str.len (str.replace a \"x\" \"y\")) 3))(check-sat)",
+        )
+        .unwrap();
+        let spec = registry().iter().find(|b| b.id == "oz-03").unwrap();
+        let mut f = FormulaFeatures::of(&s);
+        f.hash = (0..10_000u64)
+            .find(|h| spec.trigger.passes_rarity(*h))
+            .expect("some hash passes");
+        let unknown = SolverResponse {
+            outcome: Outcome::Unknown,
+            model: None,
+            stats: Default::default(),
+        };
+        let (out, id) = apply_bug_effects(SolverId::OxiZ, TRUNK_COMMIT, &f, unknown);
+        assert_eq!(id, None, "soundness bug cannot manifest on unknown");
+        assert_eq!(out.outcome, Outcome::Unknown);
+
+        let sat = SolverResponse {
+            outcome: Outcome::Sat,
+            model: Some(o4a_smtlib::Model::new()),
+            stats: Default::default(),
+        };
+        let (out, id) = apply_bug_effects(SolverId::OxiZ, TRUNK_COMMIT, &f, sat);
+        assert_eq!(id, Some("oz-03"));
+        assert_eq!(out.outcome, Outcome::Unsat);
+    }
+
+    #[test]
+    fn bugs_inactive_before_introduction() {
+        let spec = registry().iter().find(|b| b.id == "cv-18").unwrap();
+        assert!(!spec.active_at(90));
+        assert!(spec.active_at(95));
+        assert!(spec.active_at(TRUNK_COMMIT));
+    }
+
+    #[test]
+    fn historical_bug_bisectable() {
+        let spec = registry().iter().find(|b| b.id == "hc-05").unwrap();
+        assert!(spec.active_at(84));
+        assert!(!spec.active_at(85), "fix commit removes the bug");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in registry() {
+            assert!(seen.insert(b.id), "duplicate id {}", b.id);
+        }
+    }
+}

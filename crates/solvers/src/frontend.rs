@@ -1,0 +1,322 @@
+//! The solver frontend shared machinery: parsing, theory gating, sort
+//! checking, and frontend coverage attribution.
+//!
+//! Both solvers consume SMT-LIB text through [`Frontend::analyze`]; what
+//! differs is which theories they accept (OxiZ rejects the cvc5-only
+//! extensions, like real Z3 rejects `ff.add`) and the engine that runs
+//! afterwards.
+
+use crate::coverage::{op_slug, supported_theories, CoverageMap, Universe};
+use crate::features::FormulaFeatures;
+use crate::SolverId;
+use o4a_smtlib::{
+    parse_script, typeck, Command, Script, Sort, Symbol, Term, Theory,
+};
+use std::collections::BTreeMap;
+
+/// The result of frontend analysis: everything an engine needs to solve.
+#[derive(Clone, Debug)]
+pub struct Analyzed {
+    /// The parsed script.
+    pub script: Script,
+    /// Declared 0-ary symbols and their sorts.
+    pub consts: Vec<(Symbol, Sort)>,
+    /// Declared n-ary (n ≥ 1) uninterpreted functions.
+    pub funs: Vec<(Symbol, Vec<Sort>, Sort)>,
+    /// Defined functions (`define-fun`), for evaluator expansion.
+    pub defs: BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)>,
+    /// Structural features (trigger matching, coverage, statistics).
+    pub features: FormulaFeatures,
+    /// Input length in bytes (virtual cost model input).
+    pub input_bytes: usize,
+}
+
+/// Frontend for one solver.
+#[derive(Clone, Copy, Debug)]
+pub struct Frontend {
+    solver: SolverId,
+}
+
+impl Frontend {
+    /// Creates the frontend for a solver.
+    pub fn new(solver: SolverId) -> Frontend {
+        Frontend { solver }
+    }
+
+    /// Parses, gates theories, and sort-checks a script, recording frontend
+    /// coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a solver-style error message (the text a real solver prints
+    /// to stderr) on lexical, syntactic, theory-support, or sort errors.
+    /// These messages are the feedback signal for Once4All's generator
+    /// self-correction loop.
+    pub fn analyze(
+        &self,
+        text: &str,
+        universe: &Universe,
+        cov: &mut CoverageMap,
+    ) -> Result<Analyzed, String> {
+        cov.hit(universe, "frontend::error_reporting", 0);
+        let script = parse_script(text).map_err(|e| {
+            cov.hit(universe, "frontend::error_reporting", 1);
+            format!("{e}")
+        })?;
+        self.walk_coverage(&script, universe, cov);
+        self.gate_theories(&script)?;
+        typeck::check_script(&script).map_err(|e| {
+            cov.hit(universe, "frontend::error_reporting", 1);
+            format!("{e}")
+        })?;
+
+        let mut consts = Vec::new();
+        let mut funs = Vec::new();
+        let mut defs = BTreeMap::new();
+        for cmd in &script.commands {
+            match cmd {
+                Command::DeclareConst(name, sort) => consts.push((name.clone(), sort.clone())),
+                Command::DeclareFun(name, args, ret) => {
+                    funs.push((name.clone(), args.clone(), ret.clone()))
+                }
+                Command::DefineFun(name, params, _, body) => {
+                    defs.insert(name.clone(), (params.clone(), body.clone()));
+                }
+                _ => {}
+            }
+        }
+        let features = FormulaFeatures::of(&script);
+        Ok(Analyzed {
+            consts,
+            funs,
+            defs,
+            features,
+            input_bytes: text.len(),
+            script,
+        })
+    }
+
+    /// Rejects scripts that use theories this solver does not implement.
+    fn gate_theories(&self, script: &Script) -> Result<(), String> {
+        let supported = supported_theories(self.solver);
+        for t in script.assertions() {
+            for op in t.ops() {
+                if !supported.contains(&op.theory()) {
+                    return Err(format!(
+                        "unknown constant or function symbol '{}' (theory '{}' is not supported by {})",
+                        op.smt_name(),
+                        op.theory(),
+                        self.solver.name(),
+                    ));
+                }
+            }
+        }
+        for (_, args, ret) in script.declarations() {
+            for s in args.iter().chain(std::iter::once(&ret)) {
+                let th = deep_theories(s);
+                for t in th {
+                    if !supported.contains(&t) {
+                        return Err(format!(
+                            "unknown sort '{s}' (theory '{t}' is not supported by {})",
+                            self.solver.name(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks the AST and records frontend + typecheck coverage. The branch
+    /// taken inside each instrumented function depends on node content, so
+    /// structural diversity of inputs translates into line coverage.
+    fn walk_coverage(&self, script: &Script, universe: &Universe, cov: &mut CoverageMap) {
+        for cmd in &script.commands {
+            let name = match cmd {
+                Command::SetLogic(_) => "set_logic",
+                Command::SetOption(_, _) => "set_option",
+                Command::SetInfo(_, _) => "set_info",
+                Command::DeclareConst(_, _) => "declare_const",
+                Command::DeclareFun(_, _, _) => "declare_fun",
+                Command::DeclareSort(_) => "declare_sort",
+                Command::DefineFun(_, _, _, _) => "define_fun",
+                Command::Assert(_) => "assert",
+                Command::CheckSat => "check_sat",
+                Command::GetModel => "get_model",
+                Command::GetValue(_) => "get_value",
+                Command::Push(_) | Command::Pop(_) => "push_pop",
+                Command::Exit => continue,
+            };
+            cov.hit(universe, &format!("frontend::cmd_{name}"), 0);
+            // Second branch: commands with non-trivial payloads.
+            let deep = matches!(
+                cmd,
+                Command::Assert(_) | Command::DefineFun(_, _, _, _) | Command::DeclareFun(_, _, _)
+            );
+            if deep {
+                cov.hit(universe, &format!("frontend::cmd_{name}"), 1);
+            }
+            if let Command::DeclareConst(_, sort) = cmd {
+                self.sort_coverage(sort, universe, cov);
+            }
+            if let Command::DeclareFun(_, args, ret) = cmd {
+                for s in args.iter().chain(std::iter::once(ret)) {
+                    self.sort_coverage(s, universe, cov);
+                }
+            }
+            if let Command::Assert(t) = cmd {
+                self.term_coverage(t, universe, cov);
+            }
+        }
+    }
+
+    fn sort_coverage(&self, sort: &Sort, universe: &Universe, cov: &mut CoverageMap) {
+        let name = match sort {
+            Sort::Bool => "bool",
+            Sort::Int => "int",
+            Sort::Real => "real",
+            Sort::String => "string",
+            Sort::BitVec(_) => "bitvec",
+            Sort::FiniteField(_) => "ff",
+            Sort::Seq(_) => "seq",
+            Sort::Set(_) => "set",
+            Sort::Bag(_) => "bag",
+            Sort::Array(_, _) => "array",
+            Sort::Tuple(_) => "tuple",
+            Sort::Uninterpreted(_) => "usort",
+        };
+        cov.hit(universe, &format!("frontend::sort_{name}"), 0);
+        if sort.depth() > 1 {
+            cov.hit(universe, &format!("frontend::sort_{name}"), 1);
+        }
+        for c in sort.children() {
+            self.sort_coverage(c, universe, cov);
+        }
+    }
+
+    fn term_coverage(&self, term: &Term, universe: &Universe, cov: &mut CoverageMap) {
+        term.visit(&mut |t| {
+            let (node, deep) = match t {
+                Term::Const(_) => ("const", false),
+                Term::Var(_) => ("var", false),
+                Term::App(_, args) => ("app", args.len() > 2),
+                Term::Let(_, _) => ("let", true),
+                Term::Quant(_, _, _) => ("quant", true),
+                Term::Placeholder(_) => return,
+            };
+            cov.hit(universe, &format!("frontend::term_{node}"), 0);
+            if deep {
+                cov.hit(universe, &format!("frontend::term_{node}"), 1);
+            }
+            if let Term::App(op, args) = t {
+                if !matches!(op, o4a_smtlib::Op::Uf(_)) {
+                    let point = format!("typeck::{}::{}", op.theory().name(), op_slug(op));
+                    cov.hit(universe, &point, 0);
+                    if args.len() > 2 {
+                        cov.hit(universe, &point, 1);
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn deep_theories(s: &Sort) -> Vec<Theory> {
+    let mut out = vec![s.theory()];
+    for c in s.children() {
+        out.extend(deep_theories(c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::universe;
+
+    #[test]
+    fn analyze_accepts_supported_script() {
+        let u = universe(SolverId::OxiZ);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::OxiZ);
+        let a = f
+            .analyze(
+                "(declare-const x Int)(assert (> x 1))(check-sat)",
+                &u,
+                &mut cov,
+            )
+            .unwrap();
+        assert_eq!(a.consts.len(), 1);
+        assert!(a.features.has_op(">"));
+        assert!(cov.functions_hit() > 3);
+    }
+
+    #[test]
+    fn oxiz_rejects_finite_fields() {
+        let u = universe(SolverId::OxiZ);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::OxiZ);
+        let err = f
+            .analyze(
+                "(declare-const v (_ FiniteField 3))\
+                 (assert (= v (ff.add v v)))(check-sat)",
+                &u,
+                &mut cov,
+            )
+            .unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn cervo_accepts_finite_fields() {
+        let u = universe(SolverId::Cervo);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::Cervo);
+        f.analyze(
+            "(declare-const v (_ FiniteField 3))\
+             (assert (= v (ff.add v v)))(check-sat)",
+            &u,
+            &mut cov,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn sort_errors_reported_in_solver_style() {
+        let u = universe(SolverId::Cervo);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::Cervo);
+        let err = f
+            .analyze(
+                "(declare-const a (_ BitVec 8))(declare-const b (_ BitVec 4))\
+                 (assert (= a (bvadd a b)))(check-sat)",
+                &u,
+                &mut cov,
+            )
+            .unwrap_err();
+        assert!(err.contains("equal bit-width"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let u = universe(SolverId::OxiZ);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::OxiZ);
+        assert!(f.analyze("(assert (= 1 1)", &u, &mut cov).is_err());
+    }
+
+    #[test]
+    fn defs_collected() {
+        let u = universe(SolverId::Cervo);
+        let mut cov = CoverageMap::new();
+        let f = Frontend::new(SolverId::Cervo);
+        let a = f
+            .analyze(
+                "(define-fun inc ((x Int)) Int (+ x 1))(assert (= (inc 1) 2))(check-sat)",
+                &u,
+                &mut cov,
+            )
+            .unwrap();
+        assert_eq!(a.defs.len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! # o4a-solvers
+//!
+//! The solvers-under-test substrate: two independently implemented,
+//! coverage-instrumented, bug-seeded miniature SMT solvers standing in for
+//! Z3 and cvc5 (see `DESIGN.md` for the substitution argument).
+//!
+//! * [`OxiZ`] (Z3 stand-in): simplify → bounded domain enumeration;
+//!   supports Core/Ints/Reals/BitVectors/Strings/Arrays/UF/Sequences.
+//! * [`Cervo`] (cvc5 stand-in): NNF + let inlining → model repair →
+//!   exhaustive fallback; additionally supports Sets/Relations, Bags, and
+//!   FiniteFields.
+//!
+//! Both engines answer `sat` only with golden-evaluator-verified models and
+//! `unsat` only after complete finite exhaustion, so **with seeded bugs
+//! disabled they can never produce a sat/unsat conflict** — every
+//! discrepancy a fuzzer observes is attributable to the [`bugs`] registry,
+//! which is exactly the ground truth the paper's experiments need.
+//!
+//! ```
+//! use o4a_solvers::{Cervo, OxiZ, SmtSolver, Outcome};
+//!
+//! let text = "(declare-const x Int)(assert (= (* x x) 9))(check-sat)";
+//! let mut oxiz = OxiZ::new();
+//! let mut cervo = Cervo::new();
+//! assert_eq!(oxiz.check(text).outcome, Outcome::Sat);
+//! assert_eq!(cervo.check(text).outcome, Outcome::Sat);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bugs;
+mod cervo;
+pub mod coverage;
+pub mod features;
+mod frontend;
+mod oxiz;
+mod response;
+pub mod versions;
+
+pub use cervo::Cervo;
+pub use coverage::{CoverageMap, Universe};
+pub use features::FormulaFeatures;
+pub use frontend::{Analyzed, Frontend};
+pub use oxiz::{EngineConfig, OxiZ};
+pub use response::{CrashInfo, CrashKind, Outcome, SolveStats, SolverId, SolverResponse};
+pub use versions::{CommitIdx, Release, TRUNK_COMMIT};
+
+/// The common interface of the solvers under test.
+pub trait SmtSolver {
+    /// Which solver this is.
+    fn id(&self) -> SolverId;
+    /// The commit the solver was "built" from.
+    fn commit(&self) -> CommitIdx;
+    /// Runs a full SMT-LIB script and answers its `check-sat`.
+    fn check(&mut self, text: &str) -> SolverResponse;
+    /// Cumulative coverage across all `check` calls.
+    fn coverage(&self) -> &CoverageMap;
+    /// The solver's instrumentation universe.
+    fn universe(&self) -> &Universe;
+    /// Clears accumulated coverage.
+    fn reset_coverage(&mut self);
+}
+
+/// Constructs a solver by id at a given commit.
+pub fn solver_at(id: SolverId, commit: CommitIdx) -> Box<dyn SmtSolver> {
+    match id {
+        SolverId::OxiZ => Box::new(OxiZ::at_commit(commit)),
+        SolverId::Cervo => Box::new(Cervo::at_commit(commit)),
+    }
+}
+
+/// Constructs a solver by id at a commit with a custom engine
+/// configuration.
+pub fn solver_with_config(
+    id: SolverId,
+    commit: CommitIdx,
+    config: EngineConfig,
+) -> Box<dyn SmtSolver> {
+    match id {
+        SolverId::OxiZ => Box::new(OxiZ::at_commit(commit).with_config(config)),
+        SolverId::Cervo => Box::new(Cervo::at_commit(commit).with_config(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_both() {
+        for id in SolverId::ALL {
+            let mut s = solver_at(id, TRUNK_COMMIT);
+            assert_eq!(s.id(), id);
+            assert_eq!(s.commit(), TRUNK_COMMIT);
+            let r = s.check("(assert true)(check-sat)");
+            assert_eq!(r.outcome, Outcome::Sat);
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_simple_scripts_without_bugs() {
+        let cfg = EngineConfig {
+            bugs_enabled: false,
+            ..EngineConfig::default()
+        };
+        for text in [
+            "(declare-const p Bool)(assert p)(check-sat)",
+            "(declare-const p Bool)(assert (and p (not p)))(check-sat)",
+            "(declare-const x Int)(assert (= (+ x 1) 2))(check-sat)",
+            "(declare-const b (_ BitVec 4))(assert (bvult b #x3))(check-sat)",
+            "(declare-const s String)(assert (= (str.len s) 1))(check-sat)",
+        ] {
+            let mut oz = solver_with_config(SolverId::OxiZ, TRUNK_COMMIT, cfg.clone());
+            let mut cv = solver_with_config(SolverId::Cervo, TRUNK_COMMIT, cfg.clone());
+            let a = oz.check(text).outcome;
+            let b = cv.check(text).outcome;
+            let conflict = matches!(
+                (&a, &b),
+                (Outcome::Sat, Outcome::Unsat) | (Outcome::Unsat, Outcome::Sat)
+            );
+            assert!(!conflict, "sat/unsat conflict on {text}: {a} vs {b}");
+        }
+    }
+}

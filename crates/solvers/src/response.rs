@@ -1,0 +1,183 @@
+//! Solver responses: outcomes, crash information, and solve statistics.
+
+use o4a_smtlib::Model;
+use std::fmt;
+
+/// Identifies one of the two simulated solvers under test.
+///
+/// `OxiZ` plays the role of Z3 and `Cervo` the role of cvc5 in every
+/// experiment table (the mapping is fixed; see `DESIGN.md`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SolverId {
+    /// The Z3 stand-in: simplify → bounded domain enumeration.
+    OxiZ,
+    /// The cvc5 stand-in: NNF → atom abstraction → guided search; supports
+    /// the extended theories (Sets, Bags, FiniteFields) OxiZ rejects.
+    Cervo,
+}
+
+impl SolverId {
+    /// Both solvers in canonical order.
+    pub const ALL: [SolverId; 2] = [SolverId::OxiZ, SolverId::Cervo];
+
+    /// Short machine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverId::OxiZ => "oxiz",
+            SolverId::Cervo => "cervo",
+        }
+    }
+
+    /// The real solver this one stands in for, as used in table headers.
+    pub fn stands_for(self) -> &'static str {
+        match self {
+            SolverId::OxiZ => "Z3",
+            SolverId::Cervo => "cvc5",
+        }
+    }
+}
+
+impl fmt::Display for SolverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Crash details used for deduplication by crash-stack clustering.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CrashInfo {
+    /// Synthetic stack signature, e.g. `"oxiz::seq_rewriter::mk_rev:184"`.
+    /// Crashes with equal signatures are treated as one issue.
+    pub signature: String,
+    /// Crash flavor (assertion violation, segfault, ...).
+    pub kind: CrashKind,
+}
+
+/// The flavor of a crash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CrashKind {
+    /// Internal assertion violation.
+    AssertionViolation,
+    /// Null dereference / segmentation fault.
+    SegFault,
+    /// Unhandled internal exception.
+    InternalException,
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::AssertionViolation => f.write_str("assertion violation"),
+            CrashKind::SegFault => f.write_str("segmentation fault"),
+            CrashKind::InternalException => f.write_str("internal exception"),
+        }
+    }
+}
+
+/// The answer a solver gives for one script.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Satisfiable (a model is attached to the response).
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver could not decide within its bounded search.
+    Unknown,
+    /// The frontend rejected the input (message mimics solver error style).
+    ParseError(String),
+    /// The solver crashed.
+    Crash(CrashInfo),
+    /// The per-query time limit was exceeded.
+    Timeout,
+}
+
+impl Outcome {
+    /// True for `sat`/`unsat` — answers that participate in differential
+    /// comparison.
+    pub fn is_decisive(&self) -> bool {
+        matches!(self, Outcome::Sat | Outcome::Unsat)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Sat => f.write_str("sat"),
+            Outcome::Unsat => f.write_str("unsat"),
+            Outcome::Unknown => f.write_str("unknown"),
+            Outcome::ParseError(m) => write!(f, "(error \"{m}\")"),
+            Outcome::Crash(c) => write!(f, "crash: {} at {}", c.kind, c.signature),
+            Outcome::Timeout => f.write_str("timeout"),
+        }
+    }
+}
+
+/// Statistics from one `check-sat`, including the virtual cost model used by
+/// campaign clocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolveStats {
+    /// Search/evaluation steps performed.
+    pub steps: u64,
+    /// Candidate assignments tried.
+    pub assignments_tried: u64,
+    /// Virtual time consumed, in microseconds. Proportional to input size
+    /// and search effort, so campaign throughput matches the paper's cost
+    /// asymmetries deterministically.
+    pub virtual_micros: u64,
+}
+
+/// A full solver response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SolverResponse {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// The model, when the outcome is [`Outcome::Sat`] (and the bug effects
+    /// did not suppress or corrupt it).
+    pub model: Option<Model>,
+    /// Cost accounting.
+    pub stats: SolveStats,
+}
+
+impl SolverResponse {
+    /// Convenience constructor for error responses.
+    pub fn error(message: impl Into<String>) -> SolverResponse {
+        SolverResponse {
+            outcome: Outcome::ParseError(message.into()),
+            model: None,
+            stats: SolveStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_id_names() {
+        assert_eq!(SolverId::OxiZ.name(), "oxiz");
+        assert_eq!(SolverId::Cervo.stands_for(), "cvc5");
+        assert_eq!(SolverId::ALL.len(), 2);
+    }
+
+    #[test]
+    fn decisive_outcomes() {
+        assert!(Outcome::Sat.is_decisive());
+        assert!(Outcome::Unsat.is_decisive());
+        assert!(!Outcome::Unknown.is_decisive());
+        assert!(!Outcome::Timeout.is_decisive());
+        assert!(!Outcome::ParseError("x".into()).is_decisive());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Sat.to_string(), "sat");
+        let crash = Outcome::Crash(CrashInfo {
+            signature: "oxiz::model_evaluator::eval:42".into(),
+            kind: CrashKind::SegFault,
+        });
+        let text = crash.to_string();
+        assert!(text.contains("segmentation fault"));
+        assert!(text.contains("model_evaluator"));
+    }
+}

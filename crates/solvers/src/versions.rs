@@ -1,0 +1,125 @@
+//! Simulated version/commit history for both solvers.
+//!
+//! Each solver has a linear history of commits `0..=TRUNK_COMMIT`; release
+//! tags map version strings to commit indices. Seeded bugs carry
+//! introduction/fix commits, which supports the paper's bug-lifespan study
+//! (Figure 5) and the correcting-commit bisection used to count unique
+//! known bugs (Figure 7).
+
+use crate::SolverId;
+use std::fmt;
+
+/// A commit index in a solver's linear history.
+pub type CommitIdx = u32;
+
+/// The trunk (HEAD) commit index for both solvers.
+pub const TRUNK_COMMIT: CommitIdx = 100;
+
+/// A release tag: version string and the commit it was cut from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Release {
+    /// Version string, e.g. `"4.8.1"`.
+    pub version: &'static str,
+    /// The commit the release was cut from.
+    pub commit: CommitIdx,
+}
+
+impl fmt::Display for Release {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ commit {}", self.version, self.commit)
+    }
+}
+
+/// Release history for a solver, oldest first, ending with trunk.
+///
+/// The versions mirror the paper's Figure 5 axes: Z3 4.8.1 … 4.13.0 and
+/// cvc5 0.0.2 … 1.2.0, plus the newest release (4.14.0 / 1.2.1) used in the
+/// RQ2 comparison, plus trunk.
+pub fn releases(solver: SolverId) -> Vec<Release> {
+    match solver {
+        SolverId::OxiZ => vec![
+            Release { version: "4.8.1", commit: 10 },
+            Release { version: "4.9", commit: 20 },
+            Release { version: "4.10", commit: 30 },
+            Release { version: "4.11.0", commit: 40 },
+            Release { version: "4.12.0", commit: 50 },
+            Release { version: "4.13.0", commit: 60 },
+            Release { version: "4.14.0", commit: 70 },
+            Release { version: "trunk", commit: TRUNK_COMMIT },
+        ],
+        SolverId::Cervo => vec![
+            Release { version: "0.0.2", commit: 10 },
+            Release { version: "0.0.11", commit: 20 },
+            Release { version: "1.0.1", commit: 30 },
+            Release { version: "1.1.0", commit: 40 },
+            Release { version: "1.2.0", commit: 50 },
+            Release { version: "1.2.1", commit: 60 },
+            Release { version: "trunk", commit: TRUNK_COMMIT },
+        ],
+    }
+}
+
+/// Looks up the commit index of a version string.
+pub fn commit_of(solver: SolverId, version: &str) -> Option<CommitIdx> {
+    releases(solver)
+        .into_iter()
+        .find(|r| r.version == version)
+        .map(|r| r.commit)
+}
+
+/// The newest *release* (not trunk) of a solver — the target of the RQ2
+/// known-bug comparison (Z3 4.14.0 / cvc5 1.2.1 in the paper).
+pub fn latest_release(solver: SolverId) -> Release {
+    releases(solver)
+        .into_iter()
+        .rev()
+        .find(|r| r.version != "trunk")
+        .expect("history has a release")
+}
+
+/// The releases shown on the Figure 5 lifespan axis (oldest six for OxiZ,
+/// oldest five for Cervo, plus trunk).
+pub fn lifespan_releases(solver: SolverId) -> Vec<Release> {
+    let all = releases(solver);
+    let keep: &[&str] = match solver {
+        SolverId::OxiZ => &["4.8.1", "4.9", "4.10", "4.11.0", "4.12.0", "4.13.0", "trunk"],
+        SolverId::Cervo => &["0.0.2", "0.0.11", "1.0.1", "1.1.0", "1.2.0", "trunk"],
+    };
+    all.into_iter()
+        .filter(|r| keep.contains(&r.version))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histories_are_monotone() {
+        for solver in SolverId::ALL {
+            let rs = releases(solver);
+            assert!(rs.windows(2).all(|w| w[0].commit < w[1].commit));
+            assert_eq!(rs.last().unwrap().version, "trunk");
+            assert_eq!(rs.last().unwrap().commit, TRUNK_COMMIT);
+        }
+    }
+
+    #[test]
+    fn latest_release_is_not_trunk() {
+        assert_eq!(latest_release(SolverId::OxiZ).version, "4.14.0");
+        assert_eq!(latest_release(SolverId::Cervo).version, "1.2.1");
+    }
+
+    #[test]
+    fn commit_lookup() {
+        assert_eq!(commit_of(SolverId::OxiZ, "4.8.1"), Some(10));
+        assert_eq!(commit_of(SolverId::Cervo, "1.2.0"), Some(50));
+        assert_eq!(commit_of(SolverId::OxiZ, "9.9.9"), None);
+    }
+
+    #[test]
+    fn lifespan_axes_match_paper() {
+        assert_eq!(lifespan_releases(SolverId::OxiZ).len(), 7);
+        assert_eq!(lifespan_releases(SolverId::Cervo).len(), 6);
+    }
+}

@@ -1,0 +1,54 @@
+//! A miniature Figure 6: race Once4All against two baselines for a few
+//! hundred cases each and compare coverage growth on both solvers.
+//!
+//! ```text
+//! cargo run --release --example coverage_race
+//! ```
+
+use once4all::baselines::{HistFuzz, OpFuzz};
+use once4all::core::{run_campaign, CampaignConfig, Fuzzer, Once4AllFuzzer};
+use once4all::solvers::{SolverId, TRUNK_COMMIT};
+
+fn main() {
+    let config = CampaignConfig {
+        virtual_hours: 24,
+        time_scale: 300_000,
+        solvers: vec![
+            (SolverId::OxiZ, TRUNK_COMMIT),
+            (SolverId::Cervo, TRUNK_COMMIT),
+        ],
+        engine: Default::default(),
+        seed: 99,
+        max_cases: 300,
+    };
+
+    let mut fuzzers: Vec<Box<dyn Fuzzer>> = vec![
+        Box::new(Once4AllFuzzer::with_defaults()),
+        Box::new(HistFuzz::new()),
+        Box::new(OpFuzz::new()),
+    ];
+
+    println!(
+        "{:<12} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>6}",
+        "fuzzer", "cases", "Z3* line", "Z3* fn", "cvc5 line", "cvc5 fn", "issues"
+    );
+    for fuzzer in fuzzers.iter_mut() {
+        let result = run_campaign(fuzzer.as_mut(), &config);
+        let oz = result.final_coverage[&SolverId::OxiZ];
+        let cv = result.final_coverage[&SolverId::Cervo];
+        let issues = once4all::core::dedup(&result.findings).len();
+        println!(
+            "{:<12} {:>6} | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}% | {:>6}",
+            result.fuzzer,
+            result.stats.cases,
+            oz.line_pct,
+            oz.function_pct,
+            cv.line_pct,
+            cv.function_pct,
+            issues
+        );
+    }
+    println!("\nOnce4All reaches the extended-theory modules (sets/bags/ff) that");
+    println!("mutation baselines structurally cannot, which is where the coverage");
+    println!("gap on cvc5* comes from (paper Finding 2).");
+}

@@ -1,0 +1,78 @@
+//! Reproduces the paper's motivating bug (Figure 1 / cvc5 #11924 analog):
+//! a sequence-theory crash that only manifests when a quantifier is
+//! present — then delta-reduces the triggering formula to a minimal report.
+//!
+//! ```text
+//! cargo run --release --example find_seq_bug
+//! ```
+
+use once4all::core::{judge, Verdict};
+use once4all::reduce::{reduce_script, ReduceOptions};
+use once4all::smtlib::parse_script;
+use once4all::solvers::{Cervo, Outcome, SmtSolver};
+
+fn crashes(text: &str) -> bool {
+    let mut solver = Cervo::new();
+    matches!(solver.check(text).outcome, Outcome::Crash(_))
+}
+
+fn main() {
+    println!("== Hunting the Figure 1 sequence bug (cv-06) ==");
+
+    // Skeleton-guided search: the quantifier comes from the seed skeleton,
+    // the seq.rev/seq.len core from the Sequences generator. Here we sweep
+    // constants the way a fuzzing campaign sweeps formula variants.
+    let mut triggering: Option<String> = None;
+    for n in 0..200 {
+        let text = format!(
+            "(declare-fun s () (Seq Int))\n\
+             (declare-const pad Int)\n\
+             (assert (> pad {n}))\n\
+             (assert (exists ((f Int)) (and (distinct (seq.len (seq.rev s)) \
+             (seq.nth (as seq.empty (Seq Int)) (div 0 0))) (= pad pad))))\n\
+             (check-sat)"
+        );
+        if crashes(&text) {
+            triggering = Some(text);
+            break;
+        }
+    }
+    let Some(case) = triggering else {
+        println!("no variant triggered the bug (unexpected)");
+        return;
+    };
+
+    println!("\n-- bug-triggering formula ({} bytes) --\n{case}", case.len());
+    let mut solver = Cervo::new();
+    let response = solver.check(&case);
+    println!("\ncvc5* says: {}", response.outcome);
+
+    // Differential verdict (the oracle's view).
+    let verdict = judge(&case, &[(solver.id(), response)]);
+    match &verdict {
+        Verdict::Crash { signature, .. } => {
+            println!("oracle verdict: crash at {signature}");
+        }
+        other => println!("oracle verdict: {other:?}"),
+    }
+
+    // Observation 2: the quantifier is structurally necessary.
+    let without_quant = case
+        .replace("(exists ((f Int)) (and ", "(and ")
+        .replacen("))\n(check-sat)", ")\n(check-sat)", 1);
+    if parse_script(&without_quant).is_ok() && !crashes(&without_quant) {
+        println!("\nremoving the (semantically irrelevant) quantifier hides the bug —");
+        println!("exactly the paper's Observation 2.");
+    }
+
+    // ddSMT-style reduction to a minimal report.
+    let script = parse_script(&case).expect("triggering case parses");
+    let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
+        crashes(&s.to_string())
+    });
+    println!(
+        "\n-- reduced report ({} -> {} bytes) --\n{reduced}",
+        case.len(),
+        reduced.to_string().len()
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: construct generators (one-time LLM investment), run a short
+//! skeleton-guided fuzzing campaign against both solvers, and print the
+//! first discrepancies the differential oracle finds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use once4all::core::{run_campaign, CampaignConfig, Once4AllConfig, Once4AllFuzzer};
+use once4all::solvers::{SolverId, TRUNK_COMMIT};
+
+fn main() {
+    println!("== Once4All quickstart ==");
+    println!("Phase 1: LLM-assisted generator construction (one-time investment)...");
+    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+
+    println!("Phase 2: skeleton-guided mutation + differential testing...");
+    let config = CampaignConfig {
+        virtual_hours: 24,
+        time_scale: 200_000, // small demo: a few hundred cases
+        solvers: vec![
+            (SolverId::OxiZ, TRUNK_COMMIT),
+            (SolverId::Cervo, TRUNK_COMMIT),
+        ],
+        engine: Default::default(),
+        seed: 42,
+        max_cases: 400,
+    };
+    let result = run_campaign(&mut fuzzer, &config);
+
+    if let Some(report) = fuzzer.construction_report() {
+        println!(
+            "  generators: {} theories, {} LLM requests, {:.1} virtual min",
+            report.generators.len(),
+            report.total_requests,
+            report.total_llm_micros as f64 / 60_000_000.0
+        );
+    }
+    println!(
+        "  cases: {}   bug-triggering: {}   mean size: {:.0} bytes",
+        result.stats.cases,
+        result.stats.bug_triggering,
+        result.stats.mean_bytes()
+    );
+    for (solver, cov) in &result.final_coverage {
+        println!(
+            "  coverage {:>5}: {:.1}% lines / {:.1}% functions",
+            solver.to_string(),
+            cov.line_pct,
+            cov.function_pct
+        );
+    }
+
+    let issues = once4all::core::dedup(&result.findings);
+    println!("\nDeduplicated issues ({}):", issues.len());
+    for issue in issues.iter().take(5) {
+        println!(
+            "  [{}] {} — {} occurrence(s), found at hour {:.1}",
+            issue.solver,
+            issue.kind.label(),
+            issue.occurrences,
+            issue.first_vhour
+        );
+        let first_line = issue
+            .representative
+            .lines()
+            .find(|l| l.starts_with("(assert"))
+            .unwrap_or("");
+        let snippet: String = first_line.chars().take(90).collect();
+        println!("      {snippet}...");
+    }
+}

@@ -1,0 +1,33 @@
+//! # once4all
+//!
+//! Facade crate for the Once4All reproduction: re-exports the public API of
+//! every workspace crate so examples and downstream users need a single
+//! dependency.
+//!
+//! * [`smtlib`] — SMT-LIB 2 substrate (sorts, terms, parser, printer, type
+//!   checker, golden evaluator).
+//! * [`grammar`] — CFGs and random derivation.
+//! * [`llm`] — simulated LLM + generator construction (Algorithm 1).
+//! * [`solvers`] — the two bug-seeded solvers under test (OxiZ ≙ Z3,
+//!   Cervo ≙ cvc5).
+//! * [`core`] — skeleton-guided mutation, differential oracle, campaigns
+//!   (Algorithm 2).
+//! * [`baselines`] — the eight comparison fuzzers.
+//! * [`reduce`] — the ddSMT-style delta debugger.
+//!
+//! ```no_run
+//! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
+//! let mut fuzzer = Once4AllFuzzer::with_defaults();
+//! let result = run_campaign(&mut fuzzer, &CampaignConfig::default());
+//! println!("found {} bug-triggering formulas", result.stats.bug_triggering);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use o4a_baselines as baselines;
+pub use o4a_core as core;
+pub use o4a_grammar as grammar;
+pub use o4a_llm as llm;
+pub use o4a_reduce as reduce;
+pub use o4a_smtlib as smtlib;
+pub use o4a_solvers as solvers;

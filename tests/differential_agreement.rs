@@ -1,0 +1,108 @@
+//! The load-bearing soundness property of the whole reproduction: with
+//! seeded bugs disabled, the two independently implemented solvers can
+//! never produce a sat/unsat conflict, and every `sat` model passes golden
+//! re-evaluation. This is what makes "discrepancy ⇒ seeded defect" valid
+//! in all bug-finding experiments.
+
+use once4all::core::{model_satisfies, Fuzzer, Once4AllConfig, Once4AllFuzzer};
+use once4all::smtlib::parse_script;
+use once4all::solvers::{solver_with_config, EngineConfig, Outcome, SolverId, TRUNK_COMMIT};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn clean_engine() -> EngineConfig {
+    EngineConfig {
+        bugs_enabled: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// Generates a corpus of Once4All-style cases from a seed and checks the
+/// agreement property on each.
+fn check_agreement_for_stream(stream_seed: u64, cases: usize) {
+    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    fuzzer.setup(&mut rng);
+    for _ in 0..cases {
+        let case = fuzzer.next_case(&mut rng);
+        let mut oz = solver_with_config(SolverId::OxiZ, TRUNK_COMMIT, clean_engine());
+        let mut cv = solver_with_config(SolverId::Cervo, TRUNK_COMMIT, clean_engine());
+        let a = oz.check(&case.text);
+        let b = cv.check(&case.text);
+
+        // 1. No sat/unsat conflict, ever.
+        let conflict = matches!(
+            (&a.outcome, &b.outcome),
+            (Outcome::Sat, Outcome::Unsat) | (Outcome::Unsat, Outcome::Sat)
+        );
+        assert!(
+            !conflict,
+            "clean solvers conflict ({} vs {}) on:\n{}",
+            a.outcome, b.outcome, case.text
+        );
+
+        // 2. No crashes without seeded bugs.
+        assert!(!matches!(a.outcome, Outcome::Crash(_)), "{}", case.text);
+        assert!(!matches!(b.outcome, Outcome::Crash(_)), "{}", case.text);
+
+        // 3. Every sat model re-evaluates to true (or undecidable — never
+        //    decidably false).
+        if let Ok(script) = parse_script(&case.text) {
+            for (resp, name) in [(&a, "oxiz"), (&b, "cervo")] {
+                if resp.outcome == Outcome::Sat {
+                    if let Some(model) = &resp.model {
+                        let ok = model_satisfies(&script, model);
+                        assert_ne!(
+                            ok,
+                            Some(false),
+                            "{name} returned an invalid model without bugs on:\n{}",
+                            case.text
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solvers_agree_on_once4all_stream() {
+    check_agreement_for_stream(0xa9e1, 120);
+}
+
+#[test]
+fn solvers_agree_on_baseline_streams() {
+    use once4all::baselines::all_baselines;
+    for mut fuzzer in all_baselines() {
+        let mut rng = StdRng::seed_from_u64(0xba5e);
+        fuzzer.setup(&mut rng);
+        for _ in 0..25 {
+            let case = fuzzer.next_case(&mut rng);
+            let mut oz = solver_with_config(SolverId::OxiZ, TRUNK_COMMIT, clean_engine());
+            let mut cv = solver_with_config(SolverId::Cervo, TRUNK_COMMIT, clean_engine());
+            let a = oz.check(&case.text).outcome;
+            let b = cv.check(&case.text).outcome;
+            let conflict = matches!(
+                (&a, &b),
+                (Outcome::Sat, Outcome::Unsat) | (Outcome::Unsat, Outcome::Sat)
+            );
+            assert!(
+                !conflict,
+                "{}: clean solvers conflict ({a} vs {b}) on:\n{}",
+                fuzzer.name(),
+                case.text
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: agreement holds across arbitrary fuzzer RNG streams.
+    #[test]
+    fn agreement_across_streams(seed in 0u64..1_000_000) {
+        check_agreement_for_stream(seed, 8);
+    }
+}

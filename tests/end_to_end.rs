@@ -1,0 +1,153 @@
+//! Cross-crate integration: the full Once4All pipeline from documentation
+//! to reduced bug report, plus experiment-harness consistency checks.
+
+use once4all::core::{
+    dedup, run_campaign, status_table, CampaignConfig, FoundKind, Once4AllConfig, Once4AllFuzzer,
+};
+use once4all::reduce::{reduce_script, ReduceOptions};
+use once4all::smtlib::parse_script;
+use once4all::solvers::bugs::{registry, trunk_bugs};
+use once4all::solvers::{
+    solver_at, Outcome, SmtSolver, SolverId, TRUNK_COMMIT,
+};
+
+fn small_campaign(seed: u64, cases: usize) -> once4all::core::CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+    let config = CampaignConfig {
+        virtual_hours: 24,
+        time_scale: 400_000,
+        solvers: vec![
+            (SolverId::OxiZ, TRUNK_COMMIT),
+            (SolverId::Cervo, TRUNK_COMMIT),
+        ],
+        engine: Default::default(),
+        seed,
+        max_cases: cases,
+    };
+    run_campaign(&mut fuzzer, &config)
+}
+
+#[test]
+fn pipeline_finds_attributes_and_reduces_bugs() {
+    let result = small_campaign(0xe2e, 700);
+    assert!(
+        result.stats.bug_triggering > 0,
+        "no bugs in {} cases",
+        result.stats.cases
+    );
+
+    let issues = dedup(&result.findings);
+    assert!(!issues.is_empty());
+
+    // Every finding is attributable to a registry defect of the right
+    // solver (discrepancy ⇒ seeded bug).
+    for f in &result.findings {
+        let spec = f
+            .attributed
+            .unwrap_or_else(|| panic!("unattributed finding:\n{}", f.case_text));
+        assert_eq!(spec.solver, f.solver);
+    }
+
+    // Reduce one crash finding while preserving its crash signature.
+    if let Some(crash) = result
+        .findings
+        .iter()
+        .find(|f| f.kind == FoundKind::Crash && f.case_text.len() < 2_000)
+    {
+        let sig = crash.signature.clone().expect("crash has signature");
+        let solver = crash.solver;
+        let script = parse_script(&crash.case_text).expect("finding parses");
+        let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
+            let mut solver = solver_at(solver, TRUNK_COMMIT);
+            match solver.check(&s.to_string()).outcome {
+                Outcome::Crash(info) => info.signature == sig,
+                _ => false,
+            }
+        });
+        assert!(reduced.to_string().len() <= crash.case_text.len());
+        // The reduced case still crashes with the same signature.
+        let mut s = solver_at(solver, TRUNK_COMMIT);
+        match s.check(&reduced.to_string()).outcome {
+            Outcome::Crash(info) => assert_eq!(info.signature, sig),
+            other => panic!("reduced case no longer crashes: {other}"),
+        }
+    }
+}
+
+#[test]
+fn status_table_never_exceeds_registry_totals() {
+    let result = small_campaign(0x7ab1, 500);
+    let table = status_table(&dedup(&result.findings));
+    for (solver, counts) in table {
+        let total = trunk_bugs(solver).len();
+        let unique = trunk_bugs(solver)
+            .iter()
+            .filter(|b| b.duplicate_of.is_none())
+            .count();
+        assert!(counts.reported <= total + 5, "{solver}: {counts:?}");
+        assert!(counts.confirmed <= unique, "{solver}: {counts:?}");
+        assert!(counts.fixed <= counts.confirmed, "{solver}: {counts:?}");
+    }
+}
+
+#[test]
+fn found_kinds_match_ground_truth_kinds() {
+    let result = small_campaign(0x51de, 700);
+    for f in &result.findings {
+        let spec = f.attributed.expect("attributed");
+        let expected = once4all::core::triage::expected_kind(spec);
+        assert_eq!(
+            f.kind, expected,
+            "observable kind diverges from ground truth for {}:\n{}",
+            spec.id, f.case_text
+        );
+    }
+}
+
+#[test]
+fn extended_theory_bugs_only_reachable_with_generators() {
+    // A direct check of the paper's "fundamentally incapable" claim at the
+    // trigger level: every extended-theory trunk bug of Cervo requires an
+    // operator no seed formula contains.
+    let seeds = once4all::core::parsed_seeds();
+    let mut seed_ops = std::collections::BTreeSet::new();
+    for s in &seeds {
+        for a in s.assertions() {
+            for op in a.ops() {
+                seed_ops.insert(op.smt_name().to_string());
+            }
+        }
+    }
+    for spec in trunk_bugs(SolverId::Cervo) {
+        if spec.is_extended_theory() && spec.theory != once4all::smtlib::Theory::Sequences {
+            assert!(
+                spec.trigger
+                    .all_ops
+                    .iter()
+                    .any(|op| !seed_ops.contains(*op)),
+                "{}: reachable from seeds alone",
+                spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_consistency() {
+    // Global invariants over the ground-truth registry.
+    for spec in registry() {
+        if let Some(fix) = spec.fixed_commit {
+            assert!(spec.introduced < fix, "{}: fix before introduction", spec.id);
+        }
+        if matches!(spec.kind, once4all::solvers::bugs::BugKind::Crash(_)) {
+            assert!(spec.crash_signature.is_some(), "{}: crash without signature", spec.id);
+        }
+        if let Some(orig) = spec.duplicate_of {
+            assert!(
+                registry().iter().any(|b| b.id == orig),
+                "{}: duplicate_of dangling",
+                spec.id
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the RQ2 methodology: known (historical) bugs on
+//! release versions, correcting-commit bisection, and the structural reach
+//! differences between Once4All and the baselines.
+
+use once4all::core::{
+    correcting_commit, dedup, run_campaign, CampaignConfig, Once4AllConfig, Once4AllFuzzer,
+};
+use once4all::solvers::bugs::historical_bugs;
+use once4all::solvers::versions::latest_release;
+use once4all::solvers::{EngineConfig, SolverId, TRUNK_COMMIT};
+
+fn release_campaign(cases: usize) -> once4all::core::CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+    let config = CampaignConfig {
+        virtual_hours: 24,
+        time_scale: 15_000,
+        solvers: vec![
+            (SolverId::OxiZ, latest_release(SolverId::OxiZ).commit),
+            (SolverId::Cervo, latest_release(SolverId::Cervo).commit),
+        ],
+        engine: Default::default(),
+        seed: 0x9b9b,
+        max_cases: cases,
+    };
+    run_campaign(&mut fuzzer, &config)
+}
+
+#[test]
+fn once4all_finds_known_bugs_on_releases() {
+    let result = release_campaign(900);
+    assert!(
+        result.stats.bug_triggering > 0,
+        "no known bugs reproduced on releases in {} cases",
+        result.stats.cases
+    );
+    // Every finding on a release attributes to a bug active at that
+    // release (historical or long-lived trunk bug).
+    for f in &result.findings {
+        assert!(f.attributed.is_some(), "unattributed: {}", f.case_text);
+    }
+}
+
+#[test]
+fn bisection_recovers_registry_fix_commits() {
+    let result = release_campaign(900);
+    let engine = EngineConfig::default();
+    let mut bisected = 0;
+    let mut matched = 0;
+    for issue in dedup(&result.findings) {
+        let release = latest_release(issue.solver);
+        let Some(fix) = correcting_commit(
+            issue.solver,
+            &issue.representative,
+            release.commit,
+            TRUNK_COMMIT,
+            &engine,
+        ) else {
+            continue; // open trunk bug, not a known one
+        };
+        bisected += 1;
+        // The recovered commit must be the fix commit of some historical
+        // defect of that solver.
+        if historical_bugs(issue.solver)
+            .iter()
+            .any(|b| b.fixed_commit == Some(fix))
+        {
+            matched += 1;
+        }
+    }
+    assert!(bisected > 0, "no issue bisected to a fix commit");
+    assert_eq!(
+        bisected, matched,
+        "bisection returned a commit that fixes nothing in the registry"
+    );
+}
+
+#[test]
+fn baselines_find_fewer_known_bugs_than_once4all() {
+    // Scaled-down Figure 7 shape check: Once4All strictly dominates the
+    // mutation baselines on extended-theory known bugs.
+    use once4all::baselines::OpFuzz;
+    use once4all::core::Fuzzer;
+    let engine = EngineConfig::default();
+
+    let run = |fuzzer: &mut dyn Fuzzer, seed: u64| {
+        let config = CampaignConfig {
+            virtual_hours: 24,
+            time_scale: 15_000,
+            solvers: vec![
+                (SolverId::OxiZ, latest_release(SolverId::OxiZ).commit),
+                (SolverId::Cervo, latest_release(SolverId::Cervo).commit),
+            ],
+            engine: Default::default(),
+            seed,
+            max_cases: 900,
+        };
+        let result = run_campaign(fuzzer, &config);
+        let mut fixes = std::collections::BTreeSet::new();
+        for issue in dedup(&result.findings) {
+            let release = latest_release(issue.solver);
+            if let Some(fix) = correcting_commit(
+                issue.solver,
+                &issue.representative,
+                release.commit,
+                TRUNK_COMMIT,
+                &engine,
+            ) {
+                fixes.insert((issue.solver, fix));
+            }
+        }
+        fixes
+    };
+
+    let mut once4all = Once4AllFuzzer::new(Once4AllConfig::default());
+    let ours = run(&mut once4all, 0xf17);
+    let mut opfuzz = OpFuzz::new();
+    let theirs = run(&mut opfuzz, 0xf17);
+    assert!(!ours.is_empty(), "Once4All found no known bugs");
+    // Extended-theory known bugs (Cervo Sets/Bags/FiniteFields, fix
+    // commits 65/70/75/85/90/96) are structurally exclusive to Once4All:
+    // no mutation baseline can emit those theories' operators at all.
+    let extended_fixes: std::collections::BTreeSet<u32> =
+        [65u32, 70, 75, 85, 90, 96].into_iter().collect();
+    let extended_theirs = theirs
+        .iter()
+        .filter(|(s, c)| *s == SolverId::Cervo && extended_fixes.contains(c))
+        .count();
+    assert_eq!(
+        extended_theirs, 0,
+        "a mutation baseline reached an extended-theory known bug"
+    );
+    let extended_ours = ours
+        .iter()
+        .filter(|(s, c)| *s == SolverId::Cervo && extended_fixes.contains(c))
+        .count();
+    assert!(
+        extended_ours >= 1,
+        "Once4All reached no extended-theory known bug in this budget"
+    );
+}

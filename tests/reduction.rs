@@ -1,0 +1,81 @@
+//! Integration tests for the reducer against live solver properties (the
+//! paper's ddSMT/C-Reduce step) and reducer/oracle interplay.
+
+use once4all::reduce::{reduce_script, ReduceOptions};
+use once4all::smtlib::{parse_script, typeck};
+use once4all::solvers::{Cervo, Outcome, SmtSolver};
+
+/// Sweeps constants until a formula triggers cv-06 on Cervo trunk.
+fn figure1_trigger() -> Option<String> {
+    for n in 0..200 {
+        let text = format!(
+            "(declare-fun s () (Seq Int))(declare-const noise Int)\
+             (assert (< noise {n}))\
+             (assert (exists ((f Int)) (and (distinct (seq.len (seq.rev s)) {n}) \
+             (= noise noise))))(check-sat)"
+        );
+        let mut solver = Cervo::new();
+        if matches!(solver.check(&text).outcome, Outcome::Crash(_)) {
+            return Some(text);
+        }
+    }
+    None
+}
+
+#[test]
+fn reduces_live_crash_while_preserving_signature() {
+    let case = figure1_trigger().expect("cv-06 variant found");
+    let script = parse_script(&case).unwrap();
+    let sig_of = |text: &str| -> Option<String> {
+        let mut solver = Cervo::new();
+        match solver.check(text).outcome {
+            Outcome::Crash(info) => Some(info.signature),
+            _ => None,
+        }
+    };
+    let original_sig = sig_of(&case).expect("crashes");
+    let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
+        sig_of(&s.to_string()).as_deref() == Some(original_sig.as_str())
+    });
+    let text = reduced.to_string();
+    assert!(text.len() <= case.len());
+    assert_eq!(sig_of(&text).as_deref(), Some(original_sig.as_str()));
+    // The quantifier is part of the trigger, so reduction must keep it.
+    assert!(text.contains("exists"), "{text}");
+    // The irrelevant noise *assertion* must be pruned. (The `noise`
+    // variable itself may survive inside the quantified conjunct when the
+    // defect is input-sensitive — dropping it would change the formula
+    // enough to hide the crash, which mirrors real heisenbug reduction.)
+    assert!(!text.contains("(assert (< noise"), "{text}");
+    typeck::check_script(&reduced).unwrap();
+}
+
+#[test]
+fn reducer_shrinks_generated_bug_cases_substantially() {
+    let case = figure1_trigger().expect("cv-06 variant found");
+    let script = parse_script(&case).unwrap();
+    let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
+        let mut solver = Cervo::new();
+        matches!(solver.check(&s.to_string()).outcome, Outcome::Crash(_))
+    });
+    let shrink = reduced.to_string().len() as f64 / case.len() as f64;
+    assert!(
+        shrink < 0.9,
+        "reduction only reached {:.0}% of original size",
+        shrink * 100.0
+    );
+}
+
+#[test]
+fn reducer_is_a_noop_on_minimal_cases() {
+    // Already-minimal: every piece is needed for the property.
+    let script = parse_script(
+        "(declare-const x Int)(assert (> x 5))(check-sat)",
+    )
+    .unwrap();
+    let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
+        s.to_string().contains("(> x 5)")
+    });
+    assert_eq!(reduced.assertions().count(), 1);
+    assert!(reduced.to_string().contains("(> x 5)"));
+}

@@ -1,0 +1,127 @@
+//! Property tests on the SMT-LIB substrate: printer/parser round trips,
+//! sort-checker stability, and golden-evaluator determinism over randomly
+//! generated well-sorted terms.
+
+use once4all::smtlib::eval::{no_defs, DomainConfig, Evaluator};
+use once4all::smtlib::{
+    parse_script, parse_term, typeck, BitVecValue, Model, Op, Quantifier, Rational, Sort, Symbol,
+    Term, Value,
+};
+use proptest::prelude::*;
+
+/// Strategy for well-sorted Boolean terms over a fixed declaration set
+/// (x: Int, r: Real, p: Bool, s: String, b: BitVec 8).
+fn bool_term(depth: u32) -> BoxedStrategy<Term> {
+    let int_leaf = prop_oneof![
+        (-20i128..20).prop_map(Term::int),
+        Just(Term::var("x")),
+    ];
+    let int_term = int_leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::Add, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::Mul, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::IntDiv, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::Mod, vec![a, b])),
+            inner.prop_map(|a| Term::app(Op::Abs, vec![a])),
+        ]
+    });
+    let str_leaf = prop_oneof![
+        Just(Term::Const(Value::Str("ab".into()))),
+        Just(Term::Const(Value::Str(String::new()))),
+        Just(Term::var("s")),
+    ];
+    let bv_leaf = prop_oneof![
+        (0u128..256).prop_map(|b| Term::Const(Value::BitVec(BitVecValue::new(8, b)))),
+        Just(Term::var("b")),
+    ];
+    let atom = prop_oneof![
+        (int_term.clone(), int_term.clone())
+            .prop_map(|(a, b)| Term::app(Op::Le, vec![a, b])),
+        (int_term.clone(), int_term.clone())
+            .prop_map(|(a, b)| Term::app(Op::Eq, vec![a, b])),
+        (str_leaf.clone(), str_leaf.clone())
+            .prop_map(|(a, b)| Term::app(Op::StrContains, vec![a, b])),
+        (bv_leaf.clone(), bv_leaf)
+            .prop_map(|(a, b)| Term::app(Op::BvUlt, vec![a, b])),
+        int_term.clone().prop_map(|a| Term::app(Op::Divisible(3), vec![a])),
+        Just(Term::var("p")),
+        Just(Term::tru()),
+    ];
+    atom.prop_recursive(depth, 96, 3, move |inner| {
+        let it = int_term.clone();
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::And, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(Op::Or, vec![a, b])),
+            inner.clone().prop_map(|a| Term::app(Op::Not, vec![a])),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Term::app(Op::Ite, vec![a, b, c])),
+            inner.clone().prop_map(|a| {
+                Term::Quant(
+                    Quantifier::Exists,
+                    vec![(Symbol::new("q0"), Sort::Bool)],
+                    Box::new(Term::app(Op::Or, vec![Term::var("q0"), a])),
+                )
+            }),
+            (it, inner).prop_map(|(i, a)| {
+                Term::Let(vec![(Symbol::new("l0"), i)], Box::new(a))
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn wrap_script(t: &Term) -> String {
+    format!(
+        "(declare-const x Int)(declare-const r Real)(declare-const p Bool)\
+         (declare-const s String)(declare-const b (_ BitVec 8))\
+         (assert {t})(check-sat)"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(t in bool_term(4)) {
+        let printed = t.to_string();
+        let reparsed = parse_term(&printed).expect("printed term parses");
+        prop_assert_eq!(&t, &reparsed, "round trip failed for {}", printed);
+    }
+
+    #[test]
+    fn generated_terms_sort_check(t in bool_term(4)) {
+        let script = parse_script(&wrap_script(&t)).expect("script parses");
+        typeck::check_script(&script).expect("well-sorted by construction");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(t in bool_term(3)) {
+        let mut model = Model::new();
+        model.set_const(Symbol::new("x"), Value::Int(2));
+        model.set_const(Symbol::new("r"), Value::Real(Rational::new(1, 2).unwrap()));
+        model.set_const(Symbol::new("p"), Value::Bool(true));
+        model.set_const(Symbol::new("s"), Value::Str("ab".into()));
+        model.set_const(Symbol::new("b"), Value::BitVec(BitVecValue::new(8, 5)));
+        let cfg = DomainConfig::default();
+        let e1 = Evaluator::new(&model, no_defs(), &cfg, 200_000).eval(&t);
+        let e2 = Evaluator::new(&model, no_defs(), &cfg, 200_000).eval(&t);
+        prop_assert_eq!(e1.clone(), e2);
+        if let Ok(v) = e1 {
+            prop_assert_eq!(v.sort(), Sort::Bool);
+        }
+    }
+
+    #[test]
+    fn script_round_trip_through_text(t in bool_term(3)) {
+        let text = wrap_script(&t);
+        let s1 = parse_script(&text).unwrap();
+        let s2 = parse_script(&s1.to_string()).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+}
