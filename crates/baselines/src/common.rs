@@ -219,8 +219,7 @@ mod tests {
             let mutated = swap_ops(term, 2, &mut rng);
             let mut s2 = s.clone();
             *s2.assertions_mut().next().unwrap() = mutated;
-            o4a_smtlib::typeck::check_script(&s2)
-                .unwrap_or_else(|e| panic!("{e}\n{s2}"));
+            o4a_smtlib::typeck::check_script(&s2).unwrap_or_else(|e| panic!("{e}\n{s2}"));
         }
     }
 
@@ -241,9 +240,7 @@ mod tests {
             "binder-scoped terms must be excluded"
         );
         assert!(
-            !subs
-                .iter()
-                .any(|(t, _)| t.to_string() == "(distinct k x)"),
+            !subs.iter().any(|(t, _)| t.to_string() == "(distinct k x)"),
             "the binder-internal atom must not be pooled"
         );
     }

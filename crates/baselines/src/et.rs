@@ -8,7 +8,7 @@
 use o4a_core::{Fuzzer, TestCase};
 use o4a_grammar::{Deriver, Grammar, Hooks};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::cell::RefCell;
 
 /// The expert-crafted enumeration grammar (standard theories only).
@@ -96,11 +96,15 @@ impl Fuzzer for Et {
         let mut hooks = Hooks::new();
         hooks.register("ic", |r| (r.next_u32() % 9).to_string());
         hooks.register("iv", |r| var("ei", "Int", &decls, r.next_u32()));
-        hooks.register("rc", |r| format!("{}.{}", r.next_u32() % 4, r.next_u32() % 10));
+        hooks.register("rc", |r| {
+            format!("{}.{}", r.next_u32() % 4, r.next_u32() % 10)
+        });
         hooks.register("rv", |r| var("er", "Real", &decls, r.next_u32()));
         hooks.register("sc", |r| {
             let n = r.next_u32() % 3;
-            let body: String = (0..n).map(|_| (b'a' + (r.next_u32() % 2) as u8) as char).collect();
+            let body: String = (0..n)
+                .map(|_| (b'a' + (r.next_u32() % 2) as u8) as char)
+                .collect();
             format!("\"{body}\"")
         });
         hooks.register("sv", |r| var("es", "String", &decls, r.next_u32()));

@@ -55,9 +55,7 @@ mod tests {
         let names: Vec<String> = all_baselines().iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec![
-                "ET", "Fuzz4All", "HistFuzz", "LaST", "OpFuzz", "Storm", "TypeFuzz", "YinYang"
-            ]
+            vec!["ET", "Fuzz4All", "HistFuzz", "LaST", "OpFuzz", "Storm", "TypeFuzz", "YinYang"]
         );
     }
 }

@@ -260,8 +260,7 @@ impl Fuzzer for YinYang {
             renames.push((name.clone(), fresh.clone()));
             if args.is_empty() {
                 declared.push((fresh.clone(), ret.clone()));
-                out.commands
-                    .push(Command::DeclareConst(fresh, ret.clone()));
+                out.commands.push(Command::DeclareConst(fresh, ret.clone()));
             } else {
                 out.commands
                     .push(Command::DeclareFun(fresh, args.clone(), ret.clone()));
@@ -311,7 +310,11 @@ mod tests {
             let case = fuzzer.next_case(&mut rng);
             if o4a_smtlib::parse_script(&case.text)
                 .map_err(|e| e.to_string())
-                .and_then(|s| typeck::check_script(&s).map(|_| ()).map_err(|e| e.to_string()))
+                .and_then(|s| {
+                    typeck::check_script(&s)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
                 .is_ok()
             {
                 ok += 1;

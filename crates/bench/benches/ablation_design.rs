@@ -4,9 +4,7 @@
 //! case budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_core::{
-    run_campaign, CampaignConfig, Once4AllConfig, Once4AllFuzzer, SkeletonConfig,
-};
+use o4a_core::{run_campaign, CampaignConfig, Once4AllConfig, Once4AllFuzzer, SkeletonConfig};
 use o4a_solvers::{SolverId, TRUNK_COMMIT};
 
 fn yield_with(config: Once4AllConfig, cases: usize) -> u64 {
@@ -14,7 +12,10 @@ fn yield_with(config: Once4AllConfig, cases: usize) -> u64 {
     let campaign = CampaignConfig {
         virtual_hours: 24,
         time_scale: 1_000_000,
-        solvers: vec![(SolverId::OxiZ, TRUNK_COMMIT), (SolverId::Cervo, TRUNK_COMMIT)],
+        solvers: vec![
+            (SolverId::OxiZ, TRUNK_COMMIT),
+            (SolverId::Cervo, TRUNK_COMMIT),
+        ],
         engine: Default::default(),
         seed: 0xab1a,
         max_cases: cases,
@@ -25,21 +26,48 @@ fn yield_with(config: Once4AllConfig, cases: usize) -> u64 {
 fn bench(c: &mut Criterion) {
     println!("\n=== Ablation: design-choice sweep (bug-triggering cases per 400 cases) ===");
     for (label, config) in [
-        ("replace_p=0.3", Once4AllConfig {
-            skeleton: SkeletonConfig { replace_probability: 0.3, max_placeholders: 4 },
-            ..Once4AllConfig::default()
-        }),
+        (
+            "replace_p=0.3",
+            Once4AllConfig {
+                skeleton: SkeletonConfig {
+                    replace_probability: 0.3,
+                    max_placeholders: 4,
+                },
+                ..Once4AllConfig::default()
+            },
+        ),
         ("replace_p=0.6 (paper)", Once4AllConfig::default()),
-        ("replace_p=0.9", Once4AllConfig {
-            skeleton: SkeletonConfig { replace_probability: 0.9, max_placeholders: 4 },
-            ..Once4AllConfig::default()
-        }),
-        ("max_fills=1", Once4AllConfig { max_fills: 1, ..Once4AllConfig::default() }),
-        ("max_fills=4", Once4AllConfig { max_fills: 4, ..Once4AllConfig::default() }),
-        ("mutations_per_seed=1", Once4AllConfig {
-            mutations_per_seed: 1,
-            ..Once4AllConfig::default()
-        }),
+        (
+            "replace_p=0.9",
+            Once4AllConfig {
+                skeleton: SkeletonConfig {
+                    replace_probability: 0.9,
+                    max_placeholders: 4,
+                },
+                ..Once4AllConfig::default()
+            },
+        ),
+        (
+            "max_fills=1",
+            Once4AllConfig {
+                max_fills: 1,
+                ..Once4AllConfig::default()
+            },
+        ),
+        (
+            "max_fills=4",
+            Once4AllConfig {
+                max_fills: 4,
+                ..Once4AllConfig::default()
+            },
+        ),
+        (
+            "mutations_per_seed=1",
+            Once4AllConfig {
+                mutations_per_seed: 1,
+                ..Once4AllConfig::default()
+            },
+        ),
         ("mutations_per_seed=10 (paper)", Once4AllConfig::default()),
     ] {
         let y = yield_with(config, 400);

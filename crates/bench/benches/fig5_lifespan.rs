@@ -6,7 +6,11 @@ use o4a_bench::{fig5, render_fig5, trunk_campaign, Scale};
 use o4a_core::{dedup, lifespan_series};
 use o4a_solvers::SolverId;
 
-const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 2_000,
+    max_cases: 3_000,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
     let result = trunk_campaign(BENCH_SCALE);

@@ -2,18 +2,34 @@
 //! solvers) at bench scale and measures one coverage campaign.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_bench::{all_fuzzers, coverage_comparison, render_coverage_panel, trunk_solvers, Scale};
+use o4a_bench::{
+    coverage_comparison, coverage_comparison_parallel, exec_knob, render_coverage_panel,
+    trunk_solvers, Roster, Scale,
+};
 use o4a_solvers::SolverId;
 
-const BENCH_SCALE: Scale = Scale { time_scale: 6_000, max_cases: 1_500, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 6_000,
+    max_cases: 1_500,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
-    let results = coverage_comparison(all_fuzzers(), BENCH_SCALE, trunk_solvers());
+    let results = coverage_comparison_parallel(
+        &Roster::paper_fuzzers(),
+        BENCH_SCALE,
+        trunk_solvers(),
+        &exec_knob(),
+    );
     for (solver, lines, title) in [
         (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
         (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
         (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
-        (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+        (
+            SolverId::Cervo,
+            false,
+            "Figure 6d: function coverage on cvc5*",
+        ),
     ] {
         println!("{}", render_coverage_panel(title, &results, solver, lines));
     }
@@ -22,7 +38,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("one_coverage_campaign", |b| {
         b.iter(|| {
-            let tiny = Scale { time_scale: 2_000_000, max_cases: 80, hours: 24 };
+            let tiny = Scale {
+                time_scale: 2_000_000,
+                max_cases: 80,
+                hours: 24,
+            };
             coverage_comparison(
                 vec![Box::new(o4a_core::Once4AllFuzzer::with_defaults())],
                 tiny,

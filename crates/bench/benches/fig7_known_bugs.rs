@@ -2,14 +2,18 @@
 //! versions) at bench scale and measures correcting-commit bisection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_bench::{all_fuzzers, known_bug_comparison, render_known_bugs, Scale};
+use o4a_bench::{exec_knob, known_bug_comparison_parallel, render_known_bugs, Roster, Scale};
 use o4a_core::correcting_commit;
 use o4a_solvers::{EngineConfig, SolverId, TRUNK_COMMIT};
 
-const BENCH_SCALE: Scale = Scale { time_scale: 3_000, max_cases: 1_500, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 3_000,
+    max_cases: 1_500,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
-    let sets = known_bug_comparison(all_fuzzers(), BENCH_SCALE);
+    let sets = known_bug_comparison_parallel(&Roster::paper_fuzzers(), BENCH_SCALE, &exec_knob());
     println!(
         "{}",
         render_known_bugs(
@@ -22,11 +26,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     // A known-triggering case for hz-01 discovered by sweep.
     let case = (0..200)
-        .map(|n| {
-            format!(
-                "(declare-const x Int)(assert (= (+ x {n}) (mod x 3)))(check-sat)"
-            )
-        })
+        .map(|n| format!("(declare-const x Int)(assert (= (+ x {n}) (mod x 3)))(check-sat)"))
         .find(|text| {
             let script = o4a_smtlib::parse_script(text).unwrap();
             let f = o4a_solvers::FormulaFeatures::of(&script);

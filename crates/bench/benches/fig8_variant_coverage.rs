@@ -2,19 +2,47 @@
 //! scale and measures the w/oS variant campaign.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_bench::{all_variants, coverage_comparison, render_coverage_panel, trunk_solvers, Scale};
+use o4a_bench::{
+    coverage_comparison, coverage_comparison_parallel, exec_knob, render_coverage_panel,
+    trunk_solvers, Roster, Scale,
+};
 use o4a_core::{Once4AllConfig, Once4AllFuzzer};
 use o4a_solvers::SolverId;
 
-const BENCH_SCALE: Scale = Scale { time_scale: 6_000, max_cases: 1_500, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 6_000,
+    max_cases: 1_500,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
-    let results = coverage_comparison(all_variants(), BENCH_SCALE, trunk_solvers());
+    let results = coverage_comparison_parallel(
+        &Roster::paper_variants(),
+        BENCH_SCALE,
+        trunk_solvers(),
+        &exec_knob(),
+    );
     for (solver, lines, title) in [
-        (SolverId::OxiZ, true, "Figure 8a: line coverage on Z3* (variants)"),
-        (SolverId::Cervo, true, "Figure 8b: line coverage on cvc5* (variants)"),
-        (SolverId::OxiZ, false, "Figure 8c: function coverage on Z3* (variants)"),
-        (SolverId::Cervo, false, "Figure 8d: function coverage on cvc5* (variants)"),
+        (
+            SolverId::OxiZ,
+            true,
+            "Figure 8a: line coverage on Z3* (variants)",
+        ),
+        (
+            SolverId::Cervo,
+            true,
+            "Figure 8b: line coverage on cvc5* (variants)",
+        ),
+        (
+            SolverId::OxiZ,
+            false,
+            "Figure 8c: function coverage on Z3* (variants)",
+        ),
+        (
+            SolverId::Cervo,
+            false,
+            "Figure 8d: function coverage on cvc5* (variants)",
+        ),
     ] {
         println!("{}", render_coverage_panel(title, &results, solver, lines));
     }
@@ -23,7 +51,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("wos_variant_campaign", |b| {
         b.iter(|| {
-            let tiny = Scale { time_scale: 2_000_000, max_cases: 80, hours: 24 };
+            let tiny = Scale {
+                time_scale: 2_000_000,
+                max_cases: 80,
+                hours: 24,
+            };
             coverage_comparison(
                 vec![Box::new(Once4AllFuzzer::new(Once4AllConfig {
                     use_skeletons: false,

@@ -2,12 +2,19 @@
 //! at bench scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_bench::{all_variants, known_bug_comparison, render_known_bugs, Scale};
+use o4a_bench::{
+    exec_knob, known_bug_comparison, known_bug_comparison_parallel, render_known_bugs, Roster,
+    Scale,
+};
 
-const BENCH_SCALE: Scale = Scale { time_scale: 3_000, max_cases: 1_500, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 3_000,
+    max_cases: 1_500,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
-    let sets = known_bug_comparison(all_variants(), BENCH_SCALE);
+    let sets = known_bug_comparison_parallel(&Roster::paper_variants(), BENCH_SCALE, &exec_knob());
     println!(
         "{}",
         render_known_bugs("Figure 9: unique known bugs found by variants", &sets)
@@ -17,7 +24,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("variant_known_bug_run", |b| {
         b.iter(|| {
-            let tiny = Scale { time_scale: 3_000_000, max_cases: 60, hours: 24 };
+            let tiny = Scale {
+                time_scale: 3_000_000,
+                max_cases: 60,
+                hours: 24,
+            };
             known_bug_comparison(
                 vec![Box::new(o4a_core::Once4AllFuzzer::with_defaults())],
                 tiny,

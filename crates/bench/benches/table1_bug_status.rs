@@ -4,7 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use o4a_bench::{render_table1, table1, trunk_campaign, Scale};
 
-const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 2_000,
+    max_cases: 3_000,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
     // Print the regenerated table once (tee'd into bench_output.txt).
@@ -15,9 +19,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("trunk_campaign_200_cases", |b| {
         b.iter(|| {
-            trunk_campaign(Scale { time_scale: 1_000_000, max_cases: 200, hours: 24 })
-                .stats
-                .cases
+            trunk_campaign(Scale {
+                time_scale: 1_000_000,
+                max_cases: 200,
+                hours: 24,
+            })
+            .stats
+            .cases
         })
     });
     g.finish();

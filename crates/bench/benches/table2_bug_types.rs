@@ -5,7 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use o4a_bench::{render_table2, table2, trunk_campaign, Scale};
 use o4a_core::dedup;
 
-const BENCH_SCALE: Scale = Scale { time_scale: 2_000, max_cases: 3_000, hours: 24 };
+const BENCH_SCALE: Scale = Scale {
+    time_scale: 2_000,
+    max_cases: 3_000,
+    hours: 24,
+};
 
 fn bench(c: &mut Criterion) {
     let result = trunk_campaign(BENCH_SCALE);

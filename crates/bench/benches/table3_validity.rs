@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use o4a_bench::{render_table3, table3_validity};
-use o4a_llm::{construct_generators, ConstructOptions, LlmProfile, SimulatedLlm, TypecheckValidator, Validator};
+use o4a_llm::{
+    construct_generators, ConstructOptions, LlmProfile, SimulatedLlm, TypecheckValidator, Validator,
+};
 
 fn bench(c: &mut Criterion) {
     println!("{}", render_table3(&table3_validity(LlmProfile::gpt4())));

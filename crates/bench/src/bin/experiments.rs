@@ -19,7 +19,11 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    let run_t12 = matches!(what.as_str(), "table1" | "table2" | "fig5" | "stats" | "all");
+    let knob = exec_knob();
+    let run_t12 = matches!(
+        what.as_str(),
+        "table1" | "table2" | "fig5" | "stats" | "all"
+    );
     let mut trunk = None;
     if run_t12 {
         eprintln!("[experiments] running trunk bug-hunting campaign ({scale:?})...");
@@ -44,12 +48,21 @@ fn main() {
         }
         "fig6" => {
             eprintln!("[experiments] running 9 coverage campaigns...");
-            let results = coverage_comparison(all_fuzzers(), scale, trunk_solvers());
+            let results = coverage_comparison_parallel(
+                &Roster::paper_fuzzers(),
+                scale,
+                trunk_solvers(),
+                &knob,
+            );
             for (solver, lines, title) in [
                 (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
                 (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
                 (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
-                (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+                (
+                    SolverId::Cervo,
+                    false,
+                    "Figure 6d: function coverage on cvc5*",
+                ),
             ] {
                 print!("{}", render_coverage_panel(title, &results, solver, lines));
             }
@@ -58,7 +71,7 @@ fn main() {
         }
         "fig7" => {
             eprintln!("[experiments] running 9 known-bug campaigns + bisection...");
-            let sets = known_bug_comparison(all_fuzzers(), scale);
+            let sets = known_bug_comparison_parallel(&Roster::paper_fuzzers(), scale, &knob);
             print!(
                 "{}",
                 render_known_bugs(
@@ -69,19 +82,40 @@ fn main() {
         }
         "fig8" => {
             eprintln!("[experiments] running 4 variant coverage campaigns...");
-            let results = coverage_comparison(all_variants(), scale, trunk_solvers());
+            let results = coverage_comparison_parallel(
+                &Roster::paper_variants(),
+                scale,
+                trunk_solvers(),
+                &knob,
+            );
             for (solver, lines, title) in [
-                (SolverId::OxiZ, true, "Figure 8a: line coverage on Z3* (variants)"),
-                (SolverId::Cervo, true, "Figure 8b: line coverage on cvc5* (variants)"),
-                (SolverId::OxiZ, false, "Figure 8c: function coverage on Z3* (variants)"),
-                (SolverId::Cervo, false, "Figure 8d: function coverage on cvc5* (variants)"),
+                (
+                    SolverId::OxiZ,
+                    true,
+                    "Figure 8a: line coverage on Z3* (variants)",
+                ),
+                (
+                    SolverId::Cervo,
+                    true,
+                    "Figure 8b: line coverage on cvc5* (variants)",
+                ),
+                (
+                    SolverId::OxiZ,
+                    false,
+                    "Figure 8c: function coverage on Z3* (variants)",
+                ),
+                (
+                    SolverId::Cervo,
+                    false,
+                    "Figure 8d: function coverage on cvc5* (variants)",
+                ),
             ] {
                 print!("{}", render_coverage_panel(title, &results, solver, lines));
             }
         }
         "fig9" => {
             eprintln!("[experiments] running 4 variant known-bug campaigns + bisection...");
-            let sets = known_bug_comparison(all_variants(), scale);
+            let sets = known_bug_comparison_parallel(&Roster::paper_variants(), scale, &knob);
             print!(
                 "{}",
                 render_known_bugs("Figure 9: unique known bugs found by variants", &sets)
@@ -99,19 +133,28 @@ fn main() {
             print!("{}", render_stats(r));
             print!("{}", render_table3(&table3_validity(LlmProfile::gpt4())));
             eprintln!("[experiments] running 9 coverage campaigns (fig6)...");
-            let results = coverage_comparison(all_fuzzers(), scale, trunk_solvers());
+            let results = coverage_comparison_parallel(
+                &Roster::paper_fuzzers(),
+                scale,
+                trunk_solvers(),
+                &knob,
+            );
             for (solver, lines, title) in [
                 (SolverId::OxiZ, true, "Figure 6a: line coverage on Z3*"),
                 (SolverId::Cervo, true, "Figure 6b: line coverage on cvc5*"),
                 (SolverId::OxiZ, false, "Figure 6c: function coverage on Z3*"),
-                (SolverId::Cervo, false, "Figure 6d: function coverage on cvc5*"),
+                (
+                    SolverId::Cervo,
+                    false,
+                    "Figure 6d: function coverage on cvc5*",
+                ),
             ] {
                 print!("{}", render_coverage_panel(title, &results, solver, lines));
             }
             let others: Vec<&o4a_core::CampaignResult> = results[1..].iter().collect();
             print!("{}", render_exclusive(&results[0], &others));
             eprintln!("[experiments] running known-bug comparisons (fig7)...");
-            let sets = known_bug_comparison(all_fuzzers(), scale);
+            let sets = known_bug_comparison_parallel(&Roster::paper_fuzzers(), scale, &knob);
             print!(
                 "{}",
                 render_known_bugs(
@@ -120,14 +163,27 @@ fn main() {
                 )
             );
             eprintln!("[experiments] running variant campaigns (fig8/fig9)...");
-            let vresults = coverage_comparison(all_variants(), scale, trunk_solvers());
+            let vresults = coverage_comparison_parallel(
+                &Roster::paper_variants(),
+                scale,
+                trunk_solvers(),
+                &knob,
+            );
             for (solver, lines, title) in [
-                (SolverId::OxiZ, true, "Figure 8a: line coverage on Z3* (variants)"),
-                (SolverId::Cervo, true, "Figure 8b: line coverage on cvc5* (variants)"),
+                (
+                    SolverId::OxiZ,
+                    true,
+                    "Figure 8a: line coverage on Z3* (variants)",
+                ),
+                (
+                    SolverId::Cervo,
+                    true,
+                    "Figure 8b: line coverage on cvc5* (variants)",
+                ),
             ] {
                 print!("{}", render_coverage_panel(title, &vresults, solver, lines));
             }
-            let vsets = known_bug_comparison(all_variants(), scale);
+            let vsets = known_bug_comparison_parallel(&Roster::paper_variants(), scale, &knob);
             print!(
                 "{}",
                 render_known_bugs("Figure 9: unique known bugs found by variants", &vsets)

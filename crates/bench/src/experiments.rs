@@ -4,6 +4,7 @@ use o4a_core::{
     correcting_commit, dedup, run_campaign, CampaignConfig, CampaignResult, Fuzzer, Issue,
     LifespanPoint, Once4AllConfig, Once4AllFuzzer,
 };
+use o4a_exec::{parallel_map, run_campaign_sharded, ExecConfig, Parallelism};
 use o4a_llm::{
     construct_generators, ConstructOptions, ConstructionReport, LlmProfile, SimulatedLlm,
 };
@@ -49,6 +50,31 @@ impl Scale {
     }
 }
 
+/// The parallelism knob every experiment driver routes through: shard
+/// count from `O4A_SHARDS` (default 1 — bit-identical to the paper's
+/// serial protocol) and worker count from `O4A_WORKERS` (default: one per
+/// CPU). Campaigns *within* a comparison additionally fan out across
+/// fuzzers, so even `O4A_SHARDS=1` benefits from the pool.
+pub fn exec_knob() -> ExecConfig {
+    let shards = std::env::var("O4A_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    let parallelism = match std::env::var("O4A_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(1) => Parallelism::Serial,
+        Some(n) if n > 1 => Parallelism::Threads(n),
+        _ => Parallelism::Auto,
+    };
+    ExecConfig {
+        shards,
+        parallelism,
+    }
+}
+
 /// Trunk solvers (the RQ1 bug-hunting configuration).
 pub fn trunk_solvers() -> Vec<(SolverId, CommitIdx)> {
     vec![
@@ -66,10 +92,20 @@ pub fn release_solvers() -> Vec<(SolverId, CommitIdx)> {
 }
 
 /// Runs the RQ1 trunk bug-hunting campaign with Once4All
-/// (Tables 1–2, Figure 5 input, §4.2 statistics).
+/// (Tables 1–2, Figure 5 input, §4.2 statistics), sharded and pooled per
+/// [`exec_knob`]. At the default `O4A_SHARDS=1` the result is
+/// bit-identical to the paper's serial protocol.
 pub fn trunk_campaign(scale: Scale) -> CampaignResult {
-    let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
-    run_campaign(&mut fuzzer, &scale.config(trunk_solvers(), 0x04a1_1))
+    trunk_campaign_with(scale, &exec_knob())
+}
+
+/// [`trunk_campaign`] with an explicit execution configuration.
+pub fn trunk_campaign_with(scale: Scale, exec: &ExecConfig) -> CampaignResult {
+    run_campaign_sharded(
+        |_shard| Box::new(Once4AllFuzzer::new(Once4AllConfig::default())) as Box<dyn Fuzzer>,
+        &scale.config(trunk_solvers(), 0x04a11),
+        exec,
+    )
 }
 
 /// Table 1: bug status per solver from a campaign's findings.
@@ -78,9 +114,7 @@ pub fn table1(result: &CampaignResult) -> BTreeMap<SolverId, o4a_core::StatusCou
 }
 
 /// Table 2: bug-type distribution per solver.
-pub fn table2(
-    result: &CampaignResult,
-) -> BTreeMap<SolverId, BTreeMap<o4a_core::FoundKind, usize>> {
+pub fn table2(result: &CampaignResult) -> BTreeMap<SolverId, BTreeMap<o4a_core::FoundKind, usize>> {
     o4a_core::type_table(&dedup(&result.findings))
 }
 
@@ -101,7 +135,12 @@ pub fn table3_validity(profile: LlmProfile) -> ConstructionReport {
         Box::new(o4a_core::FrontendValidator::new(SolverId::OxiZ)),
         Box::new(o4a_core::FrontendValidator::new(SolverId::Cervo)),
     ];
-    construct_generators(&mut llm, &docs, &mut validators, ConstructOptions::default())
+    construct_generators(
+        &mut llm,
+        &docs,
+        &mut validators,
+        ConstructOptions::default(),
+    )
 }
 
 /// The nine fuzzers of Figure 6/7 in figure order: Once4All + baselines.
@@ -109,6 +148,63 @@ pub fn all_fuzzers() -> Vec<Box<dyn Fuzzer>> {
     let mut v: Vec<Box<dyn Fuzzer>> = vec![Box::new(Once4AllFuzzer::with_defaults())];
     v.extend(o4a_baselines::all_baselines());
     v
+}
+
+/// A display-ordered fuzzer roster that can construct fresh instances on
+/// worker threads — what lets whole comparisons fan out across fuzzers
+/// (and, per instance, across shards) on the `o4a-exec` pool.
+pub struct Roster {
+    len: usize,
+    factory: Box<dyn Fn(usize) -> Box<dyn Fuzzer> + Send + Sync>,
+}
+
+impl Roster {
+    /// Number of fuzzers in the roster.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the roster is empty (never, for the paper rosters).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Builds a fresh instance of fuzzer `i` (panics past the end).
+    pub fn build(&self, i: usize) -> Box<dyn Fuzzer> {
+        assert!(i < self.len, "fuzzer index {i} out of range");
+        (self.factory)(i)
+    }
+
+    /// The nine fuzzers of Figures 6/7 ([`all_fuzzers`] as a roster).
+    pub fn paper_fuzzers() -> Roster {
+        Roster {
+            len: all_fuzzers().len(),
+            factory: Box::new(|i| {
+                if i == 0 {
+                    Box::new(Once4AllFuzzer::with_defaults())
+                } else {
+                    o4a_baselines::all_baselines()
+                        .into_iter()
+                        .nth(i - 1)
+                        .expect("baseline index in range")
+                }
+            }),
+        }
+    }
+
+    /// The four Once4All variants of Figures 8/9 ([`all_variants`] as a
+    /// roster).
+    pub fn paper_variants() -> Roster {
+        Roster {
+            len: all_variants().len(),
+            factory: Box::new(|i| {
+                all_variants()
+                    .into_iter()
+                    .nth(i)
+                    .expect("variant index in range")
+            }),
+        }
+    }
 }
 
 /// The four Once4All variants of Figures 8/9.
@@ -143,10 +239,36 @@ pub fn coverage_comparison(
         .map(|(i, f)| {
             run_campaign(
                 f.as_mut(),
-                &scale.config(solvers.clone(), 0xf16_6 ^ (i as u64) << 8),
+                &scale.config(solvers.clone(), 0xf166 ^ (i as u64) << 8),
             )
         })
         .collect()
+}
+
+/// [`coverage_comparison`] on the worker pool: one campaign per roster
+/// fuzzer, fanned out across fuzzers with `exec.parallelism`; each
+/// campaign runs `exec.shards` shards serially on its worker (the fuzzer
+/// fan-out already saturates the pool). Seeds and merge semantics make
+/// the output order- and scheduling-independent, and at
+/// `ExecConfig::default()` it is case-for-case identical to the serial
+/// [`coverage_comparison`].
+pub fn coverage_comparison_parallel(
+    roster: &Roster,
+    scale: Scale,
+    solvers: Vec<(SolverId, CommitIdx)>,
+    exec: &ExecConfig,
+) -> Vec<CampaignResult> {
+    let workers = exec.parallelism.workers(roster.len());
+    parallel_map(roster.len(), workers, |i| {
+        run_campaign_sharded(
+            |_shard| roster.build(i),
+            &scale.config(solvers.clone(), 0xf166 ^ (i as u64) << 8),
+            &ExecConfig {
+                shards: exec.shards,
+                parallelism: Parallelism::Serial,
+            },
+        )
+    })
 }
 
 /// One fuzzer's unique known bugs: distinct (solver, correcting commit)
@@ -186,11 +308,34 @@ pub fn known_bug_comparison(
         .map(|(i, f)| {
             let result = run_campaign(
                 f.as_mut(),
-                &scale.config(release_solvers(), 0xf17_7 ^ (i as u64) << 8),
+                &scale.config(release_solvers(), 0xf177 ^ (i as u64) << 8),
             );
             (f.name(), unique_known_bugs(&result, &engine))
         })
         .collect()
+}
+
+/// [`known_bug_comparison`] on the worker pool: release campaigns plus
+/// bisection, one roster fuzzer per worker (see
+/// [`coverage_comparison_parallel`] for the pool model).
+pub fn known_bug_comparison_parallel(
+    roster: &Roster,
+    scale: Scale,
+    exec: &ExecConfig,
+) -> Vec<(String, BTreeSet<(SolverId, CommitIdx)>)> {
+    let engine = EngineConfig::default();
+    let workers = exec.parallelism.workers(roster.len());
+    parallel_map(roster.len(), workers, |i| {
+        let result = run_campaign_sharded(
+            |_shard| roster.build(i),
+            &scale.config(release_solvers(), 0xf177 ^ (i as u64) << 8),
+            &ExecConfig {
+                shards: exec.shards,
+                parallelism: Parallelism::Serial,
+            },
+        );
+        (result.fuzzer.clone(), unique_known_bugs(&result, &engine))
+    })
 }
 
 /// The coverage-complementarity analysis (§4.3): function names covered by
@@ -255,5 +400,81 @@ mod tests {
     fn fuzzer_rosters_have_paper_cardinality() {
         assert_eq!(all_fuzzers().len(), 9, "Figure 6 compares nine fuzzers");
         assert_eq!(all_variants().len(), 4, "Figure 8 compares four variants");
+        assert_eq!(Roster::paper_fuzzers().len(), 9);
+        assert_eq!(Roster::paper_variants().len(), 4);
+    }
+
+    #[test]
+    fn rosters_rebuild_the_same_lineup() {
+        let named: Vec<String> = all_fuzzers().iter().map(|f| f.name()).collect();
+        let roster = Roster::paper_fuzzers();
+        let rebuilt: Vec<String> = (0..roster.len()).map(|i| roster.build(i).name()).collect();
+        assert_eq!(named, rebuilt);
+        let vnamed: Vec<String> = all_variants().iter().map(|f| f.name()).collect();
+        let vroster = Roster::paper_variants();
+        let vrebuilt: Vec<String> = (0..vroster.len())
+            .map(|i| vroster.build(i).name())
+            .collect();
+        assert_eq!(vnamed, vrebuilt);
+    }
+
+    #[test]
+    fn parallel_comparison_matches_serial() {
+        // Two fuzzers at smoke scale: the pooled comparison must reproduce
+        // the serial one case for case.
+        let scale = SMOKE;
+        let serial = coverage_comparison(
+            vec![
+                Box::new(Once4AllFuzzer::with_defaults()),
+                Box::new(Once4AllFuzzer::new(Once4AllConfig {
+                    use_skeletons: false,
+                    ..Once4AllConfig::default()
+                })),
+            ],
+            scale,
+            trunk_solvers(),
+        );
+        let roster = Roster {
+            len: 2,
+            factory: Box::new(|i| {
+                if i == 0 {
+                    Box::new(Once4AllFuzzer::with_defaults())
+                } else {
+                    Box::new(Once4AllFuzzer::new(Once4AllConfig {
+                        use_skeletons: false,
+                        ..Once4AllConfig::default()
+                    }))
+                }
+            }),
+        };
+        let parallel = coverage_comparison_parallel(
+            &roster,
+            scale,
+            trunk_solvers(),
+            &ExecConfig {
+                shards: 1,
+                parallelism: Parallelism::Threads(2),
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.fuzzer, p.fuzzer);
+            assert_eq!(s.stats.cases, p.stats.cases);
+            assert_eq!(s.stats.bug_triggering, p.stats.bug_triggering);
+            assert_eq!(s.final_coverage, p.final_coverage);
+        }
+    }
+
+    #[test]
+    fn sharded_trunk_campaign_finds_bugs() {
+        let result = trunk_campaign_with(
+            SMOKE,
+            &ExecConfig {
+                shards: 4,
+                parallelism: Parallelism::Auto,
+            },
+        );
+        assert!(result.stats.cases > 100, "4 shards should multiply cases");
+        assert!(result.stats.bug_triggering > 0);
     }
 }

@@ -17,7 +17,11 @@ pub fn render_table1(table: &BTreeMap<SolverId, StatusCounts>) -> String {
     let mut out = header("Table 1: Status of bugs found in the solvers");
     let oz = table.get(&SolverId::OxiZ).copied().unwrap_or_default();
     let cv = table.get(&SolverId::Cervo).copied().unwrap_or_default();
-    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8}", "Status", "Z3*", "cvc5*", "Total");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8}",
+        "Status", "Z3*", "cvc5*", "Total"
+    );
     for (label, a, b) in [
         ("Reported", oz.reported, cv.reported),
         ("Confirmed", oz.confirmed, cv.confirmed),
@@ -36,8 +40,16 @@ pub fn render_table2(table: &BTreeMap<SolverId, BTreeMap<FoundKind, usize>>) -> 
     let get = |s: SolverId, k: FoundKind| -> usize {
         table.get(&s).and_then(|m| m.get(&k)).copied().unwrap_or(0)
     };
-    let _ = writeln!(out, "{:<15} {:>8} {:>8} {:>8}", "Type", "Z3*", "cvc5*", "Total");
-    for kind in [FoundKind::Crash, FoundKind::InvalidModel, FoundKind::Soundness] {
+    let _ = writeln!(
+        out,
+        "{:<15} {:>8} {:>8} {:>8}",
+        "Type", "Z3*", "cvc5*", "Total"
+    );
+    for kind in [
+        FoundKind::Crash,
+        FoundKind::InvalidModel,
+        FoundKind::Soundness,
+    ] {
         let a = get(SolverId::OxiZ, kind);
         let b = get(SolverId::Cervo, kind);
         let _ = writeln!(out, "{:<15} {a:>8} {b:>8} {:>8}", kind.label(), a + b);
@@ -107,7 +119,11 @@ pub fn render_coverage_panel(
         for s in &r.snapshots {
             if s.hour % 4 == 0 || s.hour == 1 {
                 let cov = s.coverage.get(&solver).copied().unwrap_or_default();
-                let v = if lines { cov.line_pct } else { cov.function_pct };
+                let v = if lines {
+                    cov.line_pct
+                } else {
+                    cov.function_pct
+                };
                 let _ = write!(out, "{v:>6.1}%");
             }
         }
@@ -150,7 +166,11 @@ pub fn render_stats(result: &CampaignResult) -> String {
     let mut out = header("Campaign statistics (§4.2)");
     let s = &result.stats;
     let _ = writeln!(out, "test cases executed      : {}", s.cases);
-    let _ = writeln!(out, "mean formula size        : {:.0} bytes", s.mean_bytes());
+    let _ = writeln!(
+        out,
+        "mean formula size        : {:.0} bytes",
+        s.mean_bytes()
+    );
     let _ = writeln!(out, "bug-triggering formulas  : {}", s.bug_triggering);
     let _ = writeln!(out, "frontend-rejected inputs : {}", s.rejected);
     let _ = writeln!(out, "decisive (sat/unsat)     : {}", s.decisive);
@@ -174,10 +194,7 @@ pub fn render_stats(result: &CampaignResult) -> String {
 
 /// Renders the exclusive-coverage analysis (which modules only Once4All
 /// reaches).
-pub fn render_exclusive(
-    once4all: &CampaignResult,
-    others: &[&CampaignResult],
-) -> String {
+pub fn render_exclusive(once4all: &CampaignResult, others: &[&CampaignResult]) -> String {
     let mut out = header("Coverage complementarity: functions only Once4All reaches");
     let excl = experiments::exclusive_coverage(once4all, others);
     for (solver, names) in excl {

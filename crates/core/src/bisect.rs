@@ -125,13 +125,7 @@ mod tests {
         .expect("no triggering variant found");
         let release = latest_release(SolverId::OxiZ);
         let engine = EngineConfig::default();
-        let fix = correcting_commit(
-            SolverId::OxiZ,
-            &case,
-            release.commit,
-            TRUNK_COMMIT,
-            &engine,
-        );
+        let fix = correcting_commit(SolverId::OxiZ, &case, release.commit, TRUNK_COMMIT, &engine);
         assert_eq!(fix, Some(75));
     }
 

@@ -7,8 +7,8 @@ use crate::fuzzer::{Fuzzer, TestCase};
 use crate::oracle::{judge, Verdict};
 use crate::triage::Finding;
 use o4a_solvers::{
-    solver_with_config, CommitIdx, EngineConfig, FormulaFeatures, Outcome, SmtSolver, SolverId,
-    TRUNK_COMMIT,
+    solver_with_config, CommitIdx, CoverageMap, EngineConfig, FormulaFeatures, Outcome, SmtSolver,
+    SolverId, TRUNK_COMMIT,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,6 +101,20 @@ impl CampaignStats {
             self.total_bytes as f64 / self.cases as f64
         }
     }
+
+    /// Accumulates another stats block into this one (field-wise sum) —
+    /// the aggregate semantics used when combining campaign shards. Setup
+    /// cost sums too: every shard pays its own one-time investment, like
+    /// independent fuzzing machines would.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.cases += other.cases;
+        self.total_bytes += other.total_bytes;
+        self.bug_triggering += other.bug_triggering;
+        self.rejected += other.rejected;
+        self.decisive += other.decisive;
+        self.virtual_seconds += other.virtual_seconds;
+        self.setup_virtual_seconds += other.setup_virtual_seconds;
+    }
 }
 
 /// The result of one campaign.
@@ -119,42 +133,118 @@ pub struct CampaignResult {
     /// Names of covered functions per solver (for the directory-level
     /// complementarity analysis).
     pub covered_functions: BTreeMap<SolverId, Vec<String>>,
+    /// Raw accumulated coverage per solver. Percentages lose information;
+    /// the raw maps are what lets shard results merge without loss
+    /// (`o4a-exec` unions them and recomputes the percentages).
+    pub coverage: BTreeMap<SolverId, CoverageMap>,
 }
 
-/// Runs one fuzzing campaign.
-pub fn run_campaign(fuzzer: &mut dyn Fuzzer, config: &CampaignConfig) -> CampaignResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut solvers: Vec<Box<dyn SmtSolver>> = config
-        .solvers
-        .iter()
-        .map(|(id, commit)| solver_with_config(*id, *commit, config.engine.clone()))
-        .collect();
-    let commits: BTreeMap<SolverId, CommitIdx> = config.solvers.iter().copied().collect();
+/// What one [`CampaignStepper::step`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A test case was generated and executed. `recorded_finding` is true
+    /// when the case produced a new entry in the findings list (what a
+    /// persistent findings store must append).
+    Ran {
+        /// Whether this step appended to the findings list.
+        recorded_finding: bool,
+    },
+    /// The campaign budget (virtual hours or case cap) is exhausted; no
+    /// case was run and all trailing snapshots have been filled in.
+    Exhausted,
+}
 
-    let mut stats = CampaignStats::default();
-    // Setup is a one-time investment and is charged unscaled; `time_scale`
-    // only shrinks the number of *cases* a campaign executes (each real
-    // case stands for `time_scale` virtual ones, preserving per-case cost
-    // ratios between fuzzers).
-    let setup_micros = fuzzer.setup(&mut rng);
-    stats.setup_virtual_seconds = setup_micros / 1_000_000;
+/// The single-case campaign engine: owns the solvers under test, the
+/// virtual clock, statistics, findings, and hourly snapshots, and advances
+/// one test case per [`CampaignStepper::step`].
+///
+/// [`run_campaign`] drives it serially; the `o4a-exec` crate drives one
+/// stepper per shard on a worker pool. Keeping every side effect of a case
+/// inside `step` is what makes the two paths behaviourally identical.
+pub struct CampaignStepper {
+    config: CampaignConfig,
+    solvers: Vec<Box<dyn SmtSolver>>,
+    commits: BTreeMap<SolverId, CommitIdx>,
+    stats: CampaignStats,
+    findings: Vec<Finding>,
+    snapshots: Vec<HourlySnapshot>,
+    next_snapshot_hour: u32,
+    clock_micros: u64,
+    budget_micros: u64,
+}
 
-    let budget_micros = config.virtual_hours as u64 * 3_600_000_000;
-    let mut clock_micros = setup_micros.min(budget_micros);
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut snapshots: Vec<HourlySnapshot> = Vec::new();
-    let mut next_snapshot_hour = 1u32;
+impl CampaignStepper {
+    /// Builds the stepper: constructs the solvers under test and zeroes the
+    /// clock. Call [`CampaignStepper::charge_setup`] with the fuzzer's
+    /// setup cost before the first step.
+    pub fn new(config: &CampaignConfig) -> CampaignStepper {
+        let solvers: Vec<Box<dyn SmtSolver>> = config
+            .solvers
+            .iter()
+            .map(|(id, commit)| solver_with_config(*id, *commit, config.engine.clone()))
+            .collect();
+        let commits: BTreeMap<SolverId, CommitIdx> = config.solvers.iter().copied().collect();
+        CampaignStepper {
+            solvers,
+            commits,
+            stats: CampaignStats::default(),
+            findings: Vec::new(),
+            snapshots: Vec::new(),
+            next_snapshot_hour: 1,
+            clock_micros: 0,
+            budget_micros: config.virtual_hours as u64 * 3_600_000_000,
+            config: config.clone(),
+        }
+    }
 
-    while clock_micros < budget_micros && (stats.cases as usize) < config.max_cases {
-        let TestCase { text, gen_micros } = fuzzer.next_case(&mut rng);
-        stats.cases += 1;
-        stats.total_bytes += text.len() as u64;
+    /// Charges the fuzzer's one-time setup investment to the virtual
+    /// clock. Setup is charged unscaled; `time_scale` only shrinks the
+    /// number of *cases* a campaign executes (each real case stands for
+    /// `time_scale` virtual ones, preserving per-case cost ratios between
+    /// fuzzers).
+    pub fn charge_setup(&mut self, setup_micros: u64) {
+        self.stats.setup_virtual_seconds = setup_micros / 1_000_000;
+        self.clock_micros = setup_micros.min(self.budget_micros);
+    }
+
+    /// True when the virtual budget or the case cap is spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.clock_micros >= self.budget_micros
+            || (self.stats.cases as usize) >= self.config.max_cases
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CampaignStats {
+        &self.stats
+    }
+
+    /// Findings so far (pre-dedup).
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Virtual microseconds consumed so far.
+    pub fn clock_micros(&self) -> u64 {
+        self.clock_micros
+    }
+
+    /// Runs one test case: generate, execute on every solver, judge,
+    /// record, snapshot. Returns [`StepOutcome::Exhausted`] (after filling
+    /// trailing snapshots) once the budget is spent.
+    pub fn step(&mut self, fuzzer: &mut dyn Fuzzer, rng: &mut StdRng) -> StepOutcome {
+        if self.is_exhausted() {
+            self.fill_trailing_snapshots();
+            return StepOutcome::Exhausted;
+        }
+        let TestCase { text, gen_micros } = fuzzer.next_case(rng);
+        self.stats.cases += 1;
+        self.stats.total_bytes += text.len() as u64;
         let mut case_cost = gen_micros;
 
-        let mut responses = Vec::with_capacity(solvers.len());
+        let mut responses = Vec::with_capacity(self.solvers.len());
         let mut any_accepted = false;
         let mut any_decisive = false;
-        for solver in solvers.iter_mut() {
+        for solver in self.solvers.iter_mut() {
             let r = solver.check(&text);
             case_cost += r.stats.virtual_micros;
             match &r.outcome {
@@ -169,88 +259,114 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, config: &CampaignConfig) -> Campaig
             responses.push((solver.id(), r));
         }
         if !any_accepted {
-            stats.rejected += 1;
+            self.stats.rejected += 1;
         }
         if any_decisive {
-            stats.decisive += 1;
+            self.stats.decisive += 1;
         }
 
-        clock_micros = clock_micros.saturating_add(case_cost.saturating_mul(config.time_scale));
-        let vhour = clock_micros as f64 / 3_600_000_000.0;
+        self.clock_micros = self
+            .clock_micros
+            .saturating_add(case_cost.saturating_mul(self.config.time_scale));
+        let vhour = self.clock_micros as f64 / 3_600_000_000.0;
 
+        let mut recorded_finding = false;
         let verdict = judge(&text, &responses);
         if verdict.is_bug() {
-            stats.bug_triggering += 1;
+            self.stats.bug_triggering += 1;
             if let Some(finding) = Finding::from_verdict(
                 &text,
                 &verdict,
-                &FormulaFeatures::of(
-                    &o4a_smtlib::parse_script(&text).unwrap_or_default(),
-                ),
-                &commits,
+                &FormulaFeatures::of(&o4a_smtlib::parse_script(&text).unwrap_or_default()),
+                &self.commits,
                 vhour,
             ) {
-                findings.push(finding);
+                self.findings.push(finding);
+                recorded_finding = true;
             }
         } else if let Verdict::NotComparable = verdict {
             // nothing to record
         }
 
         // Hourly snapshots (catching up if a case jumped several hours).
-        while next_snapshot_hour <= config.virtual_hours
-            && clock_micros >= next_snapshot_hour as u64 * 3_600_000_000
+        while self.next_snapshot_hour <= self.config.virtual_hours
+            && self.clock_micros >= self.next_snapshot_hour as u64 * 3_600_000_000
         {
-            snapshots.push(snapshot(
-                next_snapshot_hour,
-                &solvers,
-                stats.cases,
-                &findings,
+            self.snapshots.push(snapshot(
+                self.next_snapshot_hour,
+                &self.solvers,
+                self.stats.cases,
+                &self.findings,
             ));
-            next_snapshot_hour += 1;
+            self.next_snapshot_hour += 1;
+        }
+        StepOutcome::Ran { recorded_finding }
+    }
+
+    /// Fills any missing trailing snapshots (a campaign may end early on
+    /// `max_cases`).
+    fn fill_trailing_snapshots(&mut self) {
+        while self.next_snapshot_hour <= self.config.virtual_hours {
+            self.snapshots.push(snapshot(
+                self.next_snapshot_hour,
+                &self.solvers,
+                self.stats.cases,
+                &self.findings,
+            ));
+            self.next_snapshot_hour += 1;
         }
     }
-    // Fill any missing trailing snapshots (campaign may end early on
-    // max_cases).
-    while next_snapshot_hour <= config.virtual_hours {
-        snapshots.push(snapshot(
-            next_snapshot_hour,
-            &solvers,
-            stats.cases,
-            &findings,
-        ));
-        next_snapshot_hour += 1;
-    }
-    stats.virtual_seconds = clock_micros / 1_000_000;
 
-    let mut final_coverage = BTreeMap::new();
-    let mut covered_functions = BTreeMap::new();
-    for solver in &solvers {
-        final_coverage.insert(
-            solver.id(),
-            CoveragePoint {
-                line_pct: solver.coverage().line_coverage_pct(solver.universe()),
-                function_pct: solver.coverage().function_coverage_pct(solver.universe()),
-            },
-        );
-        covered_functions.insert(
-            solver.id(),
-            solver
-                .coverage()
-                .covered_function_names(solver.universe())
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-        );
-    }
+    /// Finalizes the campaign: fills trailing snapshots, freezes the
+    /// virtual clock, and extracts coverage into the result.
+    pub fn finish(mut self, fuzzer_name: String) -> CampaignResult {
+        self.fill_trailing_snapshots();
+        self.stats.virtual_seconds = self.clock_micros / 1_000_000;
 
-    CampaignResult {
-        fuzzer: fuzzer.name(),
-        snapshots,
-        findings,
-        stats,
-        final_coverage,
-        covered_functions,
+        let mut final_coverage = BTreeMap::new();
+        let mut covered_functions = BTreeMap::new();
+        let mut coverage = BTreeMap::new();
+        for solver in &self.solvers {
+            final_coverage.insert(
+                solver.id(),
+                CoveragePoint {
+                    line_pct: solver.coverage().line_coverage_pct(solver.universe()),
+                    function_pct: solver.coverage().function_coverage_pct(solver.universe()),
+                },
+            );
+            covered_functions.insert(
+                solver.id(),
+                solver
+                    .coverage()
+                    .covered_function_names(solver.universe())
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            coverage.insert(solver.id(), solver.coverage().clone());
+        }
+
+        CampaignResult {
+            fuzzer: fuzzer_name,
+            snapshots: self.snapshots,
+            findings: self.findings,
+            stats: self.stats,
+            final_coverage,
+            covered_functions,
+            coverage,
+        }
     }
+}
+
+/// Runs one fuzzing campaign serially (the paper's original protocol).
+/// Sharded parallel execution with identical per-shard semantics lives in
+/// the `o4a-exec` crate.
+pub fn run_campaign(fuzzer: &mut dyn Fuzzer, config: &CampaignConfig) -> CampaignResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stepper = CampaignStepper::new(config);
+    stepper.charge_setup(fuzzer.setup(&mut rng));
+    while let StepOutcome::Ran { .. } = stepper.step(fuzzer, &mut rng) {}
+    stepper.finish(fuzzer.name())
 }
 
 fn snapshot(
@@ -273,7 +389,11 @@ fn snapshot(
         hour,
         coverage,
         cases,
-        issues: crate::triage::dedup(findings).len(),
+        // Count only findings discovered by the hour boundary (`vhour` can
+        // land past it when one case jumps several virtual hours). This is
+        // the same rule the shard merge applies, which keeps a 1-shard
+        // engine run bit-identical to the serial campaign.
+        issues: crate::triage::dedup_refs(findings.iter().filter(|f| f.vhour <= hour as f64)).len(),
     }
 }
 
@@ -337,6 +457,71 @@ mod tests {
             "clean solvers must never disagree: {:?}",
             result.findings.first().map(|f| &f.case_text)
         );
+    }
+
+    #[test]
+    fn stepper_loop_matches_run_campaign() {
+        let config = quick_config();
+        let mut f1 = Once4AllFuzzer::new(Once4AllConfig::default());
+        let r1 = run_campaign(&mut f1, &config);
+
+        let mut f2 = Once4AllFuzzer::new(Once4AllConfig::default());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut stepper = CampaignStepper::new(&config);
+        stepper.charge_setup(f2.setup(&mut rng));
+        let mut recorded = 0usize;
+        while let StepOutcome::Ran { recorded_finding } = stepper.step(&mut f2, &mut rng) {
+            if recorded_finding {
+                recorded += 1;
+            }
+        }
+        let r2 = stepper.finish(f2.name());
+
+        assert_eq!(r1.stats.cases, r2.stats.cases);
+        assert_eq!(r1.stats.bug_triggering, r2.stats.bug_triggering);
+        assert_eq!(r1.findings.len(), r2.findings.len());
+        assert_eq!(recorded, r2.findings.len());
+        assert_eq!(r1.final_coverage, r2.final_coverage);
+        assert_eq!(r1.snapshots.len(), r2.snapshots.len());
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let a = CampaignStats {
+            cases: 10,
+            total_bytes: 1_000,
+            bug_triggering: 2,
+            rejected: 1,
+            decisive: 7,
+            virtual_seconds: 3_600,
+            setup_virtual_seconds: 60,
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.cases, 20);
+        assert_eq!(b.total_bytes, 2_000);
+        assert_eq!(b.bug_triggering, 4);
+        assert_eq!(b.rejected, 2);
+        assert_eq!(b.decisive, 14);
+        assert_eq!(b.virtual_seconds, 7_200);
+        assert_eq!(b.setup_virtual_seconds, 120);
+        assert!((b.mean_bytes() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_carries_raw_coverage_maps() {
+        let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+        let result = run_campaign(&mut fuzzer, &quick_config());
+        for id in [SolverId::OxiZ, SolverId::Cervo] {
+            let map = &result.coverage[&id];
+            assert!(!map.is_empty());
+            let u = o4a_solvers::coverage::universe(id);
+            let pct = map.line_coverage_pct(&u);
+            assert!(
+                (pct - result.final_coverage[&id].line_pct).abs() < 1e-9,
+                "raw map disagrees with recorded percentage for {id}"
+            );
+        }
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use crate::skeleton::Skeleton;
 use o4a_llm::RawTerm;
-use o4a_smtlib::{
-    parse_script, typeck, Command, Script, Sort, Symbol, Term,
-};
+use o4a_smtlib::{parse_script, typeck, Command, Script, Sort, Symbol, Term};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -228,11 +226,8 @@ mod tests {
             "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
             1.0,
         );
-        let fills = vec![
-            fill_from(
-                &[("int0", Sort::Int)],
-                "((_ divisible 3) (mod int0 3))",
-            ),
+        let fills = [
+            fill_from(&[("int0", Sort::Int)], "((_ divisible 3) (mod int0 3))"),
             fill_from(&[("str0", Sort::String)], "(= str0 \"\")"),
         ];
         let mut r = rng();
@@ -273,10 +268,7 @@ mod tests {
     #[test]
     fn clashing_declarations_renamed() {
         // Skeleton declares T : Int; fill declares T : String.
-        let sk = skeleton_of(
-            "(declare-fun T () Int)(assert (= T 0))(check-sat)",
-            1.0,
-        );
+        let sk = skeleton_of("(declare-fun T () Int)(assert (= T 0))(check-sat)", 1.0);
         let fill = fill_from(&[("T", Sort::String)], "(= T \"x\")");
         let mut r = rng();
         let out = synthesize(&sk, &[fill], &mut r);
@@ -286,10 +278,7 @@ mod tests {
 
     #[test]
     fn shared_sort_declarations_merge() {
-        let sk = skeleton_of(
-            "(declare-fun T () Int)(assert (= T 0))(check-sat)",
-            1.0,
-        );
+        let sk = skeleton_of("(declare-fun T () Int)(assert (= T 0))(check-sat)", 1.0);
         let fill = fill_from(&[("T", Sort::Int)], "(> T 5)");
         let mut r = rng();
         let out = synthesize(&sk, &[fill], &mut r);

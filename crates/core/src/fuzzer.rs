@@ -253,8 +253,12 @@ impl Fuzzer for Once4AllFuzzer {
             Box::new(FrontendValidator::new(SolverId::OxiZ)),
             Box::new(FrontendValidator::new(SolverId::Cervo)),
         ];
-        let report =
-            construct_generators(&mut llm, &docs, &mut validators, ConstructOptions::default());
+        let report = construct_generators(
+            &mut llm,
+            &docs,
+            &mut validators,
+            ConstructOptions::default(),
+        );
         self.generators = report.generators.clone();
         let cost = report.total_llm_micros;
         self.construction = Some(report);

@@ -29,7 +29,8 @@ pub mod triage;
 
 pub use bisect::correcting_commit;
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignResult, CampaignStats, CoveragePoint, HourlySnapshot,
+    run_campaign, CampaignConfig, CampaignResult, CampaignStats, CampaignStepper, CoveragePoint,
+    HourlySnapshot, StepOutcome,
 };
 pub use fill::{adapt_fill, parse_fill, synthesize, ParsedFill, ADAPT_PROBABILITY};
 pub use fuzzer::{FrontendValidator, Fuzzer, Once4AllConfig, Once4AllFuzzer, TestCase};
@@ -38,6 +39,6 @@ pub use oracle::{judge, model_satisfies, Verdict};
 pub use seeds::{parsed_seeds, SEED_TEXTS};
 pub use skeleton::{skeletonize, Skeleton, SkeletonConfig};
 pub use triage::{
-    attribute, dedup, extended_theory_count, status_table, type_table, Finding, FoundKind, Issue,
-    StatusCounts,
+    attribute, dedup, dedup_refs, extended_theory_count, status_table, type_table, Finding,
+    FoundKind, Issue, StatusCounts,
 };

@@ -110,17 +110,10 @@ pub fn judge(case_text: &str, responses: &[(SolverId, SolverResponse)]) -> Verdi
         }
     }
 
-    let sat = responses
-        .iter()
-        .find(|(_, r)| r.outcome == Outcome::Sat);
-    let unsat = responses
-        .iter()
-        .find(|(_, r)| r.outcome == Outcome::Unsat);
+    let sat = responses.iter().find(|(_, r)| r.outcome == Outcome::Sat);
+    let unsat = responses.iter().find(|(_, r)| r.outcome == Outcome::Unsat);
     if let (Some((ss, sr)), Some((us, _))) = (sat, unsat) {
-        let model_confirms_sat = sr
-            .model
-            .as_ref()
-            .and_then(|m| model_satisfies(&script, m));
+        let model_confirms_sat = sr.model.as_ref().and_then(|m| model_satisfies(&script, m));
         return Verdict::Soundness {
             sat_solver: *ss,
             unsat_solver: *us,
@@ -177,7 +170,13 @@ mod tests {
                 (SolverId::Cervo, resp(Outcome::Sat, Some(good_model()))),
             ],
         );
-        assert!(matches!(v, Verdict::Crash { solver: SolverId::OxiZ, .. }));
+        assert!(matches!(
+            v,
+            Verdict::Crash {
+                solver: SolverId::OxiZ,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -186,7 +185,12 @@ mod tests {
             CASE,
             &[(SolverId::Cervo, resp(Outcome::Sat, Some(bad_model())))],
         );
-        assert_eq!(v, Verdict::InvalidModel { solver: SolverId::Cervo });
+        assert_eq!(
+            v,
+            Verdict::InvalidModel {
+                solver: SolverId::Cervo
+            }
+        );
     }
 
     #[test]

@@ -59,14 +59,7 @@ pub fn skeletonize(seed: &Script, cfg: SkeletonConfig, rng: &mut impl Rng) -> Sk
 
     let mut seen = 0usize;
     for term in script.assertions_mut() {
-        *term = replace_atoms(
-            term,
-            cfg,
-            rng,
-            &mut counter,
-            &mut seen,
-            force_index,
-        );
+        *term = replace_atoms(term, cfg, rng, &mut counter, &mut seen, force_index);
     }
 
     let variables = script
@@ -184,10 +177,8 @@ mod tests {
 
     #[test]
     fn skeleton_always_inserts_at_least_one_placeholder() {
-        let seed = parse_script(
-            "(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)",
-        )
-        .unwrap();
+        let seed =
+            parse_script("(declare-fun T () Int)(assert (or (= T 0) (< T 1)))(check-sat)").unwrap();
         for i in 0..50 {
             let mut r = StdRng::seed_from_u64(i);
             let sk = skeletonize(&seed, SkeletonConfig::default(), &mut r);
@@ -252,10 +243,7 @@ mod tests {
     #[test]
     fn non_boolean_positions_untouched() {
         // The arithmetic subterm (+ x 1) must never become a placeholder.
-        let seed = parse_script(
-            "(declare-const x Int)(assert (= (+ x 1) 2))(check-sat)",
-        )
-        .unwrap();
+        let seed = parse_script("(declare-const x Int)(assert (= (+ x 1) 2))(check-sat)").unwrap();
         let cfg = SkeletonConfig {
             replace_probability: 1.0,
             max_placeholders: 8,

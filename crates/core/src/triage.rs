@@ -139,6 +139,13 @@ pub struct Issue {
 /// Deduplicates findings into issues: crashes by signature, other kinds by
 /// (solver, kind, most-specific theory).
 pub fn dedup(findings: &[Finding]) -> Vec<Issue> {
+    dedup_refs(findings)
+}
+
+/// [`dedup`] over borrowed findings — lets the campaign engine compute
+/// filtered issue counts (e.g. per snapshot hour) without cloning the
+/// finding texts.
+pub fn dedup_refs<'a>(findings: impl IntoIterator<Item = &'a Finding>) -> Vec<Issue> {
     let mut map: BTreeMap<String, Issue> = BTreeMap::new();
     for f in findings {
         let key = match (&f.kind, &f.signature) {
@@ -204,8 +211,7 @@ pub fn status_table(issues: &[Issue]) -> BTreeMap<SolverId, StatusCounts> {
         out.insert(id, StatusCounts::default());
     }
     // Count unique underlying defects per solver.
-    let mut seen_underlying: BTreeMap<SolverId, std::collections::BTreeSet<&str>> =
-        BTreeMap::new();
+    let mut seen_underlying: BTreeMap<SolverId, std::collections::BTreeSet<&str>> = BTreeMap::new();
     for issue in issues {
         let entry = out.entry(issue.solver).or_default();
         entry.reported += 1;
@@ -305,9 +311,27 @@ mod tests {
     #[test]
     fn crashes_cluster_by_signature() {
         let findings = vec![
-            finding(SolverId::OxiZ, FoundKind::Crash, Some("a:1"), Theory::Ints, None),
-            finding(SolverId::OxiZ, FoundKind::Crash, Some("a:1"), Theory::Ints, None),
-            finding(SolverId::OxiZ, FoundKind::Crash, Some("b:2"), Theory::Ints, None),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::Crash,
+                Some("a:1"),
+                Theory::Ints,
+                None,
+            ),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::Crash,
+                Some("a:1"),
+                Theory::Ints,
+                None,
+            ),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::Crash,
+                Some("b:2"),
+                Theory::Ints,
+                None,
+            ),
         ];
         let issues = dedup(&findings);
         assert_eq!(issues.len(), 2);
@@ -318,9 +342,27 @@ mod tests {
     #[test]
     fn soundness_groups_by_theory() {
         let findings = vec![
-            finding(SolverId::Cervo, FoundKind::Soundness, None, Theory::Sequences, None),
-            finding(SolverId::Cervo, FoundKind::Soundness, None, Theory::Sequences, None),
-            finding(SolverId::Cervo, FoundKind::Soundness, None, Theory::Ints, None),
+            finding(
+                SolverId::Cervo,
+                FoundKind::Soundness,
+                None,
+                Theory::Sequences,
+                None,
+            ),
+            finding(
+                SolverId::Cervo,
+                FoundKind::Soundness,
+                None,
+                Theory::Sequences,
+                None,
+            ),
+            finding(
+                SolverId::Cervo,
+                FoundKind::Soundness,
+                None,
+                Theory::Ints,
+                None,
+            ),
         ];
         assert_eq!(dedup(&findings).len(), 2);
     }
@@ -329,7 +371,13 @@ mod tests {
     fn extended_theory_preferred_as_group_key() {
         let f = Finding {
             theories: vec![Theory::Ints, Theory::Sequences],
-            ..finding(SolverId::Cervo, FoundKind::Soundness, None, Theory::Ints, None)
+            ..finding(
+                SolverId::Cervo,
+                FoundKind::Soundness,
+                None,
+                Theory::Ints,
+                None,
+            )
         };
         let issues = dedup(&[f]);
         assert!(issues[0].key.contains("sequences"), "{}", issues[0].key);
@@ -364,9 +412,27 @@ mod tests {
     #[test]
     fn type_table_counts_kinds() {
         let findings = vec![
-            finding(SolverId::OxiZ, FoundKind::Crash, Some("x:1"), Theory::Ints, None),
-            finding(SolverId::OxiZ, FoundKind::InvalidModel, None, Theory::Ints, None),
-            finding(SolverId::OxiZ, FoundKind::Soundness, None, Theory::Strings, None),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::Crash,
+                Some("x:1"),
+                Theory::Ints,
+                None,
+            ),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::InvalidModel,
+                None,
+                Theory::Ints,
+                None,
+            ),
+            finding(
+                SolverId::OxiZ,
+                FoundKind::Soundness,
+                None,
+                Theory::Strings,
+                None,
+            ),
         ];
         let t = type_table(&dedup(&findings));
         assert_eq!(t[&SolverId::OxiZ][&FoundKind::Crash], 1);

@@ -1,0 +1,376 @@
+//! A minimal JSON reader/writer for the findings store.
+//!
+//! The offline build environment has no serde, so the store serializes
+//! through this tiny self-contained module. It supports exactly the JSON
+//! subset the store emits: objects, arrays, strings with standard escapes,
+//! `u64` integers, finite floats, booleans, and `null`. Unsigned integers
+//! are kept distinct from floats so 64-bit counters and seeds round-trip
+//! losslessly (an `f64` number type would silently truncate above 2^53).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (no decimal point or exponent in the source).
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order follows the map, not the source.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String content, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer content; integral floats are refused.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(x) => Some(*x),
+            Json::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Array content.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line JSON string.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self);
+        out
+    }
+}
+
+fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` prints a round-trippable shortest representation.
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON value from a full line of text.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut p = Parser { c: &bytes, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.c.len() {
+        return Err(format!("trailing characters at {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    c: &'a [char],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.c.len() && self.c[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.c.get(self.i).copied()
+    }
+
+    fn expect(&mut self, ch: char) -> Result<(), String> {
+        if self.peek() == Some(ch) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{ch}' at {}", self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for ch in word.chars() {
+            self.expect(ch)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.i += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return Err("bad \\u escape".into());
+                                };
+                                self.i += 1;
+                                code = code * 16 + h;
+                            }
+                            // Surrogate pairs are not emitted by this
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{other}'")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some('-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.i += 1;
+            } else if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+                is_float = true;
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.c[start..self.i].iter().collect();
+        if !is_float && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+/// Builds an object from key/value pairs (ergonomic constructor).
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = obj(vec![
+            ("t", Json::Str("finding".into())),
+            ("shard", Json::U64(3)),
+            ("vhour", Json::F64(2.5)),
+            ("big", Json::U64(u64::MAX)),
+            ("sig", Json::Null),
+            (
+                "theories",
+                Json::Arr(vec![Json::Str("ints".into()), Json::Str("sets".into())]),
+            ),
+            ("ok", Json::Bool(true)),
+        ]);
+        let line = v.to_line();
+        assert_eq!(parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_control_and_quotes() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        let line = v.to_line();
+        assert!(!line.contains('\n'), "one record per line: {line}");
+        assert_eq!(parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let n = (1u64 << 53) + 1; // not representable as f64
+        let line = Json::U64(n).to_line();
+        assert_eq!(parse(&line).unwrap().as_u64(), Some(n));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+}

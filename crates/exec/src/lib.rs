@@ -1,0 +1,78 @@
+//! # o4a-exec
+//!
+//! The sharded parallel campaign engine. The paper's experiment grid is
+//! embarrassingly parallel across fuzzers, solver commits, and seeds; this
+//! crate turns `o4a-core`'s serial, in-memory campaign loop into a
+//! production-shaped engine:
+//!
+//! * **Deterministic sharding** — a [`CampaignConfig`] splits into `N`
+//!   shards with independent RNG streams (`seed ⊕ shard-index`), executed
+//!   on a `std::thread` worker pool sized by [`Parallelism`]. Results
+//!   merge in shard order, so two runs with the same seed produce
+//!   identical aggregates regardless of thread scheduling.
+//! * **Mergeable results** — shard results combine without loss: stats
+//!   sum, findings concatenate, and raw coverage maps union
+//!   ([`o4a_solvers::CoverageMap::merge`]) with percentages recomputed
+//!   from the union. See `README.md` for the full merge model.
+//! * **A resumable findings store** — [`FindingsStore`] journals findings
+//!   to JSONL as they are discovered and records shard completion;
+//!   [`run_campaign_resumable`] skips completed shards on restart and
+//!   re-runs interrupted ones deterministically, so a killed campaign
+//!   resumes to the same deduplicated issue set an uninterrupted run
+//!   reports.
+//!
+//! ```no_run
+//! use o4a_core::{CampaignConfig, Fuzzer, Once4AllFuzzer};
+//! use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
+//!
+//! let exec = ExecConfig { shards: 4, parallelism: Parallelism::Auto };
+//! let result = run_campaign_sharded(
+//!     |_shard| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>,
+//!     &CampaignConfig::default(),
+//!     &exec,
+//! );
+//! println!("{} cases across 4 shards", result.stats.cases);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod shard;
+pub mod store;
+
+pub use shard::{
+    merge_shard_results, parallel_map, run_campaign_sharded, run_campaign_sharded_with, run_shard,
+    shard_configs, shard_seed, ExecConfig, FindingSink, Parallelism,
+};
+pub use store::{FindingsStore, StoreSession};
+
+use o4a_core::{CampaignConfig, CampaignResult, Fuzzer};
+
+/// Runs a sharded campaign journaled through a [`FindingsStore`]: shards
+/// already completed in the journal are loaded instead of re-run, findings
+/// stream to disk as they are discovered, and the merged result is
+/// identical to an uninterrupted [`run_campaign_sharded`] of the same
+/// configuration.
+///
+/// # Errors
+///
+/// I/O errors opening or reading the journal, and journals whose header
+/// does not match `config`/`exec.shards`.
+pub fn run_campaign_resumable<F>(
+    factory: F,
+    config: &CampaignConfig,
+    exec: &ExecConfig,
+    store: &FindingsStore,
+) -> std::io::Result<CampaignResult>
+where
+    F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
+{
+    let (session, completed) = store.resume_or_create(config, exec.shards)?;
+    Ok(shard::run_campaign_sharded_with(
+        &factory,
+        config,
+        exec,
+        Some(&session),
+        completed,
+    ))
+}

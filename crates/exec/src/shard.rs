@@ -1,0 +1,298 @@
+//! Campaign sharding, the worker pool, and the shard-merge semantics.
+//!
+//! A campaign splits into `N` deterministic shards. Shard `i` runs the
+//! full virtual duration with RNG seed `config.seed ^ i` (shard 0 of a
+//! 1-shard plan is therefore bit-identical to the serial campaign) and a
+//! case cap of `ceil(max_cases / N)`. Shards model independent fuzzing
+//! machines running concurrently: each pays its own fuzzer setup and owns
+//! its own solver instances, so shard execution order — and whether shards
+//! run on one thread or many — cannot affect any result.
+//!
+//! The merge semantics (see `crates/exec/README.md` for the full model):
+//!
+//! * **stats** — field-wise sum ([`o4a_core::CampaignStats::merge`]).
+//! * **findings** — concatenation in ascending shard order.
+//! * **coverage** — union of the raw per-solver [`CoverageMap`]s;
+//!   final percentages are recomputed from the union.
+//! * **snapshots** — per hour: cases sum across shards, deduplicated
+//!   issues recomputed from all findings discovered up to that hour, and
+//!   per-solver coverage as the maximum across shards (a documented lower
+//!   bound on union coverage at that hour; only the *final* union is
+//!   tracked losslessly).
+
+use o4a_core::{
+    dedup_refs, CampaignConfig, CampaignResult, CampaignStats, CampaignStepper, CoveragePoint,
+    Finding, Fuzzer, HourlySnapshot, StepOutcome,
+};
+use o4a_solvers::coverage::universe;
+use o4a_solvers::CoverageMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads drive the shard queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker; shards run back to back on the calling thread.
+    Serial,
+    /// A fixed worker count (clamped to the number of shards).
+    Threads(usize),
+    /// One worker per available CPU (clamped to the number of shards).
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves the worker count for `jobs` queued jobs.
+    pub fn workers(self, jobs: usize) -> usize {
+        let cap = jobs.max(1);
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.clamp(1, cap),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, cap),
+        }
+    }
+}
+
+/// Execution knob for the sharded engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Number of deterministic shards (≥ 1).
+    pub shards: u32,
+    /// Worker pool sizing.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            shards: 1,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// The RNG seed of one shard: `base ⊕ shard-index`. The XOR keeps shard 0
+/// on the serial campaign's stream; `StdRng`'s SplitMix64 seed expansion
+/// decorrelates the neighbouring indices.
+pub fn shard_seed(base: u64, shard: u32) -> u64 {
+    base ^ shard as u64
+}
+
+/// Splits a campaign into `shards` deterministic shard configurations.
+///
+/// Panics when `shards` is zero.
+pub fn shard_configs(config: &CampaignConfig, shards: u32) -> Vec<CampaignConfig> {
+    assert!(shards >= 1, "a campaign needs at least one shard");
+    let per_shard_cases = config.max_cases.div_ceil(shards as usize);
+    (0..shards)
+        .map(|i| CampaignConfig {
+            seed: shard_seed(config.seed, i),
+            max_cases: per_shard_cases,
+            ..config.clone()
+        })
+        .collect()
+}
+
+/// Observer of shard progress — the persistence hook the findings store
+/// implements. Callbacks may arrive from any worker thread, interleaved
+/// across shards, but per shard they arrive in campaign order with
+/// `on_shard_complete` last.
+pub trait FindingSink: Sync {
+    /// A new finding was recorded by `shard`.
+    fn on_finding(&self, shard: u32, finding: &Finding);
+    /// `shard` ran to completion with `result`.
+    fn on_shard_complete(&self, shard: u32, result: &CampaignResult);
+}
+
+/// Runs `f(0..jobs)` on `workers` scoped threads, returning results in job
+/// order. Panics in a job propagate to the caller.
+pub fn parallel_map<T, F>(jobs: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs);
+    if workers == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Runs one shard to completion, reporting findings to `sink` as they are
+/// discovered (the crash-durable persistence point).
+pub fn run_shard(
+    fuzzer: &mut dyn Fuzzer,
+    shard_config: &CampaignConfig,
+    shard: u32,
+    sink: Option<&dyn FindingSink>,
+) -> CampaignResult {
+    let mut rng = StdRng::seed_from_u64(shard_config.seed);
+    let mut stepper = CampaignStepper::new(shard_config);
+    stepper.charge_setup(fuzzer.setup(&mut rng));
+    while let StepOutcome::Ran { recorded_finding } = stepper.step(fuzzer, &mut rng) {
+        if recorded_finding {
+            if let Some(sink) = sink {
+                let finding = stepper.findings().last().expect("finding just recorded");
+                sink.on_finding(shard, finding);
+            }
+        }
+    }
+    let result = stepper.finish(fuzzer.name());
+    if let Some(sink) = sink {
+        sink.on_shard_complete(shard, &result);
+    }
+    result
+}
+
+/// Runs a campaign split into shards on a worker pool and merges the shard
+/// results. `factory(i)` builds the fuzzer for shard `i` — each shard owns
+/// an independent instance, so fuzzers need not be `Send`.
+pub fn run_campaign_sharded<F>(
+    factory: F,
+    config: &CampaignConfig,
+    exec: &ExecConfig,
+) -> CampaignResult
+where
+    F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
+{
+    run_campaign_sharded_with(&factory, config, exec, None, BTreeMap::new())
+}
+
+/// The full-control variant behind [`run_campaign_sharded`]: streams
+/// findings into `sink` and skips shards already present in `completed`
+/// (resume support; the completed results are merged as-is).
+pub fn run_campaign_sharded_with<F>(
+    factory: &F,
+    config: &CampaignConfig,
+    exec: &ExecConfig,
+    sink: Option<&dyn FindingSink>,
+    completed: BTreeMap<u32, CampaignResult>,
+) -> CampaignResult
+where
+    F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
+{
+    let shard_cfgs = shard_configs(config, exec.shards);
+    let todo: Vec<u32> = (0..exec.shards)
+        .filter(|shard| !completed.contains_key(shard))
+        .collect();
+    let workers = exec.parallelism.workers(todo.len());
+    let fresh = parallel_map(todo.len(), workers, |j| {
+        let shard = todo[j];
+        let mut fuzzer = factory(shard);
+        run_shard(fuzzer.as_mut(), &shard_cfgs[shard as usize], shard, sink)
+    });
+
+    let mut by_shard = completed;
+    for (j, result) in fresh.into_iter().enumerate() {
+        by_shard.insert(todo[j], result);
+    }
+    let ordered: Vec<CampaignResult> = by_shard.into_values().collect();
+    merge_shard_results(config, &ordered)
+}
+
+/// Merges per-shard campaign results (in ascending shard order) into one
+/// aggregate result, per the crate-level merge semantics.
+///
+/// Panics when `shard_results` is empty.
+pub fn merge_shard_results(
+    config: &CampaignConfig,
+    shard_results: &[CampaignResult],
+) -> CampaignResult {
+    assert!(!shard_results.is_empty(), "nothing to merge");
+
+    let mut stats = CampaignStats::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut coverage: BTreeMap<_, CoverageMap> = BTreeMap::new();
+    for shard in shard_results {
+        stats.merge(&shard.stats);
+        findings.extend(shard.findings.iter().cloned());
+        for (&solver, map) in &shard.coverage {
+            coverage.entry(solver).or_default().merge(map);
+        }
+    }
+
+    let mut final_coverage = BTreeMap::new();
+    let mut covered_functions = BTreeMap::new();
+    for (&solver, map) in &coverage {
+        let u = universe(solver);
+        final_coverage.insert(
+            solver,
+            CoveragePoint {
+                line_pct: map.line_coverage_pct(&u),
+                function_pct: map.function_coverage_pct(&u),
+            },
+        );
+        covered_functions.insert(
+            solver,
+            map.covered_function_names(&u)
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+    }
+
+    let mut snapshots = Vec::with_capacity(config.virtual_hours as usize);
+    for hour in 1..=config.virtual_hours {
+        let idx = (hour - 1) as usize;
+        let mut cases = 0u64;
+        let mut cov: BTreeMap<_, CoveragePoint> = BTreeMap::new();
+        for shard in shard_results {
+            let Some(snap) = shard.snapshots.get(idx) else {
+                continue;
+            };
+            cases += snap.cases;
+            for (&solver, point) in &snap.coverage {
+                let entry = cov.entry(solver).or_default();
+                entry.line_pct = entry.line_pct.max(point.line_pct);
+                entry.function_pct = entry.function_pct.max(point.function_pct);
+            }
+        }
+        snapshots.push(HourlySnapshot {
+            hour,
+            coverage: cov,
+            cases,
+            // Same rule as the serial stepper's snapshots: issues known by
+            // the hour boundary, recomputed (issue counts do not sum).
+            issues: dedup_refs(findings.iter().filter(|f| f.vhour <= hour as f64)).len(),
+        });
+    }
+
+    CampaignResult {
+        fuzzer: shard_results[0].fuzzer.clone(),
+        snapshots,
+        findings,
+        stats,
+        final_coverage,
+        covered_functions,
+        coverage,
+    }
+}

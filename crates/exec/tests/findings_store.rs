@@ -1,0 +1,202 @@
+//! Findings-store round-trip and resume tests: a journaled campaign must
+//! reload to the same merged result, and a killed-then-resumed campaign
+//! must report the same deduplicated issue set as an uninterrupted run.
+
+use o4a_core::{dedup, CampaignConfig, Fuzzer, Once4AllFuzzer};
+use o4a_exec::{
+    run_campaign_resumable, run_campaign_sharded, ExecConfig, FindingsStore, Parallelism,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 2_000_000,
+        max_cases: 60,
+        ..CampaignConfig::default()
+    }
+}
+
+fn factory(_shard: u32) -> Box<dyn Fuzzer> {
+    Box::new(Once4AllFuzzer::with_defaults())
+}
+
+static NEXT_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A fresh journal path under the target-adjacent temp dir.
+fn journal_path(tag: &str) -> PathBuf {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "o4a-exec-test-{}-{tag}-{id}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn fingerprint(result: &o4a_core::CampaignResult) -> (u64, u64, Vec<String>, Vec<String>) {
+    (
+        result.stats.cases,
+        result.stats.bug_triggering,
+        result
+            .findings
+            .iter()
+            .map(|f| f.case_text.clone())
+            .collect(),
+        dedup(&result.findings).into_iter().map(|i| i.key).collect(),
+    )
+}
+
+#[test]
+fn journaled_run_matches_plain_run_and_reloads() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 4,
+        parallelism: Parallelism::Threads(4),
+    };
+    let plain = run_campaign_sharded(factory, &config, &exec);
+
+    let path = journal_path("roundtrip");
+    let store = FindingsStore::new(&path);
+    let journaled = run_campaign_resumable(factory, &config, &exec, &store).unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&journaled));
+
+    // Second open: every shard is complete in the journal, so nothing
+    // re-runs and the loaded result is identical (including coverage).
+    let reloaded = run_campaign_resumable(factory, &config, &exec, &store).unwrap();
+    assert_eq!(fingerprint(&journaled), fingerprint(&reloaded));
+    assert_eq!(journaled.final_coverage, reloaded.final_coverage);
+    assert_eq!(
+        journaled.stats.virtual_seconds,
+        reloaded.stats.virtual_seconds
+    );
+    let snaps = |r: &o4a_core::CampaignResult| -> Vec<(u32, u64, usize)> {
+        r.snapshots
+            .iter()
+            .map(|s| (s.hour, s.cases, s.issues))
+            .collect()
+    };
+    assert_eq!(snaps(&journaled), snaps(&reloaded));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn killed_campaign_resumes_to_uninterrupted_issue_set() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 4,
+        parallelism: Parallelism::Serial, // deterministic journal line order
+    };
+
+    // Uninterrupted reference run.
+    let full_path = journal_path("full");
+    let full_store = FindingsStore::new(&full_path);
+    let uninterrupted = run_campaign_resumable(factory, &config, &exec, &full_store).unwrap();
+
+    // Simulate a kill: keep the header, shards 0 and 1 in full (including
+    // their completion records), and shard 2's findings *without* its
+    // completion record — the state a SIGKILL mid-shard-2 leaves behind.
+    let journal = std::fs::read_to_string(&full_path).unwrap();
+    let mut truncated = String::new();
+    for line in journal.lines() {
+        let keep = if line.contains("\"shard_done\"") {
+            line.contains("\"shard\":0") || line.contains("\"shard\":1")
+        } else if line.contains("\"finding\"") {
+            !line.contains("\"shard\":3")
+        } else {
+            true // header
+        };
+        if keep {
+            truncated.push_str(line);
+            truncated.push('\n');
+        }
+    }
+    let killed_path = journal_path("killed");
+    std::fs::write(&killed_path, truncated).unwrap();
+
+    // Resume: shards 0-1 load from the journal; shards 2-3 re-run (shard
+    // 2's orphaned findings are dropped and regenerated deterministically).
+    let resumed =
+        run_campaign_resumable(factory, &config, &exec, &FindingsStore::new(&killed_path)).unwrap();
+    assert_eq!(fingerprint(&uninterrupted), fingerprint(&resumed));
+    assert_eq!(uninterrupted.final_coverage, resumed.final_coverage);
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&killed_path);
+}
+
+#[test]
+fn torn_trailing_line_does_not_block_resume() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+    };
+    let full_path = journal_path("torn-src");
+    let uninterrupted =
+        run_campaign_resumable(factory, &config, &exec, &FindingsStore::new(&full_path)).unwrap();
+
+    // A SIGKILL mid-write leaves the journal ending in half a record.
+    // Simulate on two prefixes: after shard 0 completed, and mid-journal
+    // with shard 1's records partially present.
+    let journal = std::fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    let first_done = lines
+        .iter()
+        .position(|l| l.contains("\"shard_done\""))
+        .expect("shard 0 completion present");
+    for keep in [first_done + 1, lines.len() - 1] {
+        let mut torn = lines[..keep].join("\n");
+        torn.push_str("\n{\"t\":\"finding\",\"case\":\"(asse");
+        let torn_path = journal_path("torn");
+        std::fs::write(&torn_path, torn).unwrap();
+        let resumed =
+            run_campaign_resumable(factory, &config, &exec, &FindingsStore::new(&torn_path))
+                .expect("torn trailing line must not block resume");
+        assert_eq!(fingerprint(&uninterrupted), fingerprint(&resumed));
+        let _ = std::fs::remove_file(&torn_path);
+    }
+
+    // Corruption that is *not* the trailing line stays fatal.
+    let mut mangled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    mangled[first_done] = "{\"t\":\"shard_done\",\"sha".to_string();
+    let mangled_path = journal_path("mangled");
+    std::fs::write(&mangled_path, mangled.join("\n")).unwrap();
+    assert!(
+        run_campaign_resumable(factory, &config, &exec, &FindingsStore::new(&mangled_path))
+            .is_err(),
+        "mid-journal corruption must be refused"
+    );
+    let _ = std::fs::remove_file(&mangled_path);
+    let _ = std::fs::remove_file(&full_path);
+}
+
+#[test]
+fn mismatched_campaign_is_refused() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+    };
+    let path = journal_path("mismatch");
+    let store = FindingsStore::new(&path);
+    run_campaign_resumable(factory, &config, &exec, &store).unwrap();
+
+    // Different seed → different campaign → refuse to resume.
+    let other = CampaignConfig {
+        seed: config.seed ^ 0xffff,
+        ..config.clone()
+    };
+    let err = run_campaign_resumable(factory, &other, &exec, &store);
+    assert!(err.is_err(), "resuming a different campaign must fail");
+
+    // Different shard count is a different plan, too.
+    let err = run_campaign_resumable(factory, &config, &ExecConfig { shards: 3, ..exec }, &store);
+    assert!(
+        err.is_err(),
+        "resuming with a different shard count must fail"
+    );
+    let _ = std::fs::remove_file(&path);
+}

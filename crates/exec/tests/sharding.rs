@@ -1,0 +1,177 @@
+//! Shard determinism and merge-semantics tests: the acceptance criteria of
+//! the sharded engine. A 4-shard parallel campaign must merge to the same
+//! case/bug/issue counts as the same shards run serially, and repeated
+//! runs with one seed must be bit-identical in aggregate.
+
+use o4a_core::{dedup, run_campaign, CampaignConfig, Fuzzer, Once4AllFuzzer};
+use o4a_exec::{run_campaign_sharded, shard_configs, shard_seed, ExecConfig, Parallelism};
+use o4a_solvers::coverage::universe;
+use o4a_solvers::SolverId;
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 2_000_000, // smoke-test scale: a few dozen cases
+        max_cases: 60,
+        ..CampaignConfig::default()
+    }
+}
+
+fn factory(_shard: u32) -> Box<dyn Fuzzer> {
+    Box::new(Once4AllFuzzer::with_defaults())
+}
+
+/// Everything the merge semantics promise to keep deterministic: case and
+/// bug counts, finding texts, deduplicated issue keys, and per-solver
+/// covered-line totals.
+type Fingerprint = (u64, u64, Vec<String>, Vec<String>, Vec<(SolverId, u64)>);
+
+fn fingerprint(result: &o4a_core::CampaignResult) -> Fingerprint {
+    let issues: Vec<String> = dedup(&result.findings).into_iter().map(|i| i.key).collect();
+    let cases: Vec<String> = result
+        .findings
+        .iter()
+        .map(|f| f.case_text.clone())
+        .collect();
+    let lines: Vec<(SolverId, u64)> = result
+        .coverage
+        .iter()
+        .map(|(&s, m)| (s, m.lines_hit(&universe(s))))
+        .collect();
+    (
+        result.stats.cases,
+        result.stats.bug_triggering,
+        cases,
+        issues,
+        lines,
+    )
+}
+
+#[test]
+fn shard_configs_are_deterministic_and_disjoint() {
+    let config = quick_config();
+    let shards = shard_configs(&config, 4);
+    assert_eq!(shards.len(), 4);
+    assert_eq!(shards[0].seed, config.seed, "shard 0 keeps the base stream");
+    let mut seeds: Vec<u64> = shards.iter().map(|c| c.seed).collect();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 4, "shard seeds must be distinct");
+    for (i, shard) in shards.iter().enumerate() {
+        assert_eq!(shard.seed, shard_seed(config.seed, i as u32));
+        assert_eq!(shard.virtual_hours, config.virtual_hours);
+        assert_eq!(shard.time_scale, config.time_scale);
+    }
+    let total: usize = shards.iter().map(|c| c.max_cases).sum();
+    assert!(total >= config.max_cases, "case budget must not shrink");
+}
+
+#[test]
+fn four_shard_parallel_run_is_reproducible() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 4,
+        parallelism: Parallelism::Threads(4),
+    };
+    let a = run_campaign_sharded(factory, &config, &exec);
+    let b = run_campaign_sharded(factory, &config, &exec);
+    assert!(a.stats.cases > 0);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parallel_merge_matches_serial_merge() {
+    let config = quick_config();
+    let parallel = run_campaign_sharded(
+        factory,
+        &config,
+        &ExecConfig {
+            shards: 4,
+            parallelism: Parallelism::Threads(4),
+        },
+    );
+    let serial = run_campaign_sharded(
+        factory,
+        &config,
+        &ExecConfig {
+            shards: 4,
+            parallelism: Parallelism::Serial,
+        },
+    );
+    assert_eq!(fingerprint(&parallel), fingerprint(&serial));
+    // Snapshots carry the same merged cases/issues series either way.
+    let series = |r: &o4a_core::CampaignResult| -> Vec<(u32, u64, usize)> {
+        r.snapshots
+            .iter()
+            .map(|s| (s.hour, s.cases, s.issues))
+            .collect()
+    };
+    assert_eq!(series(&parallel), series(&serial));
+}
+
+#[test]
+fn one_shard_engine_matches_serial_campaign() {
+    // Two scales: the smoke scale, and a coarser one where a single case
+    // jumps a whole virtual hour — the boundary case where snapshot issue
+    // counting (findings with vhour past the hour line) must agree.
+    for time_scale in [2_000_000u64, 500_000] {
+        let config = CampaignConfig {
+            time_scale,
+            ..quick_config()
+        };
+        let mut fuzzer = Once4AllFuzzer::with_defaults();
+        let serial = run_campaign(&mut fuzzer, &config);
+        let sharded = run_campaign_sharded(
+            factory,
+            &config,
+            &ExecConfig {
+                shards: 1,
+                parallelism: Parallelism::Auto,
+            },
+        );
+        assert_eq!(fingerprint(&serial), fingerprint(&sharded));
+        assert_eq!(serial.stats.rejected, sharded.stats.rejected);
+        assert_eq!(serial.stats.decisive, sharded.stats.decisive);
+        assert_eq!(serial.final_coverage, sharded.final_coverage);
+        let series = |r: &o4a_core::CampaignResult| -> Vec<(u32, u64, usize)> {
+            r.snapshots
+                .iter()
+                .map(|s| (s.hour, s.cases, s.issues))
+                .collect()
+        };
+        assert_eq!(
+            series(&serial),
+            series(&sharded),
+            "hourly snapshot series diverged at time_scale {time_scale}"
+        );
+    }
+}
+
+#[test]
+fn sharding_scales_case_throughput() {
+    // With a per-shard budget of the full virtual duration, four shards
+    // execute roughly four times the cases of one (same wall budget on
+    // four machines). This is the throughput story of the engine.
+    let config = quick_config();
+    let one = run_campaign_sharded(
+        factory,
+        &config,
+        &ExecConfig {
+            shards: 1,
+            parallelism: Parallelism::Serial,
+        },
+    );
+    let four = run_campaign_sharded(
+        factory,
+        &config,
+        &ExecConfig {
+            shards: 4,
+            parallelism: Parallelism::Auto,
+        },
+    );
+    assert!(
+        four.stats.cases > one.stats.cases * 2,
+        "4 shards ran {} cases vs {} for 1 shard",
+        four.stats.cases,
+        one.stats.cases
+    );
+}

@@ -165,11 +165,9 @@ impl Grammar {
             }
             let (head, body) = if let Some(idx) = line.find("::=") {
                 let head = line[..idx].trim();
-                let name = parse_nonterminal_name(head).ok_or_else(|| {
-                    GrammarError::Malformed {
-                        line: lineno + 1,
-                        reason: format!("rule head '{head}' is not <Name>"),
-                    }
+                let name = parse_nonterminal_name(head).ok_or_else(|| GrammarError::Malformed {
+                    line: lineno + 1,
+                    reason: format!("rule head '{head}' is not <Name>"),
                 })?;
                 (Some(name), line[idx + 3..].trim())
             } else if let Some(rest) = line.strip_prefix('|') {
@@ -197,12 +195,11 @@ impl Grammar {
                 if alt.is_empty() {
                     continue;
                 }
-                let production = parse_production(alt).map_err(|reason| {
-                    GrammarError::Malformed {
+                let production =
+                    parse_production(alt).map_err(|reason| GrammarError::Malformed {
                         line: lineno + 1,
                         reason,
-                    }
-                })?;
+                    })?;
                 rules
                     .get_mut(&target)
                     .expect("rule entry created above")
@@ -281,12 +278,12 @@ impl Grammar {
     /// Returns [`GrammarError::Malformed`] when the alternative text cannot
     /// be parsed.
     pub fn add_production(&mut self, rule: &str, alternative: &str) -> Result<(), GrammarError> {
-        let production =
-            parse_production(alternative).map_err(|reason| GrammarError::Malformed {
-                line: 0,
-                reason,
-            })?;
-        self.rules.entry(rule.to_string()).or_default().push(production);
+        let production = parse_production(alternative)
+            .map_err(|reason| GrammarError::Malformed { line: 0, reason })?;
+        self.rules
+            .entry(rule.to_string())
+            .or_default()
+            .push(production);
         Ok(())
     }
 
@@ -687,10 +684,7 @@ mod tests {
         let err = Deriver::new(&g)
             .derive(&mut rng, &mut Hooks::new())
             .unwrap_err();
-        assert_eq!(
-            err,
-            GrammarError::UndefinedNonTerminal("missing".into())
-        );
+        assert_eq!(err, GrammarError::UndefinedNonTerminal("missing".into()));
     }
 
     #[test]
@@ -718,10 +712,7 @@ mod tests {
 
     #[test]
     fn remove_hallucinated_operator() {
-        let mut g = Grammar::parse_bnf(
-            "<S> ::= (bvadd <S> <S>) | (bvfrob <S>) | leaf",
-        )
-        .unwrap();
+        let mut g = Grammar::parse_bnf("<S> ::= (bvadd <S> <S>) | (bvfrob <S>) | leaf").unwrap();
         assert_eq!(g.remove_productions_with_terminal("bvfrob"), 1);
         assert_eq!(g.production_count(), 2);
         assert_eq!(g.remove_productions_with_terminal("bvfrob"), 0);

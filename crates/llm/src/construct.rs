@@ -200,8 +200,12 @@ fn correct(
     } else {
         best
     };
-    let validity_after =
-        measure_validity(&final_program, validators, opts.measure_samples, opts.seed ^ 0xdead);
+    let validity_after = measure_validity(
+        &final_program,
+        validators,
+        opts.measure_samples,
+        opts.seed ^ 0xdead,
+    );
     CorrectedGenerator {
         program: final_program,
         validity_before,
@@ -222,10 +226,7 @@ pub fn measure_validity(
     for _ in 0..n {
         if let Ok(raw) = program.generate(&mut rng) {
             let script = raw.to_script_text();
-            if validators
-                .iter_mut()
-                .any(|v| v.validate(&script).is_ok())
-            {
+            if validators.iter_mut().any(|v| v.validate(&script).is_ok()) {
                 valid += 1;
             }
         }
@@ -257,8 +258,7 @@ mod tests {
         let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
         let docs = corpus();
         let mut vs = validators();
-        let report =
-            construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
+        let report = construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
         assert_eq!(report.generators.len(), docs.len());
         assert!(report.total_llm_micros > 0);
     }
@@ -268,8 +268,7 @@ mod tests {
         let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
         let docs = corpus();
         let mut vs = validators();
-        let report =
-            construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
+        let report = construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
         for g in &report.generators {
             assert!(
                 g.validity_after >= g.validity_before - 0.05,
@@ -325,8 +324,7 @@ mod tests {
         let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
         let docs = corpus();
         let mut vs = validators();
-        let report =
-            construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
+        let report = construct_generators(&mut llm, &docs, &mut vs, ConstructOptions::default());
         // Construction uses a bounded number of LLM calls (≤ 12 per theory),
         // unlike per-input LLM fuzzers.
         assert!(report.total_requests <= 12 * docs.len() as u64 + 2);

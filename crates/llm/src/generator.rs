@@ -212,7 +212,7 @@ impl<'p> GenState<'p> {
             .filter(|(_, (n, s, _))| n.starts_with(prefix) && *s == sort_text)
             .map(|(i, _)| i)
             .collect();
-        let reuse = !existing.is_empty() && (rng.next_u32() % 2 == 0);
+        let reuse = !existing.is_empty() && rng.next_u32().is_multiple_of(2);
         if reuse {
             let pick = existing[rng.next_u32() as usize % existing.len()];
             return vars[pick].0.clone();
@@ -279,9 +279,15 @@ impl<'p> GenState<'p> {
             let m = self.pick_field(rng);
             self.var("ff", format!("(_ FiniteField {m})"), rng)
         });
-        hooks.register("seq-var", move |rng| self.var("sq", "(Seq Int)".into(), rng));
-        hooks.register("set-var", move |rng| self.var("st", "(Set Int)".into(), rng));
-        hooks.register("bag-var", move |rng| self.var("bg", "(Bag Int)".into(), rng));
+        hooks.register("seq-var", move |rng| {
+            self.var("sq", "(Seq Int)".into(), rng)
+        });
+        hooks.register("set-var", move |rng| {
+            self.var("st", "(Set Int)".into(), rng)
+        });
+        hooks.register("bag-var", move |rng| {
+            self.var("bg", "(Bag Int)".into(), rng)
+        });
         hooks.register("rel-var", move |rng| {
             self.var("rl", "(Relation Int Int)".into(), rng)
         });
@@ -352,8 +358,7 @@ mod tests {
             let raw = g.generate(&mut rng).unwrap();
             let script = raw.to_script_text();
             let parsed = parse_script(&script).unwrap_or_else(|e| panic!("{e}: {script}"));
-            o4a_smtlib::typeck::check_script(&parsed)
-                .unwrap_or_else(|e| panic!("{e}: {script}"));
+            o4a_smtlib::typeck::check_script(&parsed).unwrap_or_else(|e| panic!("{e}: {script}"));
         }
     }
 
@@ -369,9 +374,7 @@ mod tests {
             let script = raw.to_script_text();
             let ok = parse_script(&script)
                 .map_err(|e| e.to_string())
-                .and_then(|s| {
-                    o4a_smtlib::typeck::check_script(&s).map_err(|e| e.to_string())
-                })
+                .and_then(|s| o4a_smtlib::typeck::check_script(&s).map_err(|e| e.to_string()))
                 .is_ok();
             if !ok {
                 bad += 1;
@@ -399,9 +402,7 @@ mod tests {
             let script = raw.to_script_text();
             let ok = parse_script(&script)
                 .map_err(|e| e.to_string())
-                .and_then(|s| {
-                    o4a_smtlib::typeck::check_script(&s).map_err(|e| e.to_string())
-                })
+                .and_then(|s| o4a_smtlib::typeck::check_script(&s).map_err(|e| e.to_string()))
                 .is_ok();
             if !ok {
                 bad += 1;
@@ -430,8 +431,7 @@ mod tests {
             let raw = g.generate(&mut rng).unwrap();
             let script = raw.to_script_text();
             let parsed = parse_script(&script).unwrap();
-            o4a_smtlib::typeck::check_script(&parsed)
-                .unwrap_or_else(|e| panic!("{e}: {script}"));
+            o4a_smtlib::typeck::check_script(&parsed).unwrap_or_else(|e| panic!("{e}: {script}"));
         }
     }
 

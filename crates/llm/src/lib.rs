@@ -21,8 +21,8 @@
 
 #![warn(missing_docs)]
 
-pub mod corpus;
 mod construct;
+pub mod corpus;
 mod generator;
 mod llm;
 mod profile;

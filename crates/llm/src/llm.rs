@@ -182,7 +182,16 @@ impl SimulatedLlm {
                     program.fix_flaw(Flaw::MixedFfModuli);
                 }
                 ErrorClass::BareFfLiteral => {
-                    program.fix_flaw(Flaw::BareFfLiterals);
+                    // An `ffN` symbol error is ambiguous: it is either a
+                    // bare (unannotated) field literal or an undeclared
+                    // variable, since generated FF variables share the
+                    // `ffN` naming scheme. Repair whichever defect the
+                    // program actually has, as rereading the code would.
+                    if program.has_flaw(Flaw::BareFfLiterals) {
+                        program.fix_flaw(Flaw::BareFfLiterals);
+                    } else {
+                        program.fix_flaw(Flaw::MissingDeclarations);
+                    }
                 }
                 ErrorClass::MissingDecl => {
                     program.fix_flaw(Flaw::MissingDeclarations);
@@ -234,7 +243,10 @@ pub fn classify_error(theory: Theory, message: &str) -> ErrorClass {
     if message.contains("FiniteField") && message.contains("has sort") {
         return ErrorClass::ModulusMismatch;
     }
-    if let Some(rest) = message.split("unknown constant or function symbol '").nth(1) {
+    if let Some(rest) = message
+        .split("unknown constant or function symbol '")
+        .nth(1)
+    {
         let name = rest.split('\'').next().unwrap_or("");
         if let Some(suffix) = name.strip_prefix("ff") {
             if suffix.parse::<i64>().is_ok() {
@@ -372,7 +384,11 @@ pub fn render_bnf(theory: Theory, sigs: &[Signature]) -> String {
         if let Some(ss) = by_ret.get(&token) {
             alts.extend(ss.iter().map(|s| render_production(s)));
         }
-        out.push_str(&format!("<{}> ::= {}\n", token.nonterminal(), alts.join(" | ")));
+        out.push_str(&format!(
+            "<{}> ::= {}\n",
+            token.nonterminal(),
+            alts.join(" | ")
+        ));
     }
     out
 }
@@ -395,9 +411,7 @@ fn primary_token(theory: Theory) -> SortToken {
 /// Sort-annotated constant productions that are not leaf hooks.
 fn constant_forms(token: SortToken) -> Vec<String> {
     match token {
-        SortToken::Seq => vec![
-            "(as seq.empty (Seq Int))".to_string(),
-        ],
+        SortToken::Seq => vec!["(as seq.empty (Seq Int))".to_string()],
         SortToken::Set => vec!["(as set.empty (Set Int))".to_string()],
         SortToken::Bag => vec!["(as bag.empty (Bag Int))".to_string()],
         SortToken::Rel => vec![
@@ -431,8 +445,8 @@ mod tests {
         let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
         for doc in crate::corpus::corpus() {
             let bnf = llm.summarize_cfg(&doc);
-            let g = Grammar::parse_bnf(&bnf)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{bnf}", doc.title));
+            let g =
+                Grammar::parse_bnf(&bnf).unwrap_or_else(|e| panic!("{}: {e}\n{bnf}", doc.title));
             assert_eq!(g.start(), "BoolTerm", "{}", doc.title);
             assert!(g.production_count() > 5, "{}", doc.title);
         }
@@ -477,9 +491,7 @@ mod tests {
         let mut llm = SimulatedLlm::new(LlmProfile::gpt4());
         let doc = doc_for(Theory::FiniteFields).unwrap();
         let bnf = llm.summarize_cfg(&doc);
-        let program = llm
-            .implement_generator(Theory::FiniteFields, &bnf)
-            .unwrap();
+        let program = llm.implement_generator(Theory::FiniteFields, &bnf).unwrap();
         assert!(program.has_flaw(Flaw::BareFfLiterals));
     }
 
@@ -522,7 +534,10 @@ mod tests {
             ErrorClass::UnquotedString
         );
         assert_eq!(
-            classify_error(Theory::Ints, "invalid number of arguments to 'abs': expected exactly 1, got 2"),
+            classify_error(
+                Theory::Ints,
+                "invalid number of arguments to 'abs': expected exactly 1, got 2"
+            ),
             ErrorClass::Arity("abs".into())
         );
         assert_eq!(classify_error(Theory::Ints, "gibberish"), ErrorClass::Other);

@@ -124,11 +124,7 @@ pub fn extract_signatures(text: &str) -> Vec<Signature> {
         };
         let sexpr = &line[..ret_pos];
         let rest = &line[ret_pos + " returns ".len()..];
-        let ret_token = rest
-            .split([';', ' ', '.'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        let ret_token = rest.split([';', ' ', '.']).next().unwrap_or("").trim();
         let Some(ret) = SortToken::parse(ret_token) else {
             continue;
         };
@@ -225,15 +221,10 @@ mod tests {
 
     #[test]
     fn extracts_indexed_heads() {
-        let sigs = extract_signatures(
-            "  ((_ divisible 3) Int) returns Bool; divisibility test.\n",
-        );
+        let sigs = extract_signatures("  ((_ divisible 3) Int) returns Bool; divisibility test.\n");
         assert_eq!(sigs.len(), 1);
         assert_eq!(sigs[0].op_name(), "divisible");
-        assert_eq!(
-            sigs[0].head_tokens,
-            vec!["(", "_", "divisible", "3", ")"]
-        );
+        assert_eq!(sigs[0].head_tokens, vec!["(", "_", "divisible", "3", ")"]);
         assert_eq!(sigs[0].args, vec![SortToken::Int]);
     }
 

@@ -87,7 +87,9 @@ fn remove_commands(
         }
         let removable = matches!(
             current.commands[i],
-            Command::Assert(_) | Command::SetLogic(_) | Command::SetOption(_, _)
+            Command::Assert(_)
+                | Command::SetLogic(_)
+                | Command::SetOption(_, _)
                 | Command::SetInfo(_, _)
         );
         if removable {
@@ -206,10 +208,7 @@ fn shrink_terms(
             else {
                 break;
             };
-            let t = current
-                .assertions_mut()
-                .nth(a_idx)
-                .expect("index in range");
+            let t = current.assertions_mut().nth(a_idx).expect("index in range");
             *t = replacement;
             progressed = true;
         }
@@ -324,7 +323,10 @@ mod tests {
              (assert (and (> x 5) (< x 100) (distinct x 7)))(check-sat)",
             |s| s.to_string().contains("(> x 5)"),
         );
-        assert_eq!(out.to_string(), "(declare-const x Int)\n(assert (> x 5))\n(check-sat)");
+        assert_eq!(
+            out.to_string(),
+            "(declare-const x Int)\n(assert (> x 5))\n(check-sat)"
+        );
     }
 
     #[test]

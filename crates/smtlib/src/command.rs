@@ -139,11 +139,7 @@ impl Script {
 
     /// Ensures the script ends with `(check-sat)`, appending one if missing.
     pub fn ensure_check_sat(&mut self) {
-        if !self
-            .commands
-            .iter()
-            .any(|c| matches!(c, Command::CheckSat))
-        {
+        if !self.commands.iter().any(|c| matches!(c, Command::CheckSat)) {
             self.commands.push(Command::CheckSat);
         }
     }
@@ -225,10 +221,7 @@ mod tests {
                 Command::SetLogic("QF_LIA".into()),
                 Command::DeclareConst(Symbol::new("x"), Sort::Int),
                 Command::DeclareFun(Symbol::new("f"), vec![Sort::Int], Sort::Bool),
-                Command::Assert(Term::app(
-                    Op::Gt,
-                    vec![Term::var("x"), Term::int(0)],
-                )),
+                Command::Assert(Term::app(Op::Gt, vec![Term::var("x"), Term::int(0)])),
                 Command::CheckSat,
             ],
         }
@@ -284,8 +277,7 @@ mod tests {
     fn placeholders_flagged() {
         let mut s = sample_script();
         assert!(!s.has_placeholders());
-        s.commands
-            .push(Command::Assert(Term::Placeholder(0)));
+        s.commands.push(Command::Assert(Term::Placeholder(0)));
         assert!(s.has_placeholders());
     }
 }

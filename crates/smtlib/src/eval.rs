@@ -31,8 +31,8 @@
 //! reports [`EvalError::Incomplete`] and solvers answer `unknown`.
 
 use crate::{
-    BitVecValue, EvalError, FiniteFieldValue, Model, Op, Quantifier, Rational, Sort, Symbol,
-    Term, Value,
+    BitVecValue, EvalError, FiniteFieldValue, Model, Op, Quantifier, Rational, Sort, Symbol, Term,
+    Value,
 };
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -151,12 +151,26 @@ pub fn candidates(sort: &Sort, cfg: &DomainConfig) -> Candidates {
                     complete: true,
                 }
             } else {
-                let max = if *w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
-                let picks: BTreeSet<u128> =
-                    [0u128, 1, 2, 3, 5, 7, max, max - 1, max / 2, 1u128 << (w - 1)]
-                        .into_iter()
-                        .map(|b| b & max)
-                        .collect();
+                let max = if *w >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << w) - 1
+                };
+                let picks: BTreeSet<u128> = [
+                    0u128,
+                    1,
+                    2,
+                    3,
+                    5,
+                    7,
+                    max,
+                    max - 1,
+                    max / 2,
+                    1u128 << (w - 1),
+                ]
+                .into_iter()
+                .map(|b| b & max)
+                .collect();
                 Candidates {
                     values: picks
                         .into_iter()
@@ -323,19 +337,22 @@ pub fn candidates(sort: &Sort, cfg: &DomainConfig) -> Candidates {
     }
 }
 
+/// Defined functions from `define-fun`: name → (parameters, body).
+pub type FunDefs = BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)>;
+
 /// Evaluation environment: model, defined functions, domain bounds, budget.
 pub struct Evaluator<'a> {
     model: &'a Model,
-    defs: &'a BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)>,
+    defs: &'a FunDefs,
     cfg: &'a DomainConfig,
     steps: Cell<u64>,
 }
 
 /// An empty defined-function map, for convenience when a formula has no
 /// `define-fun` commands.
-pub fn no_defs() -> &'static BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)> {
+pub fn no_defs() -> &'static FunDefs {
     use std::sync::OnceLock;
-    static EMPTY: OnceLock<BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)>> = OnceLock::new();
+    static EMPTY: OnceLock<FunDefs> = OnceLock::new();
     EMPTY.get_or_init(BTreeMap::new)
 }
 
@@ -343,7 +360,7 @@ impl<'a> Evaluator<'a> {
     /// Creates an evaluator with a step budget (AST-node visits).
     pub fn new(
         model: &'a Model,
-        defs: &'a BTreeMap<Symbol, (Vec<(Symbol, Sort)>, Term)>,
+        defs: &'a FunDefs,
         cfg: &'a DomainConfig,
         budget: u64,
     ) -> Evaluator<'a> {
@@ -375,11 +392,7 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
-    fn eval_in(
-        &self,
-        term: &Term,
-        scope: &mut Vec<(Symbol, Value)>,
-    ) -> Result<Value, EvalError> {
+    fn eval_in(&self, term: &Term, scope: &mut Vec<(Symbol, Value)>) -> Result<Value, EvalError> {
         self.tick()?;
         match term {
             Term::Const(v) => Ok(v.clone()),
@@ -494,10 +507,7 @@ impl<'a> Evaluator<'a> {
             Quantifier::Forall => false, // a false instance decides forall
             Quantifier::Exists => true,  // a true instance decides exists
         };
-        let doms: Vec<Candidates> = vars
-            .iter()
-            .map(|(_, s)| candidates(s, self.cfg))
-            .collect();
+        let doms: Vec<Candidates> = vars.iter().map(|(_, s)| candidates(s, self.cfg)).collect();
         let complete = doms.iter().all(|d| d.complete);
         let mut total: usize = 1;
         for d in &doms {
@@ -729,7 +739,9 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
         }
         Eq => {
             let first = &args[0];
-            Ok(Value::Bool(args[1..].iter().all(|a| values_equal(first, a))))
+            Ok(Value::Bool(
+                args[1..].iter().all(|a| values_equal(first, a)),
+            ))
         }
         Distinct => {
             for i in 0..args.len() {
@@ -811,7 +823,9 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
             Ok(Value::Real(acc))
         }
         Abs => Ok(Value::Int(
-            int_arg(&args[0])?.checked_abs().ok_or(EvalError::Overflow)?,
+            int_arg(&args[0])?
+                .checked_abs()
+                .ok_or(EvalError::Overflow)?,
         )),
         Divisible(n) => Ok(Value::Bool(
             euclid_mod(int_arg(&args[0])?, *n as i128)? == 0,
@@ -1058,7 +1072,10 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
             let out = if i < 0 {
                 String::new()
             } else {
-                s.chars().nth(i as usize).map(String::from).unwrap_or_default()
+                s.chars()
+                    .nth(i as usize)
+                    .map(String::from)
+                    .unwrap_or_default()
             };
             Ok(Value::Str(out))
         }
@@ -1075,9 +1092,7 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
             };
             Ok(Value::Str(out))
         }
-        StrContains => Ok(Value::Bool(
-            str_arg(&args[0])?.contains(str_arg(&args[1])?),
-        )),
+        StrContains => Ok(Value::Bool(str_arg(&args[0])?.contains(str_arg(&args[1])?))),
         StrPrefixof => Ok(Value::Bool(
             str_arg(&args[1])?.starts_with(str_arg(&args[0])?),
         )),
@@ -1142,7 +1157,11 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
         }
         StrFromInt => {
             let i = int_arg(&args[0])?;
-            Ok(Value::Str(if i < 0 { String::new() } else { i.to_string() }))
+            Ok(Value::Str(if i < 0 {
+                String::new()
+            } else {
+                i.to_string()
+            }))
         }
         StrToCode => {
             let s = str_arg(&args[0])?;
@@ -1206,8 +1225,8 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
         SeqContains => {
             let (_, hay) = seq_arg(&args[0])?;
             let (_, needle) = seq_arg(&args[1])?;
-            let found = needle.is_empty()
-                || hay.windows(needle.len()).any(|w| w == needle.as_slice());
+            let found =
+                needle.is_empty() || hay.windows(needle.len()).any(|w| w == needle.as_slice());
             Ok(Value::Bool(found))
         }
         SeqIndexof => {
@@ -1471,9 +1490,9 @@ pub fn apply_op(op: &Op, args: &[Value]) -> Result<Value, EvalError> {
         BagSubbag => {
             let (_, a) = bag_arg(&args[0])?;
             let (_, b) = bag_arg(&args[1])?;
-            Ok(Value::Bool(a.iter().all(|(k, &n)| {
-                b.get(k).copied().unwrap_or(0) >= n
-            })))
+            Ok(Value::Bool(
+                a.iter().all(|(k, &n)| b.get(k).copied().unwrap_or(0) >= n),
+            ))
         }
 
         // ---- finite fields ----
@@ -1787,9 +1806,7 @@ mod tests {
             Value::Int(1)
         );
         assert_eq!(
-            eval_ok(
-                "(set.card (rel.product (set.singleton (tuple 1)) (set.singleton (tuple 2))))"
-            ),
+            eval_ok("(set.card (rel.product (set.singleton (tuple 1)) (set.singleton (tuple 2))))"),
             Value::Int(1)
         );
     }
@@ -1814,7 +1831,10 @@ mod tests {
             Value::Int(2)
         );
         assert_eq!(eval_ok("(bag.member 1 (bag 1 1))"), Value::Bool(true));
-        assert_eq!(eval_ok("(bag.subbag (bag 1 2) (bag 1 3))"), Value::Bool(true));
+        assert_eq!(
+            eval_ok("(bag.subbag (bag 1 2) (bag 1 3))"),
+            Value::Bool(true)
+        );
         assert_eq!(eval_ok("(bag.card (bag 7 0))"), Value::Int(0));
     }
 
@@ -1854,7 +1874,10 @@ mod tests {
 
     #[test]
     fn tuple_semantics() {
-        assert_eq!(eval_ok("((_ tuple.select 1) (tuple 1 true))"), Value::Bool(true));
+        assert_eq!(
+            eval_ok("((_ tuple.select 1) (tuple 1 true))"),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -1903,10 +1926,7 @@ mod tests {
         );
         // (and true <incomplete>) stays incomplete.
         assert_eq!(
-            eval_str(
-                "(and (= 1 1) (forall ((x Int)) (< x 100)))",
-                &Model::new()
-            ),
+            eval_str("(and (= 1 1) (forall ((x Int)) (< x 100)))", &Model::new()),
             Err(EvalError::Incomplete)
         );
     }
@@ -1917,12 +1937,7 @@ mod tests {
         m.set_const(Symbol::new("x"), Value::Int(5));
         let mut table = BTreeMap::new();
         table.insert(vec![Value::Int(5)], Value::Bool(true));
-        m.set_fun(
-            Symbol::new("f"),
-            vec![Sort::Int],
-            table,
-            Value::Bool(false),
-        );
+        m.set_fun(Symbol::new("f"), vec![Sort::Int], table, Value::Bool(false));
         assert_eq!(eval_str("(f x)", &m), Ok(Value::Bool(true)));
         assert_eq!(eval_str("(f (+ x 1))", &m), Ok(Value::Bool(false)));
         assert!(matches!(
@@ -1947,8 +1962,7 @@ mod tests {
     fn budget_is_enforced() {
         // No instance is decisive, so the evaluator must walk the whole
         // product and trip the step budget first.
-        let t = parse_term("(forall ((x Int) (y Int) (z Int)) (distinct (+ x y z) 100))")
-            .unwrap();
+        let t = parse_term("(forall ((x Int) (y Int) (z Int)) (distinct (+ x y z) 100))").unwrap();
         let cfg = DomainConfig::default();
         let m = Model::new();
         let ev = Evaluator::new(&m, no_defs(), &cfg, 10);

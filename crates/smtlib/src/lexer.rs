@@ -196,9 +196,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                         i += 1;
                     }
-                    let whole: i128 = input[start..frac_begin - 1].parse().map_err(|_| {
-                        ParseError::new(start, "decimal literal too large")
-                    })?;
+                    let whole: i128 = input[start..frac_begin - 1]
+                        .parse()
+                        .map_err(|_| ParseError::new(start, "decimal literal too large"))?;
                     let frac_str = &input[frac_begin..i];
                     if frac_str.is_empty() {
                         return Err(ParseError::new(start, "decimal literal missing digits"));
@@ -240,7 +240,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 });
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -293,10 +296,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            toks(r#""a""b""#),
-            vec![Token::StringLit("a\"b".into())]
-        );
+        assert_eq!(toks(r#""a""b""#), vec![Token::StringLit("a\"b".into())]);
     }
 
     #[test]
@@ -324,10 +324,7 @@ mod tests {
 
     #[test]
     fn keywords() {
-        assert_eq!(
-            toks(":named"),
-            vec![Token::Keyword("named".into())]
-        );
+        assert_eq!(toks(":named"), vec![Token::Keyword("named".into())]);
     }
 
     #[test]

@@ -129,7 +129,12 @@ impl fmt::Display for Model {
                         .enumerate()
                         .map(|(i, s)| format!("(_arg{i} {s})"))
                         .collect();
-                    write!(f, "  (define-fun {name} ({}) {} ", param_list.join(" "), default.sort())?;
+                    write!(
+                        f,
+                        "  (define-fun {name} ({}) {} ",
+                        param_list.join(" "),
+                        default.sort()
+                    )?;
                     // Render the table as nested ite over argument tuples.
                     let mut body = default.to_string();
                     for (args, out) in table.iter().rev() {
@@ -171,12 +176,7 @@ mod tests {
         let mut m = Model::new();
         let mut table = BTreeMap::new();
         table.insert(vec![Value::Int(1)], Value::Bool(true));
-        m.set_fun(
-            Symbol::new("f"),
-            vec![Sort::Int],
-            table,
-            Value::Bool(false),
-        );
+        m.set_fun(Symbol::new("f"), vec![Sort::Int], table, Value::Bool(false));
         assert_eq!(
             m.apply_fun(&Symbol::new("f"), &[Value::Int(1)]),
             Some(Value::Bool(true))

@@ -276,12 +276,38 @@ impl Op {
             Add | Sub | Neg | Mul | IntDiv | Mod | Abs | Divisible(_) | Le | Lt | Ge | Gt
             | ToReal | ToInt | IsInt => Theory::Ints,
             RealDiv => Theory::Reals,
-            BvNot | BvNeg | BvAnd | BvOr | BvXor | BvNand | BvNor | BvAdd | BvSub | BvMul
-            | BvUdiv | BvUrem | BvSdiv | BvSrem | BvShl | BvLshr | BvAshr | Concat
-            | Extract(_, _) | ZeroExtend(_) | SignExtend(_) | RotateLeft(_) | RotateRight(_)
-            | Repeat(_) | BvUlt | BvUle | BvUgt | BvUge | BvSlt | BvSle | BvSgt | BvSge => {
-                Theory::BitVectors
-            }
+            BvNot
+            | BvNeg
+            | BvAnd
+            | BvOr
+            | BvXor
+            | BvNand
+            | BvNor
+            | BvAdd
+            | BvSub
+            | BvMul
+            | BvUdiv
+            | BvUrem
+            | BvSdiv
+            | BvSrem
+            | BvShl
+            | BvLshr
+            | BvAshr
+            | Concat
+            | Extract(_, _)
+            | ZeroExtend(_)
+            | SignExtend(_)
+            | RotateLeft(_)
+            | RotateRight(_)
+            | Repeat(_)
+            | BvUlt
+            | BvUle
+            | BvUgt
+            | BvUge
+            | BvSlt
+            | BvSle
+            | BvSgt
+            | BvSge => Theory::BitVectors,
             StrConcat | StrLen | StrAt | StrSubstr | StrContains | StrPrefixof | StrSuffixof
             | StrIndexof | StrReplace | StrReplaceAll | StrLt | StrLe | StrToInt | StrFromInt
             | StrToCode | StrFromCode | StrIsDigit => Theory::Strings,
@@ -292,8 +318,8 @@ impl Op {
             SetUnion | SetInter | SetMinus | SetMember | SetSubset | SetInsert | SetSingleton
             | SetCard | SetComplement | RelJoin | RelProduct | RelTranspose | MkTuple
             | TupleSelect(_) => Theory::Sets,
-            BagMake | BagUnionMax | BagUnionDisjoint | BagInterMin | BagDiffSubtract
-            | BagCount | BagCard | BagMember | BagSubbag => Theory::Bags,
+            BagMake | BagUnionMax | BagUnionDisjoint | BagInterMin | BagDiffSubtract | BagCount
+            | BagCard | BagMember | BagSubbag => Theory::Bags,
             FfAdd | FfMul | FfNeg | FfBitsum => Theory::FiniteFields,
             Select | Store | ConstArray(_) => Theory::Arrays,
             Uf(_) => Theory::Uf,
@@ -547,18 +573,113 @@ impl Op {
     pub fn all_simple() -> Vec<Op> {
         use Op::*;
         vec![
-            Not, And, Or, Xor, Implies, Eq, Distinct, Ite, Add, Sub, Neg, Mul, IntDiv, RealDiv,
-            Mod, Abs, Le, Lt, Ge, Gt, ToReal, ToInt, IsInt, BvNot, BvNeg, BvAnd, BvOr, BvXor,
-            BvNand, BvNor, BvAdd, BvSub, BvMul, BvUdiv, BvUrem, BvSdiv, BvSrem, BvShl, BvLshr,
-            BvAshr, Concat, BvUlt, BvUle, BvUgt, BvUge, BvSlt, BvSle, BvSgt, BvSge, StrConcat,
-            StrLen, StrAt, StrSubstr, StrContains, StrPrefixof, StrSuffixof, StrIndexof,
-            StrReplace, StrReplaceAll, StrLt, StrLe, StrToInt, StrFromInt, StrToCode,
-            StrFromCode, StrIsDigit, SeqUnit, SeqConcat, SeqLen, SeqNth, SeqExtract,
-            SeqContains, SeqIndexof, SeqRev, SeqUpdate, SeqAt, SeqReplace, SeqPrefixof,
-            SeqSuffixof, SetUnion, SetInter, SetMinus, SetMember, SetSubset, SetInsert,
-            SetSingleton, SetCard, SetComplement, RelJoin, RelProduct, RelTranspose, BagMake,
-            BagUnionMax, BagUnionDisjoint, BagInterMin, BagDiffSubtract, BagCount, BagCard,
-            BagMember, BagSubbag, FfAdd, FfMul, FfNeg, FfBitsum, Select, Store, MkTuple,
+            Not,
+            And,
+            Or,
+            Xor,
+            Implies,
+            Eq,
+            Distinct,
+            Ite,
+            Add,
+            Sub,
+            Neg,
+            Mul,
+            IntDiv,
+            RealDiv,
+            Mod,
+            Abs,
+            Le,
+            Lt,
+            Ge,
+            Gt,
+            ToReal,
+            ToInt,
+            IsInt,
+            BvNot,
+            BvNeg,
+            BvAnd,
+            BvOr,
+            BvXor,
+            BvNand,
+            BvNor,
+            BvAdd,
+            BvSub,
+            BvMul,
+            BvUdiv,
+            BvUrem,
+            BvSdiv,
+            BvSrem,
+            BvShl,
+            BvLshr,
+            BvAshr,
+            Concat,
+            BvUlt,
+            BvUle,
+            BvUgt,
+            BvUge,
+            BvSlt,
+            BvSle,
+            BvSgt,
+            BvSge,
+            StrConcat,
+            StrLen,
+            StrAt,
+            StrSubstr,
+            StrContains,
+            StrPrefixof,
+            StrSuffixof,
+            StrIndexof,
+            StrReplace,
+            StrReplaceAll,
+            StrLt,
+            StrLe,
+            StrToInt,
+            StrFromInt,
+            StrToCode,
+            StrFromCode,
+            StrIsDigit,
+            SeqUnit,
+            SeqConcat,
+            SeqLen,
+            SeqNth,
+            SeqExtract,
+            SeqContains,
+            SeqIndexof,
+            SeqRev,
+            SeqUpdate,
+            SeqAt,
+            SeqReplace,
+            SeqPrefixof,
+            SeqSuffixof,
+            SetUnion,
+            SetInter,
+            SetMinus,
+            SetMember,
+            SetSubset,
+            SetInsert,
+            SetSingleton,
+            SetCard,
+            SetComplement,
+            RelJoin,
+            RelProduct,
+            RelTranspose,
+            BagMake,
+            BagUnionMax,
+            BagUnionDisjoint,
+            BagInterMin,
+            BagDiffSubtract,
+            BagCount,
+            BagCard,
+            BagMember,
+            BagSubbag,
+            FfAdd,
+            FfMul,
+            FfNeg,
+            FfBitsum,
+            Select,
+            Store,
+            MkTuple,
         ]
     }
 }

@@ -158,9 +158,10 @@ impl Parser {
                 let key = match self.next()? {
                     Token::Keyword(k) => k,
                     other => {
-                        return Err(
-                            self.error(format!("expected option keyword, found {}", other.describe()))
-                        )
+                        return Err(self.error(format!(
+                            "expected option keyword, found {}",
+                            other.describe()
+                        )))
                     }
                 };
                 Command::SetOption(key, self.attribute_value()?)
@@ -169,9 +170,8 @@ impl Parser {
                 let key = match self.next()? {
                     Token::Keyword(k) => k,
                     other => {
-                        return Err(
-                            self.error(format!("expected info keyword, found {}", other.describe()))
-                        )
+                        return Err(self
+                            .error(format!("expected info keyword, found {}", other.describe())))
                     }
                 };
                 Command::SetInfo(key, self.attribute_value()?)
@@ -317,9 +317,7 @@ impl Parser {
                             "BitVec" => {
                                 let w = self.numeral()?;
                                 if !(1..=128).contains(&w) {
-                                    return Err(
-                                        self.error("bit-vector width must be in 1..=128")
-                                    );
+                                    return Err(self.error("bit-vector width must be in 1..=128"));
                                 }
                                 Sort::BitVec(w as u32)
                             }
@@ -331,9 +329,7 @@ impl Parser {
                                 Sort::FiniteField(p as u64)
                             }
                             other => {
-                                return Err(
-                                    self.error(format!("unknown indexed sort '{other}'"))
-                                )
+                                return Err(self.error(format!("unknown indexed sort '{other}'")))
                             }
                         }
                     }
@@ -682,10 +678,8 @@ mod tests {
 
     #[test]
     fn parse_simple_script() {
-        let s = parse_script(
-            "(set-logic QF_LIA)(declare-const x Int)(assert (> x 0))(check-sat)",
-        )
-        .unwrap();
+        let s = parse_script("(set-logic QF_LIA)(declare-const x Int)(assert (> x 0))(check-sat)")
+            .unwrap();
         assert_eq!(s.commands.len(), 4);
         assert_eq!(s.assertions().count(), 1);
     }
@@ -724,10 +718,7 @@ mod tests {
     #[test]
     fn parse_bv_literal_underscore_form() {
         let t = parse_term("(_ bv5 8)").unwrap();
-        assert_eq!(
-            t,
-            Term::Const(Value::BitVec(BitVecValue::new(8, 5)))
-        );
+        assert_eq!(t, Term::Const(Value::BitVec(BitVecValue::new(8, 5))));
     }
 
     #[test]

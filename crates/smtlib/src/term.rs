@@ -186,9 +186,7 @@ impl Term {
     pub fn rename_free_var(&self, from: &Symbol, to: &Symbol) -> Term {
         fn go(t: &Term, from: &Symbol, to: &Symbol, bound: &mut Vec<Symbol>) -> Term {
             match t {
-                Term::Var(s) if s == from && !bound.iter().any(|b| b == s) => {
-                    Term::Var(to.clone())
-                }
+                Term::Var(s) if s == from && !bound.iter().any(|b| b == s) => Term::Var(to.clone()),
                 Term::Var(_) | Term::Const(_) | Term::Placeholder(_) => t.clone(),
                 Term::App(op, args) => Term::App(
                     op.clone(),

@@ -52,12 +52,7 @@ impl SortContext {
     /// # Errors
     ///
     /// Returns [`SortError::Redeclaration`] on duplicate names.
-    pub fn declare(
-        &mut self,
-        name: Symbol,
-        args: Vec<Sort>,
-        ret: Sort,
-    ) -> Result<(), SortError> {
+    pub fn declare(&mut self, name: Symbol, args: Vec<Sort>, ret: Sort) -> Result<(), SortError> {
         if self.funs.contains_key(&name) {
             return Err(SortError::Redeclaration(name));
         }
@@ -225,12 +220,7 @@ fn same_ff_modulus(op: &Op, args: &[Sort]) -> Result<u64, SortError> {
             Sort::FiniteField(p) => match modulus {
                 None => modulus = Some(*p),
                 Some(prev) if prev != *p => {
-                    return Err(arg_err(
-                        op,
-                        i,
-                        format!("(_ FiniteField {prev})"),
-                        s,
-                    ))
+                    return Err(arg_err(op, i, format!("(_ FiniteField {prev})"), s))
                 }
                 _ => {}
             },
@@ -356,8 +346,7 @@ pub fn sort_of_app(op: &Op, args: &[Sort], ctx: &SortContext) -> Result<Sort, So
             expect_at_least(op, args, 2)?;
             let first = &args[0];
             for (i, s) in args.iter().enumerate().skip(1) {
-                let ok = s == first
-                    || (numeric(first) && numeric(s));
+                let ok = s == first || (numeric(first) && numeric(s));
                 if !ok {
                     return Err(arg_err(op, i, first.to_string(), s));
                 }
@@ -856,15 +845,18 @@ pub fn sort_of_app(op: &Op, args: &[Sort], ctx: &SortContext) -> Result<Sort, So
         TupleSelect(i) => {
             expect_exact(op, args, 1)?;
             match &args[0] {
-                Sort::Tuple(elems) => elems.get(*i as usize).cloned().ok_or_else(|| {
-                    SortError::BadIndex {
-                        op: op.to_string(),
-                        reason: format!(
-                            "tuple index {i} out of range for arity {}",
-                            elems.len()
-                        ),
-                    }
-                }),
+                Sort::Tuple(elems) => {
+                    elems
+                        .get(*i as usize)
+                        .cloned()
+                        .ok_or_else(|| SortError::BadIndex {
+                            op: op.to_string(),
+                            reason: format!(
+                                "tuple index {i} out of range for arity {}",
+                                elems.len()
+                            ),
+                        })
+                }
                 other => Err(arg_err(op, 0, "a tuple", other)),
             }
         }
@@ -876,7 +868,11 @@ pub fn sort_of_app(op: &Op, args: &[Sort], ctx: &SortContext) -> Result<Sort, So
                 .get(name)
                 .ok_or_else(|| SortError::UnknownSymbol(name.clone()))?;
             if params.len() != args.len() {
-                return Err(arity_err(op, &format!("exactly {}", params.len()), args.len()));
+                return Err(arity_err(
+                    op,
+                    &format!("exactly {}", params.len()),
+                    args.len(),
+                ));
             }
             for (i, (got, want)) in args.iter().zip(params).enumerate() {
                 if got != want {
@@ -963,10 +959,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_extract() {
-        let err = check(
-            "(declare-const a (_ BitVec 8))(assert (= ((_ extract 9 0) a) a))",
-        )
-        .unwrap_err();
+        let err =
+            check("(declare-const a (_ BitVec 8))(assert (= ((_ extract 9 0) a) a))").unwrap_err();
         assert!(matches!(err, SortError::BadIndex { .. }));
     }
 
@@ -997,10 +991,7 @@ mod tests {
         // (Relation Int Bool) ⋈ (Relation Bool String) : (Relation Int String)
         let t = crate::parse_term("(rel.join r1 r2)").unwrap();
         let s = check_term(&t, &ctx).unwrap();
-        assert_eq!(
-            s,
-            Sort::set(Sort::Tuple(vec![Sort::Int, Sort::String]))
-        );
+        assert_eq!(s, Sort::set(Sort::Tuple(vec![Sort::Int, Sort::String])));
     }
 
     #[test]
@@ -1035,10 +1026,7 @@ mod tests {
              (assert (= (f x true) 0))",
         )
         .unwrap();
-        let err = check(
-            "(declare-fun f (Int Bool) Int)(assert (= (f true true) 0))",
-        )
-        .unwrap_err();
+        let err = check("(declare-fun f (Int Bool) Int)(assert (= (f true true) 0))").unwrap_err();
         assert!(matches!(err, SortError::ArgSort { .. }));
         let err = check("(declare-fun f (Int) Int)(assert (= (f) 0))").unwrap_err();
         assert!(matches!(err, SortError::Arity { .. }));

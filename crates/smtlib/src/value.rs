@@ -38,6 +38,9 @@ fn gcd(mut a: i128, mut b: i128) -> i128 {
     a
 }
 
+// Checked arithmetic returning `Option` — deliberately not the `std::ops`
+// trait shapes, which cannot signal overflow.
+#[allow(clippy::should_implement_trait)]
 impl Rational {
     /// Zero.
     pub const ZERO: Rational = Rational { num: 0, den: 1 };
@@ -137,7 +140,10 @@ impl Ord for Rational {
         // Compare via cross multiplication in i256-ish space. i128 * i128 can
         // overflow, so fall back to f64 comparison only when exact math
         // overflows *and* values differ enough for f64 to be trustworthy.
-        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
             (Some(a), Some(b)) => a.cmp(&b),
             _ => {
                 let a = self.num as f64 / self.den as f64;
@@ -178,7 +184,7 @@ impl BitVecValue {
     ///
     /// Panics when `width` is 0 or greater than 128.
     pub fn new(width: u32, bits: u128) -> BitVecValue {
-        assert!(width >= 1 && width <= 128, "bit-vector width out of range");
+        assert!((1..=128).contains(&width), "bit-vector width out of range");
         BitVecValue {
             width,
             bits: bits & Self::mask(width),
@@ -216,7 +222,7 @@ impl BitVecValue {
 
 impl fmt::Display for BitVecValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.width % 4 == 0 {
+        if self.width.is_multiple_of(4) {
             write!(
                 f,
                 "#x{:0>width$x}",
@@ -236,6 +242,9 @@ pub struct FiniteFieldValue {
     value: u64,
 }
 
+// Modular arithmetic helpers; the `std::ops` traits would hide the modulus
+// normalization these apply.
+#[allow(clippy::should_implement_trait)]
 impl FiniteFieldValue {
     /// Creates a field element, reducing `value` modulo `modulus`.
     ///
@@ -280,11 +289,7 @@ impl FiniteFieldValue {
 
 impl fmt::Display for FiniteFieldValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(as ff{} (_ FiniteField {}))",
-            self.value, self.modulus
-        )
+        write!(f, "(as ff{} (_ FiniteField {}))", self.value, self.modulus)
     }
 }
 
@@ -463,10 +468,7 @@ impl fmt::Display for Value {
                 default,
                 table,
             } => {
-                let base = format!(
-                    "((as const (Array {key} {})) {default})",
-                    default.sort()
-                );
+                let base = format!("((as const (Array {key} {})) {default})", default.sort());
                 let mut txt = base;
                 for (k, v) in table {
                     txt = format!("(store {txt} {k} {v})");
@@ -546,10 +548,7 @@ mod tests {
     #[test]
     fn value_sorts() {
         assert_eq!(Value::Int(3).sort(), Sort::Int);
-        assert_eq!(
-            Value::Seq(Sort::Int, vec![]).sort(),
-            Sort::seq(Sort::Int)
-        );
+        assert_eq!(Value::Seq(Sort::Int, vec![]).sort(), Sort::seq(Sort::Int));
         assert_eq!(Value::Tuple(vec![]).sort(), Sort::unit_tuple());
     }
 
@@ -563,10 +562,7 @@ mod tests {
         );
         let mut s = BTreeSet::new();
         s.insert(Value::Int(1));
-        assert_eq!(
-            Value::Set(Sort::Int, s).to_string(),
-            "(set.singleton 1)"
-        );
+        assert_eq!(Value::Set(Sort::Int, s).to_string(), "(set.singleton 1)");
     }
 
     #[test]

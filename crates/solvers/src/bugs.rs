@@ -85,7 +85,7 @@ impl Trigger {
     /// weak low bits, so a splitmix64-style finalizer runs before the
     /// modulus.
     pub fn passes_rarity(&self, hash: u64) -> bool {
-        mix(hash) % self.rarity.max(1) == 0
+        mix(hash).is_multiple_of(self.rarity.max(1))
     }
 
     /// Full match including the rarity gate.
@@ -195,6 +195,9 @@ pub fn registry() -> &'static [BugSpec] {
     REG.get_or_init(build_registry)
 }
 
+// The registry reads as one dated entry per `push`; folding ~50 entries
+// into a single `vec![]` literal would lose that changelog shape.
+#[allow(clippy::vec_init_then_push)]
 fn build_registry() -> Vec<BugSpec> {
     use BugKind::*;
     use CrashKind::*;
@@ -209,262 +212,782 @@ fn build_registry() -> Vec<BugSpec> {
     // signatures (Table 1: reported 27, confirmed 25, fixed 24, dup 2).
     // Lifespan (Fig. 5): cumulative per release 3, 6, 6, 6, 8, 11, 25.
     // =====================================================================
-    v.push(bug("oz-01", OxiZ, Crash(AssertionViolation), Ints,
+    v.push(bug(
+        "oz-01",
+        OxiZ,
+        Crash(AssertionViolation),
+        Ints,
         "arith rewriter asserts on (mod _ 0) under to_int coercion",
-        5, None, Fixed, trig(&["mod", "to_int"], true, 6),
-        Some("oxiz::arith_rewriter::mk_mod_core:412")));
-    v.push(bug("oz-02", OxiZ, Crash(SegFault), Reals,
+        5,
+        None,
+        Fixed,
+        trig(&["mod", "to_int"], true, 6),
+        Some("oxiz::arith_rewriter::mk_mod_core:412"),
+    ));
+    v.push(bug(
+        "oz-02",
+        OxiZ,
+        Crash(SegFault),
+        Reals,
         "null deref evaluating partial function interp with div-by-zero under forall",
-        8, None, Fixed, trig(&["/", "mod"], true, 6),
-        Some("oxiz::model_evaluator::eval_partial:188")));
-    v.push(bug("oz-03", OxiZ, Soundness, Strings,
+        8,
+        None,
+        Fixed,
+        trig(&["/", "mod"], true, 6),
+        Some("oxiz::model_evaluator::eval_partial:188"),
+    ));
+    v.push(bug(
+        "oz-03",
+        OxiZ,
+        Soundness,
+        Strings,
         "str.replace length abstraction drops a case, wrong unsat",
-        9, None, Fixed, trig(&["str.replace", "str.len"], false, 6), None));
-    v.push(bug("oz-04", OxiZ, Crash(InternalException), Core,
+        9,
+        None,
+        Fixed,
+        trig(&["str.replace", "str.len"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-04",
+        OxiZ,
+        Crash(InternalException),
+        Core,
         "ite lifting throws on deeply nested distinct chains",
-        12, None, Fixed,
-        Trigger { all_ops: vec!["ite", "distinct"], min_depth: 6, rarity: 6, ..Trigger::default() },
-        Some("oxiz::core_simplifier::lift_ite:97")));
-    v.push(bug("oz-05", OxiZ, Crash(AssertionViolation), BitVectors,
+        12,
+        None,
+        Fixed,
+        Trigger {
+            all_ops: vec!["ite", "distinct"],
+            min_depth: 6,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("oxiz::core_simplifier::lift_ite:97"),
+    ));
+    v.push(bug(
+        "oz-05",
+        OxiZ,
+        Crash(AssertionViolation),
+        BitVectors,
         "bvshl of bvnot miscomputes width invariant",
-        15, None, Fixed, trig(&["bvshl", "bvnot"], false, 6),
-        Some("oxiz::bv_rewriter::mk_shl:233")));
-    v.push(bug("oz-06", OxiZ, InvalidModel, Ints,
+        15,
+        None,
+        Fixed,
+        trig(&["bvshl", "bvnot"], false, 6),
+        Some("oxiz::bv_rewriter::mk_shl:233"),
+    ));
+    v.push(bug(
+        "oz-06",
+        OxiZ,
+        InvalidModel,
+        Ints,
         "model completion assigns stale value to abs/div alias",
-        18, None, Fixed, trig(&["div", "abs"], false, 6), None));
-    v.push(bug("oz-07", OxiZ, Crash(AssertionViolation), Sequences,
+        18,
+        None,
+        Fixed,
+        trig(&["div", "abs"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-07",
+        OxiZ,
+        Crash(AssertionViolation),
+        Sequences,
         "seq.len(seq.rev) not evaluated to a constant under a quantifier",
-        45, None, Fixed, trig(&["seq.rev", "seq.len"], true, 5),
-        Some("oxiz::seq_rewriter::mk_rev:184")));
-    v.push(bug("oz-08", OxiZ, Crash(SegFault), Strings,
+        45,
+        None,
+        Fixed,
+        trig(&["seq.rev", "seq.len"], true, 5),
+        Some("oxiz::seq_rewriter::mk_rev:184"),
+    ));
+    v.push(bug(
+        "oz-08",
+        OxiZ,
+        Crash(SegFault),
+        Strings,
         "substr/indexof offset normalization underflows",
-        48, None, Fixed, trig(&["str.substr", "str.indexof"], false, 6),
-        Some("oxiz::str_solver::normalize_offsets:311")));
-    v.push(bug("oz-09", OxiZ, Soundness, BitVectors,
+        48,
+        None,
+        Fixed,
+        trig(&["str.substr", "str.indexof"], false, 6),
+        Some("oxiz::str_solver::normalize_offsets:311"),
+    ));
+    v.push(bug(
+        "oz-09",
+        OxiZ,
+        Soundness,
+        BitVectors,
         "bvashr sign propagation wrong for signed compare operands",
-        55, None, Fixed, trig(&["bvashr", "bvslt"], false, 6), None));
-    v.push(bug("oz-10", OxiZ, Crash(InternalException), Sequences,
+        55,
+        None,
+        Fixed,
+        trig(&["bvashr", "bvslt"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-10",
+        OxiZ,
+        Crash(InternalException),
+        Sequences,
         "seq.update through seq.extract loses element sort",
-        57, None, Fixed, trig(&["seq.update", "seq.extract"], false, 6),
-        Some("oxiz::seq_rewriter::mk_update:266")));
-    v.push(bug("oz-11", OxiZ, InvalidModel, Reals,
+        57,
+        None,
+        Fixed,
+        trig(&["seq.update", "seq.extract"], false, 6),
+        Some("oxiz::seq_rewriter::mk_update:266"),
+    ));
+    v.push(bug(
+        "oz-11",
+        OxiZ,
+        InvalidModel,
+        Reals,
         "to_real coercion cached across quantifier scopes",
-        60, None, Fixed, trig(&["to_real", "<="], true, 6), None));
-    v.push(bug("oz-12", OxiZ, Crash(AssertionViolation), Arrays,
+        60,
+        None,
+        Fixed,
+        trig(&["to_real", "<="], true, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-12",
+        OxiZ,
+        Crash(AssertionViolation),
+        Arrays,
         "store-over-store chain confuses array equality propagation",
-        62, None, Fixed,
-        Trigger { all_ops: vec!["store", "select"], min_depth: 5, rarity: 6, ..Trigger::default() },
-        Some("oxiz::array_solver::propagate_store:144")));
-    v.push(bug("oz-13", OxiZ, Crash(AssertionViolation), Ints,
+        62,
+        None,
+        Fixed,
+        Trigger {
+            all_ops: vec!["store", "select"],
+            min_depth: 5,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("oxiz::array_solver::propagate_store:144"),
+    ));
+    v.push(bug(
+        "oz-13",
+        OxiZ,
+        Crash(AssertionViolation),
+        Ints,
         "divisible index not validated in preprocessor",
-        64, None, Fixed, trig(&["divisible"], false, 5),
-        Some("oxiz::arith_rewriter::mk_divisible:88")));
-    v.push(bug("oz-14", OxiZ, Crash(SegFault), Strings,
+        64,
+        None,
+        Fixed,
+        trig(&["divisible"], false, 5),
+        Some("oxiz::arith_rewriter::mk_divisible:88"),
+    ));
+    v.push(bug(
+        "oz-14",
+        OxiZ,
+        Crash(SegFault),
+        Strings,
         "to_code/from_code roundtrip on non-BMP codepoints",
-        66, None, Fixed, trig(&["str.to_code", "str.from_code"], false, 6),
-        Some("oxiz::unicode::code_conv:59")));
-    v.push(bug("oz-15", OxiZ, Soundness, Ints,
+        66,
+        None,
+        Fixed,
+        trig(&["str.to_code", "str.from_code"], false, 6),
+        Some("oxiz::unicode::code_conv:59"),
+    ));
+    v.push(bug(
+        "oz-15",
+        OxiZ,
+        Soundness,
+        Ints,
         "quantified div/mod axiom instantiated with swapped arguments",
-        68, None, Fixed, trig(&["mod", "div"], true, 6), None));
-    v.push(bug("oz-16", OxiZ, Crash(InternalException), Core,
+        68,
+        None,
+        Fixed,
+        trig(&["mod", "div"], true, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-16",
+        OxiZ,
+        Crash(InternalException),
+        Core,
         "xor flattening inside let bindings corrupts node cache",
-        70, None, Fixed,
-        Trigger { all_ops: vec!["xor"], requires_let: true, rarity: 6, ..Trigger::default() },
-        Some("oxiz::core_simplifier::flatten_xor:171")));
-    v.push(bug("oz-17", OxiZ, Crash(AssertionViolation), BitVectors,
+        70,
+        None,
+        Fixed,
+        Trigger {
+            all_ops: vec!["xor"],
+            requires_let: true,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("oxiz::core_simplifier::flatten_xor:171"),
+    ));
+    v.push(bug(
+        "oz-17",
+        OxiZ,
+        Crash(AssertionViolation),
+        BitVectors,
         "concat of extract slices asserts on adjacent ranges",
-        72, None, Fixed, trig(&["concat", "extract"], false, 6),
-        Some("oxiz::bv_rewriter::mk_concat:402")));
-    v.push(bug("oz-18", OxiZ, InvalidModel, Strings,
+        72,
+        None,
+        Fixed,
+        trig(&["concat", "extract"], false, 6),
+        Some("oxiz::bv_rewriter::mk_concat:402"),
+    ));
+    v.push(bug(
+        "oz-18",
+        OxiZ,
+        InvalidModel,
+        Strings,
         "replace_all fixpoint loop stops one iteration early in model repair",
-        74, None, Fixed, trig(&["str.replace_all"], false, 6), None));
-    v.push(bug("oz-19", OxiZ, Crash(SegFault), Strings,
+        74,
+        None,
+        Fixed,
+        trig(&["str.replace_all"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-19",
+        OxiZ,
+        Crash(SegFault),
+        Strings,
         "prefix/suffix shared-node traversal over empty string",
-        76, None, Fixed, trig(&["str.prefixof", "str.suffixof"], false, 6),
-        Some("oxiz::str_solver::affix_check:205")));
-    v.push(bug("oz-20", OxiZ, Crash(AssertionViolation), Ints,
+        76,
+        None,
+        Fixed,
+        trig(&["str.prefixof", "str.suffixof"], false, 6),
+        Some("oxiz::str_solver::affix_check:205"),
+    ));
+    v.push(bug(
+        "oz-20",
+        OxiZ,
+        Crash(AssertionViolation),
+        Ints,
         "abs of sum overflows internal small-int tag under quantifier",
-        78, None, Fixed, trig(&["abs", "+"], true, 6),
-        Some("oxiz::arith_rewriter::mk_abs:77")));
-    v.push(bug("oz-21", OxiZ, Crash(InternalException), Reals,
+        78,
+        None,
+        Fixed,
+        trig(&["abs", "+"], true, 6),
+        Some("oxiz::arith_rewriter::mk_abs:77"),
+    ));
+    v.push(bug(
+        "oz-21",
+        OxiZ,
+        Crash(InternalException),
+        Reals,
         "to_int of real division caches wrong sort",
-        80, None, Fixed, trig(&["/", "to_int"], false, 6),
-        Some("oxiz::arith_rewriter::mk_to_int:133")));
-    v.push(bug("oz-22", OxiZ, Crash(AssertionViolation), Uf,
+        80,
+        None,
+        Fixed,
+        trig(&["/", "to_int"], false, 6),
+        Some("oxiz::arith_rewriter::mk_to_int:133"),
+    ));
+    v.push(bug(
+        "oz-22",
+        OxiZ,
+        Crash(AssertionViolation),
+        Uf,
         "congruence table rehash during model build drops UF entry",
-        82, None, Fixed,
-        Trigger { theory: Some(Uf), rarity: 6, ..Trigger::default() },
-        Some("oxiz::euf::rehash:520")));
-    v.push(bug("oz-23", OxiZ, InvalidModel, BitVectors,
+        82,
+        None,
+        Fixed,
+        Trigger {
+            theory: Some(Uf),
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("oxiz::euf::rehash:520"),
+    ));
+    v.push(bug(
+        "oz-23",
+        OxiZ,
+        InvalidModel,
+        BitVectors,
         "bvmul/bvudiv model value not reduced modulo width",
-        84, None, Fixed, trig(&["bvmul", "bvudiv"], false, 6), None));
-    v.push(bug("oz-24", OxiZ, Crash(SegFault), Strings,
+        84,
+        None,
+        Fixed,
+        trig(&["bvmul", "bvudiv"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "oz-24",
+        OxiZ,
+        Crash(SegFault),
+        Strings,
         "nested seq-string conversion frees shared buffer",
-        86, None, Fixed, trig(&["str.++", "str.at"], false, 6),
-        Some("oxiz::str_solver::concat_at:418")));
-    v.push(bug("oz-25", OxiZ, Crash(AssertionViolation), Core,
+        86,
+        None,
+        Fixed,
+        trig(&["str.++", "str.at"], false, 6),
+        Some("oxiz::str_solver::concat_at:418"),
+    ));
+    v.push(bug(
+        "oz-25",
+        OxiZ,
+        Crash(AssertionViolation),
+        Core,
         "deep quantified let nesting exhausts scope stack assertion",
-        88, None, Confirmed,
-        Trigger { requires_quantifier: true, requires_let: true, min_depth: 7, rarity: 6,
-                  ..Trigger::default() },
-        Some("oxiz::tactic::scope_stack:61")));
+        88,
+        None,
+        Confirmed,
+        Trigger {
+            requires_quantifier: true,
+            requires_let: true,
+            min_depth: 7,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("oxiz::tactic::scope_stack:61"),
+    ));
     // Duplicate signatures of oz-07 and oz-17 (different stacks, same root
     // cause — triage initially files them separately).
     v.push(BugSpec {
         duplicate_of: Some("oz-07"),
-        ..bug("oz-26", OxiZ, Crash(SegFault), Sequences,
+        ..bug(
+            "oz-26",
+            OxiZ,
+            Crash(SegFault),
+            Sequences,
             "seq.rev under exists crashes in model evaluator (dup of oz-07)",
-            45, None, Fixed, trig(&["seq.rev", "seq.nth"], true, 6),
-            Some("oxiz::model_evaluator::eval_seq:233"))
+            45,
+            None,
+            Fixed,
+            trig(&["seq.rev", "seq.nth"], true, 6),
+            Some("oxiz::model_evaluator::eval_seq:233"),
+        )
     });
     v.push(BugSpec {
         duplicate_of: Some("oz-17"),
-        ..bug("oz-27", OxiZ, Crash(AssertionViolation), BitVectors,
+        ..bug(
+            "oz-27",
+            OxiZ,
+            Crash(AssertionViolation),
+            BitVectors,
             "extract over concat slices asserts (dup of oz-17)",
-            72, None, Fixed, trig(&["extract", "bvor"], false, 6),
-            Some("oxiz::bv_rewriter::mk_extract:391"))
+            72,
+            None,
+            Fixed,
+            trig(&["extract", "bvor"], false, 6),
+            Some("oxiz::bv_rewriter::mk_extract:391"),
+        )
     });
 
     // =====================================================================
     // Cervo (cvc5 stand-in) — defects open at trunk. 18 unique.
     // Lifespan (Fig. 5): cumulative per release 1, 2, 4, 5, 8, 18.
     // =====================================================================
-    v.push(bug("cv-01", Cervo, Crash(AssertionViolation), Strings,
+    v.push(bug(
+        "cv-01",
+        Cervo,
+        Crash(AssertionViolation),
+        Strings,
         "indexof with str.at start offset asserts in locale-free compare",
-        7, None, Fixed, trig(&["str.indexof", "str.at"], false, 6),
-        Some("cervo::strings::core_solver::index_of:642")));
-    v.push(bug("cv-02", Cervo, Crash(InternalException), Ints,
+        7,
+        None,
+        Fixed,
+        trig(&["str.indexof", "str.at"], false, 6),
+        Some("cervo::strings::core_solver::index_of:642"),
+    ));
+    v.push(bug(
+        "cv-02",
+        Cervo,
+        Crash(InternalException),
+        Ints,
         "divisible-by composite folded with wrong remainder sign",
-        15, None, Fixed, trig(&["mod", "divisible"], false, 6),
-        Some("cervo::arith::rewriter::divisible:120")));
-    v.push(bug("cv-03", Cervo, Crash(AssertionViolation), Reals,
+        15,
+        None,
+        Fixed,
+        trig(&["mod", "divisible"], false, 6),
+        Some("cervo::arith::rewriter::divisible:120"),
+    ));
+    v.push(bug(
+        "cv-03",
+        Cervo,
+        Crash(AssertionViolation),
+        Reals,
         "is_int of division normalizes before totality check",
-        24, None, Fixed, trig(&["/", "is_int"], false, 6),
-        Some("cervo::arith::rewriter::is_int:208")));
-    v.push(bug("cv-04", Cervo, Crash(SegFault), BitVectors,
+        24,
+        None,
+        Fixed,
+        trig(&["/", "is_int"], false, 6),
+        Some("cervo::arith::rewriter::is_int:208"),
+    ));
+    v.push(bug(
+        "cv-04",
+        Cervo,
+        Crash(SegFault),
+        BitVectors,
         "bvsdiv overflow case INT_MIN/-1 in eager bit-blaster",
-        28, None, Fixed, trig(&["bvsdiv"], false, 6),
-        Some("cervo::bv::bitblast::sdiv:334")));
-    v.push(bug("cv-05", Cervo, InvalidModel, Ints,
+        28,
+        None,
+        Fixed,
+        trig(&["bvsdiv"], false, 6),
+        Some("cervo::bv::bitblast::sdiv:334"),
+    ));
+    v.push(bug(
+        "cv-05",
+        Cervo,
+        InvalidModel,
+        Ints,
         "abs/mod witness under quantifier copied without scope shift",
-        36, None, Fixed, trig(&["abs", "mod"], true, 6), None));
-    v.push(bug("cv-06", Cervo, Crash(AssertionViolation), Sequences,
+        36,
+        None,
+        Fixed,
+        trig(&["abs", "mod"], true, 6),
+        None,
+    ));
+    v.push(bug(
+        "cv-06",
+        Cervo,
+        Crash(AssertionViolation),
+        Sequences,
         "seq.len(seq.rev s) not evaluated to constant; model rejected under exists",
-        43, None, Fixed, trig(&["seq.rev", "seq.len"], true, 5),
-        Some("cervo::seq::model_builder::eval_rev:291")));
-    v.push(bug("cv-07", Cervo, Crash(SegFault), Sets,
+        43,
+        None,
+        Fixed,
+        trig(&["seq.rev", "seq.len"], true, 5),
+        Some("cervo::seq::model_builder::eval_rev:291"),
+    ));
+    v.push(bug(
+        "cv-07",
+        Cervo,
+        Crash(SegFault),
+        Sets,
         "rel.join over nullary relations: type checker assumes non-empty tuples",
-        46, None, Fixed, trig(&["rel.join"], false, 4),
-        Some("cervo::sets::type_rules::join_type:77")));
-    v.push(bug("cv-08", Cervo, InvalidModel, FiniteFields,
+        46,
+        None,
+        Fixed,
+        trig(&["rel.join"], false, 4),
+        Some("cervo::sets::type_rules::join_type:77"),
+    ));
+    v.push(bug(
+        "cv-08",
+        Cervo,
+        InvalidModel,
+        FiniteFields,
         "ff.bitsum ignores coefficient multipliers for constant children",
-        49, None, Fixed, trig(&["ff.bitsum", "ff.mul"], false, 4), None));
-    v.push(bug("cv-09", Cervo, Crash(AssertionViolation), Bags,
+        49,
+        None,
+        Fixed,
+        trig(&["ff.bitsum", "ff.mul"], false, 4),
+        None,
+    ));
+    v.push(bug(
+        "cv-09",
+        Cervo,
+        Crash(AssertionViolation),
+        Bags,
         "bag.union_disjoint of literal bag asserts on count normalization",
-        52, None, Fixed, trig(&["bag.union_disjoint", "bag"], false, 6),
-        Some("cervo::bags::rewriter::union_disjoint:150")));
-    v.push(bug("cv-10", Cervo, Crash(InternalException), Sequences,
+        52,
+        None,
+        Fixed,
+        trig(&["bag.union_disjoint", "bag"], false, 6),
+        Some("cervo::bags::rewriter::union_disjoint:150"),
+    ));
+    v.push(bug(
+        "cv-10",
+        Cervo,
+        Crash(InternalException),
+        Sequences,
         "seq.update index reasoning conflicts with seq.nth lemma cache",
-        55, None, Fixed, trig(&["seq.update", "seq.nth"], false, 6),
-        Some("cervo::seq::inference::update_nth:488")));
-    v.push(bug("cv-11", Cervo, Crash(AssertionViolation), Sets,
+        55,
+        None,
+        Fixed,
+        trig(&["seq.update", "seq.nth"], false, 6),
+        Some("cervo::seq::inference::update_nth:488"),
+    ));
+    v.push(bug(
+        "cv-11",
+        Cervo,
+        Crash(AssertionViolation),
+        Sets,
         "set.complement cardinality lemma divides by zero universe",
-        60, None, Fixed, trig(&["set.complement", "set.card"], false, 6),
-        Some("cervo::sets::cardinality::complement:216")));
-    v.push(bug("cv-12", Cervo, Crash(SegFault), FiniteFields,
+        60,
+        None,
+        Fixed,
+        trig(&["set.complement", "set.card"], false, 6),
+        Some("cervo::sets::cardinality::complement:216"),
+    ));
+    v.push(bug(
+        "cv-12",
+        Cervo,
+        Crash(SegFault),
+        FiniteFields,
         "field negation under quantifier reuses freed Gröbner context",
-        65, None, Fixed, trig(&["ff.add", "ff.neg"], true, 6),
-        Some("cervo::ff::groebner::context:99")));
-    v.push(bug("cv-13", Cervo, Crash(AssertionViolation), Bags,
+        65,
+        None,
+        Fixed,
+        trig(&["ff.add", "ff.neg"], true, 6),
+        Some("cervo::ff::groebner::context:99"),
+    ));
+    v.push(bug(
+        "cv-13",
+        Cervo,
+        Crash(AssertionViolation),
+        Bags,
         "inter_min/count lemma asserts when count exceeds cardinality",
-        70, None, Fixed, trig(&["bag.inter_min", "bag.count"], false, 6),
-        Some("cervo::bags::inference::inter_min:204")));
-    v.push(bug("cv-14", Cervo, Soundness, Sequences,
+        70,
+        None,
+        Fixed,
+        trig(&["bag.inter_min", "bag.count"], false, 6),
+        Some("cervo::bags::inference::inter_min:204"),
+    ));
+    v.push(bug(
+        "cv-14",
+        Cervo,
+        Soundness,
+        Sequences,
         "seq.contains/seq.replace reduction drops overlap case, wrong unsat",
-        75, None, Confirmed, trig(&["seq.contains", "seq.replace"], false, 6), None));
-    v.push(bug("cv-15", Cervo, Crash(InternalException), Strings,
+        75,
+        None,
+        Confirmed,
+        trig(&["seq.contains", "seq.replace"], false, 6),
+        None,
+    ));
+    v.push(bug(
+        "cv-15",
+        Cervo,
+        Crash(InternalException),
+        Strings,
         "replace_all/contains loop guard off by one in eager mode",
-        80, None, Fixed, trig(&["str.replace_all", "str.contains"], false, 6),
-        Some("cervo::strings::eager::replace_all:377")));
-    v.push(bug("cv-16", Cervo, Crash(AssertionViolation), Arrays,
+        80,
+        None,
+        Fixed,
+        trig(&["str.replace_all", "str.contains"], false, 6),
+        Some("cervo::strings::eager::replace_all:377"),
+    ));
+    v.push(bug(
+        "cv-16",
+        Cervo,
+        Crash(AssertionViolation),
+        Arrays,
         "store chain under quantifier breaks weak-equivalence graph",
-        85, None, Fixed, trig(&["store", "select"], true, 6),
-        Some("cervo::arrays::weak_equiv:263")));
-    v.push(bug("cv-17", Cervo, Crash(SegFault), Ints,
+        85,
+        None,
+        Fixed,
+        trig(&["store", "select"], true, 6),
+        Some("cervo::arrays::weak_equiv:263"),
+    ));
+    v.push(bug(
+        "cv-17",
+        Cervo,
+        Crash(SegFault),
+        Ints,
         "deep quantified div tower overflows recursive normalizer",
-        90, None, Fixed,
-        Trigger { all_ops: vec!["div"], requires_quantifier: true, min_depth: 6, rarity: 6,
-                  ..Trigger::default() },
-        Some("cervo::arith::normalizer::recurse:58")));
-    v.push(bug("cv-18", Cervo, Crash(AssertionViolation), Core,
+        90,
+        None,
+        Fixed,
+        Trigger {
+            all_ops: vec!["div"],
+            requires_quantifier: true,
+            min_depth: 6,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("cervo::arith::normalizer::recurse:58"),
+    ));
+    v.push(bug(
+        "cv-18",
+        Cervo,
+        Crash(AssertionViolation),
+        Core,
         "let-bound quantifier body shared across assertions asserts in preprocessing",
-        95, None, Confirmed,
-        Trigger { requires_quantifier: true, requires_let: true, rarity: 6, ..Trigger::default() },
-        Some("cervo::preprocessing::let_conversion:140")));
+        95,
+        None,
+        Confirmed,
+        Trigger {
+            requires_quantifier: true,
+            requires_let: true,
+            rarity: 6,
+            ..Trigger::default()
+        },
+        Some("cervo::preprocessing::let_conversion:140"),
+    ));
 
     // =====================================================================
     // Historical defects — introduced before the latest release, fixed on
     // trunk. These are the "unique known bugs" of the RQ2 comparison
     // (Figure 7) and the variant study (Figure 9).
     // =====================================================================
-    v.push(bug("hz-01", OxiZ, Crash(AssertionViolation), Ints,
+    v.push(bug(
+        "hz-01",
+        OxiZ,
+        Crash(AssertionViolation),
+        Ints,
         "sum/mod canonicalizer asserts on nested negation (fixed)",
-        30, Some(75), Fixed, trig(&["+", "mod"], false, 3),
-        Some("oxiz::arith_rewriter::canon_sum:512")));
-    v.push(bug("hz-02", OxiZ, Crash(SegFault), Strings,
+        30,
+        Some(75),
+        Fixed,
+        trig(&["+", "mod"], false, 3),
+        Some("oxiz::arith_rewriter::canon_sum:512"),
+    ));
+    v.push(bug(
+        "hz-02",
+        OxiZ,
+        Crash(SegFault),
+        Strings,
         "concat/len propagation reads freed node (fixed)",
-        40, Some(80), Fixed, trig(&["str.++", "str.len"], false, 4),
-        Some("oxiz::str_solver::len_prop:228")));
-    v.push(bug("hz-03", OxiZ, Soundness, Core,
+        40,
+        Some(80),
+        Fixed,
+        trig(&["str.++", "str.len"], false, 4),
+        Some("oxiz::str_solver::len_prop:228"),
+    ));
+    v.push(bug(
+        "hz-03",
+        OxiZ,
+        Soundness,
+        Core,
         "implication chains through ite simplified with wrong polarity (fixed)",
-        50, Some(85), Fixed, trig(&["=>", "ite"], false, 5), None));
-    v.push(bug("hz-04", OxiZ, Crash(AssertionViolation), Sequences,
+        50,
+        Some(85),
+        Fixed,
+        trig(&["=>", "ite"], false, 5),
+        None,
+    ));
+    v.push(bug(
+        "hz-04",
+        OxiZ,
+        Crash(AssertionViolation),
+        Sequences,
         "seq.rev under binder asserts in old model builder (fixed)",
-        55, Some(90), Fixed, trig(&["seq.rev"], true, 4),
-        Some("oxiz::seq_rewriter::rev_binder:166")));
-    v.push(bug("hz-05", OxiZ, Crash(InternalException), BitVectors,
+        55,
+        Some(90),
+        Fixed,
+        trig(&["seq.rev"], true, 4),
+        Some("oxiz::seq_rewriter::rev_binder:166"),
+    ));
+    v.push(bug(
+        "hz-05",
+        OxiZ,
+        Crash(InternalException),
+        BitVectors,
         "lshr/add fusion wrong carry width (fixed)",
-        60, Some(95), Fixed, trig(&["bvlshr", "bvadd"], false, 5),
-        Some("oxiz::bv_rewriter::shr_add:310")));
+        60,
+        Some(95),
+        Fixed,
+        trig(&["bvlshr", "bvadd"], false, 5),
+        Some("oxiz::bv_rewriter::shr_add:310"),
+    ));
 
-    v.push(bug("hc-01", Cervo, Crash(AssertionViolation), Sets,
+    v.push(bug(
+        "hc-01",
+        Cervo,
+        Crash(AssertionViolation),
+        Sets,
         "member-of-union lemma asserts on shared subterm (fixed)",
-        40, Some(65), Fixed, trig(&["set.member", "set.union"], false, 3),
-        Some("cervo::sets::inference::member_union:188")));
-    v.push(bug("hc-02", Cervo, Crash(SegFault), FiniteFields,
+        40,
+        Some(65),
+        Fixed,
+        trig(&["set.member", "set.union"], false, 3),
+        Some("cervo::sets::inference::member_union:188"),
+    ));
+    v.push(bug(
+        "hc-02",
+        Cervo,
+        Crash(SegFault),
+        FiniteFields,
         "field multiplication table overflow for small primes (fixed)",
-        45, Some(70), Fixed, trig(&["ff.mul"], false, 3),
-        Some("cervo::ff::mul_table:92")));
-    v.push(bug("hc-03", Cervo, InvalidModel, Bags,
+        45,
+        Some(70),
+        Fixed,
+        trig(&["ff.mul"], false, 3),
+        Some("cervo::ff::mul_table:92"),
+    ));
+    v.push(bug(
+        "hc-03",
+        Cervo,
+        InvalidModel,
+        Bags,
         "bag.count model value duplicated across union (fixed)",
-        48, Some(75), Fixed, trig(&["bag.count"], false, 4), None));
-    v.push(bug("hc-04", Cervo, Crash(AssertionViolation), Sequences,
+        48,
+        Some(75),
+        Fixed,
+        trig(&["bag.count"], false, 4),
+        None,
+    ));
+    v.push(bug(
+        "hc-04",
+        Cervo,
+        Crash(AssertionViolation),
+        Sequences,
         "nth/len lemma asserts on empty sequence (fixed)",
-        50, Some(80), Fixed, trig(&["seq.nth", "seq.len"], false, 4),
-        Some("cervo::seq::inference::nth_len:265")));
-    v.push(bug("hc-05", Cervo, Crash(SegFault), Sets,
+        50,
+        Some(80),
+        Fixed,
+        trig(&["seq.nth", "seq.len"], false, 4),
+        Some("cervo::seq::inference::nth_len:265"),
+    ));
+    v.push(bug(
+        "hc-05",
+        Cervo,
+        Crash(SegFault),
+        Sets,
         "join column matching reads past tuple arity (fixed)",
-        52, Some(85), Fixed, trig(&["rel.join"], false, 4),
-        Some("cervo::sets::rels::join_cols:134")));
-    v.push(bug("hc-06", Cervo, Soundness, FiniteFields,
+        52,
+        Some(85),
+        Fixed,
+        trig(&["rel.join"], false, 4),
+        Some("cervo::sets::rels::join_cols:134"),
+    ));
+    v.push(bug(
+        "hc-06",
+        Cervo,
+        Soundness,
+        FiniteFields,
         "bitsum linearization drops top coefficient, wrong unsat (fixed)",
-        54, Some(90), Fixed, trig(&["ff.bitsum"], false, 5), None));
-    v.push(bug("hc-07", Cervo, Crash(AssertionViolation), Strings,
+        54,
+        Some(90),
+        Fixed,
+        trig(&["ff.bitsum"], false, 5),
+        None,
+    ));
+    v.push(bug(
+        "hc-07",
+        Cervo,
+        Crash(AssertionViolation),
+        Strings,
         "substr/indexof overlap lemma asserts (fixed)",
-        56, Some(92), Fixed, trig(&["str.substr", "str.indexof"], false, 4),
-        Some("cervo::strings::arith_entail:529")));
-    v.push(bug("hc-08", Cervo, Crash(InternalException), Ints,
+        56,
+        Some(92),
+        Fixed,
+        trig(&["str.substr", "str.indexof"], false, 4),
+        Some("cervo::strings::arith_entail:529"),
+    ));
+    v.push(bug(
+        "hc-08",
+        Cervo,
+        Crash(InternalException),
+        Ints,
         "quantified div/abs instantiation loops then throws (fixed)",
-        58, Some(94), Fixed, trig(&["div", "abs"], true, 5),
-        Some("cervo::quantifiers::cegqi::div_abs:77")));
-    v.push(bug("hc-09", Cervo, Crash(AssertionViolation), Bags,
+        58,
+        Some(94),
+        Fixed,
+        trig(&["div", "abs"], true, 5),
+        Some("cervo::quantifiers::cegqi::div_abs:77"),
+    ));
+    v.push(bug(
+        "hc-09",
+        Cervo,
+        Crash(AssertionViolation),
+        Bags,
         "union_max under quantifier breaks count invariant (fixed)",
-        59, Some(96), Fixed, trig(&["bag.union_max"], true, 5),
-        Some("cervo::bags::union_max_inv:241")));
-    v.push(bug("hc-10", Cervo, Crash(SegFault), Sequences,
+        59,
+        Some(96),
+        Fixed,
+        trig(&["bag.union_max"], true, 5),
+        Some("cervo::bags::union_max_inv:241"),
+    ));
+    v.push(bug(
+        "hc-10",
+        Cervo,
+        Crash(SegFault),
+        Sequences,
         "extract-of-concat shares node across contexts (fixed)",
-        60, Some(98), Fixed, trig(&["seq.extract", "seq.++"], false, 5),
-        Some("cervo::seq::extract_concat:319")));
+        60,
+        Some(98),
+        Fixed,
+        trig(&["seq.extract", "seq.++"], false, 5),
+        Some("cervo::seq::extract_concat:319"),
+    ));
 
     v
 }
@@ -599,12 +1122,30 @@ mod tests {
         let count = |solver, pred: fn(&BugKind) -> bool| {
             trunk_bugs(solver).iter().filter(|b| pred(&b.kind)).count()
         };
-        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::Crash(_))), 20);
-        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::InvalidModel)), 4);
-        assert_eq!(count(SolverId::OxiZ, |k| matches!(k, BugKind::Soundness)), 3);
-        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::Crash(_))), 15);
-        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::InvalidModel)), 2);
-        assert_eq!(count(SolverId::Cervo, |k| matches!(k, BugKind::Soundness)), 1);
+        assert_eq!(
+            count(SolverId::OxiZ, |k| matches!(k, BugKind::Crash(_))),
+            20
+        );
+        assert_eq!(
+            count(SolverId::OxiZ, |k| matches!(k, BugKind::InvalidModel)),
+            4
+        );
+        assert_eq!(
+            count(SolverId::OxiZ, |k| matches!(k, BugKind::Soundness)),
+            3
+        );
+        assert_eq!(
+            count(SolverId::Cervo, |k| matches!(k, BugKind::Crash(_))),
+            15
+        );
+        assert_eq!(
+            count(SolverId::Cervo, |k| matches!(k, BugKind::InvalidModel)),
+            2
+        );
+        assert_eq!(
+            count(SolverId::Cervo, |k| matches!(k, BugKind::Soundness)),
+            1
+        );
     }
 
     #[test]
@@ -614,7 +1155,10 @@ mod tests {
             .flat_map(|&s| trunk_bugs(s))
             .filter(|b| b.duplicate_of.is_none() && b.is_extended_theory())
             .count();
-        assert_eq!(n, 11, "11 bugs involve newly added or solver-specific theories");
+        assert_eq!(
+            n, 11,
+            "11 bugs involve newly added or solver-specific theories"
+        );
     }
 
     #[test]
@@ -684,7 +1228,10 @@ mod tests {
         )
         .unwrap();
         let f = FormulaFeatures::of(&s);
-        assert!(!spec.trigger.matches_structure(&f), "no quantifier, must not match");
+        assert!(
+            !spec.trigger.matches_structure(&f),
+            "no quantifier, must not match"
+        );
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl Cervo {
                 // Deep arms are rare value shapes; see the OxiZ twin note.
                 let roll = (features_hash ^ fnv1a(op.smt_name().as_bytes())) % 53;
                 if roll < 2 {
-                    self.coverage.hit(&self.universe, &ev, 1 + (roll % 2) as usize);
+                    self.coverage
+                        .hit(&self.universe, &ev, 1 + (roll % 2) as usize);
                 }
             }
             if matches!(t, Term::Quant(_, _, _)) {
@@ -120,7 +121,8 @@ impl Cervo {
             self.coverage.hit(&self.universe, "core::atom_abstract", 1);
         }
         if analyzed.features.has_quantifier {
-            self.coverage.hit(&self.universe, "quant::exists_witness", 0);
+            self.coverage
+                .hit(&self.universe, "quant::exists_witness", 0);
         }
 
         // Candidate domains, ordered by a Cervo-specific deterministic
@@ -129,7 +131,10 @@ impl Cervo {
         let mut complete = true;
         for (name, sort) in &analyzed.consts {
             let mut c = candidates(sort, &cfg);
-            cervo_order(&mut c.values, analyzed.features.hash ^ fnv1a(name.as_str().as_bytes()));
+            cervo_order(
+                &mut c.values,
+                analyzed.features.hash ^ fnv1a(name.as_str().as_bytes()),
+            );
             complete &= c.complete;
             dims.push((name.clone(), None, c));
         }
@@ -226,7 +231,8 @@ impl Cervo {
             .map(|(_, _, c)| c.values.len().max(1))
             .fold(1usize, |acc, n| acc.saturating_mul(n));
         if complete && space <= self.config.max_assignments * 4 {
-            self.coverage.hit(&self.universe, "core::enumerate_exhaustive", 0);
+            self.coverage
+                .hit(&self.universe, "core::enumerate_exhaustive", 0);
             let mut idx = vec![0usize; dims.len()];
             let mut any_trouble = false;
             loop {
@@ -249,7 +255,8 @@ impl Cervo {
                         if any_trouble {
                             return (Outcome::Unknown, None, stats);
                         }
-                        self.coverage.hit(&self.universe, "core::enumerate_exhaustive", 1);
+                        self.coverage
+                            .hit(&self.universe, "core::enumerate_exhaustive", 1);
                         return (Outcome::Unsat, None, stats);
                     }
                     idx[k] += 1;
@@ -312,9 +319,7 @@ fn cervo_order(values: &mut [Value], key: u64) {
 fn count_atoms(t: &Term) -> usize {
     let mut n = 0;
     t.visit(&mut |node| {
-        if !node.is_logical_connective()
-            && matches!(node, Term::App(_, _))
-        {
+        if !node.is_logical_connective() && matches!(node, Term::App(_, _)) {
             n += 1;
         }
     });
@@ -367,9 +372,7 @@ fn inline_lets(term: &Term, scope: &mut Vec<(Symbol, Term)>) -> Term {
 /// `and`/`or`/`not`/`=>` and quantifiers; other operators are atoms.
 fn to_nnf(term: &Term, negate: bool, on_negated_quant: &mut impl FnMut(bool)) -> Term {
     match term {
-        Term::App(Op::Not, args) if args.len() == 1 => {
-            to_nnf(&args[0], !negate, on_negated_quant)
-        }
+        Term::App(Op::Not, args) if args.len() == 1 => to_nnf(&args[0], !negate, on_negated_quant),
         Term::App(Op::And, args) => {
             let children: Vec<Term> = args
                 .iter()
@@ -396,7 +399,11 @@ fn to_nnf(term: &Term, negate: bool, on_negated_quant: &mut impl FnMut(bool)) ->
                 (Quantifier::Forall, false) | (Quantifier::Exists, true) => Quantifier::Forall,
                 _ => Quantifier::Exists,
             };
-            Term::Quant(q2, vars.clone(), Box::new(to_nnf(body, negate, on_negated_quant)))
+            Term::Quant(
+                q2,
+                vars.clone(),
+                Box::new(to_nnf(body, negate, on_negated_quant)),
+            )
         }
         other => {
             if negate {

@@ -144,7 +144,11 @@ pub fn universe(solver: SolverId) -> Universe {
     // --- theory module initialization ---
     for t in supported_theories(solver) {
         push(format!("theory::{}::init", t.name()), vec![12, 8], true);
-        push(format!("theory::{}::propagate", t.name()), vec![10, 8, 6], true);
+        push(
+            format!("theory::{}::propagate", t.name()),
+            vec![10, 8, 6],
+            true,
+        );
         push(format!("theory::{}::explain", t.name()), vec![9, 6], true);
     }
 
@@ -263,7 +267,8 @@ pub fn supported_theories(solver: SolverId) -> Vec<Theory> {
 /// Canonical coverage slug for an operator (indexed operators share one
 /// slug per family, like one C++ function handles all indices).
 pub fn op_slug(op: &Op) -> String {
-    op.smt_name().replace(['.', '+', '<', '>', '=', '/', '*', '-'], "_")
+    op.smt_name()
+        .replace(['.', '+', '<', '>', '=', '/', '*', '-'], "_")
 }
 
 /// A set of hit branches, accumulated across a fuzzing campaign.
@@ -336,6 +341,41 @@ impl CoverageMap {
             .map(|&i| universe.functions()[i].name.as_str())
             .collect()
     }
+
+    /// True when no branch has been hit.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Exports the map as `(function name, branch bitmask)` pairs in
+    /// universe order — the stable on-disk representation used by the
+    /// campaign findings store (names survive universe relayouts that
+    /// indices would not).
+    pub fn export(&self, universe: &Universe) -> Vec<(String, u32)> {
+        self.hits
+            .iter()
+            .map(|(&idx, &mask)| (universe.functions()[idx].name.clone(), mask))
+            .collect()
+    }
+
+    /// ORs a whole branch bitmask into the named function (the inverse of
+    /// [`CoverageMap::export`]). Unknown names are ignored; masks are
+    /// clipped to the function's branch count and unreachable functions are
+    /// dropped, mirroring [`CoverageMap::hit`].
+    pub fn absorb_mask(&mut self, universe: &Universe, name: &str, mask: u32) {
+        if let Some(idx) = universe.function_index(name) {
+            let f = &universe.functions()[idx];
+            let valid = if f.branch_lines.len() >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << f.branch_lines.len()) - 1
+            };
+            let clipped = mask & valid;
+            if clipped != 0 && f.reachable {
+                *self.hits.entry(idx).or_insert(0) |= clipped;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +423,71 @@ mod tests {
         assert!(a.lines_hit(&u) >= 14 + 10 + 14);
     }
 
+    /// Random-ish coverage map over the reachable part of a universe.
+    fn sample_map(u: &Universe, stride: usize, offset: usize) -> CoverageMap {
+        let mut m = CoverageMap::new();
+        for (i, f) in u.functions().iter().enumerate() {
+            if f.reachable && i % stride == offset % stride {
+                m.hit(u, &f.name, i % f.branch_lines.len());
+            }
+        }
+        m
+    }
+
+    fn fingerprint(m: &CoverageMap, u: &Universe) -> (usize, u64, Vec<(String, u32)>) {
+        (m.functions_hit(), m.lines_hit(u), m.export(u))
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let u = universe(SolverId::OxiZ);
+        let mut a = sample_map(&u, 3, 0);
+        let before = fingerprint(&a, &u);
+        let copy = a.clone();
+        a.merge(&copy);
+        assert_eq!(fingerprint(&a, &u), before);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let u = universe(SolverId::Cervo);
+        let a = sample_map(&u, 3, 0);
+        let b = sample_map(&u, 5, 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(fingerprint(&ab, &u), fingerprint(&ba, &u));
+    }
+
+    #[test]
+    fn merge_is_monotone() {
+        let u = universe(SolverId::OxiZ);
+        let mut a = sample_map(&u, 4, 2);
+        let b = sample_map(&u, 7, 3);
+        let lines_before = a.lines_hit(&u);
+        let fns_before = a.functions_hit();
+        a.merge(&b);
+        assert!(a.lines_hit(&u) >= lines_before);
+        assert!(a.lines_hit(&u) >= b.lines_hit(&u));
+        assert!(a.functions_hit() >= fns_before.max(b.functions_hit()));
+    }
+
+    #[test]
+    fn export_absorb_round_trip() {
+        let u = universe(SolverId::Cervo);
+        let a = sample_map(&u, 2, 1);
+        let mut b = CoverageMap::new();
+        for (name, mask) in a.export(&u) {
+            b.absorb_mask(&u, &name, mask);
+        }
+        assert_eq!(fingerprint(&a, &u), fingerprint(&b, &u));
+        // Unknown names and oversized masks are ignored/clipped.
+        b.absorb_mask(&u, "no::such::function", 0xff);
+        b.absorb_mask(&u, "proof::fn_0", 0x1); // dark mass stays dark
+        assert_eq!(fingerprint(&a, &u), fingerprint(&b, &u));
+    }
+
     #[test]
     fn unknown_points_ignored() {
         let u = universe(SolverId::OxiZ);
@@ -418,9 +523,7 @@ mod tests {
             .functions()
             .iter()
             .filter(|f| f.reachable)
-            .flat_map(|f| {
-                (0..f.branch_lines.len()).map(move |b| (f.name.clone(), b))
-            })
+            .flat_map(|f| (0..f.branch_lines.len()).map(move |b| (f.name.clone(), b)))
             .collect();
         for (name, b) in names {
             m.hit(&u, &name, b);

@@ -9,9 +9,7 @@
 use crate::coverage::{op_slug, supported_theories, CoverageMap, Universe};
 use crate::features::FormulaFeatures;
 use crate::SolverId;
-use o4a_smtlib::{
-    parse_script, typeck, Command, Script, Sort, Symbol, Term, Theory,
-};
+use o4a_smtlib::{parse_script, typeck, Command, Script, Sort, Symbol, Term, Theory};
 use std::collections::BTreeMap;
 
 /// The result of frontend analysis: everything an engine needs to solve.

@@ -121,33 +121,29 @@ impl OxiZ {
                             self.coverage.hit(&self.universe, &point, 1);
                             return Term::tru();
                         }
-                        (Op::And | Op::Or, _) => {
+                        (Op::And | Op::Or, _)
+                            if args.iter().any(|a| matches!(a, Term::App(o, _) if o == op)) =>
+                        {
                             // Flatten nested same-op children.
-                            if args
-                                .iter()
-                                .any(|a| matches!(a, Term::App(o, _) if o == op))
-                            {
-                                self.coverage.hit(&self.universe, "core::flatten", 0);
-                                self.coverage.hit(&self.universe, &point, 1);
-                                let mut flat = Vec::new();
-                                for a in args {
-                                    match a {
-                                        Term::App(o, inner) if o == op => {
-                                            flat.extend(inner.iter().cloned())
-                                        }
-                                        other => flat.push(other.clone()),
+                            self.coverage.hit(&self.universe, "core::flatten", 0);
+                            self.coverage.hit(&self.universe, &point, 1);
+                            let mut flat = Vec::new();
+                            for a in args {
+                                match a {
+                                    Term::App(o, inner) if o == op => {
+                                        flat.extend(inner.iter().cloned())
                                     }
+                                    other => flat.push(other.clone()),
                                 }
-                                return Term::App(op.clone(), flat);
                             }
+                            return Term::App(op.clone(), flat);
                         }
                         _ => {}
                     }
                     // Evaluation-arm coverage: which branch fires depends on
                     // formula content, so input diversity grows line
                     // coverage like real basic blocks do.
-                    let eval_point =
-                        format!("eval::{}::{}", op.theory().name(), op_slug(op));
+                    let eval_point = format!("eval::{}::{}", op.theory().name(), op_slug(op));
                     self.coverage.hit(&self.universe, &eval_point, 0);
                     // Deep evaluation arms correspond to rare value
                     // shapes: only ~4% of formulas take each one, so line
@@ -155,7 +151,8 @@ impl OxiZ {
                     // curves.
                     let roll = (features_hash ^ fnv1a(op.smt_name().as_bytes())) % 53;
                     if roll < 2 {
-                        self.coverage.hit(&self.universe, &eval_point, 1 + (roll % 2) as usize);
+                        self.coverage
+                            .hit(&self.universe, &eval_point, 1 + (roll % 2) as usize);
                     }
                 }
                 Term::Quant(_, _, _) => {
@@ -168,7 +165,11 @@ impl OxiZ {
     }
 
     /// Core bounded-model search over candidate domains.
-    fn search(&mut self, analyzed: &Analyzed, assertions: &[Term]) -> (Outcome, Option<Model>, SolveStats) {
+    fn search(
+        &mut self,
+        analyzed: &Analyzed,
+        assertions: &[Term],
+    ) -> (Outcome, Option<Model>, SolveStats) {
         let mut stats = SolveStats::default();
         let cfg = domain_config(analyzed);
         self.coverage.hit(&self.universe, "core::domain_build", 0);
@@ -363,13 +364,12 @@ impl SmtSolver for OxiZ {
             .collect();
 
         // Fast path: a literally-false assertion after simplification.
-        let (mut outcome, mut model, mut stats) =
-            if assertions.iter().any(|a| *a == Term::fls()) {
-                self.coverage.hit(&self.universe, "core::prune", 2);
-                (Outcome::Unsat, None, SolveStats::default())
-            } else {
-                self.search(&analyzed, &assertions)
-            };
+        let (mut outcome, mut model, mut stats) = if assertions.iter().any(|a| *a == Term::fls()) {
+            self.coverage.hit(&self.universe, "core::prune", 2);
+            (Outcome::Unsat, None, SolveStats::default())
+        } else {
+            self.search(&analyzed, &assertions)
+        };
 
         stats.virtual_micros = virtual_cost(analyzed.input_bytes, &stats);
         if stats.virtual_micros > self.config.timeout_micros {

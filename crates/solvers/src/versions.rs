@@ -38,23 +38,68 @@ impl fmt::Display for Release {
 pub fn releases(solver: SolverId) -> Vec<Release> {
     match solver {
         SolverId::OxiZ => vec![
-            Release { version: "4.8.1", commit: 10 },
-            Release { version: "4.9", commit: 20 },
-            Release { version: "4.10", commit: 30 },
-            Release { version: "4.11.0", commit: 40 },
-            Release { version: "4.12.0", commit: 50 },
-            Release { version: "4.13.0", commit: 60 },
-            Release { version: "4.14.0", commit: 70 },
-            Release { version: "trunk", commit: TRUNK_COMMIT },
+            Release {
+                version: "4.8.1",
+                commit: 10,
+            },
+            Release {
+                version: "4.9",
+                commit: 20,
+            },
+            Release {
+                version: "4.10",
+                commit: 30,
+            },
+            Release {
+                version: "4.11.0",
+                commit: 40,
+            },
+            Release {
+                version: "4.12.0",
+                commit: 50,
+            },
+            Release {
+                version: "4.13.0",
+                commit: 60,
+            },
+            Release {
+                version: "4.14.0",
+                commit: 70,
+            },
+            Release {
+                version: "trunk",
+                commit: TRUNK_COMMIT,
+            },
         ],
         SolverId::Cervo => vec![
-            Release { version: "0.0.2", commit: 10 },
-            Release { version: "0.0.11", commit: 20 },
-            Release { version: "1.0.1", commit: 30 },
-            Release { version: "1.1.0", commit: 40 },
-            Release { version: "1.2.0", commit: 50 },
-            Release { version: "1.2.1", commit: 60 },
-            Release { version: "trunk", commit: TRUNK_COMMIT },
+            Release {
+                version: "0.0.2",
+                commit: 10,
+            },
+            Release {
+                version: "0.0.11",
+                commit: 20,
+            },
+            Release {
+                version: "1.0.1",
+                commit: 30,
+            },
+            Release {
+                version: "1.1.0",
+                commit: 40,
+            },
+            Release {
+                version: "1.2.0",
+                commit: 50,
+            },
+            Release {
+                version: "1.2.1",
+                commit: 60,
+            },
+            Release {
+                version: "trunk",
+                commit: TRUNK_COMMIT,
+            },
         ],
     }
 }
@@ -82,7 +127,9 @@ pub fn latest_release(solver: SolverId) -> Release {
 pub fn lifespan_releases(solver: SolverId) -> Vec<Release> {
     let all = releases(solver);
     let keep: &[&str] = match solver {
-        SolverId::OxiZ => &["4.8.1", "4.9", "4.10", "4.11.0", "4.12.0", "4.13.0", "trunk"],
+        SolverId::OxiZ => &[
+            "4.8.1", "4.9", "4.10", "4.11.0", "4.12.0", "4.13.0", "trunk",
+        ],
         SolverId::Cervo => &["0.0.2", "0.0.11", "1.0.1", "1.1.0", "1.2.0", "trunk"],
     };
     all.into_iter()

@@ -8,9 +8,7 @@
 
 use once4all::core::correcting_commit;
 use once4all::solvers::versions::{latest_release, releases};
-use once4all::solvers::{
-    solver_at, EngineConfig, Outcome, SolverId, TRUNK_COMMIT,
-};
+use once4all::solvers::{solver_at, EngineConfig, Outcome, SolverId, TRUNK_COMMIT};
 
 fn main() {
     let solver = SolverId::Cervo;

@@ -42,7 +42,10 @@ fn main() {
         return;
     };
 
-    println!("\n-- bug-triggering formula ({} bytes) --\n{case}", case.len());
+    println!(
+        "\n-- bug-triggering formula ({} bytes) --\n{case}",
+        case.len()
+    );
     let mut solver = Cervo::new();
     let response = solver.check(&case);
     println!("\ncvc5* says: {}", response.outcome);
@@ -57,9 +60,11 @@ fn main() {
     }
 
     // Observation 2: the quantifier is structurally necessary.
-    let without_quant = case
-        .replace("(exists ((f Int)) (and ", "(and ")
-        .replacen("))\n(check-sat)", ")\n(check-sat)", 1);
+    let without_quant = case.replace("(exists ((f Int)) (and ", "(and ").replacen(
+        "))\n(check-sat)",
+        ")\n(check-sat)",
+        1,
+    );
     if parse_script(&without_quant).is_ok() && !crashes(&without_quant) {
         println!("\nremoving the (semantically irrelevant) quantifier hides the bug —");
         println!("exactly the paper's Observation 2.");

@@ -18,7 +18,11 @@ fn main() {
     let doc = corpus::doc_for(Theory::FiniteFields).expect("corpus has FF doc");
 
     println!("== Prompt 1: grammar summarization (Figure 3a) ==");
-    println!("input: \"{}\" ({} bytes of documentation)", doc.title, doc.text.len());
+    println!(
+        "input: \"{}\" ({} bytes of documentation)",
+        doc.title,
+        doc.text.len()
+    );
     let bnf = llm.summarize_cfg(&doc);
     println!("\n-- summarized CFG --\n{bnf}");
 

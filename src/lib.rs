@@ -14,6 +14,8 @@
 //!   (Algorithm 2).
 //! * [`baselines`] — the eight comparison fuzzers.
 //! * [`reduce`] — the ddSMT-style delta debugger.
+//! * [`exec`] — the sharded parallel campaign engine with mergeable
+//!   coverage and a resumable findings store.
 //!
 //! ```no_run
 //! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
@@ -26,6 +28,7 @@
 
 pub use o4a_baselines as baselines;
 pub use o4a_core as core;
+pub use o4a_exec as exec;
 pub use o4a_grammar as grammar;
 pub use o4a_llm as llm;
 pub use o4a_reduce as reduce;

@@ -7,9 +7,7 @@ use once4all::core::{
 use once4all::reduce::{reduce_script, ReduceOptions};
 use once4all::smtlib::parse_script;
 use once4all::solvers::bugs::{registry, trunk_bugs};
-use once4all::solvers::{
-    solver_at, Outcome, SmtSolver, SolverId, TRUNK_COMMIT,
-};
+use once4all::solvers::{solver_at, Outcome, SolverId, TRUNK_COMMIT};
 
 fn small_campaign(seed: u64, cases: usize) -> once4all::core::CampaignResult {
     let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
@@ -137,10 +135,18 @@ fn registry_consistency() {
     // Global invariants over the ground-truth registry.
     for spec in registry() {
         if let Some(fix) = spec.fixed_commit {
-            assert!(spec.introduced < fix, "{}: fix before introduction", spec.id);
+            assert!(
+                spec.introduced < fix,
+                "{}: fix before introduction",
+                spec.id
+            );
         }
         if matches!(spec.kind, once4all::solvers::bugs::BugKind::Crash(_)) {
-            assert!(spec.crash_signature.is_some(), "{}: crash without signature", spec.id);
+            assert!(
+                spec.crash_signature.is_some(),
+                "{}: crash without signature",
+                spec.id
+            );
         }
         if let Some(orig) = spec.duplicate_of {
             assert!(

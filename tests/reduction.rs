@@ -69,10 +69,7 @@ fn reducer_shrinks_generated_bug_cases_substantially() {
 #[test]
 fn reducer_is_a_noop_on_minimal_cases() {
     // Already-minimal: every piece is needed for the property.
-    let script = parse_script(
-        "(declare-const x Int)(assert (> x 5))(check-sat)",
-    )
-    .unwrap();
+    let script = parse_script("(declare-const x Int)(assert (> x 5))(check-sat)").unwrap();
     let reduced = reduce_script(&script, ReduceOptions::default(), |s| {
         s.to_string().contains("(> x 5)")
     });

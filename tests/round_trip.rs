@@ -1,79 +1,122 @@
 //! Property tests on the SMT-LIB substrate: printer/parser round trips,
 //! sort-checker stability, and golden-evaluator determinism over randomly
 //! generated well-sorted terms.
+//!
+//! Originally written against `proptest`; the offline build environment has
+//! no crates.io access, so the strategies are hand-rolled seeded random
+//! generators over the vendored `rand` shim. Each property still checks 256
+//! independently drawn terms and failures print the offending seed.
 
 use once4all::smtlib::eval::{no_defs, DomainConfig, Evaluator};
 use once4all::smtlib::{
     parse_script, parse_term, typeck, BitVecValue, Model, Op, Quantifier, Rational, Sort, Symbol,
     Term, Value,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy for well-sorted Boolean terms over a fixed declaration set
+const CASES: u64 = 256;
+
+/// Random well-sorted Int term over `x: Int` (mirrors the old
+/// `int_leaf.prop_recursive` strategy).
+fn int_term(rng: &mut StdRng, depth: u32) -> Term {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.5) {
+            Term::int(rng.gen_range(-20i128..20))
+        } else {
+            Term::var("x")
+        };
+    }
+    match rng.gen_range(0..5) {
+        0 => Term::app(
+            Op::Add,
+            vec![int_term(rng, depth - 1), int_term(rng, depth - 1)],
+        ),
+        1 => Term::app(
+            Op::Mul,
+            vec![int_term(rng, depth - 1), int_term(rng, depth - 1)],
+        ),
+        2 => Term::app(
+            Op::IntDiv,
+            vec![int_term(rng, depth - 1), int_term(rng, depth - 1)],
+        ),
+        3 => Term::app(
+            Op::Mod,
+            vec![int_term(rng, depth - 1), int_term(rng, depth - 1)],
+        ),
+        _ => Term::app(Op::Abs, vec![int_term(rng, depth - 1)]),
+    }
+}
+
+fn str_leaf(rng: &mut StdRng) -> Term {
+    match rng.gen_range(0..3) {
+        0 => Term::Const(Value::Str("ab".into())),
+        1 => Term::Const(Value::Str(String::new())),
+        _ => Term::var("s"),
+    }
+}
+
+fn bv_leaf(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.5) {
+        Term::Const(Value::BitVec(BitVecValue::new(
+            8,
+            rng.gen_range(0u128..256),
+        )))
+    } else {
+        Term::var("b")
+    }
+}
+
+/// Random well-sorted Boolean atom over the fixed declaration set
 /// (x: Int, r: Real, p: Bool, s: String, b: BitVec 8).
-fn bool_term(depth: u32) -> BoxedStrategy<Term> {
-    let int_leaf = prop_oneof![
-        (-20i128..20).prop_map(Term::int),
-        Just(Term::var("x")),
-    ];
-    let int_term = int_leaf.prop_recursive(depth, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::Add, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::Mul, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::IntDiv, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::Mod, vec![a, b])),
-            inner.prop_map(|a| Term::app(Op::Abs, vec![a])),
-        ]
-    });
-    let str_leaf = prop_oneof![
-        Just(Term::Const(Value::Str("ab".into()))),
-        Just(Term::Const(Value::Str(String::new()))),
-        Just(Term::var("s")),
-    ];
-    let bv_leaf = prop_oneof![
-        (0u128..256).prop_map(|b| Term::Const(Value::BitVec(BitVecValue::new(8, b)))),
-        Just(Term::var("b")),
-    ];
-    let atom = prop_oneof![
-        (int_term.clone(), int_term.clone())
-            .prop_map(|(a, b)| Term::app(Op::Le, vec![a, b])),
-        (int_term.clone(), int_term.clone())
-            .prop_map(|(a, b)| Term::app(Op::Eq, vec![a, b])),
-        (str_leaf.clone(), str_leaf.clone())
-            .prop_map(|(a, b)| Term::app(Op::StrContains, vec![a, b])),
-        (bv_leaf.clone(), bv_leaf)
-            .prop_map(|(a, b)| Term::app(Op::BvUlt, vec![a, b])),
-        int_term.clone().prop_map(|a| Term::app(Op::Divisible(3), vec![a])),
-        Just(Term::var("p")),
-        Just(Term::tru()),
-    ];
-    atom.prop_recursive(depth, 96, 3, move |inner| {
-        let it = int_term.clone();
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::And, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(Op::Or, vec![a, b])),
-            inner.clone().prop_map(|a| Term::app(Op::Not, vec![a])),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Term::app(Op::Ite, vec![a, b, c])),
-            inner.clone().prop_map(|a| {
-                Term::Quant(
-                    Quantifier::Exists,
-                    vec![(Symbol::new("q0"), Sort::Bool)],
-                    Box::new(Term::app(Op::Or, vec![Term::var("q0"), a])),
-                )
-            }),
-            (it, inner).prop_map(|(i, a)| {
-                Term::Let(vec![(Symbol::new("l0"), i)], Box::new(a))
-            }),
-        ]
-    })
-    .boxed()
+fn atom(rng: &mut StdRng, depth: u32) -> Term {
+    match rng.gen_range(0..7) {
+        0 => Term::app(Op::Le, vec![int_term(rng, depth), int_term(rng, depth)]),
+        1 => Term::app(Op::Eq, vec![int_term(rng, depth), int_term(rng, depth)]),
+        2 => Term::app(Op::StrContains, vec![str_leaf(rng), str_leaf(rng)]),
+        3 => Term::app(Op::BvUlt, vec![bv_leaf(rng), bv_leaf(rng)]),
+        4 => Term::app(Op::Divisible(3), vec![int_term(rng, depth)]),
+        5 => Term::var("p"),
+        _ => Term::tru(),
+    }
+}
+
+/// Random well-sorted Boolean term (the old `bool_term` strategy).
+fn bool_term(rng: &mut StdRng, depth: u32) -> Term {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return atom(rng, depth.min(2));
+    }
+    match rng.gen_range(0..6) {
+        0 => Term::app(
+            Op::And,
+            vec![bool_term(rng, depth - 1), bool_term(rng, depth - 1)],
+        ),
+        1 => Term::app(
+            Op::Or,
+            vec![bool_term(rng, depth - 1), bool_term(rng, depth - 1)],
+        ),
+        2 => Term::app(Op::Not, vec![bool_term(rng, depth - 1)]),
+        3 => Term::app(
+            Op::Ite,
+            vec![
+                bool_term(rng, depth - 1),
+                bool_term(rng, depth - 1),
+                bool_term(rng, depth - 1),
+            ],
+        ),
+        4 => Term::Quant(
+            Quantifier::Exists,
+            vec![(Symbol::new("q0"), Sort::Bool)],
+            Box::new(Term::app(
+                Op::Or,
+                vec![Term::var("q0"), bool_term(rng, depth - 1)],
+            )),
+        ),
+        _ => Term::Let(
+            vec![(Symbol::new("l0"), int_term(rng, 2))],
+            Box::new(bool_term(rng, depth - 1)),
+        ),
+    }
 }
 
 fn wrap_script(t: &Term) -> String {
@@ -84,44 +127,57 @@ fn wrap_script(t: &Term) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_round_trip(t in bool_term(4)) {
+#[test]
+fn print_parse_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + seed);
+        let t = bool_term(&mut rng, 4);
         let printed = t.to_string();
         let reparsed = parse_term(&printed).expect("printed term parses");
-        prop_assert_eq!(&t, &reparsed, "round trip failed for {}", printed);
+        assert_eq!(t, reparsed, "round trip failed (seed {seed}) for {printed}");
     }
+}
 
-    #[test]
-    fn generated_terms_sort_check(t in bool_term(4)) {
+#[test]
+fn generated_terms_sort_check() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_1000 + seed);
+        let t = bool_term(&mut rng, 4);
         let script = parse_script(&wrap_script(&t)).expect("script parses");
-        typeck::check_script(&script).expect("well-sorted by construction");
+        typeck::check_script(&script)
+            .unwrap_or_else(|e| panic!("well-sorted by construction (seed {seed}): {e:?}"));
     }
+}
 
-    #[test]
-    fn evaluation_is_deterministic(t in bool_term(3)) {
-        let mut model = Model::new();
-        model.set_const(Symbol::new("x"), Value::Int(2));
-        model.set_const(Symbol::new("r"), Value::Real(Rational::new(1, 2).unwrap()));
-        model.set_const(Symbol::new("p"), Value::Bool(true));
-        model.set_const(Symbol::new("s"), Value::Str("ab".into()));
-        model.set_const(Symbol::new("b"), Value::BitVec(BitVecValue::new(8, 5)));
-        let cfg = DomainConfig::default();
+#[test]
+fn evaluation_is_deterministic() {
+    let mut model = Model::new();
+    model.set_const(Symbol::new("x"), Value::Int(2));
+    model.set_const(Symbol::new("r"), Value::Real(Rational::new(1, 2).unwrap()));
+    model.set_const(Symbol::new("p"), Value::Bool(true));
+    model.set_const(Symbol::new("s"), Value::Str("ab".into()));
+    model.set_const(Symbol::new("b"), Value::BitVec(BitVecValue::new(8, 5)));
+    let cfg = DomainConfig::default();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_2000 + seed);
+        let t = bool_term(&mut rng, 3);
         let e1 = Evaluator::new(&model, no_defs(), &cfg, 200_000).eval(&t);
         let e2 = Evaluator::new(&model, no_defs(), &cfg, 200_000).eval(&t);
-        prop_assert_eq!(e1.clone(), e2);
+        assert_eq!(e1, e2, "nondeterministic evaluation (seed {seed})");
         if let Ok(v) = e1 {
-            prop_assert_eq!(v.sort(), Sort::Bool);
+            assert_eq!(v.sort(), Sort::Bool, "non-Bool result (seed {seed})");
         }
     }
+}
 
-    #[test]
-    fn script_round_trip_through_text(t in bool_term(3)) {
+#[test]
+fn script_round_trip_through_text() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_3000 + seed);
+        let t = bool_term(&mut rng, 3);
         let text = wrap_script(&t);
         let s1 = parse_script(&text).unwrap();
         let s2 = parse_script(&s1.to_string()).unwrap();
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2, "script round trip failed (seed {seed})");
     }
 }
