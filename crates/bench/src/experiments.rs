@@ -52,27 +52,14 @@ impl Scale {
 
 /// The parallelism knob every experiment driver routes through: shard
 /// count from `O4A_SHARDS` (default 1 — bit-identical to the paper's
-/// serial protocol) and worker count from `O4A_WORKERS` (default: one per
-/// CPU). Campaigns *within* a comparison additionally fan out across
-/// fuzzers, so even `O4A_SHARDS=1` benefits from the pool.
+/// serial protocol), worker count from `O4A_WORKERS` (default: one per
+/// CPU), and overlapped in-flight queries per worker from `O4A_INFLIGHT`
+/// (default 1; any `K` is bit-identical to serial — the knob trades
+/// nothing but executor scheduling). Campaigns *within* a comparison
+/// additionally fan out across fuzzers, so even `O4A_SHARDS=1` benefits
+/// from the pool.
 pub fn exec_knob() -> ExecConfig {
-    let shards = std::env::var("O4A_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1);
-    let parallelism = match std::env::var("O4A_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(1) => Parallelism::Serial,
-        Some(n) if n > 1 => Parallelism::Threads(n),
-        _ => Parallelism::Auto,
-    };
-    ExecConfig {
-        shards,
-        parallelism,
-    }
+    ExecConfig::from_env()
 }
 
 /// Trunk solvers (the RQ1 bug-hunting configuration).
@@ -266,6 +253,7 @@ pub fn coverage_comparison_parallel(
             &ExecConfig {
                 shards: exec.shards,
                 parallelism: Parallelism::Serial,
+                inflight: exec.inflight,
             },
         )
     })
@@ -332,6 +320,7 @@ pub fn known_bug_comparison_parallel(
             &ExecConfig {
                 shards: exec.shards,
                 parallelism: Parallelism::Serial,
+                inflight: exec.inflight,
             },
         );
         (result.fuzzer.clone(), unique_known_bugs(&result, &engine))
@@ -454,6 +443,7 @@ mod tests {
             &ExecConfig {
                 shards: 1,
                 parallelism: Parallelism::Threads(2),
+                ..ExecConfig::default()
             },
         );
         assert_eq!(serial.len(), parallel.len());
@@ -472,6 +462,7 @@ mod tests {
             &ExecConfig {
                 shards: 4,
                 parallelism: Parallelism::Auto,
+                ..ExecConfig::default()
             },
         );
         assert!(result.stats.cases > 100, "4 shards should multiply cases");

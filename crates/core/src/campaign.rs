@@ -6,9 +6,10 @@
 use crate::fuzzer::{Fuzzer, TestCase};
 use crate::oracle::{judge, Verdict};
 use crate::triage::Finding;
+use o4a_solvers::coverage::{universe, Universe};
 use o4a_solvers::{
     solver_with_config, CommitIdx, CoverageMap, EngineConfig, FormulaFeatures, Outcome, SmtSolver,
-    SolverId, TRUNK_COMMIT,
+    SolverId, SolverResponse, TRUNK_COMMIT,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,7 +74,7 @@ pub struct HourlySnapshot {
 }
 
 /// Aggregate campaign statistics (paper §4.2 "Statistics of Bugs").
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Test cases executed.
     pub cases: u64,
@@ -139,6 +140,33 @@ pub struct CampaignResult {
     pub coverage: BTreeMap<SolverId, CoverageMap>,
 }
 
+/// One solver's part of an executed test case: its response plus the
+/// coverage this single case contributed to it.
+#[derive(Clone, Debug)]
+pub struct SolverRun {
+    /// Which solver ran.
+    pub solver: SolverId,
+    /// Its response.
+    pub response: SolverResponse,
+    /// The case's coverage delta on that solver (not a cumulative map).
+    pub coverage: CoverageMap,
+}
+
+/// A fully executed test case, not yet applied to campaign state.
+///
+/// This is the unit the overlapped engine re-sequences: execution
+/// (generate + solver checks) is side-effect-free with respect to the
+/// campaign, so any number of cases can be in flight out of order, while
+/// [`CampaignStepper::apply_case`] — clock, stats, findings, snapshots —
+/// consumes them strictly in case order.
+#[derive(Clone, Debug)]
+pub struct CaseExecution {
+    /// The generated case.
+    pub case: TestCase,
+    /// Per-solver responses and coverage deltas, in campaign solver order.
+    pub runs: Vec<SolverRun>,
+}
+
 /// What one [`CampaignStepper::step`] call did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -165,6 +193,8 @@ pub struct CampaignStepper {
     config: CampaignConfig,
     solvers: Vec<Box<dyn SmtSolver>>,
     commits: BTreeMap<SolverId, CommitIdx>,
+    universes: BTreeMap<SolverId, Universe>,
+    coverage: BTreeMap<SolverId, CoverageMap>,
     stats: CampaignStats,
     findings: Vec<Finding>,
     snapshots: Vec<HourlySnapshot>,
@@ -178,15 +208,46 @@ impl CampaignStepper {
     /// clock. Call [`CampaignStepper::charge_setup`] with the fuzzer's
     /// setup cost before the first step.
     pub fn new(config: &CampaignConfig) -> CampaignStepper {
-        let solvers: Vec<Box<dyn SmtSolver>> = config
+        CampaignStepper::build(config, true)
+    }
+
+    /// Builds an **apply-only** stepper: no solver instances are
+    /// constructed, so [`CampaignStepper::step`] and
+    /// [`CampaignStepper::execute_case`] must not be called — only
+    /// [`CampaignStepper::apply_case`] (plus setup/finish). This is the
+    /// constructor for drivers that execute cases through an external
+    /// backend, like the overlapped async engine in `o4a-exec`, which
+    /// would otherwise pay for a second, unused solver bank per shard.
+    pub fn apply_only(config: &CampaignConfig) -> CampaignStepper {
+        CampaignStepper::build(config, false)
+    }
+
+    fn build(config: &CampaignConfig, with_solvers: bool) -> CampaignStepper {
+        let solvers: Vec<Box<dyn SmtSolver>> = if with_solvers {
+            config
+                .solvers
+                .iter()
+                .map(|(id, commit)| solver_with_config(*id, *commit, config.engine.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let commits: BTreeMap<SolverId, CommitIdx> = config.solvers.iter().copied().collect();
+        let universes: BTreeMap<SolverId, Universe> = config
             .solvers
             .iter()
-            .map(|(id, commit)| solver_with_config(*id, *commit, config.engine.clone()))
+            .map(|&(id, _)| (id, universe(id)))
             .collect();
-        let commits: BTreeMap<SolverId, CommitIdx> = config.solvers.iter().copied().collect();
+        let coverage: BTreeMap<SolverId, CoverageMap> = config
+            .solvers
+            .iter()
+            .map(|&(id, _)| (id, CoverageMap::new()))
+            .collect();
         CampaignStepper {
             solvers,
             commits,
+            universes,
+            coverage,
             stats: CampaignStats::default(),
             findings: Vec::new(),
             snapshots: Vec::new(),
@@ -231,23 +292,67 @@ impl CampaignStepper {
     /// Runs one test case: generate, execute on every solver, judge,
     /// record, snapshot. Returns [`StepOutcome::Exhausted`] (after filling
     /// trailing snapshots) once the budget is spent.
+    ///
+    /// Equivalent to [`CampaignStepper::execute_case`] followed by
+    /// [`CampaignStepper::apply_case`] — the overlapped engine in
+    /// `o4a-exec` drives those two halves with up to `K` executions in
+    /// flight between them.
     pub fn step(&mut self, fuzzer: &mut dyn Fuzzer, rng: &mut StdRng) -> StepOutcome {
         if self.is_exhausted() {
             self.fill_trailing_snapshots();
             return StepOutcome::Exhausted;
         }
-        let TestCase { text, gen_micros } = fuzzer.next_case(rng);
+        let case = fuzzer.next_case(rng);
+        let execution = self.execute_case(case);
+        self.apply_case(execution)
+    }
+
+    /// Executes one generated case on every solver under test, returning
+    /// the responses and per-solver coverage deltas **without touching any
+    /// campaign state** (clock, stats, findings, snapshots). Executions
+    /// are therefore order-independent and safe to perform speculatively —
+    /// the property the overlapped async engine relies on.
+    pub fn execute_case(&mut self, case: TestCase) -> CaseExecution {
+        assert!(
+            self.solvers.len() == self.config.solvers.len(),
+            "execute_case on an apply-only stepper (built without solvers)"
+        );
+        let mut runs = Vec::with_capacity(self.solvers.len());
+        for solver in self.solvers.iter_mut() {
+            solver.reset_coverage();
+            let response = solver.check(&case.text);
+            runs.push(SolverRun {
+                solver: solver.id(),
+                response,
+                coverage: solver.coverage().clone(),
+            });
+        }
+        CaseExecution { case, runs }
+    }
+
+    /// Applies one executed case to campaign state: statistics, virtual
+    /// clock, differential judging, findings, coverage accumulation, and
+    /// hourly snapshots. Cases **must** be applied in generation order;
+    /// when the budget is already spent the execution is discarded (it is
+    /// a speculative case the serial engine would never have run) and
+    /// [`StepOutcome::Exhausted`] is returned.
+    pub fn apply_case(&mut self, execution: CaseExecution) -> StepOutcome {
+        if self.is_exhausted() {
+            self.fill_trailing_snapshots();
+            return StepOutcome::Exhausted;
+        }
+        let CaseExecution { case, runs } = execution;
+        let text = case.text;
         self.stats.cases += 1;
         self.stats.total_bytes += text.len() as u64;
-        let mut case_cost = gen_micros;
+        let mut case_cost = case.gen_micros;
 
-        let mut responses = Vec::with_capacity(self.solvers.len());
+        let mut responses = Vec::with_capacity(runs.len());
         let mut any_accepted = false;
         let mut any_decisive = false;
-        for solver in self.solvers.iter_mut() {
-            let r = solver.check(&text);
-            case_cost += r.stats.virtual_micros;
-            match &r.outcome {
+        for run in runs {
+            case_cost += run.response.stats.virtual_micros;
+            match &run.response.outcome {
                 Outcome::ParseError(_) => {}
                 o => {
                     any_accepted = true;
@@ -256,7 +361,11 @@ impl CampaignStepper {
                     }
                 }
             }
-            responses.push((solver.id(), r));
+            self.coverage
+                .entry(run.solver)
+                .or_default()
+                .merge(&run.coverage);
+            responses.push((run.solver, run.response));
         }
         if !any_accepted {
             self.stats.rejected += 1;
@@ -292,13 +401,7 @@ impl CampaignStepper {
         while self.next_snapshot_hour <= self.config.virtual_hours
             && self.clock_micros >= self.next_snapshot_hour as u64 * 3_600_000_000
         {
-            self.snapshots.push(snapshot(
-                self.next_snapshot_hour,
-                &self.solvers,
-                self.stats.cases,
-                &self.findings,
-            ));
-            self.next_snapshot_hour += 1;
+            self.push_snapshot();
         }
         StepOutcome::Ran { recorded_finding }
     }
@@ -307,14 +410,21 @@ impl CampaignStepper {
     /// `max_cases`).
     fn fill_trailing_snapshots(&mut self) {
         while self.next_snapshot_hour <= self.config.virtual_hours {
-            self.snapshots.push(snapshot(
-                self.next_snapshot_hour,
-                &self.solvers,
-                self.stats.cases,
-                &self.findings,
-            ));
-            self.next_snapshot_hour += 1;
+            self.push_snapshot();
         }
+    }
+
+    /// Records the snapshot for `next_snapshot_hour` from accumulated
+    /// coverage and findings.
+    fn push_snapshot(&mut self) {
+        self.snapshots.push(snapshot(
+            self.next_snapshot_hour,
+            &self.coverage,
+            &self.universes,
+            self.stats.cases,
+            &self.findings,
+        ));
+        self.next_snapshot_hour += 1;
     }
 
     /// Finalizes the campaign: fills trailing snapshots, freezes the
@@ -325,25 +435,22 @@ impl CampaignStepper {
 
         let mut final_coverage = BTreeMap::new();
         let mut covered_functions = BTreeMap::new();
-        let mut coverage = BTreeMap::new();
-        for solver in &self.solvers {
+        for (&id, map) in &self.coverage {
+            let u = &self.universes[&id];
             final_coverage.insert(
-                solver.id(),
+                id,
                 CoveragePoint {
-                    line_pct: solver.coverage().line_coverage_pct(solver.universe()),
-                    function_pct: solver.coverage().function_coverage_pct(solver.universe()),
+                    line_pct: map.line_coverage_pct(u),
+                    function_pct: map.function_coverage_pct(u),
                 },
             );
             covered_functions.insert(
-                solver.id(),
-                solver
-                    .coverage()
-                    .covered_function_names(solver.universe())
+                id,
+                map.covered_function_names(u)
                     .iter()
                     .map(|s| s.to_string())
                     .collect(),
             );
-            coverage.insert(solver.id(), solver.coverage().clone());
         }
 
         CampaignResult {
@@ -353,7 +460,7 @@ impl CampaignStepper {
             stats: self.stats,
             final_coverage,
             covered_functions,
-            coverage,
+            coverage: self.coverage,
         }
     }
 }
@@ -371,17 +478,19 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, config: &CampaignConfig) -> Campaig
 
 fn snapshot(
     hour: u32,
-    solvers: &[Box<dyn SmtSolver>],
+    maps: &BTreeMap<SolverId, CoverageMap>,
+    universes: &BTreeMap<SolverId, Universe>,
     cases: u64,
     findings: &[Finding],
 ) -> HourlySnapshot {
     let mut coverage = BTreeMap::new();
-    for s in solvers {
+    for (&id, map) in maps {
+        let u = &universes[&id];
         coverage.insert(
-            s.id(),
+            id,
             CoveragePoint {
-                line_pct: s.coverage().line_coverage_pct(s.universe()),
-                function_pct: s.coverage().function_coverage_pct(s.universe()),
+                line_pct: map.line_coverage_pct(u),
+                function_pct: map.function_coverage_pct(u),
             },
         );
     }

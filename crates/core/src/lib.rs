@@ -29,8 +29,8 @@ pub mod triage;
 
 pub use bisect::correcting_commit;
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignResult, CampaignStats, CampaignStepper, CoveragePoint,
-    HourlySnapshot, StepOutcome,
+    run_campaign, CampaignConfig, CampaignResult, CampaignStats, CampaignStepper, CaseExecution,
+    CoveragePoint, HourlySnapshot, SolverRun, StepOutcome,
 };
 pub use fill::{adapt_fill, parse_fill, synthesize, ParsedFill, ADAPT_PROBABILITY};
 pub use fuzzer::{FrontendValidator, Fuzzer, Once4AllConfig, Once4AllFuzzer, TestCase};

@@ -20,26 +20,34 @@
 //!   re-runs interrupted ones deterministically, so a killed campaign
 //!   resumes to the same deduplicated issue set an uninterrupted run
 //!   reports.
+//! * **Overlapped in-flight queries** — with [`ExecConfig::inflight`]
+//!   `= K > 1` each shard worker pipelines `K` cases through the async
+//!   solver backend ([`o4a_solvers::AsyncSmtSolver`]) on a tokio-free
+//!   poll-loop executor (`o4a-executor`), re-sequencing out-of-order
+//!   completions by case index so results stay bit-identical to the
+//!   serial engine ([`run_shard_overlapped`]).
 //!
 //! ```no_run
 //! use o4a_core::{CampaignConfig, Fuzzer, Once4AllFuzzer};
 //! use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
 //!
-//! let exec = ExecConfig { shards: 4, parallelism: Parallelism::Auto };
+//! let exec = ExecConfig { shards: 4, parallelism: Parallelism::Auto, inflight: 8 };
 //! let result = run_campaign_sharded(
 //!     |_shard| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>,
 //!     &CampaignConfig::default(),
 //!     &exec,
 //! );
-//! println!("{} cases across 4 shards", result.stats.cases);
+//! println!("{} cases across 4 shards, 8 queries in flight each", result.stats.cases);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod overlap;
 pub mod shard;
 pub mod store;
 
+pub use overlap::run_shard_overlapped;
 pub use shard::{
     merge_shard_results, parallel_map, run_campaign_sharded, run_campaign_sharded_with, run_shard,
     shard_configs, shard_seed, ExecConfig, FindingSink, Parallelism,

@@ -1,0 +1,137 @@
+//! The overlapped shard runner: `K` solver queries in flight per worker.
+//!
+//! A shard worker running [`crate::run_shard`] serializes on every solver
+//! query; against real external solvers (the pipe-driven backends the
+//! async trait is designed for) that leaves the worker idle for the whole
+//! round-trip. This module drives the same campaign as a **pipeline**:
+//!
+//! 1. **Generate** — test cases are drawn from the fuzzer in case-index
+//!    order (the RNG stream is untouched by overlap);
+//! 2. **Execute** — up to `K` cases are in flight at once on an
+//!    [`InFlightPool`] of [`AsyncSmtSolver`] futures, completing in
+//!    latency order, not submission order;
+//! 3. **Re-sequence** — completions pass through a [`Sequencer`] and are
+//!    applied to the [`CampaignStepper`] strictly in case-index order.
+//!
+//! Because execution is campaign-state-free
+//! ([`CampaignStepper::execute_case`]'s contract) and application is
+//! in-order, the result is **bit-identical to the serial engine** for any
+//! `K` — including the campaign-end boundary: cases generated
+//! speculatively while the last real cases were still in flight are
+//! discarded by [`CampaignStepper::apply_case`] once the budget is spent,
+//! exactly reproducing the serial stopping point. `crates/executor/README.md`
+//! spells out the full determinism argument.
+
+use crate::shard::FindingSink;
+use o4a_core::{
+    CampaignConfig, CampaignResult, CampaignStepper, CaseExecution, Fuzzer, SolverRun, StepOutcome,
+    TestCase,
+};
+use o4a_executor::{InFlightPool, Sequencer};
+use o4a_solvers::{solver_with_config, AsyncSmtSolver, LatencyModel, LatencySolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Latency ceiling (in executor ticks) of the simulated solver lanes.
+/// High enough that neighbouring in-flight cases routinely complete out
+/// of order, low enough to stay negligible next to solver compute.
+const MAX_LATENCY_TICKS: u64 = 16;
+
+/// The latency stream of one solver lane in one shard: decorrelated from
+/// the campaign RNG (which must stay bit-identical to the serial engine)
+/// and from the other lanes.
+fn lane_latency(shard_seed: u64, lane: usize) -> LatencyModel {
+    let seed = shard_seed
+        .rotate_left(17)
+        .wrapping_add((lane as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    LatencyModel::uniform(seed, 0, MAX_LATENCY_TICKS)
+}
+
+/// One case's in-flight work: every solver lane queried in campaign
+/// order, with each lane's seeded latency awaited before its compute.
+async fn case_future(solvers: &[LatencySolver], case: TestCase) -> CaseExecution {
+    let mut runs = Vec::with_capacity(solvers.len());
+    for solver in solvers {
+        let check = solver.check_async(case.text.clone()).await;
+        runs.push(SolverRun {
+            solver: solver.id(),
+            response: check.response,
+            coverage: check.coverage,
+        });
+    }
+    CaseExecution { case, runs }
+}
+
+/// Runs one shard with up to `inflight` overlapped cases, reporting
+/// findings to `sink` in case order (the same order [`crate::run_shard`]
+/// reports them). `inflight = 1` degenerates to strict serial submission
+/// through the same async plumbing.
+///
+/// # Panics
+///
+/// Panics when `inflight` is zero.
+pub fn run_shard_overlapped(
+    fuzzer: &mut dyn Fuzzer,
+    shard_config: &CampaignConfig,
+    shard: u32,
+    sink: Option<&dyn FindingSink>,
+    inflight: usize,
+) -> CampaignResult {
+    assert!(inflight >= 1, "need at least one in-flight slot");
+    let mut rng = StdRng::seed_from_u64(shard_config.seed);
+    let mut stepper = CampaignStepper::apply_only(shard_config);
+    stepper.charge_setup(fuzzer.setup(&mut rng));
+
+    // The async solver bank: latency-wrapped instances of the solvers
+    // under test (the apply-only stepper holds none of its own).
+    let solvers: Vec<LatencySolver> = shard_config
+        .solvers
+        .iter()
+        .enumerate()
+        .map(|(lane, &(id, commit))| {
+            LatencySolver::new(
+                solver_with_config(id, commit, shard_config.engine.clone()),
+                lane_latency(shard_config.seed, lane),
+            )
+        })
+        .collect();
+
+    let mut pool: InFlightPool<CaseExecution> = InFlightPool::new(inflight);
+    let mut sequencer: Sequencer<CaseExecution> = Sequencer::new();
+    let mut next_case: u64 = 0;
+
+    loop {
+        // Fill the window. Exhaustion is judged on the *applied* prefix,
+        // which lags the generated prefix by up to `inflight` cases — the
+        // overshoot is speculative and discarded at apply time.
+        while pool.has_capacity() && !stepper.is_exhausted() {
+            let case = fuzzer.next_case(&mut rng);
+            pool.submit(next_case, case_future(&solvers, case));
+            next_case += 1;
+        }
+        if pool.is_empty() {
+            break; // budget spent and nothing left in flight
+        }
+        for (index, execution) in pool.wait_any() {
+            sequencer.push(index, execution);
+        }
+        while let Some((_, execution)) = sequencer.pop() {
+            if let StepOutcome::Ran {
+                recorded_finding: true,
+            } = stepper.apply_case(execution)
+            {
+                if let Some(sink) = sink {
+                    let finding = stepper.findings().last().expect("finding just recorded");
+                    sink.on_finding(shard, finding);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(sequencer.held(), 0, "completions drained in order");
+
+    let result = stepper.finish(fuzzer.name());
+    if let Some(sink) = sink {
+        sink.on_shard_complete(shard, &result);
+    }
+    result
+}

@@ -65,6 +65,11 @@ pub struct ExecConfig {
     pub shards: u32,
     /// Worker pool sizing.
     pub parallelism: Parallelism,
+    /// Overlapped solver queries per shard worker (≥ 1). At `1` each
+    /// worker drives the classic serial loop; above `1` it pipelines `K`
+    /// cases through the async solver backend
+    /// ([`crate::run_shard_overlapped`]) with bit-identical results.
+    pub inflight: usize,
 }
 
 impl Default for ExecConfig {
@@ -72,6 +77,33 @@ impl Default for ExecConfig {
         ExecConfig {
             shards: 1,
             parallelism: Parallelism::Auto,
+            inflight: 1,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Reads the engine knobs from the environment: `O4A_SHARDS` (shard
+    /// count, default 1 — the paper's serial protocol), `O4A_WORKERS`
+    /// (worker threads; `1` forces [`Parallelism::Serial`], unset means
+    /// [`Parallelism::Auto`]), and `O4A_INFLIGHT` (overlapped queries per
+    /// worker, default 1). Invalid or zero values fall back to defaults.
+    pub fn from_env() -> ExecConfig {
+        fn parse<T: std::str::FromStr + PartialOrd + From<u8>>(name: &str) -> Option<T> {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<T>().ok())
+                .filter(|n| *n >= T::from(1))
+        }
+        let parallelism = match parse::<usize>("O4A_WORKERS") {
+            Some(1) => Parallelism::Serial,
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Auto,
+        };
+        ExecConfig {
+            shards: parse::<u32>("O4A_SHARDS").unwrap_or(1),
+            parallelism,
+            inflight: parse::<usize>("O4A_INFLIGHT").unwrap_or(1),
         }
     }
 }
@@ -208,7 +240,12 @@ where
     let fresh = parallel_map(todo.len(), workers, |j| {
         let shard = todo[j];
         let mut fuzzer = factory(shard);
-        run_shard(fuzzer.as_mut(), &shard_cfgs[shard as usize], shard, sink)
+        let cfg = &shard_cfgs[shard as usize];
+        if exec.inflight > 1 {
+            crate::overlap::run_shard_overlapped(fuzzer.as_mut(), cfg, shard, sink, exec.inflight)
+        } else {
+            run_shard(fuzzer.as_mut(), cfg, shard, sink)
+        }
     });
 
     let mut by_shard = completed;

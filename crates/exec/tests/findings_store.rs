@@ -55,6 +55,7 @@ fn journaled_run_matches_plain_run_and_reloads() {
     let exec = ExecConfig {
         shards: 4,
         parallelism: Parallelism::Threads(4),
+        ..ExecConfig::default()
     };
     let plain = run_campaign_sharded(factory, &config, &exec);
 
@@ -88,6 +89,7 @@ fn killed_campaign_resumes_to_uninterrupted_issue_set() {
     let exec = ExecConfig {
         shards: 4,
         parallelism: Parallelism::Serial, // deterministic journal line order
+        ..ExecConfig::default()
     };
 
     // Uninterrupted reference run.
@@ -133,6 +135,7 @@ fn torn_trailing_line_does_not_block_resume() {
     let exec = ExecConfig {
         shards: 2,
         parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
     };
     let full_path = journal_path("torn-src");
     let uninterrupted =
@@ -179,6 +182,7 @@ fn mismatched_campaign_is_refused() {
     let exec = ExecConfig {
         shards: 2,
         parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
     };
     let path = journal_path("mismatch");
     let store = FindingsStore::new(&path);

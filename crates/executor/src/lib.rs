@@ -1,0 +1,50 @@
+//! # o4a-executor
+//!
+//! A tokio-free, offline, single-threaded poll-loop executor — just enough
+//! async machinery for one campaign worker to keep `K` solver queries in
+//! flight at once. Everything is built from `core::future` primitives:
+//!
+//! * a **hand-rolled waker** ([`WakeFlag`]) backed by one atomic flag per
+//!   task — no reactor, no timers, no I/O driver;
+//! * [`block_on`], the smallest possible future driver (and a deadlock
+//!   detector: on a single thread with no external event sources, a
+//!   `Pending` future that scheduled no wake can never progress);
+//! * [`InFlightPool`], a **bounded in-flight queue** of futures polled
+//!   round-robin in submission order. Each full poll round is one *tick*
+//!   of virtual time, which is what makes latency simulation (and
+//!   therefore completion order) deterministic;
+//! * [`Sequencer`], the re-ordering buffer that turns out-of-order
+//!   completions back into index order — the determinism keystone of the
+//!   overlapped campaign engine in `o4a-exec`.
+//!
+//! ```
+//! use o4a_executor::{block_on, ticks, InFlightPool, Sequencer};
+//!
+//! // Three tasks with inverted latencies complete out of order...
+//! let mut pool: InFlightPool<u64> = InFlightPool::new(3);
+//! for i in 0..3u64 {
+//!     pool.submit(i, async move {
+//!         ticks(10 - i).await;
+//!         i * 100
+//!     });
+//! }
+//! // ...and the sequencer hands them back in index order.
+//! let mut seq = Sequencer::new();
+//! while !pool.is_empty() {
+//!     for (index, value) in pool.wait_any() {
+//!         seq.push(index, value);
+//!     }
+//! }
+//! let drained: Vec<(u64, u64)> = std::iter::from_fn(|| seq.pop()).collect();
+//! assert_eq!(drained, vec![(0, 0), (1, 100), (2, 200)]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod future;
+mod pool;
+mod waker;
+
+pub use future::{ticks, yield_now, Ticks};
+pub use pool::{InFlightPool, Sequencer};
+pub use waker::{block_on, WakeFlag};

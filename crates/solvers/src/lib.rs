@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_solver;
 pub mod bugs;
 mod cervo;
 pub mod coverage;
@@ -37,6 +38,7 @@ mod oxiz;
 mod response;
 pub mod versions;
 
+pub use async_solver::{AsyncCheck, AsyncSmtSolver, CheckFuture, LatencyModel, LatencySolver};
 pub use cervo::Cervo;
 pub use coverage::{CoverageMap, Universe};
 pub use features::FormulaFeatures;

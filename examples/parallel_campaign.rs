@@ -20,6 +20,7 @@ fn main() {
     let exec = ExecConfig {
         shards: 4,
         parallelism: Parallelism::Auto,
+        ..ExecConfig::default()
     };
     let mut journal = std::env::temp_dir();
     journal.push(format!("once4all-demo-{}.jsonl", std::process::id()));

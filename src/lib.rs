@@ -15,7 +15,11 @@
 //! * [`baselines`] — the eight comparison fuzzers.
 //! * [`reduce`] — the ddSMT-style delta debugger.
 //! * [`exec`] — the sharded parallel campaign engine with mergeable
-//!   coverage and a resumable findings store.
+//!   coverage, a resumable findings store, and overlapped in-flight
+//!   solver queries.
+//! * [`executor`] — the tokio-free single-threaded poll-loop executor
+//!   (hand-rolled waker, bounded in-flight pool, completion re-sequencer)
+//!   behind the async solver backend.
 //!
 //! ```no_run
 //! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
@@ -29,6 +33,7 @@
 pub use o4a_baselines as baselines;
 pub use o4a_core as core;
 pub use o4a_exec as exec;
+pub use o4a_executor as executor;
 pub use o4a_grammar as grammar;
 pub use o4a_llm as llm;
 pub use o4a_reduce as reduce;

@@ -181,3 +181,165 @@ fn script_round_trip_through_text() {
         assert_eq!(s1, s2, "script round trip failed (seed {seed})");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Whole-script strategies: randomized *command sequences*, not just one
+// assert over a fixed declaration block. These sweep the printer/parser
+// over declarations with random names and sorts, multiple asserts,
+// set-logic / set-info / set-option prefixes, and get-model suffixes.
+// ---------------------------------------------------------------------------
+
+use once4all::smtlib::{Command, Script};
+
+/// A random scalar sort with its variable-name prefix.
+fn random_sort(rng: &mut StdRng) -> (Sort, &'static str) {
+    match rng.gen_range(0..6) {
+        0 => (Sort::Int, "i"),
+        1 => (Sort::Bool, "p"),
+        2 => (Sort::Real, "r"),
+        3 => (Sort::String, "s"),
+        4 => (Sort::BitVec(8), "b"),
+        _ => (Sort::Seq(Box::new(Sort::Int)), "q"),
+    }
+}
+
+/// A random well-sorted Boolean atom over the declared variable pool
+/// (`vars` maps each declared name to its sort).
+fn pool_atom(rng: &mut StdRng, vars: &[(Symbol, Sort)]) -> Term {
+    // Variables of a wanted sort, or a constant fallback.
+    let of_sort = |want: &Sort, rng: &mut StdRng| -> Option<Term> {
+        let hits: Vec<&(Symbol, Sort)> = vars.iter().filter(|(_, s)| s == want).collect();
+        if hits.is_empty() {
+            None
+        } else {
+            Some(Term::var(hits[rng.gen_range(0..hits.len())].0.as_str()))
+        }
+    };
+    let int_side = |rng: &mut StdRng| {
+        of_sort(&Sort::Int, rng).unwrap_or_else(|| Term::int(rng.gen_range(-9i128..9)))
+    };
+    match rng.gen_range(0..6) {
+        0 => Term::app(Op::Le, vec![int_side(rng), int_side(rng)]),
+        1 => Term::app(Op::Eq, vec![int_side(rng), int_side(rng)]),
+        2 => {
+            let s =
+                of_sort(&Sort::String, rng).unwrap_or_else(|| Term::Const(Value::Str("ab".into())));
+            Term::app(
+                Op::StrContains,
+                vec![s, Term::Const(Value::Str("a".into()))],
+            )
+        }
+        3 => {
+            let b = of_sort(&Sort::BitVec(8), rng)
+                .unwrap_or_else(|| Term::Const(Value::BitVec(BitVecValue::new(8, 3))));
+            Term::app(
+                Op::BvUlt,
+                vec![b, Term::Const(Value::BitVec(BitVecValue::new(8, 200)))],
+            )
+        }
+        4 => of_sort(&Sort::Bool, rng).unwrap_or_else(Term::tru),
+        _ => Term::tru(),
+    }
+}
+
+/// A random Boolean assertion body over the pool.
+fn pool_bool(rng: &mut StdRng, vars: &[(Symbol, Sort)], depth: u32) -> Term {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return pool_atom(rng, vars);
+    }
+    match rng.gen_range(0..4) {
+        0 => Term::app(
+            Op::And,
+            vec![
+                pool_bool(rng, vars, depth - 1),
+                pool_bool(rng, vars, depth - 1),
+            ],
+        ),
+        1 => Term::app(
+            Op::Or,
+            vec![
+                pool_bool(rng, vars, depth - 1),
+                pool_bool(rng, vars, depth - 1),
+            ],
+        ),
+        2 => Term::app(Op::Not, vec![pool_bool(rng, vars, depth - 1)]),
+        _ => Term::app(
+            Op::Ite,
+            vec![
+                pool_atom(rng, vars),
+                pool_bool(rng, vars, depth - 1),
+                pool_bool(rng, vars, depth - 1),
+            ],
+        ),
+    }
+}
+
+/// A whole random script: prefix commands, a declaration block with
+/// random names/sorts, assertions, `(check-sat)`, and optional suffix.
+fn random_script(rng: &mut StdRng) -> Script {
+    let mut script = Script::new();
+    if rng.gen_bool(0.4) {
+        script.commands.push(Command::SetLogic("ALL".into()));
+    }
+    if rng.gen_bool(0.3) {
+        script
+            .commands
+            .push(Command::SetInfo("status".into(), "unknown".into()));
+    }
+    if rng.gen_bool(0.3) {
+        script
+            .commands
+            .push(Command::SetOption("produce-models".into(), "true".into()));
+    }
+    let mut vars: Vec<(Symbol, Sort)> = Vec::new();
+    for i in 0..rng.gen_range(1..6) {
+        let (sort, prefix) = random_sort(rng);
+        let name = Symbol::new(format!("{prefix}{i}"));
+        script
+            .commands
+            .push(Command::DeclareConst(name.clone(), sort.clone()));
+        vars.push((name, sort));
+    }
+    for _ in 0..rng.gen_range(1..4) {
+        let body = pool_bool(rng, &vars, 3);
+        script.commands.push(Command::Assert(body));
+    }
+    script.commands.push(Command::CheckSat);
+    if rng.gen_bool(0.3) {
+        script.commands.push(Command::GetModel);
+    }
+    script
+}
+
+/// Parse→print→parse is a **fixpoint** on generated whole scripts: the
+/// first print is already canonical, re-parsing and re-printing changes
+/// nothing — neither the AST nor the text.
+#[test]
+fn generated_scripts_reach_print_parse_fixpoint() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_4000 + seed);
+        let s0 = random_script(&mut rng);
+        let text1 = s0.to_string();
+        let s1 = parse_script(&text1)
+            .unwrap_or_else(|e| panic!("printed script must parse (seed {seed}): {e:?}\n{text1}"));
+        assert_eq!(s0, s1, "AST round trip failed (seed {seed}) for:\n{text1}");
+        let text2 = s1.to_string();
+        assert_eq!(
+            text1, text2,
+            "printer not a fixpoint under re-parse (seed {seed})"
+        );
+    }
+}
+
+/// Generated scripts are well-sorted by construction, and stay so across
+/// a text round trip.
+#[test]
+fn generated_scripts_sort_check_across_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_5000 + seed);
+        let s0 = random_script(&mut rng);
+        let reparsed = parse_script(&s0.to_string()).expect("printed script parses");
+        typeck::check_script(&reparsed)
+            .unwrap_or_else(|e| panic!("well-sorted by construction (seed {seed}): {e:?}\n{s0}"));
+    }
+}
