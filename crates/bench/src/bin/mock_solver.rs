@@ -1,0 +1,38 @@
+//! The deterministic mock SMT solver binary — the offline stand-in for
+//! `z3 -in` behind the pipe backend (`o4a_solvers::PipeSolver`).
+//!
+//! All behavior lives in `o4a_solvers::pipe::mock` (seeded answers,
+//! models, latency, crash/wedge injection — each a pure function of the
+//! script text, which is what keeps the serial ≡ K-in-flight equivalence
+//! law intact over the pipe transport); this binary is the thin
+//! stdin/stdout loop around it. See `crates/solvers/README.md` for the
+//! wire protocol and the flag reference.
+//!
+//! ```text
+//! mock_solver --seed 7 --lane {lane} [--crash-mod N] [--latency-ms N]
+//!             [--wedge-on STR] [--answer TOKEN]
+//! ```
+
+use o4a_solvers::pipe::mock::{config_from_args, serve, MockExit};
+
+fn main() {
+    let config = match config_from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("mock_solver: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match serve(&config, std::io::stdin().lock(), std::io::stdout().lock()) {
+        // Crash injection: die abruptly, mid-reply, like a real solver
+        // segfault would.
+        Ok(MockExit::Crash) => std::process::exit(3),
+        Ok(MockExit::Eof) => {}
+        Err(e) => {
+            // A closed pipe while replying is the driver killing us; any
+            // other I/O error is still best reported as a crash.
+            eprintln!("mock_solver: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -254,6 +254,8 @@ pub fn coverage_comparison_parallel(
                 shards: exec.shards,
                 parallelism: Parallelism::Serial,
                 inflight: exec.inflight,
+                solver_cmd: exec.solver_cmd.clone(),
+                solver_timeout_ms: exec.solver_timeout_ms,
             },
         )
     })
@@ -321,6 +323,8 @@ pub fn known_bug_comparison_parallel(
                 shards: exec.shards,
                 parallelism: Parallelism::Serial,
                 inflight: exec.inflight,
+                solver_cmd: exec.solver_cmd.clone(),
+                solver_timeout_ms: exec.solver_timeout_ms,
             },
         );
         (result.fuzzer.clone(), unique_known_bugs(&result, &engine))

@@ -1,0 +1,233 @@
+//! The pipe-transport gauntlet: the overlapped campaign engine driving
+//! **external solver processes** (the deterministic mock built from
+//! `src/bin/mock_solver.rs`) over stdin/stdout pipes — offline, no real
+//! Z3 required.
+//!
+//! The acceptance criteria this file pins down:
+//!
+//! * the serial-vs-overlapped equivalence law holds over the pipe
+//!   transport for K ∈ {1, 4, 8} — including under crash injection;
+//! * a crashing solver process becomes a `…::pipe::process-died` crash
+//!   finding (and a respawn), never a hang;
+//! * a wedged solver process is killed at the per-query deadline and
+//!   becomes a `…::pipe::wedged` crash finding, never a hang;
+//! * `sat` answers fetch and parse real `(model …)` replies off the pipe.
+
+use o4a_core::{CampaignConfig, CampaignResult, Fuzzer, Once4AllFuzzer};
+use o4a_exec::{run_campaign_sharded, run_shard_piped, ExecConfig, Parallelism, PipeBackend};
+use o4a_smtlib::Symbol;
+use o4a_solvers::{Outcome, PipeCommand, PipeSolver, SmtSolver, SolverId, TRUNK_COMMIT};
+use std::time::{Duration, Instant};
+
+/// The mock solver binary, built by cargo before this suite runs.
+const MOCK: &str = env!("CARGO_BIN_EXE_mock_solver");
+
+/// A mock command line with per-lane seeding and extra flags.
+fn mock_cmd(extra: &str) -> String {
+    let mut cmd = format!("{MOCK} --seed 11 --lane {{lane}}");
+    if !extra.is_empty() {
+        cmd.push(' ');
+        cmd.push_str(extra);
+    }
+    cmd
+}
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 2_000_000, // smoke scale: a few dozen cases
+        max_cases: 40,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Everything observable, bit-comparable. Coverage is omitted: external
+/// processes report none, so the maps are empty on every path.
+type Fingerprint = (
+    o4a_core::CampaignStats,
+    Vec<(String, SolverId, String, Option<String>, u64)>,
+    Vec<(u32, u64, usize)>,
+);
+
+fn fingerprint(result: &CampaignResult) -> Fingerprint {
+    (
+        result.stats.clone(),
+        result
+            .findings
+            .iter()
+            .map(|f| {
+                (
+                    f.case_text.clone(),
+                    f.solver,
+                    format!("{:?}", f.kind),
+                    f.signature.clone(),
+                    f.vhour.to_bits(),
+                )
+            })
+            .collect(),
+        result
+            .snapshots
+            .iter()
+            .map(|s| (s.hour, s.cases, s.issues))
+            .collect(),
+    )
+}
+
+fn piped_shard(config: &CampaignConfig, inflight: usize, backend: &PipeBackend) -> CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::with_defaults();
+    run_shard_piped(&mut fuzzer, config, 0, None, inflight, backend)
+}
+
+/// The tentpole law over the pipe transport: a campaign against external
+/// solver processes is bit-identical whether queries go one at a time or
+/// K ∈ {4, 8} in flight — completions re-sequence by case index before
+/// campaign state sees them, and the mock's answers are pure functions of
+/// the script, so fan-out across child processes cannot leak scheduling.
+#[test]
+fn piped_campaign_is_identical_for_k_1_4_8() {
+    let config = quick_config();
+    let backend = PipeBackend::new(mock_cmd("--latency-ms 3"));
+    let reference = fingerprint(&piped_shard(&config, 1, &backend));
+    assert!(reference.0.cases > 0, "reference ran no cases");
+    assert!(
+        reference.0.decisive > 0,
+        "mock never answered sat/unsat — the transport is not being exercised"
+    );
+    for k in [4usize, 8] {
+        assert_eq!(
+            fingerprint(&piped_shard(&config, k, &backend)),
+            reference,
+            "K={k} diverged from serial over the pipe transport"
+        );
+    }
+}
+
+/// Crash injection: a mock that abruptly exits (mid-reply) on a seeded
+/// subset of scripts. Every such query must surface as a
+/// `…::pipe::process-died` crash finding, the lane must respawn, the
+/// shard must run to completion — and the equivalence law must keep
+/// holding, because crashes are per-script deterministic too.
+#[test]
+fn crash_injection_yields_findings_and_preserves_equivalence() {
+    let config = quick_config();
+    let backend = PipeBackend::new(mock_cmd("--crash-mod 5 --latency-ms 2"));
+    let started = Instant::now();
+    let reference = piped_shard(&config, 1, &backend);
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "crash-injected campaign took implausibly long — wedged?"
+    );
+    let died: Vec<_> = reference
+        .findings
+        .iter()
+        .filter(|f| {
+            f.signature
+                .as_deref()
+                .is_some_and(|s| s.ends_with("::pipe::process-died"))
+        })
+        .collect();
+    assert!(
+        !died.is_empty(),
+        "crash-mod 5 produced no process-died findings in {} cases",
+        reference.stats.cases
+    );
+    let reference = fingerprint(&reference);
+    for k in [4usize, 8] {
+        assert_eq!(
+            fingerprint(&piped_shard(&config, k, &backend)),
+            reference,
+            "K={k} diverged under crash injection"
+        );
+    }
+}
+
+/// The engine-level wiring: `ExecConfig::solver_cmd` (the
+/// `O4A_SOLVER_CMD` knob) routes a whole sharded campaign over pipes,
+/// deterministically, with differential findings from the
+/// independently-seeded lanes.
+#[test]
+fn sharded_engine_over_pipes_is_deterministic() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Threads(2),
+        inflight: 4,
+        solver_cmd: Some(mock_cmd("--latency-ms 2")),
+        solver_timeout_ms: None,
+    };
+    let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
+    let a = run_campaign_sharded(factory, &config, &exec);
+    let b = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(
+        a.stats.bug_triggering > 0,
+        "independently-seeded lanes never disagreed in {} cases",
+        a.stats.cases
+    );
+}
+
+/// A wedged solver process (answers nothing, forever) is killed at the
+/// per-query deadline and becomes a finding — the shard worker never
+/// hangs — and the lane recovers with a fresh process for the next query.
+#[test]
+fn wedged_mock_is_killed_at_deadline_and_lane_recovers() {
+    let cmd = mock_cmd("--answer sat --wedge-on WEDGE-MARKER");
+    let mut solver = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(0),
+        SolverId::OxiZ,
+        TRUNK_COMMIT,
+    )
+    .with_timeout(Duration::from_millis(200));
+
+    let started = Instant::now();
+    // The marker must precede `(check-sat)` — the request segment ends at
+    // the delimiter.
+    let wedged = solver.check("(assert true) ; WEDGE-MARKER\n(check-sat)");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "per-query deadline did not fire"
+    );
+    match wedged.outcome {
+        Outcome::Crash(info) => assert_eq!(info.signature, "oxiz::pipe::wedged"),
+        other => panic!("expected wedge crash finding, got {other}"),
+    }
+    assert_eq!(solver.respawns(), 1);
+
+    // The next query gets a fresh, answering process.
+    let healthy = solver.check("(assert true)(check-sat)");
+    assert_eq!(healthy.outcome, Outcome::Sat);
+    assert_eq!(solver.processes_spawned(), 2);
+}
+
+/// `sat` replies pull a real `(model …)` s-expression off the pipe and
+/// parse it into the same `Model` type the in-process engines return —
+/// the full two-round-trip protocol, against a live child process.
+#[test]
+fn sat_reply_carries_a_parsed_model() {
+    let cmd = mock_cmd("--answer sat");
+    let mut solver = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(1),
+        SolverId::Cervo,
+        TRUNK_COMMIT,
+    );
+    let response = solver.check("(declare-const x Int)(declare-const p Bool)(assert p)(check-sat)");
+    assert_eq!(response.outcome, Outcome::Sat);
+    let model = response
+        .model
+        .as_ref()
+        .expect("sat reply must carry a model");
+    assert!(
+        model.get_const(&Symbol::new("x")).is_some(),
+        "declared Int const missing from the parsed model"
+    );
+    assert!(
+        model.get_const(&Symbol::new("p")).is_some(),
+        "declared Bool const missing from the parsed model"
+    );
+    // Model values are seeded: the same query yields the same model.
+    let again = solver.check("(declare-const x Int)(declare-const p Bool)(assert p)(check-sat)");
+    assert_eq!(response.model, again.model);
+    // Process reuse: both queries were served by one child over (reset).
+    assert_eq!(solver.processes_spawned(), 1);
+    assert_eq!(solver.respawns(), 0);
+}

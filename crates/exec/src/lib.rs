@@ -27,11 +27,28 @@
 //!   completions by case index so results stay bit-identical to the
 //!   serial engine ([`run_shard_overlapped`]).
 //!
+//! * **External solver processes** — with [`ExecConfig::solver_cmd`]
+//!   (the `O4A_SOLVER_CMD` knob) each shard worker spawns the named
+//!   solver binary per lane and drives it **over stdin/stdout pipes**
+//!   ([`run_shard_piped`], [`o4a_solvers::PipeSolver`]): scripts stream
+//!   to the child's stdin, replies parse incrementally from its stdout
+//!   via the fd reactor's `poll(2)`, and crashed or wedged processes
+//!   become crash findings (killed + respawned), never hangs. The
+//!   overlap-equivalence law holds over this transport too — proven
+//!   against the deterministic mock solver in
+//!   `crates/bench/tests/pipe_backend.rs`.
+//!
 //! ```no_run
 //! use o4a_core::{CampaignConfig, Fuzzer, Once4AllFuzzer};
 //! use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
 //!
-//! let exec = ExecConfig { shards: 4, parallelism: Parallelism::Auto, inflight: 8 };
+//! let exec = ExecConfig {
+//!     shards: 4,
+//!     parallelism: Parallelism::Auto,
+//!     inflight: 8,
+//!     solver_cmd: None, // Some("z3 -in".into()) drives real Z3 over pipes
+//!     ..ExecConfig::default()
+//! };
 //! let result = run_campaign_sharded(
 //!     |_shard| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>,
 //!     &CampaignConfig::default(),
@@ -47,7 +64,7 @@ pub mod overlap;
 pub mod shard;
 pub mod store;
 
-pub use overlap::run_shard_overlapped;
+pub use overlap::{run_shard_overlapped, run_shard_piped, PipeBackend};
 pub use shard::{
     merge_shard_results, parallel_map, run_campaign_sharded, run_campaign_sharded_with, run_shard,
     shard_configs, shard_seed, ExecConfig, FindingSink, Parallelism,

@@ -21,16 +21,32 @@
 //! discarded by [`CampaignStepper::apply_case`] once the budget is spent,
 //! exactly reproducing the serial stopping point. `crates/executor/README.md`
 //! spells out the full determinism argument.
+//!
+//! Two solver banks plug into the same loop:
+//!
+//! * [`run_shard_overlapped`] — the in-process engines behind the
+//!   latency-simulating adapter ([`LatencySolver`]), completing on the
+//!   executor's virtual tick clock;
+//! * [`run_shard_piped`] — **external solver processes**
+//!   ([`o4a_solvers::PipeSolver`]) answering over stdin/stdout pipes,
+//!   with the worker blocking in the fd reactor's `poll(2)` while all
+//!   in-flight queries wait on their children. Same sequencing, same
+//!   equivalence law (`crates/bench/tests/pipe_backend.rs` proves it
+//!   against the deterministic mock solver for K ∈ {1, 4, 8}).
 
 use crate::shard::FindingSink;
 use o4a_core::{
     CampaignConfig, CampaignResult, CampaignStepper, CaseExecution, Fuzzer, SolverRun, StepOutcome,
     TestCase,
 };
-use o4a_executor::{InFlightPool, Sequencer};
-use o4a_solvers::{solver_with_config, AsyncSmtSolver, LatencyModel, LatencySolver};
+use o4a_executor::{FdReactor, InFlightPool, Sequencer};
+use o4a_solvers::{
+    solver_with_config, AsyncSmtSolver, LatencyModel, LatencySolver, PipeCommand, PipeSolver,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::rc::Rc;
+use std::time::Duration;
 
 /// Latency ceiling (in executor ticks) of the simulated solver lanes.
 /// High enough that neighbouring in-flight cases routinely complete out
@@ -47,9 +63,65 @@ fn lane_latency(shard_seed: u64, lane: usize) -> LatencyModel {
     LatencyModel::uniform(seed, 0, MAX_LATENCY_TICKS)
 }
 
+/// The external-process solver backend configuration: the command line
+/// every lane spawns (with `{lane}` substituted per solver lane) and the
+/// per-query wall-clock deadline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipeBackend {
+    /// The solver command line (the `O4A_SOLVER_CMD` knob), whitespace
+    /// split; `{lane}` in any argument becomes the lane index.
+    pub command: String,
+    /// Per-query deadline: a child with no complete reply by then is
+    /// killed and the query becomes a `…::pipe::wedged` crash finding.
+    pub timeout: Duration,
+}
+
+impl PipeBackend {
+    /// A backend over `command` with the default per-query deadline
+    /// ([`o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT`]). The sharded
+    /// engine overrides it from [`crate::ExecConfig::solver_timeout_ms`]
+    /// (the `O4A_SOLVER_TIMEOUT_MS` knob, via `ExecConfig::from_env`);
+    /// programmatic callers use [`PipeBackend::with_timeout`].
+    pub fn new(command: impl Into<String>) -> PipeBackend {
+        PipeBackend {
+            command: command.into(),
+            timeout: o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT,
+        }
+    }
+
+    /// Replaces the per-query deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> PipeBackend {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builds the per-lane [`PipeSolver`] bank for one shard worker, all
+    /// lanes sharing `reactor`.
+    fn bank(
+        &self,
+        shard_config: &CampaignConfig,
+        reactor: &Rc<FdReactor>,
+    ) -> Vec<Box<dyn AsyncSmtSolver>> {
+        let command = PipeCommand::parse(&self.command)
+            .unwrap_or_else(|| panic!("empty solver command '{}'", self.command));
+        shard_config
+            .solvers
+            .iter()
+            .enumerate()
+            .map(|(lane, &(id, commit))| {
+                Box::new(
+                    PipeSolver::new(command.for_lane(lane), id, commit, Rc::clone(reactor))
+                        .with_timeout(self.timeout),
+                ) as Box<dyn AsyncSmtSolver>
+            })
+            .collect()
+    }
+}
+
 /// One case's in-flight work: every solver lane queried in campaign
-/// order, with each lane's seeded latency awaited before its compute.
-async fn case_future(solvers: &[LatencySolver], case: TestCase) -> CaseExecution {
+/// order, with each lane's latency (simulated ticks or a real pipe
+/// round-trip) awaited before its result is available.
+async fn case_future(solvers: &[Box<dyn AsyncSmtSolver>], case: TestCase) -> CaseExecution {
     let mut runs = Vec::with_capacity(solvers.len());
     for solver in solvers {
         let check = solver.check_async(case.text.clone()).await;
@@ -62,10 +134,11 @@ async fn case_future(solvers: &[LatencySolver], case: TestCase) -> CaseExecution
     CaseExecution { case, runs }
 }
 
-/// Runs one shard with up to `inflight` overlapped cases, reporting
-/// findings to `sink` in case order (the same order [`crate::run_shard`]
-/// reports them). `inflight = 1` degenerates to strict serial submission
-/// through the same async plumbing.
+/// Runs one shard with up to `inflight` overlapped cases against the
+/// latency-simulating in-process solver bank, reporting findings to
+/// `sink` in case order (the same order [`crate::run_shard`] reports
+/// them). `inflight = 1` degenerates to strict serial submission through
+/// the same async plumbing.
 ///
 /// # Panics
 ///
@@ -77,24 +150,80 @@ pub fn run_shard_overlapped(
     sink: Option<&dyn FindingSink>,
     inflight: usize,
 ) -> CampaignResult {
-    assert!(inflight >= 1, "need at least one in-flight slot");
-    let mut rng = StdRng::seed_from_u64(shard_config.seed);
-    let mut stepper = CampaignStepper::apply_only(shard_config);
-    stepper.charge_setup(fuzzer.setup(&mut rng));
-
-    // The async solver bank: latency-wrapped instances of the solvers
-    // under test (the apply-only stepper holds none of its own).
-    let solvers: Vec<LatencySolver> = shard_config
+    let solvers: Vec<Box<dyn AsyncSmtSolver>> = shard_config
         .solvers
         .iter()
         .enumerate()
         .map(|(lane, &(id, commit))| {
-            LatencySolver::new(
+            Box::new(LatencySolver::new(
                 solver_with_config(id, commit, shard_config.engine.clone()),
                 lane_latency(shard_config.seed, lane),
-            )
+            )) as Box<dyn AsyncSmtSolver>
         })
         .collect();
+    run_shard_on(
+        fuzzer,
+        shard_config,
+        shard,
+        sink,
+        inflight,
+        &solvers,
+        &mut || {},
+    )
+}
+
+/// Runs one shard with up to `inflight` overlapped cases against
+/// **external solver processes** spawned from `backend`. While every
+/// in-flight query waits on a child pipe, the worker blocks in the fd
+/// reactor's `poll(2)` — no busy-wait — and a crashed or wedged child
+/// becomes a crash finding, never a hang.
+///
+/// # Panics
+///
+/// Panics when `inflight` is zero or the backend command is empty.
+pub fn run_shard_piped(
+    fuzzer: &mut dyn Fuzzer,
+    shard_config: &CampaignConfig,
+    shard: u32,
+    sink: Option<&dyn FindingSink>,
+    inflight: usize,
+    backend: &PipeBackend,
+) -> CampaignResult {
+    let reactor = Rc::new(FdReactor::new());
+    let solvers = backend.bank(shard_config, &reactor);
+    run_shard_on(
+        fuzzer,
+        shard_config,
+        shard,
+        sink,
+        inflight,
+        &solvers,
+        &mut || {
+            reactor
+                .poll_io(None)
+                .expect("fd reactor poll(2) failed while queries were in flight");
+        },
+    )
+}
+
+/// The transport-agnostic overlapped shard loop: generate in case order,
+/// keep up to `inflight` [`case_future`]s resident, re-sequence
+/// completions, apply in order. `idle` runs when a poll round finds no
+/// runnable future and must wake at least one (a no-op for tick-driven
+/// banks, the reactor's blocking `poll(2)` for pipe-driven ones).
+fn run_shard_on(
+    fuzzer: &mut dyn Fuzzer,
+    shard_config: &CampaignConfig,
+    shard: u32,
+    sink: Option<&dyn FindingSink>,
+    inflight: usize,
+    solvers: &[Box<dyn AsyncSmtSolver>],
+    idle: &mut dyn FnMut(),
+) -> CampaignResult {
+    assert!(inflight >= 1, "need at least one in-flight slot");
+    let mut rng = StdRng::seed_from_u64(shard_config.seed);
+    let mut stepper = CampaignStepper::apply_only(shard_config);
+    stepper.charge_setup(fuzzer.setup(&mut rng));
 
     let mut pool: InFlightPool<CaseExecution> = InFlightPool::new(inflight);
     let mut sequencer: Sequencer<CaseExecution> = Sequencer::new();
@@ -106,13 +235,13 @@ pub fn run_shard_overlapped(
         // overshoot is speculative and discarded at apply time.
         while pool.has_capacity() && !stepper.is_exhausted() {
             let case = fuzzer.next_case(&mut rng);
-            pool.submit(next_case, case_future(&solvers, case));
+            pool.submit(next_case, case_future(solvers, case));
             next_case += 1;
         }
         if pool.is_empty() {
             break; // budget spent and nothing left in flight
         }
-        for (index, execution) in pool.wait_any() {
+        for (index, execution) in pool.wait_any_with(&mut *idle) {
             sequencer.push(index, execution);
         }
         while let Some((_, execution)) = sequencer.pop() {

@@ -59,7 +59,7 @@ impl Parallelism {
 }
 
 /// Execution knob for the sharded engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecConfig {
     /// Number of deterministic shards (≥ 1).
     pub shards: u32,
@@ -70,6 +70,18 @@ pub struct ExecConfig {
     /// cases through the async solver backend
     /// ([`crate::run_shard_overlapped`]) with bit-identical results.
     pub inflight: usize,
+    /// External solver command (the `O4A_SOLVER_CMD` knob). When set,
+    /// every shard worker drives **solver processes over pipes**
+    /// ([`crate::run_shard_piped`]) instead of the in-process engines:
+    /// the command is whitespace-split and `{lane}` in any argument
+    /// becomes the solver-lane index. `None` (the default) keeps the
+    /// in-process backends.
+    pub solver_cmd: Option<String>,
+    /// Per-query wall-clock deadline for the pipe backend, in
+    /// milliseconds (the `O4A_SOLVER_TIMEOUT_MS` knob). `None` uses
+    /// [`o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT`]. Ignored without
+    /// [`ExecConfig::solver_cmd`].
+    pub solver_timeout_ms: Option<u64>,
 }
 
 impl Default for ExecConfig {
@@ -78,6 +90,8 @@ impl Default for ExecConfig {
             shards: 1,
             parallelism: Parallelism::Auto,
             inflight: 1,
+            solver_cmd: None,
+            solver_timeout_ms: None,
         }
     }
 }
@@ -86,8 +100,10 @@ impl ExecConfig {
     /// Reads the engine knobs from the environment: `O4A_SHARDS` (shard
     /// count, default 1 — the paper's serial protocol), `O4A_WORKERS`
     /// (worker threads; `1` forces [`Parallelism::Serial`], unset means
-    /// [`Parallelism::Auto`]), and `O4A_INFLIGHT` (overlapped queries per
-    /// worker, default 1). Invalid or zero values fall back to defaults.
+    /// [`Parallelism::Auto`]), `O4A_INFLIGHT` (overlapped queries per
+    /// worker, default 1), and `O4A_SOLVER_CMD` (external solver command;
+    /// unset or blank keeps the in-process engines). Invalid or zero
+    /// values fall back to defaults.
     pub fn from_env() -> ExecConfig {
         fn parse<T: std::str::FromStr + PartialOrd + From<u8>>(name: &str) -> Option<T> {
             std::env::var(name)
@@ -104,6 +120,11 @@ impl ExecConfig {
             shards: parse::<u32>("O4A_SHARDS").unwrap_or(1),
             parallelism,
             inflight: parse::<usize>("O4A_INFLIGHT").unwrap_or(1),
+            solver_cmd: std::env::var("O4A_SOLVER_CMD")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty()),
+            solver_timeout_ms: parse::<u64>("O4A_SOLVER_TIMEOUT_MS"),
         }
     }
 }
@@ -237,11 +258,29 @@ where
         .filter(|shard| !completed.contains_key(shard))
         .collect();
     let workers = exec.parallelism.workers(todo.len());
+    let pipe_backend = exec.solver_cmd.as_ref().map(|cmd| {
+        let backend = crate::overlap::PipeBackend::new(cmd.clone());
+        match exec.solver_timeout_ms {
+            Some(ms) => backend.with_timeout(std::time::Duration::from_millis(ms)),
+            None => backend,
+        }
+    });
     let fresh = parallel_map(todo.len(), workers, |j| {
         let shard = todo[j];
         let mut fuzzer = factory(shard);
         let cfg = &shard_cfgs[shard as usize];
-        if exec.inflight > 1 {
+        if let Some(backend) = &pipe_backend {
+            // The pipe transport always goes through the overlapped loop;
+            // `inflight = 1` is serial submission over the same plumbing.
+            crate::overlap::run_shard_piped(
+                fuzzer.as_mut(),
+                cfg,
+                shard,
+                sink,
+                exec.inflight.max(1),
+                backend,
+            )
+        } else if exec.inflight > 1 {
             crate::overlap::run_shard_overlapped(fuzzer.as_mut(), cfg, shard, sink, exec.inflight)
         } else {
             run_shard(fuzzer.as_mut(), cfg, shard, sink)

@@ -103,12 +103,22 @@ pub struct StoreSession {
 }
 
 impl StoreSession {
+    /// Appends one record **crash-safely**: the line is written, flushed
+    /// to the kernel, and fsync'd to stable storage before this returns —
+    /// and the sink callbacks only return after `append`. The engine
+    /// therefore never reports a case complete (or moves past it) while
+    /// its finding could still be lost to a crash of *this* process or
+    /// the machine. That ordering is what makes "solver process died"
+    /// findings from the pipe backend durable: the external solver is
+    /// already gone when the finding is recorded, so the journal line is
+    /// the only evidence the crash ever happened.
     fn append(&self, record: Json) {
         let mut writer = self.writer.lock().expect("store writer poisoned");
         // Persistence failures must not corrupt campaign results; they
         // surface on resume instead (the journal just ends early).
         let _ = writeln!(writer, "{}", record.to_line());
         let _ = writer.flush();
+        let _ = writer.get_ref().sync_data();
     }
 }
 

@@ -176,6 +176,80 @@ fn torn_trailing_line_does_not_block_resume() {
     let _ = std::fs::remove_file(&full_path);
 }
 
+/// The pipe backend's "solver process died" findings must be crash-safe:
+/// journaled (write + flush + fsync) the moment the case completes, decoded
+/// back with their external signature intact, and regenerated
+/// deterministically when a kill orphans them before their shard record.
+///
+/// `true` is the perfect always-dying external solver: it exits before
+/// answering, so every query is an EOF crash with signature
+/// `<solver>::pipe::process-died`.
+#[test]
+fn solver_process_died_findings_are_crash_safe_across_kill_resume() {
+    let config = CampaignConfig {
+        max_cases: 24, // every case is a crash finding; keep spawns cheap
+        ..quick_config()
+    };
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial, // deterministic journal line order
+        inflight: 4,
+        solver_cmd: Some("true".into()),
+        solver_timeout_ms: None,
+    };
+
+    let path = journal_path("pipe-crash");
+    let store = FindingsStore::new(&path);
+    let journaled = run_campaign_resumable(factory, &config, &exec, &store).unwrap();
+    assert!(
+        journaled
+            .findings
+            .iter()
+            .any(|f| f.signature.as_deref() == Some("oxiz::pipe::process-died")),
+        "an always-dying external solver must produce process-died findings"
+    );
+
+    // The journal on disk already holds the crash findings verbatim — the
+    // durability point is *before* the engine moves past the case, so the
+    // evidence survives even though the solver process itself is gone.
+    let journal = std::fs::read_to_string(&path).unwrap();
+    assert!(journal.contains("pipe::process-died"));
+
+    // Reload: both shards are complete, so the crash-kind findings decode
+    // from the journal rather than re-running — and match exactly.
+    let reloaded = run_campaign_resumable(factory, &config, &exec, &store).unwrap();
+    assert_eq!(fingerprint(&journaled), fingerprint(&reloaded));
+    assert_eq!(
+        journaled
+            .findings
+            .iter()
+            .map(|f| (f.signature.clone(), f.kind))
+            .collect::<Vec<_>>(),
+        reloaded
+            .findings
+            .iter()
+            .map(|f| (f.signature.clone(), f.kind))
+            .collect::<Vec<_>>(),
+        "crash finding kind/signature must round-trip the journal"
+    );
+
+    // Kill/resume: drop shard 1's completion record, orphaning its crash
+    // findings — the re-run must regenerate the identical set.
+    let truncated: String = journal
+        .lines()
+        .filter(|line| !(line.contains("\"shard_done\"") && line.contains("\"shard\":1")))
+        .flat_map(|line| [line, "\n"])
+        .collect();
+    let killed_path = journal_path("pipe-crash-killed");
+    std::fs::write(&killed_path, truncated).unwrap();
+    let resumed =
+        run_campaign_resumable(factory, &config, &exec, &FindingsStore::new(&killed_path)).unwrap();
+    assert_eq!(fingerprint(&journaled), fingerprint(&resumed));
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&killed_path);
+}
+
 #[test]
 fn mismatched_campaign_is_refused() {
     let config = quick_config();

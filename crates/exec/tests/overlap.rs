@@ -149,6 +149,7 @@ fn sharded_engine_with_inflight_matches_serial_sharded() {
             shards: 4,
             parallelism: Parallelism::Serial,
             inflight: 1,
+            ..ExecConfig::default()
         },
     );
     for (k, parallelism) in [(4, Parallelism::Serial), (8, Parallelism::Threads(4))] {
@@ -159,6 +160,7 @@ fn sharded_engine_with_inflight_matches_serial_sharded() {
                 shards: 4,
                 parallelism,
                 inflight: k,
+                ..ExecConfig::default()
             },
         );
         assert_eq!(
@@ -195,6 +197,8 @@ fn env_routed_inflight_matches_serial() {
         shards: 1,
         parallelism: Parallelism::Serial,
         inflight: ExecConfig::from_env().inflight,
+        solver_cmd: None,
+        solver_timeout_ms: None,
     };
     let result = run_campaign_sharded(
         |_shard| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn o4a_core::Fuzzer>,

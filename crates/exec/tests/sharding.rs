@@ -169,6 +169,7 @@ fn killed_overlapped_campaign_resumes_to_serial_issue_set() {
             shards: 4,
             parallelism: Parallelism::Serial,
             inflight: 1,
+            ..ExecConfig::default()
         },
     );
 
@@ -181,6 +182,7 @@ fn killed_overlapped_campaign_resumes_to_serial_issue_set() {
         shards: 4,
         parallelism: Parallelism::Serial,
         inflight: 4,
+        ..ExecConfig::default()
     };
     let full = run_campaign_resumable(factory, &config, &exec_k4, &FindingsStore::new(&path))
         .expect("journal I/O");

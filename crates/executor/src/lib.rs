@@ -15,7 +15,13 @@
 //!   therefore completion order) deterministic;
 //! * [`Sequencer`], the re-ordering buffer that turns out-of-order
 //!   completions back into index order — the determinism keystone of the
-//!   overlapped campaign engine in `o4a-exec`.
+//!   overlapped campaign engine in `o4a-exec`;
+//! * [`FdReactor`], the `poll(2)`-based readiness reactor that extends the
+//!   same machinery to **external solver processes**: futures blocked on a
+//!   child's stdout register their fd, and the pool's idle hook
+//!   ([`InFlightPool::wait_any_with`]) blocks in `poll(2)` — no busy-wait,
+//!   no timer thread — until a reply arrives or a per-query deadline
+//!   passes.
 //!
 //! ```
 //! use o4a_executor::{block_on, ticks, InFlightPool, Sequencer};
@@ -43,8 +49,13 @@
 
 mod future;
 mod pool;
+mod reactor;
 mod waker;
 
 pub use future::{ticks, yield_now, Ticks};
 pub use pool::{InFlightPool, Sequencer};
-pub use waker::{block_on, WakeFlag};
+pub use reactor::{
+    read_available, readable, set_nonblocking, writable, write_available, FdReactor, FdReady,
+    Interest,
+};
+pub use waker::{block_on, block_on_with, WakeFlag};

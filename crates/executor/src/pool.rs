@@ -123,14 +123,31 @@ impl<'a, T> InFlightPool<'a, T> {
     /// task (every resident future is `Pending` with no wake scheduled —
     /// a guaranteed deadlock on this reactor-free executor).
     pub fn wait_any(&mut self) -> Vec<(u64, T)> {
+        self.wait_any_with(|| {})
+    }
+
+    /// [`InFlightPool::wait_any`] with an **idle hook**: when a round finds
+    /// no runnable task, `idle` runs once and must wake at least one (the
+    /// fd reactor's [`crate::FdReactor::poll_io`] is the intended hook — it
+    /// blocks in `poll(2)` until a child pipe is readable or a per-query
+    /// deadline passes, so waiting on external solvers costs no CPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is empty, or when even the idle hook wakes
+    /// nothing (every resident future is `Pending` with no wake source — a
+    /// guaranteed deadlock).
+    pub fn wait_any_with(&mut self, mut idle: impl FnMut()) -> Vec<(u64, T)> {
         assert!(!self.is_empty(), "wait_any on an empty pool");
         loop {
-            let runnable = self.slots.iter().filter(|s| s.flag.is_set()).count();
-            assert!(
-                runnable > 0,
-                "in-flight pool deadlock: {} future(s) pending, none woken",
-                self.len()
-            );
+            if self.slots.iter().all(|s| !s.flag.is_set()) {
+                idle();
+                assert!(
+                    self.slots.iter().any(|s| s.flag.is_set()),
+                    "in-flight pool deadlock: {} future(s) pending, none woken",
+                    self.len()
+                );
+            }
             let done = self.poll_round();
             if !done.is_empty() {
                 return done;

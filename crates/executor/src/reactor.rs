@@ -1,0 +1,513 @@
+//! The fd-readiness reactor: `poll(2)` over child-process pipes.
+//!
+//! The executor's only event sources so far were self-waking futures
+//! ([`crate::ticks`]); external solver processes add a second kind: a
+//! future that cannot progress until a child's stdout has bytes. Busy-wait
+//! polling would burn a core per shard worker, so the reactor turns fd
+//! readiness into wakes:
+//!
+//! * a future that hits `EWOULDBLOCK` registers its fd and waker with
+//!   [`FdReactor::register`] (via the [`readable`] future) and returns
+//!   `Pending` — its wake flag stays clear;
+//! * when a poll round finds no runnable task, the driver calls
+//!   [`FdReactor::poll_io`], which **blocks in `poll(2)`** until some
+//!   registered fd is readable (or a deadline passes) and wakes exactly
+//!   the tasks whose fds fired;
+//! * the woken tasks retry their reads on the next poll round.
+//!
+//! Registrations are one-shot (level-triggered edges are re-armed by the
+//! future re-registering on its next `WouldBlock`), and every registration
+//! may carry a **deadline**: `poll_io` never sleeps past the earliest one
+//! and wakes expired waiters, which is how per-query solver timeouts fire
+//! without a timer thread. The reactor is single-threaded by design, like
+//! the rest of the executor — share it within a worker via `Rc`.
+
+use std::cell::RefCell;
+use std::io::{self, Read};
+use std::os::unix::io::RawFd;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+// Hand-rolled libc subset (the workspace builds offline, without the libc
+// crate): `poll(2)` and the fcntl calls needed for non-blocking pipes.
+// Linux-only values, like the rest of this repository's toolchain.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+}
+
+/// Puts `fd` into non-blocking mode, so reads return `WouldBlock` instead
+/// of stalling the single-threaded executor.
+///
+/// # Errors
+///
+/// The underlying `fcntl(2)` errors (e.g. a closed fd).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl with F_GETFL/F_SETFL only reads/writes the fd's status
+    // flags; an invalid fd is reported through errno, not UB.
+    let flags = unsafe { fcntl(fd, F_GETFL) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Which readiness a registration waits for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interest {
+    /// The fd has bytes to read (or hit EOF/error) — `POLLIN`.
+    Read,
+    /// The fd can accept writes without blocking — `POLLOUT`.
+    Write,
+}
+
+impl Interest {
+    fn events(self) -> i16 {
+        match self {
+            Interest::Read => POLLIN,
+            Interest::Write => POLLOUT,
+        }
+    }
+}
+
+struct Entry {
+    fd: RawFd,
+    events: i16,
+    waker: Waker,
+    deadline: Option<Instant>,
+}
+
+/// A `poll(2)`-based readiness reactor over pipe fds.
+///
+/// Holds one-shot `(fd, waker, deadline)` registrations; [`poll_io`]
+/// blocks until readiness or deadline and wakes the affected tasks. See
+/// the module docs for how this slots into the executor's no-busy-wait
+/// argument.
+///
+/// [`poll_io`]: FdReactor::poll_io
+#[derive(Default)]
+pub struct FdReactor {
+    entries: RefCell<Vec<Entry>>,
+}
+
+impl FdReactor {
+    /// Creates an empty reactor.
+    pub fn new() -> FdReactor {
+        FdReactor::default()
+    }
+
+    /// Number of live registrations.
+    pub fn registered(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Registers a one-shot waiter: `waker` fires when `fd` reaches the
+    /// requested readiness (or hits hup/error), or when `deadline`
+    /// passes, whichever comes first. The registration is consumed by
+    /// the wake.
+    pub fn register(&self, fd: RawFd, interest: Interest, waker: Waker, deadline: Option<Instant>) {
+        self.entries.borrow_mut().push(Entry {
+            fd,
+            events: interest.events(),
+            waker,
+            deadline,
+        });
+    }
+
+    /// Waits for readiness: blocks in `poll(2)` until at least one
+    /// registered fd is readable (or closed, or errored) or a deadline
+    /// expires, then wakes and removes the fired registrations.
+    ///
+    /// Returns the number of tasks woken — `0` only when the reactor has
+    /// no registrations, or when `max_wait` elapsed first. With
+    /// `max_wait = None` the sleep is bounded by the earliest registered
+    /// deadline alone (and is indefinite when there is none: a reply must
+    /// arrive, a deadline must be set, or the caller has a deadlock).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `poll(2)` errors (`EINTR` is retried internally).
+    pub fn poll_io(&self, max_wait: Option<Duration>) -> io::Result<usize> {
+        if self.entries.borrow().is_empty() {
+            return Ok(0);
+        }
+        let deadline = self
+            .entries
+            .borrow()
+            .iter()
+            .filter_map(|e| e.deadline)
+            .min();
+        let hard_stop = max_wait.map(|w| Instant::now() + w);
+
+        let mut fds: Vec<PollFd> = self
+            .entries
+            .borrow()
+            .iter()
+            .map(|e| PollFd {
+                fd: e.fd,
+                events: e.events,
+                revents: 0,
+            })
+            .collect();
+        loop {
+            // Recomputed each pass so an EINTR retry waits only the
+            // *remaining* time — periodic signals must not stretch a
+            // per-query deadline.
+            let now = Instant::now();
+            let timeout_ms = match (deadline, hard_stop) {
+                (Some(d), Some(s)) => wait_millis(d.min(s).saturating_duration_since(now)),
+                (Some(d), None) => wait_millis(d.saturating_duration_since(now)),
+                (None, Some(s)) => wait_millis(s.saturating_duration_since(now)),
+                (None, None) => -1, // block until readiness
+            };
+            // SAFETY: `fds` outlives the call and `nfds` matches its length.
+            let rc = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as core::ffi::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+
+        let now = Instant::now();
+        let mut woken = 0;
+        self.entries.borrow_mut().retain_mut(|entry| {
+            let fired = fds.iter().any(|p| {
+                p.fd == entry.fd && p.revents & (entry.events | POLLERR | POLLHUP | POLLNVAL) != 0
+            });
+            let expired = entry.deadline.is_some_and(|d| d <= now);
+            if fired || expired {
+                entry.waker.wake_by_ref();
+                woken += 1;
+                false
+            } else {
+                true
+            }
+        });
+        Ok(woken)
+    }
+}
+
+/// `poll(2)` timeout for a remaining wait, rounded **up** so a deadline is
+/// never spun on at sub-millisecond granularity.
+fn wait_millis(d: Duration) -> i32 {
+    let round_up = u128::from(!d.subsec_nanos().is_multiple_of(1_000_000));
+    (d.as_millis() + round_up).min(i32::MAX as u128) as i32
+}
+
+/// A future that resolves once `fd` is (probably) ready for the
+/// requested [`Interest`] — or once `deadline` has passed; the caller
+/// distinguishes the two by checking the clock and retrying its I/O.
+/// Spurious resolutions are benign: the I/O returns `WouldBlock` again
+/// and the caller awaits a fresh [`readable`]/[`writable`].
+pub struct FdReady<'r> {
+    reactor: &'r FdReactor,
+    fd: RawFd,
+    interest: Interest,
+    deadline: Option<Instant>,
+    armed: bool,
+}
+
+/// Creates a one-shot read-readiness future on `reactor` for `fd`.
+pub fn readable(reactor: &FdReactor, fd: RawFd, deadline: Option<Instant>) -> FdReady<'_> {
+    ready_for(reactor, fd, Interest::Read, deadline)
+}
+
+/// Creates a one-shot write-readiness future on `reactor` for `fd`.
+pub fn writable(reactor: &FdReactor, fd: RawFd, deadline: Option<Instant>) -> FdReady<'_> {
+    ready_for(reactor, fd, Interest::Write, deadline)
+}
+
+fn ready_for(
+    reactor: &FdReactor,
+    fd: RawFd,
+    interest: Interest,
+    deadline: Option<Instant>,
+) -> FdReady<'_> {
+    FdReady {
+        reactor,
+        fd,
+        interest,
+        deadline,
+        armed: false,
+    }
+}
+
+impl std::future::Future for FdReady<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.armed {
+            // We were woken by the reactor (readiness or deadline).
+            Poll::Ready(())
+        } else {
+            self.reactor
+                .register(self.fd, self.interest, cx.waker().clone(), self.deadline);
+            self.armed = true;
+            Poll::Pending
+        }
+    }
+}
+
+/// Drains currently-available bytes from a non-blocking reader into `buf`.
+///
+/// Returns `Ok(Some(n))` for `n` bytes appended (`n = 0` means end of
+/// stream: the peer closed, e.g. a dead child process), or `Ok(None)` when
+/// the read would block and the caller should await [`readable`].
+///
+/// # Errors
+///
+/// Real read errors (`WouldBlock` and `Interrupted` are absorbed).
+pub fn read_available(reader: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+    let mut chunk = [0u8; 4096];
+    let mut total = 0usize;
+    loop {
+        match reader.read(&mut chunk) {
+            // EOF after data defers its signal to the caller's next call
+            // (which reads 0 bytes again and gets `Some(0)`).
+            Ok(0) => return Ok(Some(total)),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                total += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if total > 0 { Ok(Some(total)) } else { Ok(None) };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes as much of `buf` as the non-blocking writer accepts.
+///
+/// Returns the number of bytes written — less than `buf.len()` means the
+/// pipe is full and the caller should await [`writable`] before retrying
+/// the remainder.
+///
+/// # Errors
+///
+/// Real write errors, e.g. `EPIPE` from a dead reader (`WouldBlock` and
+/// `Interrupted` are absorbed).
+pub fn write_available(writer: &mut impl std::io::Write, buf: &[u8]) -> io::Result<usize> {
+    let mut written = 0usize;
+    while written < buf.len() {
+        match writer.write(&buf[written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_on_with, InFlightPool};
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    /// Spawns a child that prints `reply` after `delay_ms`, returning the
+    /// child and its stdout fd.
+    fn chatter(reply: &str, delay_ms: u64) -> std::process::Child {
+        Command::new("sh")
+            .arg("-c")
+            .arg(format!(
+                "sleep {}; printf '{}'",
+                delay_ms as f64 / 1e3,
+                reply
+            ))
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sh")
+    }
+
+    #[test]
+    fn readable_resolves_when_child_writes() {
+        use std::os::unix::io::AsRawFd;
+        let mut child = chatter("hello", 30);
+        let mut stdout = child.stdout.take().unwrap();
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd).unwrap();
+        let reactor = FdReactor::new();
+        let mut buf = Vec::new();
+        let got = block_on_with(
+            async {
+                loop {
+                    match read_available(&mut stdout, &mut buf).unwrap() {
+                        Some(0) => break,    // EOF: child exited
+                        Some(_) => continue, // keep draining
+                        None => readable(&reactor, fd, None).await,
+                    }
+                }
+                String::from_utf8(buf.clone()).unwrap()
+            },
+            || {
+                reactor.poll_io(None).unwrap();
+            },
+        );
+        assert_eq!(got, "hello");
+        child.wait().unwrap();
+        assert_eq!(reactor.registered(), 0, "registrations are one-shot");
+    }
+
+    #[test]
+    fn deadline_wakes_without_readiness() {
+        // A pipe nobody ever writes to: only the deadline can wake us.
+        use std::os::unix::io::AsRawFd;
+        let mut child = Command::new("sleep")
+            .arg("5")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sleep");
+        let stdout = child.stdout.take().unwrap();
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd).unwrap();
+        let reactor = FdReactor::new();
+        let deadline = Instant::now() + Duration::from_millis(40);
+        let started = Instant::now();
+        block_on_with(
+            async {
+                readable(&reactor, fd, Some(deadline)).await;
+            },
+            || {
+                reactor.poll_io(None).unwrap();
+            },
+        );
+        assert!(
+            Instant::now() >= deadline,
+            "woke before the deadline with no data"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "deadline ignored: slept toward the child's exit"
+        );
+        child.kill().ok();
+        child.wait().ok();
+    }
+
+    #[test]
+    fn pool_idle_hook_drives_fd_futures() {
+        use std::os::unix::io::AsRawFd;
+        // Two children with inverted delays: completions arrive out of
+        // submission order, through the pool's idle hook.
+        let mut kids: Vec<_> = [("b", 60), ("a", 15)]
+            .iter()
+            .map(|(reply, delay)| chatter(reply, *delay))
+            .collect();
+        let reactor = FdReactor::new();
+        let mut streams: Vec<_> = kids
+            .iter_mut()
+            .map(|c| {
+                let s = c.stdout.take().unwrap();
+                set_nonblocking(s.as_raw_fd()).unwrap();
+                s
+            })
+            .collect();
+        let mut pool: InFlightPool<String> = InFlightPool::new(2);
+        for (i, stdout) in streams.iter_mut().enumerate() {
+            let fd = stdout.as_raw_fd();
+            let reactor = &reactor;
+            pool.submit(i as u64, async move {
+                let mut buf = Vec::new();
+                loop {
+                    match read_available(stdout, &mut buf).unwrap() {
+                        Some(0) => break,
+                        Some(_) => continue,
+                        None => readable(reactor, fd, None).await,
+                    }
+                }
+                String::from_utf8(buf).unwrap()
+            });
+        }
+        let mut done = Vec::new();
+        while !pool.is_empty() {
+            for (index, reply) in pool.wait_any_with(|| {
+                reactor.poll_io(None).unwrap();
+            }) {
+                done.push((index, reply));
+            }
+        }
+        done.sort();
+        assert_eq!(
+            done,
+            vec![(0, "b".to_string()), (1, "a".to_string())],
+            "both replies arrived through the reactor"
+        );
+        for k in &mut kids {
+            k.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn poll_io_on_empty_reactor_is_a_noop() {
+        let reactor = FdReactor::new();
+        assert_eq!(reactor.poll_io(Some(Duration::from_millis(1))).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_end_close_reports_readable_eof() {
+        use std::os::unix::io::AsRawFd;
+        // `true` exits immediately without writing: POLLHUP must wake us so
+        // the dead-child case is a wake, not a hang.
+        let mut child = Command::new("true")
+            .stdout(Stdio::piped())
+            .stdin(Stdio::piped())
+            .spawn()
+            .expect("spawn true");
+        // Keep a handle so the write end closes on child exit only.
+        child.stdin.take().unwrap().flush().ok();
+        let mut stdout = child.stdout.take().unwrap();
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd).unwrap();
+        let reactor = FdReactor::new();
+        let eof = block_on_with(
+            async {
+                loop {
+                    match read_available(&mut stdout, &mut Vec::new()).unwrap() {
+                        Some(0) => break true,
+                        Some(_) => continue,
+                        None => readable(&reactor, fd, None).await,
+                    }
+                }
+            },
+            || {
+                reactor.poll_io(None).unwrap();
+            },
+        );
+        assert!(eof);
+        child.wait().unwrap();
+    }
+}

@@ -91,6 +91,21 @@ unsafe fn vt_drop(data: *const ()) {
 /// wake: on this single-threaded, reactor-free executor nothing else can
 /// ever wake it, so the alternative is hanging forever.
 pub fn block_on<F: Future>(future: F) -> F::Output {
+    block_on_with(future, || {})
+}
+
+/// [`block_on`] with an **idle hook**: when the future is `Pending` with
+/// no wake scheduled, `idle` runs once and must produce the wake (the
+/// fd reactor's [`crate::FdReactor::poll_io`] is the intended hook — it
+/// blocks in `poll(2)` until a registered fd is readable or a deadline
+/// passes). This is what lets one thread drive I/O-backed futures without
+/// busy-waiting.
+///
+/// # Panics
+///
+/// Panics when the future is `Pending` and even the idle hook scheduled no
+/// wake — on this single-threaded executor nothing else ever can.
+pub fn block_on_with<F: Future>(future: F, mut idle: impl FnMut()) -> F::Output {
     let mut future = pin!(future);
     let flag = WakeFlag::new();
     let waker = flag.waker();
@@ -99,12 +114,17 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
         flag.take();
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(value) => return value,
-            Poll::Pending => assert!(
-                flag.is_set(),
-                "block_on: future is Pending with no wake scheduled — \
-                 a single-threaded executor without event sources can \
-                 never resume it"
-            ),
+            Poll::Pending => {
+                if !flag.is_set() {
+                    idle();
+                }
+                assert!(
+                    flag.is_set(),
+                    "block_on: future is Pending with no wake scheduled — \
+                     a single-threaded executor without event sources can \
+                     never resume it"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,1275 @@
+//! The process/pipe solver backend: drive a **real external solver
+//! binary** (Z3, cvc5, or the deterministic mock in
+//! `crates/bench/src/bin/mock_solver.rs`) over stdin/stdout pipes.
+//!
+//! [`PipeSolver`] implements both [`SmtSolver`](crate::SmtSolver) and
+//! [`AsyncSmtSolver`]: it spawns the solver command, writes SMT-LIB
+//! scripts (the same printed text the in-process engines consume) to the
+//! child's stdin, and incrementally parses `sat`/`unsat`/`unknown`/model
+//! replies from its stdout through the fd reactor in `o4a-executor` — so
+//! a shard worker keeps `K` queries in flight across child processes
+//! without threads or busy-waiting. Reply parsing is **torn-read safe**:
+//! [`ReplyParser`] consumes bytes in whatever chunks the pipe delivers
+//! and only releases complete lines / balanced s-expressions.
+//!
+//! Failure containment is the point of the backend:
+//!
+//! * a child that closes its stdout (crashed, killed, OOMed) yields an
+//!   [`Outcome::Crash`] finding with signature `<solver>::pipe::process-died`
+//!   and is respawned for the next query;
+//! * a child that stops answering is killed at the **per-query deadline**
+//!   and yields `<solver>::pipe::wedged` — a wedged solver becomes a
+//!   finding, never a hung shard worker. (This wall-clock wedge is
+//!   distinct from the solver *answering* `timeout` from its own internal
+//!   budget, which maps to [`Outcome::Timeout`] as usual.)
+//!
+//! The wire protocol shared by the mock solver and real solvers is
+//! documented in `crates/solvers/README.md`; the [`mock`] module holds
+//! the deterministic reply logic the mock binary serves.
+
+use crate::async_solver::{splitmix64, AsyncCheck, AsyncSmtSolver, CheckFuture};
+use crate::coverage::{universe, Universe};
+use crate::response::{CrashInfo, CrashKind, Outcome, SolveStats, SolverId, SolverResponse};
+use crate::versions::CommitIdx;
+use crate::{CoverageMap, SmtSolver};
+use o4a_executor::{
+    block_on_with, read_available, readable, set_nonblocking, writable, write_available, FdReactor,
+};
+use std::cell::{Cell, RefCell};
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Default per-query wall-clock deadline. Generous next to mock latencies
+/// (milliseconds) so the deadline only ever fires on a genuinely wedged
+/// process; campaign drivers override it via `O4A_SOLVER_TIMEOUT_MS`.
+pub const DEFAULT_QUERY_TIMEOUT: Duration = Duration::from_secs(10);
+
+// ------------------------------------------------------------- PipeCommand
+
+/// A parsed solver command line: program plus arguments.
+///
+/// The string form (the `O4A_SOLVER_CMD` knob) is whitespace-split — no
+/// shell quoting — and may contain the placeholder `{lane}`, which
+/// [`PipeCommand::for_lane`] substitutes with the solver-lane index so
+/// each lane of a differential campaign can get a differently-seeded
+/// process (e.g. `mock_solver --seed 7 --lane {lane}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipeCommand {
+    program: String,
+    args: Vec<String>,
+}
+
+impl PipeCommand {
+    /// Parses a whitespace-separated command line; `None` when empty.
+    pub fn parse(cmdline: &str) -> Option<PipeCommand> {
+        let mut parts = cmdline.split_whitespace().map(str::to_string);
+        let program = parts.next()?;
+        Some(PipeCommand {
+            program,
+            args: parts.collect(),
+        })
+    }
+
+    /// Substitutes `{lane}` in every argument (and the program).
+    pub fn for_lane(&self, lane: usize) -> PipeCommand {
+        let sub = |s: &String| s.replace("{lane}", &lane.to_string());
+        PipeCommand {
+            program: sub(&self.program),
+            args: self.args.iter().map(sub).collect(),
+        }
+    }
+
+    /// The program to spawn.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// The arguments passed to it.
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+
+    fn spawn(&self) -> io::Result<SolverProcess> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd)?;
+        // stdin is non-blocking too: a child that stops *reading* must
+        // hit the per-query deadline, not hang the worker in write(2).
+        let stdin_fd = stdin.as_raw_fd();
+        set_nonblocking(stdin_fd)?;
+        // Prologue: make `(get-model)` legal on real solvers. The mock
+        // ignores lines it does not recognize, real solvers answer
+        // success silently (print-success defaults to false). A fresh
+        // pipe always has room for these few bytes.
+        let _ = write_available(&mut stdin, b"(set-option :produce-models true)\n");
+        Ok(SolverProcess {
+            child,
+            stdin,
+            stdout,
+            fd,
+            stdin_fd,
+            parser: ReplyParser::new(),
+        })
+    }
+}
+
+/// One live child process plus its incremental reply buffer.
+struct SolverProcess {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: ChildStdout,
+    fd: RawFd,
+    stdin_fd: RawFd,
+    parser: ReplyParser,
+}
+
+impl Drop for SolverProcess {
+    fn drop(&mut self) {
+        // Kill is a no-op on an already-exited child; wait reaps either
+        // way so retired processes never accumulate as zombies.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ------------------------------------------------------------- ReplyParser
+
+/// Incremental parser for solver replies arriving over a pipe.
+///
+/// Pipes deliver bytes at arbitrary boundaries — mid-token, mid-line,
+/// mid-model. The parser buffers [`feed`](ReplyParser::feed)s and only
+/// releases **complete units**: [`take_line`](ReplyParser::take_line)
+/// needs the terminating newline, [`take_sexp`](ReplyParser::take_sexp)
+/// needs the balancing close paren (string literals, with SMT-LIB's `""`
+/// escape, are skipped opaquely). Parsing is therefore invariant under
+/// how reads tear — the property `torn_reads_parse_identically` proves.
+#[derive(Debug, Default)]
+pub struct ReplyParser {
+    buf: Vec<u8>,
+}
+
+impl ReplyParser {
+    /// Creates an empty parser.
+    pub fn new() -> ReplyParser {
+        ReplyParser::default()
+    }
+
+    /// Appends raw bytes from the pipe.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drops leading whitespace (reply terminators leave a newline
+    /// behind) and reports whether the buffer is now empty — i.e. the
+    /// stream is positioned on a clean reply boundary.
+    pub fn at_boundary(&mut self) -> bool {
+        let skip = self
+            .buf
+            .iter()
+            .take_while(|b| b.is_ascii_whitespace())
+            .count();
+        self.buf.drain(..skip);
+        self.buf.is_empty()
+    }
+
+    /// Releases the next complete **non-empty** line, without its
+    /// terminator, or `None` until one is fully buffered.
+    pub fn take_line(&mut self) -> Option<String> {
+        loop {
+            let nl = self.buf.iter().position(|&b| b == b'\n')?;
+            let line: Vec<u8> = self.buf.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&line).trim().to_string();
+            if !text.is_empty() {
+                return Some(text);
+            }
+        }
+    }
+
+    /// Releases the next complete balanced s-expression (leading
+    /// whitespace skipped), or `None` until one is fully buffered. The
+    /// buffer's first non-whitespace byte must be `(`.
+    pub fn take_sexp(&mut self) -> Option<String> {
+        let start = self.buf.iter().position(|&b| !b.is_ascii_whitespace())?;
+        if self.buf[start] != b'(' {
+            return None;
+        }
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut i = start;
+        while i < self.buf.len() {
+            let b = self.buf[i];
+            if in_string {
+                if b == b'"' {
+                    // `""` escapes a quote inside SMT-LIB strings.
+                    if self.buf.get(i + 1) == Some(&b'"') {
+                        i += 1;
+                    } else {
+                        in_string = false;
+                    }
+                }
+            } else {
+                match b {
+                    b'"' => in_string = true,
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            let sexp: Vec<u8> = self.buf.drain(..=i).collect();
+                            return Some(String::from_utf8_lossy(&sexp[start..]).into_owned());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
+/// Parses a `(get-model)` reply into a [`o4a_smtlib::Model`].
+///
+/// Accepts both the classic `(model (define-fun ...) ...)` shape and the
+/// bare `((define-fun ...) ...)` newer Z3 emits. Constant definitions
+/// with literal (closed) bodies become model entries; anything the
+/// golden evaluator cannot fold to a value — or n-ary definitions — is
+/// skipped, which degrades a model-validation opportunity, never a
+/// sat/unsat verdict.
+pub fn parse_model_reply(text: &str) -> Option<o4a_smtlib::Model> {
+    let inner = text.trim().strip_prefix('(')?.strip_suffix(')')?;
+    let rest = inner.trim_start();
+    let rest = match rest.strip_prefix("model") {
+        Some(r) if r.is_empty() || r.starts_with(|c: char| c.is_whitespace() || c == '(') => r,
+        _ => rest,
+    };
+    let script = o4a_smtlib::parse_script(rest).ok()?;
+    let empty_model = o4a_smtlib::Model::new();
+    let defs = std::collections::BTreeMap::new();
+    let cfg = o4a_smtlib::eval::DomainConfig::default();
+    let ev = o4a_smtlib::eval::Evaluator::new(&empty_model, &defs, &cfg, 10_000);
+    let mut model = o4a_smtlib::Model::new();
+    for cmd in script.commands {
+        if let o4a_smtlib::Command::DefineFun(name, params, _, body) = cmd {
+            if params.is_empty() {
+                if let Ok(value) = ev.eval(&body) {
+                    model.set_const(name, value);
+                }
+            }
+        }
+    }
+    Some(model)
+}
+
+// -------------------------------------------------------------- PipeSolver
+
+/// An external solver process bank behind the [`SmtSolver`] /
+/// [`AsyncSmtSolver`] interfaces.
+///
+/// One `PipeSolver` plays one solver lane of a differential campaign: it
+/// reports the [`SolverId`] it stands in for, spawns child processes
+/// from its [`PipeCommand`] on demand (one per concurrently outstanding
+/// query — overlapped checks against one lane fan out across processes),
+/// reuses them via `(reset)` between queries, and kills/respawns them on
+/// crash or wedge. External processes report no coverage, so coverage
+/// maps stay empty and per-query deltas are empty maps.
+pub struct PipeSolver {
+    id: SolverId,
+    commit: CommitIdx,
+    command: PipeCommand,
+    reactor: Rc<FdReactor>,
+    timeout: Duration,
+    idle: RefCell<Vec<SolverProcess>>,
+    empty_coverage: CoverageMap,
+    universe: Universe,
+    submitted: Cell<u64>,
+    spawned: Cell<u64>,
+    respawns: Cell<u64>,
+}
+
+/// How a child became unusable mid-query.
+enum PipeDeath {
+    /// stdout hit end-of-file: the process died.
+    Eof,
+    /// The per-query deadline passed with no complete reply.
+    Wedged,
+}
+
+impl PipeSolver {
+    /// Creates a lane over `command`, sharing `reactor` with the driver
+    /// that blocks in [`FdReactor::poll_io`] while queries are in flight.
+    pub fn new(
+        command: PipeCommand,
+        id: SolverId,
+        commit: CommitIdx,
+        reactor: Rc<FdReactor>,
+    ) -> PipeSolver {
+        PipeSolver {
+            id,
+            commit,
+            command,
+            reactor,
+            timeout: DEFAULT_QUERY_TIMEOUT,
+            idle: RefCell::new(Vec::new()),
+            empty_coverage: CoverageMap::new(),
+            universe: universe(id),
+            submitted: Cell::new(0),
+            spawned: Cell::new(0),
+            respawns: Cell::new(0),
+        }
+    }
+
+    /// A self-contained lane with its own private reactor — the sync
+    /// [`SmtSolver::check`] entry point drives it transparently.
+    pub fn standalone(command: PipeCommand, id: SolverId, commit: CommitIdx) -> PipeSolver {
+        PipeSolver::new(command, id, commit, Rc::new(FdReactor::new()))
+    }
+
+    /// Replaces the per-query wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> PipeSolver {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The per-query deadline in force.
+    pub fn query_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The reactor this lane registers readiness with.
+    pub fn reactor(&self) -> &Rc<FdReactor> {
+        &self.reactor
+    }
+
+    /// Child processes spawned so far (including respawns).
+    pub fn processes_spawned(&self) -> u64 {
+        self.spawned.get()
+    }
+
+    /// Processes lost to crashes or wedges (each triggers a respawn on
+    /// the next query that needs a child).
+    pub fn respawns(&self) -> u64 {
+        self.respawns.get()
+    }
+
+    fn acquire(&self) -> io::Result<SolverProcess> {
+        if let Some(proc) = self.idle.borrow_mut().pop() {
+            return Ok(proc);
+        }
+        let proc = self.command.spawn()?;
+        self.spawned.set(self.spawned.get() + 1);
+        Ok(proc)
+    }
+
+    /// Returns a healthy child to the idle pool for the next query; a
+    /// child we cannot `(reset)`, or one with stray buffered bytes (a
+    /// protocol desync), is retired instead.
+    fn release(&self, mut proc: SolverProcess) {
+        // The reset must land whole (a healthy child's pipe has room for
+        // these 8 bytes; a full pipe means it stopped reading — retire).
+        let reset = b"(reset)\n";
+        let clean = proc.parser.at_boundary()
+            && matches!(write_available(&mut proc.stdin, reset), Ok(n) if n == reset.len());
+        if clean {
+            self.idle.borrow_mut().push(proc);
+        }
+    }
+
+    /// Streams `bytes` to the child's stdin, suspending on write
+    /// readiness when the pipe is full — a child that stops reading
+    /// cannot hang the worker past the per-query deadline.
+    async fn send(
+        &self,
+        proc: &mut SolverProcess,
+        bytes: &[u8],
+        deadline: Instant,
+    ) -> Result<(), PipeDeath> {
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            match write_available(&mut proc.stdin, &bytes[offset..]) {
+                Ok(n) => {
+                    offset += n;
+                    if offset < bytes.len() {
+                        if Instant::now() >= deadline {
+                            return Err(PipeDeath::Wedged);
+                        }
+                        writable(&self.reactor, proc.stdin_fd, Some(deadline)).await;
+                    }
+                }
+                // EPIPE: the child died — but its reply (or part of one)
+                // may already sit in our read buffer, so let the read
+                // path be the judge of death.
+                Err(_) => return Err(PipeDeath::Eof),
+            }
+        }
+        Ok(())
+    }
+
+    fn lost_process(&self, death: &PipeDeath) -> SolverResponse {
+        self.respawns.set(self.respawns.get() + 1);
+        let (reason, kind) = match death {
+            PipeDeath::Eof => ("process-died", CrashKind::SegFault),
+            PipeDeath::Wedged => ("wedged", CrashKind::InternalException),
+        };
+        SolverResponse {
+            outcome: Outcome::Crash(CrashInfo {
+                signature: format!("{}::pipe::{}", self.id.name(), reason),
+                kind,
+            }),
+            model: None,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Reads the next complete reply line, waking on fd readiness.
+    async fn read_line(
+        &self,
+        proc: &mut SolverProcess,
+        deadline: Instant,
+    ) -> Result<String, PipeDeath> {
+        loop {
+            if let Some(line) = proc.parser.take_line() {
+                return Ok(line);
+            }
+            self.pump(proc, deadline).await?;
+        }
+    }
+
+    /// Reads the next complete s-expression reply.
+    async fn read_sexp(
+        &self,
+        proc: &mut SolverProcess,
+        deadline: Instant,
+    ) -> Result<String, PipeDeath> {
+        loop {
+            if let Some(sexp) = proc.parser.take_sexp() {
+                return Ok(sexp);
+            }
+            self.pump(proc, deadline).await?;
+        }
+    }
+
+    /// One read attempt: drains available bytes into the parser or
+    /// suspends on the reactor until readable / deadline.
+    async fn pump(&self, proc: &mut SolverProcess, deadline: Instant) -> Result<(), PipeDeath> {
+        let mut chunk = Vec::new();
+        match read_available(&mut proc.stdout, &mut chunk) {
+            Ok(Some(0)) => Err(PipeDeath::Eof),
+            Ok(Some(_)) => {
+                proc.parser.feed(&chunk);
+                Ok(())
+            }
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    return Err(PipeDeath::Wedged);
+                }
+                // No deadline re-check after the wake: the next loop
+                // iteration reads first, so a reply that raced the
+                // deadline onto the pipe is still consumed rather than
+                // misreported as a wedge.
+                readable(&self.reactor, proc.fd, Some(deadline)).await;
+                Ok(())
+            }
+            Err(_) => Err(PipeDeath::Eof),
+        }
+    }
+
+    async fn run_query(&self, text: &str) -> SolverResponse {
+        let mut proc = match self.acquire() {
+            Ok(proc) => proc,
+            Err(e) => {
+                return SolverResponse::error(format!(
+                    "failed to spawn solver process '{}': {e}",
+                    self.command.program()
+                ))
+            }
+        };
+        let deadline = Instant::now() + self.timeout;
+
+        let mut request = Vec::with_capacity(text.len() + 1);
+        request.extend_from_slice(text.as_bytes());
+        request.push(b'\n');
+        match self.send(&mut proc, &request, deadline).await {
+            // EOF: fall through — the read path judges death, because the
+            // reply may already be buffered.
+            Ok(()) | Err(PipeDeath::Eof) => {}
+            Err(PipeDeath::Wedged) => return self.lost_process(&PipeDeath::Wedged),
+        }
+
+        let line = match self.read_line(&mut proc, deadline).await {
+            Ok(line) => line,
+            Err(death) => return self.lost_process(&death),
+        };
+
+        let outcome = match line.as_str() {
+            "sat" => {
+                // Second round trip: fetch the model while the child is
+                // still positioned after its answer. The verdict is
+                // already decided at this point, so a child lost during
+                // the model fetch (died or wedged) costs the model —
+                // never the verdict: the lane retires it (respawning on
+                // the next query) and reports `sat` without a model.
+                let mut model = None;
+                let lost = match self.send(&mut proc, b"(get-model)\n", deadline).await {
+                    Ok(()) => match self.read_sexp(&mut proc, deadline).await {
+                        Ok(sexp) => {
+                            model = parse_model_reply(&sexp);
+                            None
+                        }
+                        Err(death) => Some(death),
+                    },
+                    Err(death) => Some(death),
+                };
+                if lost.is_some() {
+                    self.respawns.set(self.respawns.get() + 1);
+                    drop(proc); // kill (if wedged) + reap
+                } else {
+                    self.release(proc);
+                }
+                return SolverResponse {
+                    outcome: Outcome::Sat,
+                    model,
+                    stats: SolveStats::default(),
+                };
+            }
+            "unsat" => Outcome::Unsat,
+            "unknown" => Outcome::Unknown,
+            // The solver's own in-engine budget answer (mock `timeout`
+            // token) — not the wall-clock wedge, which kills the child.
+            "timeout" => Outcome::Timeout,
+            other if other.starts_with("(error") => {
+                // Keep the message, retire the child: after an error we
+                // cannot trust the stream to be positioned on a reply
+                // boundary. (Dropping `proc` kills + reaps it.)
+                let msg = other
+                    .split('"')
+                    .nth(1)
+                    .unwrap_or("solver error")
+                    .to_string();
+                return SolverResponse::error(msg);
+            }
+            other => {
+                return SolverResponse::error(format!("unrecognized solver reply '{other}'"));
+            }
+        };
+        self.release(proc);
+        SolverResponse {
+            outcome,
+            model: None,
+            stats: SolveStats::default(),
+        }
+    }
+}
+
+impl AsyncSmtSolver for PipeSolver {
+    fn id(&self) -> SolverId {
+        self.id
+    }
+
+    fn commit(&self) -> CommitIdx {
+        self.commit
+    }
+
+    fn check_async(&self, text: String) -> CheckFuture<'_> {
+        self.submitted.set(self.submitted.get() + 1);
+        Box::pin(async move {
+            let response = self.run_query(&text).await;
+            AsyncCheck {
+                response,
+                coverage: CoverageMap::new(),
+            }
+        })
+    }
+
+    fn coverage(&self) -> CoverageMap {
+        CoverageMap::new()
+    }
+
+    fn queries_submitted(&self) -> u64 {
+        self.submitted.get()
+    }
+}
+
+impl SmtSolver for PipeSolver {
+    fn id(&self) -> SolverId {
+        self.id
+    }
+
+    fn commit(&self) -> CommitIdx {
+        self.commit
+    }
+
+    fn check(&mut self, text: &str) -> SolverResponse {
+        let reactor = Rc::clone(&self.reactor);
+        block_on_with(self.check_async(text.to_string()), move || {
+            let _ = reactor.poll_io(None);
+        })
+        .response
+    }
+
+    fn coverage(&self) -> &CoverageMap {
+        &self.empty_coverage
+    }
+
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn reset_coverage(&mut self) {}
+}
+
+// -------------------------------------------------------------------- mock
+
+/// The deterministic mock solver: the reply logic behind
+/// `crates/bench/src/bin/mock_solver.rs`.
+///
+/// Every decision — outcome, model values, injected latency, crash
+/// injection — is a **pure hash of the script text** (plus the seeded
+/// configuration), never of per-process state like a query counter. That
+/// purity is what makes the serial ≡ K-in-flight equivalence law hold
+/// over the pipe transport: with `K` queries fanned out across child
+/// processes, which process serves which script depends on completion
+/// order, so any process-local state would leak scheduling into answers.
+pub mod mock {
+    use super::splitmix64;
+    use std::io::{BufRead, Write};
+
+    /// Mock behavior knobs, normally parsed from argv by
+    /// [`config_from_args`].
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct MockConfig {
+        /// Answer-stream seed (fold the lane in via `--lane`).
+        pub seed: u64,
+        /// Crash (abrupt process exit mid-reply) on scripts whose
+        /// fingerprint is `0 (mod crash_mod)`; `0` disables injection.
+        pub crash_mod: u64,
+        /// Max injected reply latency in milliseconds (`0`: reply
+        /// immediately); per-script value is seeded, not random.
+        pub latency_ms: u64,
+        /// Scripts containing this marker wedge the process: it reads on
+        /// but never answers (exercises the per-query deadline).
+        pub wedge_on: Option<String>,
+        /// Force every decided answer to this token (`sat`/`unsat`/...)
+        /// instead of hashing — crash/wedge injection still applies.
+        pub force: Option<String>,
+    }
+
+    /// What the mock does with one `(check-sat)` request.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum MockReply {
+        /// Answer `token` after `latency_ms` of injected latency.
+        Answer {
+            /// The reply token (`sat`, `unsat`, `unknown`, `timeout`).
+            token: String,
+            /// Injected latency before the reply is written.
+            latency_ms: u64,
+        },
+        /// Emit `partial` (a torn reply prefix) and exit abruptly.
+        Crash {
+            /// Bytes flushed before the abrupt exit.
+            partial: &'static str,
+        },
+        /// Stop answering (but keep reading) forever.
+        Wedge,
+    }
+
+    /// FNV-1a over the normalized script, finalized with SplitMix64 — the
+    /// per-script fingerprint every decision derives from.
+    ///
+    /// Normalization strips `(set-option …)` lines (the pipe backend's
+    /// spawn prologue lands in the **first** request segment a fresh
+    /// process sees) and surrounding whitespace, so a freshly spawned
+    /// process answers a script exactly like a reused one — without
+    /// this, which queries land on fresh processes (a function of the
+    /// overlap width K) would leak into answers and break the
+    /// equivalence law.
+    pub fn fingerprint(seed: u64, script: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x0100_0000_01b3);
+        for line in script
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("(set-option"))
+        {
+            for &b in line.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            h ^= u64::from(b'\n');
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        splitmix64(h)
+    }
+
+    /// Decides the reply for one script. Pure: equal `(config, script)`
+    /// always produce equal replies, on any process, in any order.
+    pub fn reply_for(config: &MockConfig, script: &str) -> MockReply {
+        if let Some(marker) = &config.wedge_on {
+            if !marker.is_empty() && script.contains(marker.as_str()) {
+                return MockReply::Wedge;
+            }
+        }
+        let h = fingerprint(config.seed, script);
+        if config.crash_mod > 0 && h.is_multiple_of(config.crash_mod) {
+            return MockReply::Crash { partial: "(mo" };
+        }
+        let token = match &config.force {
+            Some(t) => t.clone(),
+            None => match h % 100 {
+                0..=44 => "sat",
+                45..=89 => "unsat",
+                90..=96 => "unknown",
+                _ => "timeout",
+            }
+            .to_string(),
+        };
+        let latency_ms = if config.latency_ms == 0 {
+            0
+        } else {
+            splitmix64(h ^ 0x1a7e) % (config.latency_ms + 1)
+        };
+        MockReply::Answer { token, latency_ms }
+    }
+
+    /// Builds the `(model ...)` reply for a script answered `sat`:
+    /// seeded `Int`/`Bool` values for every `(declare-const ...)` the
+    /// script contains (other sorts are skipped). The values need not
+    /// satisfy the formula — an unsatisfying model is a deterministic
+    /// invalid-model finding, which is a feature for the test gauntlet.
+    pub fn model_for(config: &MockConfig, script: &str) -> String {
+        let mut out = String::from("(model\n");
+        let script_fp = fingerprint(config.seed, script);
+        for (name, sort) in declared_consts(script) {
+            let h = splitmix64(script_fp ^ fingerprint(7, &name));
+            let value = match sort.as_str() {
+                "Int" => o4a_smtlib::Value::Int((h % 21) as i128 - 10),
+                "Bool" => o4a_smtlib::Value::Bool(h & 1 == 0),
+                _ => continue,
+            };
+            out.push_str(&format!("  (define-fun {name} () {sort} {value})\n"));
+        }
+        out.push(')');
+        out
+    }
+
+    /// Scans a script for `(declare-const name Sort)` occurrences with a
+    /// simple (non-parsing) tokenizer — all the mock needs.
+    fn declared_consts(script: &str) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut rest = script;
+        while let Some(at) = rest.find("(declare-const") {
+            rest = &rest[at + "(declare-const".len()..];
+            let mut tokens = rest
+                .split(|c: char| c.is_whitespace() || c == ')')
+                .filter(|t| !t.is_empty());
+            if let (Some(name), Some(sort)) = (tokens.next(), tokens.next()) {
+                out.push((name.to_string(), sort.to_string()));
+            }
+        }
+        out
+    }
+
+    /// How a [`serve`] loop ended.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum MockExit {
+        /// stdin closed: the driver is done with this process.
+        Eof,
+        /// Crash injection fired: the caller should exit abruptly (the
+        /// binary uses a non-zero exit code).
+        Crash,
+    }
+
+    /// The mock's request loop: reads SMT-LIB requests from `input`,
+    /// writes protocol replies to `output`. Requests are delimited by the
+    /// three commands the pipe backend sends — `(check-sat)` (ends a
+    /// script), `(get-model)`, `(reset)`; anything else (options,
+    /// prologue) is absorbed into the surrounding request text.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors on `input`/`output` (a closed pipe ends the process
+    /// anyway).
+    pub fn serve(
+        config: &MockConfig,
+        input: impl std::io::Read,
+        mut output: impl Write,
+    ) -> std::io::Result<MockExit> {
+        let mut reader = std::io::BufReader::new(input);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut last_script = String::new();
+        loop {
+            while let Some((marker, end)) = earliest_marker(&buf) {
+                let segment = String::from_utf8_lossy(&buf[..end]).into_owned();
+                buf.drain(..end);
+                match marker {
+                    Marker::CheckSat => {
+                        let script = segment.trim().to_string();
+                        match reply_for(config, &script) {
+                            MockReply::Wedge => loop {
+                                // Keep reading (so the peer's writes never
+                                // block) but never answer.
+                                let n = reader.fill_buf()?.len();
+                                if n == 0 {
+                                    return Ok(MockExit::Eof);
+                                }
+                                reader.consume(n);
+                            },
+                            MockReply::Crash { partial } => {
+                                output.write_all(partial.as_bytes())?;
+                                output.flush()?;
+                                return Ok(MockExit::Crash);
+                            }
+                            MockReply::Answer { token, latency_ms } => {
+                                if latency_ms > 0 {
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        latency_ms,
+                                    ));
+                                }
+                                writeln!(output, "{token}")?;
+                                output.flush()?;
+                                last_script = script;
+                            }
+                        }
+                    }
+                    Marker::GetModel => {
+                        writeln!(output, "{}", model_for(config, &last_script))?;
+                        output.flush()?;
+                    }
+                    Marker::Reset => last_script.clear(),
+                }
+            }
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(MockExit::Eof);
+            }
+            let n = chunk.len();
+            buf.extend_from_slice(chunk);
+            reader.consume(n);
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Marker {
+        CheckSat,
+        GetModel,
+        Reset,
+    }
+
+    /// Finds the earliest fully-buffered request delimiter; returns it
+    /// with the index just past its closing paren.
+    fn earliest_marker(buf: &[u8]) -> Option<(Marker, usize)> {
+        let find = |needle: &[u8]| {
+            buf.windows(needle.len())
+                .position(|w| w == needle)
+                .map(|i| i + needle.len())
+        };
+        [
+            (Marker::CheckSat, find(b"(check-sat)")),
+            (Marker::GetModel, find(b"(get-model)")),
+            (Marker::Reset, find(b"(reset)")),
+        ]
+        .into_iter()
+        .filter_map(|(m, at)| at.map(|i| (m, i)))
+        .min_by_key(|&(_, i)| i)
+    }
+
+    /// Parses the mock binary's argv (`--seed N --lane N --crash-mod N
+    /// --latency-ms N --wedge-on STR --answer TOKEN`). The lane folds
+    /// into the seed so differential lanes answer independently.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown or malformed flags.
+    pub fn config_from_args(args: impl Iterator<Item = String>) -> Result<MockConfig, String> {
+        let mut config = MockConfig::default();
+        let mut lane = 0u64;
+        let mut args = args;
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    config.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--lane" => {
+                    lane = value("--lane")?
+                        .parse()
+                        .map_err(|e| format!("bad --lane: {e}"))?
+                }
+                "--crash-mod" => {
+                    config.crash_mod = value("--crash-mod")?
+                        .parse()
+                        .map_err(|e| format!("bad --crash-mod: {e}"))?
+                }
+                "--latency-ms" => {
+                    config.latency_ms = value("--latency-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --latency-ms: {e}"))?
+                }
+                "--wedge-on" => config.wedge_on = Some(value("--wedge-on")?),
+                "--answer" => config.force = Some(value("--answer")?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        config.seed ^= lane.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mock::{
+        config_from_args, fingerprint, model_for, reply_for, serve, MockConfig, MockExit, MockReply,
+    };
+    use super::*;
+    use o4a_smtlib::{Symbol, Value};
+
+    // ------------------------------------------------------ reply parsing
+
+    /// A reply stream covering every unit: an outcome line, a multi-line
+    /// model with negative values and an embedded `)` inside a string,
+    /// and an error line.
+    const REPLY: &str = "sat\n(model\n  (define-fun x () Int (- 3))\n  \
+                         (define-fun s () String \"a)b\")\n  \
+                         (define-fun b () Bool true)\n)\n(error \"oops (here)\")\n";
+
+    fn drain(parser: &mut ReplyParser) -> (Option<String>, Option<String>, Option<String>) {
+        let line = parser.take_line();
+        let sexp = parser.take_sexp();
+        let err = parser.take_line();
+        (line, sexp, err)
+    }
+
+    #[test]
+    fn whole_delivery_parses() {
+        let mut parser = ReplyParser::new();
+        parser.feed(REPLY.as_bytes());
+        let (line, sexp, err) = drain(&mut parser);
+        assert_eq!(line.as_deref(), Some("sat"));
+        let sexp = sexp.expect("model sexp");
+        assert!(sexp.starts_with("(model"));
+        assert!(sexp.ends_with(')'));
+        assert!(sexp.contains("\"a)b\""));
+        assert_eq!(err.as_deref(), Some("(error \"oops (here)\")"));
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    /// The torn-read law: replies split at **every** byte boundary (all
+    /// two-way and a sweep of three-way splits) parse identically to
+    /// whole-line delivery — including splits mid-token, mid-string, and
+    /// mid-model.
+    #[test]
+    fn torn_reads_parse_identically() {
+        let bytes = REPLY.as_bytes();
+        let mut reference = ReplyParser::new();
+        reference.feed(bytes);
+        let expected = drain(&mut reference);
+        for i in 0..=bytes.len() {
+            let mut parser = ReplyParser::new();
+            parser.feed(&bytes[..i]);
+            parser.feed(&bytes[i..]);
+            assert_eq!(drain(&mut parser), expected, "two-way split at {i}");
+        }
+        for i in (0..=bytes.len()).step_by(3) {
+            for j in (i..=bytes.len()).step_by(7) {
+                let mut parser = ReplyParser::new();
+                parser.feed(&bytes[..i]);
+                parser.feed(&bytes[i..j]);
+                parser.feed(&bytes[j..]);
+                assert_eq!(drain(&mut parser), expected, "three-way split {i}/{j}");
+            }
+        }
+    }
+
+    /// Byte-at-a-time delivery — the most extreme tearing — and no
+    /// premature release at any prefix.
+    #[test]
+    fn byte_at_a_time_never_releases_early() {
+        let bytes = REPLY.as_bytes();
+        let mut parser = ReplyParser::new();
+        let mut units: Vec<String> = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            parser.feed(&[b]);
+            // The outcome line completes exactly at its newline.
+            if units.is_empty() {
+                if let Some(line) = parser.take_line() {
+                    assert_eq!(i, REPLY.find('\n').unwrap(), "line released early/late");
+                    units.push(line);
+                }
+            } else if units.len() == 1 {
+                if let Some(sexp) = parser.take_sexp() {
+                    units.push(sexp);
+                }
+            }
+        }
+        assert_eq!(units[0], "sat");
+        assert!(units[1].contains("define-fun b"));
+    }
+
+    #[test]
+    fn model_reply_round_trips_values() {
+        let model = parse_model_reply(
+            "(model\n  (define-fun x () Int (- 3))\n  (define-fun y () Int 7)\n  \
+             (define-fun b () Bool true)\n)",
+        )
+        .expect("parse");
+        assert_eq!(model.get_const(&Symbol::new("x")), Some(&Value::Int(-3)));
+        assert_eq!(model.get_const(&Symbol::new("y")), Some(&Value::Int(7)));
+        assert_eq!(model.get_const(&Symbol::new("b")), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn bare_z3_style_model_reply_parses() {
+        let model = parse_model_reply("(\n  (define-fun x () Int 2)\n)").expect("bare model form");
+        assert_eq!(model.get_const(&Symbol::new("x")), Some(&Value::Int(2)));
+        // And an empty model is a model.
+        assert_eq!(parse_model_reply("(model\n)").expect("empty").len(), 0);
+    }
+
+    #[test]
+    fn pipe_command_parses_and_substitutes_lanes() {
+        let cmd = PipeCommand::parse("mock_solver --seed 7 --lane {lane}").unwrap();
+        assert_eq!(cmd.program(), "mock_solver");
+        assert_eq!(cmd.for_lane(3).args(), ["--seed", "7", "--lane", "3"]);
+        assert_eq!(PipeCommand::parse("  \t "), None);
+    }
+
+    // ------------------------------------------------------------- mock
+
+    #[test]
+    fn mock_replies_are_pure_functions_of_the_script() {
+        let config = MockConfig {
+            seed: 42,
+            latency_ms: 5,
+            ..MockConfig::default()
+        };
+        let script = "(declare-const x Int)(assert (> x 0))(check-sat)";
+        assert_eq!(reply_for(&config, script), reply_for(&config, script));
+        // Leading/trailing whitespace (what request segmentation can
+        // add) never changes the answer.
+        assert_eq!(
+            reply_for(&config, &format!("\n\n{script}\n")),
+            reply_for(&config, script)
+        );
+        // Different lanes answer independently.
+        let lane0 = config_from_args(
+            ["--seed", "42", "--lane", "0"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let lane1 = config_from_args(
+            ["--seed", "42", "--lane", "1"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_ne!(
+            fingerprint(lane0.seed, script),
+            fingerprint(lane1.seed, script)
+        );
+    }
+
+    #[test]
+    fn mock_outcomes_cover_the_protocol() {
+        let config = MockConfig {
+            seed: 7,
+            ..MockConfig::default()
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..200 {
+            let script = format!("(assert (= {i} {i}))(check-sat)");
+            if let MockReply::Answer { token, .. } = reply_for(&config, &script) {
+                seen.insert(token);
+            }
+        }
+        for token in ["sat", "unsat", "unknown", "timeout"] {
+            assert!(seen.contains(token), "{token} never drawn in 200 scripts");
+        }
+    }
+
+    #[test]
+    fn mock_crash_injection_is_deterministic() {
+        let config = MockConfig {
+            seed: 13,
+            crash_mod: 4,
+            ..MockConfig::default()
+        };
+        let crashes: Vec<bool> = (0..64)
+            .map(|i| {
+                let script = format!("(assert (> x {i}))(check-sat)");
+                matches!(reply_for(&config, &script), MockReply::Crash { .. })
+            })
+            .collect();
+        assert!(crashes.iter().any(|&c| c), "crash-mod 4 never fired in 64");
+        assert!(!crashes.iter().all(|&c| c), "crash-mod 4 always fired");
+        let again: Vec<bool> = (0..64)
+            .map(|i| {
+                let script = format!("(assert (> x {i}))(check-sat)");
+                matches!(reply_for(&config, &script), MockReply::Crash { .. })
+            })
+            .collect();
+        assert_eq!(crashes, again);
+    }
+
+    #[test]
+    fn mock_serve_speaks_the_wire_protocol_in_memory() {
+        let config = MockConfig {
+            seed: 1,
+            force: Some("sat".into()),
+            ..MockConfig::default()
+        };
+        let request = "(declare-const x Int)(assert (> x 1))(check-sat)\n(get-model)\n(reset)\n";
+        let mut output = Vec::new();
+        let exit = serve(&config, request.as_bytes(), &mut output).unwrap();
+        assert_eq!(exit, MockExit::Eof);
+        let mut parser = ReplyParser::new();
+        parser.feed(&output);
+        assert_eq!(parser.take_line().as_deref(), Some("sat"));
+        let model = parse_model_reply(&parser.take_sexp().expect("model reply")).unwrap();
+        assert!(
+            model.get_const(&Symbol::new("x")).is_some(),
+            "declared const interpreted"
+        );
+    }
+
+    #[test]
+    fn mock_model_values_are_seeded_and_stable() {
+        let config = MockConfig {
+            seed: 3,
+            ..MockConfig::default()
+        };
+        let script = "(declare-const a Int)(declare-const p Bool)(check-sat)";
+        let a = model_for(&config, script);
+        assert_eq!(a, model_for(&config, script));
+        let model = parse_model_reply(&a).unwrap();
+        assert!(model.get_const(&Symbol::new("a")).is_some());
+        assert!(model.get_const(&Symbol::new("p")).is_some());
+    }
+
+    // ------------------------------------------- live processes (POSIX sh)
+
+    fn lane(cmdline: &str) -> PipeSolver {
+        PipeSolver::standalone(
+            PipeCommand::parse(cmdline).unwrap(),
+            SolverId::OxiZ,
+            crate::TRUNK_COMMIT,
+        )
+    }
+
+    #[test]
+    fn dead_process_is_a_crash_finding_not_a_hang() {
+        // `true` exits without ever answering: EOF on first read.
+        let mut solver = lane("true");
+        let response = solver.check("(assert true)(check-sat)");
+        match response.outcome {
+            Outcome::Crash(info) => {
+                assert_eq!(info.signature, "oxiz::pipe::process-died");
+                assert_eq!(info.kind, CrashKind::SegFault);
+            }
+            other => panic!("expected crash, got {other}"),
+        }
+        assert_eq!(solver.respawns(), 1);
+    }
+
+    #[test]
+    fn wedged_process_is_killed_at_the_deadline() {
+        // `sleep` reads nothing and answers nothing: only the per-query
+        // deadline can end this check.
+        let mut solver = lane("sleep 30").with_timeout(Duration::from_millis(120));
+        let started = Instant::now();
+        let response = solver.check("(check-sat)");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "deadline did not fire"
+        );
+        match response.outcome {
+            Outcome::Crash(info) => {
+                assert_eq!(info.signature, "oxiz::pipe::wedged");
+                assert_eq!(info.kind, CrashKind::InternalException);
+            }
+            other => panic!("expected wedge crash, got {other}"),
+        }
+        assert_eq!(solver.respawns(), 1);
+        // The wedged child must actually be gone, and the next query gets
+        // a fresh process.
+        let before = solver.processes_spawned();
+        let _ = solver.check("(check-sat)");
+        assert_eq!(solver.processes_spawned(), before + 1);
+    }
+
+    #[test]
+    fn child_that_stops_reading_stdin_cannot_hang_the_worker() {
+        // `sleep` never reads its stdin. With a script larger than the
+        // pipe's capacity, a blocking writer would stall in write(2)
+        // forever; the non-blocking send path must hit the per-query
+        // deadline instead and report a wedge.
+        let mut solver = lane("sleep 30").with_timeout(Duration::from_millis(250));
+        let huge = format!(
+            "(assert (= 1 1)) ; {}\n(check-sat)",
+            "x".repeat(4 * 1024 * 1024) // » any pipe buffer
+        );
+        let started = Instant::now();
+        let response = solver.check(&huge);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "write-side wedge hung past the deadline"
+        );
+        match response.outcome {
+            Outcome::Crash(info) => assert_eq!(info.signature, "oxiz::pipe::wedged"),
+            other => panic!("expected wedge crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unsat_line_from_a_plain_process_parses() {
+        // An `echo`-style one-shot "solver".
+        let mut solver = lane("echo unsat");
+        let response = solver.check("(assert false)(check-sat)");
+        assert_eq!(response.outcome, Outcome::Unsat);
+    }
+
+    #[test]
+    fn error_reply_maps_to_parse_error() {
+        // A "solver" that answers every request with an error line (the
+        // argument carries spaces, so it is built directly rather than
+        // through the whitespace-splitting `parse`).
+        let mut solver = PipeSolver::standalone(
+            PipeCommand {
+                program: "sh".into(),
+                args: vec!["-c".into(), r#"printf '(error "out of memory")\n'"#.into()],
+            },
+            SolverId::Cervo,
+            crate::TRUNK_COMMIT,
+        );
+        let response = solver.check("(check-sat)");
+        assert_eq!(
+            response.outcome,
+            Outcome::ParseError("out of memory".into())
+        );
+    }
+
+    #[test]
+    fn spawn_failure_is_an_error_response() {
+        let mut solver = lane("/nonexistent/solver-binary");
+        let response = solver.check("(check-sat)");
+        assert!(matches!(response.outcome, Outcome::ParseError(_)));
+    }
+}

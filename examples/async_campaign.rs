@@ -26,6 +26,7 @@ fn main() {
         shards: 2,
         parallelism: Parallelism::Serial,
         inflight: 1,
+        ..ExecConfig::default()
     };
     let serial = run_campaign_sharded(factory, &config, &serial_exec);
 

@@ -15,11 +15,12 @@
 //! * [`baselines`] — the eight comparison fuzzers.
 //! * [`reduce`] — the ddSMT-style delta debugger.
 //! * [`exec`] — the sharded parallel campaign engine with mergeable
-//!   coverage, a resumable findings store, and overlapped in-flight
-//!   solver queries.
+//!   coverage, a resumable findings store, overlapped in-flight solver
+//!   queries, and the pipe transport for **external solver processes**
+//!   (`O4A_SOLVER_CMD`: real Z3/cvc5 binaries or the deterministic mock).
 //! * [`executor`] — the tokio-free single-threaded poll-loop executor
-//!   (hand-rolled waker, bounded in-flight pool, completion re-sequencer)
-//!   behind the async solver backend.
+//!   (hand-rolled waker, bounded in-flight pool, completion re-sequencer,
+//!   `poll(2)` fd reactor) behind the async solver backend.
 //!
 //! ```no_run
 //! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
