@@ -250,12 +250,12 @@ pub fn coverage_comparison_parallel(
         run_campaign_sharded(
             |_shard| roster.build(i),
             &scale.config(solvers.clone(), 0xf166 ^ (i as u64) << 8),
+            // Serial per campaign: the roster itself is the parallel
+            // axis here. Struct-update keeps every other knob (and any
+            // future one) flowing through from the environment.
             &ExecConfig {
-                shards: exec.shards,
                 parallelism: Parallelism::Serial,
-                inflight: exec.inflight,
-                solver_cmd: exec.solver_cmd.clone(),
-                solver_timeout_ms: exec.solver_timeout_ms,
+                ..exec.clone()
             },
         )
     })
@@ -319,12 +319,12 @@ pub fn known_bug_comparison_parallel(
         let result = run_campaign_sharded(
             |_shard| roster.build(i),
             &scale.config(release_solvers(), 0xf177 ^ (i as u64) << 8),
+            // Serial per campaign: the roster itself is the parallel
+            // axis here. Struct-update keeps every other knob (and any
+            // future one) flowing through from the environment.
             &ExecConfig {
-                shards: exec.shards,
                 parallelism: Parallelism::Serial,
-                inflight: exec.inflight,
-                solver_cmd: exec.solver_cmd.clone(),
-                solver_timeout_ms: exec.solver_timeout_ms,
+                ..exec.clone()
             },
         );
         (result.fuzzer.clone(), unique_known_bugs(&result, &engine))

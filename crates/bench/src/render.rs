@@ -180,6 +180,16 @@ pub fn render_stats(result: &CampaignResult) -> String {
         "one-time setup (LLM)     : {} s virtual",
         s.setup_virtual_seconds
     );
+    // Pipe-transport process churn — only meaningful when an external
+    // solver backend ran (in-process campaigns report zero).
+    if s.processes_spawned > 0 || s.scopes_pushed > 0 {
+        let _ = writeln!(
+            out,
+            "solver processes spawned : {} ({} respawned after crash/wedge)",
+            s.processes_spawned, s.process_respawns
+        );
+        let _ = writeln!(out, "incremental scopes pushed: {}", s.scopes_pushed);
+    }
     for (solver, cov) in &result.final_coverage {
         let _ = writeln!(
             out,

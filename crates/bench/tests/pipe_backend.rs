@@ -6,17 +6,29 @@
 //! The acceptance criteria this file pins down:
 //!
 //! * the serial-vs-overlapped equivalence law holds over the pipe
-//!   transport for K ∈ {1, 4, 8} — including under crash injection;
+//!   transport for K ∈ {1, 4, 8} — including under crash injection —
+//!   in **both** transport modes: spawn (process per in-flight query)
+//!   and session (K `(push 1)`/`(pop 1)` scopes multiplexed on one
+//!   persistent process per lane);
 //! * a crashing solver process becomes a `…::pipe::process-died` crash
-//!   finding (and a respawn), never a hang;
+//!   finding (and a respawn), never a hang — and in session mode a
+//!   crash mid-scope costs exactly that one finding: pending sibling
+//!   scopes replay onto the respawned process, never lost, never
+//!   duplicated;
 //! * a wedged solver process is killed at the per-query deadline and
 //!   becomes a `…::pipe::wedged` crash finding, never a hang;
-//! * `sat` answers fetch and parse real `(model …)` replies off the pipe.
+//! * `sat` answers fetch and parse real `(model …)` replies off the pipe;
+//! * process churn is observable: a session campaign at K = 8 keeps
+//!   **one process per lane** (plus respawns) where spawn mode pays at
+//!   least K, and a spawn lane reused via `(reset)` answers bit-for-bit
+//!   like a fresh process per query.
 
 use o4a_core::{CampaignConfig, CampaignResult, Fuzzer, Once4AllFuzzer};
 use o4a_exec::{run_campaign_sharded, run_shard_piped, ExecConfig, Parallelism, PipeBackend};
 use o4a_smtlib::Symbol;
-use o4a_solvers::{Outcome, PipeCommand, PipeSolver, SmtSolver, SolverId, TRUNK_COMMIT};
+use o4a_solvers::{
+    Outcome, PipeCommand, PipeSolver, SmtSolver, SolverId, SolverMode, TRUNK_COMMIT,
+};
 use std::time::{Duration, Instant};
 
 /// The mock solver binary, built by cargo before this suite runs.
@@ -42,7 +54,11 @@ fn quick_config() -> CampaignConfig {
 }
 
 /// Everything observable, bit-comparable. Coverage is omitted: external
-/// processes report none, so the maps are empty on every path.
+/// processes report none, so the maps are empty on every path. Stats are
+/// compared **without** the transport churn counters: in spawn mode how
+/// many children a lane fans out across is a real-time scheduling fact,
+/// not a campaign observable (session-mode tests compare the full stats
+/// separately — there the counters are deterministic too).
 type Fingerprint = (
     o4a_core::CampaignStats,
     Vec<(String, SolverId, String, Option<String>, u64)>,
@@ -51,7 +67,7 @@ type Fingerprint = (
 
 fn fingerprint(result: &CampaignResult) -> Fingerprint {
     (
-        result.stats.clone(),
+        result.stats.sans_transport(),
         result
             .findings
             .iter()
@@ -154,6 +170,7 @@ fn sharded_engine_over_pipes_is_deterministic() {
         inflight: 4,
         solver_cmd: Some(mock_cmd("--latency-ms 2")),
         solver_timeout_ms: None,
+        solver_mode: SolverMode::Spawn,
     };
     let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
     let a = run_campaign_sharded(factory, &config, &exec);
@@ -230,4 +247,279 @@ fn sat_reply_carries_a_parsed_model() {
     // Process reuse: both queries were served by one child over (reset).
     assert_eq!(solver.processes_spawned(), 1);
     assert_eq!(solver.respawns(), 0);
+}
+
+// ------------------------------------------------------------- session mode
+
+fn session_backend(extra: &str) -> PipeBackend {
+    PipeBackend::new(mock_cmd(extra)).with_mode(SolverMode::Session)
+}
+
+/// The tentpole law on the session transport: a campaign that
+/// multiplexes its queries as `(push 1)`/`(pop 1)` scopes on one
+/// persistent process per lane is bit-identical whether 1, 4, or 8
+/// scopes are in flight — stats, findings, and snapshots. The mock's
+/// answers are pure functions of the reconstructed scope-stack script,
+/// so which scope lands where on the shared stream cannot leak
+/// scheduling into results. (Transport counters measure *executed*
+/// transport work — at K > 1 the engine speculatively executes up to
+/// K − 1 cases past the budget boundary and discards them at apply
+/// time, so churn is compared per-K below, not across K.)
+#[test]
+fn session_campaign_is_identical_for_k_1_4_8() {
+    let config = quick_config();
+    let backend = session_backend("--latency-ms 3");
+    let reference = piped_shard(&config, 1, &backend);
+    assert!(reference.stats.cases > 0, "reference ran no cases");
+    assert!(
+        reference.stats.decisive > 0,
+        "mock never answered sat/unsat over the session transport"
+    );
+    assert_eq!(
+        reference.stats.processes_spawned, 2,
+        "one persistent process per lane (2 lanes) at K = 1"
+    );
+    assert_eq!(reference.stats.process_respawns, 0);
+    // No speculation at K = 1: exactly one scope per applied query.
+    assert_eq!(
+        reference.stats.scopes_pushed,
+        reference.stats.cases * 2,
+        "every query is one scope on its lane's session"
+    );
+    let reference = fingerprint(&reference);
+    for k in [4usize, 8] {
+        let overlapped = piped_shard(&config, k, &backend);
+        assert_eq!(
+            overlapped.stats.processes_spawned, 2,
+            "one persistent process per lane at K = {k}"
+        );
+        assert!(
+            overlapped.stats.scopes_pushed >= overlapped.stats.cases * 2,
+            "every applied query occupied a scope at K = {k}"
+        );
+        assert_eq!(
+            fingerprint(&overlapped),
+            reference,
+            "K={k} diverged from serial on the session transport"
+        );
+    }
+}
+
+/// Crash injection mid-scope: when the child dies processing one scope,
+/// exactly that query becomes a `…::pipe::process-died` finding and the
+/// sibling scopes pending on the same stream replay onto the respawned
+/// process — never lost, never duplicated — so the campaign stays
+/// bit-identical across K. (Replays keep the law because answers depend
+/// only on the reconstructed scope script, not on which process
+/// incarnation serves it.)
+#[test]
+fn session_crash_injection_mid_scope_preserves_equivalence() {
+    let config = quick_config();
+    let backend = session_backend("--crash-mod 5 --latency-ms 2");
+    let started = Instant::now();
+    let reference = piped_shard(&config, 1, &backend);
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "crash-injected session campaign took implausibly long — wedged?"
+    );
+    let died = reference
+        .findings
+        .iter()
+        .filter(|f| {
+            f.signature
+                .as_deref()
+                .is_some_and(|s| s.ends_with("::pipe::process-died"))
+        })
+        .count();
+    assert!(
+        died > 0,
+        "crash-mod 5 produced no process-died findings in {} cases",
+        reference.stats.cases
+    );
+    assert!(
+        reference.stats.process_respawns >= died as u64,
+        "every crashed scope respawns the session"
+    );
+    let reference = fingerprint(&reference);
+    for k in [4usize, 8] {
+        let overlapped = piped_shard(&config, k, &backend);
+        // One initial process per lane; each extra spawn is a respawn (a
+        // lane whose *last* scope crashed counts the respawn without
+        // ever needing the fresh process, hence ≤).
+        assert!(
+            overlapped.stats.processes_spawned >= 2
+                && overlapped.stats.processes_spawned <= 2 + overlapped.stats.process_respawns,
+            "session churn at K = {k}: {} processes for {} respawns",
+            overlapped.stats.processes_spawned,
+            overlapped.stats.process_respawns
+        );
+        assert_eq!(
+            fingerprint(&overlapped),
+            reference,
+            "K={k} diverged under crash injection mid-scope"
+        );
+    }
+}
+
+/// Session and spawn transports agree bit-for-bit on everything but
+/// process churn: the mock fingerprints the reconstructed scope-stack
+/// script (prologue and framing stripped), so a script checked inside a
+/// `(push 1)` scope answers exactly like the same script on a fresh
+/// process.
+#[test]
+fn session_campaign_matches_spawn_campaign() {
+    let config = quick_config();
+    let spawn = piped_shard(&config, 4, &PipeBackend::new(mock_cmd("--latency-ms 2")));
+    let session = piped_shard(&config, 4, &session_backend("--latency-ms 2"));
+    assert_eq!(
+        fingerprint(&session),
+        fingerprint(&spawn),
+        "transport mode leaked into campaign results"
+    );
+}
+
+/// The churn claim of the refactor, measured end to end: at K = 8 a
+/// session campaign keeps one process per lane where spawn mode pays at
+/// least K across the lanes — the spawn-vs-prologue-vs-reset overhead
+/// this PR removes from the hot path.
+#[test]
+fn session_k8_keeps_one_process_per_lane_where_spawn_fans_out() {
+    let config = quick_config();
+    let session = piped_shard(&config, 8, &session_backend("--latency-ms 2"));
+    assert_eq!(
+        session.stats.processes_spawned, 2,
+        "session mode: one persistent process per lane at K = 8"
+    );
+    assert_eq!(session.stats.process_respawns, 0);
+    let spawn = piped_shard(&config, 8, &PipeBackend::new(mock_cmd("--latency-ms 2")));
+    assert!(
+        spawn.stats.processes_spawned >= 8,
+        "spawn mode at K = 8 fans out across at least K processes, got {}",
+        spawn.stats.processes_spawned
+    );
+    assert_eq!(
+        spawn.stats.scopes_pushed, 0,
+        "spawn mode opens no incremental scopes"
+    );
+}
+
+/// A wedge mid-scope: the per-query deadline kills the persistent
+/// process, blames the scope the child was stuck on, and the lane
+/// recovers — sibling queries land on the respawned session.
+#[test]
+fn session_wedge_mid_scope_is_killed_and_lane_recovers() {
+    let cmd = mock_cmd("--answer sat --wedge-on WEDGE-MARKER");
+    let mut solver = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(0),
+        SolverId::OxiZ,
+        TRUNK_COMMIT,
+    )
+    .with_mode(SolverMode::Session)
+    .with_timeout(Duration::from_millis(200));
+
+    let healthy = solver.check("(assert true)\n(check-sat)");
+    assert_eq!(healthy.outcome, Outcome::Sat);
+    let started = Instant::now();
+    let wedged = solver.check("(assert true) ; WEDGE-MARKER\n(check-sat)");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "per-query deadline did not fire on the session"
+    );
+    match wedged.outcome {
+        Outcome::Crash(info) => assert_eq!(info.signature, "oxiz::pipe::wedged"),
+        other => panic!("expected wedge crash finding, got {other}"),
+    }
+    assert_eq!(solver.respawns(), 1);
+    let recovered = solver.check("(assert false)\n(check-sat)");
+    assert_eq!(recovered.outcome, Outcome::Sat, "--answer sat forces sat");
+    assert_eq!(solver.processes_spawned(), 2);
+}
+
+/// `sat` scopes carry models in session mode too — the `(get-model)`
+/// rides inside the frame, and the parsed model matches what the same
+/// query yields over the spawn transport.
+#[test]
+fn session_sat_scope_carries_the_same_model_as_spawn() {
+    let cmd = mock_cmd("--answer sat");
+    let script = "(declare-const x Int)(declare-const p Bool)(assert p)\n(check-sat)";
+    let mut spawn = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(1),
+        SolverId::Cervo,
+        TRUNK_COMMIT,
+    );
+    let mut session = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(1),
+        SolverId::Cervo,
+        TRUNK_COMMIT,
+    )
+    .with_mode(SolverMode::Session);
+    let spawn_response = spawn.check(script);
+    let session_response = session.check(script);
+    assert_eq!(spawn_response.outcome, Outcome::Sat);
+    assert_eq!(session_response.outcome, Outcome::Sat);
+    assert!(
+        session_response.model.is_some(),
+        "session sat needs a model"
+    );
+    assert_eq!(
+        session_response.model, spawn_response.model,
+        "model diverged between transports"
+    );
+    let x = Symbol::new("x");
+    assert!(session_response
+        .model
+        .as_ref()
+        .unwrap()
+        .get_const(&x)
+        .is_some());
+}
+
+// ------------------------------------------------- spawn-mode reuse parity
+
+/// The invariant session mode inherits, pinned where it originates: a
+/// spawn-mode lane that **reuses one child across queries via
+/// `(reset)`** answers bit-identically to a fresh process per query.
+/// (The mock hashes the accumulated-then-reset script text, so reuse is
+/// only sound because `(reset)` really clears the scope state — which is
+/// exactly what session mode relies on `(pop 1)` for.)
+#[test]
+fn spawn_lane_reused_via_reset_matches_fresh_process_per_query() {
+    let cmd = mock_cmd("--latency-ms 1");
+    let scripts: Vec<String> = (0..6)
+        .map(|i| format!("(declare-const x Int)(assert (> x {i}))\n(check-sat)"))
+        .collect();
+    let mut reused = PipeSolver::standalone(
+        PipeCommand::parse(&cmd).unwrap().for_lane(0),
+        SolverId::OxiZ,
+        TRUNK_COMMIT,
+    );
+    let reused_responses: Vec<_> = scripts.iter().map(|s| reused.check(s)).collect();
+    assert_eq!(
+        reused.processes_spawned(),
+        1,
+        "serial queries must reuse one child via (reset)"
+    );
+    let fresh_responses: Vec<_> = scripts
+        .iter()
+        .map(|s| {
+            let mut fresh = PipeSolver::standalone(
+                PipeCommand::parse(&cmd).unwrap().for_lane(0),
+                SolverId::OxiZ,
+                TRUNK_COMMIT,
+            );
+            let response = fresh.check(s);
+            assert_eq!(fresh.processes_spawned(), 1);
+            response
+        })
+        .collect();
+    assert_eq!(
+        reused_responses, fresh_responses,
+        "(reset) reuse leaked state between queries"
+    );
+    assert!(
+        reused_responses
+            .iter()
+            .any(|r| matches!(r.outcome, Outcome::Sat | Outcome::Unsat)),
+        "the parity sweep never exercised a decisive answer"
+    );
 }

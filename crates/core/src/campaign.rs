@@ -91,6 +91,22 @@ pub struct CampaignStats {
     /// Setup cost in virtual seconds (the LLM one-time investment for
     /// Once4All; per-request costs land in case generation instead).
     pub setup_virtual_seconds: u64,
+    /// Solver child processes spawned by the pipe transport (including
+    /// respawns after crashes/wedges); zero for in-process backends.
+    /// A transport-work observable, not a campaign one: it counts what
+    /// was *executed* (spawn-mode fan-out depends on real-time overlap,
+    /// and any mode executes up to K − 1 speculative queries past the
+    /// budget boundary), so equivalence comparisons go through
+    /// [`CampaignStats::sans_transport`]. In session mode the count is
+    /// one persistent process per lane plus respawns, at any K.
+    pub processes_spawned: u64,
+    /// Pipe-transport processes lost to crashes or wedges and replaced.
+    pub process_respawns: u64,
+    /// Incremental `(push 1)`/`(pop 1)` scopes opened on persistent
+    /// solver sessions — one per executed query in session mode
+    /// (speculative overrun included; crash replays are respawn
+    /// bookkeeping and not re-counted), zero in spawn mode.
+    pub scopes_pushed: u64,
 }
 
 impl CampaignStats {
@@ -115,6 +131,28 @@ impl CampaignStats {
         self.decisive += other.decisive;
         self.virtual_seconds += other.virtual_seconds;
         self.setup_virtual_seconds += other.setup_virtual_seconds;
+        self.processes_spawned += other.processes_spawned;
+        self.process_respawns += other.process_respawns;
+        self.scopes_pushed += other.scopes_pushed;
+    }
+
+    /// This stats block with the solver-transport churn counters zeroed.
+    ///
+    /// Process churn is an execution-schedule observable, not a campaign
+    /// one: spawn-mode fan-out depends on how queries overlap in real
+    /// time, and at K > 1 either mode executes speculative queries past
+    /// the budget boundary that apply-time discards. The serial ≡
+    /// K-in-flight equivalence law therefore compares campaigns through
+    /// this view; the churn claims themselves (one process per lane in
+    /// session mode, ≥ K in spawn mode) are pinned per-K by the pipe
+    /// gauntlet.
+    pub fn sans_transport(&self) -> CampaignStats {
+        CampaignStats {
+            processes_spawned: 0,
+            process_respawns: 0,
+            scopes_pushed: 0,
+            ..self.clone()
+        }
     }
 }
 
@@ -604,6 +642,9 @@ mod tests {
             decisive: 7,
             virtual_seconds: 3_600,
             setup_virtual_seconds: 60,
+            processes_spawned: 5,
+            process_respawns: 2,
+            scopes_pushed: 40,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -614,7 +655,15 @@ mod tests {
         assert_eq!(b.decisive, 14);
         assert_eq!(b.virtual_seconds, 7_200);
         assert_eq!(b.setup_virtual_seconds, 120);
+        assert_eq!(b.processes_spawned, 10);
+        assert_eq!(b.process_respawns, 4);
+        assert_eq!(b.scopes_pushed, 80);
         assert!((b.mean_bytes() - 100.0).abs() < 1e-9);
+        let scrubbed = b.sans_transport();
+        assert_eq!(scrubbed.cases, b.cases);
+        assert_eq!(scrubbed.processes_spawned, 0);
+        assert_eq!(scrubbed.process_respawns, 0);
+        assert_eq!(scrubbed.scopes_pushed, 0);
     }
 
     #[test]

@@ -33,10 +33,17 @@
 //!   ([`run_shard_piped`], [`o4a_solvers::PipeSolver`]): scripts stream
 //!   to the child's stdin, replies parse incrementally from its stdout
 //!   via the fd reactor's `poll(2)`, and crashed or wedged processes
-//!   become crash findings (killed + respawned), never hangs. The
-//!   overlap-equivalence law holds over this transport too — proven
+//!   become crash findings (killed + respawned), never hangs.
+//!   [`ExecConfig::solver_mode`] (the `O4A_SOLVER_MODE` knob) picks the
+//!   transport: `spawn` fans `K` in-flight queries out across up to `K`
+//!   children per lane, `session` multiplexes them as `(push 1)` /
+//!   `(pop 1)` scopes on **one persistent incremental process per
+//!   lane**. The overlap-equivalence law holds over both — proven
 //!   against the deterministic mock solver in
-//!   `crates/bench/tests/pipe_backend.rs`.
+//!   `crates/bench/tests/pipe_backend.rs`, crash injection included —
+//!   and per-lane process churn surfaces in
+//!   [`o4a_core::CampaignStats`] (`processes_spawned`,
+//!   `process_respawns`, `scopes_pushed`).
 //!
 //! ```no_run
 //! use o4a_core::{CampaignConfig, Fuzzer, Once4AllFuzzer};

@@ -30,9 +30,14 @@
 //! * [`run_shard_piped`] — **external solver processes**
 //!   ([`o4a_solvers::PipeSolver`]) answering over stdin/stdout pipes,
 //!   with the worker blocking in the fd reactor's `poll(2)` while all
-//!   in-flight queries wait on their children. Same sequencing, same
-//!   equivalence law (`crates/bench/tests/pipe_backend.rs` proves it
-//!   against the deterministic mock solver for K ∈ {1, 4, 8}).
+//!   in-flight queries wait on their children. [`PipeBackend::mode`]
+//!   picks the transport: spawn mode fans `K` in-flight queries out
+//!   across up to `K` processes per lane; session mode multiplexes them
+//!   as `(push 1)`/`(pop 1)` scopes on **one persistent process per
+//!   lane**. Same sequencing, same equivalence law
+//!   (`crates/bench/tests/pipe_backend.rs` proves it against the
+//!   deterministic mock solver for K ∈ {1, 4, 8} in both modes,
+//!   including under crash injection mid-scope).
 
 use crate::shard::FindingSink;
 use o4a_core::{
@@ -42,6 +47,7 @@ use o4a_core::{
 use o4a_executor::{FdReactor, InFlightPool, Sequencer};
 use o4a_solvers::{
     solver_with_config, AsyncSmtSolver, LatencyModel, LatencySolver, PipeCommand, PipeSolver,
+    SolverMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,8 +70,8 @@ fn lane_latency(shard_seed: u64, lane: usize) -> LatencyModel {
 }
 
 /// The external-process solver backend configuration: the command line
-/// every lane spawns (with `{lane}` substituted per solver lane) and the
-/// per-query wall-clock deadline.
+/// every lane spawns (with `{lane}` substituted per solver lane), the
+/// per-query wall-clock deadline, and the transport mode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PipeBackend {
     /// The solver command line (the `O4A_SOLVER_CMD` knob), whitespace
@@ -74,18 +80,25 @@ pub struct PipeBackend {
     /// Per-query deadline: a child with no complete reply by then is
     /// killed and the query becomes a `…::pipe::wedged` crash finding.
     pub timeout: Duration,
+    /// Transport mode (the `O4A_SOLVER_MODE` knob): [`SolverMode::Spawn`]
+    /// fans `K` in-flight queries out across up to `K` processes per
+    /// lane; [`SolverMode::Session`] multiplexes them as `(push 1)` /
+    /// `(pop 1)` scopes on **one persistent process per lane**.
+    pub mode: SolverMode,
 }
 
 impl PipeBackend {
     /// A backend over `command` with the default per-query deadline
-    /// ([`o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT`]). The sharded
-    /// engine overrides it from [`crate::ExecConfig::solver_timeout_ms`]
-    /// (the `O4A_SOLVER_TIMEOUT_MS` knob, via `ExecConfig::from_env`);
-    /// programmatic callers use [`PipeBackend::with_timeout`].
+    /// ([`o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT`]) in spawn mode. The
+    /// sharded engine overrides both from [`crate::ExecConfig`] (the
+    /// `O4A_SOLVER_TIMEOUT_MS` / `O4A_SOLVER_MODE` knobs, via
+    /// `ExecConfig::from_env`); programmatic callers use
+    /// [`PipeBackend::with_timeout`] / [`PipeBackend::with_mode`].
     pub fn new(command: impl Into<String>) -> PipeBackend {
         PipeBackend {
             command: command.into(),
             timeout: o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT,
+            mode: SolverMode::Spawn,
         }
     }
 
@@ -95,13 +108,17 @@ impl PipeBackend {
         self
     }
 
+    /// Selects the transport mode.
+    pub fn with_mode(mut self, mode: SolverMode) -> PipeBackend {
+        self.mode = mode;
+        self
+    }
+
     /// Builds the per-lane [`PipeSolver`] bank for one shard worker, all
-    /// lanes sharing `reactor`.
-    fn bank(
-        &self,
-        shard_config: &CampaignConfig,
-        reactor: &Rc<FdReactor>,
-    ) -> Vec<Box<dyn AsyncSmtSolver>> {
+    /// lanes sharing `reactor`. Concrete lane handles come back (rather
+    /// than boxed trait objects) so the shard runner can harvest the
+    /// per-lane transport counters after the campaign.
+    fn bank(&self, shard_config: &CampaignConfig, reactor: &Rc<FdReactor>) -> Vec<PipeSolver> {
         let command = PipeCommand::parse(&self.command)
             .unwrap_or_else(|| panic!("empty solver command '{}'", self.command));
         shard_config
@@ -109,10 +126,9 @@ impl PipeBackend {
             .iter()
             .enumerate()
             .map(|(lane, &(id, commit))| {
-                Box::new(
-                    PipeSolver::new(command.for_lane(lane), id, commit, Rc::clone(reactor))
-                        .with_timeout(self.timeout),
-                ) as Box<dyn AsyncSmtSolver>
+                PipeSolver::new(command.for_lane(lane), id, commit, Rc::clone(reactor))
+                    .with_timeout(self.timeout)
+                    .with_mode(self.mode)
             })
             .collect()
     }
@@ -121,7 +137,7 @@ impl PipeBackend {
 /// One case's in-flight work: every solver lane queried in campaign
 /// order, with each lane's latency (simulated ticks or a real pipe
 /// round-trip) awaited before its result is available.
-async fn case_future(solvers: &[Box<dyn AsyncSmtSolver>], case: TestCase) -> CaseExecution {
+async fn case_future(solvers: &[&dyn AsyncSmtSolver], case: TestCase) -> CaseExecution {
     let mut runs = Vec::with_capacity(solvers.len());
     for solver in solvers {
         let check = solver.check_async(case.text.clone()).await;
@@ -161,15 +177,20 @@ pub fn run_shard_overlapped(
             )) as Box<dyn AsyncSmtSolver>
         })
         .collect();
-    run_shard_on(
+    let lanes: Vec<&dyn AsyncSmtSolver> = solvers.iter().map(Box::as_ref).collect();
+    let result = run_shard_on(
         fuzzer,
         shard_config,
         shard,
         sink,
         inflight,
-        &solvers,
+        &lanes,
         &mut || {},
-    )
+    );
+    if let Some(sink) = sink {
+        sink.on_shard_complete(shard, &result);
+    }
+    result
 }
 
 /// Runs one shard with up to `inflight` overlapped cases against
@@ -177,6 +198,15 @@ pub fn run_shard_overlapped(
 /// in-flight query waits on a child pipe, the worker blocks in the fd
 /// reactor's `poll(2)` — no busy-wait — and a crashed or wedged child
 /// becomes a crash finding, never a hang.
+///
+/// Lane ownership follows [`PipeBackend::mode`]: in spawn mode each lane
+/// fans `inflight` queries out across up to `inflight` children; in
+/// session mode `inflight = K` means **K `(push 1)`/`(pop 1)` scopes on
+/// one persistent process per lane**, multiplexed over a single pipe.
+/// Either way the per-lane transport counters (processes spawned,
+/// respawns, scopes pushed) are folded into the shard's
+/// [`o4a_core::CampaignStats`] before the sink sees the completed shard,
+/// so process churn is measurable from any campaign summary.
 ///
 /// # Panics
 ///
@@ -191,19 +221,32 @@ pub fn run_shard_piped(
 ) -> CampaignResult {
     let reactor = Rc::new(FdReactor::new());
     let solvers = backend.bank(shard_config, &reactor);
-    run_shard_on(
+    let lanes: Vec<&dyn AsyncSmtSolver> = solvers
+        .iter()
+        .map(|lane| lane as &dyn AsyncSmtSolver)
+        .collect();
+    let mut result = run_shard_on(
         fuzzer,
         shard_config,
         shard,
         sink,
         inflight,
-        &solvers,
+        &lanes,
         &mut || {
             reactor
                 .poll_io(None)
                 .expect("fd reactor poll(2) failed while queries were in flight");
         },
-    )
+    );
+    for lane in &solvers {
+        result.stats.processes_spawned += lane.processes_spawned();
+        result.stats.process_respawns += lane.respawns();
+        result.stats.scopes_pushed += lane.scopes_pushed();
+    }
+    if let Some(sink) = sink {
+        sink.on_shard_complete(shard, &result);
+    }
+    result
 }
 
 /// The transport-agnostic overlapped shard loop: generate in case order,
@@ -211,13 +254,17 @@ pub fn run_shard_piped(
 /// completions, apply in order. `idle` runs when a poll round finds no
 /// runnable future and must wake at least one (a no-op for tick-driven
 /// banks, the reactor's blocking `poll(2)` for pipe-driven ones).
+///
+/// Findings stream to `sink` during the run; the **caller** reports
+/// shard completion (after folding in any transport-level stats), so
+/// `sink.on_shard_complete` always sees the final result.
 fn run_shard_on(
     fuzzer: &mut dyn Fuzzer,
     shard_config: &CampaignConfig,
     shard: u32,
     sink: Option<&dyn FindingSink>,
     inflight: usize,
-    solvers: &[Box<dyn AsyncSmtSolver>],
+    solvers: &[&dyn AsyncSmtSolver],
     idle: &mut dyn FnMut(),
 ) -> CampaignResult {
     assert!(inflight >= 1, "need at least one in-flight slot");
@@ -258,9 +305,5 @@ fn run_shard_on(
     }
     debug_assert_eq!(sequencer.held(), 0, "completions drained in order");
 
-    let result = stepper.finish(fuzzer.name());
-    if let Some(sink) = sink {
-        sink.on_shard_complete(shard, &result);
-    }
-    result
+    stepper.finish(fuzzer.name())
 }

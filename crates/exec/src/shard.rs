@@ -25,7 +25,7 @@ use o4a_core::{
     Finding, Fuzzer, HourlySnapshot, StepOutcome,
 };
 use o4a_solvers::coverage::universe;
-use o4a_solvers::CoverageMap;
+use o4a_solvers::{CoverageMap, SolverMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -82,6 +82,13 @@ pub struct ExecConfig {
     /// [`o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT`]. Ignored without
     /// [`ExecConfig::solver_cmd`].
     pub solver_timeout_ms: Option<u64>,
+    /// Pipe-transport mode (the `O4A_SOLVER_MODE` knob):
+    /// [`SolverMode::Spawn`] (default) fans `inflight` queries out
+    /// across up to `inflight` child processes per lane;
+    /// [`SolverMode::Session`] multiplexes them as `(push 1)`/`(pop 1)`
+    /// scopes on **one persistent incremental process per lane**.
+    /// Ignored without [`ExecConfig::solver_cmd`].
+    pub solver_mode: SolverMode,
 }
 
 impl Default for ExecConfig {
@@ -92,6 +99,7 @@ impl Default for ExecConfig {
             inflight: 1,
             solver_cmd: None,
             solver_timeout_ms: None,
+            solver_mode: SolverMode::Spawn,
         }
     }
 }
@@ -101,8 +109,10 @@ impl ExecConfig {
     /// count, default 1 — the paper's serial protocol), `O4A_WORKERS`
     /// (worker threads; `1` forces [`Parallelism::Serial`], unset means
     /// [`Parallelism::Auto`]), `O4A_INFLIGHT` (overlapped queries per
-    /// worker, default 1), and `O4A_SOLVER_CMD` (external solver command;
-    /// unset or blank keeps the in-process engines). Invalid or zero
+    /// worker, default 1), `O4A_SOLVER_CMD` (external solver command;
+    /// unset or blank keeps the in-process engines), and
+    /// `O4A_SOLVER_MODE` (`spawn` or `session` — process-per-query vs.
+    /// one persistent incremental session per lane). Invalid or zero
     /// values fall back to defaults.
     pub fn from_env() -> ExecConfig {
         fn parse<T: std::str::FromStr + PartialOrd + From<u8>>(name: &str) -> Option<T> {
@@ -125,6 +135,10 @@ impl ExecConfig {
                 .map(|v| v.trim().to_string())
                 .filter(|v| !v.is_empty()),
             solver_timeout_ms: parse::<u64>("O4A_SOLVER_TIMEOUT_MS"),
+            solver_mode: std::env::var("O4A_SOLVER_MODE")
+                .ok()
+                .and_then(|v| SolverMode::parse(&v))
+                .unwrap_or_default(),
         }
     }
 }
@@ -259,7 +273,7 @@ where
         .collect();
     let workers = exec.parallelism.workers(todo.len());
     let pipe_backend = exec.solver_cmd.as_ref().map(|cmd| {
-        let backend = crate::overlap::PipeBackend::new(cmd.clone());
+        let backend = crate::overlap::PipeBackend::new(cmd.clone()).with_mode(exec.solver_mode);
         match exec.solver_timeout_ms {
             Some(ms) => backend.with_timeout(std::time::Duration::from_millis(ms)),
             None => backend,

@@ -231,6 +231,9 @@ fn stats_record(stats: &CampaignStats) -> Json {
             "setup_virtual_seconds",
             Json::U64(stats.setup_virtual_seconds),
         ),
+        ("processes_spawned", Json::U64(stats.processes_spawned)),
+        ("process_respawns", Json::U64(stats.process_respawns)),
+        ("scopes_pushed", Json::U64(stats.scopes_pushed)),
     ])
 }
 
@@ -299,6 +302,12 @@ fn u64_field(record: &Json, key: &str) -> io::Result<u64> {
         .ok_or_else(|| bad(format!("missing integer field '{key}'")))
 }
 
+/// A `u64` field that may be absent (journal forward-compat): `0` when
+/// missing.
+fn opt_u64_field(record: &Json, key: &str) -> u64 {
+    record.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
 fn f64_field(record: &Json, key: &str) -> io::Result<f64> {
     record
         .get(key)
@@ -356,6 +365,11 @@ fn decode_stats(record: &Json) -> io::Result<CampaignStats> {
         decisive: u64_field(record, "decisive")?,
         virtual_seconds: u64_field(record, "virtual_seconds")?,
         setup_virtual_seconds: u64_field(record, "setup_virtual_seconds")?,
+        // Transport counters are absent from journals written before the
+        // session-lane engine; read them leniently so old journals resume.
+        processes_spawned: opt_u64_field(record, "processes_spawned"),
+        process_respawns: opt_u64_field(record, "process_respawns"),
+        scopes_pushed: opt_u64_field(record, "scopes_pushed"),
     })
 }
 

@@ -195,7 +195,7 @@ fn solver_process_died_findings_are_crash_safe_across_kill_resume() {
         parallelism: Parallelism::Serial, // deterministic journal line order
         inflight: 4,
         solver_cmd: Some("true".into()),
-        solver_timeout_ms: None,
+        ..ExecConfig::default()
     };
 
     let path = journal_path("pipe-crash");

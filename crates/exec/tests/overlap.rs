@@ -184,6 +184,24 @@ fn exec_config_env_default_is_serial() {
     }
 }
 
+/// The `O4A_SOLVER_MODE` knob: unset (or unparseable) means spawn —
+/// process-per-query stays the default transport — and the CI session
+/// legs reach the engine through the same string the env carries.
+#[test]
+fn exec_config_solver_mode_knob_parses() {
+    use o4a_solvers::SolverMode;
+    match std::env::var("O4A_SOLVER_MODE") {
+        Err(_) => assert_eq!(ExecConfig::from_env().solver_mode, SolverMode::Spawn),
+        Ok(raw) => assert_eq!(
+            ExecConfig::from_env().solver_mode,
+            SolverMode::parse(&raw).unwrap_or_default()
+        ),
+    }
+    assert_eq!(SolverMode::parse("session"), Some(SolverMode::Session));
+    assert_eq!(SolverMode::parse(" SPAWN "), Some(SolverMode::Spawn));
+    assert_eq!(SolverMode::parse("both"), None);
+}
+
 /// A campaign routed through the env knob exactly as the production
 /// drivers (`o4a-bench::exec_knob`) are: whatever `O4A_INFLIGHT` the
 /// environment sets — the CI matrix runs the suite at 1 and 8 — the
@@ -197,8 +215,7 @@ fn env_routed_inflight_matches_serial() {
         shards: 1,
         parallelism: Parallelism::Serial,
         inflight: ExecConfig::from_env().inflight,
-        solver_cmd: None,
-        solver_timeout_ms: None,
+        ..ExecConfig::default()
     };
     let result = run_campaign_sharded(
         |_shard| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn o4a_core::Fuzzer>,

@@ -19,8 +19,14 @@
 //! future re-registering on its next `WouldBlock`), and every registration
 //! may carry a **deadline**: `poll_io` never sleeps past the earliest one
 //! and wakes expired waiters, which is how per-query solver timeouts fire
-//! without a timer thread. The reactor is single-threaded by design, like
-//! the rest of the executor — share it within a worker via `Rc`.
+//! without a timer thread. One fd may carry many registrations at once —
+//! a persistent solver session multiplexes several pending query futures
+//! onto one child stdout — and a readiness event wakes **all** of them
+//! (each re-checks its own completion and re-arms if still waiting); a
+//! future resolved by any other wake source deregisters its entry by
+//! token so nothing stale ever fires. The reactor is single-threaded by
+//! design, like the rest of the executor — share it within a worker via
+//! `Rc`.
 
 use std::cell::RefCell;
 use std::io::{self, Read};
@@ -92,6 +98,7 @@ impl Interest {
 }
 
 struct Entry {
+    token: u64,
     fd: RawFd,
     events: i16,
     waker: Waker,
@@ -105,10 +112,20 @@ struct Entry {
 /// the module docs for how this slots into the executor's no-busy-wait
 /// argument.
 ///
+/// **Fan-out contract:** one fd may carry *several* registrations at
+/// once — a persistent solver session multiplexes many pending query
+/// futures onto one child stdout — and a single readiness event wakes
+/// *every* registration on that fd. A future whose reply is instead
+/// completed by a sibling (which drained the shared stream) must
+/// [`deregister`](FdReactor::deregister) its entry when it resolves;
+/// [`FdReady`] does this automatically, so a stale registration can
+/// never make a later [`poll_io`] wake a task that no longer exists.
+///
 /// [`poll_io`]: FdReactor::poll_io
 #[derive(Default)]
 pub struct FdReactor {
     entries: RefCell<Vec<Entry>>,
+    next_token: std::cell::Cell<u64>,
 }
 
 impl FdReactor {
@@ -125,14 +142,34 @@ impl FdReactor {
     /// Registers a one-shot waiter: `waker` fires when `fd` reaches the
     /// requested readiness (or hits hup/error), or when `deadline`
     /// passes, whichever comes first. The registration is consumed by
-    /// the wake.
-    pub fn register(&self, fd: RawFd, interest: Interest, waker: Waker, deadline: Option<Instant>) {
+    /// the wake. Returns a token for [`deregister`](FdReactor::deregister)
+    /// — callers whose future can resolve through another wake source
+    /// (e.g. a session sibling completing their reply) must cancel the
+    /// entry on resolution so it cannot fire stale.
+    pub fn register(
+        &self,
+        fd: RawFd,
+        interest: Interest,
+        waker: Waker,
+        deadline: Option<Instant>,
+    ) -> u64 {
+        let token = self.next_token.get();
+        self.next_token.set(token + 1);
         self.entries.borrow_mut().push(Entry {
+            token,
             fd,
             events: interest.events(),
             waker,
             deadline,
         });
+        token
+    }
+
+    /// Cancels a registration by token. A no-op when the entry already
+    /// fired (one-shot registrations are removed by the wake), so
+    /// resolve-time cleanup is always safe to call.
+    pub fn deregister(&self, token: u64) {
+        self.entries.borrow_mut().retain(|e| e.token != token);
     }
 
     /// Waits for readiness: blocks in `poll(2)` until at least one
@@ -229,11 +266,17 @@ fn wait_millis(d: Duration) -> i32 {
 /// distinguishes the two by checking the clock and retrying its I/O.
 /// Spurious resolutions are benign: the I/O returns `WouldBlock` again
 /// and the caller awaits a fresh [`readable`]/[`writable`].
+///
+/// The future may also be resolved by an *external* wake (a session
+/// sibling completing this task's reply and waking it directly); it then
+/// deregisters its reactor entry so the stale registration cannot fire
+/// later. Dropping an armed `FdReady` deregisters too.
 pub struct FdReady<'r> {
     reactor: &'r FdReactor,
     fd: RawFd,
     interest: Interest,
     deadline: Option<Instant>,
+    token: Option<u64>,
     armed: bool,
 }
 
@@ -258,6 +301,7 @@ fn ready_for(
         fd,
         interest,
         deadline,
+        token: None,
         armed: false,
     }
 }
@@ -267,13 +311,28 @@ impl std::future::Future for FdReady<'_> {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.armed {
-            // We were woken by the reactor (readiness or deadline).
+            // Woken — by the reactor (readiness or deadline, which
+            // consumed the entry) or by an external waker (entry still
+            // live: cancel it so it cannot fire stale).
+            if let Some(token) = self.token.take() {
+                self.reactor.deregister(token);
+            }
             Poll::Ready(())
         } else {
-            self.reactor
-                .register(self.fd, self.interest, cx.waker().clone(), self.deadline);
+            let token =
+                self.reactor
+                    .register(self.fd, self.interest, cx.waker().clone(), self.deadline);
+            self.token = Some(token);
             self.armed = true;
             Poll::Pending
+        }
+    }
+}
+
+impl Drop for FdReady<'_> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.reactor.deregister(token);
         }
     }
 }
@@ -475,6 +534,80 @@ mod tests {
     fn poll_io_on_empty_reactor_is_a_noop() {
         let reactor = FdReactor::new();
         assert_eq!(reactor.poll_io(Some(Duration::from_millis(1))).unwrap(), 0);
+    }
+
+    /// The fan-out contract: several futures pending on ONE fd (a
+    /// persistent solver session multiplexing many queries onto one child
+    /// stdout) are all woken by a single readiness event.
+    #[test]
+    fn one_readable_fd_wakes_every_registered_waiter() {
+        use std::os::unix::io::AsRawFd;
+        let mut child = chatter("x", 25);
+        let stdout = child.stdout.take().unwrap();
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd).unwrap();
+        let reactor = FdReactor::new();
+        let mut pool: InFlightPool<u64> = InFlightPool::new(3);
+        for i in 0..3u64 {
+            let reactor = &reactor;
+            pool.submit(i, async move {
+                readable(reactor, fd, None).await;
+                i
+            });
+        }
+        // One poll round parks all three on the same fd.
+        assert!(pool.poll_round().is_empty());
+        assert_eq!(reactor.registered(), 3, "three waiters on one fd");
+        let woken = reactor.poll_io(None).unwrap();
+        assert_eq!(woken, 3, "one readiness event wakes every waiter");
+        let mut done: Vec<u64> = pool.poll_round().into_iter().map(|(i, _)| i).collect();
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2]);
+        child.wait().unwrap();
+    }
+
+    /// A future resolved by an external wake (not the reactor) cancels
+    /// its registration on resolution — and a dropped armed future
+    /// cancels too — so no stale entry can wake a dead task later.
+    #[test]
+    fn externally_woken_fd_future_deregisters_its_entry() {
+        use crate::WakeFlag;
+        use std::future::Future;
+        use std::os::unix::io::AsRawFd;
+        let mut child = Command::new("sleep")
+            .arg("5")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sleep");
+        let stdout = child.stdout.take().unwrap();
+        let fd = stdout.as_raw_fd();
+        set_nonblocking(fd).unwrap();
+        let reactor = FdReactor::new();
+        let flag = WakeFlag::new();
+        let waker = flag.waker();
+        let mut cx = Context::from_waker(&waker);
+        {
+            let mut fut = std::pin::pin!(readable(&reactor, fd, None));
+            assert!(fut.as_mut().poll(&mut cx).is_pending());
+            assert_eq!(reactor.registered(), 1);
+            // External wake — e.g. a session sibling that drained the
+            // shared stream delivered this task's reply directly.
+            waker.wake_by_ref();
+            assert!(fut.as_mut().poll(&mut cx).is_ready());
+            assert_eq!(
+                reactor.registered(),
+                0,
+                "spurious resolution must deregister the stale entry"
+            );
+        }
+        {
+            let mut fut = std::pin::pin!(readable(&reactor, fd, None));
+            assert!(fut.as_mut().poll(&mut cx).is_pending());
+            assert_eq!(reactor.registered(), 1);
+        } // dropped while armed
+        assert_eq!(reactor.registered(), 0, "drop must deregister");
+        child.kill().ok();
+        child.wait().ok();
     }
 
     #[test]

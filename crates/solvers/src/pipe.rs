@@ -7,10 +7,24 @@
 //! scripts (the same printed text the in-process engines consume) to the
 //! child's stdin, and incrementally parses `sat`/`unsat`/`unknown`/model
 //! replies from its stdout through the fd reactor in `o4a-executor` — so
-//! a shard worker keeps `K` queries in flight across child processes
-//! without threads or busy-waiting. Reply parsing is **torn-read safe**:
-//! [`ReplyParser`] consumes bytes in whatever chunks the pipe delivers
-//! and only releases complete lines / balanced s-expressions.
+//! a shard worker keeps `K` queries in flight without threads or
+//! busy-waiting. Reply parsing is **torn-read safe**: [`ReplyParser`]
+//! consumes bytes in whatever chunks the pipe delivers and only releases
+//! complete lines / balanced s-expressions.
+//!
+//! Two transports share the lane ([`SolverMode`]):
+//!
+//! * **spawn** — one child per concurrently outstanding query, reused
+//!   via `(reset)` between queries; `K` overlapped checks fan out across
+//!   up to `K` processes per lane.
+//! * **session** — one **persistent incremental session** per lane:
+//!   every query becomes a `(push 1)` / script / `(get-model)` /
+//!   `(pop 1)` frame on a single child, `K` frames in flight on one
+//!   stream. The child answers frames in wire order, so a FIFO of
+//!   pending query ids maps the shared reply stream back to the query
+//!   futures (an id → completion map hands results over out of poll
+//!   order); spawn + prologue + `(reset)` costs are paid once per lane
+//!   instead of once per query.
 //!
 //! Failure containment is the point of the backend:
 //!
@@ -34,12 +48,17 @@ use crate::versions::CommitIdx;
 use crate::{CoverageMap, SmtSolver};
 use o4a_executor::{
     block_on_with, read_available, readable, set_nonblocking, writable, write_available, FdReactor,
+    Interest,
 };
 use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
 use std::io;
 use std::os::unix::io::{AsRawFd, RawFd};
+use std::pin::Pin;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 /// Default per-query wall-clock deadline. Generous next to mock latencies
@@ -242,6 +261,17 @@ impl ReplyParser {
     }
 }
 
+/// Extracts the quoted message from an `(error "msg")` reply line, used
+/// identically by both transports so they report the same text for the
+/// same solver error.
+fn error_message(reply: &str) -> String {
+    reply
+        .split('"')
+        .nth(1)
+        .unwrap_or("solver error")
+        .to_string()
+}
+
 /// Parses a `(get-model)` reply into a [`o4a_smtlib::Model`].
 ///
 /// Accepts both the classic `(model (define-fun ...) ...)` shape and the
@@ -275,30 +305,121 @@ pub fn parse_model_reply(text: &str) -> Option<o4a_smtlib::Model> {
     Some(model)
 }
 
+// -------------------------------------------------------------- SolverMode
+
+/// How a [`PipeSolver`] lane drives its child process(es).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverMode {
+    /// One child per concurrently outstanding query, reused via
+    /// `(reset)` between queries — `K` overlapped checks fan out across
+    /// up to `K` processes per lane (the classic transport).
+    #[default]
+    Spawn,
+    /// One **persistent incremental session** per lane: every query is a
+    /// `(push 1)` … `(pop 1)` scope on a single long-lived child, `K`
+    /// scopes in flight on one stream (the `O4A_SOLVER_MODE=session`
+    /// knob; `z3 -in` and `cvc5 --incremental` both speak this).
+    Session,
+}
+
+impl SolverMode {
+    /// Parses the `O4A_SOLVER_MODE` knob value (`spawn` / `session`,
+    /// case-insensitive); `None` for anything else.
+    pub fn parse(text: &str) -> Option<SolverMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "spawn" => Some(SolverMode::Spawn),
+            "session" => Some(SolverMode::Session),
+            _ => None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Session
+
+/// One query outstanding on a persistent session.
+struct SessionQuery {
+    /// Script text, kept verbatim so the query can be **replayed** onto a
+    /// respawned process when a sibling's crash takes the session down.
+    text: String,
+    /// Waker of the owning future, stored on await — the sibling that
+    /// drains the shared stream hands completions over through it.
+    waker: Option<Waker>,
+}
+
+/// A finished session query, parked in the id → completion map until its
+/// owning future claims it.
+enum SessionReply {
+    /// A complete frame reply: the verdict line plus the model-slot
+    /// s-expression (every session frame carries `(get-model)`, so the
+    /// stream stays framed even for non-`sat` verdicts).
+    Answered { verdict: String, model_sexp: String },
+    /// The child died (EOF) or wedged (deadline) while this query's
+    /// frame was at the head of the reply queue.
+    Died(PipeDeath),
+    /// An `(error …)` verdict: the stream can no longer be trusted to
+    /// sit on a frame boundary, so the session was retired around this
+    /// query (parity with spawn mode, which retires the child).
+    Error(String),
+    /// The session process could not be (re)spawned.
+    SpawnFailed(String),
+}
+
+/// Per-lane persistent-session state: one child, many scopes in flight.
+///
+/// `pending` holds query ids in **wire order** — the child answers
+/// frames strictly in the order their `(check-sat)`s entered its stdin,
+/// which is what maps replies on the single shared stream back to
+/// queries. `completed` is the id → result map futures claim from, in
+/// whatever order the executor polls them.
+#[derive(Default)]
+struct Session {
+    proc: Option<SolverProcess>,
+    /// Request bytes the child's stdin pipe has not yet accepted. Frames
+    /// are appended whole, so concurrent queries can never interleave
+    /// mid-frame.
+    outbuf: Vec<u8>,
+    pending: VecDeque<u64>,
+    queries: BTreeMap<u64, SessionQuery>,
+    completed: BTreeMap<u64, SessionReply>,
+    /// The head frame's verdict line, once read, while its model slot is
+    /// still incomplete on the stream.
+    head_verdict: Option<String>,
+    /// When the current head frame reached the head of the queue — the
+    /// start of its **service clock**. The per-query timeout measures
+    /// time the child spends on a frame, not time since enqueue, so
+    /// frames queued behind slow-but-progressing siblings are never
+    /// spuriously blamed as wedged.
+    head_since: Option<Instant>,
+    next_id: u64,
+}
+
 // -------------------------------------------------------------- PipeSolver
 
 /// An external solver process bank behind the [`SmtSolver`] /
 /// [`AsyncSmtSolver`] interfaces.
 ///
 /// One `PipeSolver` plays one solver lane of a differential campaign: it
-/// reports the [`SolverId`] it stands in for, spawns child processes
-/// from its [`PipeCommand`] on demand (one per concurrently outstanding
-/// query — overlapped checks against one lane fan out across processes),
-/// reuses them via `(reset)` between queries, and kills/respawns them on
-/// crash or wedge. External processes report no coverage, so coverage
-/// maps stay empty and per-query deltas are empty maps.
+/// reports the [`SolverId`] it stands in for and drives child processes
+/// spawned from its [`PipeCommand`] per its [`SolverMode`] — a pool of
+/// `(reset)`-reused children in spawn mode, one persistent `(push 1)` /
+/// `(pop 1)` incremental session in session mode — killing/respawning
+/// them on crash or wedge. External processes report no coverage, so
+/// coverage maps stay empty and per-query deltas are empty maps.
 pub struct PipeSolver {
     id: SolverId,
     commit: CommitIdx,
     command: PipeCommand,
     reactor: Rc<FdReactor>,
     timeout: Duration,
+    mode: SolverMode,
     idle: RefCell<Vec<SolverProcess>>,
+    session: RefCell<Session>,
     empty_coverage: CoverageMap,
     universe: Universe,
     submitted: Cell<u64>,
     spawned: Cell<u64>,
     respawns: Cell<u64>,
+    scopes: Cell<u64>,
 }
 
 /// How a child became unusable mid-query.
@@ -324,12 +445,15 @@ impl PipeSolver {
             command,
             reactor,
             timeout: DEFAULT_QUERY_TIMEOUT,
+            mode: SolverMode::Spawn,
             idle: RefCell::new(Vec::new()),
+            session: RefCell::new(Session::default()),
             empty_coverage: CoverageMap::new(),
             universe: universe(id),
             submitted: Cell::new(0),
             spawned: Cell::new(0),
             respawns: Cell::new(0),
+            scopes: Cell::new(0),
         }
     }
 
@@ -343,6 +467,17 @@ impl PipeSolver {
     pub fn with_timeout(mut self, timeout: Duration) -> PipeSolver {
         self.timeout = timeout;
         self
+    }
+
+    /// Selects the transport mode (default [`SolverMode::Spawn`]).
+    pub fn with_mode(mut self, mode: SolverMode) -> PipeSolver {
+        self.mode = mode;
+        self
+    }
+
+    /// The transport mode in force.
+    pub fn mode(&self) -> SolverMode {
+        self.mode
     }
 
     /// The per-query deadline in force.
@@ -360,19 +495,34 @@ impl PipeSolver {
         self.spawned.get()
     }
 
-    /// Processes lost to crashes or wedges (each triggers a respawn on
-    /// the next query that needs a child).
+    /// Processes retired and replaced. In spawn mode: children lost to
+    /// crashes or wedges (each triggers a respawn on the next query that
+    /// needs a child). In session mode: **every** retirement — death,
+    /// wedge, error-desync, or an idle exit — so that
+    /// `processes_spawned ≤ lanes + respawns` holds for any solver.
     pub fn respawns(&self) -> u64 {
         self.respawns.get()
+    }
+
+    /// Incremental `(push 1)` scopes opened on the persistent session —
+    /// one per query in session mode (crash replays are not re-counted,
+    /// so the counter is a pure function of the query stream), zero in
+    /// spawn mode.
+    pub fn scopes_pushed(&self) -> u64 {
+        self.scopes.get()
+    }
+
+    fn spawn_counted(&self) -> io::Result<SolverProcess> {
+        let proc = self.command.spawn()?;
+        self.spawned.set(self.spawned.get() + 1);
+        Ok(proc)
     }
 
     fn acquire(&self) -> io::Result<SolverProcess> {
         if let Some(proc) = self.idle.borrow_mut().pop() {
             return Ok(proc);
         }
-        let proc = self.command.spawn()?;
-        self.spawned.set(self.spawned.get() + 1);
-        Ok(proc)
+        self.spawn_counted()
     }
 
     /// Returns a healthy child to the idle pool for the next query; a
@@ -419,8 +569,9 @@ impl PipeSolver {
         Ok(())
     }
 
-    fn lost_process(&self, death: &PipeDeath) -> SolverResponse {
-        self.respawns.set(self.respawns.get() + 1);
+    /// The crash-finding response for a dead or wedged child (no counter
+    /// side effects — the caller decides when a respawn is charged).
+    fn death_response(&self, death: &PipeDeath) -> SolverResponse {
         let (reason, kind) = match death {
             PipeDeath::Eof => ("process-died", CrashKind::SegFault),
             PipeDeath::Wedged => ("wedged", CrashKind::InternalException),
@@ -433,6 +584,11 @@ impl PipeSolver {
             model: None,
             stats: SolveStats::default(),
         }
+    }
+
+    fn lost_process(&self, death: &PipeDeath) -> SolverResponse {
+        self.respawns.set(self.respawns.get() + 1);
+        self.death_response(death)
     }
 
     /// Reads the next complete reply line, waking on fd readiness.
@@ -489,6 +645,13 @@ impl PipeSolver {
     }
 
     async fn run_query(&self, text: &str) -> SolverResponse {
+        match self.mode {
+            SolverMode::Spawn => self.run_query_spawn(text).await,
+            SolverMode::Session => self.run_query_session(text).await,
+        }
+    }
+
+    async fn run_query_spawn(&self, text: &str) -> SolverResponse {
         let mut proc = match self.acquire() {
             Ok(proc) => proc,
             Err(e) => {
@@ -555,12 +718,7 @@ impl PipeSolver {
                 // Keep the message, retire the child: after an error we
                 // cannot trust the stream to be positioned on a reply
                 // boundary. (Dropping `proc` kills + reaps it.)
-                let msg = other
-                    .split('"')
-                    .nth(1)
-                    .unwrap_or("solver error")
-                    .to_string();
-                return SolverResponse::error(msg);
+                return SolverResponse::error(error_message(other));
             }
             other => {
                 return SolverResponse::error(format!("unrecognized solver reply '{other}'"));
@@ -571,6 +729,398 @@ impl PipeSolver {
             outcome,
             model: None,
             stats: SolveStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------ session mode
+
+    /// The incremental frame one query occupies on the session stream.
+    /// `(get-model)` rides in every frame — the verdict is not known when
+    /// the frame is written, and a fixed verdict-line + model-sexp shape
+    /// per frame is what keeps the shared stream parseable (real solvers
+    /// answer the model request after `unsat` with an `(error …)`
+    /// s-expression, which parses and is discarded).
+    fn frame(text: &str) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(text.len() + 40);
+        frame.extend_from_slice(b"(push 1)\n");
+        frame.extend_from_slice(text.as_bytes());
+        frame.extend_from_slice(b"\n(get-model)\n(pop 1)\n");
+        frame
+    }
+
+    /// Admits one query to the session: assigns its id, appends its
+    /// frame whole to the outgoing buffer, and queues it in wire order.
+    /// A session process is spawned on first use (or after a loss whose
+    /// replay set was empty).
+    fn session_enqueue(&self, text: &str) -> u64 {
+        let mut guard = self.session.borrow_mut();
+        let s = &mut *guard;
+        let id = s.next_id;
+        s.next_id += 1;
+        if s.proc.is_none() {
+            match self.spawn_counted() {
+                Ok(proc) => s.proc = Some(proc),
+                Err(e) => {
+                    s.completed.insert(
+                        id,
+                        SessionReply::SpawnFailed(format!(
+                            "failed to spawn solver process '{}': {e}",
+                            self.command.program()
+                        )),
+                    );
+                    return id;
+                }
+            }
+        }
+        s.outbuf.extend_from_slice(&Self::frame(text));
+        if s.pending.is_empty() {
+            // This frame is the head: its service clock starts now.
+            s.head_since = Some(Instant::now());
+        }
+        s.pending.push_back(id);
+        s.queries.insert(
+            id,
+            SessionQuery {
+                text: text.to_string(),
+                waker: None,
+            },
+        );
+        self.scopes.set(self.scopes.get() + 1);
+        id
+    }
+
+    /// Parks a finished reply in the completion map and wakes the owning
+    /// future (it may have gone `Pending` before a sibling drained the
+    /// stream on its behalf).
+    fn session_complete(s: &mut Session, id: u64, reply: SessionReply) {
+        if let Some(query) = s.queries.remove(&id) {
+            if let Some(waker) = query.waker {
+                waker.wake();
+            }
+        }
+        s.completed.insert(id, reply);
+    }
+
+    /// Claims this query's completion, if a pump has produced it.
+    fn session_take(&self, id: u64) -> Option<SessionReply> {
+        self.session.borrow_mut().completed.remove(&id)
+    }
+
+    /// Drives the session's I/O once: flushes queued request bytes,
+    /// drains available reply bytes, and parses complete frames —
+    /// verdict line, then model s-expression — off the single stream in
+    /// wire order, handing each to its owner through the completion map.
+    /// EOF mid-stream becomes a head death (see
+    /// [`session_fail_head`](Self::session_fail_head)).
+    fn session_pump(&self) {
+        let mut guard = self.session.borrow_mut();
+        let s = &mut *guard;
+        if s.proc.is_none() {
+            return;
+        }
+        if !s.outbuf.is_empty() {
+            let proc = s.proc.as_mut().expect("checked above");
+            // Whatever the pipe does not accept stays queued (waiters
+            // register write interest while outbuf is non-empty); a
+            // write error is EPIPE from a dead child, and the read path
+            // is the judge of death (complete replies may already be
+            // buffered).
+            if let Ok(n) = write_available(&mut proc.stdin, &s.outbuf) {
+                s.outbuf.drain(..n);
+            }
+        }
+        let mut chunk = Vec::new();
+        let eof = {
+            let proc = s.proc.as_mut().expect("checked above");
+            match read_available(&mut proc.stdout, &mut chunk) {
+                Ok(Some(0)) => true,
+                Ok(Some(_)) => {
+                    proc.parser.feed(&chunk);
+                    false
+                }
+                Ok(None) => false,
+                Err(_) => true,
+            }
+        };
+        let mut fail: Option<SessionReply> = None;
+        while !s.pending.is_empty() {
+            if s.head_verdict.is_none() {
+                match s.proc.as_mut().and_then(|p| p.parser.take_line()) {
+                    Some(line) => s.head_verdict = Some(line),
+                    None => break,
+                }
+            }
+            if s.head_verdict
+                .as_deref()
+                .is_some_and(|v| v.starts_with("(error"))
+            {
+                let verdict = s.head_verdict.take().expect("checked above");
+                fail = Some(SessionReply::Error(error_message(&verdict)));
+                break;
+            }
+            match s.proc.as_mut().and_then(|p| p.parser.take_sexp()) {
+                Some(model_sexp) => {
+                    let verdict = s.head_verdict.take().expect("set above");
+                    let id = s.pending.pop_front().expect("loop guard");
+                    // The next frame (if any) becomes the head: its
+                    // service clock starts only now that the child is
+                    // free to work on it.
+                    s.head_since = (!s.pending.is_empty()).then(Instant::now);
+                    Self::session_complete(
+                        s,
+                        id,
+                        SessionReply::Answered {
+                            verdict,
+                            model_sexp,
+                        },
+                    );
+                }
+                None => break,
+            }
+        }
+        if fail.is_none() && eof {
+            if s.pending.is_empty() {
+                // The child exited while idle: nothing to blame it on —
+                // retire it and respawn on the next query (counted as a
+                // respawn so the churn invariant stays exact).
+                self.respawns.set(self.respawns.get() + 1);
+                s.proc = None;
+                s.outbuf.clear();
+                s.head_verdict = None;
+            } else {
+                fail = Some(SessionReply::Died(PipeDeath::Eof));
+            }
+        }
+        if let Some(reply) = fail {
+            self.session_fail_head(s, reply);
+        }
+    }
+
+    /// Retires the session process around a failed head query: the head
+    /// gets `reply`, the child is killed and reaped, and every other
+    /// pending query is **replayed** — re-framed onto a fresh process,
+    /// in the same wire order — so one query's crash costs exactly one
+    /// finding; in-flight siblings are never lost and never duplicated.
+    /// Only the prologue (written by spawn) is re-sent besides the
+    /// replayed frames.
+    ///
+    /// A verdict line that already crossed the pipe survives the death:
+    /// losing the child mid-frame costs the **model, never the verdict**
+    /// — the same contract the spawn transport's model round trip keeps
+    /// — so the head reports its verdict (model-less) and only a frame
+    /// with no verdict yet becomes the crash finding.
+    fn session_fail_head(&self, s: &mut Session, reply: SessionReply) {
+        // Every retirement counts as a respawn — death, wedge, or an
+        // error-desync retire alike — so the churn invariant
+        // `processes_spawned ≤ lanes + process_respawns` holds for any
+        // solver, including ones that answer `(error …)`.
+        self.respawns.set(self.respawns.get() + 1);
+        let head_reply = match s.head_verdict.take() {
+            Some(verdict) if matches!(reply, SessionReply::Died(_)) => SessionReply::Answered {
+                verdict,
+                model_sexp: String::new(),
+            },
+            _ => reply,
+        };
+        s.proc = None; // Drop kills (if needed) and reaps
+        s.outbuf.clear();
+        s.head_since = None;
+        if let Some(head) = s.pending.pop_front() {
+            Self::session_complete(s, head, head_reply);
+        }
+        let rest: Vec<u64> = s.pending.drain(..).collect();
+        if rest.is_empty() {
+            return;
+        }
+        match self.spawn_counted() {
+            Ok(proc) => {
+                s.proc = Some(proc);
+                // The first replayed frame is the new head; its service
+                // clock starts with the fresh process.
+                s.head_since = Some(Instant::now());
+                for id in rest {
+                    let query = s.queries.get_mut(&id).expect("pending queries are live");
+                    let frame = Self::frame(&query.text);
+                    s.outbuf.extend_from_slice(&frame);
+                    s.pending.push_back(id);
+                    // Wake the owner so it re-arms against the fresh
+                    // process (write interest for the replayed frames,
+                    // refreshed head deadline).
+                    if let Some(waker) = query.waker.take() {
+                        waker.wake();
+                    }
+                }
+            }
+            Err(e) => {
+                let msg = format!(
+                    "failed to spawn solver process '{}': {e}",
+                    self.command.program()
+                );
+                for id in rest {
+                    Self::session_complete(s, id, SessionReply::SpawnFailed(msg.clone()));
+                }
+            }
+        }
+    }
+
+    /// Fires the wall-clock wedge: when the **head** frame's service
+    /// clock (time since the child picked it up, not time since enqueue)
+    /// exceeds the per-query timeout with no complete reply, the child
+    /// is stuck on it — kill, blame the head, replay the rest. Only the
+    /// head has a running clock, so every waiter's deadline wake lands
+    /// here and the blame falls on the frame the child was actually
+    /// processing; frames queued behind slow-but-answering siblings are
+    /// never spuriously wedged.
+    fn session_check_wedge(&self) {
+        let mut guard = self.session.borrow_mut();
+        let s = &mut *guard;
+        if s.pending.is_empty() {
+            return;
+        }
+        let expired = s
+            .head_since
+            .is_some_and(|since| Instant::now() >= since + self.timeout);
+        if expired {
+            self.session_fail_head(s, SessionReply::Died(PipeDeath::Wedged));
+        }
+    }
+
+    fn decode_session_reply(&self, reply: SessionReply) -> SolverResponse {
+        match reply {
+            SessionReply::Answered {
+                verdict,
+                model_sexp,
+            } => {
+                let outcome = match verdict.as_str() {
+                    "sat" => {
+                        return SolverResponse {
+                            outcome: Outcome::Sat,
+                            model: parse_model_reply(&model_sexp),
+                            stats: SolveStats::default(),
+                        }
+                    }
+                    "unsat" => Outcome::Unsat,
+                    "unknown" => Outcome::Unknown,
+                    "timeout" => Outcome::Timeout,
+                    other => {
+                        return SolverResponse::error(format!(
+                            "unrecognized solver reply '{other}'"
+                        ))
+                    }
+                };
+                SolverResponse {
+                    outcome,
+                    model: None,
+                    stats: SolveStats::default(),
+                }
+            }
+            SessionReply::Died(death) => self.death_response(&death),
+            SessionReply::Error(msg) | SessionReply::SpawnFailed(msg) => SolverResponse::error(msg),
+        }
+    }
+
+    /// One query's life on the persistent session: enqueue the frame,
+    /// then pump the shared stream until this id's completion appears —
+    /// every waiter is a demultiplexer, whichever polls first does the
+    /// parsing and wakes the others through the completion map.
+    async fn run_query_session(&self, text: &str) -> SolverResponse {
+        let id = self.session_enqueue(text);
+        loop {
+            self.session_pump();
+            if let Some(reply) = self.session_take(id) {
+                return self.decode_session_reply(reply);
+            }
+            self.session_check_wedge();
+            if let Some(reply) = self.session_take(id) {
+                return self.decode_session_reply(reply);
+            }
+            SessionWait {
+                solver: self,
+                id,
+                armed: false,
+                tokens: [None, None],
+            }
+            .await;
+        }
+    }
+}
+
+/// The session's combined readiness wait: read interest on the child's
+/// stdout, write interest on its stdin while request bytes are queued,
+/// and the owner's per-query deadline — whichever fires first. On first
+/// poll it parks the owner's waker in the session (so a sibling that
+/// drains the stream can deliver this query's completion directly) and
+/// registers with the reactor; on resolution or drop it deregisters
+/// whatever it armed, so no stale registration survives to wake a
+/// finished task.
+struct SessionWait<'s> {
+    solver: &'s PipeSolver,
+    id: u64,
+    armed: bool,
+    tokens: [Option<u64>; 2],
+}
+
+impl Future for SessionWait<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        if this.armed {
+            for slot in &mut this.tokens {
+                if let Some(token) = slot.take() {
+                    this.solver.reactor.deregister(token);
+                }
+            }
+            return Poll::Ready(());
+        }
+        let mut guard = this.solver.session.borrow_mut();
+        let s = &mut *guard;
+        if s.completed.contains_key(&this.id) {
+            return Poll::Ready(());
+        }
+        match s.queries.get_mut(&this.id) {
+            Some(query) => query.waker = Some(cx.waker().clone()),
+            // Not pending and not completed cannot happen; resolve and
+            // let the caller's loop re-examine the session.
+            None => return Poll::Ready(()),
+        }
+        let Some(proc) = s.proc.as_ref() else {
+            // No live process (a replay's respawn failed moments ago):
+            // resolve so the loop re-checks the completion map.
+            return Poll::Ready(());
+        };
+        // Every waiter arms the HEAD frame's service deadline (the only
+        // clock that can expire): whoever wakes on it runs the wedge
+        // check, and the blame lands on the frame the child was actually
+        // processing. If the head changes while this waiter is parked,
+        // its registered deadline is merely early — a benign spurious
+        // wake followed by re-arming against the new head's clock.
+        let deadline = s.head_since.map(|since| since + this.solver.timeout);
+        this.tokens[0] = Some(this.solver.reactor.register(
+            proc.fd,
+            Interest::Read,
+            cx.waker().clone(),
+            deadline,
+        ));
+        if !s.outbuf.is_empty() {
+            this.tokens[1] = Some(this.solver.reactor.register(
+                proc.stdin_fd,
+                Interest::Write,
+                cx.waker().clone(),
+                deadline,
+            ));
+        }
+        this.armed = true;
+        Poll::Pending
+    }
+}
+
+impl Drop for SessionWait<'_> {
+    fn drop(&mut self) {
+        for slot in &mut self.tokens {
+            if let Some(token) = slot.take() {
+                self.solver.reactor.deregister(token);
+            }
         }
     }
 }
@@ -794,9 +1344,24 @@ pub mod mock {
 
     /// The mock's request loop: reads SMT-LIB requests from `input`,
     /// writes protocol replies to `output`. Requests are delimited by the
-    /// three commands the pipe backend sends — `(check-sat)` (ends a
-    /// script), `(get-model)`, `(reset)`; anything else (options,
-    /// prologue) is absorbed into the surrounding request text.
+    /// commands the pipe backend sends — `(check-sat)` (answers the
+    /// current scope stack), `(get-model)`, `(reset)`, and the **strict
+    /// incremental pair `(push 1)` / `(pop 1)`** the session transport
+    /// frames every query with; anything else (options, prologue,
+    /// assertions) is absorbed into the current scope's text.
+    ///
+    /// Scope semantics: the mock keeps a stack of script segments.
+    /// `(push 1)` opens a scope, `(pop 1)` discards the top one, and a
+    /// `(check-sat)` answers for the **reconstructed scope-stack script**
+    /// — the concatenation of every live scope, bottom to top. Every
+    /// decision is a pure function of that reconstruction (plus the
+    /// seeded config), so *when* a frame is served relative to its
+    /// session siblings cannot leak into its answer — the purity the
+    /// serial ≡ K-in-flight law stands on. Since [`fingerprint`] strips
+    /// `(set-option …)` lines, a script checked inside one pushed scope
+    /// on a prologue-only base answers exactly like the same script on a
+    /// fresh spawn-mode process: session and spawn transports are
+    /// bit-identical.
     ///
     /// # Errors
     ///
@@ -809,14 +1374,28 @@ pub mod mock {
     ) -> std::io::Result<MockExit> {
         let mut reader = std::io::BufReader::new(input);
         let mut buf: Vec<u8> = Vec::new();
+        let mut scopes: Vec<String> = vec![String::new()];
         let mut last_script = String::new();
         loop {
             while let Some((marker, end)) = earliest_marker(&buf) {
-                let segment = String::from_utf8_lossy(&buf[..end]).into_owned();
+                let marker_len = marker.needle().len();
+                let segment = String::from_utf8_lossy(&buf[..end - marker_len]).into_owned();
                 buf.drain(..end);
+                scopes
+                    .last_mut()
+                    .expect("scope stack never empties")
+                    .push_str(&segment);
                 match marker {
+                    Marker::Push => scopes.push(String::new()),
+                    Marker::Pop => {
+                        scopes.pop();
+                        if scopes.is_empty() {
+                            // Over-popping is a driver bug; stay servable.
+                            scopes.push(String::new());
+                        }
+                    }
                     Marker::CheckSat => {
-                        let script = segment.trim().to_string();
+                        let script = scopes.join("\n").trim().to_string();
                         match reply_for(config, &script) {
                             MockReply::Wedge => loop {
                                 // Keep reading (so the peer's writes never
@@ -848,7 +1427,11 @@ pub mod mock {
                         writeln!(output, "{}", model_for(config, &last_script))?;
                         output.flush()?;
                     }
-                    Marker::Reset => last_script.clear(),
+                    Marker::Reset => {
+                        scopes.clear();
+                        scopes.push(String::new());
+                        last_script.clear();
+                    }
                 }
             }
             let chunk = reader.fill_buf()?;
@@ -866,6 +1449,20 @@ pub mod mock {
         CheckSat,
         GetModel,
         Reset,
+        Push,
+        Pop,
+    }
+
+    impl Marker {
+        fn needle(self) -> &'static [u8] {
+            match self {
+                Marker::CheckSat => b"(check-sat)",
+                Marker::GetModel => b"(get-model)",
+                Marker::Reset => b"(reset)",
+                Marker::Push => b"(push 1)",
+                Marker::Pop => b"(pop 1)",
+            }
+        }
     }
 
     /// Finds the earliest fully-buffered request delimiter; returns it
@@ -877,12 +1474,14 @@ pub mod mock {
                 .map(|i| i + needle.len())
         };
         [
-            (Marker::CheckSat, find(b"(check-sat)")),
-            (Marker::GetModel, find(b"(get-model)")),
-            (Marker::Reset, find(b"(reset)")),
+            Marker::CheckSat,
+            Marker::GetModel,
+            Marker::Reset,
+            Marker::Push,
+            Marker::Pop,
         ]
         .into_iter()
-        .filter_map(|(m, at)| at.map(|i| (m, i)))
+        .filter_map(|m| find(m.needle()).map(|i| (m, i)))
         .min_by_key(|&(_, i)| i)
     }
 
@@ -1269,6 +1868,395 @@ mod tests {
     #[test]
     fn spawn_failure_is_an_error_response() {
         let mut solver = lane("/nonexistent/solver-binary");
+        let response = solver.check("(check-sat)");
+        assert!(matches!(response.outcome, Outcome::ParseError(_)));
+    }
+
+    // --------------------------------------------- multiplexed streams
+
+    /// A session stream interleaves several pending scopes' replies on
+    /// one pipe: verdict line, model s-expression, verdict line, model
+    /// s-expression, … The torn-read law must hold for the whole
+    /// multiplexed stream: splits at **every** byte boundary (all
+    /// two-way, plus a three-way sweep) release exactly the same units.
+    #[test]
+    fn multiplexed_session_replies_parse_identically_under_torn_reads() {
+        // Three frames' worth of replies, with the adversarial content
+        // of the single-reply sweep: negative values, a `)` inside a
+        // string, a model for a non-sat verdict (session frames always
+        // carry a model slot).
+        let stream = "sat\n(model\n  (define-fun x () Int (- 3))\n  \
+                      (define-fun s () String \"a)b\")\n)\n\
+                      unsat\n(model\n)\n\
+                      timeout\n(model\n  (define-fun b () Bool true)\n)\n";
+        let bytes = stream.as_bytes();
+        // The session reply discipline: line, sexp, line, sexp, ...
+        fn drain_frames(parser: &mut ReplyParser) -> Vec<(Option<String>, Option<String>)> {
+            (0..3)
+                .map(|_| (parser.take_line(), parser.take_sexp()))
+                .collect()
+        }
+        let mut reference = ReplyParser::new();
+        reference.feed(bytes);
+        let expected = drain_frames(&mut reference);
+        assert!(
+            expected.iter().all(|(l, s)| l.is_some() && s.is_some()),
+            "reference stream must hold three complete frames"
+        );
+        assert_eq!(reference.buffered(), 1, "trailing newline stays buffered");
+        for i in 0..=bytes.len() {
+            let mut parser = ReplyParser::new();
+            parser.feed(&bytes[..i]);
+            parser.feed(&bytes[i..]);
+            assert_eq!(drain_frames(&mut parser), expected, "two-way split at {i}");
+        }
+        for i in (0..=bytes.len()).step_by(3) {
+            for j in (i..=bytes.len()).step_by(7) {
+                let mut parser = ReplyParser::new();
+                parser.feed(&bytes[..i]);
+                parser.feed(&bytes[i..j]);
+                parser.feed(&bytes[j..]);
+                assert_eq!(
+                    drain_frames(&mut parser),
+                    expected,
+                    "three-way split {i}/{j}"
+                );
+            }
+        }
+    }
+
+    /// No frame releases early: a partial second verdict (or a model with
+    /// an unbalanced paren) stays buffered while the first frame is
+    /// already claimable.
+    #[test]
+    fn pending_frame_never_borrows_from_an_incomplete_sibling() {
+        let mut parser = ReplyParser::new();
+        parser.feed(b"sat\n(model (define-fun x () Int 1))\nunsa");
+        assert_eq!(parser.take_line().as_deref(), Some("sat"));
+        assert!(parser.take_sexp().is_some());
+        assert_eq!(parser.take_line(), None, "torn 'unsat' must not release");
+        parser.feed(b"t\n(model (define-fun y () Int 2)");
+        assert_eq!(parser.take_line().as_deref(), Some("unsat"));
+        assert_eq!(parser.take_sexp(), None, "unbalanced model must wait");
+        parser.feed(b")\n");
+        assert!(parser.take_sexp().unwrap().contains("define-fun y"));
+    }
+
+    // ------------------------------------------------- mock scope stack
+
+    /// The mock answers a session frame (`(push 1)` script `(get-model)`
+    /// `(pop 1)` on a prologue-only base) exactly like the same script
+    /// sent spawn-style on a fresh process — the reconstructed
+    /// scope-stack script is what gets fingerprinted, and the prologue
+    /// and framing commands never reach the hash.
+    #[test]
+    fn mock_session_frames_answer_like_spawn_requests() {
+        let config = MockConfig {
+            seed: 23,
+            ..MockConfig::default()
+        };
+        let scripts = [
+            "(declare-const x Int)\n(assert (> x 3))\n(check-sat)",
+            "(declare-const p Bool)\n(assert p)\n(check-sat)",
+            "(assert (= 1 2))\n(check-sat)",
+        ];
+        // Spawn-style: fresh serve per script, prologue first, reset
+        // between (mirrors PipeCommand::spawn + release).
+        let mut spawn_outputs = Vec::new();
+        for script in &scripts {
+            let request =
+                format!("(set-option :produce-models true)\n{script}\n(get-model)\n(reset)\n");
+            let mut output = Vec::new();
+            serve(&config, request.as_bytes(), &mut output).unwrap();
+            spawn_outputs.push(output);
+        }
+        // Session-style: ONE serve, every script a push/pop frame.
+        let mut session_request = String::from("(set-option :produce-models true)\n");
+        for script in &scripts {
+            session_request.push_str(&format!("(push 1)\n{script}\n(get-model)\n(pop 1)\n"));
+        }
+        let mut session_output = Vec::new();
+        serve(&config, session_request.as_bytes(), &mut session_output).unwrap();
+        let mut session_parser = ReplyParser::new();
+        session_parser.feed(&session_output);
+        for (i, spawn_output) in spawn_outputs.iter().enumerate() {
+            let mut spawn_parser = ReplyParser::new();
+            spawn_parser.feed(spawn_output);
+            assert_eq!(
+                session_parser.take_line(),
+                spawn_parser.take_line(),
+                "verdict diverged between transports for script {i}"
+            );
+            assert_eq!(
+                session_parser.take_sexp(),
+                spawn_parser.take_sexp(),
+                "model diverged between transports for script {i}"
+            );
+        }
+    }
+
+    /// Scope reconstruction is a stack: a check-sat inside a pushed
+    /// scope sees base + scope, and after the pop the same base-level
+    /// script answers as if the scope never existed.
+    #[test]
+    fn mock_scope_stack_reconstructs_and_unwinds() {
+        let config = MockConfig {
+            seed: 9,
+            ..MockConfig::default()
+        };
+        let base = "(declare-const x Int)\n(assert (> x 0))";
+        let extra = "(assert (< x 10))";
+        // One session: check base, then check base+extra inside a scope,
+        // then check base again after the pop.
+        let request =
+            format!("{base}\n(check-sat)\n(push 1)\n{extra}\n(check-sat)\n(pop 1)\n(check-sat)\n");
+        let mut output = Vec::new();
+        serve(&config, request.as_bytes(), &mut output).unwrap();
+        let mut parser = ReplyParser::new();
+        parser.feed(&output);
+        let first = parser.take_line().unwrap();
+        let stacked = parser.take_line().unwrap();
+        let unwound = parser.take_line().unwrap();
+        // The base-only verdicts agree with reply_for of the base text...
+        let expect = |script: &str| match reply_for(&config, script) {
+            MockReply::Answer { token, .. } => token,
+            other => panic!("expected an answer, got {other:?}"),
+        };
+        assert_eq!(first, expect(base));
+        assert_eq!(unwound, expect(base), "pop must unwind the scope");
+        // ...and the stacked verdict hashes the joined stack.
+        assert_eq!(stacked, expect(&format!("{base}\n{extra}")));
+    }
+
+    // --------------------------------------------- live session lanes
+
+    fn session_lane(cmdline: &str) -> PipeSolver {
+        PipeSolver::standalone(
+            PipeCommand::parse(cmdline).unwrap(),
+            SolverId::OxiZ,
+            crate::TRUNK_COMMIT,
+        )
+        .with_mode(SolverMode::Session)
+    }
+
+    /// A POSIX-sh responder that speaks the session protocol: `sat` for
+    /// every `(check-sat)` line, an empty model for every `(get-model)`.
+    /// Commands must arrive on their own lines (the tests' scripts put
+    /// `(check-sat)` on one).
+    const SH_SESSION_SOLVER: &str = r#"while read -r line; do
+        case "$line" in
+            "(check-sat)") echo sat;;
+            "(get-model)") echo "(model )";;
+        esac
+    done"#;
+
+    fn sh_session_lane() -> PipeSolver {
+        PipeSolver::standalone(
+            PipeCommand {
+                program: "sh".into(),
+                args: vec!["-c".into(), SH_SESSION_SOLVER.into()],
+            },
+            SolverId::OxiZ,
+            crate::TRUNK_COMMIT,
+        )
+        .with_mode(SolverMode::Session)
+    }
+
+    #[test]
+    fn session_reuses_one_process_across_queries() {
+        let mut solver = sh_session_lane();
+        for i in 0..3 {
+            let response = solver.check(&format!("(assert (> x {i}))\n(check-sat)"));
+            assert_eq!(response.outcome, Outcome::Sat, "query {i}");
+        }
+        assert_eq!(
+            solver.processes_spawned(),
+            1,
+            "one persistent process serves every query"
+        );
+        assert_eq!(solver.respawns(), 0);
+        assert_eq!(solver.scopes_pushed(), 3, "one (push 1) scope per query");
+    }
+
+    #[test]
+    fn session_multiplexes_overlapped_queries_on_one_process() {
+        use o4a_executor::InFlightPool;
+        let solver = sh_session_lane();
+        let reactor = Rc::clone(solver.reactor());
+        let mut pool: InFlightPool<AsyncCheck> = InFlightPool::new(4);
+        for i in 0..4u64 {
+            pool.submit(
+                i,
+                solver.check_async(format!("(assert (> x {i}))\n(check-sat)")),
+            );
+        }
+        let mut done = 0;
+        while !pool.is_empty() {
+            for (_, check) in pool.wait_any_with(|| {
+                reactor.poll_io(None).unwrap();
+            }) {
+                assert_eq!(check.response.outcome, Outcome::Sat);
+                done += 1;
+            }
+        }
+        assert_eq!(done, 4);
+        assert_eq!(
+            solver.processes_spawned(),
+            1,
+            "four in-flight scopes share one process"
+        );
+        assert_eq!(solver.scopes_pushed(), 4);
+    }
+
+    /// The per-query timeout is a **service clock**: frames queued
+    /// behind slow-but-answering siblings on the one session stream must
+    /// not be blamed as wedged just because their wait in the queue
+    /// exceeds the timeout. Four frames at ~300 ms of service each take
+    /// ~1.2 s total — past the 600 ms timeout from any enqueue-based
+    /// view — yet every one answers, with zero respawns.
+    #[test]
+    fn session_queue_wait_does_not_count_against_the_wedge_deadline() {
+        use o4a_executor::InFlightPool;
+        let responder = r#"while read -r line; do
+            case "$line" in
+                "(check-sat)") sleep 0.3; echo sat;;
+                "(get-model)") echo "(model )";;
+            esac
+        done"#;
+        let solver = PipeSolver::standalone(
+            PipeCommand {
+                program: "sh".into(),
+                args: vec!["-c".into(), responder.into()],
+            },
+            SolverId::OxiZ,
+            crate::TRUNK_COMMIT,
+        )
+        .with_mode(SolverMode::Session)
+        .with_timeout(Duration::from_millis(600));
+        let reactor = Rc::clone(solver.reactor());
+        let mut pool: InFlightPool<AsyncCheck> = InFlightPool::new(4);
+        for i in 0..4u64 {
+            pool.submit(
+                i,
+                solver.check_async(format!("(assert (> x {i}))\n(check-sat)")),
+            );
+        }
+        while !pool.is_empty() {
+            for (i, check) in pool.wait_any_with(|| {
+                reactor.poll_io(None).unwrap();
+            }) {
+                assert_eq!(
+                    check.response.outcome,
+                    Outcome::Sat,
+                    "queued frame {i} was blamed for its siblings' service time"
+                );
+            }
+        }
+        assert_eq!(solver.respawns(), 0, "no frame may be spuriously wedged");
+        assert_eq!(solver.processes_spawned(), 1);
+    }
+
+    /// A verdict that already crossed the pipe survives the child's
+    /// death: dying between the verdict line and the model s-expression
+    /// costs the model, never the verdict — the same contract the spawn
+    /// transport keeps for its model round trip.
+    #[test]
+    fn session_verdict_survives_death_before_the_model() {
+        let mut solver = PipeSolver::standalone(
+            PipeCommand {
+                program: "sh".into(),
+                args: vec![
+                    "-c".into(),
+                    // Answer the first (check-sat) with a verdict, then
+                    // die before the model slot.
+                    r#"while read -r line; do
+                        case "$line" in "(check-sat)") echo sat; exit 0;; esac
+                    done"#
+                        .into(),
+                ],
+            },
+            SolverId::OxiZ,
+            crate::TRUNK_COMMIT,
+        )
+        .with_mode(SolverMode::Session);
+        let response = solver.check("(assert true)\n(check-sat)");
+        assert_eq!(
+            response.outcome,
+            Outcome::Sat,
+            "a received verdict must not be rewritten into a crash finding"
+        );
+        assert_eq!(response.model, None, "the model died with the child");
+        assert_eq!(
+            solver.respawns(),
+            1,
+            "the dead child still counts as a lost process"
+        );
+    }
+
+    #[test]
+    fn session_process_death_is_a_crash_finding_and_lane_recovers() {
+        // `true` exits immediately: the first query dies, the next one
+        // respawns the session (against `true` again, so it dies too —
+        // what recovers is the *lane*, not the binary).
+        let mut solver = session_lane("true");
+        let response = solver.check("(assert true)\n(check-sat)");
+        match response.outcome {
+            Outcome::Crash(info) => {
+                assert_eq!(info.signature, "oxiz::pipe::process-died");
+                assert_eq!(info.kind, CrashKind::SegFault);
+            }
+            other => panic!("expected crash, got {other}"),
+        }
+        assert_eq!(solver.respawns(), 1);
+        let before = solver.processes_spawned();
+        let _ = solver.check("(check-sat)");
+        assert_eq!(
+            solver.processes_spawned(),
+            before + 1,
+            "the lane respawns the session for the next query"
+        );
+    }
+
+    #[test]
+    fn session_wedge_fires_at_the_deadline() {
+        let mut solver = session_lane("sleep 30").with_timeout(Duration::from_millis(150));
+        let started = Instant::now();
+        let response = solver.check("(check-sat)");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "session deadline did not fire"
+        );
+        match response.outcome {
+            Outcome::Crash(info) => {
+                assert_eq!(info.signature, "oxiz::pipe::wedged");
+                assert_eq!(info.kind, CrashKind::InternalException);
+            }
+            other => panic!("expected wedge crash, got {other}"),
+        }
+        assert_eq!(solver.respawns(), 1);
+    }
+
+    #[test]
+    fn session_error_verdict_maps_to_parse_error_and_retires_the_child() {
+        let mut solver = PipeSolver::standalone(
+            PipeCommand {
+                program: "sh".into(),
+                args: vec!["-c".into(), r#"printf '(error "out of memory")\n'"#.into()],
+            },
+            SolverId::Cervo,
+            crate::TRUNK_COMMIT,
+        )
+        .with_mode(SolverMode::Session);
+        let response = solver.check("(check-sat)");
+        assert_eq!(
+            response.outcome,
+            Outcome::ParseError("out of memory".into())
+        );
+    }
+
+    #[test]
+    fn session_spawn_failure_is_an_error_response() {
+        let mut solver = session_lane("/nonexistent/solver-binary");
         let response = solver.check("(check-sat)");
         assert!(matches!(response.outcome, Outcome::ParseError(_)));
     }
