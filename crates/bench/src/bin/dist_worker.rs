@@ -1,0 +1,91 @@
+//! The reference distributed-campaign worker binary: the lease-serving
+//! loop from `o4a_dist::worker` wrapped around the paper's Once4All
+//! fuzzer, so every worker of a fleet fuzzes with the identical
+//! configuration and a shard result stays a pure function of the plan.
+//!
+//! ```text
+//! dist_worker --journal PATH --worker N \
+//!     [--crash-shard S --crash-token PATH [--crash-after CASES]]
+//! ```
+//!
+//! The crash flags are the recovery gauntlet's fault injection: die
+//! abruptly mid-way through shard `S`, once per campaign (whoever wins
+//! the atomic creation of the token file crashes; every later holder of
+//! the lease runs it to completion). See `crates/dist/README.md` for
+//! the control protocol and the worker CLI contract.
+
+use o4a_core::{Fuzzer, Once4AllFuzzer};
+use o4a_dist::{run_worker, CrashInjection, WorkerConfig};
+use std::path::PathBuf;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("dist_worker: {msg}");
+    eprintln!(
+        "usage: dist_worker --journal PATH --worker N \
+         [--crash-shard S --crash-token PATH [--crash-after CASES]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut journal: Option<PathBuf> = None;
+    let mut worker_id: u32 = 0;
+    let mut crash_shard: Option<u32> = None;
+    let mut crash_token: Option<PathBuf> = None;
+    let mut crash_after: u64 = 5;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--journal" => journal = Some(PathBuf::from(value())),
+            "--worker" => {
+                worker_id = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--worker needs an integer"))
+            }
+            "--crash-shard" => {
+                crash_shard = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--crash-shard needs an integer")),
+                )
+            }
+            "--crash-token" => crash_token = Some(PathBuf::from(value())),
+            "--crash-after" => {
+                crash_after = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--crash-after needs an integer"))
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(journal) = journal else {
+        usage("--journal is required");
+    };
+    let crash = match (crash_shard, crash_token) {
+        (Some(shard), Some(token)) => Some(CrashInjection {
+            shard,
+            after_cases: crash_after,
+            token,
+        }),
+        (None, None) => None,
+        _ => usage("--crash-shard and --crash-token go together"),
+    };
+
+    let mut config = WorkerConfig::new(journal, worker_id);
+    config.crash = crash;
+    let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
+    if let Err(e) = run_worker(
+        factory,
+        &config,
+        std::io::stdin().lock(),
+        std::io::stdout().lock(),
+    ) {
+        eprintln!("dist_worker: {e}");
+        std::process::exit(1);
+    }
+}

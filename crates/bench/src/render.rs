@@ -190,6 +190,15 @@ pub fn render_stats(result: &CampaignResult) -> String {
         );
         let _ = writeln!(out, "incremental scopes pushed: {}", s.scopes_pushed);
     }
+    // Distribution-layer lease churn — only a distributed coordinator
+    // (`o4a-dist`) grants leases.
+    if s.leases_granted > 0 {
+        let _ = writeln!(
+            out,
+            "shard leases granted     : {} ({} re-issued after worker deaths)",
+            s.leases_granted, s.leases_reissued
+        );
+    }
     for (solver, cov) in &result.final_coverage {
         let _ = writeln!(
             out,
@@ -197,6 +206,46 @@ pub fn render_stats(result: &CampaignResult) -> String {
             solver.to_string(),
             cov.line_pct,
             cov.function_pct
+        );
+    }
+    out
+}
+
+/// Renders the fleet summary of a distributed campaign (`o4a-dist`):
+/// lease churn and per-worker throughput, the distribution-layer
+/// counterpart of the process-churn lines in [`render_stats`].
+pub fn render_dist_stats(stats: &o4a_dist::DistStats) -> String {
+    let mut out = header("Distributed campaign (o4a-dist)");
+    let _ = writeln!(
+        out,
+        "shard plan               : {} shards on {} workers",
+        stats.shards, stats.workers
+    );
+    let _ = writeln!(
+        out,
+        "worker processes spawned : {} ({} died or were killed as wedged)",
+        stats.workers_spawned, stats.worker_deaths
+    );
+    let _ = writeln!(
+        out,
+        "shard leases granted     : {} ({} re-issued after a worker died mid-lease)",
+        stats.leases_granted, stats.leases_reissued
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>9} {:>9} {:>13}  exit",
+        "worker", "leases", "cases", "wall", "throughput"
+    );
+    for w in &stats.per_worker {
+        let _ = writeln!(
+            out,
+            "w{:<7} {:>7} {:>9} {:>8.2}s {:>11.1}/s  {}",
+            w.worker,
+            w.leases_completed,
+            w.cases,
+            w.wall.as_secs_f64(),
+            w.cases_per_sec(),
+            if w.clean_exit { "clean" } else { "died" },
         );
     }
     out
@@ -258,6 +307,33 @@ mod tests {
         assert!(s.contains("45"));
         assert!(s.contains("43"));
         assert!(s.contains("40"));
+    }
+
+    #[test]
+    fn dist_stats_render_shows_lease_churn_and_throughput() {
+        let stats = o4a_dist::DistStats {
+            shards: 8,
+            workers: 4,
+            workers_spawned: 5,
+            worker_deaths: 1,
+            leases_granted: 9,
+            leases_reissued: 1,
+            per_worker: vec![o4a_dist::WorkerSummary {
+                worker: 0,
+                journal: std::path::PathBuf::from("/tmp/worker-0.jsonl"),
+                leases_completed: 3,
+                cases: 120,
+                wall: std::time::Duration::from_millis(800),
+                clean_exit: true,
+            }],
+        };
+        let s = render_dist_stats(&stats);
+        assert!(s.contains("8 shards on 4 workers"));
+        assert!(s.contains("9 (1 re-issued"));
+        assert!(s.contains("5 (1 died"));
+        assert!(s.contains("w0"));
+        assert!(s.contains("150.0/s"), "throughput column missing: {s}");
+        assert!(s.contains("clean"));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! The distributed-campaign gauntlet: the coordinator/worker engine
+//! (`o4a-dist`) driving real worker processes (built from
+//! `src/bin/dist_worker.rs`) against the in-process sharded engine.
+//!
+//! The acceptance criteria this file pins down:
+//!
+//! * a distributed campaign is **bit-identical** to the in-process
+//!   sharded run of the same plan — findings (down to the `vhour`
+//!   bits), final coverage maps, the **hourly snapshot series**
+//!   (lossless per-hour union, not the old per-shard-max lower bound),
+//!   and `CampaignStats::sans_transport` — for any fleet size;
+//! * killing a worker mid-lease changes nothing: the lease is
+//!   re-issued, the half-journaled shard re-derives deterministically,
+//!   and the merged result stays bit-identical while the lease-churn
+//!   counters record that it happened;
+//! * a fleet that never speaks the protocol is killed at the heartbeat
+//!   deadline and the campaign fails bounded-ly instead of hanging;
+//! * the fleet summary renders per-worker throughput and lease churn.
+
+use o4a_core::{CampaignConfig, CampaignResult, Fuzzer, Once4AllFuzzer};
+use o4a_dist::{run_distributed, DistConfig, DistReport};
+use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
+use o4a_solvers::coverage::universe;
+use o4a_solvers::SolverId;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The reference worker binary, built by cargo before this suite runs.
+const WORKER: &str = env!("CARGO_BIN_EXE_dist_worker");
+
+/// Total shards in the gauntlet plan. Fleet size varies; the plan never
+/// does — that is what makes every run comparable bit-for-bit.
+const SHARDS: u32 = 4;
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 50_000, // smoke scale: ~8 cases and a few findings per shard
+        max_cases: 120,
+        ..CampaignConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("o4a-dist-gauntlet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Everything observable, bit-comparable: stats (transport counters
+/// scrubbed — fleet size and worker deaths are transport facts),
+/// findings with their discovery hours, the hourly snapshot series
+/// including the per-solver coverage percentages, and the final
+/// coverage maps exported branch-by-branch.
+type Fingerprint = (
+    o4a_core::CampaignStats,
+    Vec<(String, SolverId, String, Option<String>, u64)>,
+    Vec<(u32, u64, usize, Vec<(SolverId, u64, u64)>)>,
+    Vec<(SolverId, Vec<(String, u32)>)>,
+);
+
+fn fingerprint(result: &CampaignResult) -> Fingerprint {
+    (
+        result.stats.sans_transport(),
+        result
+            .findings
+            .iter()
+            .map(|f| {
+                (
+                    f.case_text.clone(),
+                    f.solver,
+                    format!("{:?}", f.kind),
+                    f.signature.clone(),
+                    f.vhour.to_bits(),
+                )
+            })
+            .collect(),
+        result
+            .snapshots
+            .iter()
+            .map(|s| {
+                (
+                    s.hour,
+                    s.cases,
+                    s.issues,
+                    s.coverage
+                        .iter()
+                        .map(|(&id, p)| (id, p.line_pct.to_bits(), p.function_pct.to_bits()))
+                        .collect(),
+                )
+            })
+            .collect(),
+        result
+            .coverage
+            .iter()
+            .map(|(&id, map)| (id, map.export(&universe(id))))
+            .collect(),
+    )
+}
+
+fn dist_run(tag: &str, workers: u32, crash: bool) -> DistReport {
+    let dir = scratch_dir(tag);
+    let mut command = vec![WORKER.to_string()];
+    if crash {
+        // Die mid-way through shard 2 (which runs ~7 cases and records
+        // findings at this scale), once per campaign — the token's
+        // atomic creation is the latch.
+        command.extend([
+            "--crash-shard".into(),
+            "2".into(),
+            "--crash-after".into(),
+            "4".into(),
+            "--crash-token".into(),
+            dir.join("crash-token").display().to_string(),
+        ]);
+    }
+    let dist = DistConfig::new(command, dir.join("journals"))
+        .with_workers(workers)
+        .with_heartbeat_timeout(Duration::from_secs(30));
+    let report = run_distributed(&quick_config(), SHARDS, &dist).expect("distributed campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+fn in_process_reference() -> CampaignResult {
+    let exec = ExecConfig {
+        shards: SHARDS,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+    let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
+    run_campaign_sharded(factory, &quick_config(), &exec)
+}
+
+/// The tentpole law, single fleet: one worker process, leases served
+/// back to back, journals round-tripped through disk — bit-identical to
+/// the in-process sharded engine.
+#[test]
+fn single_worker_campaign_matches_in_process_sharded() {
+    let reference = in_process_reference();
+    assert!(reference.stats.cases > 0, "reference ran no cases");
+    assert!(
+        !reference.findings.is_empty(),
+        "reference found nothing — the findings legs of the gauntlet are vacuous"
+    );
+    let report = dist_run("w1", 1, false);
+    assert_eq!(
+        fingerprint(&report.result),
+        fingerprint(&reference),
+        "1-worker distributed campaign diverged from the in-process engine"
+    );
+    assert_eq!(report.stats.workers_spawned, 1);
+    assert_eq!(report.stats.leases_granted, SHARDS as u64);
+    assert_eq!(report.stats.leases_reissued, 0);
+    // Fleet churn is accounted as transport work on the merged stats.
+    assert_eq!(report.result.stats.processes_spawned, 1);
+    assert_eq!(report.result.stats.leases_granted, SHARDS as u64);
+}
+
+/// The acceptance criterion: a 4-worker fleet with one worker killed
+/// mid-lease produces findings, final coverage maps, hourly snapshot
+/// series, and `sans_transport` stats bit-identical to the undisturbed
+/// single-worker run — and the churn counters prove the crash actually
+/// happened and the lease was re-issued.
+#[test]
+fn four_workers_with_crash_mid_lease_are_bit_identical() {
+    let reference = dist_run("ref", 1, false);
+    let crashed = dist_run("crash4", 4, true);
+    assert!(
+        crashed.stats.worker_deaths >= 1,
+        "crash injection never fired"
+    );
+    assert!(
+        crashed.stats.leases_reissued >= 1,
+        "the killed worker's lease was not re-issued"
+    );
+    assert!(
+        crashed.stats.leases_granted > SHARDS as u64,
+        "a re-issued lease must be granted again"
+    );
+    assert_eq!(
+        fingerprint(&crashed.result),
+        fingerprint(&reference.result),
+        "a worker killed mid-lease leaked into the merged result"
+    );
+    // The replacement worker keeps the fleet at strength.
+    assert!(crashed.stats.workers_spawned >= 5);
+}
+
+/// Fleet-size sweep (the CI matrix reads the size from the
+/// environment): any number of workers, with or without crash
+/// injection, merges to the same campaign.
+#[test]
+fn fleet_size_from_env_matches_reference() {
+    let workers: u32 = std::env::var("O4A_DIST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+    let crash = std::env::var("O4A_DIST_CRASH").is_ok_and(|v| !v.is_empty() && v != "0");
+    let reference = in_process_reference();
+    let report = dist_run("env", workers, crash);
+    assert_eq!(
+        fingerprint(&report.result),
+        fingerprint(&reference),
+        "{workers}-worker fleet (crash: {crash}) diverged from the in-process engine"
+    );
+}
+
+/// Hourly snapshots merge losslessly across the distributed path: the
+/// final hour's percentages equal the final union coverage — the
+/// invariant the old per-shard-max lower bound broke for every
+/// multi-shard merge.
+#[test]
+fn distributed_hourly_series_is_exact() {
+    let report = dist_run("hourly", 2, false);
+    let last = report.result.snapshots.last().expect("snapshots");
+    assert_eq!(
+        last.coverage, report.result.final_coverage,
+        "final-hour snapshot must equal final union coverage"
+    );
+    assert_eq!(
+        report.result.hourly_coverage.len(),
+        report.result.snapshots.len(),
+        "merged result must carry its per-hour raw maps"
+    );
+}
+
+/// A fleet that never speaks the protocol (here: `sleep`) is killed at
+/// the heartbeat deadline; the campaign fails after the respawn budget,
+/// bounded in time — never a hang.
+#[test]
+fn silent_workers_are_killed_at_the_deadline() {
+    let dir = scratch_dir("wedge");
+    // `sh -c 'sleep 30'` swallows the appended `--journal`/`--worker`
+    // args as positional parameters and then sits silent — a live
+    // process that never heartbeats, which only the deadline can catch.
+    let command = vec!["sh".into(), "-c".into(), "sleep 30".into()];
+    let dist = DistConfig::new(command, dir.join("journals"))
+        .with_workers(1)
+        .with_heartbeat_timeout(Duration::from_millis(150))
+        .with_max_respawns(1);
+    let started = Instant::now();
+    let err = run_distributed(&quick_config(), 2, &dist)
+        .expect_err("a fleet of sleeps cannot finish a campaign");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "wedged fleet was not killed at the deadline"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("keeps dying"),
+        "unexpected failure mode: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fleet summary renders per-worker throughput and lease churn
+/// (alongside the process-churn counters `render_stats` already shows).
+#[test]
+fn fleet_summary_renders() {
+    let report = dist_run("render", 2, false);
+    let summary = o4a_bench::render_dist_stats(&report.stats);
+    assert!(summary.contains("shard leases granted"));
+    assert!(
+        summary.contains("w0"),
+        "per-worker rows missing:\n{summary}"
+    );
+    assert!(summary.contains("/s"), "throughput missing:\n{summary}");
+    let stats = o4a_bench::render_stats(&report.result);
+    assert!(
+        stats.contains("shard leases granted"),
+        "campaign stats must surface lease churn:\n{stats}"
+    );
+}

@@ -107,6 +107,16 @@ pub struct CampaignStats {
     /// (speculative overrun included; crash replays are respawn
     /// bookkeeping and not re-counted), zero in spawn mode.
     pub scopes_pushed: u64,
+    /// Shard leases granted by a distributed coordinator (`o4a-dist`):
+    /// one per `lease` frame sent to a worker process, re-issues
+    /// included. Zero for single-process campaigns. A transport-work
+    /// observable like the process-churn counters — how many leases it
+    /// took to finish the plan depends on worker deaths, not on the
+    /// campaign — so it is scrubbed by [`CampaignStats::sans_transport`].
+    pub leases_granted: u64,
+    /// Leases re-issued after the worker holding them died or went
+    /// silent mid-lease (the shard re-ran from scratch elsewhere).
+    pub leases_reissued: u64,
 }
 
 impl CampaignStats {
@@ -134,6 +144,8 @@ impl CampaignStats {
         self.processes_spawned += other.processes_spawned;
         self.process_respawns += other.process_respawns;
         self.scopes_pushed += other.scopes_pushed;
+        self.leases_granted += other.leases_granted;
+        self.leases_reissued += other.leases_reissued;
     }
 
     /// This stats block with the solver-transport churn counters zeroed.
@@ -151,6 +163,8 @@ impl CampaignStats {
             processes_spawned: 0,
             process_respawns: 0,
             scopes_pushed: 0,
+            leases_granted: 0,
+            leases_reissued: 0,
             ..self.clone()
         }
     }
@@ -176,6 +190,16 @@ pub struct CampaignResult {
     /// the raw maps are what lets shard results merge without loss
     /// (`o4a-exec` unions them and recomputes the percentages).
     pub coverage: BTreeMap<SolverId, CoverageMap>,
+    /// Raw cumulative coverage per solver at every hourly snapshot
+    /// boundary (`hourly_coverage[h - 1]` is the state behind
+    /// `snapshots[h - 1]`). The percentages in [`HourlySnapshot`] lose
+    /// information exactly like the final ones do; these maps are what
+    /// lets shard *hourly series* merge without loss — `o4a-exec` unions
+    /// them per hour and recomputes the snapshot percentages, and the
+    /// findings journal persists them as per-hour deltas. Empty on
+    /// results reconstructed from journals that predate the delta
+    /// records (the merge then falls back to a documented lower bound).
+    pub hourly_coverage: Vec<BTreeMap<SolverId, CoverageMap>>,
 }
 
 /// One solver's part of an executed test case: its response plus the
@@ -236,6 +260,7 @@ pub struct CampaignStepper {
     stats: CampaignStats,
     findings: Vec<Finding>,
     snapshots: Vec<HourlySnapshot>,
+    hourly_coverage: Vec<BTreeMap<SolverId, CoverageMap>>,
     next_snapshot_hour: u32,
     clock_micros: u64,
     budget_micros: u64,
@@ -289,6 +314,7 @@ impl CampaignStepper {
             stats: CampaignStats::default(),
             findings: Vec::new(),
             snapshots: Vec::new(),
+            hourly_coverage: Vec::new(),
             next_snapshot_hour: 1,
             clock_micros: 0,
             budget_micros: config.virtual_hours as u64 * 3_600_000_000,
@@ -462,6 +488,9 @@ impl CampaignStepper {
             self.stats.cases,
             &self.findings,
         ));
+        // The raw maps behind the snapshot's percentages, frozen at the
+        // boundary: the lossless representation the shard merge unions.
+        self.hourly_coverage.push(self.coverage.clone());
         self.next_snapshot_hour += 1;
     }
 
@@ -499,6 +528,7 @@ impl CampaignStepper {
             final_coverage,
             covered_functions,
             coverage: self.coverage,
+            hourly_coverage: self.hourly_coverage,
         }
     }
 }
@@ -645,6 +675,8 @@ mod tests {
             processes_spawned: 5,
             process_respawns: 2,
             scopes_pushed: 40,
+            leases_granted: 6,
+            leases_reissued: 1,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -658,12 +690,16 @@ mod tests {
         assert_eq!(b.processes_spawned, 10);
         assert_eq!(b.process_respawns, 4);
         assert_eq!(b.scopes_pushed, 80);
+        assert_eq!(b.leases_granted, 12);
+        assert_eq!(b.leases_reissued, 2);
         assert!((b.mean_bytes() - 100.0).abs() < 1e-9);
         let scrubbed = b.sans_transport();
         assert_eq!(scrubbed.cases, b.cases);
         assert_eq!(scrubbed.processes_spawned, 0);
         assert_eq!(scrubbed.process_respawns, 0);
         assert_eq!(scrubbed.scopes_pushed, 0);
+        assert_eq!(scrubbed.leases_granted, 0);
+        assert_eq!(scrubbed.leases_reissued, 0);
     }
 
     #[test]
@@ -679,6 +715,30 @@ mod tests {
                 (pct - result.final_coverage[&id].line_pct).abs() < 1e-9,
                 "raw map disagrees with recorded percentage for {id}"
             );
+        }
+    }
+
+    #[test]
+    fn hourly_coverage_maps_back_every_snapshot() {
+        let mut fuzzer = Once4AllFuzzer::new(Once4AllConfig::default());
+        let result = run_campaign(&mut fuzzer, &quick_config());
+        assert_eq!(result.hourly_coverage.len(), result.snapshots.len());
+        for (snap, maps) in result.snapshots.iter().zip(&result.hourly_coverage) {
+            for (&id, point) in &snap.coverage {
+                let u = o4a_solvers::coverage::universe(id);
+                assert_eq!(
+                    maps[&id].line_coverage_pct(&u).to_bits(),
+                    point.line_pct.to_bits(),
+                    "hour {}: stored map disagrees with snapshot percentage",
+                    snap.hour
+                );
+            }
+        }
+        // The final boundary's map is the final map: the exactness anchor
+        // the lossless hourly merge preserves.
+        let last = result.hourly_coverage.last().unwrap();
+        for (id, map) in &result.coverage {
+            assert_eq!(last[id].export(&universe(*id)), map.export(&universe(*id)));
         }
     }
 

@@ -1,0 +1,515 @@
+//! The coordinator: owns the shard plan, drives a fleet of worker
+//! processes over pipes, and merges their journals.
+//!
+//! ## Lease scheduling
+//!
+//! Shards are **dynamic leases**, not a static split: the coordinator
+//! keeps a queue of unassigned shards and grants the front of it to
+//! whichever worker is idle. That is work stealing by construction —
+//! a worker that finishes early immediately pulls the next shard, so
+//! the long tail of a skewed plan spreads across the fleet instead of
+//! serializing on one unlucky static assignment. Because a shard result
+//! is a pure function of `(config, shards, shard)`
+//! ([`o4a_exec::run_shard_lease`]), *which* worker runs a shard — and
+//! how many times a lease bounces between dying workers — cannot show
+//! up in the merged result.
+//!
+//! ## Failure handling
+//!
+//! Worker stdout fds ride the `poll(2)` reactor from `o4a-executor`,
+//! and every outstanding lease carries a **deadline**: a worker that
+//! neither heartbeats nor completes within [`DistConfig::heartbeat_timeout`]
+//! is killed like a crashed one. Either way the lease goes back to the
+//! front of the queue (a re-issue), the fleet is topped back up to
+//! strength, and the dead worker's journal is kept for the final merge
+//! — shards it *completed* are scavenged from it; the shard it died
+//! inside has no completion record and is therefore re-derived from
+//! scratch by the re-issued lease (`FindingsStore`'s dedup-on-load law
+//! guarantees the half-journaled findings of the dead attempt cannot
+//! leak in).
+
+use crate::protocol::{CampaignPlan, Frame};
+use o4a_core::{CampaignConfig, CampaignResult};
+use o4a_exec::{merge_shard_results, FindingsStore};
+use o4a_executor::{read_available, set_nonblocking, FdReactor, Interest, WakeFlag};
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Fleet configuration for one distributed campaign.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Fleet strength: how many worker processes run concurrently.
+    pub workers: u32,
+    /// The worker command line (program + args). The coordinator appends
+    /// `--journal <path> --worker <id>` for each spawn, so any binary
+    /// honouring that contract (the reference one is
+    /// `crates/bench/src/bin/dist_worker.rs`) can serve leases.
+    pub worker_command: Vec<String>,
+    /// Directory for per-worker findings journals (`worker-<n>.jsonl`,
+    /// one per spawned process). Created if absent; should be fresh per
+    /// campaign.
+    pub journal_dir: PathBuf,
+    /// A leased worker that neither heartbeats nor completes within this
+    /// window is presumed wedged: killed, lease re-issued. Must comfortably
+    /// exceed the worker's heartbeat cadence (a `progress` frame every
+    /// [`crate::worker::DEFAULT_PROGRESS_EVERY`] cases).
+    pub heartbeat_timeout: Duration,
+    /// Replacement-spawn budget past the initial fleet. When worker
+    /// deaths exhaust it with shards still unfinished, the campaign
+    /// fails instead of thrashing forever.
+    pub max_respawns: u32,
+}
+
+impl DistConfig {
+    /// A fleet of 4 workers running `worker_command`, journaling under
+    /// `journal_dir`, with a 30 s heartbeat deadline and 8 respawns.
+    pub fn new(worker_command: Vec<String>, journal_dir: impl Into<PathBuf>) -> DistConfig {
+        DistConfig {
+            workers: 4,
+            worker_command,
+            journal_dir: journal_dir.into(),
+            heartbeat_timeout: Duration::from_secs(30),
+            max_respawns: 8,
+        }
+    }
+
+    /// Replaces the fleet strength.
+    pub fn with_workers(mut self, workers: u32) -> DistConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the heartbeat deadline.
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Replaces the respawn budget.
+    pub fn with_max_respawns(mut self, max_respawns: u32) -> DistConfig {
+        self.max_respawns = max_respawns;
+        self
+    }
+}
+
+/// What one worker process did, for the fleet summary.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// Spawn-sequence id (also the journal file's number).
+    pub worker: u32,
+    /// The worker's findings journal.
+    pub journal: PathBuf,
+    /// Leases this worker ran to completion.
+    pub leases_completed: u32,
+    /// Cases executed across its completed leases.
+    pub cases: u64,
+    /// Wall-clock lifetime of the process.
+    pub wall: Duration,
+    /// False when the worker died (or was killed as wedged) instead of
+    /// exiting on shutdown.
+    pub clean_exit: bool,
+}
+
+impl WorkerSummary {
+    /// Completed-lease throughput in cases per wall-clock second.
+    pub fn cases_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cases as f64 / secs
+        }
+    }
+}
+
+/// Coordinator-level counters for one distributed campaign — the lease
+/// churn the merged [`o4a_core::CampaignStats`] also carries (as
+/// transport counters) plus the per-worker breakdown the bench summary
+/// renders.
+#[derive(Clone, Debug, Default)]
+pub struct DistStats {
+    /// Shards in the campaign plan.
+    pub shards: u32,
+    /// Configured fleet strength.
+    pub workers: u32,
+    /// Worker processes spawned (initial fleet + replacements).
+    pub workers_spawned: u32,
+    /// Workers that died or were killed as wedged.
+    pub worker_deaths: u32,
+    /// Lease frames sent (re-issues included).
+    pub leases_granted: u64,
+    /// Leases re-issued after their holder died mid-lease.
+    pub leases_reissued: u64,
+    /// Per-worker summaries, in spawn order.
+    pub per_worker: Vec<WorkerSummary>,
+}
+
+/// A finished distributed campaign: the merged result (bit-identical to
+/// a single-process [`o4a_exec::run_campaign_sharded`] of the same plan,
+/// modulo transport counters) plus the fleet statistics.
+#[derive(Clone, Debug)]
+pub struct DistReport {
+    /// The merged campaign result.
+    pub result: CampaignResult,
+    /// Fleet and lease statistics.
+    pub stats: DistStats,
+}
+
+/// One live worker process.
+struct Worker {
+    id: u32,
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: ChildStdout,
+    fd: RawFd,
+    buf: Vec<u8>,
+    journal: PathBuf,
+    lease: Option<u32>,
+    /// Cases executed across *completed* leases (what the summary
+    /// reports); heartbeat progress of the in-flight lease accumulates
+    /// in `lease_cases` and is folded in — once — by the `done` frame.
+    cases: u64,
+    lease_cases: u64,
+    leases_completed: u32,
+    last_heard: Instant,
+    spawned_at: Instant,
+    eof: bool,
+}
+
+impl Worker {
+    fn send_lease(&mut self, shard: u32, plan: &CampaignPlan) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .expect("stdin open for the worker's whole life");
+        let frame = Frame::Lease {
+            shard,
+            plan: plan.clone(),
+        };
+        writeln!(stdin, "{}", frame.to_line())?;
+        stdin.flush()
+    }
+
+    fn into_summary(mut self, clean_exit: bool) -> WorkerSummary {
+        // Reap unconditionally; kill first so a worker that closed its
+        // stdout but kept running cannot block the coordinator.
+        if !clean_exit {
+            let _ = self.child.kill();
+        }
+        let _ = self.child.wait();
+        WorkerSummary {
+            worker: self.id,
+            journal: self.journal,
+            leases_completed: self.leases_completed,
+            cases: self.cases,
+            wall: self.spawned_at.elapsed(),
+            clean_exit,
+        }
+    }
+}
+
+fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
+    let journal = dist.journal_dir.join(format!("worker-{id}.jsonl"));
+    // The coordinator owns the journal dir: a stale file under an
+    // assigned name would resume a previous campaign (or refuse a
+    // different one), so clear it.
+    let _ = std::fs::remove_file(&journal);
+    let (program, args) = dist
+        .worker_command
+        .split_first()
+        .ok_or_else(|| bad("empty worker command"))?;
+    let mut child = Command::new(program)
+        .args(args)
+        .arg("--journal")
+        .arg(&journal)
+        .arg("--worker")
+        .arg(id.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let fd = stdout.as_raw_fd();
+    set_nonblocking(fd)?;
+    let now = Instant::now();
+    Ok(Worker {
+        id,
+        child,
+        stdin: Some(stdin),
+        stdout,
+        fd,
+        buf: Vec::new(),
+        journal,
+        lease: None,
+        cases: 0,
+        lease_cases: 0,
+        leases_completed: 0,
+        last_heard: now,
+        spawned_at: now,
+        eof: false,
+    })
+}
+
+/// Pops complete lines off the front of `buf`.
+fn take_lines(buf: &mut Vec<u8>) -> Vec<String> {
+    let mut lines = Vec::new();
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let rest = buf.split_off(pos + 1);
+        let mut line = std::mem::replace(buf, rest);
+        line.pop(); // the newline
+        lines.push(String::from_utf8_lossy(&line).into_owned());
+    }
+    lines
+}
+
+/// Runs `config`, split into `shards` deterministic shards, across a
+/// fleet of worker processes, and merges their journals into one
+/// campaign result.
+///
+/// The merged result is **bit-identical** to the same plan executed by
+/// a single process ([`o4a_exec::run_campaign_sharded`] with
+/// `exec.shards = shards`) in findings, final coverage maps, hourly
+/// snapshot series, and statistics modulo the transport counters —
+/// regardless of fleet size, lease scheduling, or workers dying
+/// mid-lease (their leases re-issue and re-derive the shard
+/// deterministically). The coordinator folds its own fleet churn into
+/// the merged stats' transport counters: worker processes into
+/// `processes_spawned`/`process_respawns`, lease churn into
+/// `leases_granted`/`leases_reissued`.
+///
+/// # Errors
+///
+/// Worker-spawn and journal I/O errors, protocol violations, and a
+/// fleet that keeps dying until [`DistConfig::max_respawns`] is
+/// exhausted with shards still unfinished.
+pub fn run_distributed(
+    config: &CampaignConfig,
+    shards: u32,
+    dist: &DistConfig,
+) -> io::Result<DistReport> {
+    assert!(shards >= 1, "a campaign needs at least one shard");
+    assert!(dist.workers >= 1, "a fleet needs at least one worker");
+    std::fs::create_dir_all(&dist.journal_dir)?;
+
+    let plan = CampaignPlan {
+        config: config.clone(),
+        shards,
+    };
+    let mut stats = DistStats {
+        shards,
+        workers: dist.workers,
+        ..DistStats::default()
+    };
+    let mut live: Vec<Worker> = Vec::new();
+    let mut journals: Vec<PathBuf> = Vec::new();
+    if let Err(e) = drive_fleet(dist, &plan, shards, &mut stats, &mut live, &mut journals) {
+        // No worker process outlives the campaign: kill and reap the
+        // fleet before surfacing the error.
+        for worker in live.drain(..) {
+            stats.per_worker.push(worker.into_summary(false));
+        }
+        return Err(e);
+    }
+
+    // Shutdown: closing stdin is the protocol's EOF signal; give workers
+    // a moment to exit cleanly, then reap.
+    for mut worker in live {
+        drop(worker.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let clean = loop {
+            match worker.child.try_wait() {
+                Ok(Some(status)) => break status.success(),
+                Err(_) => break false,
+                Ok(None) if Instant::now() >= deadline => break false,
+                Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        stats.per_worker.push(worker.into_summary(clean));
+    }
+    stats.per_worker.sort_by_key(|w| w.worker);
+
+    // Merge every journal the fleet ever touched — completed shards of
+    // dead workers are scavenged, their half-run shard re-derived by the
+    // re-issued lease.
+    let completed = FindingsStore::merge_from(config, shards, &journals)?;
+    for shard in 0..shards {
+        if !completed.contains_key(&shard) {
+            return Err(bad(format!(
+                "shard {shard} reported done but is missing from the merged journals"
+            )));
+        }
+    }
+    let ordered: Vec<CampaignResult> = completed.into_values().collect();
+    let mut result = merge_shard_results(config, &ordered);
+    result.stats.processes_spawned += stats.workers_spawned as u64;
+    result.stats.process_respawns += stats.worker_deaths as u64;
+    result.stats.leases_granted += stats.leases_granted;
+    result.stats.leases_reissued += stats.leases_reissued;
+    Ok(DistReport { result, stats })
+}
+
+/// The lease loop: runs until every shard is done, or errors with the
+/// fleet in whatever state it reached — the caller owns `live` and must
+/// retire (kill + reap) whatever is left on either path.
+fn drive_fleet(
+    dist: &DistConfig,
+    plan: &CampaignPlan,
+    shards: u32,
+    stats: &mut DistStats,
+    live: &mut Vec<Worker>,
+    journals: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let reactor = FdReactor::new();
+    let waker = WakeFlag::new().waker();
+    let mut pending: VecDeque<u32> = (0..shards).collect();
+    let mut done: BTreeSet<u32> = BTreeSet::new();
+
+    loop {
+        // Retire dead workers and wedged ones (no frame within the
+        // deadline while holding a lease), re-queueing their leases.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < live.len() {
+            let dead = live[i].eof;
+            let wedged = live[i].lease.is_some()
+                && now.duration_since(live[i].last_heard) > dist.heartbeat_timeout;
+            if !(dead || wedged) {
+                i += 1;
+                continue;
+            }
+            let mut worker = live.swap_remove(i);
+            stats.worker_deaths += 1;
+            if let Some(shard) = worker.lease.take() {
+                pending.push_front(shard);
+                stats.leases_reissued += 1;
+            }
+            stats.per_worker.push(worker.into_summary(false));
+        }
+
+        if done.len() == shards as usize {
+            return Ok(());
+        }
+
+        // Top the fleet back up while unassigned work remains.
+        loop {
+            let idle = live.iter().filter(|w| w.lease.is_none()).count();
+            if idle >= pending.len() || live.len() >= dist.workers as usize {
+                break;
+            }
+            if stats.workers_spawned >= dist.workers + dist.max_respawns {
+                return Err(io::Error::other(format!(
+                    "worker fleet keeps dying: {} spawns exhausted with {} of {} shards unfinished",
+                    stats.workers_spawned,
+                    shards as usize - done.len(),
+                    shards
+                )));
+            }
+            let worker = spawn_worker(dist, stats.workers_spawned)?;
+            journals.push(worker.journal.clone());
+            stats.workers_spawned += 1;
+            live.push(worker);
+        }
+
+        // Grant: idle workers pull the queue front (work stealing).
+        for worker in live.iter_mut() {
+            if worker.lease.is_some() || worker.eof {
+                continue;
+            }
+            let Some(&shard) = pending.front() else { break };
+            match worker.send_lease(shard, plan) {
+                Ok(()) => {
+                    pending.pop_front();
+                    worker.lease = Some(shard);
+                    worker.last_heard = Instant::now();
+                    stats.leases_granted += 1;
+                }
+                // A broken pipe is a death notice; the retire pass picks
+                // the worker up next iteration and the shard stays queued.
+                Err(_) => worker.eof = true,
+            }
+        }
+
+        // Wait for frames: every live stdout rides the poll(2) reactor,
+        // leased workers with their heartbeat deadline attached.
+        let mut tokens = Vec::with_capacity(live.len());
+        for worker in live.iter().filter(|w| !w.eof) {
+            let deadline = worker
+                .lease
+                .map(|_| worker.last_heard + dist.heartbeat_timeout);
+            tokens.push(reactor.register(worker.fd, Interest::Read, waker.clone(), deadline));
+        }
+        if !tokens.is_empty() {
+            reactor.poll_io(None)?;
+        }
+        for token in tokens {
+            reactor.deregister(token);
+        }
+
+        // Drain and handle frames.
+        for worker in live.iter_mut() {
+            if worker.eof {
+                continue;
+            }
+            loop {
+                match read_available(&mut worker.stdout, &mut worker.buf)? {
+                    Some(0) => {
+                        worker.eof = true;
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            for line in take_lines(&mut worker.buf) {
+                worker.last_heard = Instant::now();
+                match Frame::from_line(&line) {
+                    Ok(Frame::JournalPath { path, .. }) => {
+                        let announced = PathBuf::from(path);
+                        if announced != worker.journal {
+                            // A worker may relocate its journal; merge
+                            // whatever it announces (and the assigned
+                            // path stays in the list — empty files are
+                            // skipped).
+                            journals.push(announced.clone());
+                            worker.journal = announced;
+                        }
+                    }
+                    Ok(Frame::Progress { shard, cases }) => {
+                        if worker.lease == Some(shard) {
+                            worker.lease_cases = cases;
+                        }
+                    }
+                    Ok(Frame::Done { shard, cases, .. }) => {
+                        if worker.lease != Some(shard) {
+                            return Err(bad(format!(
+                                "worker {} completed shard {shard} it does not hold",
+                                worker.id
+                            )));
+                        }
+                        worker.lease = None;
+                        worker.lease_cases = 0;
+                        worker.leases_completed += 1;
+                        worker.cases += cases;
+                        done.insert(shard);
+                    }
+                    // A worker speaking garbage — or echoing frames only
+                    // the coordinator may send — is as trustworthy as a
+                    // dead one: retire it and re-issue its lease.
+                    Ok(Frame::Lease { .. }) | Err(_) => {
+                        worker.eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # o4a-dist
+//!
+//! The distributed campaign layer: a **coordinator** that owns the shard
+//! plan and a fleet of **worker processes** it spawns and drives over
+//! stdin/stdout pipes — the same pipe + `poll(2)` reactor machinery the
+//! external-solver transport uses, one layer up the stack.
+//!
+//! * **Dynamic shard leases** — shards are granted one at a time to idle
+//!   workers ([`coordinator`]), so finished workers steal the long tail
+//!   instead of idling behind a static split.
+//! * **A JSONL control protocol** — `lease` / `journal-path` /
+//!   `progress` / `done` frames ([`protocol`]), with per-worker
+//!   heartbeat deadlines riding the reactor's `poll(2)` timeout.
+//! * **Per-worker findings journals, merged losslessly** — each worker
+//!   appends to its own fsync'd [`o4a_exec::FindingsStore`] journal; the
+//!   coordinator merges them by the store's concatenation +
+//!   dedup-on-load law ([`o4a_exec::FindingsStore::merge_from`]).
+//! * **Crash recovery that cannot show** — a worker killed mid-lease
+//!   gets its lease re-issued; the shard re-derives deterministically,
+//!   so a 1-worker and an N-worker campaign (crashes included) produce
+//!   **bit-identical** findings, coverage maps, hourly snapshot series,
+//!   and stats modulo transport counters. The gauntlet in
+//!   `crates/bench/tests/dist_campaign.rs` pins the claim; the
+//!   determinism argument is spelled out in this crate's `README.md`.
+//!
+//! ```no_run
+//! use o4a_core::CampaignConfig;
+//! use o4a_dist::{run_distributed, DistConfig};
+//!
+//! let dist = DistConfig::new(vec!["target/debug/dist_worker".into()], "/tmp/dist-journals")
+//!     .with_workers(4);
+//! let report = run_distributed(&CampaignConfig::default(), 8, &dist).unwrap();
+//! println!(
+//!     "{} cases over {} leases on {} workers ({} re-issued)",
+//!     report.result.stats.cases,
+//!     report.stats.leases_granted,
+//!     report.stats.workers_spawned,
+//!     report.stats.leases_reissued,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{run_distributed, DistConfig, DistReport, DistStats, WorkerSummary};
+pub use protocol::{CampaignPlan, Frame};
+pub use worker::{run_worker, CrashInjection, WorkerConfig};

@@ -1,0 +1,322 @@
+//! The JSONL control protocol between the coordinator and its workers.
+//!
+//! Four frame kinds ride the worker's stdin/stdout pipes, one JSON
+//! object per line (the same framing the findings journal uses, so a
+//! torn line is always the *last* one):
+//!
+//! * `lease` (coordinator → worker) — grants shard `shard` of an
+//!   `N`-way campaign plan. The full plan rides in every frame
+//!   ([`CampaignPlan`]), so frames are stateless and a worker can join
+//!   mid-campaign (a respawn after a crash) with no handshake.
+//! * `journal-path` (worker → coordinator) — the worker's first frame:
+//!   announces where its findings journal lives and doubles as the
+//!   liveness signal that the process came up.
+//! * `progress` (worker → coordinator) — heartbeat while a lease runs:
+//!   cases generated so far. Its absence past the coordinator's
+//!   deadline is what gets a wedged worker killed and its lease
+//!   re-issued.
+//! * `done` (worker → coordinator) — the lease ran to completion. Sent
+//!   strictly **after** the shard's `shard_done` record is fsync'd into
+//!   the worker's journal — the ordering that lets the coordinator
+//!   treat a `done` frame as proof the merge will find the shard.
+//!
+//! There is no shutdown frame: the coordinator closes the worker's
+//! stdin, and the worker exits on EOF.
+
+use o4a_core::CampaignConfig;
+use o4a_exec::json::{obj, parse, Json};
+use o4a_solvers::{EngineConfig, SolverId};
+use std::io;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A campaign plan as shipped inside a `lease` frame: the full campaign
+/// configuration plus the total shard count of the plan. Every worker
+/// reconstructs the exact [`CampaignConfig`] from it, which is what makes
+/// a lease executed on any machine produce the bit-identical shard
+/// result.
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    /// The campaign configuration (identical on every worker).
+    pub config: CampaignConfig,
+    /// Total shards in the plan (`config` splits `shards` ways).
+    pub shards: u32,
+}
+
+impl CampaignPlan {
+    /// Encodes the plan. The encoding is canonical (sorted object keys),
+    /// so two equal plans encode to equal JSON — workers use that to
+    /// check that every lease belongs to the same campaign.
+    pub fn to_json(&self) -> Json {
+        let solvers: Vec<Json> = self
+            .config
+            .solvers
+            .iter()
+            .map(|(id, commit)| {
+                Json::Arr(vec![
+                    Json::Str(id.name().to_string()),
+                    Json::U64(*commit as u64),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("seed", Json::U64(self.config.seed)),
+            ("shards", Json::U64(self.shards as u64)),
+            ("virtual_hours", Json::U64(self.config.virtual_hours as u64)),
+            ("time_scale", Json::U64(self.config.time_scale)),
+            ("max_cases", Json::U64(self.config.max_cases as u64)),
+            (
+                "engine",
+                obj(vec![
+                    (
+                        "max_assignments",
+                        Json::U64(self.config.engine.max_assignments as u64),
+                    ),
+                    ("eval_budget", Json::U64(self.config.engine.eval_budget)),
+                    (
+                        "timeout_micros",
+                        Json::U64(self.config.engine.timeout_micros),
+                    ),
+                    ("bugs_enabled", Json::Bool(self.config.engine.bugs_enabled)),
+                ]),
+            ),
+            ("solvers", Json::Arr(solvers)),
+        ])
+    }
+
+    /// Decodes a plan.
+    ///
+    /// # Errors
+    ///
+    /// Missing fields, unknown solver names, malformed structure.
+    pub fn from_json(json: &Json) -> io::Result<CampaignPlan> {
+        let engine_json = json.get("engine").ok_or_else(|| bad("missing engine"))?;
+        let engine = EngineConfig {
+            max_assignments: u64_field(engine_json, "max_assignments")? as usize,
+            eval_budget: u64_field(engine_json, "eval_budget")?,
+            timeout_micros: u64_field(engine_json, "timeout_micros")?,
+            bugs_enabled: match engine_json.get("bugs_enabled") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(bad("missing bool field 'bugs_enabled'")),
+            },
+        };
+        let mut solvers = Vec::new();
+        for entry in json
+            .get("solvers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing solvers"))?
+        {
+            let pair = entry.as_arr().ok_or_else(|| bad("bad solver entry"))?;
+            if pair.len() != 2 {
+                return Err(bad("solver entry needs [name, commit]"));
+            }
+            let name = pair[0].as_str().ok_or_else(|| bad("bad solver name"))?;
+            let id = SolverId::ALL
+                .into_iter()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| bad(format!("unknown solver '{name}'")))?;
+            let commit = pair[1].as_u64().ok_or_else(|| bad("bad commit index"))? as u32;
+            solvers.push((id, commit));
+        }
+        Ok(CampaignPlan {
+            config: CampaignConfig {
+                virtual_hours: u64_field(json, "virtual_hours")? as u32,
+                time_scale: u64_field(json, "time_scale")?,
+                solvers,
+                engine,
+                seed: u64_field(json, "seed")?,
+                max_cases: u64_field(json, "max_cases")? as usize,
+            },
+            shards: u64_field(json, "shards")? as u32,
+        })
+    }
+}
+
+/// One control-protocol frame. See the module docs for who sends what
+/// and when.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Coordinator → worker: run shard `shard` of `plan`.
+    Lease {
+        /// The shard index granted.
+        shard: u32,
+        /// The campaign plan the shard belongs to.
+        plan: CampaignPlan,
+    },
+    /// Worker → coordinator: startup announcement of the worker's
+    /// findings-journal location.
+    JournalPath {
+        /// The worker's id (as passed on its command line).
+        worker: u32,
+        /// Absolute or coordinator-relative journal path.
+        path: String,
+    },
+    /// Worker → coordinator: heartbeat during a lease.
+    Progress {
+        /// The shard the lease covers.
+        shard: u32,
+        /// Cases generated so far in this lease.
+        cases: u64,
+    },
+    /// Worker → coordinator: the lease ran to completion (and its
+    /// `shard_done` record is already durable in the journal).
+    Done {
+        /// The completed shard.
+        shard: u32,
+        /// Cases the shard executed.
+        cases: u64,
+        /// Findings the shard recorded.
+        findings: u64,
+    },
+}
+
+impl Frame {
+    /// Serializes the frame to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let json = match self {
+            Frame::Lease { shard, plan } => obj(vec![
+                ("t", Json::Str("lease".into())),
+                ("shard", Json::U64(*shard as u64)),
+                ("campaign", plan.to_json()),
+            ]),
+            Frame::JournalPath { worker, path } => obj(vec![
+                ("t", Json::Str("journal-path".into())),
+                ("worker", Json::U64(*worker as u64)),
+                ("path", Json::Str(path.clone())),
+            ]),
+            Frame::Progress { shard, cases } => obj(vec![
+                ("t", Json::Str("progress".into())),
+                ("shard", Json::U64(*shard as u64)),
+                ("cases", Json::U64(*cases)),
+            ]),
+            Frame::Done {
+                shard,
+                cases,
+                findings,
+            } => obj(vec![
+                ("t", Json::Str("done".into())),
+                ("shard", Json::U64(*shard as u64)),
+                ("cases", Json::U64(*cases)),
+                ("findings", Json::U64(*findings)),
+            ]),
+        };
+        json.to_line()
+    }
+
+    /// Parses one frame from a JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, unknown frame tags, missing fields.
+    pub fn from_line(line: &str) -> io::Result<Frame> {
+        let json = parse(line).map_err(|e| bad(format!("corrupt frame: {e}")))?;
+        let tag = json
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("frame without a 't' tag"))?;
+        match tag {
+            "lease" => Ok(Frame::Lease {
+                shard: u64_field(&json, "shard")? as u32,
+                plan: CampaignPlan::from_json(
+                    json.get("campaign")
+                        .ok_or_else(|| bad("missing campaign"))?,
+                )?,
+            }),
+            "journal-path" => Ok(Frame::JournalPath {
+                worker: u64_field(&json, "worker")? as u32,
+                path: json
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing path"))?
+                    .to_string(),
+            }),
+            "progress" => Ok(Frame::Progress {
+                shard: u64_field(&json, "shard")? as u32,
+                cases: u64_field(&json, "cases")?,
+            }),
+            "done" => Ok(Frame::Done {
+                shard: u64_field(&json, "shard")? as u32,
+                cases: u64_field(&json, "cases")?,
+                findings: u64_field(&json, "findings")?,
+            }),
+            other => Err(bad(format!("unknown frame '{other}'"))),
+        }
+    }
+}
+
+fn u64_field(json: &Json, key: &str) -> io::Result<u64> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing integer field '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> CampaignPlan {
+        CampaignPlan {
+            config: CampaignConfig {
+                virtual_hours: 7,
+                time_scale: 123,
+                seed: 0xdead_beef_0000_0001,
+                max_cases: 999,
+                ..CampaignConfig::default()
+            },
+            shards: 5,
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_canonically() {
+        let p = plan();
+        let encoded = p.to_json();
+        let decoded = CampaignPlan::from_json(&encoded).unwrap();
+        assert_eq!(decoded.to_json(), encoded, "decode(encode) not a fixpoint");
+        assert_eq!(decoded.shards, 5);
+        assert_eq!(decoded.config.seed, p.config.seed);
+        assert_eq!(decoded.config.solvers, p.config.solvers);
+        assert_eq!(
+            decoded.config.engine.bugs_enabled,
+            p.config.engine.bugs_enabled
+        );
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = vec![
+            Frame::Lease {
+                shard: 3,
+                plan: plan(),
+            },
+            Frame::JournalPath {
+                worker: 2,
+                path: "/tmp/worker-2.jsonl".into(),
+            },
+            Frame::Progress {
+                shard: 3,
+                cases: 40,
+            },
+            Frame::Done {
+                shard: 3,
+                cases: 80,
+                findings: 4,
+            },
+        ];
+        for frame in frames {
+            let line = frame.to_line();
+            assert!(!line.contains('\n'), "frames must be single lines");
+            let back = Frame::from_line(&line).unwrap();
+            assert_eq!(back.to_line(), line, "frame re-encode diverged");
+        }
+    }
+
+    #[test]
+    fn junk_frames_are_refused() {
+        assert!(Frame::from_line("not json").is_err());
+        assert!(Frame::from_line("{\"t\":\"warp\"}").is_err());
+        assert!(Frame::from_line("{\"shard\":1}").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The worker side of a distributed campaign: a lease-execution loop
+//! around [`o4a_exec::run_shard_lease`].
+//!
+//! A worker process announces its findings journal, then serves leases
+//! read off stdin until EOF: each `lease` frame names one shard of the
+//! campaign plan, the worker runs it with the repo's standard shard
+//! engine (every finding fsync'd into the worker's own journal the
+//! moment it is recorded), and the `done` frame goes out only **after**
+//! the shard's completion record is durable. Heartbeat `progress`
+//! frames flow while the shard runs so the coordinator's per-worker
+//! deadline can tell a slow worker from a wedged one.
+//!
+//! Crash injection (for the recovery gauntlet) lives here too: a worker
+//! configured with [`CrashInjection`] dies abruptly — mid-lease, after
+//! its journal already holds any findings discovered so far — the first
+//! time it reaches the named shard. A token file makes the crash
+//! once-per-campaign: the re-issued lease (on this or any other worker)
+//! finds the token and runs to completion, which is exactly the
+//! kill-mid-lease scenario the merge must absorb losslessly.
+
+use crate::protocol::Frame;
+use o4a_core::{Fuzzer, TestCase};
+use o4a_exec::json::Json;
+use o4a_exec::{run_shard_lease, ExecConfig, FindingsStore, StoreSession};
+use rand::rngs::StdRng;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+
+/// Cases between `progress` heartbeats.
+pub const DEFAULT_PROGRESS_EVERY: u64 = 16;
+
+/// Deterministic die-mid-lease injection for the crash-recovery
+/// gauntlet.
+#[derive(Clone, Debug)]
+pub struct CrashInjection {
+    /// Crash while running this shard.
+    pub shard: u32,
+    /// ... after generating this many cases of it (mid-lease).
+    pub after_cases: u64,
+    /// Once-only latch: the crash fires only if atomically creating this
+    /// file succeeds, so a campaign crashes exactly once no matter which
+    /// worker (or respawn) reaches the shard first.
+    pub token: PathBuf,
+}
+
+/// Worker-process configuration (everything the binary's command line
+/// carries).
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// The findings journal this worker appends to. Unique per worker
+    /// *process* — a respawned worker gets a fresh journal, so a crashed
+    /// predecessor's torn tail can never sit in the middle of a live
+    /// file.
+    pub journal: PathBuf,
+    /// Worker id, echoed in the `journal-path` frame.
+    pub worker_id: u32,
+    /// Cases between `progress` heartbeats.
+    pub progress_every: u64,
+    /// Optional die-mid-lease injection.
+    pub crash: Option<CrashInjection>,
+}
+
+impl WorkerConfig {
+    /// A worker bound to `journal` with default heartbeat cadence and no
+    /// crash injection.
+    pub fn new(journal: impl Into<PathBuf>, worker_id: u32) -> WorkerConfig {
+        WorkerConfig {
+            journal: journal.into(),
+            worker_id,
+            progress_every: DEFAULT_PROGRESS_EVERY,
+            crash: None,
+        }
+    }
+}
+
+/// Wraps the shard's fuzzer to tap the case stream: heartbeats every
+/// `every` cases and the optional crash injection, both riding
+/// `next_case` so no engine code changes. The inner fuzzer's RNG usage
+/// is untouched — instrumentation cannot perturb the campaign.
+struct Instrumented<'a, W: Write> {
+    inner: &'a mut dyn Fuzzer,
+    out: &'a mut W,
+    shard: u32,
+    cases: u64,
+    every: u64,
+    crash: Option<&'a CrashInjection>,
+}
+
+impl<W: Write> Fuzzer for Instrumented<'_, W> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn setup(&mut self, rng: &mut StdRng) -> u64 {
+        self.inner.setup(rng)
+    }
+
+    fn next_case(&mut self, rng: &mut StdRng) -> TestCase {
+        if let Some(crash) = self.crash {
+            if crash.shard == self.shard && self.cases == crash.after_cases && latch(crash) {
+                // Die like a segfault: no unwinding, no flushes. Findings
+                // journaled so far are already fsync'd; the in-flight
+                // shard has no completion record and re-runs elsewhere.
+                eprintln!(
+                    "dist worker: injected crash mid-lease (shard {})",
+                    self.shard
+                );
+                std::process::exit(9);
+            }
+        }
+        self.cases += 1;
+        if self.cases.is_multiple_of(self.every) {
+            // Heartbeat only; a failed write means the coordinator is
+            // gone and the worker will exit on stdin EOF shortly.
+            let frame = Frame::Progress {
+                shard: self.shard,
+                cases: self.cases,
+            };
+            let _ = writeln!(self.out, "{}", frame.to_line());
+            let _ = self.out.flush();
+        }
+        self.inner.next_case(rng)
+    }
+}
+
+/// Atomically claims the crash token; true when this process should die.
+fn latch(crash: &CrashInjection) -> bool {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&crash.token)
+        .is_ok()
+}
+
+/// Runs the worker loop: announce the journal, serve leases from
+/// `input` until EOF, emit `progress`/`done` frames on `output`.
+/// `factory(shard)` builds the fuzzer for each lease — it must be the
+/// same factory every worker of the campaign uses, or shard results
+/// stop being a pure function of the plan.
+///
+/// # Errors
+///
+/// Protocol violations (malformed frames, a lease from a different
+/// campaign than the first one, non-lease frames on stdin) and journal
+/// I/O errors.
+pub fn run_worker<F>(
+    factory: F,
+    cfg: &WorkerConfig,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()>
+where
+    F: Fn(u32) -> Box<dyn Fuzzer>,
+{
+    let announce = Frame::JournalPath {
+        worker: cfg.worker_id,
+        path: cfg.journal.display().to_string(),
+    };
+    writeln!(output, "{}", announce.to_line())?;
+    output.flush()?;
+
+    let store = FindingsStore::new(&cfg.journal);
+    let mut session: Option<(Json, StoreSession)> = None;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Frame::Lease { shard, plan } = Frame::from_line(&line)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "worker expects only lease frames on stdin",
+            ));
+        };
+        let plan_fingerprint = plan.to_json();
+        let sink = match &session {
+            Some((known, sink)) => {
+                if *known != plan_fingerprint {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "lease belongs to a different campaign than this worker's journal",
+                    ));
+                }
+                sink
+            }
+            None => {
+                let (sink, _completed) = store.resume_or_create(&plan.config, plan.shards)?;
+                &session.insert((plan_fingerprint, sink)).1
+            }
+        };
+
+        // Transport knobs (inflight, external solver command) come from
+        // this worker's environment — the overlap/pipe equivalence laws
+        // guarantee they cannot change results, only throughput.
+        let exec = ExecConfig {
+            shards: plan.shards,
+            ..ExecConfig::from_env()
+        };
+        let mut fuzzer = factory(shard);
+        let result = {
+            let mut instrumented = Instrumented {
+                inner: fuzzer.as_mut(),
+                out: &mut output,
+                shard,
+                cases: 0,
+                every: cfg.progress_every.max(1),
+                crash: cfg.crash.as_ref(),
+            };
+            run_shard_lease(&mut instrumented, &plan.config, &exec, shard, Some(sink))
+        };
+        // `run_shard_lease` journaled `shard_done` (fsync'd) through the
+        // sink before returning — only now may the coordinator learn the
+        // lease is complete.
+        let done = Frame::Done {
+            shard,
+            cases: result.stats.cases,
+            findings: result.findings.len() as u64,
+        };
+        writeln!(output, "{}", done.to_line())?;
+        output.flush()?;
+    }
+    Ok(())
+}

@@ -19,7 +19,12 @@
 //!   [`run_campaign_resumable`] skips completed shards on restart and
 //!   re-runs interrupted ones deterministically, so a killed campaign
 //!   resumes to the same deduplicated issue set an uninterrupted run
-//!   reports.
+//!   reports. [`FindingsStore::merge_from`] extends the same laws across
+//!   many journals of one campaign — the distributed merge.
+//! * **Lease-granular execution** — [`run_shard_lease`] runs one shard
+//!   of an N-way plan as a standalone unit (a pure function of
+//!   `(config, shards, shard)`), which is what the `o4a-dist`
+//!   coordinator hands its worker processes as dynamic leases.
 //! * **Overlapped in-flight queries** — with [`ExecConfig::inflight`]
 //!   `= K > 1` each shard worker pipelines `K` cases through the async
 //!   solver backend ([`o4a_solvers::AsyncSmtSolver`]) on a tokio-free
@@ -74,7 +79,7 @@ pub mod store;
 pub use overlap::{run_shard_overlapped, run_shard_piped, PipeBackend};
 pub use shard::{
     merge_shard_results, parallel_map, run_campaign_sharded, run_campaign_sharded_with, run_shard,
-    shard_configs, shard_seed, ExecConfig, FindingSink, Parallelism,
+    run_shard_lease, shard_config, shard_configs, shard_seed, ExecConfig, FindingSink, Parallelism,
 };
 pub use store::{FindingsStore, StoreSession};
 

@@ -16,9 +16,12 @@
 //!   final percentages are recomputed from the union.
 //! * **snapshots** — per hour: cases sum across shards, deduplicated
 //!   issues recomputed from all findings discovered up to that hour, and
-//!   per-solver coverage as the maximum across shards (a documented lower
-//!   bound on union coverage at that hour; only the *final* union is
-//!   tracked losslessly).
+//!   per-solver coverage recomputed from the **union of the shards'
+//!   hour-`h` raw maps** ([`o4a_core::CampaignResult::hourly_coverage`])
+//!   — exact, like the final union. Shards reconstructed from journals
+//!   that predate the per-hour delta records lack the raw maps; the
+//!   merge then falls back to the per-shard maximum, a documented lower
+//!   bound.
 
 use o4a_core::{
     dedup_refs, CampaignConfig, CampaignResult, CampaignStats, CampaignStepper, CoveragePoint,
@@ -150,18 +153,28 @@ pub fn shard_seed(base: u64, shard: u32) -> u64 {
     base ^ shard as u64
 }
 
+/// The configuration of shard `shard` in a `shards`-way plan.
+///
+/// Panics when `shards` is zero or `shard` is outside the plan.
+pub fn shard_config(config: &CampaignConfig, shards: u32, shard: u32) -> CampaignConfig {
+    assert!(shards >= 1, "a campaign needs at least one shard");
+    assert!(
+        shard < shards,
+        "shard {shard} outside the {shards}-way plan"
+    );
+    CampaignConfig {
+        seed: shard_seed(config.seed, shard),
+        max_cases: config.max_cases.div_ceil(shards as usize),
+        ..config.clone()
+    }
+}
+
 /// Splits a campaign into `shards` deterministic shard configurations.
 ///
 /// Panics when `shards` is zero.
 pub fn shard_configs(config: &CampaignConfig, shards: u32) -> Vec<CampaignConfig> {
-    assert!(shards >= 1, "a campaign needs at least one shard");
-    let per_shard_cases = config.max_cases.div_ceil(shards as usize);
     (0..shards)
-        .map(|i| CampaignConfig {
-            seed: shard_seed(config.seed, i),
-            max_cases: per_shard_cases,
-            ..config.clone()
-        })
+        .map(|i| shard_config(config, shards, i))
         .collect()
 }
 
@@ -240,6 +253,50 @@ pub fn run_shard(
     result
 }
 
+/// The external-process backend `exec` selects, if any.
+fn pipe_backend_of(exec: &ExecConfig) -> Option<crate::overlap::PipeBackend> {
+    exec.solver_cmd.as_ref().map(|cmd| {
+        let backend = crate::overlap::PipeBackend::new(cmd.clone()).with_mode(exec.solver_mode);
+        match exec.solver_timeout_ms {
+            Some(ms) => backend.with_timeout(std::time::Duration::from_millis(ms)),
+            None => backend,
+        }
+    })
+}
+
+/// Runs **one shard of an `exec.shards`-way campaign plan** to completion
+/// — the lease-granular entry point. [`run_campaign_sharded`] drives it
+/// once per shard on its thread pool; a distributed worker process
+/// (`o4a-dist`) calls it once per *lease*, journaling through `sink`.
+/// Either way the shard executes identically, down to the transport the
+/// engine knobs select (serial loop, overlapped in-flight queries, or
+/// external solver processes over pipes), so a shard result is a pure
+/// function of `(config, exec.shards, shard)` — the property that makes
+/// dynamic lease assignment and crash re-issue invisible in merged
+/// results.
+///
+/// # Panics
+///
+/// Panics when `shard >= exec.shards` (or `exec.shards` is zero).
+pub fn run_shard_lease(
+    fuzzer: &mut dyn Fuzzer,
+    config: &CampaignConfig,
+    exec: &ExecConfig,
+    shard: u32,
+    sink: Option<&dyn FindingSink>,
+) -> CampaignResult {
+    let cfg = shard_config(config, exec.shards, shard);
+    if let Some(backend) = pipe_backend_of(exec) {
+        // The pipe transport always goes through the overlapped loop;
+        // `inflight = 1` is serial submission over the same plumbing.
+        crate::overlap::run_shard_piped(fuzzer, &cfg, shard, sink, exec.inflight.max(1), &backend)
+    } else if exec.inflight > 1 {
+        crate::overlap::run_shard_overlapped(fuzzer, &cfg, shard, sink, exec.inflight)
+    } else {
+        run_shard(fuzzer, &cfg, shard, sink)
+    }
+}
+
 /// Runs a campaign split into shards on a worker pool and merges the shard
 /// results. `factory(i)` builds the fuzzer for shard `i` — each shard owns
 /// an independent instance, so fuzzers need not be `Send`.
@@ -267,38 +324,14 @@ pub fn run_campaign_sharded_with<F>(
 where
     F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
 {
-    let shard_cfgs = shard_configs(config, exec.shards);
     let todo: Vec<u32> = (0..exec.shards)
         .filter(|shard| !completed.contains_key(shard))
         .collect();
     let workers = exec.parallelism.workers(todo.len());
-    let pipe_backend = exec.solver_cmd.as_ref().map(|cmd| {
-        let backend = crate::overlap::PipeBackend::new(cmd.clone()).with_mode(exec.solver_mode);
-        match exec.solver_timeout_ms {
-            Some(ms) => backend.with_timeout(std::time::Duration::from_millis(ms)),
-            None => backend,
-        }
-    });
     let fresh = parallel_map(todo.len(), workers, |j| {
         let shard = todo[j];
         let mut fuzzer = factory(shard);
-        let cfg = &shard_cfgs[shard as usize];
-        if let Some(backend) = &pipe_backend {
-            // The pipe transport always goes through the overlapped loop;
-            // `inflight = 1` is serial submission over the same plumbing.
-            crate::overlap::run_shard_piped(
-                fuzzer.as_mut(),
-                cfg,
-                shard,
-                sink,
-                exec.inflight.max(1),
-                backend,
-            )
-        } else if exec.inflight > 1 {
-            crate::overlap::run_shard_overlapped(fuzzer.as_mut(), cfg, shard, sink, exec.inflight)
-        } else {
-            run_shard(fuzzer.as_mut(), cfg, shard, sink)
-        }
+        run_shard_lease(fuzzer.as_mut(), config, exec, shard, sink)
     });
 
     let mut by_shard = completed;
@@ -350,20 +383,54 @@ pub fn merge_shard_results(
         );
     }
 
+    // The hourly series merges losslessly when every shard carries its
+    // per-hour raw maps (always true for freshly-run shards; journals
+    // written before the hourly-delta records reconstruct without them).
+    // Without the maps the per-solver percentages fall back to the
+    // documented per-shard-max lower bound.
+    let exact_hourly = shard_results
+        .iter()
+        .all(|s| s.hourly_coverage.len() == s.snapshots.len());
     let mut snapshots = Vec::with_capacity(config.virtual_hours as usize);
+    let mut hourly_coverage = Vec::new();
     for hour in 1..=config.virtual_hours {
         let idx = (hour - 1) as usize;
         let mut cases = 0u64;
         let mut cov: BTreeMap<_, CoveragePoint> = BTreeMap::new();
-        for shard in shard_results {
-            let Some(snap) = shard.snapshots.get(idx) else {
-                continue;
-            };
-            cases += snap.cases;
-            for (&solver, point) in &snap.coverage {
-                let entry = cov.entry(solver).or_default();
-                entry.line_pct = entry.line_pct.max(point.line_pct);
-                entry.function_pct = entry.function_pct.max(point.function_pct);
+        if exact_hourly {
+            let mut union: BTreeMap<_, CoverageMap> = BTreeMap::new();
+            for shard in shard_results {
+                if let Some(snap) = shard.snapshots.get(idx) {
+                    cases += snap.cases;
+                }
+                if let Some(maps) = shard.hourly_coverage.get(idx) {
+                    for (&solver, map) in maps {
+                        union.entry(solver).or_default().merge(map);
+                    }
+                }
+            }
+            for (&solver, map) in &union {
+                let u = universe(solver);
+                cov.insert(
+                    solver,
+                    CoveragePoint {
+                        line_pct: map.line_coverage_pct(&u),
+                        function_pct: map.function_coverage_pct(&u),
+                    },
+                );
+            }
+            hourly_coverage.push(union);
+        } else {
+            for shard in shard_results {
+                let Some(snap) = shard.snapshots.get(idx) else {
+                    continue;
+                };
+                cases += snap.cases;
+                for (&solver, point) in &snap.coverage {
+                    let entry = cov.entry(solver).or_default();
+                    entry.line_pct = entry.line_pct.max(point.line_pct);
+                    entry.function_pct = entry.function_pct.max(point.function_pct);
+                }
             }
         }
         snapshots.push(HourlySnapshot {
@@ -384,5 +451,6 @@ pub fn merge_shard_results(
         final_coverage,
         covered_functions,
         coverage,
+        hourly_coverage,
     }
 }

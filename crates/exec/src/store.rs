@@ -13,7 +13,10 @@
 //!   crash-durability point: findings survive a killed process even when
 //!   their shard never completes.
 //! * `{"t":"shard_done","shard":i, ...}` — shard `i` ran to completion;
-//!   carries its stats, hourly snapshots, and exported coverage maps.
+//!   carries its stats, hourly snapshots, exported coverage maps, and
+//!   per-hour coverage-map **deltas** (the newly-covered branch bits at
+//!   each hour boundary), from which the cumulative hourly maps — and
+//!   therefore an *exact* merged hourly snapshot series — reconstruct.
 //!
 //! ## Resume semantics
 //!
@@ -93,6 +96,50 @@ impl FindingsStore {
             },
             completed,
         ))
+    }
+
+    /// Loads and unions the completed shards of **several journals of the
+    /// same campaign** — the distributed-merge API. Each worker process of
+    /// an `o4a-dist` campaign appends to its own journal; the coordinator
+    /// hands every journal path (including those of workers that died
+    /// mid-lease) to this function and merges the union with
+    /// [`crate::merge_shard_results`].
+    ///
+    /// The single-journal laws extend across files:
+    ///
+    /// * a shard counts as complete iff some journal holds its
+    ///   `shard_done` record; findings journaled by a worker that died
+    ///   before completing the shard are dropped (the re-issued lease
+    ///   re-derives them deterministically), so a finding discovered by
+    ///   two workers survives **exactly once**;
+    /// * a shard completed in two journals (a re-issued lease whose
+    ///   original holder finished after all) decodes identically —
+    ///   shard execution is deterministic — and the first journal's copy
+    ///   is kept;
+    /// * missing or empty files are skipped (a worker may die before its
+    ///   journal gains a header).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, corrupt journals (a torn *final* line is tolerated, as
+    /// on resume), and journals whose header does not match
+    /// `config`/`shards`.
+    pub fn merge_from(
+        config: &CampaignConfig,
+        shards: u32,
+        paths: &[PathBuf],
+    ) -> io::Result<BTreeMap<u32, CampaignResult>> {
+        let fingerprint = header_record(config, shards);
+        let mut completed: BTreeMap<u32, CampaignResult> = BTreeMap::new();
+        for path in paths {
+            if !path.exists() || std::fs::metadata(path)?.len() == 0 {
+                continue;
+            }
+            for (shard, result) in load_journal(path, &fingerprint)? {
+                completed.entry(shard).or_insert(result);
+            }
+        }
+        Ok(completed)
     }
 }
 
@@ -234,7 +281,43 @@ fn stats_record(stats: &CampaignStats) -> Json {
         ("processes_spawned", Json::U64(stats.processes_spawned)),
         ("process_respawns", Json::U64(stats.process_respawns)),
         ("scopes_pushed", Json::U64(stats.scopes_pushed)),
+        ("leases_granted", Json::U64(stats.leases_granted)),
+        ("leases_reissued", Json::U64(stats.leases_reissued)),
     ])
+}
+
+/// Encodes [`o4a_core::CampaignResult::hourly_coverage`] as per-hour
+/// **deltas**: for each hour and solver, only the branch-mask bits newly
+/// covered since the previous hour boundary. Coverage accumulation is
+/// monotone, so the cumulative per-hour maps reconstruct exactly by
+/// folding the deltas forward — the journal stays small while the merged
+/// hourly snapshot series stays bit-exact. Every configured solver
+/// appears every hour (possibly with an empty delta list) so the decoded
+/// maps keep the full solver key set.
+fn hourly_delta_records(result: &CampaignResult) -> Json {
+    let mut prev_masks: BTreeMap<SolverId, BTreeMap<String, u32>> = BTreeMap::new();
+    let mut hours = Vec::with_capacity(result.hourly_coverage.len());
+    for maps in &result.hourly_coverage {
+        let mut hour: Vec<(&str, Json)> = Vec::new();
+        for (&solver, map) in maps {
+            let u = universe(solver);
+            let seen = prev_masks.entry(solver).or_default();
+            let mut deltas = Vec::new();
+            for (name, mask) in map.export(&u) {
+                let new_bits = mask & !seen.get(&name).copied().unwrap_or(0);
+                if new_bits != 0 {
+                    deltas.push(Json::Arr(vec![
+                        Json::Str(name.clone()),
+                        Json::U64(new_bits as u64),
+                    ]));
+                }
+                seen.insert(name, mask);
+            }
+            hour.push((solver.name(), Json::Arr(deltas)));
+        }
+        hours.push(obj(hour));
+    }
+    Json::Arr(hours)
 }
 
 fn shard_done_record(shard: u32, result: &CampaignResult) -> Json {
@@ -283,6 +366,7 @@ fn shard_done_record(shard: u32, result: &CampaignResult) -> Json {
         ("stats", stats_record(&result.stats)),
         ("snapshots", Json::Arr(snapshots)),
         ("coverage", obj(coverage)),
+        ("hourly", hourly_delta_records(result)),
     ])
 }
 
@@ -370,6 +454,8 @@ fn decode_stats(record: &Json) -> io::Result<CampaignStats> {
         processes_spawned: opt_u64_field(record, "processes_spawned"),
         process_respawns: opt_u64_field(record, "process_respawns"),
         scopes_pushed: opt_u64_field(record, "scopes_pushed"),
+        leases_granted: opt_u64_field(record, "leases_granted"),
+        leases_reissued: opt_u64_field(record, "leases_reissued"),
     })
 }
 
@@ -451,6 +537,39 @@ fn decode_shard_done(record: &Json, findings: Vec<Finding>) -> io::Result<Campai
         }
     }
 
+    // Per-hour coverage deltas fold forward into the cumulative maps the
+    // lossless hourly merge unions. Absent from journals written before
+    // the delta records (forward-compat: the merge then falls back to
+    // the per-shard-max lower bound).
+    let mut hourly_coverage = Vec::new();
+    if let Some(hours) = record.get("hourly").and_then(Json::as_arr) {
+        let mut running: BTreeMap<SolverId, CoverageMap> = BTreeMap::new();
+        for hour in hours {
+            let Json::Obj(by_solver) = hour else {
+                return Err(bad("hourly entry is not an object"));
+            };
+            for (name, deltas) in by_solver {
+                let solver = solver_from_name(name)
+                    .ok_or_else(|| bad(format!("unknown solver '{name}'")))?;
+                let u = universe(solver);
+                let map = running.entry(solver).or_default();
+                for entry in deltas
+                    .as_arr()
+                    .ok_or_else(|| bad("bad hourly delta list"))?
+                {
+                    let pair = entry.as_arr().ok_or_else(|| bad("bad hourly delta"))?;
+                    if pair.len() != 2 {
+                        return Err(bad("hourly delta needs [name, mask]"));
+                    }
+                    let fn_name = pair[0].as_str().ok_or_else(|| bad("bad function name"))?;
+                    let mask = pair[1].as_u64().ok_or_else(|| bad("bad branch mask"))? as u32;
+                    map.absorb_mask(&u, fn_name, mask);
+                }
+            }
+            hourly_coverage.push(running.clone());
+        }
+    }
+
     Ok(CampaignResult {
         fuzzer: str_field(record, "fuzzer")?.to_string(),
         snapshots,
@@ -459,6 +578,7 @@ fn decode_shard_done(record: &Json, findings: Vec<Finding>) -> io::Result<Campai
         final_coverage,
         covered_functions,
         coverage,
+        hourly_coverage,
     })
 }
 

@@ -278,3 +278,186 @@ fn mismatched_campaign_is_refused() {
     );
     let _ = std::fs::remove_file(&path);
 }
+
+// ----------------------------------------------------------- merge_from
+
+/// A scale where shards reliably record findings (the cross-journal
+/// dedup tests are vacuous without them).
+fn findings_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 50_000,
+        max_cases: 120,
+        ..CampaignConfig::default()
+    }
+}
+
+/// `merge_from` unions completed shards across per-worker journals: two
+/// workers, one shard each, merge to the same campaign a single process
+/// produces.
+#[test]
+fn merge_from_unions_worker_journals() {
+    use o4a_exec::{merge_shard_results, run_shard_lease};
+    let config = findings_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+    let paths: Vec<PathBuf> = (0..2u32)
+        .map(|shard| {
+            let path = journal_path(&format!("merge-worker-{shard}"));
+            let store = FindingsStore::new(&path);
+            let (session, completed) = store.resume_or_create(&config, 2).unwrap();
+            assert!(completed.is_empty());
+            let mut fuzzer = factory(shard);
+            run_shard_lease(fuzzer.as_mut(), &config, &exec, shard, Some(&session));
+            path
+        })
+        .collect();
+
+    let completed = FindingsStore::merge_from(&config, 2, &paths).unwrap();
+    assert_eq!(completed.len(), 2, "both shards must merge as complete");
+    let ordered: Vec<o4a_core::CampaignResult> = completed.into_values().collect();
+    let merged = merge_shard_results(&config, &ordered);
+    let reference = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(fingerprint(&merged), fingerprint(&reference));
+    assert_eq!(merged.final_coverage, reference.final_coverage);
+    assert_eq!(
+        merged.hourly_coverage.len(),
+        reference.hourly_coverage.len(),
+        "journal-merged results must keep the exact hourly maps"
+    );
+    for p in paths {
+        let _ = std::fs::remove_file(&p);
+    }
+}
+
+/// Cross-journal dedup: a finding journaled by a worker that died
+/// mid-lease (no completion record) and re-derived by the worker that
+/// re-ran the shard survives **exactly once** — and a shard completed in
+/// two journals (a presumed-dead worker that actually finished) counts
+/// once too.
+#[test]
+fn cross_journal_duplicate_finding_survives_once() {
+    use o4a_exec::{run_shard_lease, FindingSink};
+    let config = findings_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+
+    // Find a shard that records findings at this scale.
+    let (shard, reference) = (0..2u32)
+        .map(|shard| {
+            let mut fuzzer = factory(shard);
+            (
+                shard,
+                run_shard_lease(fuzzer.as_mut(), &config, &exec, shard, None),
+            )
+        })
+        .find(|(_, r)| !r.findings.is_empty())
+        .expect("no shard recorded findings — the dedup test is vacuous");
+
+    // Journal A: a worker that ran the shard to completion.
+    let complete_path = journal_path("dedup-complete");
+    {
+        let store = FindingsStore::new(&complete_path);
+        let (session, _) = store.resume_or_create(&config, 2).unwrap();
+        let mut fuzzer = factory(shard);
+        run_shard_lease(fuzzer.as_mut(), &config, &exec, shard, Some(&session));
+    }
+    // Journal B: a worker that journaled the same findings but died
+    // before the completion record (the kill-mid-lease artifact).
+    let crashed_path = journal_path("dedup-crashed");
+    {
+        let store = FindingsStore::new(&crashed_path);
+        let (session, _) = store.resume_or_create(&config, 2).unwrap();
+        for finding in &reference.findings {
+            session.on_finding(shard, finding);
+        }
+    }
+    // Journal C: byte-identical copy of the complete journal (the
+    // presumed-dead-but-actually-finished race).
+    let copy_path = journal_path("dedup-copy");
+    std::fs::copy(&complete_path, &copy_path).unwrap();
+
+    // The crashed journal first: its dangling findings must not win.
+    let paths = vec![
+        crashed_path.clone(),
+        complete_path.clone(),
+        copy_path.clone(),
+    ];
+    let completed = FindingsStore::merge_from(&config, 2, &paths).unwrap();
+    assert_eq!(completed.len(), 1, "exactly one shard is complete");
+    let merged_shard = &completed[&shard];
+    assert_eq!(
+        merged_shard.findings.len(),
+        reference.findings.len(),
+        "a finding discovered by two workers must survive exactly once"
+    );
+    assert_eq!(
+        merged_shard
+            .findings
+            .iter()
+            .map(|f| f.case_text.clone())
+            .collect::<Vec<_>>(),
+        reference
+            .findings
+            .iter()
+            .map(|f| f.case_text.clone())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        dedup(&merged_shard.findings).len(),
+        dedup(&reference.findings).len()
+    );
+    for p in paths {
+        let _ = std::fs::remove_file(&p);
+    }
+}
+
+/// `merge_from` skips journals that never came up (missing or empty
+/// files) but still refuses one from a different campaign.
+#[test]
+fn merge_from_skips_absent_journals_and_refuses_foreign_ones() {
+    use o4a_exec::run_shard_lease;
+    let config = findings_config();
+    let exec = ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+    let real_path = journal_path("absent-real");
+    {
+        let store = FindingsStore::new(&real_path);
+        let (session, _) = store.resume_or_create(&config, 2).unwrap();
+        let mut fuzzer = factory(0);
+        run_shard_lease(fuzzer.as_mut(), &config, &exec, 0, Some(&session));
+    }
+    let ghost = journal_path("absent-ghost"); // never created
+    let empty = journal_path("absent-empty");
+    std::fs::write(&empty, b"").unwrap();
+
+    let completed =
+        FindingsStore::merge_from(&config, 2, &[ghost, empty.clone(), real_path.clone()]).unwrap();
+    assert_eq!(completed.len(), 1);
+
+    // A journal of a different campaign poisons the merge.
+    let foreign_config = CampaignConfig {
+        seed: config.seed ^ 0xabcd,
+        ..config.clone()
+    };
+    let foreign = journal_path("absent-foreign");
+    {
+        let store = FindingsStore::new(&foreign);
+        let (_session, _) = store.resume_or_create(&foreign_config, 2).unwrap();
+    }
+    let err = FindingsStore::merge_from(&config, 2, &[real_path.clone(), foreign.clone()]);
+    assert!(err.is_err(), "foreign journals must be refused, not merged");
+
+    for p in [empty, real_path, foreign] {
+        let _ = std::fs::remove_file(&p);
+    }
+}

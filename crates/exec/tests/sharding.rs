@@ -5,11 +5,12 @@
 
 use o4a_core::{dedup, run_campaign, CampaignConfig, Fuzzer, Once4AllFuzzer};
 use o4a_exec::{
-    run_campaign_resumable, run_campaign_sharded, shard_configs, shard_seed, ExecConfig,
-    FindingsStore, Parallelism,
+    run_campaign_resumable, run_campaign_sharded, run_shard_lease, shard_configs, shard_seed,
+    ExecConfig, FindingsStore, Parallelism,
 };
 use o4a_solvers::coverage::universe;
-use o4a_solvers::SolverId;
+use o4a_solvers::{CoverageMap, SolverId};
+use std::collections::BTreeMap;
 
 fn quick_config() -> CampaignConfig {
     CampaignConfig {
@@ -229,6 +230,156 @@ fn killed_overlapped_campaign_resumes_to_serial_issue_set() {
 
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&killed);
+}
+
+/// The hourly series, bit-comparable: per hour, the per-solver coverage
+/// percentages' exact float bits.
+fn cov_series(result: &o4a_core::CampaignResult) -> Vec<Vec<(SolverId, u64, u64)>> {
+    result
+        .snapshots
+        .iter()
+        .map(|s| {
+            s.coverage
+                .iter()
+                .map(|(&id, p)| (id, p.line_pct.to_bits(), p.function_pct.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// serial ≡ merged, hourly series included: with one shard the merged
+/// hourly coverage points are bit-identical to the serial campaign's —
+/// the exact-union rule recomputes the same percentages from the same
+/// maps the serial stepper snapshotted.
+#[test]
+fn serial_and_merged_hourly_series_agree_bit_for_bit() {
+    let config = quick_config();
+    let mut fuzzer = Once4AllFuzzer::with_defaults();
+    let serial = run_campaign(&mut fuzzer, &config);
+    let merged = run_campaign_sharded(
+        factory,
+        &config,
+        &ExecConfig {
+            shards: 1,
+            ..ExecConfig::default()
+        },
+    );
+    assert_eq!(cov_series(&serial), cov_series(&merged));
+    assert_eq!(
+        serial.hourly_coverage.len(),
+        merged.hourly_coverage.len(),
+        "merged result must keep the per-hour raw maps"
+    );
+}
+
+/// The lossless-hourly-coverage law: a multi-shard merge's hourly
+/// coverage is the percentage of the **union** of the shards' hour-`h`
+/// maps — exact, not the old per-shard-max lower bound — and the final
+/// hour therefore equals the final union coverage.
+#[test]
+fn merged_hourly_series_is_the_exact_union() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 3,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+    let merged = run_campaign_sharded(factory, &config, &exec);
+
+    // Recompute the expected series from independently-run shards.
+    let shard_runs: Vec<o4a_core::CampaignResult> = (0..3)
+        .map(|shard| {
+            let mut fuzzer = Once4AllFuzzer::with_defaults();
+            run_shard_lease(&mut fuzzer, &config, &exec, shard, None)
+        })
+        .collect();
+    let mut max_rule_beaten = false;
+    for (idx, snap) in merged.snapshots.iter().enumerate() {
+        let mut union: BTreeMap<SolverId, CoverageMap> = BTreeMap::new();
+        for shard in &shard_runs {
+            for (&solver, map) in &shard.hourly_coverage[idx] {
+                union.entry(solver).or_default().merge(map);
+            }
+        }
+        for (&solver, map) in &union {
+            let u = universe(solver);
+            let point = snap.coverage[&solver];
+            assert_eq!(
+                point.line_pct.to_bits(),
+                map.line_coverage_pct(&u).to_bits(),
+                "hour {}: merged line coverage is not the union's",
+                snap.hour
+            );
+            assert_eq!(
+                point.function_pct.to_bits(),
+                map.function_coverage_pct(&u).to_bits(),
+                "hour {}: merged function coverage is not the union's",
+                snap.hour
+            );
+            // The documented old rule: maximum across shards.
+            let max_rule = shard_runs
+                .iter()
+                .map(|s| s.snapshots[idx].coverage[&solver].line_pct)
+                .fold(0.0f64, f64::max);
+            if point.line_pct > max_rule {
+                max_rule_beaten = true;
+            }
+        }
+    }
+    assert!(
+        max_rule_beaten,
+        "union never exceeded the per-shard max — the exactness claim is vacuous here"
+    );
+    // The invariant the lower bound used to break: the final hour's
+    // snapshot equals the final (lossless) union coverage.
+    assert_eq!(
+        merged.snapshots.last().unwrap().coverage,
+        merged.final_coverage
+    );
+}
+
+/// The journal round trip preserves the exact hourly series: a campaign
+/// loaded entirely from its findings store (per-hour coverage deltas
+/// folded back into cumulative maps) merges to bit-identical snapshots.
+#[test]
+fn journal_roundtrip_preserves_exact_hourly_series() {
+    let config = quick_config();
+    let exec = ExecConfig {
+        shards: 3,
+        parallelism: Parallelism::Serial,
+        ..ExecConfig::default()
+    };
+    let mut path = std::env::temp_dir();
+    path.push(format!("o4a-hourly-roundtrip-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = FindingsStore::new(&path);
+    let fresh = run_campaign_resumable(factory, &config, &exec, &store).expect("journal I/O");
+    // Second open: every shard loads from the journal; nothing re-runs.
+    let reloaded = run_campaign_resumable(factory, &config, &exec, &store).expect("journal I/O");
+    assert_eq!(cov_series(&fresh), cov_series(&reloaded));
+    assert_eq!(fresh.final_coverage, reloaded.final_coverage);
+    assert_eq!(
+        fresh.hourly_coverage.len(),
+        reloaded.hourly_coverage.len(),
+        "hourly maps must survive the journal round trip"
+    );
+    for (idx, (a, b)) in fresh
+        .hourly_coverage
+        .iter()
+        .zip(&reloaded.hourly_coverage)
+        .enumerate()
+    {
+        for (&solver, map) in a {
+            let u = universe(solver);
+            assert_eq!(
+                map.export(&u),
+                b[&solver].export(&u),
+                "hour {}: {solver} map diverged across the round trip",
+                idx + 1
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

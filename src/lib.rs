@@ -21,6 +21,11 @@
 //! * [`executor`] — the tokio-free single-threaded poll-loop executor
 //!   (hand-rolled waker, bounded in-flight pool, completion re-sequencer,
 //!   `poll(2)` fd reactor) behind the async solver backend.
+//! * [`dist`] — the distributed campaign layer: a coordinator driving a
+//!   fleet of worker processes over a JSONL pipe protocol with dynamic
+//!   shard leases (work stealing), per-worker findings journals merged
+//!   losslessly, and crash recovery that keeps an N-worker campaign
+//!   bit-identical to a 1-worker one.
 //!
 //! ```no_run
 //! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
@@ -33,6 +38,7 @@
 
 pub use o4a_baselines as baselines;
 pub use o4a_core as core;
+pub use o4a_dist as dist;
 pub use o4a_exec as exec;
 pub use o4a_executor as executor;
 pub use o4a_grammar as grammar;
