@@ -1,0 +1,138 @@
+//! Campaign throughput across every execution mode, recorded as a
+//! committed `BENCH_throughput.json` at the workspace root so the
+//! repo's performance trajectory is tracked in-tree, run over run.
+//!
+//! Scenarios (all the identical campaign plan, so the cases/sec numbers
+//! compare like for like):
+//!
+//! * `serial` — the classic one-query-at-a-time stepper loop;
+//! * `overlapped_k1` / `overlapped_k8` — the async in-process backend
+//!   with K queries in flight per shard worker;
+//! * `pipe_spawn_k8` / `pipe_session_k8` — external mock-solver
+//!   processes over stdin/stdout pipes (zero injected latency, so the
+//!   number measures transport overhead, not sleeps).
+//!
+//! The JSON layout is one flat `scenarios` object of cases/sec values
+//! plus the per-run constants needed to interpret them. No timestamps:
+//! re-running on the same machine should produce a minimal diff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o4a_core::{CampaignConfig, CampaignResult, Once4AllFuzzer};
+use o4a_exec::{run_shard_overlapped, run_shard_piped, PipeBackend};
+use o4a_obs::json::{obj, Json};
+use o4a_solvers::SolverMode;
+use std::path::Path;
+use std::time::Instant;
+
+/// The mock solver binary, built by cargo before this bench runs.
+const MOCK: &str = env!("CARGO_BIN_EXE_mock_solver");
+
+/// Timed runs per scenario; the median lands in the JSON.
+const RUNS: usize = 3;
+
+fn plan() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 50_000,
+        max_cases: 500,
+        ..CampaignConfig::default()
+    }
+}
+
+fn serial(config: &CampaignConfig) -> CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::with_defaults();
+    o4a_exec::run_shard(&mut fuzzer, config, 0, None)
+}
+
+fn overlapped(config: &CampaignConfig, k: usize) -> CampaignResult {
+    let mut fuzzer = Once4AllFuzzer::with_defaults();
+    run_shard_overlapped(&mut fuzzer, config, 0, None, k)
+}
+
+fn piped(config: &CampaignConfig, k: usize, mode: SolverMode) -> CampaignResult {
+    let backend = PipeBackend::new(format!("{MOCK} --seed 11 --lane {{lane}}")).with_mode(mode);
+    let mut fuzzer = Once4AllFuzzer::with_defaults();
+    run_shard_piped(&mut fuzzer, config, 0, None, k, &backend)
+}
+
+/// Median cases/sec over [`RUNS`] timed executions of `run`.
+fn cases_per_sec(
+    config: &CampaignConfig,
+    mut run: impl FnMut(&CampaignConfig) -> CampaignResult,
+) -> f64 {
+    let mut rates = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let result = run(config);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        rates.push(result.stats.cases as f64 / secs);
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[RUNS / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let config = plan();
+
+    let scenarios: Vec<(&str, f64)> = vec![
+        ("serial", cases_per_sec(&config, serial)),
+        (
+            "overlapped_k1",
+            cases_per_sec(&config, |cfg| overlapped(cfg, 1)),
+        ),
+        (
+            "overlapped_k8",
+            cases_per_sec(&config, |cfg| overlapped(cfg, 8)),
+        ),
+        (
+            "pipe_spawn_k8",
+            cases_per_sec(&config, |cfg| piped(cfg, 8, SolverMode::Spawn)),
+        ),
+        (
+            "pipe_session_k8",
+            cases_per_sec(&config, |cfg| piped(cfg, 8, SolverMode::Session)),
+        ),
+    ];
+
+    let report = obj(vec![
+        ("bench", Json::Str("campaign_throughput".into())),
+        ("unit", Json::Str("cases_per_sec".into())),
+        ("cases", Json::U64(config.max_cases as u64)),
+        ("runs_per_scenario", Json::U64(RUNS as u64)),
+        (
+            "scenarios",
+            Json::Obj(
+                scenarios
+                    .iter()
+                    .map(|(name, rate)| (name.to_string(), Json::F64((rate * 10.0).round() / 10.0)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json");
+    let line = format!("{}\n", report.to_line());
+    if let Err(e) = std::fs::write(&path, &line) {
+        eprintln!("campaign_throughput: cannot write {}: {e}", path.display());
+    }
+    print!("{line}");
+
+    // The criterion group re-measures the cheapest scenario pair so the
+    // standard statistical machinery (outliers, regressions) also sees
+    // the engine; the JSON above is the committed artifact.
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.sample_size(10);
+    let small = CampaignConfig {
+        max_cases: 120,
+        ..plan()
+    };
+    g.bench_function("serial_120_cases", |b| {
+        b.iter(|| serial(&small).stats.cases)
+    });
+    g.bench_function("overlapped_k8_120_cases", |b| {
+        b.iter(|| overlapped(&small, 8).stats.cases)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -233,20 +233,38 @@ pub fn render_dist_stats(stats: &o4a_dist::DistStats) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<8} {:>7} {:>9} {:>9} {:>13}  exit",
-        "worker", "leases", "cases", "wall", "throughput"
+        "{:<8} {:>7} {:>9} {:>9} {:>13} {:>13}  exit",
+        "worker", "leases", "cases", "wall", "throughput", "live"
     );
     for w in &stats.per_worker {
         let _ = writeln!(
             out,
-            "w{:<7} {:>7} {:>9} {:>8.2}s {:>11.1}/s  {}",
+            "w{:<7} {:>7} {:>9} {:>8.2}s {:>11.1}/s {:>11.1}/s  {}",
             w.worker,
             w.leases_completed,
             w.cases,
             w.wall.as_secs_f64(),
             w.cases_per_sec(),
+            w.last_cases_per_sec,
             if w.clean_exit { "clean" } else { "died" },
         );
+    }
+    // Fleet-wide metrics ride the workers' done/progress frames only
+    // when the fleet ran with `O4A_METRICS` on.
+    if !stats.fleet_metrics.is_empty() {
+        let _ = writeln!(out, "fleet metrics (all workers, merged):");
+        for (name, value) in &stats.fleet_metrics.counters {
+            let _ = writeln!(out, "  {name:<24} : {value}");
+        }
+        for (name, h) in &stats.fleet_metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<24} : n={} mean={:.1} p99<={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.99)
+            );
+        }
     }
     out
 }
@@ -311,6 +329,16 @@ mod tests {
 
     #[test]
     fn dist_stats_render_shows_lease_churn_and_throughput() {
+        let mut fleet_metrics = o4a_obs::metrics::MetricsSnapshot::default();
+        fleet_metrics.counters.insert("campaign.cases".into(), 120);
+        fleet_metrics.histograms.insert(
+            "pipe.query_micros".into(),
+            o4a_obs::metrics::HistogramSnapshot {
+                count: 4,
+                sum: 400,
+                buckets: vec![(7, 4)],
+            },
+        );
         let stats = o4a_dist::DistStats {
             shards: 8,
             workers: 4,
@@ -325,7 +353,10 @@ mod tests {
                 cases: 120,
                 wall: std::time::Duration::from_millis(800),
                 clean_exit: true,
+                last_cases_per_sec: 155.5,
+                metrics: None,
             }],
+            fleet_metrics,
         };
         let s = render_dist_stats(&stats);
         assert!(s.contains("8 shards on 4 workers"));
@@ -333,7 +364,11 @@ mod tests {
         assert!(s.contains("5 (1 died"));
         assert!(s.contains("w0"));
         assert!(s.contains("150.0/s"), "throughput column missing: {s}");
+        assert!(s.contains("155.5/s"), "live-rate column missing: {s}");
         assert!(s.contains("clean"));
+        assert!(s.contains("fleet metrics"), "metrics section missing: {s}");
+        assert!(s.contains("campaign.cases"));
+        assert!(s.contains("n=4 mean=100.0 p99<=127"));
     }
 
     #[test]

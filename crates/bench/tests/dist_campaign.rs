@@ -256,6 +256,108 @@ fn silent_workers_are_killed_at_the_deadline() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The observability acceptance criterion: a 4-worker crash-injected
+/// fleet running with `O4A_TRACE`/`O4A_METRICS` on in every worker
+/// (via [`DistConfig::with_env`] — the coordinator's own environment is
+/// untouched) merges **bit-identical** to the untraced in-process
+/// engine, while the obs dir fills with per-process trace/metrics
+/// files that parse, export as one fleet-wide Chrome trace, and whose
+/// merged case counter equals the campaign's own.
+#[test]
+fn traced_fleet_matches_untraced_in_process() {
+    let reference = in_process_reference();
+    let dir = scratch_dir("traced");
+    let obs_dir = dir.join("obs");
+    let command = vec![
+        WORKER.to_string(),
+        "--crash-shard".into(),
+        "2".into(),
+        "--crash-after".into(),
+        "4".into(),
+        "--crash-token".into(),
+        dir.join("crash-token").display().to_string(),
+    ];
+    let dist = DistConfig::new(command, dir.join("journals"))
+        .with_workers(4)
+        .with_heartbeat_timeout(Duration::from_secs(30))
+        .with_env("O4A_TRACE", obs_dir.display().to_string())
+        .with_env("O4A_METRICS", obs_dir.display().to_string());
+    let report = run_distributed(&quick_config(), SHARDS, &dist).expect("traced campaign");
+
+    assert_eq!(
+        fingerprint(&report.result),
+        fingerprint(&reference),
+        "a traced fleet diverged from the untraced in-process engine"
+    );
+    assert!(
+        report.stats.worker_deaths >= 1,
+        "crash injection never fired under tracing"
+    );
+
+    // Metrics snapshots rode the done/progress frames into the
+    // coordinator's fleet-wide view.
+    assert!(
+        !report.stats.fleet_metrics.is_empty(),
+        "no metrics snapshots arrived on protocol frames"
+    );
+    assert!(
+        report
+            .stats
+            .fleet_metrics
+            .counters
+            .get("campaign.cases")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "fleet metrics carry no case counter: {:?}",
+        report.stats.fleet_metrics.counters
+    );
+    let summary = o4a_bench::render_dist_stats(&report.stats);
+    assert!(
+        summary.contains("fleet metrics"),
+        "summary does not render the fleet metrics:\n{summary}"
+    );
+
+    // Every cleanly-exiting worker drained its trace ring and metrics
+    // registry to the obs dir; the crashed one died without draining
+    // (best-effort by design). All surviving files must parse, and the
+    // drained case counters must sum to exactly the campaign's cases —
+    // completed leases are counted once, the crashed partial lease not
+    // at all.
+    let (traces, metrics) = o4a_obs::observability_files(&obs_dir).expect("scan obs dir");
+    assert!(!traces.is_empty(), "no worker drained a trace file");
+    assert!(!metrics.is_empty(), "no worker drained a metrics file");
+    let mut events = Vec::new();
+    for path in &traces {
+        let (_meta, mut file_events) =
+            o4a_obs::trace::read_trace_file(path).expect("parse trace file");
+        events.append(&mut file_events);
+    }
+    for name in ["lease.serve", "case.execute"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "no {name} events in the fleet trace"
+        );
+    }
+    let mut drained = o4a_obs::metrics::MetricsSnapshot::default();
+    for path in &metrics {
+        let (_seq, snapshot) =
+            o4a_obs::metrics::read_metrics_file(path).expect("parse metrics file");
+        drained.merge(&snapshot);
+    }
+    assert_eq!(
+        drained.counters.get("campaign.cases").copied(),
+        Some(reference.stats.cases),
+        "drained worker metrics diverged from the campaign's case count"
+    );
+
+    // The per-process traces align into one merged Chrome trace.
+    let chrome = o4a_obs::trace::export_chrome_trace(&traces).expect("chrome export");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("lease.serve"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The fleet summary renders per-worker throughput and lease churn
 /// (alongside the process-churn counters `render_stats` already shows).
 #[test]

@@ -381,10 +381,13 @@ impl CampaignStepper {
             self.solvers.len() == self.config.solvers.len(),
             "execute_case on an apply-only stepper (built without solvers)"
         );
+        let _span = o4a_obs::trace::span("core", "case.execute");
         let mut runs = Vec::with_capacity(self.solvers.len());
         for solver in self.solvers.iter_mut() {
             solver.reset_coverage();
+            let timer = o4a_obs::metrics::start_timer();
             let response = solver.check(&case.text);
+            o4a_obs::metrics::record_elapsed("core.check_micros", timer);
             runs.push(SolverRun {
                 solver: solver.id(),
                 response,
@@ -407,6 +410,9 @@ impl CampaignStepper {
         }
         let CaseExecution { case, runs } = execution;
         let text = case.text;
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::counter("campaign.cases").inc();
+        }
         self.stats.cases += 1;
         self.stats.total_bytes += text.len() as u64;
         let mut case_cost = case.gen_micros;
@@ -456,6 +462,17 @@ impl CampaignStepper {
             ) {
                 self.findings.push(finding);
                 recorded_finding = true;
+                o4a_obs::trace::event(
+                    "core",
+                    "finding.recorded",
+                    &[
+                        ("case", self.stats.cases),
+                        ("clock_s", self.clock_micros / 1_000_000),
+                    ],
+                );
+                if o4a_obs::metrics_enabled() {
+                    o4a_obs::metrics::counter("campaign.findings").inc();
+                }
             }
         } else if let Verdict::NotComparable = verdict {
             // nothing to record
@@ -481,6 +498,14 @@ impl CampaignStepper {
     /// Records the snapshot for `next_snapshot_hour` from accumulated
     /// coverage and findings.
     fn push_snapshot(&mut self) {
+        o4a_obs::trace::event(
+            "core",
+            "snapshot",
+            &[
+                ("hour", u64::from(self.next_snapshot_hour)),
+                ("cases", self.stats.cases),
+            ],
+        );
         self.snapshots.push(snapshot(
             self.next_snapshot_hour,
             &self.coverage,

@@ -32,6 +32,7 @@ use crate::protocol::{CampaignPlan, Frame};
 use o4a_core::{CampaignConfig, CampaignResult};
 use o4a_exec::{merge_shard_results, FindingsStore};
 use o4a_executor::{read_available, set_nonblocking, FdReactor, Interest, WakeFlag};
+use o4a_obs::metrics::MetricsSnapshot;
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, Write};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -66,6 +67,10 @@ pub struct DistConfig {
     /// deaths exhaust it with shards still unfinished, the campaign
     /// fails instead of thrashing forever.
     pub max_respawns: u32,
+    /// Extra environment variables for every spawned worker (e.g.
+    /// `O4A_TRACE`/`O4A_METRICS` to turn observability on fleet-wide
+    /// without mutating the coordinator's own environment).
+    pub envs: Vec<(String, String)>,
 }
 
 impl DistConfig {
@@ -78,6 +83,7 @@ impl DistConfig {
             journal_dir: journal_dir.into(),
             heartbeat_timeout: Duration::from_secs(30),
             max_respawns: 8,
+            envs: Vec::new(),
         }
     }
 
@@ -98,6 +104,12 @@ impl DistConfig {
         self.max_respawns = max_respawns;
         self
     }
+
+    /// Adds an environment variable to every worker spawn.
+    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> DistConfig {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
 }
 
 /// What one worker process did, for the fleet summary.
@@ -116,6 +128,12 @@ pub struct WorkerSummary {
     /// False when the worker died (or was killed as wedged) instead of
     /// exiting on shutdown.
     pub clean_exit: bool,
+    /// Last in-flight throughput the worker reported (cases/sec from
+    /// its latest `progress` or `done` frame; 0 before the first one).
+    pub last_cases_per_sec: f64,
+    /// The worker's latest cumulative metrics snapshot, present only
+    /// when the worker ran with `O4A_METRICS` on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl WorkerSummary {
@@ -150,6 +168,11 @@ pub struct DistStats {
     pub leases_reissued: u64,
     /// Per-worker summaries, in spawn order.
     pub per_worker: Vec<WorkerSummary>,
+    /// Fleet-wide metrics: every worker's final snapshot merged
+    /// (snapshots are cumulative per process, so summing one per
+    /// process is lossless). Empty unless workers ran with
+    /// `O4A_METRICS` on.
+    pub fleet_metrics: MetricsSnapshot,
 }
 
 /// A finished distributed campaign: the merged result (bit-identical to
@@ -179,6 +202,10 @@ struct Worker {
     cases: u64,
     lease_cases: u64,
     leases_completed: u32,
+    /// Latest reported throughput / metrics snapshot (observability
+    /// passthrough; the coordinator never schedules on either).
+    live_rate: f64,
+    latest_metrics: Option<MetricsSnapshot>,
     last_heard: Instant,
     spawned_at: Instant,
     eof: bool,
@@ -212,6 +239,8 @@ impl Worker {
             cases: self.cases,
             wall: self.spawned_at.elapsed(),
             clean_exit,
+            last_cases_per_sec: self.live_rate,
+            metrics: self.latest_metrics,
         }
     }
 }
@@ -232,10 +261,12 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
         .arg(&journal)
         .arg("--worker")
         .arg(id.to_string())
+        .envs(dist.envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()?;
+    o4a_obs::trace::event("dist", "worker.spawn", &[("worker", u64::from(id))]);
     let stdin = child.stdin.take().expect("piped stdin");
     let stdout = child.stdout.take().expect("piped stdout");
     let fd = stdout.as_raw_fd();
@@ -253,6 +284,8 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
         cases: 0,
         lease_cases: 0,
         leases_completed: 0,
+        live_rate: 0.0,
+        latest_metrics: None,
         last_heard: now,
         spawned_at: now,
         eof: false,
@@ -298,6 +331,7 @@ pub fn run_distributed(
 ) -> io::Result<DistReport> {
     assert!(shards >= 1, "a campaign needs at least one shard");
     assert!(dist.workers >= 1, "a fleet needs at least one worker");
+    o4a_obs::init_from_env();
     std::fs::create_dir_all(&dist.journal_dir)?;
 
     let plan = CampaignPlan {
@@ -336,6 +370,11 @@ pub fn run_distributed(
         stats.per_worker.push(worker.into_summary(clean));
     }
     stats.per_worker.sort_by_key(|w| w.worker);
+    for summary in &stats.per_worker {
+        if let Some(metrics) = &summary.metrics {
+            stats.fleet_metrics.merge(metrics);
+        }
+    }
 
     // Merge every journal the fleet ever touched — completed shards of
     // dead workers are scavenged, their half-run shard re-derived by the
@@ -354,6 +393,12 @@ pub fn run_distributed(
     result.stats.process_respawns += stats.worker_deaths as u64;
     result.stats.leases_granted += stats.leases_granted;
     result.stats.leases_reissued += stats.leases_reissued;
+    // The coordinator's own trace/metrics (lease lifecycle, spawns) go
+    // to its configured obs dir; workers drained their own before the
+    // clean exit above. Best-effort, like every obs path.
+    if let Err(e) = o4a_obs::drain() {
+        eprintln!("o4a-obs: coordinator drain failed: {e}");
+    }
     Ok(DistReport { result, stats })
 }
 
@@ -388,9 +433,32 @@ fn drive_fleet(
             }
             let mut worker = live.swap_remove(i);
             stats.worker_deaths += 1;
+            o4a_obs::trace::event(
+                "dist",
+                if dead {
+                    "worker.death"
+                } else {
+                    "worker.wedged"
+                },
+                &[("worker", u64::from(worker.id))],
+            );
+            if o4a_obs::metrics_enabled() {
+                o4a_obs::metrics::counter("dist.worker_deaths").inc();
+            }
             if let Some(shard) = worker.lease.take() {
                 pending.push_front(shard);
                 stats.leases_reissued += 1;
+                o4a_obs::trace::event(
+                    "dist",
+                    "lease.reissue",
+                    &[
+                        ("shard", u64::from(shard)),
+                        ("worker", u64::from(worker.id)),
+                    ],
+                );
+                if o4a_obs::metrics_enabled() {
+                    o4a_obs::metrics::counter("dist.leases_reissued").inc();
+                }
             }
             stats.per_worker.push(worker.into_summary(false));
         }
@@ -431,6 +499,17 @@ fn drive_fleet(
                     worker.lease = Some(shard);
                     worker.last_heard = Instant::now();
                     stats.leases_granted += 1;
+                    o4a_obs::trace::event(
+                        "dist",
+                        "lease.grant",
+                        &[
+                            ("shard", u64::from(shard)),
+                            ("worker", u64::from(worker.id)),
+                        ],
+                    );
+                    if o4a_obs::metrics_enabled() {
+                        o4a_obs::metrics::counter("dist.leases_granted").inc();
+                    }
                 }
                 // A broken pipe is a death notice; the retire pass picks
                 // the worker up next iteration and the shard stays queued.
@@ -483,12 +562,27 @@ fn drive_fleet(
                             worker.journal = announced;
                         }
                     }
-                    Ok(Frame::Progress { shard, cases }) => {
+                    Ok(Frame::Progress {
+                        shard,
+                        cases,
+                        cases_per_sec,
+                        metrics,
+                    }) => {
                         if worker.lease == Some(shard) {
                             worker.lease_cases = cases;
+                            worker.live_rate = cases_per_sec;
+                            if metrics.is_some() {
+                                worker.latest_metrics = metrics;
+                            }
                         }
                     }
-                    Ok(Frame::Done { shard, cases, .. }) => {
+                    Ok(Frame::Done {
+                        shard,
+                        cases,
+                        cases_per_sec,
+                        metrics,
+                        ..
+                    }) => {
                         if worker.lease != Some(shard) {
                             return Err(bad(format!(
                                 "worker {} completed shard {shard} it does not hold",
@@ -499,7 +593,20 @@ fn drive_fleet(
                         worker.lease_cases = 0;
                         worker.leases_completed += 1;
                         worker.cases += cases;
+                        worker.live_rate = cases_per_sec;
+                        if metrics.is_some() {
+                            worker.latest_metrics = metrics;
+                        }
                         done.insert(shard);
+                        o4a_obs::trace::event(
+                            "dist",
+                            "lease.done",
+                            &[
+                                ("shard", u64::from(shard)),
+                                ("worker", u64::from(worker.id)),
+                                ("cases", cases),
+                            ],
+                        );
                     }
                     // A worker speaking garbage — or echoing frames only
                     // the coordinator may send — is as trustworthy as a

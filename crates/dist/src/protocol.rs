@@ -12,9 +12,10 @@
 //!   announces where its findings journal lives and doubles as the
 //!   liveness signal that the process came up.
 //! * `progress` (worker → coordinator) — heartbeat while a lease runs:
-//!   cases generated so far. Its absence past the coordinator's
-//!   deadline is what gets a wedged worker killed and its lease
-//!   re-issued.
+//!   cases generated so far, live throughput, and (when `O4A_METRICS`
+//!   is on in the worker) a cumulative metrics snapshot. Its absence
+//!   past the coordinator's deadline is what gets a wedged worker
+//!   killed and its lease re-issued.
 //! * `done` (worker → coordinator) — the lease ran to completion. Sent
 //!   strictly **after** the shard's `shard_done` record is fsync'd into
 //!   the worker's journal — the ordering that lets the coordinator
@@ -25,6 +26,7 @@
 
 use o4a_core::CampaignConfig;
 use o4a_exec::json::{obj, parse, Json};
+use o4a_obs::metrics::MetricsSnapshot;
 use o4a_solvers::{EngineConfig, SolverId};
 use std::io;
 
@@ -159,6 +161,15 @@ pub enum Frame {
         shard: u32,
         /// Cases generated so far in this lease.
         cases: u64,
+        /// Live throughput of the in-flight lease, cases per wall-clock
+        /// second. Purely informational (the coordinator renders it;
+        /// nothing schedules on it), so `0.0` from an old worker is fine.
+        cases_per_sec: f64,
+        /// The worker's metrics snapshot, attached only when
+        /// `O4A_METRICS` is on in the worker's environment. Snapshots
+        /// are cumulative per process — the coordinator keeps the
+        /// latest, it does not sum heartbeats.
+        metrics: Option<MetricsSnapshot>,
     },
     /// Worker → coordinator: the lease ran to completion (and its
     /// `shard_done` record is already durable in the journal).
@@ -169,6 +180,10 @@ pub enum Frame {
         cases: u64,
         /// Findings the shard recorded.
         findings: u64,
+        /// Throughput of the completed lease, cases per wall-clock second.
+        cases_per_sec: f64,
+        /// Cumulative worker metrics snapshot (see [`Frame::Progress`]).
+        metrics: Option<MetricsSnapshot>,
     },
 }
 
@@ -186,21 +201,42 @@ impl Frame {
                 ("worker", Json::U64(*worker as u64)),
                 ("path", Json::Str(path.clone())),
             ]),
-            Frame::Progress { shard, cases } => obj(vec![
-                ("t", Json::Str("progress".into())),
-                ("shard", Json::U64(*shard as u64)),
-                ("cases", Json::U64(*cases)),
-            ]),
+            Frame::Progress {
+                shard,
+                cases,
+                cases_per_sec,
+                metrics,
+            } => {
+                let mut fields = vec![
+                    ("t", Json::Str("progress".into())),
+                    ("shard", Json::U64(*shard as u64)),
+                    ("cases", Json::U64(*cases)),
+                    ("cps", Json::F64(*cases_per_sec)),
+                ];
+                if let Some(snapshot) = metrics {
+                    fields.push(("metrics", snapshot.to_json()));
+                }
+                obj(fields)
+            }
             Frame::Done {
                 shard,
                 cases,
                 findings,
-            } => obj(vec![
-                ("t", Json::Str("done".into())),
-                ("shard", Json::U64(*shard as u64)),
-                ("cases", Json::U64(*cases)),
-                ("findings", Json::U64(*findings)),
-            ]),
+                cases_per_sec,
+                metrics,
+            } => {
+                let mut fields = vec![
+                    ("t", Json::Str("done".into())),
+                    ("shard", Json::U64(*shard as u64)),
+                    ("cases", Json::U64(*cases)),
+                    ("findings", Json::U64(*findings)),
+                    ("cps", Json::F64(*cases_per_sec)),
+                ];
+                if let Some(snapshot) = metrics {
+                    fields.push(("metrics", snapshot.to_json()));
+                }
+                obj(fields)
+            }
         };
         json.to_line()
     }
@@ -235,11 +271,15 @@ impl Frame {
             "progress" => Ok(Frame::Progress {
                 shard: u64_field(&json, "shard")? as u32,
                 cases: u64_field(&json, "cases")?,
+                cases_per_sec: f64_field_or_zero(&json, "cps"),
+                metrics: metrics_field(&json)?,
             }),
             "done" => Ok(Frame::Done {
                 shard: u64_field(&json, "shard")? as u32,
                 cases: u64_field(&json, "cases")?,
                 findings: u64_field(&json, "findings")?,
+                cases_per_sec: f64_field_or_zero(&json, "cps"),
+                metrics: metrics_field(&json)?,
             }),
             other => Err(bad(format!("unknown frame '{other}'"))),
         }
@@ -252,9 +292,41 @@ fn u64_field(json: &Json, key: &str) -> io::Result<u64> {
         .ok_or_else(|| bad(format!("missing integer field '{key}'")))
 }
 
+/// Observability fields are additions to a live protocol: a frame
+/// without them (an older worker) is still valid, it just reports no
+/// throughput.
+fn f64_field_or_zero(json: &Json, key: &str) -> f64 {
+    json.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Absent `metrics` is `None`; a *present but malformed* snapshot is a
+/// protocol error like any other corrupt field.
+fn metrics_field(json: &Json) -> io::Result<Option<MetricsSnapshot>> {
+    match json.get("metrics") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => MetricsSnapshot::from_json(v)
+            .map(Some)
+            .map_err(|e| bad(format!("bad metrics snapshot: {e}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("campaign.cases".into(), 48);
+        snapshot.histograms.insert(
+            "pipe.query_micros".into(),
+            o4a_obs::metrics::HistogramSnapshot {
+                count: 3,
+                sum: 900,
+                buckets: vec![(9, 3)],
+            },
+        );
+        snapshot
+    }
 
     fn plan() -> CampaignPlan {
         CampaignPlan {
@@ -298,11 +370,21 @@ mod tests {
             Frame::Progress {
                 shard: 3,
                 cases: 40,
+                cases_per_sec: 12.5,
+                metrics: None,
+            },
+            Frame::Progress {
+                shard: 3,
+                cases: 48,
+                cases_per_sec: 13.25,
+                metrics: Some(sample_metrics()),
             },
             Frame::Done {
                 shard: 3,
                 cases: 80,
                 findings: 4,
+                cases_per_sec: 10.0,
+                metrics: Some(sample_metrics()),
             },
         ];
         for frame in frames {
@@ -318,5 +400,35 @@ mod tests {
         assert!(Frame::from_line("not json").is_err());
         assert!(Frame::from_line("{\"t\":\"warp\"}").is_err());
         assert!(Frame::from_line("{\"shard\":1}").is_err());
+    }
+
+    /// Frames from a worker predating the observability fields still
+    /// parse — throughput reads as zero, metrics as absent.
+    #[test]
+    fn observability_fields_are_optional() {
+        let old = "{\"cases\":40,\"shard\":3,\"t\":\"progress\"}";
+        let Frame::Progress {
+            shard,
+            cases,
+            cases_per_sec,
+            metrics,
+        } = Frame::from_line(old).unwrap()
+        else {
+            panic!("expected progress frame");
+        };
+        assert_eq!((shard, cases), (3, 40));
+        assert_eq!(cases_per_sec, 0.0);
+        assert!(metrics.is_none());
+
+        let old_done = "{\"cases\":80,\"findings\":2,\"shard\":3,\"t\":\"done\"}";
+        assert!(matches!(
+            Frame::from_line(old_done).unwrap(),
+            Frame::Done { metrics: None, .. }
+        ));
+
+        // A present-but-corrupt snapshot is a protocol error, not a
+        // silent None.
+        let corrupt = "{\"cases\":40,\"cps\":1.0,\"metrics\":7,\"shard\":3,\"t\":\"progress\"}";
+        assert!(Frame::from_line(corrupt).is_err());
     }
 }

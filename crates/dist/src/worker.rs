@@ -22,9 +22,11 @@ use crate::protocol::Frame;
 use o4a_core::{Fuzzer, TestCase};
 use o4a_exec::json::Json;
 use o4a_exec::{run_shard_lease, ExecConfig, FindingsStore, StoreSession};
+use o4a_obs::metrics::MetricsSnapshot;
 use rand::rngs::StdRng;
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Cases between `progress` heartbeats.
 pub const DEFAULT_PROGRESS_EVERY: u64 = 16;
@@ -83,7 +85,31 @@ struct Instrumented<'a, W: Write> {
     shard: u32,
     cases: u64,
     every: u64,
+    /// When the lease started, for the live cases/sec in heartbeats.
+    /// Wall-clock flows *out* of the engine here, never back in.
+    started: Instant,
     crash: Option<&'a CrashInjection>,
+}
+
+/// Throughput over the lease so far; zero before the clock has
+/// measurably advanced.
+fn rate(cases: u64, since: Instant) -> f64 {
+    let secs = since.elapsed().as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        cases as f64 / secs
+    }
+}
+
+/// The worker's cumulative metrics, attached to outbound frames only
+/// when `O4A_METRICS` is on (frames stay small otherwise).
+fn metrics_attachment() -> Option<MetricsSnapshot> {
+    if o4a_obs::metrics_enabled() {
+        Some(o4a_obs::metrics::snapshot())
+    } else {
+        None
+    }
 }
 
 impl<W: Write> Fuzzer for Instrumented<'_, W> {
@@ -115,6 +141,8 @@ impl<W: Write> Fuzzer for Instrumented<'_, W> {
             let frame = Frame::Progress {
                 shard: self.shard,
                 cases: self.cases,
+                cases_per_sec: rate(self.cases, self.started),
+                metrics: metrics_attachment(),
             };
             let _ = writeln!(self.out, "{}", frame.to_line());
             let _ = self.out.flush();
@@ -159,6 +187,11 @@ where
     writeln!(output, "{}", announce.to_line())?;
     output.flush()?;
 
+    // First-install-wins: a host that already installed an ObsConfig
+    // programmatically (tests) keeps it; otherwise the worker's own
+    // environment decides.
+    o4a_obs::init_from_env();
+
     let store = FindingsStore::new(&cfg.journal);
     let mut session: Option<(Json, StoreSession)> = None;
     for line in input.lines() {
@@ -197,13 +230,16 @@ where
             ..ExecConfig::from_env()
         };
         let mut fuzzer = factory(shard);
+        let started = Instant::now();
         let result = {
+            let _span = o4a_obs::trace::span("dist", "lease.serve").arg("shard", u64::from(shard));
             let mut instrumented = Instrumented {
                 inner: fuzzer.as_mut(),
                 out: &mut output,
                 shard,
                 cases: 0,
                 every: cfg.progress_every.max(1),
+                started,
                 crash: cfg.crash.as_ref(),
             };
             run_shard_lease(&mut instrumented, &plan.config, &exec, shard, Some(sink))
@@ -215,9 +251,17 @@ where
             shard,
             cases: result.stats.cases,
             findings: result.findings.len() as u64,
+            cases_per_sec: rate(result.stats.cases, started),
+            metrics: metrics_attachment(),
         };
         writeln!(output, "{}", done.to_line())?;
         output.flush()?;
+    }
+    // Flush this process's trace ring and metrics registry to their
+    // files before the clean exit; losing them on a *crash* is fine (the
+    // ring is best-effort), losing them on EOF would not be.
+    if let Err(e) = o4a_obs::drain() {
+        eprintln!("o4a-obs: worker drain failed: {e}");
     }
     Ok(())
 }

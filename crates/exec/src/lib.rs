@@ -71,7 +71,8 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
+pub use o4a_obs::json;
+
 pub mod overlap;
 pub mod shard;
 pub mod store;

@@ -138,6 +138,11 @@ impl PipeBackend {
 /// order, with each lane's latency (simulated ticks or a real pipe
 /// round-trip) awaited before its result is available.
 async fn case_future(solvers: &[&dyn AsyncSmtSolver], case: TestCase) -> CaseExecution {
+    // The span covers the whole in-flight life of the case, queue waits
+    // included — the overlapped counterpart of the serial stepper's
+    // `case.execute` span. Held across awaits: the executor is
+    // single-threaded, so the guard drops on the recording thread.
+    let _span = o4a_obs::trace::span("core", "case.execute").arg("bytes", case.text.len() as u64);
     let mut runs = Vec::with_capacity(solvers.len());
     for solver in solvers {
         let check = solver.check_async(case.text.clone()).await;
@@ -186,6 +191,7 @@ pub fn run_shard_overlapped(
         inflight,
         &lanes,
         &mut || {},
+        None,
     );
     if let Some(sink) = sink {
         sink.on_shard_complete(shard, &result);
@@ -225,6 +231,10 @@ pub fn run_shard_piped(
         .iter()
         .map(|lane| lane as &dyn AsyncSmtSolver)
         .collect();
+    // On deadlock the pool panics with the reactor's registration dump —
+    // which fds were armed, their deadlines, and the last-poll age —
+    // instead of a bare count.
+    let diagnostics = || reactor.debug_dump();
     let mut result = run_shard_on(
         fuzzer,
         shard_config,
@@ -237,6 +247,7 @@ pub fn run_shard_piped(
                 .poll_io(None)
                 .expect("fd reactor poll(2) failed while queries were in flight");
         },
+        Some(&diagnostics),
     );
     for lane in &solvers {
         result.stats.processes_spawned += lane.processes_spawned();
@@ -258,6 +269,7 @@ pub fn run_shard_piped(
 /// Findings stream to `sink` during the run; the **caller** reports
 /// shard completion (after folding in any transport-level stats), so
 /// `sink.on_shard_complete` always sees the final result.
+#[allow(clippy::too_many_arguments)]
 fn run_shard_on(
     fuzzer: &mut dyn Fuzzer,
     shard_config: &CampaignConfig,
@@ -266,6 +278,7 @@ fn run_shard_on(
     inflight: usize,
     solvers: &[&dyn AsyncSmtSolver],
     idle: &mut dyn FnMut(),
+    diagnostics: Option<&dyn Fn() -> String>,
 ) -> CampaignResult {
     assert!(inflight >= 1, "need at least one in-flight slot");
     let mut rng = StdRng::seed_from_u64(shard_config.seed);
@@ -273,6 +286,9 @@ fn run_shard_on(
     stepper.charge_setup(fuzzer.setup(&mut rng));
 
     let mut pool: InFlightPool<CaseExecution> = InFlightPool::new(inflight);
+    if let Some(diagnostics) = diagnostics {
+        pool.set_diagnostics(diagnostics);
+    }
     let mut sequencer: Sequencer<CaseExecution> = Sequencer::new();
     let mut next_case: u64 = 0;
 

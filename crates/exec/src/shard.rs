@@ -285,6 +285,9 @@ pub fn run_shard_lease(
     shard: u32,
     sink: Option<&dyn FindingSink>,
 ) -> CampaignResult {
+    let _span = o4a_obs::trace::span("exec", "shard.lease")
+        .arg("shard", u64::from(shard))
+        .arg("inflight", exec.inflight.max(1) as u64);
     let cfg = shard_config(config, exec.shards, shard);
     if let Some(backend) = pipe_backend_of(exec) {
         // The pipe transport always goes through the overlapped loop;
@@ -324,6 +327,7 @@ pub fn run_campaign_sharded_with<F>(
 where
     F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
 {
+    o4a_obs::init_from_env();
     let todo: Vec<u32> = (0..exec.shards)
         .filter(|shard| !completed.contains_key(shard))
         .collect();
@@ -339,7 +343,16 @@ where
         by_shard.insert(todo[j], result);
     }
     let ordered: Vec<CampaignResult> = by_shard.into_values().collect();
-    merge_shard_results(config, &ordered)
+    let merged = merge_shard_results(config, &ordered);
+    // The engine-level drain barrier: flush every worker thread's trace
+    // ring and the metrics registry to the configured directory. A
+    // campaign with observability off (the default) skips all I/O; a
+    // write failure must not cost campaign results, so it is reported,
+    // not propagated.
+    if let Err(e) = o4a_obs::drain() {
+        eprintln!("o4a-obs: drain failed: {e}");
+    }
+    merged
 }
 
 /// Merges per-shard campaign results (in ascending shard order) into one

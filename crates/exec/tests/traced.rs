@@ -1,0 +1,171 @@
+//! The observability non-interference gauntlet: running the sharded
+//! engine with tracing and metrics ON must be **bit-identical** to the
+//! untraced run — observability is write-only, information flows out of
+//! the engine and never back into scheduling, RNG, or the virtual
+//! clock.
+//!
+//! The obs configuration is process-global, so every test here takes
+//! the same mutex and tears the installation down before releasing it.
+
+use o4a_core::{CampaignConfig, CampaignResult, Fuzzer, Once4AllFuzzer};
+use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
+use o4a_obs::ObsConfig;
+use o4a_solvers::coverage::universe;
+use o4a_solvers::SolverId;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    // A previous test panicking with the lock held poisons it; the obs
+    // state is re-installed per test, so the poison itself is harmless.
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("o4a-traced-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 50_000,
+        max_cases: 120,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run(inflight: usize) -> CampaignResult {
+    let exec = ExecConfig {
+        shards: 4,
+        parallelism: Parallelism::Serial,
+        inflight,
+        ..ExecConfig::default()
+    };
+    let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
+    run_campaign_sharded(factory, &quick_config(), &exec)
+}
+
+/// Everything observable, bit-comparable — the full stats this time
+/// (in-process runs have no transport nondeterminism to scrub).
+type Fingerprint = (
+    o4a_core::CampaignStats,
+    Vec<(String, SolverId, String, Option<String>, u64)>,
+    Vec<(u32, u64, usize)>,
+    Vec<(SolverId, Vec<(String, u32)>)>,
+);
+
+fn fingerprint(result: &CampaignResult) -> Fingerprint {
+    (
+        result.stats.clone(),
+        result
+            .findings
+            .iter()
+            .map(|f| {
+                (
+                    f.case_text.clone(),
+                    f.solver,
+                    format!("{:?}", f.kind),
+                    f.signature.clone(),
+                    f.vhour.to_bits(),
+                )
+            })
+            .collect(),
+        result
+            .snapshots
+            .iter()
+            .map(|s| (s.hour, s.cases, s.issues))
+            .collect(),
+        result
+            .coverage
+            .iter()
+            .map(|(&id, map)| (id, map.export(&universe(id))))
+            .collect(),
+    )
+}
+
+/// The law itself, over the serial stepper and the overlapped (K = 8)
+/// engine: trace-on ≡ trace-off, and the traced run leaves parseable
+/// trace/metrics files whose case counter equals the campaign's.
+#[test]
+fn traced_campaign_is_bit_identical_to_untraced() {
+    let _guard = obs_lock();
+    for inflight in [1, 8] {
+        o4a_obs::uninstall();
+        let untraced = run(inflight);
+        assert!(untraced.stats.cases > 0, "untraced run ran no cases");
+        assert!(!untraced.findings.is_empty(), "equivalence leg is vacuous");
+
+        let dir = scratch_dir(&format!("k{inflight}"));
+        o4a_obs::install(ObsConfig::enabled_in(&dir));
+        let traced = run(inflight);
+        o4a_obs::uninstall();
+
+        assert_eq!(
+            fingerprint(&traced),
+            fingerprint(&untraced),
+            "tracing perturbed the K = {inflight} campaign"
+        );
+
+        // The sharded engine drains at the campaign barrier: the traced
+        // run must have left files behind, and they must parse.
+        let (traces, metrics) = o4a_obs::observability_files(&dir).expect("scan obs dir");
+        assert!(!traces.is_empty(), "no trace file drained (K = {inflight})");
+        assert!(!metrics.is_empty(), "no metrics file drained");
+        let mut events = Vec::new();
+        for path in &traces {
+            let (_meta, mut file_events) =
+                o4a_obs::trace::read_trace_file(path).expect("parse trace file");
+            events.append(&mut file_events);
+        }
+        assert!(
+            events.iter().any(|e| e.name == "case.execute"),
+            "no case.execute spans in the trace"
+        );
+        let mut merged = o4a_obs::metrics::MetricsSnapshot::default();
+        for path in &metrics {
+            let (_seq, snapshot) =
+                o4a_obs::metrics::read_metrics_file(path).expect("parse metrics file");
+            merged.merge(&snapshot);
+        }
+        assert_eq!(
+            merged.counters.get("campaign.cases").copied(),
+            Some(untraced.stats.cases),
+            "metrics case counter diverged from the campaign's own count"
+        );
+
+        let chrome = o4a_obs::trace::export_chrome_trace(&traces).expect("chrome export");
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("case.execute"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Tracing alone (no metrics) and metrics alone both hold the law —
+/// the two subsystems gate independently.
+#[test]
+fn each_knob_alone_is_bit_identical() {
+    let _guard = obs_lock();
+    o4a_obs::uninstall();
+    let untraced = run(1);
+    for (trace, metrics) in [(true, false), (false, true)] {
+        let dir = scratch_dir(&format!("solo-t{trace}-m{metrics}"));
+        o4a_obs::install(ObsConfig {
+            trace,
+            metrics,
+            ..ObsConfig::enabled_in(&dir)
+        });
+        let solo = run(1);
+        o4a_obs::uninstall();
+        assert_eq!(
+            fingerprint(&solo),
+            fingerprint(&untraced),
+            "trace={trace} metrics={metrics} perturbed the campaign"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

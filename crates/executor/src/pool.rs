@@ -26,6 +26,8 @@ pub struct InFlightPool<'a, T> {
     capacity: usize,
     slots: Vec<Slot<'a, T>>,
     rounds: u64,
+    idle_waits: u64,
+    diagnostics: Option<Box<dyn Fn() -> String + 'a>>,
 }
 
 impl<'a, T> InFlightPool<'a, T> {
@@ -40,7 +42,17 @@ impl<'a, T> InFlightPool<'a, T> {
             capacity,
             slots: Vec::with_capacity(capacity),
             rounds: 0,
+            idle_waits: 0,
+            diagnostics: None,
         }
+    }
+
+    /// Attaches a diagnostics closure whose output is appended to the
+    /// deadlock panic (the piped backend passes the fd reactor's
+    /// [`crate::FdReactor::debug_dump`], so a stuck pipeline names its
+    /// armed fds and last-poll age instead of dying bare).
+    pub fn set_diagnostics(&mut self, diagnostics: impl Fn() -> String + 'a) {
+        self.diagnostics = Some(Box::new(diagnostics));
     }
 
     /// The capacity bound.
@@ -86,6 +98,9 @@ impl<'a, T> InFlightPool<'a, T> {
             flag: WakeFlag::new(),
             future: Box::pin(future),
         });
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::histogram("executor.inflight_depth").record(self.slots.len() as u64);
+        }
     }
 
     /// Drives one poll round: polls each task whose wake flag is set, in
@@ -141,17 +156,46 @@ impl<'a, T> InFlightPool<'a, T> {
         assert!(!self.is_empty(), "wait_any on an empty pool");
         loop {
             if self.slots.iter().all(|s| !s.flag.is_set()) {
+                self.idle_waits += 1;
                 idle();
-                assert!(
-                    self.slots.iter().any(|s| s.flag.is_set()),
-                    "in-flight pool deadlock: {} future(s) pending, none woken",
-                    self.len()
-                );
+                if self.slots.iter().all(|s| !s.flag.is_set()) {
+                    panic!("{}", self.deadlock_report());
+                }
             }
             let done = self.poll_round();
             if !done.is_empty() {
                 return done;
             }
+        }
+    }
+
+    /// The deadlock post-mortem: which indices are stuck, how far the
+    /// pool's virtual clock got, and whatever the attached diagnostics
+    /// source (normally the fd reactor) knows about pending wake sources.
+    fn deadlock_report(&self) -> String {
+        let stuck: Vec<u64> = self.slots.iter().map(|s| s.index).collect();
+        let mut report = format!(
+            "in-flight pool deadlock: {} future(s) pending, none woken after the idle hook\n  \
+             stuck indices: {stuck:?}\n  rounds driven: {}, idle waits: {}",
+            self.len(),
+            self.rounds,
+            self.idle_waits,
+        );
+        if let Some(diagnostics) = &self.diagnostics {
+            report.push_str("\n  ");
+            report.push_str(&diagnostics().replace('\n', "\n  "));
+        }
+        report
+    }
+}
+
+impl<T> Drop for InFlightPool<'_, T> {
+    fn drop(&mut self) {
+        // Flush the locally accumulated tallies in one shot — the
+        // per-round fast path stays free of registry traffic.
+        if o4a_obs::metrics_enabled() && (self.rounds > 0 || self.idle_waits > 0) {
+            o4a_obs::metrics::counter("executor.poll_rounds").add(self.rounds);
+            o4a_obs::metrics::counter("executor.idle_waits").add(self.idle_waits);
         }
     }
 }
@@ -306,6 +350,25 @@ mod tests {
         }
         let mut pool = InFlightPool::new(1);
         pool.submit(0, Stuck);
+        pool.wait_any();
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck indices: [7]")]
+    fn deadlock_panic_enumerates_stuck_work_and_diagnostics() {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll};
+        struct Stuck;
+        impl Future for Stuck {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let mut pool = InFlightPool::new(2);
+        pool.set_diagnostics(|| "reactor: poll_io never ran, 0 registration(s)".into());
+        pool.submit(7, Stuck);
         pool.wait_any();
     }
 

@@ -103,6 +103,7 @@ struct Entry {
     events: i16,
     waker: Waker,
     deadline: Option<Instant>,
+    registered_at: Instant,
 }
 
 /// A `poll(2)`-based readiness reactor over pipe fds.
@@ -126,6 +127,7 @@ struct Entry {
 pub struct FdReactor {
     entries: RefCell<Vec<Entry>>,
     next_token: std::cell::Cell<u64>,
+    last_poll: std::cell::Cell<Option<Instant>>,
 }
 
 impl FdReactor {
@@ -161,8 +163,50 @@ impl FdReactor {
             events: interest.events(),
             waker,
             deadline,
+            registered_at: Instant::now(),
         });
         token
+    }
+
+    /// A human-readable dump of every live registration plus the age of
+    /// the last [`poll_io`](FdReactor::poll_io) — the deadlock
+    /// post-mortem the in-flight pool attaches to its panic (a stuck
+    /// pipeline is invisible without knowing *which* fds were armed and
+    /// whether the reactor ever ran).
+    pub fn debug_dump(&self) -> String {
+        let now = Instant::now();
+        let mut out = match self.last_poll.get() {
+            Some(at) => format!(
+                "reactor: last poll_io {}ms ago, {} registration(s)",
+                now.duration_since(at).as_millis(),
+                self.registered(),
+            ),
+            None => format!(
+                "reactor: poll_io never ran, {} registration(s)",
+                self.registered()
+            ),
+        };
+        for e in self.entries.borrow().iter() {
+            let interest = if e.events & POLLOUT != 0 {
+                "write"
+            } else {
+                "read"
+            };
+            let deadline = match e.deadline {
+                Some(d) if d <= now => {
+                    format!(", deadline expired {}ms ago", (now - d).as_millis())
+                }
+                Some(d) => format!(", deadline in {}ms", (d - now).as_millis()),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "\n  token {} fd {} ({interest}) armed {}ms ago{deadline}",
+                e.token,
+                e.fd,
+                now.duration_since(e.registered_at).as_millis(),
+            ));
+        }
+        out
     }
 
     /// Cancels a registration by token. A no-op when the entry already
@@ -186,6 +230,10 @@ impl FdReactor {
     ///
     /// The underlying `poll(2)` errors (`EINTR` is retried internally).
     pub fn poll_io(&self, max_wait: Option<Duration>) -> io::Result<usize> {
+        self.last_poll.set(Some(Instant::now()));
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::counter("reactor.polls").inc();
+        }
         if self.entries.borrow().is_empty() {
             return Ok(0);
         }

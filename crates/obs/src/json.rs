@@ -1,11 +1,14 @@
-//! A minimal JSON reader/writer for the findings store.
+//! A minimal JSON reader/writer shared by every line-oriented format in
+//! the workspace: the findings store, the dist wire protocol, and the
+//! trace/metrics files this crate emits.
 //!
-//! The offline build environment has no serde, so the store serializes
+//! The offline build environment has no serde, so everything serializes
 //! through this tiny self-contained module. It supports exactly the JSON
-//! subset the store emits: objects, arrays, strings with standard escapes,
-//! `u64` integers, finite floats, booleans, and `null`. Unsigned integers
-//! are kept distinct from floats so 64-bit counters and seeds round-trip
-//! losslessly (an `f64` number type would silently truncate above 2^53).
+//! subset those formats emit: objects, arrays, strings with standard
+//! escapes, `u64` integers, finite floats, booleans, and `null`. Unsigned
+//! integers are kept distinct from floats so 64-bit counters and seeds
+//! round-trip losslessly (an `f64` number type would silently truncate
+//! above 2^53).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,460 @@
+//! Thread-local ring-buffer tracing with monotonic timestamps.
+//!
+//! Recording is designed to never perturb campaign semantics: an event is
+//! a push into a bounded per-thread buffer (newest events are dropped,
+//! with a drop count, once the ring is full), timestamps come from a
+//! process-wide monotonic epoch, and nothing recorded ever feeds back
+//! into scheduling or answers. When tracing is disabled
+//! ([`crate::trace_enabled`] is false) every entry point is a single
+//! relaxed atomic load and an early return.
+//!
+//! Buffers are drained explicitly ([`drain_events`], normally via
+//! [`crate::drain`]) into per-process JSONL files: one meta line
+//! (`{"meta":"o4a-trace", pid, epoch_unix_micros, events, dropped}`)
+//! followed by one event object per line. Files from many processes are
+//! merged into a single Chrome `traceEvents` JSON by
+//! [`export_chrome_trace`], which aligns each file's monotonic clock via
+//! its recorded unix epoch.
+
+use crate::json::{obj, parse, Json};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Default per-thread ring capacity (events kept before dropping).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// One recorded span (`dur_micros = Some`) or instant event (`None`).
+///
+/// `cat`/`name` are `Cow` so recording sites pay no allocation for their
+/// `&'static str` labels while parsed files still compare equal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since this process's monotonic epoch.
+    pub ts_micros: u64,
+    /// Span duration; `None` for instant events.
+    pub dur_micros: Option<u64>,
+    /// Subsystem category (`core`, `pipe`, `dist`, ...).
+    pub cat: Cow<'static, str>,
+    /// Event name within the category.
+    pub name: Cow<'static, str>,
+    /// Recording thread, numbered in registration order from 1.
+    pub tid: u64,
+    /// Small numeric payload, sorted by key for a canonical encoding.
+    pub args: Vec<(Cow<'static, str>, u64)>,
+}
+
+impl TraceEvent {
+    /// Encodes as one canonical JSON object (the JSONL line format).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("ts", Json::U64(self.ts_micros)),
+            ("cat", Json::Str(self.cat.to_string())),
+            ("name", Json::Str(self.name.to_string())),
+            ("tid", Json::U64(self.tid)),
+        ];
+        if let Some(dur) = self.dur_micros {
+            pairs.push(("dur", Json::U64(dur)));
+        }
+        if !self.args.is_empty() {
+            pairs.push((
+                "args",
+                Json::Obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        obj(pairs)
+    }
+
+    /// Decodes one JSONL line object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let field = |key: &str| v.get(key).and_then(Json::as_u64);
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(|s| Cow::Owned(s.to_string()))
+        };
+        let mut args = Vec::new();
+        if let Some(Json::Obj(map)) = v.get("args") {
+            for (k, val) in map {
+                let n = val.as_u64().ok_or_else(|| format!("non-u64 arg {k}"))?;
+                args.push((Cow::Owned(k.clone()), n));
+            }
+        }
+        Ok(TraceEvent {
+            ts_micros: field("ts").ok_or("missing ts")?,
+            dur_micros: field("dur"),
+            cat: text("cat").ok_or("missing cat")?,
+            name: text("name").ok_or("missing name")?,
+            tid: field("tid").ok_or("missing tid")?,
+            args,
+        })
+    }
+}
+
+/// The meta line leading every trace file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceMeta {
+    /// Recording process id.
+    pub pid: u64,
+    /// Unix micros of the process's monotonic epoch — aligns per-process
+    /// monotonic timestamps onto one global axis.
+    pub epoch_unix_micros: u64,
+    /// Events in the file body.
+    pub events: u64,
+    /// Events lost to full rings before this drain.
+    pub dropped: u64,
+}
+
+struct Epoch {
+    started: Instant,
+    unix_micros: u64,
+}
+
+static EPOCH: OnceLock<Epoch> = OnceLock::new();
+
+fn epoch() -> &'static Epoch {
+    EPOCH.get_or_init(|| Epoch {
+        started: Instant::now(),
+        unix_micros: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    })
+}
+
+/// Microseconds since the process-wide monotonic epoch.
+pub fn now_micros() -> u64 {
+    epoch().started.elapsed().as_micros() as u64
+}
+
+/// Unix micros of the monotonic epoch (for cross-process alignment).
+pub fn epoch_unix_micros() -> u64 {
+    epoch().unix_micros
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+static REGISTRY: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<ThreadBuf>>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ring_capacity(capacity: usize) {
+    RING_CAP.store(capacity.max(1), Ordering::Relaxed);
+}
+
+fn record(event: TraceEvent) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let buf = Arc::new(Mutex::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Vec::new(),
+                dropped: 0,
+            }));
+            REGISTRY.lock().unwrap().push(Arc::clone(&buf));
+            buf
+        });
+        let mut buf = buf.lock().unwrap();
+        if buf.events.len() < RING_CAP.load(Ordering::Relaxed) {
+            let tid = buf.tid;
+            buf.events.push(TraceEvent { tid, ..event });
+        } else {
+            buf.dropped += 1;
+        }
+    });
+}
+
+/// Records an instant event. No-op unless tracing is enabled.
+pub fn event(cat: &'static str, name: &'static str, args: &[(&'static str, u64)]) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let mut args: Vec<(Cow<'static, str>, u64)> =
+        args.iter().map(|&(k, v)| (Cow::Borrowed(k), v)).collect();
+    args.sort_by(|a, b| a.0.cmp(&b.0));
+    record(TraceEvent {
+        ts_micros: now_micros(),
+        dur_micros: None,
+        cat: Cow::Borrowed(cat),
+        name: Cow::Borrowed(name),
+        tid: 0,
+        args,
+    });
+}
+
+/// An in-progress span; records a complete event on drop. Inert (zero
+/// timestamp reads, zero allocation) when tracing is disabled.
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    start: u64,
+    cat: &'static str,
+    name: &'static str,
+    args: Vec<(Cow<'static, str>, u64)>,
+}
+
+/// Opens a span over the enclosing scope.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    SpanGuard {
+        inner: crate::trace_enabled().then(|| SpanInner {
+            start: now_micros(),
+            cat,
+            name,
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a numeric argument to the eventual span event.
+    pub fn arg(mut self, key: &'static str, value: u64) -> SpanGuard {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((Cow::Borrowed(key), value));
+            inner.args.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            record(TraceEvent {
+                ts_micros: inner.start,
+                dur_micros: Some(now_micros().saturating_sub(inner.start)),
+                cat: Cow::Borrowed(inner.cat),
+                name: Cow::Borrowed(inner.name),
+                tid: 0,
+                args: inner.args,
+            });
+        }
+    }
+}
+
+/// Takes every buffered event (all threads) plus the total drop count.
+///
+/// Events are stably sorted by `(ts, tid)`, so per-thread order is
+/// preserved and the output is deterministic for a fixed event set.
+pub fn drain_events() -> (Vec<TraceEvent>, u64) {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for buf in REGISTRY.lock().unwrap().iter() {
+        let mut buf = buf.lock().unwrap();
+        events.append(&mut buf.events);
+        dropped += std::mem::take(&mut buf.dropped);
+    }
+    events.sort_by_key(|e| (e.ts_micros, e.tid));
+    (events, dropped)
+}
+
+/// Writes one trace file: the meta line, then one event per line, fsync'd.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_trace_file(path: &Path, events: &[TraceEvent], dropped: u64) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    let meta = obj(vec![
+        ("meta", Json::Str("o4a-trace".into())),
+        ("pid", Json::U64(u64::from(std::process::id()))),
+        ("epoch_unix_micros", Json::U64(epoch_unix_micros())),
+        ("events", Json::U64(events.len() as u64)),
+        ("dropped", Json::U64(dropped)),
+    ]);
+    let mut out = meta.to_line();
+    out.push('\n');
+    for event in events {
+        out.push_str(&event.to_json().to_line());
+        out.push('\n');
+    }
+    file.write_all(out.as_bytes())?;
+    file.sync_all()
+}
+
+fn bad_data(err: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, err.into())
+}
+
+/// Reads and validates one trace file written by [`write_trace_file`].
+///
+/// # Errors
+///
+/// I/O errors, plus `InvalidData` when the meta line is missing or any
+/// line fails the event schema, or the event count disagrees with the
+/// meta line.
+pub fn read_trace_file(path: &Path) -> std::io::Result<(TraceMeta, Vec<TraceEvent>)> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let meta_line = lines.next().ok_or_else(|| bad_data("empty trace file"))??;
+    let meta_json = parse(&meta_line).map_err(bad_data)?;
+    if meta_json.get("meta").and_then(Json::as_str) != Some("o4a-trace") {
+        return Err(bad_data("first line is not an o4a-trace meta record"));
+    }
+    let field = |key: &str| {
+        meta_json
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad_data(format!("meta line missing {key}")))
+    };
+    let meta = TraceMeta {
+        pid: field("pid")?,
+        epoch_unix_micros: field("epoch_unix_micros")?,
+        events: field("events")?,
+        dropped: field("dropped")?,
+    };
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line?;
+        let event = parse(&line)
+            .and_then(|v| TraceEvent::from_json(&v))
+            .map_err(bad_data)?;
+        events.push(event);
+    }
+    if events.len() as u64 != meta.events {
+        return Err(bad_data(format!(
+            "meta line promises {} events, file has {}",
+            meta.events,
+            events.len()
+        )));
+    }
+    Ok((meta, events))
+}
+
+/// Merges trace files from many processes into one Chrome trace-event
+/// JSON document (`chrome://tracing` / Perfetto's `traceEvents` format).
+///
+/// Each file's monotonic timestamps are shifted onto a shared axis using
+/// its `epoch_unix_micros`, relative to the earliest epoch seen.
+///
+/// # Errors
+///
+/// Propagates [`read_trace_file`] errors; requires at least one path.
+pub fn export_chrome_trace<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<String> {
+    if paths.is_empty() {
+        return Err(bad_data("no trace files to export"));
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        files.push(read_trace_file(path.as_ref())?);
+    }
+    let base = files
+        .iter()
+        .map(|(m, _)| m.epoch_unix_micros)
+        .min()
+        .unwrap_or(0);
+    let mut entries = Vec::new();
+    for (meta, events) in &files {
+        let shift = meta.epoch_unix_micros - base;
+        for event in events {
+            let mut pairs = vec![
+                (
+                    "ph",
+                    Json::Str(if event.dur_micros.is_some() { "X" } else { "i" }.into()),
+                ),
+                ("ts", Json::U64(event.ts_micros + shift)),
+                ("pid", Json::U64(meta.pid)),
+                ("tid", Json::U64(event.tid)),
+                ("cat", Json::Str(event.cat.to_string())),
+                ("name", Json::Str(event.name.to_string())),
+            ];
+            match event.dur_micros {
+                Some(dur) => pairs.push(("dur", Json::U64(dur))),
+                None => pairs.push(("s", Json::Str("t".into()))),
+            }
+            if !event.args.is_empty() {
+                pairs.push((
+                    "args",
+                    Json::Obj(
+                        event
+                            .args
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), Json::U64(*v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            entries.push((event.ts_micros + shift, meta.pid, obj(pairs)));
+        }
+    }
+    entries.sort_by_key(|&(ts, pid, _)| (ts, pid));
+    let doc = obj(vec![(
+        "traceEvents",
+        Json::Arr(entries.into_iter().map(|(_, _, v)| v).collect()),
+    )]);
+    Ok(doc.to_line())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_round_trips() {
+        let original = TraceEvent {
+            ts_micros: 1234,
+            dur_micros: Some(56),
+            cat: Cow::Borrowed("pipe"),
+            name: Cow::Borrowed("query"),
+            tid: 3,
+            args: vec![(Cow::Borrowed("id"), 7), (Cow::Borrowed("lane"), 1)],
+        };
+        let line = original.to_json().to_line();
+        let parsed = TraceEvent::from_json(&parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn instant_event_omits_dur() {
+        let event = TraceEvent {
+            ts_micros: 9,
+            dur_micros: None,
+            cat: Cow::Borrowed("dist"),
+            name: Cow::Borrowed("lease.grant"),
+            tid: 1,
+            args: Vec::new(),
+        };
+        let line = event.to_json().to_line();
+        assert!(!line.contains("dur"));
+        assert_eq!(
+            TraceEvent::from_json(&parse(&line).unwrap()).unwrap(),
+            event
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let v = parse(r#"{"cat":"x","name":"y"}"#).unwrap();
+        assert!(TraceEvent::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end schema tests: record → drain → files → parse → merge.
+//!
+//! Observability state is process-global, so every test here serializes
+//! on one mutex and ends with `uninstall()`.
+
+use o4a_obs::{metrics, trace, ObsConfig};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("o4a-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disabled_obs_records_nothing_and_drain_is_a_no_op() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    trace::event("test", "ignored", &[("k", 1)]);
+    drop(trace::span("test", "ignored-span"));
+    assert_eq!(o4a_obs::drain().unwrap(), None);
+    let (events, dropped) = trace::drain_events();
+    assert!(events.is_empty());
+    assert_eq!(dropped, 0);
+}
+
+#[test]
+fn trace_file_round_trips_through_the_schema() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("trace");
+    o4a_obs::install(ObsConfig::enabled_in(&dir));
+
+    trace::event("dist", "lease.grant", &[("shard", 3), ("worker", 1)]);
+    {
+        let _span = trace::span("core", "case.execute").arg("case", 7);
+        std::hint::black_box(0);
+    }
+    metrics::counter("campaign.cases").add(11);
+    metrics::histogram("pipe.query_micros").record(130);
+    metrics::histogram("pipe.query_micros").record(0);
+
+    let report = o4a_obs::drain().unwrap().expect("installed with a dir");
+    assert_eq!(report.events, 2);
+    assert_eq!(report.dropped, 0);
+
+    let (meta, events) = trace::read_trace_file(report.trace_file.as_ref().unwrap()).unwrap();
+    assert_eq!(meta.pid, u64::from(std::process::id()));
+    assert_eq!(meta.events, 2);
+    assert_eq!(events[0].name, "lease.grant");
+    assert_eq!(
+        events[0].args,
+        vec![("shard".into(), 3), ("worker".into(), 1)]
+    );
+    assert_eq!(events[1].name, "case.execute");
+    assert!(events[1].dur_micros.is_some());
+
+    let (pid, snap) = metrics::read_metrics_file(report.metrics_file.as_ref().unwrap()).unwrap();
+    assert_eq!(pid, u64::from(std::process::id()));
+    assert_eq!(snap.counters["campaign.cases"], 11);
+    let hist = &snap.histograms["pipe.query_micros"];
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.sum, 130);
+
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ring_capacity_bounds_the_buffer_and_counts_drops() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("ring");
+    o4a_obs::install(ObsConfig {
+        ring_capacity: 4,
+        ..ObsConfig::enabled_in(&dir)
+    });
+    for i in 0..10 {
+        trace::event("test", "tick", &[("i", i)]);
+    }
+    let report = o4a_obs::drain().unwrap().unwrap();
+    assert_eq!(report.events, 4);
+    assert_eq!(report.dropped, 6);
+    let (meta, _) = trace::read_trace_file(report.trace_file.as_ref().unwrap()).unwrap();
+    assert_eq!(meta.dropped, 6);
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chrome_export_merges_and_aligns_multiple_files() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("chrome");
+    o4a_obs::install(ObsConfig::enabled_in(&dir));
+    trace::event("exec", "shard.start", &[("shard", 0)]);
+    let first = o4a_obs::drain().unwrap().unwrap();
+    trace::event("exec", "shard.start", &[("shard", 1)]);
+    let second = o4a_obs::drain().unwrap().unwrap();
+    assert_ne!(first.trace_file, second.trace_file, "drain seq in names");
+
+    let (traces, metrics_files) = o4a_obs::observability_files(&dir).unwrap();
+    assert_eq!(traces.len(), 2);
+    assert_eq!(metrics_files.len(), 2);
+
+    let doc = trace::export_chrome_trace(&traces).unwrap();
+    let parsed = o4a_obs::json::parse(&doc).unwrap();
+    let events = parsed
+        .get("traceEvents")
+        .and_then(o4a_obs::json::Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 2);
+    for e in events {
+        assert_eq!(e.get("ph").and_then(o4a_obs::json::Json::as_str), Some("i"));
+        assert!(e.get("ts").and_then(o4a_obs::json::Json::as_u64).is_some());
+    }
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_files_are_rejected() {
+    let _guard = lock();
+    let dir = scratch("invalid");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bogus = dir.join("trace-0-0.jsonl");
+    std::fs::write(&bogus, "{\"not\":\"a meta line\"}\n").unwrap();
+    assert!(trace::read_trace_file(&bogus).is_err());
+    std::fs::write(&bogus, "").unwrap();
+    assert!(trace::read_trace_file(&bogus).is_err());
+    let bogus_metrics = dir.join("metrics-0-0.jsonl");
+    std::fs::write(&bogus_metrics, "{\"meta\":\"o4a-metrics\"}\n").unwrap();
+    assert!(metrics::read_metrics_file(&bogus_metrics).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -515,7 +515,32 @@ impl PipeSolver {
     fn spawn_counted(&self) -> io::Result<SolverProcess> {
         let proc = self.command.spawn()?;
         self.spawned.set(self.spawned.get() + 1);
+        o4a_obs::trace::event("pipe", "spawn", &[]);
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::counter("pipe.spawns").inc();
+        }
         Ok(proc)
+    }
+
+    /// Charges one process retirement: the deterministic transport
+    /// counter (part of the campaign's churn invariant) plus the
+    /// write-only observability channels.
+    fn note_respawn(&self) {
+        self.respawns.set(self.respawns.get() + 1);
+        o4a_obs::trace::event("pipe", "respawn", &[]);
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::counter("pipe.respawns").inc();
+        }
+    }
+
+    /// [`parse_model_reply`] with the parse time recorded (reply parsing
+    /// is the coordinator-side cost of a query, distinct from the
+    /// child's solve latency).
+    fn timed_parse_model(text: &str) -> Option<o4a_smtlib::Model> {
+        let timer = o4a_obs::metrics::start_timer();
+        let model = parse_model_reply(text);
+        o4a_obs::metrics::record_elapsed("pipe.reply_parse_micros", timer);
+        model
     }
 
     fn acquire(&self) -> io::Result<SolverProcess> {
@@ -587,7 +612,7 @@ impl PipeSolver {
     }
 
     fn lost_process(&self, death: &PipeDeath) -> SolverResponse {
-        self.respawns.set(self.respawns.get() + 1);
+        self.note_respawn();
         self.death_response(death)
     }
 
@@ -645,10 +670,21 @@ impl PipeSolver {
     }
 
     async fn run_query(&self, text: &str) -> SolverResponse {
-        match self.mode {
+        let timer = o4a_obs::metrics::start_timer();
+        let _span = o4a_obs::trace::span(
+            "pipe",
+            match self.mode {
+                SolverMode::Spawn => "query.spawn",
+                SolverMode::Session => "query.session",
+            },
+        )
+        .arg("bytes", text.len() as u64);
+        let response = match self.mode {
             SolverMode::Spawn => self.run_query_spawn(text).await,
             SolverMode::Session => self.run_query_session(text).await,
-        }
+        };
+        o4a_obs::metrics::record_elapsed("pipe.query_micros", timer);
+        response
     }
 
     async fn run_query_spawn(&self, text: &str) -> SolverResponse {
@@ -690,7 +726,7 @@ impl PipeSolver {
                 let lost = match self.send(&mut proc, b"(get-model)\n", deadline).await {
                     Ok(()) => match self.read_sexp(&mut proc, deadline).await {
                         Ok(sexp) => {
-                            model = parse_model_reply(&sexp);
+                            model = Self::timed_parse_model(&sexp);
                             None
                         }
                         Err(death) => Some(death),
@@ -698,7 +734,7 @@ impl PipeSolver {
                     Err(death) => Some(death),
                 };
                 if lost.is_some() {
-                    self.respawns.set(self.respawns.get() + 1);
+                    self.note_respawn();
                     drop(proc); // kill (if wedged) + reap
                 } else {
                     self.release(proc);
@@ -786,6 +822,7 @@ impl PipeSolver {
             },
         );
         self.scopes.set(self.scopes.get() + 1);
+        o4a_obs::trace::event("pipe", "session.push", &[("id", id)]);
         id
     }
 
@@ -866,6 +903,7 @@ impl PipeSolver {
                     // service clock starts only now that the child is
                     // free to work on it.
                     s.head_since = (!s.pending.is_empty()).then(Instant::now);
+                    o4a_obs::trace::event("pipe", "session.pop", &[("id", id)]);
                     Self::session_complete(
                         s,
                         id,
@@ -883,7 +921,7 @@ impl PipeSolver {
                 // The child exited while idle: nothing to blame it on —
                 // retire it and respawn on the next query (counted as a
                 // respawn so the churn invariant stays exact).
-                self.respawns.set(self.respawns.get() + 1);
+                self.note_respawn();
                 s.proc = None;
                 s.outbuf.clear();
                 s.head_verdict = None;
@@ -914,7 +952,7 @@ impl PipeSolver {
         // error-desync retire alike — so the churn invariant
         // `processes_spawned ≤ lanes + process_respawns` holds for any
         // solver, including ones that answer `(error …)`.
-        self.respawns.set(self.respawns.get() + 1);
+        self.note_respawn();
         let head_reply = match s.head_verdict.take() {
             Some(verdict) if matches!(reply, SessionReply::Died(_)) => SessionReply::Answered {
                 verdict,
@@ -995,7 +1033,7 @@ impl PipeSolver {
                     "sat" => {
                         return SolverResponse {
                             outcome: Outcome::Sat,
-                            model: parse_model_reply(&model_sexp),
+                            model: Self::timed_parse_model(&model_sexp),
                             stats: SolveStats::default(),
                         }
                     }

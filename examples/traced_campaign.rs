@@ -1,0 +1,136 @@
+//! Demonstrates deterministic-safe observability (`o4a-obs`) over a
+//! distributed campaign: every worker runs with `O4A_TRACE` and
+//! `O4A_METRICS` on, the coordinator aggregates the fleet-wide metrics
+//! off the protocol frames, and the per-process trace files merge into
+//! one Chrome-trace JSON (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+//!
+//! ```text
+//! cargo build -p o4a-bench --bin dist_worker
+//! cargo run --example traced_campaign
+//! ```
+//!
+//! Knobs: `O4A_DIST_WORKER` (worker binary path), `O4A_DIST_WORKERS`
+//! (fleet size, default 3), `O4A_OBS_KEEP` (any non-empty value keeps
+//! the obs scratch dir and prints where the merged trace lives).
+//!
+//! Observability is write-only: the traced fleet's merged result is
+//! asserted bit-identical to an untraced in-process run of the same
+//! plan at the end — the `O4A_TRACE`/`O4A_METRICS` knobs can never
+//! change what a campaign finds, only what it tells you.
+
+use once4all::core::{CampaignConfig, Fuzzer, Once4AllFuzzer};
+use once4all::dist::{run_distributed, DistConfig};
+use once4all::exec::{run_campaign_sharded, ExecConfig, Parallelism};
+use once4all::obs;
+use std::path::PathBuf;
+
+const SHARDS: u32 = 6;
+
+fn worker_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("O4A_DIST_WORKER") {
+        return PathBuf::from(path);
+    }
+    let exe = std::env::current_exe().expect("own path");
+    let profile_dir = exe
+        .parent() // .../target/<profile>/examples
+        .and_then(|p| p.parent()) // .../target/<profile>
+        .expect("examples live two levels under target");
+    profile_dir.join("dist_worker")
+}
+
+fn main() {
+    let worker = worker_binary();
+    if !worker.exists() {
+        eprintln!(
+            "worker binary {} not found — build it first:\n    cargo build -p o4a-bench --bin dist_worker",
+            worker.display()
+        );
+        std::process::exit(2);
+    }
+    let workers: u32 = std::env::var("O4A_DIST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3);
+
+    let config = CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 50_000, // demo scale: a few dozen cases over the fleet
+        max_cases: 180,
+        ..CampaignConfig::default()
+    };
+    let scratch = std::env::temp_dir().join(format!("once4all-traced-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let obs_dir = scratch.join("obs");
+
+    // Tracing rides per-spawn environment variables, so only the worker
+    // processes record — this coordinator's own env stays untouched.
+    let dist = DistConfig::new(vec![worker.display().to_string()], scratch.join("journals"))
+        .with_workers(workers)
+        .with_env("O4A_TRACE", obs_dir.display().to_string())
+        .with_env("O4A_METRICS", obs_dir.display().to_string());
+
+    println!("tracing {SHARDS} shards across {workers} worker process(es)...");
+    let report = run_distributed(&config, SHARDS, &dist).expect("traced campaign");
+    let result = &report.result;
+    println!(
+        "merged: {} cases, {} findings across the fleet",
+        result.stats.cases,
+        result.findings.len(),
+    );
+
+    // Fleet-wide metrics arrived live on the protocol's progress/done
+    // frames — no files needed for this view.
+    println!("fleet metrics (merged off protocol frames):");
+    for (name, value) in &report.stats.fleet_metrics.counters {
+        println!("  {name:<24} : {value}");
+    }
+    for (name, h) in &report.stats.fleet_metrics.histograms {
+        println!(
+            "  {name:<24} : n={} mean={:.1}us p99<={}us",
+            h.count,
+            h.mean(),
+            h.quantile(0.99)
+        );
+    }
+
+    // The drained per-process files merge into one Chrome trace.
+    let (traces, metrics) = obs::observability_files(&obs_dir).expect("scan obs dir");
+    println!(
+        "obs dir: {} trace file(s), {} metrics file(s)",
+        traces.len(),
+        metrics.len()
+    );
+    let chrome = obs::trace::export_chrome_trace(&traces).expect("chrome export");
+    let chrome_path = obs_dir.join("chrome_trace.json");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+    println!(
+        "merged Chrome trace: {} ({} bytes) — open in chrome://tracing",
+        chrome_path.display(),
+        chrome.len()
+    );
+
+    // The non-interference law, checked live: the traced fleet equals
+    // an untraced in-process run of the identical plan.
+    let exec = ExecConfig {
+        shards: SHARDS,
+        parallelism: Parallelism::Auto,
+        ..ExecConfig::default()
+    };
+    let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
+    let reference = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(
+        result.stats.sans_transport(),
+        reference.stats.sans_transport()
+    );
+    assert_eq!(result.findings.len(), reference.findings.len());
+    assert_eq!(result.final_coverage, reference.final_coverage);
+    println!("traced == untraced: tracing observed the campaign without touching it");
+
+    if std::env::var("O4A_OBS_KEEP").is_ok_and(|v| !v.is_empty()) {
+        println!("keeping {}", scratch.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

@@ -26,6 +26,10 @@
 //!   shard leases (work stealing), per-worker findings journals merged
 //!   losslessly, and crash recovery that keeps an N-worker campaign
 //!   bit-identical to a 1-worker one.
+//! * [`obs`] — deterministic-safe observability: ring-buffer tracing
+//!   with Chrome trace-event export, a counter/histogram metrics
+//!   registry whose snapshots merge across fleets, and the
+//!   `O4A_TRACE`/`O4A_METRICS` knobs (near-zero cost when off).
 //!
 //! ```no_run
 //! use once4all::core::{run_campaign, CampaignConfig, Once4AllFuzzer};
@@ -43,6 +47,7 @@ pub use o4a_exec as exec;
 pub use o4a_executor as executor;
 pub use o4a_grammar as grammar;
 pub use o4a_llm as llm;
+pub use o4a_obs as obs;
 pub use o4a_reduce as reduce;
 pub use o4a_smtlib as smtlib;
 pub use o4a_solvers as solvers;
