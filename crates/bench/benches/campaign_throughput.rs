@@ -10,7 +10,13 @@
 //!   with K queries in flight per shard worker;
 //! * `pipe_spawn_k8` / `pipe_session_k8` — external mock-solver
 //!   processes over stdin/stdout pipes (zero injected latency, so the
-//!   number measures transport overhead, not sleeps).
+//!   number measures transport overhead, not sleeps);
+//! * `pipe_dup_uncached` / `pipe_dup_cached` — a duplicate-heavy case
+//!   stream (24 distinct scripts cycled over the whole plan) against a
+//!   mock with injected per-query latency, without and with the verdict
+//!   cache. The cached number is what `O4A_CACHE` buys on re-solved
+//!   scripts: every repeat is served off the journal without touching a
+//!   process.
 //!
 //! The JSON layout is one flat `scenarios` object of cases/sec values
 //! plus the per-run constants needed to interpret them. No timestamps:
@@ -55,6 +61,66 @@ fn piped(config: &CampaignConfig, k: usize, mode: SolverMode) -> CampaignResult 
     run_shard_piped(&mut fuzzer, config, 0, None, k, &backend)
 }
 
+/// Wraps the standard fuzzer into a duplicate-heavy stream: the first
+/// `period` generated cases repeat for the rest of the campaign — the
+/// shape of a reduction/triage workload, where the same scripts re-solve
+/// over and over.
+struct CyclingFuzzer {
+    inner: Once4AllFuzzer,
+    period: usize,
+    seen: Vec<o4a_core::TestCase>,
+    next: usize,
+}
+
+impl CyclingFuzzer {
+    fn new(period: usize) -> CyclingFuzzer {
+        CyclingFuzzer {
+            inner: Once4AllFuzzer::with_defaults(),
+            period,
+            seen: Vec::new(),
+            next: 0,
+        }
+    }
+}
+
+impl o4a_core::Fuzzer for CyclingFuzzer {
+    fn name(&self) -> String {
+        format!("{}-dup{}", self.inner.name(), self.period)
+    }
+
+    fn setup(&mut self, rng: &mut rand::rngs::StdRng) -> u64 {
+        self.inner.setup(rng)
+    }
+
+    fn next_case(&mut self, rng: &mut rand::rngs::StdRng) -> o4a_core::TestCase {
+        if self.seen.len() < self.period {
+            let case = self.inner.next_case(rng);
+            self.seen.push(case.clone());
+            return case;
+        }
+        let case = self.seen[self.next % self.period].clone();
+        self.next += 1;
+        case
+    }
+}
+
+/// The duplicate-heavy pipe scenario: session transport at K = 8, a mock
+/// that charges real wall-clock per query, cache on or off. The cache
+/// dir persists across the timed runs, so the cached median measures the
+/// steady warm state a long campaign converges to.
+fn piped_duplicates(
+    config: &CampaignConfig,
+    cache_dir: Option<&std::path::Path>,
+) -> CampaignResult {
+    let mut backend = PipeBackend::new(format!("{MOCK} --seed 11 --lane {{lane}} --latency-ms 20"))
+        .with_mode(SolverMode::Session);
+    if let Some(dir) = cache_dir {
+        backend = backend.with_cache_dir(dir);
+    }
+    let mut fuzzer = CyclingFuzzer::new(24);
+    run_shard_piped(&mut fuzzer, config, 0, None, 8, &backend)
+}
+
 /// Median cases/sec over [`RUNS`] timed executions of `run`.
 fn cases_per_sec(
     config: &CampaignConfig,
@@ -92,6 +158,18 @@ fn bench(c: &mut Criterion) {
             "pipe_session_k8",
             cases_per_sec(&config, |cfg| piped(cfg, 8, SolverMode::Session)),
         ),
+        (
+            "pipe_dup_uncached",
+            cases_per_sec(&config, |cfg| piped_duplicates(cfg, None)),
+        ),
+        ("pipe_dup_cached", {
+            let dir = std::env::temp_dir().join(format!("o4a-bench-cache-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create bench cache dir");
+            let rate = cases_per_sec(&config, |cfg| piped_duplicates(cfg, Some(&dir)));
+            let _ = std::fs::remove_dir_all(&dir);
+            rate
+        }),
     ];
 
     let report = obj(vec![

@@ -190,6 +190,25 @@ pub fn render_stats(result: &CampaignResult) -> String {
         );
         let _ = writeln!(out, "incremental scopes pushed: {}", s.scopes_pushed);
     }
+    // Verdict-cache traffic — only campaigns run with `O4A_CACHE` (or a
+    // `PipeBackend` cache dir) see any; the counters are transport
+    // observables, scrubbed by `sans_transport`.
+    if s.cache_hits > 0 || s.cache_misses > 0 || s.prefix_reuses > 0 {
+        let looked_up = s.cache_hits + s.cache_misses;
+        let hit_pct = if looked_up > 0 {
+            s.cache_hits as f64 * 100.0 / looked_up as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "verdict cache            : {} hits / {} misses ({hit_pct:.1}% hit rate)",
+            s.cache_hits, s.cache_misses
+        );
+        if s.prefix_reuses > 0 {
+            let _ = writeln!(out, "prefix scopes reused     : {}", s.prefix_reuses);
+        }
+    }
     // Distribution-layer lease churn — only a distributed coordinator
     // (`o4a-dist`) grants leases.
     if s.leases_granted > 0 {
@@ -247,6 +266,15 @@ pub fn render_dist_stats(stats: &o4a_dist::DistStats) -> String {
             w.cases_per_sec(),
             w.last_cases_per_sec,
             if w.clean_exit { "clean" } else { "died" },
+        );
+    }
+    // Fleet-wide cache traffic rides the workers' `done` frames; a
+    // cache-off fleet reports the zero trio and the line is skipped.
+    if !stats.cache.is_zero() {
+        let _ = writeln!(
+            out,
+            "verdict cache (fleet)    : {} hits / {} misses, {} prefix reuses",
+            stats.cache.hits, stats.cache.misses, stats.cache.prefix_reuses
         );
     }
     // Fleet-wide metrics ride the workers' done/progress frames only
@@ -356,6 +384,11 @@ mod tests {
                 last_cases_per_sec: 155.5,
                 metrics: None,
             }],
+            cache: o4a_dist::CacheCounters {
+                hits: 40,
+                misses: 80,
+                prefix_reuses: 12,
+            },
             fleet_metrics,
         };
         let s = render_dist_stats(&stats);
@@ -369,6 +402,37 @@ mod tests {
         assert!(s.contains("fleet metrics"), "metrics section missing: {s}");
         assert!(s.contains("campaign.cases"));
         assert!(s.contains("n=4 mean=100.0 p99<=127"));
+        assert!(
+            s.contains("verdict cache (fleet)    : 40 hits / 80 misses, 12 prefix reuses"),
+            "fleet cache line missing: {s}"
+        );
+    }
+
+    #[test]
+    fn stats_render_shows_cache_traffic_only_when_cached() {
+        let mut result = CampaignResult {
+            fuzzer: "test".into(),
+            snapshots: Vec::new(),
+            findings: Vec::new(),
+            stats: Default::default(),
+            final_coverage: BTreeMap::new(),
+            covered_functions: BTreeMap::new(),
+            coverage: BTreeMap::new(),
+            hourly_coverage: Vec::new(),
+        };
+        assert!(
+            !render_stats(&result).contains("verdict cache"),
+            "cache-off campaigns must not mention the cache"
+        );
+        result.stats.cache_hits = 30;
+        result.stats.cache_misses = 10;
+        result.stats.prefix_reuses = 7;
+        let s = render_stats(&result);
+        assert!(
+            s.contains("verdict cache            : 30 hits / 10 misses (75.0% hit rate)"),
+            "cache line missing or wrong: {s}"
+        );
+        assert!(s.contains("prefix scopes reused     : 7"));
     }
 
     #[test]

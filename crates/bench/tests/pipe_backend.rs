@@ -171,6 +171,8 @@ fn sharded_engine_over_pipes_is_deterministic() {
         solver_cmd: Some(mock_cmd("--latency-ms 2")),
         solver_timeout_ms: None,
         solver_mode: SolverMode::Spawn,
+        cache_dir: None,
+        affinity: false,
     };
     let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
     let a = run_campaign_sharded(factory, &config, &exec);
@@ -472,6 +474,217 @@ fn session_sat_scope_carries_the_same_model_as_spawn() {
         .unwrap()
         .get_const(&x)
         .is_some());
+}
+
+// --------------------------------------------------- verdict-cache gauntlet
+
+/// A fresh, unique cache directory under the system temp dir.
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "o4a-cache-gauntlet-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// The cache≡fresh law, the full matrix: for **both** transport modes
+/// and K ∈ {1, 4, 8}, a campaign run cold (empty cache), and then again
+/// warm off the journal the cold run wrote, is bit-identical to the
+/// uncached serial reference — stats (modulo transport counters),
+/// findings, models, snapshots. Hits reproduce the exact wire reply a
+/// fresh solve would have produced, so caching can never show in
+/// campaign observables.
+#[test]
+fn cached_campaign_matches_uncached_across_modes_and_topologies() {
+    let config = quick_config();
+    for mode in [SolverMode::Spawn, SolverMode::Session] {
+        let base = PipeBackend::new(mock_cmd("--latency-ms 2")).with_mode(mode);
+        let reference = piped_shard(&config, 1, &base);
+        assert!(
+            reference.stats.decisive > 0,
+            "reference never exercised the mock"
+        );
+        assert_eq!(
+            reference.stats.cache_misses, 0,
+            "an uncached campaign must report zero cache traffic"
+        );
+        let reference = fingerprint(&reference);
+        for k in [1usize, 4, 8] {
+            let dir = cache_dir(&format!("{mode:?}-k{k}"));
+            let cached = base.clone().with_cache_dir(&dir);
+            let cold = piped_shard(&config, k, &cached);
+            assert!(
+                cold.stats.cache_misses > 0,
+                "cold {mode:?} K={k} run never consulted the cache"
+            );
+            assert_eq!(
+                fingerprint(&cold),
+                reference,
+                "cold cache diverged from uncached at {mode:?} K={k}"
+            );
+            let warm = piped_shard(&config, k, &cached);
+            assert!(
+                warm.stats.cache_hits > 0,
+                "warm restart {mode:?} K={k} never hit the journal the cold run wrote"
+            );
+            assert_eq!(
+                fingerprint(&warm),
+                reference,
+                "warm restart diverged from uncached at {mode:?} K={k}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A fully warmed serial campaign never touches a solver process: every
+/// query is answered out of the journal, so the warm run spawns zero
+/// children, opens zero scopes, and misses zero lookups — while staying
+/// bit-identical to the live run that populated the cache.
+#[test]
+fn fully_warmed_campaign_runs_without_a_single_solver_process() {
+    let config = quick_config();
+    let dir = cache_dir("full-warm");
+    let backend = session_backend("--latency-ms 2").with_cache_dir(&dir);
+    let cold = piped_shard(&config, 1, &backend);
+    assert_eq!(cold.stats.cache_hits, 0, "cold serial run cannot self-hit");
+    assert_eq!(cold.stats.cache_misses, cold.stats.cases * 2);
+    let warm = piped_shard(&config, 1, &backend);
+    assert_eq!(warm.stats.cache_misses, 0, "warm run missed the journal");
+    assert_eq!(
+        warm.stats.cache_hits,
+        warm.stats.cases * 2,
+        "one hit per query (two solver lanes per case)"
+    );
+    assert_eq!(
+        warm.stats.processes_spawned, 0,
+        "a fully warmed campaign must not spawn solvers"
+    );
+    assert_eq!(warm.stats.scopes_pushed, 0);
+    assert_eq!(fingerprint(&warm), fingerprint(&cold));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash injection through the cache: crashed queries journal as `died`
+/// records, and a warm restart **replays the crash findings without
+/// respawning anything** — bit-identical to the uncached reference, with
+/// zero live processes harmed.
+#[test]
+fn cached_crash_campaign_replays_findings_without_respawns() {
+    let config = quick_config();
+    let base = session_backend("--crash-mod 5 --latency-ms 2");
+    let reference = piped_shard(&config, 1, &base);
+    let died = |r: &CampaignResult| {
+        r.findings
+            .iter()
+            .filter(|f| {
+                f.signature
+                    .as_deref()
+                    .is_some_and(|s| s.ends_with("::pipe::process-died"))
+            })
+            .count()
+    };
+    assert!(died(&reference) > 0, "crash-mod produced no crash findings");
+    let reference = fingerprint(&reference);
+    let dir = cache_dir("crash");
+    let cached = base.with_cache_dir(&dir);
+    for k in [1usize, 4] {
+        assert_eq!(
+            fingerprint(&piped_shard(&config, k, &cached)),
+            reference,
+            "cold cached crash campaign diverged at K={k}"
+        );
+    }
+    let warm = piped_shard(&config, 1, &cached);
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(
+        warm.stats.process_respawns, 0,
+        "cached crash findings must replay without respawning"
+    );
+    assert!(died(&warm) > 0, "warm run lost the crash findings");
+    assert_eq!(fingerprint(&warm), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal torn mid-record by a crash (simulated by appending a
+/// partial line) is tolerated on reload: the warm restart truncates the
+/// torn tail, re-solves exactly the queries the tail would have served,
+/// and stays bit-identical to the uncached reference.
+#[test]
+fn torn_cache_journal_tail_cannot_poison_a_warm_restart() {
+    let config = quick_config();
+    let base = session_backend("--latency-ms 2");
+    let reference = fingerprint(&piped_shard(&config, 1, &base));
+    let dir = cache_dir("torn");
+    let cached = base.with_cache_dir(&dir);
+    let cold = piped_shard(&config, 1, &cached);
+    let journal = dir.join("cache-shard-0.jsonl");
+    let intact = std::fs::metadata(&journal)
+        .expect("cold run wrote the journal")
+        .len();
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        write!(f, "{{\"t\":\"verdict\",\"digest\":123,\"solv").unwrap();
+    }
+    let warm = piped_shard(&config, 1, &cached);
+    assert_eq!(
+        warm.stats.cache_hits, cold.stats.cache_misses,
+        "every intact record must still hit after the torn tail"
+    );
+    assert_eq!(
+        fingerprint(&warm),
+        reference,
+        "torn tail poisoned the restart"
+    );
+    assert_eq!(
+        std::fs::metadata(&journal).unwrap().len(),
+        intact,
+        "reload must truncate the torn tail before appending"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Prefix-affinity routing obeys the same law as everything else on the
+/// transport: an affine session campaign — with and without the cache,
+/// cold and warm — is bit-identical to the plain spawn campaign.
+#[test]
+fn affine_session_campaign_matches_spawn_campaign() {
+    let config = quick_config();
+    let spawn = fingerprint(&piped_shard(
+        &config,
+        4,
+        &PipeBackend::new(mock_cmd("--latency-ms 2")),
+    ));
+    let affine = session_backend("--latency-ms 2").with_affinity(true);
+    assert_eq!(
+        fingerprint(&piped_shard(&config, 4, &affine)),
+        spawn,
+        "affinity routing leaked into campaign results"
+    );
+    let dir = cache_dir("affine");
+    let affine_cached = affine.with_cache_dir(&dir);
+    assert_eq!(
+        fingerprint(&piped_shard(&config, 4, &affine_cached)),
+        spawn,
+        "affinity + cold cache diverged from spawn"
+    );
+    let warm = piped_shard(&config, 4, &affine_cached);
+    assert!(warm.stats.cache_hits > 0);
+    assert_eq!(
+        fingerprint(&warm),
+        spawn,
+        "affinity + warm cache diverged from spawn"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ------------------------------------------------- spawn-mode reuse parity

@@ -117,6 +117,19 @@ pub struct CampaignStats {
     /// Leases re-issued after the worker holding them died or went
     /// silent mid-lease (the shard re-ran from scratch elsewhere).
     pub leases_reissued: u64,
+    /// Verdict-cache hits: queries answered from the `O4A_CACHE` store
+    /// without touching a solver process. A transport-work observable —
+    /// hit counts depend on what earlier runs (or other shards' merged
+    /// journals) happened to cache, never on what the campaign finds —
+    /// so it is scrubbed by [`CampaignStats::sans_transport`].
+    pub cache_hits: u64,
+    /// Verdict-cache lookups that missed and paid a fresh solve. Zero
+    /// (with `cache_hits`) when no cache is configured.
+    pub cache_misses: u64,
+    /// Session-mode queries that reused a declaration prefix already
+    /// held on the lane's scope stack (`O4A_AFFINITY` routing) instead
+    /// of resending it.
+    pub prefix_reuses: u64,
 }
 
 impl CampaignStats {
@@ -146,6 +159,9 @@ impl CampaignStats {
         self.scopes_pushed += other.scopes_pushed;
         self.leases_granted += other.leases_granted;
         self.leases_reissued += other.leases_reissued;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.prefix_reuses += other.prefix_reuses;
     }
 
     /// This stats block with the solver-transport churn counters zeroed.
@@ -165,6 +181,9 @@ impl CampaignStats {
             scopes_pushed: 0,
             leases_granted: 0,
             leases_reissued: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            prefix_reuses: 0,
             ..self.clone()
         }
     }
@@ -702,6 +721,9 @@ mod tests {
             scopes_pushed: 40,
             leases_granted: 6,
             leases_reissued: 1,
+            cache_hits: 9,
+            cache_misses: 3,
+            prefix_reuses: 8,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -717,6 +739,9 @@ mod tests {
         assert_eq!(b.scopes_pushed, 80);
         assert_eq!(b.leases_granted, 12);
         assert_eq!(b.leases_reissued, 2);
+        assert_eq!(b.cache_hits, 18);
+        assert_eq!(b.cache_misses, 6);
+        assert_eq!(b.prefix_reuses, 16);
         assert!((b.mean_bytes() - 100.0).abs() < 1e-9);
         let scrubbed = b.sans_transport();
         assert_eq!(scrubbed.cases, b.cases);
@@ -725,6 +750,9 @@ mod tests {
         assert_eq!(scrubbed.scopes_pushed, 0);
         assert_eq!(scrubbed.leases_granted, 0);
         assert_eq!(scrubbed.leases_reissued, 0);
+        assert_eq!(scrubbed.cache_hits, 0);
+        assert_eq!(scrubbed.cache_misses, 0);
+        assert_eq!(scrubbed.prefix_reuses, 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! guarantees the half-journaled findings of the dead attempt cannot
 //! leak in).
 
-use crate::protocol::{CampaignPlan, Frame};
+use crate::protocol::{CacheCounters, CampaignPlan, Frame};
 use o4a_core::{CampaignConfig, CampaignResult};
 use o4a_exec::{merge_shard_results, FindingsStore};
 use o4a_executor::{read_available, set_nonblocking, FdReactor, Interest, WakeFlag};
@@ -173,6 +173,12 @@ pub struct DistStats {
     /// process is lossless). Empty unless workers ran with
     /// `O4A_METRICS` on.
     pub fleet_metrics: MetricsSnapshot,
+    /// Fleet-wide verdict-cache/affinity counters, summed off completed
+    /// leases' `done` frames. Informational (the merged
+    /// [`o4a_core::CampaignStats`] carries the same trio, reconstructed
+    /// from the journals); zero when the `O4A_CACHE`/`O4A_AFFINITY`
+    /// knobs are off in the workers.
+    pub cache: CacheCounters,
 }
 
 /// A finished distributed campaign: the merged result (bit-identical to
@@ -567,6 +573,7 @@ fn drive_fleet(
                         cases,
                         cases_per_sec,
                         metrics,
+                        ..
                     }) => {
                         if worker.lease == Some(shard) {
                             worker.lease_cases = cases;
@@ -581,6 +588,7 @@ fn drive_fleet(
                         cases,
                         cases_per_sec,
                         metrics,
+                        cache,
                         ..
                     }) => {
                         if worker.lease != Some(shard) {
@@ -597,6 +605,9 @@ fn drive_fleet(
                         if metrics.is_some() {
                             worker.latest_metrics = metrics;
                         }
+                        stats.cache.hits += cache.hits;
+                        stats.cache.misses += cache.misses;
+                        stats.cache.prefix_reuses += cache.prefix_reuses;
                         done.insert(shard);
                         o4a_obs::trace::event(
                             "dist",

@@ -46,5 +46,5 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{run_distributed, DistConfig, DistReport, DistStats, WorkerSummary};
-pub use protocol::{CampaignPlan, Frame};
+pub use protocol::{CacheCounters, CampaignPlan, Frame};
 pub use worker::{run_worker, CrashInjection, WorkerConfig};

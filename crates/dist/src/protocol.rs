@@ -170,6 +170,12 @@ pub enum Frame {
         /// are cumulative per process — the coordinator keeps the
         /// latest, it does not sum heartbeats.
         metrics: Option<MetricsSnapshot>,
+        /// Verdict-cache and affinity counters for the lease so far
+        /// (hits, misses, prefix reuses) — cumulative per process, like
+        /// the metrics snapshot. All zero (and absent on the wire) when
+        /// neither knob is on; frames from workers predating the
+        /// counters read as zero.
+        cache: CacheCounters,
     },
     /// Worker → coordinator: the lease ran to completion (and its
     /// `shard_done` record is already durable in the journal).
@@ -184,7 +190,49 @@ pub enum Frame {
         cases_per_sec: f64,
         /// Cumulative worker metrics snapshot (see [`Frame::Progress`]).
         metrics: Option<MetricsSnapshot>,
+        /// The completed lease's verdict-cache and affinity counters
+        /// (from the shard's [`o4a_core::CampaignStats`], so they match
+        /// what the journal merge reconstructs).
+        cache: CacheCounters,
     },
+}
+
+/// The verdict-cache/affinity counter trio that rides `progress` and
+/// `done` frames. A plain struct (not a snapshot) because these counters
+/// are part of the campaign stats, not the write-only obs layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Queries answered from the verdict cache.
+    pub hits: u64,
+    /// Queries that missed the cache and paid a fresh solve.
+    pub misses: u64,
+    /// Session queries that reused a held declaration prefix.
+    pub prefix_reuses: u64,
+}
+
+impl CacheCounters {
+    /// True when every counter is zero (the trio is omitted from the
+    /// wire encoding, keeping cache-off frames byte-identical to the
+    /// pre-cache protocol).
+    pub fn is_zero(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+
+    fn encode_into(&self, fields: &mut Vec<(&'static str, Json)>) {
+        if !self.is_zero() {
+            fields.push(("cache_hits", Json::U64(self.hits)));
+            fields.push(("cache_misses", Json::U64(self.misses)));
+            fields.push(("prefix_reuses", Json::U64(self.prefix_reuses)));
+        }
+    }
+
+    fn decode(json: &Json) -> CacheCounters {
+        CacheCounters {
+            hits: u64_field_or_zero(json, "cache_hits"),
+            misses: u64_field_or_zero(json, "cache_misses"),
+            prefix_reuses: u64_field_or_zero(json, "prefix_reuses"),
+        }
+    }
 }
 
 impl Frame {
@@ -206,6 +254,7 @@ impl Frame {
                 cases,
                 cases_per_sec,
                 metrics,
+                cache,
             } => {
                 let mut fields = vec![
                     ("t", Json::Str("progress".into())),
@@ -216,6 +265,7 @@ impl Frame {
                 if let Some(snapshot) = metrics {
                     fields.push(("metrics", snapshot.to_json()));
                 }
+                cache.encode_into(&mut fields);
                 obj(fields)
             }
             Frame::Done {
@@ -224,6 +274,7 @@ impl Frame {
                 findings,
                 cases_per_sec,
                 metrics,
+                cache,
             } => {
                 let mut fields = vec![
                     ("t", Json::Str("done".into())),
@@ -235,6 +286,7 @@ impl Frame {
                 if let Some(snapshot) = metrics {
                     fields.push(("metrics", snapshot.to_json()));
                 }
+                cache.encode_into(&mut fields);
                 obj(fields)
             }
         };
@@ -273,6 +325,7 @@ impl Frame {
                 cases: u64_field(&json, "cases")?,
                 cases_per_sec: f64_field_or_zero(&json, "cps"),
                 metrics: metrics_field(&json)?,
+                cache: CacheCounters::decode(&json),
             }),
             "done" => Ok(Frame::Done {
                 shard: u64_field(&json, "shard")? as u32,
@@ -280,6 +333,7 @@ impl Frame {
                 findings: u64_field(&json, "findings")?,
                 cases_per_sec: f64_field_or_zero(&json, "cps"),
                 metrics: metrics_field(&json)?,
+                cache: CacheCounters::decode(&json),
             }),
             other => Err(bad(format!("unknown frame '{other}'"))),
         }
@@ -297,6 +351,11 @@ fn u64_field(json: &Json, key: &str) -> io::Result<u64> {
 /// throughput.
 fn f64_field_or_zero(json: &Json, key: &str) -> f64 {
     json.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Same tolerance for the cache counter trio: absent reads as zero.
+fn u64_field_or_zero(json: &Json, key: &str) -> u64 {
+    json.get(key).and_then(Json::as_u64).unwrap_or(0)
 }
 
 /// Absent `metrics` is `None`; a *present but malformed* snapshot is a
@@ -372,12 +431,18 @@ mod tests {
                 cases: 40,
                 cases_per_sec: 12.5,
                 metrics: None,
+                cache: CacheCounters::default(),
             },
             Frame::Progress {
                 shard: 3,
                 cases: 48,
                 cases_per_sec: 13.25,
                 metrics: Some(sample_metrics()),
+                cache: CacheCounters {
+                    hits: 30,
+                    misses: 18,
+                    prefix_reuses: 0,
+                },
             },
             Frame::Done {
                 shard: 3,
@@ -385,6 +450,11 @@ mod tests {
                 findings: 4,
                 cases_per_sec: 10.0,
                 metrics: Some(sample_metrics()),
+                cache: CacheCounters {
+                    hits: 60,
+                    misses: 20,
+                    prefix_reuses: 41,
+                },
             },
         ];
         for frame in frames {
@@ -412,6 +482,7 @@ mod tests {
             cases,
             cases_per_sec,
             metrics,
+            cache,
         } = Frame::from_line(old).unwrap()
         else {
             panic!("expected progress frame");
@@ -419,6 +490,7 @@ mod tests {
         assert_eq!((shard, cases), (3, 40));
         assert_eq!(cases_per_sec, 0.0);
         assert!(metrics.is_none());
+        assert!(cache.is_zero(), "pre-cache frames read as zero counters");
 
         let old_done = "{\"cases\":80,\"findings\":2,\"shard\":3,\"t\":\"done\"}";
         assert!(matches!(
@@ -430,5 +502,20 @@ mod tests {
         // silent None.
         let corrupt = "{\"cases\":40,\"cps\":1.0,\"metrics\":7,\"shard\":3,\"t\":\"progress\"}";
         assert!(Frame::from_line(corrupt).is_err());
+
+        // Cache-off frames omit the counter trio entirely — the wire
+        // stays byte-identical to the pre-cache protocol.
+        let off = Frame::Done {
+            shard: 3,
+            cases: 80,
+            findings: 2,
+            cases_per_sec: 0.0,
+            metrics: None,
+            cache: CacheCounters::default(),
+        };
+        assert!(
+            !off.to_line().contains("cache_"),
+            "zero trio must not encode"
+        );
     }
 }

@@ -18,7 +18,7 @@
 //! finds the token and runs to completion, which is exactly the
 //! kill-mid-lease scenario the merge must absorb losslessly.
 
-use crate::protocol::Frame;
+use crate::protocol::{CacheCounters, Frame};
 use o4a_core::{Fuzzer, TestCase};
 use o4a_exec::json::Json;
 use o4a_exec::{run_shard_lease, ExecConfig, FindingsStore, StoreSession};
@@ -138,11 +138,16 @@ impl<W: Write> Fuzzer for Instrumented<'_, W> {
         if self.cases.is_multiple_of(self.every) {
             // Heartbeat only; a failed write means the coordinator is
             // gone and the worker will exit on stdin EOF shortly.
+            // The lease's cache counters live in the shard stats, which
+            // only exist once the lease completes — heartbeats carry the
+            // zero trio (omitted on the wire), the `done` frame the real
+            // one.
             let frame = Frame::Progress {
                 shard: self.shard,
                 cases: self.cases,
                 cases_per_sec: rate(self.cases, self.started),
                 metrics: metrics_attachment(),
+                cache: CacheCounters::default(),
             };
             let _ = writeln!(self.out, "{}", frame.to_line());
             let _ = self.out.flush();
@@ -253,6 +258,11 @@ where
             findings: result.findings.len() as u64,
             cases_per_sec: rate(result.stats.cases, started),
             metrics: metrics_attachment(),
+            cache: CacheCounters {
+                hits: result.stats.cache_hits,
+                misses: result.stats.cache_misses,
+                prefix_reuses: result.stats.prefix_reuses,
+            },
         };
         writeln!(output, "{}", done.to_line())?;
         output.flush()?;

@@ -71,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub use o4a_cache::{CacheSession, CacheStore};
 pub use o4a_obs::json;
 
 pub mod overlap;

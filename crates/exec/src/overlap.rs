@@ -40,6 +40,7 @@
 //!   including under crash injection mid-scope).
 
 use crate::shard::FindingSink;
+use o4a_cache::CacheStore;
 use o4a_core::{
     CampaignConfig, CampaignResult, CampaignStepper, CaseExecution, Fuzzer, SolverRun, StepOutcome,
     TestCase,
@@ -47,7 +48,7 @@ use o4a_core::{
 use o4a_executor::{FdReactor, InFlightPool, Sequencer};
 use o4a_solvers::{
     solver_with_config, AsyncSmtSolver, LatencyModel, LatencySolver, PipeCommand, PipeSolver,
-    SolverMode,
+    SolverMode, VerdictCache,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +86,17 @@ pub struct PipeBackend {
     /// lane; [`SolverMode::Session`] multiplexes them as `(push 1)` /
     /// `(pop 1)` scopes on **one persistent process per lane**.
     pub mode: SolverMode,
+    /// Verdict-cache directory (the `O4A_CACHE` knob): when set, every
+    /// lane consults the campaign-wide [`o4a_cache::CacheStore`] before
+    /// dispatching a query and feeds it after a fresh solve. `None`
+    /// (the default) is provably a no-op — no lookup, no store, no
+    /// journal I/O.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Prefix-affinity routing (the `O4A_AFFINITY` knob): session-mode
+    /// lanes retain a query's declaration prefix as a held scope and
+    /// route queries sharing it onto the same stack without resending
+    /// it. Ignored in spawn mode.
+    pub affinity: bool,
 }
 
 impl PipeBackend {
@@ -99,6 +111,8 @@ impl PipeBackend {
             command: command.into(),
             timeout: o4a_solvers::pipe::DEFAULT_QUERY_TIMEOUT,
             mode: SolverMode::Spawn,
+            cache_dir: None,
+            affinity: false,
         }
     }
 
@@ -114,21 +128,62 @@ impl PipeBackend {
         self
     }
 
+    /// Points the backend at a verdict-cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> PipeBackend {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables prefix-affinity routing on session-mode lanes.
+    pub fn with_affinity(mut self, affinity: bool) -> PipeBackend {
+        self.affinity = affinity;
+        self
+    }
+
     /// Builds the per-lane [`PipeSolver`] bank for one shard worker, all
     /// lanes sharing `reactor`. Concrete lane handles come back (rather
     /// than boxed trait objects) so the shard runner can harvest the
     /// per-lane transport counters after the campaign.
-    fn bank(&self, shard_config: &CampaignConfig, reactor: &Rc<FdReactor>) -> Vec<PipeSolver> {
+    fn bank(
+        &self,
+        shard_config: &CampaignConfig,
+        shard: u32,
+        reactor: &Rc<FdReactor>,
+    ) -> Vec<PipeSolver> {
         let command = PipeCommand::parse(&self.command)
             .unwrap_or_else(|| panic!("empty solver command '{}'", self.command));
+        // One cache session per shard, shared by every lane: the session
+        // merges all shards' journals on open and appends to this shard's
+        // own. A cache that fails to open degrades to uncached execution
+        // — the campaign result is identical either way (cache ≡ fresh),
+        // only slower.
+        let cache: Option<Rc<dyn VerdictCache>> =
+            self.cache_dir
+                .as_ref()
+                .and_then(|dir| match CacheStore::new(dir).open_shard(shard) {
+                    Ok(session) => Some(Rc::new(session) as Rc<dyn VerdictCache>),
+                    Err(e) => {
+                        eprintln!(
+                            "o4a-cache: cannot open {} for shard {shard}: {e} — running uncached",
+                            dir.display()
+                        );
+                        None
+                    }
+                });
         shard_config
             .solvers
             .iter()
             .enumerate()
             .map(|(lane, &(id, commit))| {
-                PipeSolver::new(command.for_lane(lane), id, commit, Rc::clone(reactor))
-                    .with_timeout(self.timeout)
-                    .with_mode(self.mode)
+                let mut solver =
+                    PipeSolver::new(command.for_lane(lane), id, commit, Rc::clone(reactor))
+                        .with_timeout(self.timeout)
+                        .with_mode(self.mode)
+                        .with_affinity(self.affinity);
+                if let Some(cache) = &cache {
+                    solver = solver.with_cache(Rc::clone(cache));
+                }
+                solver
             })
             .collect()
     }
@@ -226,7 +281,7 @@ pub fn run_shard_piped(
     backend: &PipeBackend,
 ) -> CampaignResult {
     let reactor = Rc::new(FdReactor::new());
-    let solvers = backend.bank(shard_config, &reactor);
+    let solvers = backend.bank(shard_config, shard, &reactor);
     let lanes: Vec<&dyn AsyncSmtSolver> = solvers
         .iter()
         .map(|lane| lane as &dyn AsyncSmtSolver)
@@ -253,6 +308,9 @@ pub fn run_shard_piped(
         result.stats.processes_spawned += lane.processes_spawned();
         result.stats.process_respawns += lane.respawns();
         result.stats.scopes_pushed += lane.scopes_pushed();
+        result.stats.cache_hits += lane.cache_hits();
+        result.stats.cache_misses += lane.cache_misses();
+        result.stats.prefix_reuses += lane.prefix_reuses();
     }
     if let Some(sink) = sink {
         sink.on_shard_complete(shard, &result);
@@ -295,8 +353,15 @@ fn run_shard_on(
     loop {
         // Fill the window. Exhaustion is judged on the *applied* prefix,
         // which lags the generated prefix by up to `inflight` cases — the
-        // overshoot is speculative and discarded at apply time.
-        while pool.has_capacity() && !stepper.is_exhausted() {
+        // overshoot is speculative and discarded at apply time. The gate
+        // counts completions still parked in the sequencer, not just pool
+        // occupancy: futures that resolve synchronously (verdict-cache
+        // hits) free their slot immediately, and refilling past the
+        // window would both speculate unboundedly and starve the idle
+        // hook — a perpetually runnable pool never reaches the reactor,
+        // so the one pipe-bound case blocking the sequencer never gets
+        // its I/O wake.
+        while pool.len() + sequencer.held() < inflight && !stepper.is_exhausted() {
             let case = fuzzer.next_case(&mut rng);
             pool.submit(next_case, case_future(solvers, case));
             next_case += 1;

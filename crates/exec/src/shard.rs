@@ -92,6 +92,18 @@ pub struct ExecConfig {
     /// scopes on **one persistent incremental process per lane**.
     /// Ignored without [`ExecConfig::solver_cmd`].
     pub solver_mode: SolverMode,
+    /// Verdict-cache directory (the `O4A_CACHE` knob). When set, pipe
+    /// lanes consult the campaign-wide content-addressed cache before
+    /// every query and record every fresh wire reply; per-shard journals
+    /// in the directory merge on load like findings journals. `None`
+    /// (the default) is a no-op. Ignored without
+    /// [`ExecConfig::solver_cmd`].
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Prefix-affinity routing (the `O4A_AFFINITY` knob): session-mode
+    /// pipe lanes keep a query's declaration prefix pushed as a held
+    /// scope and route queries sharing it over it without resending.
+    /// Ignored without [`ExecConfig::solver_cmd`] (and in spawn mode).
+    pub affinity: bool,
 }
 
 impl Default for ExecConfig {
@@ -103,6 +115,8 @@ impl Default for ExecConfig {
             solver_cmd: None,
             solver_timeout_ms: None,
             solver_mode: SolverMode::Spawn,
+            cache_dir: None,
+            affinity: false,
         }
     }
 }
@@ -115,8 +129,11 @@ impl ExecConfig {
     /// worker, default 1), `O4A_SOLVER_CMD` (external solver command;
     /// unset or blank keeps the in-process engines), and
     /// `O4A_SOLVER_MODE` (`spawn` or `session` — process-per-query vs.
-    /// one persistent incremental session per lane). Invalid or zero
-    /// values fall back to defaults.
+    /// one persistent incremental session per lane), `O4A_CACHE`
+    /// (verdict-cache directory; unset or blank means no cache), and
+    /// `O4A_AFFINITY` (any value except empty, `0`, or `false` enables
+    /// prefix-affinity routing). Invalid or zero values fall back to
+    /// defaults.
     pub fn from_env() -> ExecConfig {
         fn parse<T: std::str::FromStr + PartialOrd + From<u8>>(name: &str) -> Option<T> {
             std::env::var(name)
@@ -142,6 +159,13 @@ impl ExecConfig {
                 .ok()
                 .and_then(|v| SolverMode::parse(&v))
                 .unwrap_or_default(),
+            cache_dir: std::env::var("O4A_CACHE")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from),
+            affinity: std::env::var("O4A_AFFINITY")
+                .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0" && v.trim() != "false"),
         }
     }
 }
@@ -256,7 +280,12 @@ pub fn run_shard(
 /// The external-process backend `exec` selects, if any.
 fn pipe_backend_of(exec: &ExecConfig) -> Option<crate::overlap::PipeBackend> {
     exec.solver_cmd.as_ref().map(|cmd| {
-        let backend = crate::overlap::PipeBackend::new(cmd.clone()).with_mode(exec.solver_mode);
+        let mut backend = crate::overlap::PipeBackend::new(cmd.clone())
+            .with_mode(exec.solver_mode)
+            .with_affinity(exec.affinity);
+        if let Some(dir) = &exec.cache_dir {
+            backend = backend.with_cache_dir(dir);
+        }
         match exec.solver_timeout_ms {
             Some(ms) => backend.with_timeout(std::time::Duration::from_millis(ms)),
             None => backend,

@@ -283,6 +283,9 @@ fn stats_record(stats: &CampaignStats) -> Json {
         ("scopes_pushed", Json::U64(stats.scopes_pushed)),
         ("leases_granted", Json::U64(stats.leases_granted)),
         ("leases_reissued", Json::U64(stats.leases_reissued)),
+        ("cache_hits", Json::U64(stats.cache_hits)),
+        ("cache_misses", Json::U64(stats.cache_misses)),
+        ("prefix_reuses", Json::U64(stats.prefix_reuses)),
     ])
 }
 
@@ -456,6 +459,9 @@ fn decode_stats(record: &Json) -> io::Result<CampaignStats> {
         scopes_pushed: opt_u64_field(record, "scopes_pushed"),
         leases_granted: opt_u64_field(record, "leases_granted"),
         leases_reissued: opt_u64_field(record, "leases_reissued"),
+        cache_hits: opt_u64_field(record, "cache_hits"),
+        cache_misses: opt_u64_field(record, "cache_misses"),
+        prefix_reuses: opt_u64_field(record, "prefix_reuses"),
     })
 }
 

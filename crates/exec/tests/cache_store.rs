@@ -1,0 +1,214 @@
+//! Verdict-cache journal crash-safety at the engine level, mirroring the
+//! `FindingsStore` suite: a cached campaign must reload to the same
+//! result as an uncached one, a journal killed mid-write (clean prefix
+//! or torn tail) must resume losslessly and self-heal, shards must see
+//! each other's journals, and a corrupt journal must degrade to an
+//! uncached run — never a wrong one.
+//!
+//! `yes unsat` is the perfect always-answering external solver (answers
+//! instantly, stays alive, so every query is a cacheable `unsat`);
+//! `true` is the perfect always-dying one (every query is a cacheable
+//! `process-died` crash finding).
+
+use o4a_core::{CampaignConfig, CampaignResult, Fuzzer, Once4AllFuzzer};
+use o4a_exec::{run_campaign_sharded, ExecConfig, Parallelism};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        virtual_hours: 2,
+        time_scale: 2_000_000,
+        max_cases: 30,
+        ..CampaignConfig::default()
+    }
+}
+
+fn factory(_shard: u32) -> Box<dyn Fuzzer> {
+    Box::new(Once4AllFuzzer::with_defaults())
+}
+
+/// An exec config routing the campaign over pipes to `cmd`, cache
+/// optional.
+fn exec_over(cmd: &str, cache_dir: Option<PathBuf>) -> ExecConfig {
+    ExecConfig {
+        shards: 2,
+        parallelism: Parallelism::Serial,
+        inflight: 4,
+        solver_cmd: Some(cmd.to_string()),
+        cache_dir,
+        ..ExecConfig::default()
+    }
+}
+
+static NEXT_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A fresh cache directory under the system temp dir.
+fn cache_dir(tag: &str) -> PathBuf {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("o4a-exec-cache-{}-{tag}-{id}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Everything observable, modulo transport counters (cache traffic is a
+/// transport observable by design — `sans_transport` scrubs it).
+fn fingerprint(result: &CampaignResult) -> (o4a_core::CampaignStats, Vec<String>, Vec<(u32, u64)>) {
+    (
+        result.stats.sans_transport(),
+        result
+            .findings
+            .iter()
+            .map(|f| format!("{}|{:?}|{:?}", f.case_text, f.kind, f.signature))
+            .collect(),
+        result.snapshots.iter().map(|s| (s.hour, s.cases)).collect(),
+    )
+}
+
+/// Round trip: an uncached pipe campaign, a cold cached one, and a warm
+/// restart off the cold run's journals are bit-identical — and the warm
+/// run answers every query from the journal without spawning a single
+/// solver process.
+#[test]
+fn cached_campaign_matches_uncached_and_reloads_without_processes() {
+    let config = quick_config();
+    let reference = run_campaign_sharded(factory, &config, &exec_over("yes unsat", None));
+    assert!(reference.stats.decisive > 0, "`yes unsat` never answered");
+    let dir = cache_dir("roundtrip");
+    let exec = exec_over("yes unsat", Some(dir.clone()));
+    let cold = run_campaign_sharded(factory, &config, &exec);
+    assert!(
+        cold.stats.cache_misses > 0,
+        "cold run never consulted the cache"
+    );
+    assert_eq!(fingerprint(&cold), fingerprint(&reference));
+    let warm = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(warm.stats.cache_misses, 0, "warm run missed the journal");
+    assert!(warm.stats.cache_hits > 0);
+    assert_eq!(
+        warm.stats.processes_spawned, 0,
+        "a fully warmed campaign must not spawn solvers"
+    );
+    assert_eq!(fingerprint(&warm), fingerprint(&reference));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill/resume, the FindingsStore law transplanted: a cache journal cut
+/// back to a clean line-prefix (SIGKILL between records) or left with a
+/// torn tail (SIGKILL mid-record) resumes losslessly — re-solving
+/// exactly the lost entries, self-healing the journal so a third run
+/// hits everything. Crash findings (`true` dies before answering) ride
+/// the same journal as `died` records and replay without respawns.
+#[test]
+fn killed_cache_journal_resumes_losslessly_and_self_heals() {
+    let config = quick_config();
+    let reference = run_campaign_sharded(factory, &config, &exec_over("true", None));
+    assert!(
+        reference
+            .findings
+            .iter()
+            .any(|f| f.signature.as_deref() == Some("oxiz::pipe::process-died")),
+        "an always-dying solver must produce crash findings"
+    );
+    let reference = fingerprint(&reference);
+    let dir = cache_dir("killed");
+    let exec = exec_over("true", Some(dir.clone()));
+    run_campaign_sharded(factory, &config, &exec);
+    let journal = dir.join("cache-shard-0.jsonl");
+    let full = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() > 3, "journal too small to cut meaningfully");
+
+    // Clean prefix: header plus half the records survive the kill.
+    let mut prefix = lines[..lines.len() / 2].join("\n");
+    prefix.push('\n');
+    // Torn tail: the kill landed mid-write of the final record.
+    prefix.push_str("{\"t\":\"verdict\",\"digest\":99,\"solv");
+    std::fs::write(&journal, &prefix).unwrap();
+
+    let resumed = run_campaign_sharded(factory, &config, &exec);
+    assert!(resumed.stats.cache_hits > 0, "surviving records must hit");
+    assert!(resumed.stats.cache_misses > 0, "lost records must re-solve");
+    assert_eq!(fingerprint(&resumed), reference, "kill/resume diverged");
+
+    // The resume truncated the torn tail and re-journaled what it
+    // re-solved: a third run is fully warm again.
+    let healed = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        !healed.contains("\"digest\":99"),
+        "torn tail must be truncated"
+    );
+    let third = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(
+        third.stats.cache_misses, 0,
+        "self-healed journal must fully hit"
+    );
+    assert_eq!(
+        third.stats.process_respawns, 0,
+        "cached `died` records replay crashes without respawning"
+    );
+    assert_eq!(fingerprint(&third), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The campaign-wide sharing law: every shard session loads **all**
+/// journals in the cache dir, so records journaled by one shard serve
+/// another. Swapping the two shard journals on disk changes nothing —
+/// the warm run still answers every query without a process.
+#[test]
+fn shards_share_journals_across_the_cache_dir() {
+    let config = quick_config();
+    let dir = cache_dir("shared");
+    let exec = exec_over("yes unsat", Some(dir.clone()));
+    run_campaign_sharded(factory, &config, &exec);
+    let a = dir.join("cache-shard-0.jsonl");
+    let b = dir.join("cache-shard-1.jsonl");
+    let tmp = dir.join("swap.tmp");
+    std::fs::rename(&a, &tmp).unwrap();
+    std::fs::rename(&b, &a).unwrap();
+    std::fs::rename(&tmp, &b).unwrap();
+    let warm = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(
+        warm.stats.cache_misses, 0,
+        "shards must find their records in each other's journals"
+    );
+    assert_eq!(warm.stats.processes_spawned, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-journal corruption (not a torn tail) must never poison results:
+/// the store refuses to open, the backend logs and runs that campaign
+/// uncached — bit-identical to the reference, zero cache traffic.
+#[test]
+fn corrupt_cache_journal_degrades_to_uncached_not_wrong() {
+    let config = quick_config();
+    let reference = fingerprint(&run_campaign_sharded(
+        factory,
+        &config,
+        &exec_over("yes unsat", None),
+    ));
+    let dir = cache_dir("corrupt");
+    let exec = exec_over("yes unsat", Some(dir.clone()));
+    run_campaign_sharded(factory, &config, &exec);
+    let journal = dir.join("cache-shard-0.jsonl");
+    let full = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    let mut mangled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    mangled[1] = "{\"t\":\"verdict\",\"dig".to_string(); // not the final line
+    mangled.push(String::new());
+    std::fs::write(&journal, mangled.join("\n")).unwrap();
+    let degraded = run_campaign_sharded(factory, &config, &exec);
+    assert_eq!(
+        degraded.stats.cache_hits + degraded.stats.cache_misses,
+        0,
+        "a refused journal means an uncached run, not a partial one"
+    );
+    assert_eq!(
+        fingerprint(&degraded),
+        reference,
+        "corruption leaked into results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

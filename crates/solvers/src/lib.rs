@@ -45,7 +45,10 @@ pub use coverage::{CoverageMap, Universe};
 pub use features::FormulaFeatures;
 pub use frontend::{Analyzed, Frontend};
 pub use oxiz::{EngineConfig, OxiZ};
-pub use pipe::{parse_model_reply, PipeCommand, PipeSolver, ReplyParser, SolverMode};
+pub use pipe::{
+    normalized_script, parse_model_reply, CacheKey, CachedReply, PipeCommand, PipeSolver,
+    ReplyParser, SolverMode, VerdictCache,
+};
 pub use response::{CrashInfo, CrashKind, Outcome, SolveStats, SolverId, SolverResponse};
 pub use versions::{CommitIdx, Release, TRUNK_COMMIT};
 

@@ -111,6 +111,18 @@ impl PipeCommand {
         &self.args
     }
 
+    /// The command line as one whitespace-joined string — the form the
+    /// verdict cache keys on (a differently seeded or differently
+    /// flagged solver is a different answer function).
+    pub fn cmdline(&self) -> String {
+        let mut line = self.program.clone();
+        for arg in &self.args {
+            line.push(' ');
+            line.push_str(arg);
+        }
+        line
+    }
+
     fn spawn(&self) -> io::Result<SolverProcess> {
         let mut child = Command::new(&self.program)
             .args(&self.args)
@@ -305,6 +317,108 @@ pub fn parse_model_reply(text: &str) -> Option<o4a_smtlib::Model> {
     Some(model)
 }
 
+// ------------------------------------------------------------ verdict cache
+
+/// Normalizes a script to the exact text the answer is a function of —
+/// the same rules [`mock::fingerprint`] applies before hashing: strip
+/// `(set-option …)` lines (transport prologue), trim every line, drop
+/// empty ones, join with `\n`.
+///
+/// This is the **reconstructed scope-stack script** seen through the
+/// solver's eyes: the session transport's `(push 1)`/`(pop 1)` framing,
+/// a held affinity prefix, whitespace placement, and the spawn prologue
+/// all normalize away, so one semantic query has exactly one normalized
+/// form no matter which transport (or scope layout) carried it.
+pub fn normalized_script(text: &str) -> String {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("(set-option"))
+        .collect::<Vec<&str>>()
+        .join("\n")
+}
+
+/// The content address of one solver query: solver identity + version +
+/// the resolved lane command + the [`normalized_script`]. Two queries
+/// with equal keys are guaranteed (by the purity contract external
+/// solvers must keep — see `crates/solvers/README.md`) to produce equal
+/// wire replies, which is what makes a cache hit ≡ a fresh solve.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// The solver lane's [`SolverId`] name.
+    pub solver: String,
+    /// The solver version (commit index) the lane stands in for.
+    pub commit: u32,
+    /// The resolved (post-`{lane}` substitution) command line — a
+    /// differently seeded mock, or a different binary, is a different
+    /// answer function.
+    pub command: String,
+    /// The normalized script text.
+    pub script: String,
+}
+
+impl CacheKey {
+    /// A 64-bit digest of the key (FNV-1a over every field, finalized
+    /// with SplitMix64). Stored in journal records for grouping and
+    /// debugging; lookups always compare the **full fields**, so a
+    /// digest collision can never alias two distinct queries.
+    pub fn digest(&self) -> u64 {
+        let mut h =
+            0xcbf2_9ce4_8422_2325u64 ^ u64::from(self.commit).wrapping_mul(0x0100_0000_01b3);
+        for part in [&self.solver, &self.command, &self.script] {
+            for &b in part.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            // Field separator: "ab"+"c" and "a"+"bc" must not collide.
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        splitmix64(h)
+    }
+}
+
+/// One cached **wire-level** reply — what the transport read off the
+/// pipe, not the decoded [`SolverResponse`]. A hit replays the reply
+/// through the same decode path a live reply takes, so the response a
+/// hit produces (verdict, parsed model, error text, crash signature) is
+/// bit-identical to what the fresh solve returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedReply {
+    /// A complete verdict (with the model-slot s-expression after `sat`;
+    /// empty when the model was lost or the verdict carries none).
+    Answered {
+        /// The verdict line (`sat`/`unsat`/`unknown`/`timeout`, or an
+        /// unrecognized token, which decodes to the same parse error a
+        /// fresh solve reports).
+        verdict: String,
+        /// The model-slot s-expression (empty unless one was read).
+        model_sexp: String,
+    },
+    /// The child died serving this query — deterministic for solvers
+    /// that crash as a pure function of the script (the crash-injection
+    /// gauntlet's mock), so the crash finding replays exactly.
+    Died {
+        /// True when the per-query deadline fired (wedge), false for EOF.
+        wedged: bool,
+    },
+    /// An `(error "msg")` verdict.
+    Error(String),
+}
+
+/// A campaign-wide verdict/model cache the pipe backend consults before
+/// dispatching a query and feeds after a fresh solve. Implemented by
+/// `o4a-cache`'s fsync'd JSONL store; the trait lives here so the
+/// transport depends only on the interface. Spawn *failures* are never
+/// cached — they are environmental, not a property of the query.
+pub trait VerdictCache {
+    /// The cached wire reply for `key`, if one is known.
+    fn lookup(&self, key: &CacheKey) -> Option<CachedReply>;
+    /// Records a fresh wire reply. Implementations must be crash-safe:
+    /// a process killed mid-record may lose the entry, never corrupt
+    /// the store.
+    fn record(&self, key: &CacheKey, reply: &CachedReply);
+}
+
 // -------------------------------------------------------------- SolverMode
 
 /// How a [`PipeSolver`] lane drives its child process(es).
@@ -390,6 +504,13 @@ struct Session {
     /// frames queued behind slow-but-progressing siblings are never
     /// spuriously blamed as wedged.
     head_since: Option<Instant>,
+    /// The declaration prefix currently held as a **retained scope** on
+    /// the child (prefix-affinity routing): queries whose scripts open
+    /// with the same declarations reuse it instead of re-sending it
+    /// inside their own frame. `None` when no prefix scope is open —
+    /// always the case with affinity off, and after any respawn (the
+    /// fresh child starts scope-free; replays carry full scripts).
+    held_prefix: Option<String>,
     next_id: u64,
 }
 
@@ -414,12 +535,17 @@ pub struct PipeSolver {
     mode: SolverMode,
     idle: RefCell<Vec<SolverProcess>>,
     session: RefCell<Session>,
+    cache: Option<Rc<dyn VerdictCache>>,
+    affinity: bool,
     empty_coverage: CoverageMap,
     universe: Universe,
     submitted: Cell<u64>,
     spawned: Cell<u64>,
     respawns: Cell<u64>,
     scopes: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    reuses: Cell<u64>,
 }
 
 /// How a child became unusable mid-query.
@@ -448,12 +574,17 @@ impl PipeSolver {
             mode: SolverMode::Spawn,
             idle: RefCell::new(Vec::new()),
             session: RefCell::new(Session::default()),
+            cache: None,
+            affinity: false,
             empty_coverage: CoverageMap::new(),
             universe: universe(id),
             submitted: Cell::new(0),
             spawned: Cell::new(0),
             respawns: Cell::new(0),
             scopes: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            reuses: Cell::new(0),
         }
     }
 
@@ -472,6 +603,27 @@ impl PipeSolver {
     /// Selects the transport mode (default [`SolverMode::Spawn`]).
     pub fn with_mode(mut self, mode: SolverMode) -> PipeSolver {
         self.mode = mode;
+        self
+    }
+
+    /// Attaches a verdict cache: every query is looked up before
+    /// dispatch (a hit replays the cached wire reply through the normal
+    /// decode path, touching no process) and every fresh wire reply is
+    /// recorded. Default: no cache — the lookup/record hooks do not
+    /// exist, so caching off is provably a no-op.
+    pub fn with_cache(mut self, cache: Rc<dyn VerdictCache>) -> PipeSolver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables prefix-affinity routing (session mode only): a query
+    /// whose script opens with the declaration prefix already held on
+    /// the session's scope stack sends only its suffix, reusing the held
+    /// scope instead of re-pushing the prefix. Off by default — with
+    /// affinity off the wire framing is byte-identical to before the
+    /// knob existed.
+    pub fn with_affinity(mut self, affinity: bool) -> PipeSolver {
+        self.affinity = affinity;
         self
     }
 
@@ -510,6 +662,33 @@ impl PipeSolver {
     /// spawn mode.
     pub fn scopes_pushed(&self) -> u64 {
         self.scopes.get()
+    }
+
+    /// Queries answered from the verdict cache (no process touched).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Queries that missed the cache and went to a live solve (zero
+    /// when no cache is attached — uncached queries are not misses).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Session queries that reused the held declaration-prefix scope
+    /// instead of re-sending their prefix (prefix-affinity routing).
+    pub fn prefix_reuses(&self) -> u64 {
+        self.reuses.get()
+    }
+
+    /// The content address of one query on this lane.
+    fn cache_key(&self, text: &str) -> CacheKey {
+        CacheKey {
+            solver: self.id.name().to_string(),
+            commit: self.commit,
+            command: self.command.cmdline(),
+            script: normalized_script(text),
+        }
     }
 
     fn spawn_counted(&self) -> io::Result<SolverProcess> {
@@ -679,22 +858,118 @@ impl PipeSolver {
             },
         )
         .arg("bytes", text.len() as u64);
-        let response = match self.mode {
-            SolverMode::Spawn => self.run_query_spawn(text).await,
-            SolverMode::Session => self.run_query_session(text).await,
+        let response = match &self.cache {
+            Some(cache) => {
+                let cache = Rc::clone(cache);
+                self.run_query_caching(&cache, text).await
+            }
+            None => self.dispatch_query(text).await.0,
         };
         o4a_obs::metrics::record_elapsed("pipe.query_micros", timer);
         response
     }
 
-    async fn run_query_spawn(&self, text: &str) -> SolverResponse {
+    /// The cache-wrapped query path: look the key up before dispatch —
+    /// a hit replays the recorded wire reply through [`Self::decode_cached_reply`]
+    /// (the same decode a live reply takes, so the response is
+    /// bit-identical to the fresh solve's) — and record the wire reply
+    /// of a miss. Spawn failures return no wire reply and are never
+    /// cached.
+    async fn run_query_caching(&self, cache: &Rc<dyn VerdictCache>, text: &str) -> SolverResponse {
+        let key = self.cache_key(text);
+        let lookup_timer = o4a_obs::metrics::start_timer();
+        let cached = cache.lookup(&key);
+        o4a_obs::metrics::record_elapsed("cache.lookup_micros", lookup_timer);
+        if let Some(reply) = cached {
+            self.hits.set(self.hits.get() + 1);
+            o4a_obs::trace::event("cache", "hit", &[("digest", key.digest())]);
+            if o4a_obs::metrics_enabled() {
+                o4a_obs::metrics::counter("cache.hits").inc();
+            }
+            return self.decode_cached_reply(reply);
+        }
+        self.misses.set(self.misses.get() + 1);
+        o4a_obs::trace::event("cache", "miss", &[("digest", key.digest())]);
+        if o4a_obs::metrics_enabled() {
+            o4a_obs::metrics::counter("cache.misses").inc();
+        }
+        let (response, wire) = self.dispatch_query(text).await;
+        if let Some(reply) = wire {
+            cache.record(&key, &reply);
+        }
+        response
+    }
+
+    /// Dispatches one fresh solve per the transport mode. Besides the
+    /// response, returns the **wire reply** the cache records — `None`
+    /// when the query never produced one (spawn failure).
+    async fn dispatch_query(&self, text: &str) -> (SolverResponse, Option<CachedReply>) {
+        match self.mode {
+            SolverMode::Spawn => self.run_query_spawn(text).await,
+            SolverMode::Session => self.run_query_session(text).await,
+        }
+    }
+
+    /// Replays a cached wire reply through the same decode logic a live
+    /// reply takes. No process is touched and no transport counter
+    /// (spawns, respawns, scopes) moves — the hit is free by
+    /// construction, and since `sans_transport` scrubs those counters
+    /// anyway, cached and fresh campaigns stay bit-identical.
+    fn decode_cached_reply(&self, reply: CachedReply) -> SolverResponse {
+        match reply {
+            CachedReply::Answered {
+                verdict,
+                model_sexp,
+            } => Self::decode_verdict(&verdict, &model_sexp),
+            CachedReply::Died { wedged } => self.death_response(&if wedged {
+                PipeDeath::Wedged
+            } else {
+                PipeDeath::Eof
+            }),
+            CachedReply::Error(msg) => SolverResponse::error(msg),
+        }
+    }
+
+    /// Decodes a verdict line plus its model-slot text into the
+    /// response — the single mapping both transports and the cache-hit
+    /// path share, so one wire reply can only ever mean one response.
+    fn decode_verdict(verdict: &str, model_sexp: &str) -> SolverResponse {
+        let outcome = match verdict {
+            "sat" => {
+                return SolverResponse {
+                    outcome: Outcome::Sat,
+                    model: if model_sexp.is_empty() {
+                        None
+                    } else {
+                        Self::timed_parse_model(model_sexp)
+                    },
+                    stats: SolveStats::default(),
+                }
+            }
+            "unsat" => Outcome::Unsat,
+            "unknown" => Outcome::Unknown,
+            "timeout" => Outcome::Timeout,
+            other => return SolverResponse::error(format!("unrecognized solver reply '{other}'")),
+        };
+        SolverResponse {
+            outcome,
+            model: None,
+            stats: SolveStats::default(),
+        }
+    }
+
+    async fn run_query_spawn(&self, text: &str) -> (SolverResponse, Option<CachedReply>) {
         let mut proc = match self.acquire() {
             Ok(proc) => proc,
             Err(e) => {
-                return SolverResponse::error(format!(
-                    "failed to spawn solver process '{}': {e}",
-                    self.command.program()
-                ))
+                // Environmental, not a property of the query: never cached.
+                return (
+                    SolverResponse::error(format!(
+                        "failed to spawn solver process '{}': {e}",
+                        self.command.program()
+                    )),
+                    None,
+                );
             }
         };
         let deadline = Instant::now() + self.timeout;
@@ -706,15 +981,26 @@ impl PipeSolver {
             // EOF: fall through — the read path judges death, because the
             // reply may already be buffered.
             Ok(()) | Err(PipeDeath::Eof) => {}
-            Err(PipeDeath::Wedged) => return self.lost_process(&PipeDeath::Wedged),
+            Err(PipeDeath::Wedged) => {
+                return (
+                    self.lost_process(&PipeDeath::Wedged),
+                    Some(CachedReply::Died { wedged: true }),
+                )
+            }
         }
 
         let line = match self.read_line(&mut proc, deadline).await {
             Ok(line) => line,
-            Err(death) => return self.lost_process(&death),
+            Err(death) => {
+                let wedged = matches!(death, PipeDeath::Wedged);
+                return (
+                    self.lost_process(&death),
+                    Some(CachedReply::Died { wedged }),
+                );
+            }
         };
 
-        let outcome = match line.as_str() {
+        let wire = match line.as_str() {
             "sat" => {
                 // Second round trip: fetch the model while the child is
                 // still positioned after its answer. The verdict is
@@ -722,11 +1008,11 @@ impl PipeSolver {
                 // the model fetch (died or wedged) costs the model —
                 // never the verdict: the lane retires it (respawning on
                 // the next query) and reports `sat` without a model.
-                let mut model = None;
+                let mut model_sexp = String::new();
                 let lost = match self.send(&mut proc, b"(get-model)\n", deadline).await {
                     Ok(()) => match self.read_sexp(&mut proc, deadline).await {
                         Ok(sexp) => {
-                            model = Self::timed_parse_model(&sexp);
+                            model_sexp = sexp;
                             None
                         }
                         Err(death) => Some(death),
@@ -739,33 +1025,37 @@ impl PipeSolver {
                 } else {
                     self.release(proc);
                 }
-                return SolverResponse {
-                    outcome: Outcome::Sat,
-                    model,
-                    stats: SolveStats::default(),
-                };
+                CachedReply::Answered {
+                    verdict: line.clone(),
+                    model_sexp,
+                }
             }
-            "unsat" => Outcome::Unsat,
-            "unknown" => Outcome::Unknown,
-            // The solver's own in-engine budget answer (mock `timeout`
-            // token) — not the wall-clock wedge, which kills the child.
-            "timeout" => Outcome::Timeout,
+            "unsat" | "unknown" | "timeout" => {
+                // `timeout` is the solver's own in-engine budget answer
+                // (mock `timeout` token) — not the wall-clock wedge,
+                // which kills the child.
+                self.release(proc);
+                CachedReply::Answered {
+                    verdict: line.clone(),
+                    model_sexp: String::new(),
+                }
+            }
             other if other.starts_with("(error") => {
                 // Keep the message, retire the child: after an error we
                 // cannot trust the stream to be positioned on a reply
                 // boundary. (Dropping `proc` kills + reaps it.)
-                return SolverResponse::error(error_message(other));
+                CachedReply::Error(error_message(other))
             }
-            other => {
-                return SolverResponse::error(format!("unrecognized solver reply '{other}'"));
+            _ => {
+                // Unrecognized verdicts decode to the same parse error a
+                // fresh solve reports; the desynced child is retired.
+                CachedReply::Answered {
+                    verdict: line.clone(),
+                    model_sexp: String::new(),
+                }
             }
         };
-        self.release(proc);
-        SolverResponse {
-            outcome,
-            model: None,
-            stats: SolveStats::default(),
-        }
+        (self.decode_cached_reply(wire.clone()), Some(wire))
     }
 
     // ------------------------------------------------------ session mode
@@ -782,6 +1072,72 @@ impl PipeSolver {
         frame.extend_from_slice(text.as_bytes());
         frame.extend_from_slice(b"\n(get-model)\n(pop 1)\n");
         frame
+    }
+
+    /// The byte length of a script's leading **declaration prefix**: the
+    /// maximal run of whole leading lines that are blank or open with
+    /// `(set-logic`, `(declare-`, or `(define-` — the commands that set
+    /// up a query's vocabulary and are the part near-duplicate scripts
+    /// share. Splitting at line boundaries keeps both halves verbatim,
+    /// and since answers are functions of the *normalized* script (line
+    /// oriented), where the split falls can never change an answer.
+    fn decl_prefix_len(text: &str) -> usize {
+        let mut end = 0;
+        for line in text.split_inclusive('\n') {
+            let t = line.trim();
+            let is_decl = t.is_empty()
+                || t.starts_with("(set-logic")
+                || t.starts_with("(declare-")
+                || t.starts_with("(define-");
+            if !is_decl {
+                break;
+            }
+            end += line.len();
+        }
+        end
+    }
+
+    /// Emits one query's wire bytes with prefix-affinity routing: a
+    /// query whose declaration prefix matches the one already **held as
+    /// a retained scope** on the child sends only its suffix frame
+    /// (genuine incremental reuse); a different prefix pops the held
+    /// scope and pushes the new one below the query frames. Held-scope
+    /// pushes are transport bookkeeping, not query scopes — they are not
+    /// counted in `scopes_pushed`, and `prefix_reuses` counts the reuse
+    /// events. Correctness leans on the same purity the session
+    /// transport already stands on: the solver answers the reconstructed
+    /// scope-stack script, and `base + prefix + suffix` normalizes to
+    /// exactly the full script.
+    fn enqueue_affine(&self, s: &mut Session, text: &str) {
+        let (prefix, suffix) = text.split_at(Self::decl_prefix_len(text));
+        if prefix.trim().is_empty() || suffix.trim().is_empty() {
+            // No usable split: drop any held scope (the frame must see
+            // only the base) and send the classic self-contained frame.
+            if s.held_prefix.take().is_some() {
+                s.outbuf.extend_from_slice(b"(pop 1)\n");
+            }
+            s.outbuf.extend_from_slice(&Self::frame(text));
+            return;
+        }
+        let normalized = normalized_script(prefix);
+        if s.held_prefix.as_ref() == Some(&normalized) {
+            self.reuses.set(self.reuses.get() + 1);
+            o4a_obs::trace::event("pipe", "session.prefix_reuse", &[]);
+            if o4a_obs::metrics_enabled() {
+                o4a_obs::metrics::counter("pipe.prefix_reuses").inc();
+            }
+        } else {
+            if s.held_prefix.take().is_some() {
+                s.outbuf.extend_from_slice(b"(pop 1)\n");
+            }
+            s.outbuf.extend_from_slice(b"(push 1)\n");
+            s.outbuf.extend_from_slice(prefix.as_bytes());
+            if !prefix.ends_with('\n') {
+                s.outbuf.push(b'\n');
+            }
+            s.held_prefix = Some(normalized);
+        }
+        s.outbuf.extend_from_slice(&Self::frame(suffix));
     }
 
     /// Admits one query to the session: assigns its id, appends its
@@ -808,7 +1164,11 @@ impl PipeSolver {
                 }
             }
         }
-        s.outbuf.extend_from_slice(&Self::frame(text));
+        if self.affinity {
+            self.enqueue_affine(s, text);
+        } else {
+            s.outbuf.extend_from_slice(&Self::frame(text));
+        }
         if s.pending.is_empty() {
             // This frame is the head: its service clock starts now.
             s.head_since = Some(Instant::now());
@@ -925,6 +1285,7 @@ impl PipeSolver {
                 s.proc = None;
                 s.outbuf.clear();
                 s.head_verdict = None;
+                s.held_prefix = None;
             } else {
                 fail = Some(SessionReply::Died(PipeDeath::Eof));
             }
@@ -963,6 +1324,10 @@ impl PipeSolver {
         s.proc = None; // Drop kills (if needed) and reaps
         s.outbuf.clear();
         s.head_since = None;
+        // The held affinity scope died with the child: replays carry
+        // their full scripts, and the next affine enqueue re-establishes
+        // a prefix scope from scratch.
+        s.held_prefix = None;
         if let Some(head) = s.pending.pop_front() {
             Self::session_complete(s, head, head_reply);
         }
@@ -1023,54 +1388,43 @@ impl PipeSolver {
         }
     }
 
-    fn decode_session_reply(&self, reply: SessionReply) -> SolverResponse {
-        match reply {
+    /// Maps a claimed session completion to its response plus the wire
+    /// reply the verdict cache records. Both go through the same
+    /// [`CachedReply`] decode a hit takes, so a cached replay of this
+    /// query is bit-identical by construction; spawn failures are
+    /// environmental and produce no cacheable reply.
+    fn finish_session_reply(&self, reply: SessionReply) -> (SolverResponse, Option<CachedReply>) {
+        let wire = match reply {
             SessionReply::Answered {
                 verdict,
                 model_sexp,
-            } => {
-                let outcome = match verdict.as_str() {
-                    "sat" => {
-                        return SolverResponse {
-                            outcome: Outcome::Sat,
-                            model: Self::timed_parse_model(&model_sexp),
-                            stats: SolveStats::default(),
-                        }
-                    }
-                    "unsat" => Outcome::Unsat,
-                    "unknown" => Outcome::Unknown,
-                    "timeout" => Outcome::Timeout,
-                    other => {
-                        return SolverResponse::error(format!(
-                            "unrecognized solver reply '{other}'"
-                        ))
-                    }
-                };
-                SolverResponse {
-                    outcome,
-                    model: None,
-                    stats: SolveStats::default(),
-                }
-            }
-            SessionReply::Died(death) => self.death_response(&death),
-            SessionReply::Error(msg) | SessionReply::SpawnFailed(msg) => SolverResponse::error(msg),
-        }
+            } => CachedReply::Answered {
+                verdict,
+                model_sexp,
+            },
+            SessionReply::Died(death) => CachedReply::Died {
+                wedged: matches!(death, PipeDeath::Wedged),
+            },
+            SessionReply::Error(msg) => CachedReply::Error(msg),
+            SessionReply::SpawnFailed(msg) => return (SolverResponse::error(msg), None),
+        };
+        (self.decode_cached_reply(wire.clone()), Some(wire))
     }
 
     /// One query's life on the persistent session: enqueue the frame,
     /// then pump the shared stream until this id's completion appears —
     /// every waiter is a demultiplexer, whichever polls first does the
     /// parsing and wakes the others through the completion map.
-    async fn run_query_session(&self, text: &str) -> SolverResponse {
+    async fn run_query_session(&self, text: &str) -> (SolverResponse, Option<CachedReply>) {
         let id = self.session_enqueue(text);
         loop {
             self.session_pump();
             if let Some(reply) = self.session_take(id) {
-                return self.decode_session_reply(reply);
+                return self.finish_session_reply(reply);
             }
             self.session_check_wedge();
             if let Some(reply) = self.session_take(id) {
-                return self.decode_session_reply(reply);
+                return self.finish_session_reply(reply);
             }
             SessionWait {
                 solver: self,
@@ -2297,5 +2651,332 @@ mod tests {
         let mut solver = session_lane("/nonexistent/solver-binary");
         let response = solver.check("(check-sat)");
         assert!(matches!(response.outcome, Outcome::ParseError(_)));
+    }
+
+    // ------------------------------------------ verdict cache: key purity
+
+    fn key_of(script: &str) -> CacheKey {
+        CacheKey {
+            solver: "oxiz".into(),
+            commit: crate::TRUNK_COMMIT,
+            command: "mock_solver --seed 7 --lane 0".into(),
+            script: normalized_script(script),
+        }
+    }
+
+    /// A multi-line script whose lines exercise every normalization
+    /// rule: indentation, interior blank lines, a transport prologue
+    /// line, trailing whitespace.
+    const KEY_SCRIPT: &str = "(set-logic QF_LIA)\n(declare-const x Int)\n\
+                              (declare-const y Int)\n(assert (> x 0))\n\
+                              (assert (< y 10))\n(assert (= (+ x y) 7))\n(check-sat)";
+
+    #[test]
+    fn normalized_script_strips_exactly_the_transport_noise() {
+        // Prologue lines, padding, and indentation vanish...
+        let noisy =
+            "(set-option :produce-models true)\n\n  (assert (> x 0))  \n\n\t(check-sat)\n\n";
+        assert_eq!(normalized_script(noisy), "(assert (> x 0))\n(check-sat)");
+        // ...but content is untouched: no reordering, no case folding.
+        assert_eq!(
+            normalized_script("(check-sat)\n(assert p)"),
+            "(check-sat)\n(assert p)"
+        );
+    }
+
+    /// Satellite property: the cache key is a pure function of the
+    /// **reconstructed scope-stack script**. Sweep every way of cutting
+    /// the script into stacked scopes at line boundaries (all two-way
+    /// cuts, plus a three-way sweep); the stack joins with `\n` exactly
+    /// like the solver-side reconstruction, and every layout must yield
+    /// the one key the whole script yields — and the same mock
+    /// fingerprint, which ties key identity to answer identity.
+    #[test]
+    fn cache_key_is_pure_under_scope_replay_sweeps() {
+        let reference = key_of(KEY_SCRIPT);
+        let lines: Vec<&str> = KEY_SCRIPT.lines().collect();
+        let stack_key = |scopes: &[&[&str]]| {
+            let joined = scopes
+                .iter()
+                .map(|scope| scope.join("\n"))
+                .collect::<Vec<String>>()
+                .join("\n");
+            (key_of(&joined), fingerprint(7, &joined))
+        };
+        let expected_fp = fingerprint(7, KEY_SCRIPT);
+        for i in 0..=lines.len() {
+            let (key, fp) = stack_key(&[&lines[..i], &lines[i..]]);
+            assert_eq!(key, reference, "two-scope cut at line {i}");
+            assert_eq!(fp, expected_fp, "fingerprint diverged at cut {i}");
+            assert_eq!(key.digest(), reference.digest());
+            for j in i..=lines.len() {
+                let (key, _) = stack_key(&[&lines[..i], &lines[i..j], &lines[j..]]);
+                assert_eq!(key, reference, "three-scope cut {i}/{j}");
+            }
+        }
+    }
+
+    /// Satellite property, torn-frame half: whitespace padding between
+    /// scopes, prologue `(set-option …)` lines injected at any line
+    /// boundary, and indentation (what framing, replays, and held-prefix
+    /// layouts can add around the text) never mint a second key for the
+    /// same semantic query.
+    #[test]
+    fn cache_key_is_pure_under_torn_frame_padding() {
+        let reference = key_of(KEY_SCRIPT);
+        let lines: Vec<&str> = KEY_SCRIPT.lines().collect();
+        for i in 0..=lines.len() {
+            for noise in ["", "\n\n", "  \t \n", "(set-option :produce-models true)\n"] {
+                let mut padded = String::new();
+                for (n, line) in lines.iter().enumerate() {
+                    if n == i {
+                        padded.push_str(noise);
+                    }
+                    padded.push_str("   ");
+                    padded.push_str(line);
+                    padded.push_str("  \n");
+                }
+                if i == lines.len() {
+                    padded.push_str(noise);
+                }
+                assert_eq!(key_of(&padded), reference, "noise {noise:?} at line {i}");
+            }
+        }
+    }
+
+    /// Every field of the key separates queries: same script under a
+    /// different solver, commit, or resolved command line is a different
+    /// key (and digest) — a differently seeded mock is a different
+    /// answer function and must never alias.
+    #[test]
+    fn cache_key_fields_all_separate() {
+        let base = key_of(KEY_SCRIPT);
+        let variants = [
+            CacheKey {
+                solver: "cervo".into(),
+                ..base.clone()
+            },
+            CacheKey {
+                commit: base.commit + 1,
+                ..base.clone()
+            },
+            CacheKey {
+                command: "mock_solver --seed 7 --lane 1".into(),
+                ..base.clone()
+            },
+            CacheKey {
+                script: normalized_script("(assert false)\n(check-sat)"),
+                ..base.clone()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(*v, base, "variant {i} aliased the base key");
+            assert_ne!(v.digest(), base.digest(), "variant {i} digest collided");
+        }
+        // Field boundaries are hashed: moving a byte across the
+        // solver/command seam changes the digest.
+        let shifted = CacheKey {
+            solver: "oxizm".into(),
+            command: "ock_solver --seed 7 --lane 0".into(),
+            ..base.clone()
+        };
+        assert_ne!(shifted.digest(), base.digest(), "field seam collapsed");
+    }
+
+    // ------------------------------------------ verdict cache: transport
+
+    /// An in-memory [`VerdictCache`] for transport tests: a plain map
+    /// plus lookup/record counters.
+    #[derive(Default)]
+    struct MemCache {
+        entries: RefCell<std::collections::BTreeMap<CacheKey, CachedReply>>,
+        recorded: Cell<u64>,
+    }
+
+    impl VerdictCache for MemCache {
+        fn lookup(&self, key: &CacheKey) -> Option<CachedReply> {
+            self.entries.borrow().get(key).cloned()
+        }
+        fn record(&self, key: &CacheKey, reply: &CachedReply) {
+            self.recorded.set(self.recorded.get() + 1);
+            self.entries.borrow_mut().insert(key.clone(), reply.clone());
+        }
+    }
+
+    #[test]
+    fn spawn_cache_hit_reproduces_the_fresh_response_without_a_process() {
+        let cache = Rc::new(MemCache::default());
+        let mut solver = lane("echo unsat").with_cache(Rc::clone(&cache) as Rc<dyn VerdictCache>);
+        let script = "(assert false)\n(check-sat)";
+        let fresh = solver.check(script);
+        assert_eq!(fresh.outcome, Outcome::Unsat);
+        assert_eq!((solver.cache_hits(), solver.cache_misses()), (0, 1));
+        assert_eq!(cache.recorded.get(), 1);
+        let spawned = solver.processes_spawned();
+        let hit = solver.check(script);
+        assert_eq!(hit, fresh, "a hit must be bit-identical to the fresh solve");
+        assert_eq!(
+            solver.processes_spawned(),
+            spawned,
+            "a hit must not touch a process"
+        );
+        assert_eq!((solver.cache_hits(), solver.cache_misses()), (1, 1));
+        assert_eq!(cache.recorded.get(), 1, "hits are not re-recorded");
+        // Padding the script re-hits the same entry: the key is the
+        // normalized script, not the raw text.
+        let padded = solver.check("\n  (assert false)\n\n(check-sat)  \n");
+        assert_eq!(padded, fresh);
+        assert_eq!(solver.cache_hits(), 2);
+    }
+
+    #[test]
+    fn session_cache_hit_reproduces_the_fresh_response() {
+        let cache = Rc::new(MemCache::default());
+        let mut solver = sh_session_lane().with_cache(Rc::clone(&cache) as Rc<dyn VerdictCache>);
+        let script = "(assert (> x 1))\n(check-sat)";
+        let fresh = solver.check(script);
+        assert_eq!(fresh.outcome, Outcome::Sat);
+        let pushed = solver.scopes_pushed();
+        let hit = solver.check(script);
+        assert_eq!(hit, fresh);
+        assert_eq!(
+            solver.scopes_pushed(),
+            pushed,
+            "a hit must not occupy a session frame"
+        );
+        assert_eq!((solver.cache_hits(), solver.cache_misses()), (1, 1));
+    }
+
+    #[test]
+    fn cached_death_replays_the_crash_finding_without_a_respawn() {
+        let cache = Rc::new(MemCache::default());
+        let mut solver = lane("true").with_cache(Rc::clone(&cache) as Rc<dyn VerdictCache>);
+        let script = "(assert true)\n(check-sat)";
+        let fresh = solver.check(script);
+        assert!(matches!(fresh.outcome, Outcome::Crash(_)));
+        assert_eq!(solver.respawns(), 1);
+        let hit = solver.check(script);
+        assert_eq!(hit, fresh, "the crash finding must replay exactly");
+        assert_eq!(
+            solver.respawns(),
+            1,
+            "replaying a cached death is not a process loss"
+        );
+        assert_eq!(solver.cache_hits(), 1);
+    }
+
+    #[test]
+    fn spawn_failures_are_never_cached() {
+        let cache = Rc::new(MemCache::default());
+        let mut solver = lane("/nonexistent/solver-binary")
+            .with_cache(Rc::clone(&cache) as Rc<dyn VerdictCache>);
+        let response = solver.check("(check-sat)");
+        assert!(matches!(response.outcome, Outcome::ParseError(_)));
+        assert_eq!(
+            cache.recorded.get(),
+            0,
+            "environmental failure must not poison the store"
+        );
+        // Both attempts miss: the failure is retried, never replayed.
+        let _ = solver.check("(check-sat)");
+        assert_eq!(solver.cache_misses(), 2);
+        assert_eq!(solver.cache_hits(), 0);
+    }
+
+    // -------------------------------------------------- prefix affinity
+
+    #[test]
+    fn affinity_reuses_a_held_prefix_scope() {
+        let mut solver = sh_session_lane().with_affinity(true);
+        let queries = [
+            "(declare-const x Int)\n(assert (> x 1))\n(check-sat)",
+            "(declare-const x Int)\n(assert (> x 2))\n(check-sat)",
+            "(declare-const x Int)\n(assert (> x 3))\n(check-sat)",
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let response = solver.check(q);
+            assert_eq!(response.outcome, Outcome::Sat, "query {i}");
+        }
+        assert_eq!(
+            solver.prefix_reuses(),
+            2,
+            "queries 2 and 3 ride the held prefix"
+        );
+        assert_eq!(
+            solver.scopes_pushed(),
+            3,
+            "held-prefix pushes are transport bookkeeping, not query scopes"
+        );
+        assert_eq!(solver.processes_spawned(), 1);
+    }
+
+    #[test]
+    fn affinity_prefix_switch_pops_and_repushes() {
+        let mut solver = sh_session_lane().with_affinity(true);
+        let queries = [
+            "(declare-const x Int)\n(assert (> x 1))\n(check-sat)",
+            "(declare-const y Int)\n(assert (> y 1))\n(check-sat)", // switch
+            "(declare-const y Int)\n(assert (> y 2))\n(check-sat)", // reuse
+            "(assert true)\n(check-sat)",                           // no prefix: drop held
+            "(declare-const y Int)\n(assert (> y 3))\n(check-sat)", // re-establish
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let response = solver.check(q);
+            assert_eq!(response.outcome, Outcome::Sat, "query {i}");
+        }
+        assert_eq!(solver.prefix_reuses(), 1, "only query 3 reuses");
+        assert_eq!(solver.respawns(), 0);
+    }
+
+    /// The affinity layout answers exactly like the classic layout: the
+    /// same scripts sent as (held prefix scope + suffix frames) and as
+    /// self-contained frames produce byte-identical reply streams from
+    /// the mock — the solver answers the reconstructed stack, and both
+    /// layouts reconstruct the same stack.
+    #[test]
+    fn affine_wire_layout_answers_like_classic_frames() {
+        let config = MockConfig {
+            seed: 31,
+            ..MockConfig::default()
+        };
+        let prefix = "(declare-const x Int)\n(declare-const y Int)";
+        let suffixes = [
+            "(assert (> x 0))\n(check-sat)",
+            "(assert (< y 5))\n(check-sat)",
+            "(assert (= (+ x y) 3))\n(check-sat)",
+        ];
+        let mut classic = String::from("(set-option :produce-models true)\n");
+        for s in &suffixes {
+            classic.push_str(&format!("(push 1)\n{prefix}\n{s}\n(get-model)\n(pop 1)\n"));
+        }
+        let mut affine = format!("(set-option :produce-models true)\n(push 1)\n{prefix}\n");
+        for s in &suffixes {
+            affine.push_str(&format!("(push 1)\n{s}\n(get-model)\n(pop 1)\n"));
+        }
+        let mut classic_out = Vec::new();
+        serve(&config, classic.as_bytes(), &mut classic_out).unwrap();
+        let mut affine_out = Vec::new();
+        serve(&config, affine.as_bytes(), &mut affine_out).unwrap();
+        assert_eq!(
+            classic_out, affine_out,
+            "held-prefix layout changed an answer"
+        );
+    }
+
+    #[test]
+    fn decl_prefix_splits_at_the_first_non_declaration_line() {
+        let text = "(set-logic QF_LIA)\n(declare-const x Int)\n(define-fun f () Int 1)\n\
+                    (assert (> x 0))\n(check-sat)";
+        let n = PipeSolver::decl_prefix_len(text);
+        assert_eq!(
+            &text[..n],
+            "(set-logic QF_LIA)\n(declare-const x Int)\n(define-fun f () Int 1)\n"
+        );
+        // All-declaration and no-declaration scripts do not split.
+        assert_eq!(
+            PipeSolver::decl_prefix_len("(declare-const x Int)"),
+            "(declare-const x Int)".len()
+        );
+        assert_eq!(PipeSolver::decl_prefix_len("(assert p)\n(check-sat)"), 0);
     }
 }

@@ -26,6 +26,11 @@
 //! # real Z3, when installed (z3 -in speaks incremental mode natively):
 //! O4A_SOLVER_MODE=session O4A_SOLVER_CMD="z3 -in" \
 //!     cargo run --release --example pipe_campaign
+//!
+//! # verdict cache (warm-restartable) + prefix-affinity routing:
+//! O4A_CACHE=/tmp/o4a-cache O4A_AFFINITY=1 O4A_SOLVER_MODE=session \
+//! O4A_SOLVER_CMD="target/debug/mock_solver --seed 13 --lane {lane}" \
+//!     cargo run --release --example pipe_campaign
 //! ```
 
 use once4all::core::{dedup, CampaignConfig, Once4AllFuzzer};
@@ -45,9 +50,15 @@ fn main() {
         return;
     };
     let knob = ExecConfig::from_env();
-    let mut backend = PipeBackend::new(cmd.clone()).with_mode(knob.solver_mode);
+    let mut backend = PipeBackend::new(cmd.clone())
+        .with_mode(knob.solver_mode)
+        .with_affinity(knob.affinity);
     if let Some(ms) = knob.solver_timeout_ms {
         backend = backend.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(dir) = &knob.cache_dir {
+        println!("verdict cache: {}", dir.display());
+        backend = backend.with_cache_dir(dir);
     }
     let mode = match knob.solver_mode {
         SolverMode::Spawn => "spawn (process per in-flight query)",
@@ -79,18 +90,13 @@ fn main() {
             })
             .count();
         println!(
-            "{name:>6}: {} cases, {} bug-triggering, {} deduplicated issues, \
-             {process_deaths} findings from dead/wedged solver processes",
-            result.stats.cases,
-            result.stats.bug_triggering,
+            "{name:>6}: {} deduplicated issues, {process_deaths} findings \
+             from dead/wedged solver processes",
             dedup(&result.findings).len(),
         );
-        println!(
-            "        churn: {} processes spawned ({} respawns), {} scopes pushed",
-            result.stats.processes_spawned,
-            result.stats.process_respawns,
-            result.stats.scopes_pushed,
-        );
+        // The standard stats renderer: cases, churn, and (when
+        // `O4A_CACHE` is set) the verdict-cache hit rate.
+        print!("{}", o4a_bench::render::render_stats(result));
     }
 
     // The determinism contract over the pipe transport: completions are
@@ -114,8 +120,13 @@ fn main() {
         // process per lane regardless of K (plus crash respawns).
         let lanes = config.solvers.len() as u64;
         for (name, stats) in [("serial", &serial.stats), ("K=8", &overlapped.stats)] {
+            // Cache hits never touch a process, so a (partially) warm
+            // run can stay under the one-process-per-lane floor — all
+            // the way to zero when every query is served off the
+            // journal.
+            let floor = if stats.cache_hits > 0 { 0 } else { lanes };
             assert!(
-                stats.processes_spawned >= lanes
+                stats.processes_spawned >= floor
                     && stats.processes_spawned <= lanes + stats.process_respawns,
                 "session {name} run spawned {} processes for {} lanes + {} respawns",
                 stats.processes_spawned,

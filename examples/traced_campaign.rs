@@ -75,25 +75,15 @@ fn main() {
     let report = run_distributed(&config, SHARDS, &dist).expect("traced campaign");
     let result = &report.result;
     println!(
-        "merged: {} cases, {} findings across the fleet",
-        result.stats.cases,
+        "merged: {} findings across the fleet",
         result.findings.len(),
     );
 
-    // Fleet-wide metrics arrived live on the protocol's progress/done
-    // frames — no files needed for this view.
-    println!("fleet metrics (merged off protocol frames):");
-    for (name, value) in &report.stats.fleet_metrics.counters {
-        println!("  {name:<24} : {value}");
-    }
-    for (name, h) in &report.stats.fleet_metrics.histograms {
-        println!(
-            "  {name:<24} : n={} mean={:.1}us p99<={}us",
-            h.count,
-            h.mean(),
-            h.quantile(0.99)
-        );
-    }
+    // The standard renderers: campaign statistics from the merged
+    // result, fleet churn + metrics (arrived live on the protocol's
+    // progress/done frames — no files needed for this view).
+    print!("{}", o4a_bench::render::render_stats(result));
+    print!("{}", o4a_bench::render::render_dist_stats(&report.stats));
 
     // The drained per-process files merge into one Chrome trace.
     let (traces, metrics) = obs::observability_files(&obs_dir).expect("scan obs dir");
