@@ -1,0 +1,66 @@
+//! The bench-trend CI gate: diff a regenerated `BENCH_throughput.json`
+//! against the committed baseline and fail on regressions.
+//!
+//! ```text
+//! bench_diff --baseline PATH --fresh PATH [--max-regress-pct P]
+//! ```
+//!
+//! Prints the per-scenario comparison table; exits 1 when any scenario
+//! fell more than `P` percent (default 20) below its baseline or
+//! disappeared from the bench, 2 on usage/parse errors. New scenarios
+//! never fail the gate — commit the regenerated snapshot to teach the
+//! baseline about them.
+
+use o4a_bench::render_bench_diff;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    eprintln!("usage: bench_diff --baseline PATH --fresh PATH [--max-regress-pct P]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut max_regress_pct: f64 = 20.0;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--fresh" => fresh = Some(value()),
+            "--max-regress-pct" => {
+                max_regress_pct = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-regress-pct needs a number"))
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(baseline) = baseline else {
+        usage("--baseline is required");
+    };
+    let Some(fresh) = fresh else {
+        usage("--fresh is required");
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+    };
+    let diff = match render_bench_diff(&read(&baseline), &read(&fresh), max_regress_pct) {
+        Ok(diff) => diff,
+        Err(e) => usage(&e.to_string()),
+    };
+    print!("{}", diff.report);
+    if diff.regressions.is_empty() {
+        println!("bench trend: OK");
+    } else {
+        for r in &diff.regressions {
+            eprintln!("bench_diff: REGRESSION {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -5,23 +5,34 @@
 //!
 //! ```text
 //! dist_worker --journal PATH --worker N \
+//!     [--connect HOST:PORT [--reconnect-ms MS]] \
+//!     [--slow-ms MS] [--leave-after-leases K] \
 //!     [--crash-shard S --crash-token PATH [--crash-after CASES]]
 //! ```
 //!
-//! The crash flags are the recovery gauntlet's fault injection: die
-//! abruptly mid-way through shard `S`, once per campaign (whoever wins
-//! the atomic creation of the token file crashes; every later holder of
-//! the lease runs it to completion). See `crates/dist/README.md` for
-//! the control protocol and the worker CLI contract.
+//! Without `--connect` the worker speaks the pipe transport on
+//! stdin/stdout (the coordinator spawned it); with `--connect` it joins
+//! an elastic TCP fleet, retrying the dial for `--reconnect-ms` (default
+//! 10000) so it can outlive a coordinator restart. The crash flags are
+//! the recovery gauntlet's fault injection: die abruptly mid-way through
+//! shard `S`, once per campaign (whoever wins the atomic creation of the
+//! token file crashes; every later holder of the lease runs it to
+//! completion). `--slow-ms` drags wall-clock per case (the heterogeneous
+//! fleet's slow machine) and `--leave-after-leases` makes the worker say
+//! goodbye mid-campaign (elastic scale-in). See `crates/dist/README.md`
+//! for the control protocol and the worker CLI contract.
 
 use o4a_core::{Fuzzer, Once4AllFuzzer};
-use o4a_dist::{run_worker, CrashInjection, WorkerConfig};
+use o4a_dist::{run_worker, run_worker_tcp, CrashInjection, WorkerConfig};
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn usage(msg: &str) -> ! {
     eprintln!("dist_worker: {msg}");
     eprintln!(
         "usage: dist_worker --journal PATH --worker N \
+         [--connect HOST:PORT [--reconnect-ms MS]] \
+         [--slow-ms MS] [--leave-after-leases K] \
          [--crash-shard S --crash-token PATH [--crash-after CASES]]"
     );
     std::process::exit(2);
@@ -30,6 +41,10 @@ fn usage(msg: &str) -> ! {
 fn main() {
     let mut journal: Option<PathBuf> = None;
     let mut worker_id: u32 = 0;
+    let mut connect: Option<String> = None;
+    let mut reconnect_ms: u64 = 10_000;
+    let mut slow_ms: u64 = 0;
+    let mut leave_after: Option<u32> = None;
     let mut crash_shard: Option<u32> = None;
     let mut crash_token: Option<PathBuf> = None;
     let mut crash_after: u64 = 5;
@@ -40,26 +55,22 @@ fn main() {
             args.next()
                 .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
+        let int = |flag: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| usage(&format!("{flag} needs an integer")))
+        };
         match flag.as_str() {
             "--journal" => journal = Some(PathBuf::from(value())),
-            "--worker" => {
-                worker_id = value()
-                    .parse()
-                    .unwrap_or_else(|_| usage("--worker needs an integer"))
+            "--worker" => worker_id = int("--worker", value()) as u32,
+            "--connect" => connect = Some(value()),
+            "--reconnect-ms" => reconnect_ms = int("--reconnect-ms", value()),
+            "--slow-ms" => slow_ms = int("--slow-ms", value()),
+            "--leave-after-leases" => {
+                leave_after = Some(int("--leave-after-leases", value()) as u32)
             }
-            "--crash-shard" => {
-                crash_shard = Some(
-                    value()
-                        .parse()
-                        .unwrap_or_else(|_| usage("--crash-shard needs an integer")),
-                )
-            }
+            "--crash-shard" => crash_shard = Some(int("--crash-shard", value()) as u32),
             "--crash-token" => crash_token = Some(PathBuf::from(value())),
-            "--crash-after" => {
-                crash_after = value()
-                    .parse()
-                    .unwrap_or_else(|_| usage("--crash-after needs an integer"))
-            }
+            "--crash-after" => crash_after = int("--crash-after", value()),
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
@@ -78,13 +89,19 @@ fn main() {
 
     let mut config = WorkerConfig::new(journal, worker_id);
     config.crash = crash;
+    config.slow_case_ms = slow_ms;
+    config.leave_after_leases = leave_after;
     let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
-    if let Err(e) = run_worker(
-        factory,
-        &config,
-        std::io::stdin().lock(),
-        std::io::stdout().lock(),
-    ) {
+    let served = match connect {
+        Some(addr) => run_worker_tcp(factory, &config, &addr, Duration::from_millis(reconnect_ms)),
+        None => run_worker(
+            factory,
+            &config,
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+        ),
+    };
+    if let Err(e) = served {
         eprintln!("dist_worker: {e}");
         std::process::exit(1);
     }

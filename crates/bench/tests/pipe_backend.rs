@@ -173,6 +173,7 @@ fn sharded_engine_over_pipes_is_deterministic() {
         solver_mode: SolverMode::Spawn,
         cache_dir: None,
         affinity: false,
+        checkpoint: None,
     };
     let factory = |_shard: u32| Box::new(Once4AllFuzzer::with_defaults()) as Box<dyn Fuzzer>;
     let a = run_campaign_sharded(factory, &config, &exec);

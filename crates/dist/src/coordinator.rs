@@ -1,5 +1,6 @@
-//! The coordinator: owns the shard plan, drives a fleet of worker
-//! processes over pipes, and merges their journals.
+//! The coordinator: owns the shard plan, drives a fleet of workers over
+//! a pluggable transport (spawned pipes or a TCP listener), journals
+//! lease state to an optional checkpoint, and merges worker journals.
 //!
 //! ## Lease scheduling
 //!
@@ -12,32 +13,56 @@
 //! is a pure function of `(config, shards, shard)`
 //! ([`o4a_exec::run_shard_lease`]), *which* worker runs a shard — and
 //! how many times a lease bounces between dying workers — cannot show
-//! up in the merged result.
+//! up in the merged result. ([`DistConfig::static_split`] turns the
+//! stealing off, pinning shard `s` to fleet slot `s % workers` — a
+//! benchmarking knob that exists to measure exactly what stealing buys
+//! on a heterogeneous fleet.)
 //!
 //! ## Failure handling
 //!
-//! Worker stdout fds ride the `poll(2)` reactor from `o4a-executor`,
-//! and every outstanding lease carries a **deadline**: a worker that
-//! neither heartbeats nor completes within [`DistConfig::heartbeat_timeout`]
-//! is killed like a crashed one. Either way the lease goes back to the
-//! front of the queue (a re-issue), the fleet is topped back up to
-//! strength, and the dead worker's journal is kept for the final merge
-//! — shards it *completed* are scavenged from it; the shard it died
-//! inside has no completion record and is therefore re-derived from
-//! scratch by the re-issued lease (`FindingsStore`'s dedup-on-load law
-//! guarantees the half-journaled findings of the dead attempt cannot
-//! leak in).
+//! Worker read fds — pipe stdouts and accepted sockets alike — ride the
+//! `poll(2)` reactor from `o4a-executor`, and every outstanding lease
+//! carries a **deadline**: a worker that neither heartbeats nor
+//! completes within [`DistConfig::heartbeat_timeout`] is killed like a
+//! crashed one. Either way the lease goes back to the front of the
+//! queue (a re-issue), the fleet is topped back up to strength (pipe
+//! transport; TCP fleets are elastic — membership is whoever is
+//! connected), and the dead worker's journal is kept for the final
+//! merge — shards it *completed* are scavenged from it; the shard it
+//! died inside has no completion record and is therefore re-derived
+//! from scratch by the re-issued lease (`FindingsStore`'s dedup-on-load
+//! law guarantees the half-journaled findings of the dead attempt
+//! cannot leak in).
+//!
+//! ## Elastic membership and coordinator death (TCP transport)
+//!
+//! Over TCP the coordinator spawns nothing: workers **join** by
+//! connecting (`hello` frame) at any point of the campaign and pull the
+//! next lease; one that disconnects or says `goodbye` mid-lease has its
+//! lease re-issued through the same deadline path. With a
+//! [`DistConfig::checkpoint`] configured, every grant is made durable
+//! *before* its lease frame is sent and every completion *after* its
+//! `done` arrives — so a coordinator killed mid-campaign restarts from
+//! the checkpoint, re-binds the recorded port, re-adopts reconnecting
+//! workers (their `re-adopt` frames credit leases completed during the
+//! outage), re-issues orphaned grants, and merges a result
+//! bit-identical to an uninterrupted run. The determinism argument is
+//! the same one workers-dying rests on: the worst a lost frame or
+//! record can cause is a *redundant* lease, and redundant executions of
+//! a deterministic shard merge to the same bytes.
 
+use crate::checkpoint::{CheckpointSession, CheckpointStore};
 use crate::protocol::{CacheCounters, CampaignPlan, Frame};
+use crate::transport::{Link, Listener, Transport};
 use o4a_core::{CampaignConfig, CampaignResult};
 use o4a_exec::{merge_shard_results, FindingsStore};
-use o4a_executor::{read_available, set_nonblocking, FdReactor, Interest, WakeFlag};
+use o4a_executor::{set_nonblocking, FdReactor, Interest, WakeFlag};
 use o4a_obs::metrics::MetricsSnapshot;
 use std::collections::{BTreeSet, VecDeque};
-use std::io::{self, Write};
-use std::os::unix::io::{AsRawFd, RawFd};
+use std::io;
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -47,35 +72,67 @@ fn bad(msg: impl Into<String>) -> io::Error {
 /// Fleet configuration for one distributed campaign.
 #[derive(Clone, Debug)]
 pub struct DistConfig {
-    /// Fleet strength: how many worker processes run concurrently.
+    /// Fleet strength: how many worker processes run concurrently (pipe
+    /// transport), or the nominal fleet size a [static split]
+    /// distributes over (TCP fleets are elastic — actual membership is
+    /// whoever has connected).
+    ///
+    /// [static split]: DistConfig::static_split
     pub workers: u32,
-    /// The worker command line (program + args). The coordinator appends
-    /// `--journal <path> --worker <id>` for each spawn, so any binary
-    /// honouring that contract (the reference one is
-    /// `crates/bench/src/bin/dist_worker.rs`) can serve leases.
+    /// The worker command line (program + args), pipe transport only.
+    /// The coordinator appends `--journal <path> --worker <id>` for
+    /// each spawn, so any binary honouring that contract (the reference
+    /// one is `crates/bench/src/bin/dist_worker.rs`) can serve leases.
+    /// Unused over TCP, where workers connect on their own.
     pub worker_command: Vec<String>,
     /// Directory for per-worker findings journals (`worker-<n>.jsonl`,
     /// one per spawned process). Created if absent; should be fresh per
-    /// campaign.
+    /// campaign. TCP workers choose their own journal paths and
+    /// announce them in `hello`.
     pub journal_dir: PathBuf,
     /// A leased worker that neither heartbeats nor completes within this
     /// window is presumed wedged: killed, lease re-issued. Must comfortably
     /// exceed the worker's heartbeat cadence (a `progress` frame every
-    /// [`crate::worker::DEFAULT_PROGRESS_EVERY`] cases).
+    /// [`crate::worker::DEFAULT_PROGRESS_EVERY`] cases). Doubles as the
+    /// patience for a TCP connection that never says `hello`.
     pub heartbeat_timeout: Duration,
-    /// Replacement-spawn budget past the initial fleet. When worker
-    /// deaths exhaust it with shards still unfinished, the campaign
-    /// fails instead of thrashing forever.
+    /// Replacement-spawn budget past the initial fleet (pipe transport).
+    /// When worker deaths exhaust it with shards still unfinished, the
+    /// campaign fails instead of thrashing forever.
     pub max_respawns: u32,
     /// Extra environment variables for every spawned worker (e.g.
     /// `O4A_TRACE`/`O4A_METRICS` to turn observability on fleet-wide
     /// without mutating the coordinator's own environment).
     pub envs: Vec<(String, String)>,
+    /// The wire to the fleet: spawn-and-pipe (default) or a TCP
+    /// listener workers connect to.
+    pub transport: Transport,
+    /// Checkpoint path for coordinator resumability. `None` (default)
+    /// runs without one — a killed coordinator then loses the campaign,
+    /// exactly the pre-checkpoint behavior.
+    pub checkpoint: Option<PathBuf>,
+    /// Disables work stealing: shard `s` may only be granted to fleet
+    /// slot `s % workers` (spawn order over pipes, join order over
+    /// TCP). A benchmarking knob — the heterogeneous-fleet gauntlet
+    /// measures stealing against exactly this.
+    pub static_split: bool,
+    /// TCP only: how long the coordinator waits with **zero** connected
+    /// workers and work remaining before declaring the campaign
+    /// stranded. Elastic fleets may legitimately dip to zero briefly
+    /// (everyone churning at once); this bounds "forever".
+    pub accept_timeout: Duration,
+    /// Fault injection for the recovery gauntlet: the coordinator
+    /// `exit(9)`s — no unwinding, mid-campaign — right after recording
+    /// this many shard completions. The checkpoint is durable at that
+    /// point, which is precisely what the restarted coordinator resumes
+    /// from. `None` (default) never fires.
+    pub exit_after_completions: Option<u64>,
 }
 
 impl DistConfig {
-    /// A fleet of 4 workers running `worker_command`, journaling under
-    /// `journal_dir`, with a 30 s heartbeat deadline and 8 respawns.
+    /// A fleet of 4 workers running `worker_command` over pipes,
+    /// journaling under `journal_dir`, with a 30 s heartbeat deadline
+    /// and 8 respawns. No checkpoint, dynamic leases.
     pub fn new(worker_command: Vec<String>, journal_dir: impl Into<PathBuf>) -> DistConfig {
         DistConfig {
             workers: 4,
@@ -84,6 +141,11 @@ impl DistConfig {
             heartbeat_timeout: Duration::from_secs(30),
             max_respawns: 8,
             envs: Vec::new(),
+            transport: Transport::Pipes,
+            checkpoint: None,
+            static_split: false,
+            accept_timeout: Duration::from_secs(60),
+            exit_after_completions: None,
         }
     }
 
@@ -110,12 +172,91 @@ impl DistConfig {
         self.envs.push((key.into(), value.into()));
         self
     }
+
+    /// Switches the fleet onto a TCP listener at `listen`
+    /// (`host:port`; port 0 picks a free one).
+    pub fn with_tcp(mut self, listen: impl Into<String>) -> DistConfig {
+        self.transport = Transport::Tcp {
+            listen: listen.into(),
+        };
+        self
+    }
+
+    /// Enables coordinator checkpointing at `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> DistConfig {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Disables work stealing (see [`DistConfig::static_split`]).
+    pub fn with_static_split(mut self, static_split: bool) -> DistConfig {
+        self.static_split = static_split;
+        self
+    }
+
+    /// Replaces the zero-worker patience (see
+    /// [`DistConfig::accept_timeout`]).
+    pub fn with_accept_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.accept_timeout = timeout;
+        self
+    }
+
+    /// Arms the die-after-N-completions fault injection (see
+    /// [`DistConfig::exit_after_completions`]).
+    pub fn with_exit_after_completions(mut self, completions: u64) -> DistConfig {
+        self.exit_after_completions = Some(completions);
+        self
+    }
+
+    /// Applies the coordinator environment knobs, tolerantly — unset or
+    /// unparsable values leave the current setting untouched, matching
+    /// [`o4a_exec::ExecConfig::from_env`]:
+    ///
+    /// * `O4A_DIST_WORKERS` — fleet strength (≥ 1)
+    /// * `O4A_DIST_HEARTBEAT_MS` — heartbeat deadline, milliseconds (≥ 1)
+    /// * `O4A_DIST_MAX_RESPAWNS` — respawn budget
+    /// * `O4A_DIST_LISTEN` — switch to TCP, listening on this address
+    /// * `O4A_CHECKPOINT` — coordinator checkpoint path
+    pub fn with_env_overrides(mut self) -> DistConfig {
+        if let Some(workers) = parse_env_u64("O4A_DIST_WORKERS") {
+            if workers >= 1 {
+                self.workers = workers.min(u32::MAX as u64) as u32;
+            }
+        }
+        if let Some(ms) = parse_env_u64("O4A_DIST_HEARTBEAT_MS") {
+            if ms >= 1 {
+                self.heartbeat_timeout = Duration::from_millis(ms);
+            }
+        }
+        if let Some(respawns) = parse_env_u64("O4A_DIST_MAX_RESPAWNS") {
+            self.max_respawns = respawns.min(u32::MAX as u64) as u32;
+        }
+        if let Ok(listen) = std::env::var("O4A_DIST_LISTEN") {
+            if !listen.trim().is_empty() {
+                self.transport = Transport::Tcp {
+                    listen: listen.trim().to_string(),
+                };
+            }
+        }
+        if let Ok(path) = std::env::var("O4A_CHECKPOINT") {
+            if !path.trim().is_empty() {
+                self.checkpoint = Some(PathBuf::from(path.trim()));
+            }
+        }
+        self
+    }
+}
+
+/// `Some(n)` only for a set, non-empty, parsable value.
+fn parse_env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 /// What one worker process did, for the fleet summary.
 #[derive(Clone, Debug)]
 pub struct WorkerSummary {
-    /// Spawn-sequence id (also the journal file's number).
+    /// Spawn-sequence id (pipe transport; also the journal file's
+    /// number) or the self-reported id of a joined TCP worker.
     pub worker: u32,
     /// The worker's findings journal.
     pub journal: PathBuf,
@@ -123,10 +264,10 @@ pub struct WorkerSummary {
     pub leases_completed: u32,
     /// Cases executed across its completed leases.
     pub cases: u64,
-    /// Wall-clock lifetime of the process.
+    /// Wall-clock lifetime of the process (connection, over TCP).
     pub wall: Duration,
     /// False when the worker died (or was killed as wedged) instead of
-    /// exiting on shutdown.
+    /// exiting on shutdown / leaving with a `goodbye`.
     pub clean_exit: bool,
     /// Last in-flight throughput the worker reported (cases/sec from
     /// its latest `progress` or `done` frame; 0 before the first one).
@@ -158,14 +299,29 @@ pub struct DistStats {
     pub shards: u32,
     /// Configured fleet strength.
     pub workers: u32,
-    /// Worker processes spawned (initial fleet + replacements).
+    /// Worker processes spawned (initial fleet + replacements; pipe
+    /// transport).
     pub workers_spawned: u32,
     /// Workers that died or were killed as wedged.
     pub worker_deaths: u32,
     /// Lease frames sent (re-issues included).
     pub leases_granted: u64,
-    /// Leases re-issued after their holder died mid-lease.
+    /// Leases re-issued after their holder died, left, or — on a
+    /// coordinator resume — was orphaned by the previous incarnation.
     pub leases_reissued: u64,
+    /// TCP workers that joined the fleet (`hello` handshakes; a
+    /// reconnect counts again).
+    pub workers_joined: u64,
+    /// `re-adopt` handshakes honoured (reconnecting workers whose
+    /// completed-lease lists were replayed).
+    pub workers_readopted: u64,
+    /// Workers that left with a voluntary `goodbye`.
+    pub workers_left: u64,
+    /// Shard completions credited from `re-adopt` frames rather than
+    /// live `done` frames.
+    pub shards_readopted: u64,
+    /// True when this campaign resumed from an existing checkpoint.
+    pub resumed: bool,
     /// Per-worker summaries, in spawn order.
     pub per_worker: Vec<WorkerSummary>,
     /// Fleet-wide metrics: every worker's final snapshot merged
@@ -192,15 +348,23 @@ pub struct DistReport {
     pub stats: DistStats,
 }
 
-/// One live worker process.
+/// One live worker: a spawned child over pipes, or an accepted TCP
+/// connection (whose process belongs to someone else).
 struct Worker {
     id: u32,
-    child: Child,
-    stdin: Option<ChildStdin>,
-    stdout: ChildStdout,
-    fd: RawFd,
+    child: Option<Child>,
+    link: Link,
     buf: Vec<u8>,
-    journal: PathBuf,
+    /// Known at spawn over pipes; announced by `hello` over TCP.
+    journal: Option<PathBuf>,
+    /// Pipe workers are born greeted; a TCP connection earns it with
+    /// its `hello` and is granted nothing before.
+    greeted: bool,
+    /// Received a voluntary `goodbye` — retire cleanly.
+    left: bool,
+    /// Fleet slot for [`DistConfig::static_split`]: spawn sequence over
+    /// pipes, join sequence over TCP.
+    slot: u32,
     lease: Option<u32>,
     /// Cases executed across *completed* leases (what the summary
     /// reports); heartbeat progress of the in-flight lease accumulates
@@ -218,29 +382,31 @@ struct Worker {
 }
 
 impl Worker {
+    fn fd(&self) -> std::os::unix::io::RawFd {
+        self.link.read_fd()
+    }
+
     fn send_lease(&mut self, shard: u32, plan: &CampaignPlan) -> io::Result<()> {
-        let stdin = self
-            .stdin
-            .as_mut()
-            .expect("stdin open for the worker's whole life");
         let frame = Frame::Lease {
             shard,
             plan: plan.clone(),
         };
-        writeln!(stdin, "{}", frame.to_line())?;
-        stdin.flush()
+        self.link.send_line(&frame.to_line())
     }
 
     fn into_summary(mut self, clean_exit: bool) -> WorkerSummary {
         // Reap unconditionally; kill first so a worker that closed its
-        // stdout but kept running cannot block the coordinator.
-        if !clean_exit {
-            let _ = self.child.kill();
+        // stdout but kept running cannot block the coordinator. TCP
+        // workers have no child — dropping the link closes the socket.
+        if let Some(child) = self.child.as_mut() {
+            if !clean_exit {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
         }
-        let _ = self.child.wait();
         WorkerSummary {
             worker: self.id,
-            journal: self.journal,
+            journal: self.journal.unwrap_or_default(),
             leases_completed: self.leases_completed,
             cases: self.cases,
             wall: self.spawned_at.elapsed(),
@@ -255,7 +421,8 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
     let journal = dist.journal_dir.join(format!("worker-{id}.jsonl"));
     // The coordinator owns the journal dir: a stale file under an
     // assigned name would resume a previous campaign (or refuse a
-    // different one), so clear it.
+    // different one), so clear it. (A resumed coordinator never reuses
+    // a previous incarnation's ids — the checkpoint advances them.)
     let _ = std::fs::remove_file(&journal);
     let (program, args) = dist
         .worker_command
@@ -275,17 +442,20 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
     o4a_obs::trace::event("dist", "worker.spawn", &[("worker", u64::from(id))]);
     let stdin = child.stdin.take().expect("piped stdin");
     let stdout = child.stdout.take().expect("piped stdout");
-    let fd = stdout.as_raw_fd();
-    set_nonblocking(fd)?;
+    set_nonblocking(stdout.as_raw_fd())?;
     let now = Instant::now();
     Ok(Worker {
         id,
-        child,
-        stdin: Some(stdin),
-        stdout,
-        fd,
+        child: Some(child),
+        link: Link::Pipe {
+            stdin: Some(stdin),
+            stdout,
+        },
         buf: Vec::new(),
-        journal,
+        journal: Some(journal),
+        greeted: true,
+        left: false,
+        slot: id,
         lease: None,
         cases: 0,
         lease_cases: 0,
@@ -296,6 +466,30 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
         spawned_at: now,
         eof: false,
     })
+}
+
+/// A freshly accepted TCP connection: a worker-to-be until its `hello`.
+fn accepted_worker(link: Link) -> Worker {
+    let now = Instant::now();
+    Worker {
+        id: u32::MAX,
+        child: None,
+        link,
+        buf: Vec::new(),
+        journal: None,
+        greeted: false,
+        left: false,
+        slot: 0,
+        lease: None,
+        cases: 0,
+        lease_cases: 0,
+        leases_completed: 0,
+        live_rate: 0.0,
+        latest_metrics: None,
+        last_heard: now,
+        spawned_at: now,
+        eof: false,
+    }
 }
 
 /// Pops complete lines off the front of `buf`.
@@ -310,26 +504,60 @@ fn take_lines(buf: &mut Vec<u8>) -> Vec<String> {
     lines
 }
 
+/// The campaign-progress side of the fleet loop, separated from the
+/// fleet itself so an error path can still retire `live`.
+struct FleetState {
+    pending: VecDeque<u32>,
+    done: BTreeSet<u32>,
+    journals: Vec<PathBuf>,
+    /// Next spawn id (pipe transport); a resumed coordinator starts past
+    /// every id its checkpoint ever recorded.
+    spawn_seq: u32,
+    /// Join-order counter assigning TCP fleet slots.
+    greet_seq: u32,
+    /// Completions recorded by *this incarnation* — what
+    /// [`DistConfig::exit_after_completions`] counts.
+    completions_recorded: u64,
+}
+
+impl FleetState {
+    fn track_journal(
+        &mut self,
+        worker: u32,
+        journal: PathBuf,
+        checkpoint: Option<&CheckpointSession>,
+    ) {
+        if !self.journals.contains(&journal) {
+            if let Some(cp) = checkpoint {
+                cp.record_journal(worker, &journal);
+            }
+            self.journals.push(journal);
+        }
+    }
+}
+
 /// Runs `config`, split into `shards` deterministic shards, across a
-/// fleet of worker processes, and merges their journals into one
-/// campaign result.
+/// fleet of workers, and merges their journals into one campaign
+/// result.
 ///
 /// The merged result is **bit-identical** to the same plan executed by
 /// a single process ([`o4a_exec::run_campaign_sharded`] with
 /// `exec.shards = shards`) in findings, final coverage maps, hourly
 /// snapshot series, and statistics modulo the transport counters —
-/// regardless of fleet size, lease scheduling, or workers dying
-/// mid-lease (their leases re-issue and re-derive the shard
-/// deterministically). The coordinator folds its own fleet churn into
-/// the merged stats' transport counters: worker processes into
-/// `processes_spawned`/`process_respawns`, lease churn into
+/// regardless of fleet size, transport, lease scheduling, workers
+/// joining or dying mid-campaign (their leases re-issue and re-derive
+/// the shard deterministically), or the coordinator itself being killed
+/// and restarted over a checkpoint. The coordinator folds its own fleet
+/// churn into the merged stats' transport counters: worker processes
+/// into `processes_spawned`/`process_respawns`, lease churn into
 /// `leases_granted`/`leases_reissued`.
 ///
 /// # Errors
 ///
-/// Worker-spawn and journal I/O errors, protocol violations, and a
-/// fleet that keeps dying until [`DistConfig::max_respawns`] is
-/// exhausted with shards still unfinished.
+/// Worker-spawn and journal I/O errors, protocol violations, checkpoint
+/// corruption, a pipe fleet that keeps dying until
+/// [`DistConfig::max_respawns`] is exhausted, and a TCP fleet empty for
+/// longer than [`DistConfig::accept_timeout`] with shards unfinished.
 pub fn run_distributed(
     config: &CampaignConfig,
     shards: u32,
@@ -349,29 +577,107 @@ pub fn run_distributed(
         workers: dist.workers,
         ..DistStats::default()
     };
+    let mut state = FleetState {
+        pending: (0..shards).collect(),
+        done: BTreeSet::new(),
+        journals: Vec::new(),
+        spawn_seq: 0,
+        greet_seq: 0,
+        completions_recorded: 0,
+    };
+
+    // Checkpoint replay: completed shards stay done, orphaned grants go
+    // to the queue front (they are the oldest work), everything the
+    // previous incarnation never granted follows in shard order.
+    let mut checkpoint: Option<CheckpointSession> = None;
+    let mut recorded_listen: Option<String> = None;
+    if let Some(path) = &dist.checkpoint {
+        let (session, replayed) = CheckpointStore::new(path).resume_or_create(&plan)?;
+        if replayed.resumed {
+            stats.resumed = true;
+            o4a_obs::trace::event("dist", "coordinator.resume", &[]);
+            if o4a_obs::metrics_enabled() {
+                o4a_obs::metrics::counter("dist.coordinator_resumes").inc();
+            }
+            state.done = replayed.completed.keys().copied().collect();
+            let mut pending: VecDeque<u32> = replayed.granted.keys().copied().collect();
+            for shard in 0..shards {
+                if !replayed.completed.contains_key(&shard)
+                    && !replayed.granted.contains_key(&shard)
+                {
+                    pending.push_back(shard);
+                }
+            }
+            state.pending = pending;
+            stats.leases_reissued += replayed.granted.len() as u64;
+            state.journals = replayed.journals;
+            state.spawn_seq = replayed.next_worker_id;
+            recorded_listen = replayed.listen;
+        }
+        checkpoint = Some(session);
+    }
+
+    // TCP: bind the listener — on resume, the *recorded* address, so a
+    // fleet configured with port 0 still finds the restarted
+    // coordinator on the port it has been knocking on.
+    let listener = match &dist.transport {
+        Transport::Pipes => None,
+        Transport::Tcp { listen } => {
+            let addr = recorded_listen.clone().unwrap_or_else(|| listen.clone());
+            let bound = Listener::bind(&addr)
+                .map_err(|e| io::Error::new(e.kind(), format!("cannot listen on {addr}: {e}")))?;
+            if let Some(cp) = &checkpoint {
+                if recorded_listen.as_deref() != Some(bound.local_addr()) {
+                    cp.record_listen(bound.local_addr());
+                }
+            }
+            Some(bound)
+        }
+    };
+
     let mut live: Vec<Worker> = Vec::new();
-    let mut journals: Vec<PathBuf> = Vec::new();
-    if let Err(e) = drive_fleet(dist, &plan, shards, &mut stats, &mut live, &mut journals) {
-        // No worker process outlives the campaign: kill and reap the
+    if let Err(e) = drive_fleet(
+        dist,
+        &plan,
+        &mut stats,
+        &mut live,
+        &mut state,
+        checkpoint.as_ref(),
+        listener.as_ref(),
+    ) {
+        // No worker connection outlives the campaign: kill and reap the
         // fleet before surfacing the error.
         for worker in live.drain(..) {
-            stats.per_worker.push(worker.into_summary(false));
+            if worker.greeted {
+                stats.per_worker.push(worker.into_summary(false));
+            }
         }
         return Err(e);
     }
 
-    // Shutdown: closing stdin is the protocol's EOF signal; give workers
-    // a moment to exit cleanly, then reap.
+    // Shutdown. Pipes: closing stdin is the EOF signal. TCP: an explicit
+    // goodbye, so the worker's reconnect loop knows the campaign is over
+    // rather than the coordinator dead.
     for mut worker in live {
-        drop(worker.stdin.take());
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let clean = loop {
-            match worker.child.try_wait() {
-                Ok(Some(status)) => break status.success(),
-                Err(_) => break false,
-                Ok(None) if Instant::now() >= deadline => break false,
-                Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+        let clean = if let Some(child) = &mut worker.child {
+            worker.link.close_input();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => break status.success(),
+                    Err(_) => break false,
+                    Ok(None) if Instant::now() >= deadline => break false,
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                }
             }
+        } else {
+            if !worker.greeted {
+                // A connection that never introduced itself: close it,
+                // no summary.
+                continue;
+            }
+            let farewell = Frame::Goodbye { worker: worker.id };
+            worker.link.send_line(&farewell.to_line()).is_ok()
         };
         stats.per_worker.push(worker.into_summary(clean));
     }
@@ -384,8 +690,9 @@ pub fn run_distributed(
 
     // Merge every journal the fleet ever touched — completed shards of
     // dead workers are scavenged, their half-run shard re-derived by the
-    // re-issued lease.
-    let completed = FindingsStore::merge_from(config, shards, &journals)?;
+    // re-issued lease. On a resumed coordinator the checkpoint supplied
+    // the previous incarnations' journal paths too.
+    let completed = FindingsStore::merge_from(config, shards, &state.journals)?;
     for shard in 0..shards {
         if !completed.contains_key(&shard) {
             return Err(bad(format!(
@@ -395,7 +702,7 @@ pub fn run_distributed(
     }
     let ordered: Vec<CampaignResult> = completed.into_values().collect();
     let mut result = merge_shard_results(config, &ordered);
-    result.stats.processes_spawned += stats.workers_spawned as u64;
+    result.stats.processes_spawned += stats.workers_spawned as u64 + stats.workers_joined;
     result.stats.process_respawns += stats.worker_deaths as u64;
     result.stats.leases_granted += stats.leases_granted;
     result.stats.leases_reissued += stats.leases_reissued;
@@ -408,51 +715,79 @@ pub fn run_distributed(
     Ok(DistReport { result, stats })
 }
 
+/// How often the loop wakes with nothing but the listener registered —
+/// bounds how stale the zero-worker [`DistConfig::accept_timeout`]
+/// bookkeeping can get.
+const ACCEPT_TICK: Duration = Duration::from_millis(250);
+
 /// The lease loop: runs until every shard is done, or errors with the
 /// fleet in whatever state it reached — the caller owns `live` and must
 /// retire (kill + reap) whatever is left on either path.
 fn drive_fleet(
     dist: &DistConfig,
     plan: &CampaignPlan,
-    shards: u32,
     stats: &mut DistStats,
     live: &mut Vec<Worker>,
-    journals: &mut Vec<PathBuf>,
+    state: &mut FleetState,
+    checkpoint: Option<&CheckpointSession>,
+    listener: Option<&Listener>,
 ) -> io::Result<()> {
     let reactor = FdReactor::new();
     let waker = WakeFlag::new().waker();
-    let mut pending: VecDeque<u32> = (0..shards).collect();
-    let mut done: BTreeSet<u32> = BTreeSet::new();
+    let shards = plan.shards;
+    let mut fleet_nonempty_at = Instant::now();
 
     loop {
-        // Retire dead workers and wedged ones (no frame within the
-        // deadline while holding a lease), re-queueing their leases.
+        // Retire leavers (clean), the dead, and wedged workers (no frame
+        // within the deadline while holding a lease), re-queueing their
+        // leases. TCP connections that never said hello within the same
+        // deadline are dropped without ceremony.
         let now = Instant::now();
         let mut i = 0;
         while i < live.len() {
+            let stale = now.duration_since(live[i].last_heard) > dist.heartbeat_timeout;
+            let left = live[i].left;
             let dead = live[i].eof;
-            let wedged = live[i].lease.is_some()
-                && now.duration_since(live[i].last_heard) > dist.heartbeat_timeout;
-            if !(dead || wedged) {
+            let wedged = live[i].lease.is_some() && stale;
+            let ghost = !live[i].greeted && stale;
+            if !(left || dead || wedged || ghost) {
                 i += 1;
                 continue;
             }
             let mut worker = live.swap_remove(i);
-            stats.worker_deaths += 1;
-            o4a_obs::trace::event(
-                "dist",
-                if dead {
-                    "worker.death"
-                } else {
-                    "worker.wedged"
-                },
-                &[("worker", u64::from(worker.id))],
-            );
-            if o4a_obs::metrics_enabled() {
-                o4a_obs::metrics::counter("dist.worker_deaths").inc();
+            if !worker.greeted {
+                // Never joined: nothing to re-queue, nothing to report.
+                continue;
             }
-            if let Some(shard) = worker.lease.take() {
-                pending.push_front(shard);
+            if left {
+                stats.workers_left += 1;
+                o4a_obs::trace::event(
+                    "dist",
+                    "worker.goodbye",
+                    &[("worker", u64::from(worker.id))],
+                );
+                if o4a_obs::metrics_enabled() {
+                    o4a_obs::metrics::counter("dist.workers_left").inc();
+                }
+            } else {
+                stats.worker_deaths += 1;
+                o4a_obs::trace::event(
+                    "dist",
+                    if dead {
+                        "worker.death"
+                    } else {
+                        "worker.wedged"
+                    },
+                    &[("worker", u64::from(worker.id))],
+                );
+                if o4a_obs::metrics_enabled() {
+                    o4a_obs::metrics::counter("dist.worker_deaths").inc();
+                }
+            }
+            // A lease whose shard a re-adopt already credited is
+            // redundant — completed work is never re-queued.
+            if let Some(shard) = worker.lease.take().filter(|s| !state.done.contains(s)) {
+                state.pending.push_front(shard);
                 stats.leases_reissued += 1;
                 o4a_obs::trace::event(
                     "dist",
@@ -466,42 +801,91 @@ fn drive_fleet(
                     o4a_obs::metrics::counter("dist.leases_reissued").inc();
                 }
             }
-            stats.per_worker.push(worker.into_summary(false));
+            stats.per_worker.push(worker.into_summary(left));
         }
 
-        if done.len() == shards as usize {
+        // Exit only once every live worker is idle too: a worker can
+        // hold a lease whose shard a `re-adopt` completed out from under
+        // it (redundant, deterministic). Waiting for its `done` lets the
+        // shutdown goodbye land on a worker that is actually listening,
+        // instead of stranding it mid-serve with a dead socket.
+        if state.done.len() == shards as usize && live.iter().all(|w| w.lease.is_none()) {
             return Ok(());
         }
 
-        // Top the fleet back up while unassigned work remains.
-        loop {
-            let idle = live.iter().filter(|w| w.lease.is_none()).count();
-            if idle >= pending.len() || live.len() >= dist.workers as usize {
-                break;
+        match listener {
+            // Pipes: top the fleet back up while unassigned work remains.
+            None => loop {
+                let idle = live.iter().filter(|w| w.lease.is_none()).count();
+                if idle >= state.pending.len() || live.len() >= dist.workers as usize {
+                    break;
+                }
+                if stats.workers_spawned >= dist.workers + dist.max_respawns {
+                    return Err(io::Error::other(format!(
+                        "worker fleet keeps dying: {} spawns exhausted with {} of {} shards unfinished",
+                        stats.workers_spawned,
+                        shards as usize - state.done.len(),
+                        shards
+                    )));
+                }
+                let worker = spawn_worker(dist, state.spawn_seq)?;
+                state.track_journal(
+                    worker.id,
+                    worker.journal.clone().expect("pipe worker has a journal"),
+                    checkpoint,
+                );
+                state.spawn_seq += 1;
+                stats.workers_spawned += 1;
+                live.push(worker);
+            },
+            // TCP: membership is elastic — nobody to spawn, but a fleet
+            // that stays *empty* with work remaining is stranded.
+            Some(_) => {
+                if live.is_empty() {
+                    if fleet_nonempty_at.elapsed() > dist.accept_timeout {
+                        return Err(io::Error::other(format!(
+                            "no workers connected for {:?} with {} of {} shards unfinished",
+                            dist.accept_timeout,
+                            shards as usize - state.done.len(),
+                            shards
+                        )));
+                    }
+                } else {
+                    fleet_nonempty_at = Instant::now();
+                }
             }
-            if stats.workers_spawned >= dist.workers + dist.max_respawns {
-                return Err(io::Error::other(format!(
-                    "worker fleet keeps dying: {} spawns exhausted with {} of {} shards unfinished",
-                    stats.workers_spawned,
-                    shards as usize - done.len(),
-                    shards
-                )));
-            }
-            let worker = spawn_worker(dist, stats.workers_spawned)?;
-            journals.push(worker.journal.clone());
-            stats.workers_spawned += 1;
-            live.push(worker);
         }
 
-        // Grant: idle workers pull the queue front (work stealing).
+        // Grant: idle workers pull the queue front (work stealing), or —
+        // under a static split — the first queued shard pinned to their
+        // slot.
         for worker in live.iter_mut() {
-            if worker.lease.is_some() || worker.eof {
+            if worker.lease.is_some() || worker.eof || worker.left || !worker.greeted {
                 continue;
             }
-            let Some(&shard) = pending.front() else { break };
+            let picked = if dist.static_split {
+                let divisor = dist.workers.max(1);
+                state
+                    .pending
+                    .iter()
+                    .position(|&s| s % divisor == worker.slot % divisor)
+            } else if state.pending.is_empty() {
+                None
+            } else {
+                Some(0)
+            };
+            let Some(idx) = picked else { continue };
+            let shard = state.pending[idx];
+            // Grant durability precedes the grant itself: a coordinator
+            // killed between the two records an orphaned lease, which a
+            // resume re-issues — never a granted shard the checkpoint
+            // has no memory of.
+            if let Some(cp) = checkpoint {
+                cp.record_grant(shard, worker.id);
+            }
             match worker.send_lease(shard, plan) {
                 Ok(()) => {
-                    pending.pop_front();
+                    state.pending.remove(idx);
                     worker.lease = Some(shard);
                     worker.last_heard = Instant::now();
                     stats.leases_granted += 1;
@@ -523,14 +907,25 @@ fn drive_fleet(
             }
         }
 
-        // Wait for frames: every live stdout rides the poll(2) reactor,
-        // leased workers with their heartbeat deadline attached.
-        let mut tokens = Vec::with_capacity(live.len());
+        // Wait for frames: every live read fd rides the poll(2) reactor —
+        // pipe stdouts and worker sockets alike — leased workers with
+        // their heartbeat deadline attached, pre-hello connections with
+        // their cull deadline, and the accept socket (whose POLLIN means
+        // a worker is joining) with a short tick so the zero-worker
+        // bookkeeping above stays fresh.
+        let mut tokens = Vec::with_capacity(live.len() + 1);
         for worker in live.iter().filter(|w| !w.eof) {
-            let deadline = worker
-                .lease
-                .map(|_| worker.last_heard + dist.heartbeat_timeout);
-            tokens.push(reactor.register(worker.fd, Interest::Read, waker.clone(), deadline));
+            let deadline = (worker.lease.is_some() || !worker.greeted)
+                .then(|| worker.last_heard + dist.heartbeat_timeout);
+            tokens.push(reactor.register(worker.fd(), Interest::Read, waker.clone(), deadline));
+        }
+        if let Some(listener) = listener {
+            tokens.push(reactor.register(
+                listener.fd(),
+                Interest::Read,
+                waker.clone(),
+                Some(Instant::now() + ACCEPT_TICK),
+            ));
         }
         if !tokens.is_empty() {
             reactor.poll_io(None)?;
@@ -539,13 +934,24 @@ fn drive_fleet(
             reactor.deregister(token);
         }
 
+        // Accept joiners (every queued connect, not just one per wake).
+        if let Some(listener) = listener {
+            while let Some(stream) = listener.accept()? {
+                // A connection dead between accept and fcntl is dropped;
+                // the joiner will retry.
+                if let Ok(link) = Link::tcp(stream) {
+                    live.push(accepted_worker(link));
+                }
+            }
+        }
+
         // Drain and handle frames.
         for worker in live.iter_mut() {
             if worker.eof {
                 continue;
             }
             loop {
-                match read_available(&mut worker.stdout, &mut worker.buf)? {
+                match worker.link.read_available(&mut worker.buf)? {
                     Some(0) => {
                         worker.eof = true;
                         break;
@@ -557,16 +963,70 @@ fn drive_fleet(
             for line in take_lines(&mut worker.buf) {
                 worker.last_heard = Instant::now();
                 match Frame::from_line(&line) {
-                    Ok(Frame::JournalPath { path, .. }) => {
+                    Ok(Frame::Hello {
+                        worker: wid,
+                        journal: path,
+                    })
+                    | Ok(Frame::JournalPath { worker: wid, path }) => {
                         let announced = PathBuf::from(path);
-                        if announced != worker.journal {
-                            // A worker may relocate its journal; merge
-                            // whatever it announces (and the assigned
-                            // path stays in the list — empty files are
-                            // skipped).
-                            journals.push(announced.clone());
-                            worker.journal = announced;
+                        if !worker.greeted {
+                            worker.id = wid;
+                            worker.greeted = true;
+                            worker.slot = state.greet_seq;
+                            state.greet_seq += 1;
+                            stats.workers_joined += 1;
+                            o4a_obs::trace::event(
+                                "dist",
+                                "worker.join",
+                                &[("worker", u64::from(wid))],
+                            );
+                            if o4a_obs::metrics_enabled() {
+                                o4a_obs::metrics::counter("dist.workers_joined").inc();
+                            }
                         }
+                        if worker.journal.as_ref() != Some(&announced) {
+                            state.track_journal(worker.id, announced.clone(), checkpoint);
+                            worker.journal = Some(announced);
+                        }
+                    }
+                    Ok(Frame::ReAdopt {
+                        worker: wid,
+                        completed,
+                    }) => {
+                        if !worker.greeted {
+                            worker.eof = true;
+                            break;
+                        }
+                        stats.workers_readopted += 1;
+                        o4a_obs::trace::event(
+                            "dist",
+                            "worker.readopt",
+                            &[
+                                ("worker", u64::from(wid)),
+                                ("completed", completed.len() as u64),
+                            ],
+                        );
+                        if o4a_obs::metrics_enabled() {
+                            o4a_obs::metrics::counter("dist.workers_readopted").inc();
+                        }
+                        for lease in completed {
+                            if !state.done.insert(lease.shard) {
+                                continue; // already credited — idempotent
+                            }
+                            state.pending.retain(|&s| s != lease.shard);
+                            stats.shards_readopted += 1;
+                            worker.leases_completed += 1;
+                            worker.cases += lease.cases;
+                            if let Some(cp) = checkpoint {
+                                cp.record_complete(lease.shard, wid, lease.cases, lease.findings);
+                            }
+                            state.completions_recorded += 1;
+                        }
+                        exit_if_armed(dist, state);
+                    }
+                    Ok(Frame::Goodbye { .. }) => {
+                        worker.left = true;
+                        break;
                     }
                     Ok(Frame::Progress {
                         shard,
@@ -586,12 +1046,18 @@ fn drive_fleet(
                     Ok(Frame::Done {
                         shard,
                         cases,
+                        findings,
                         cases_per_sec,
                         metrics,
                         cache,
-                        ..
                     }) => {
                         if worker.lease != Some(shard) {
+                            if state.done.contains(&shard) {
+                                // A redundant lease from an older
+                                // coordinator incarnation finishing late:
+                                // deterministic, already merged — ignore.
+                                continue;
+                            }
                             return Err(bad(format!(
                                 "worker {} completed shard {shard} it does not hold",
                                 worker.id
@@ -608,7 +1074,11 @@ fn drive_fleet(
                         stats.cache.hits += cache.hits;
                         stats.cache.misses += cache.misses;
                         stats.cache.prefix_reuses += cache.prefix_reuses;
-                        done.insert(shard);
+                        state.done.insert(shard);
+                        if let Some(cp) = checkpoint {
+                            cp.record_complete(shard, worker.id, cases, findings);
+                        }
+                        state.completions_recorded += 1;
                         o4a_obs::trace::event(
                             "dist",
                             "lease.done",
@@ -618,6 +1088,7 @@ fn drive_fleet(
                                 ("cases", cases),
                             ],
                         );
+                        exit_if_armed(dist, state);
                     }
                     // A worker speaking garbage — or echoing frames only
                     // the coordinator may send — is as trustworthy as a
@@ -629,5 +1100,115 @@ fn drive_fleet(
                 }
             }
         }
+    }
+}
+
+/// The coordinator-kill fault injection: dies like a segfault right
+/// after the checkpoint made the Nth completion durable.
+fn exit_if_armed(dist: &DistConfig, state: &FleetState) {
+    if let Some(after) = dist.exit_after_completions {
+        if state.completions_recorded >= after {
+            eprintln!(
+                "o4a-dist: injected coordinator death after {} completions",
+                state.completions_recorded
+            );
+            std::process::exit(9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DistConfig {
+        DistConfig::new(vec!["worker".into()], "/tmp/o4a-env-test")
+    }
+
+    /// All env-override coverage lives in ONE test: `#[test]`s share the
+    /// process, and `std::env` is process-global.
+    #[test]
+    fn env_overrides_parse_tolerantly() {
+        let keys = [
+            "O4A_DIST_WORKERS",
+            "O4A_DIST_HEARTBEAT_MS",
+            "O4A_DIST_MAX_RESPAWNS",
+            "O4A_DIST_LISTEN",
+            "O4A_CHECKPOINT",
+        ];
+        for key in keys {
+            std::env::remove_var(key);
+        }
+
+        // Unset: everything keeps its builder value.
+        let cfg = base()
+            .with_workers(3)
+            .with_heartbeat_timeout(Duration::from_millis(1234))
+            .with_env_overrides();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_millis(1234));
+        assert_eq!(cfg.max_respawns, 8);
+        assert_eq!(cfg.transport, Transport::Pipes);
+        assert!(cfg.checkpoint.is_none());
+
+        // Invalid values: ignored, not errors — a campaign must not die
+        // to a typo'd shell export.
+        std::env::set_var("O4A_DIST_WORKERS", "zero");
+        std::env::set_var("O4A_DIST_HEARTBEAT_MS", "-5");
+        std::env::set_var("O4A_DIST_MAX_RESPAWNS", "8.5");
+        std::env::set_var("O4A_DIST_LISTEN", "   ");
+        std::env::set_var("O4A_CHECKPOINT", "");
+        let cfg = base().with_workers(3).with_env_overrides();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_secs(30));
+        assert_eq!(cfg.max_respawns, 8);
+        assert_eq!(cfg.transport, Transport::Pipes);
+        assert!(cfg.checkpoint.is_none());
+
+        // Zero workers is invalid too (a fleet needs one).
+        std::env::set_var("O4A_DIST_WORKERS", "0");
+        assert_eq!(base().with_workers(3).with_env_overrides().workers, 3);
+
+        // Valid values land, whitespace trimmed.
+        std::env::set_var("O4A_DIST_WORKERS", " 6 ");
+        std::env::set_var("O4A_DIST_HEARTBEAT_MS", "250");
+        std::env::set_var("O4A_DIST_MAX_RESPAWNS", "0");
+        std::env::set_var("O4A_DIST_LISTEN", " 127.0.0.1:0 ");
+        std::env::set_var("O4A_CHECKPOINT", "/tmp/cp.jsonl");
+        let cfg = base().with_env_overrides();
+        assert_eq!(cfg.workers, 6);
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_millis(250));
+        assert_eq!(
+            cfg.max_respawns, 0,
+            "an explicit zero respawn budget is valid"
+        );
+        assert_eq!(
+            cfg.transport,
+            Transport::Tcp {
+                listen: "127.0.0.1:0".into()
+            }
+        );
+        assert_eq!(
+            cfg.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/cp.jsonl"))
+        );
+
+        for key in keys {
+            std::env::remove_var(key);
+        }
+    }
+
+    #[test]
+    fn with_env_accumulates_worker_environment() {
+        let cfg = base()
+            .with_env("O4A_TRACE", "/tmp/t")
+            .with_env("O4A_METRICS", "/tmp/m");
+        assert_eq!(
+            cfg.envs,
+            vec![
+                ("O4A_TRACE".to_string(), "/tmp/t".to_string()),
+                ("O4A_METRICS".to_string(), "/tmp/m".to_string()),
+            ]
+        );
     }
 }

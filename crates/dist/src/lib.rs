@@ -1,26 +1,40 @@
 //! # o4a-dist
 //!
 //! The distributed campaign layer: a **coordinator** that owns the shard
-//! plan and a fleet of **worker processes** it spawns and drives over
-//! stdin/stdout pipes — the same pipe + `poll(2)` reactor machinery the
-//! external-solver transport uses, one layer up the stack.
+//! plan and a fleet of **workers** it drives over a pluggable transport
+//! — stdin/stdout pipes of processes it spawns (the default), or a TCP
+//! listener that workers join by connecting — using the same `poll(2)`
+//! reactor machinery the external-solver transport uses, one layer up
+//! the stack.
 //!
 //! * **Dynamic shard leases** — shards are granted one at a time to idle
 //!   workers ([`coordinator`]), so finished workers steal the long tail
-//!   instead of idling behind a static split.
+//!   instead of idling behind a static split (a
+//!   [`DistConfig::static_split`] knob exists purely to benchmark that
+//!   claim on heterogeneous fleets).
 //! * **A JSONL control protocol** — `lease` / `journal-path` /
-//!   `progress` / `done` frames ([`protocol`]), with per-worker
-//!   heartbeat deadlines riding the reactor's `poll(2)` timeout.
+//!   `progress` / `done` frames plus the elastic-fleet trio `hello` /
+//!   `re-adopt` / `goodbye` ([`protocol`]), with per-worker heartbeat
+//!   deadlines riding the reactor's `poll(2)` timeout.
+//! * **Elastic TCP fleets** — workers join mid-campaign and immediately
+//!   pull leases, leave (or die) mid-lease and have them re-issued
+//!   ([`transport`]).
+//! * **A resumable coordinator** — with a [`DistConfig::checkpoint`],
+//!   lease state is journaled fsync-per-record ([`checkpoint`]); a
+//!   killed coordinator restarts, re-adopts reconnecting workers, and
+//!   re-issues orphaned leases.
 //! * **Per-worker findings journals, merged losslessly** — each worker
 //!   appends to its own fsync'd [`o4a_exec::FindingsStore`] journal; the
 //!   coordinator merges them by the store's concatenation +
 //!   dedup-on-load law ([`o4a_exec::FindingsStore::merge_from`]).
 //! * **Crash recovery that cannot show** — a worker killed mid-lease
 //!   gets its lease re-issued; the shard re-derives deterministically,
-//!   so a 1-worker and an N-worker campaign (crashes included) produce
-//!   **bit-identical** findings, coverage maps, hourly snapshot series,
-//!   and stats modulo transport counters. The gauntlet in
-//!   `crates/bench/tests/dist_campaign.rs` pins the claim; the
+//!   so a 1-worker and an N-worker campaign (crashes, elastic churn,
+//!   and coordinator deaths included) produce **bit-identical**
+//!   findings, coverage maps, hourly snapshot series, and stats modulo
+//!   transport counters. The gauntlets in
+//!   `crates/bench/tests/dist_campaign.rs` and
+//!   `crates/bench/tests/elastic_fleet.rs` pin the claim; the
 //!   determinism argument is spelled out in this crate's `README.md`.
 //!
 //! ```no_run
@@ -41,10 +55,14 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod coordinator;
 pub mod protocol;
+pub mod transport;
 pub mod worker;
 
+pub use checkpoint::{CheckpointSession, CheckpointState, CheckpointStore};
 pub use coordinator::{run_distributed, DistConfig, DistReport, DistStats, WorkerSummary};
-pub use protocol::{CacheCounters, CampaignPlan, Frame};
-pub use worker::{run_worker, CrashInjection, WorkerConfig};
+pub use protocol::{CacheCounters, CampaignPlan, CompletedLease, Frame};
+pub use transport::{connect_with_retry, Transport};
+pub use worker::{run_worker, run_worker_tcp, CrashInjection, WorkerConfig};

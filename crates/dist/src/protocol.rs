@@ -1,16 +1,18 @@
 //! The JSONL control protocol between the coordinator and its workers.
 //!
-//! Four frame kinds ride the worker's stdin/stdout pipes, one JSON
-//! object per line (the same framing the findings journal uses, so a
-//! torn line is always the *last* one):
+//! Frames ride the transport ([`crate::transport`]: stdin/stdout pipes
+//! or a TCP connection) one JSON object per line — the same framing the
+//! findings journal uses, so a torn line is always the *last* one.
+//!
+//! The original pipe-era frames:
 //!
 //! * `lease` (coordinator → worker) — grants shard `shard` of an
 //!   `N`-way campaign plan. The full plan rides in every frame
 //!   ([`CampaignPlan`]), so frames are stateless and a worker can join
 //!   mid-campaign (a respawn after a crash) with no handshake.
-//! * `journal-path` (worker → coordinator) — the worker's first frame:
-//!   announces where its findings journal lives and doubles as the
-//!   liveness signal that the process came up.
+//! * `journal-path` (worker → coordinator) — the pipe worker's first
+//!   frame: announces where its findings journal lives and doubles as
+//!   the liveness signal that the process came up.
 //! * `progress` (worker → coordinator) — heartbeat while a lease runs:
 //!   cases generated so far, live throughput, and (when `O4A_METRICS`
 //!   is on in the worker) a cumulative metrics snapshot. Its absence
@@ -21,8 +23,28 @@
 //!   the worker's journal — the ordering that lets the coordinator
 //!   treat a `done` frame as proof the merge will find the shard.
 //!
-//! There is no shutdown frame: the coordinator closes the worker's
-//! stdin, and the worker exits on EOF.
+//! The elastic-fleet frames (TCP transport):
+//!
+//! * `hello` (worker → coordinator) — the first frame on **every** TCP
+//!   connection: the worker's identity and journal path (the TCP
+//!   counterpart of `journal-path`). A worker may connect at any point
+//!   of a running campaign — that is elastic scale-out.
+//! * `re-adopt` (worker → coordinator) — sent right after `hello` on a
+//!   *re*-connection: the leases this worker process completed whose
+//!   `done` frames may have been lost with the previous connection
+//!   (e.g. a coordinator that died and restarted). The list is
+//!   cumulative for the process and idempotent to replay — a
+//!   completion the coordinator already knows is a no-op.
+//! * `goodbye` — worker → coordinator: the worker is leaving the fleet
+//!   voluntarily (elastic scale-in; a held lease goes back to the
+//!   queue). Coordinator → worker: the campaign is complete — exit
+//!   instead of treating the connection loss as a coordinator death
+//!   and reconnecting.
+//!
+//! Over pipes there is still no shutdown frame: the coordinator closes
+//! the worker's stdin, and the worker exits on EOF. Over TCP a closed
+//! connection is ambiguous (death or completion), which is what
+//! `goodbye` disambiguates.
 
 use o4a_core::CampaignConfig;
 use o4a_exec::json::{obj, parse, Json};
@@ -195,6 +217,48 @@ pub enum Frame {
         /// what the journal merge reconstructs).
         cache: CacheCounters,
     },
+    /// Worker → coordinator: the first frame on every TCP connection —
+    /// identity plus journal location (the TCP `journal-path`).
+    Hello {
+        /// The worker's id (as passed on its command line).
+        worker: u32,
+        /// Absolute or coordinator-relative journal path.
+        journal: String,
+    },
+    /// Worker → coordinator, after `hello` on a re-connection: every
+    /// lease this worker process has completed (fsync'd `shard_done` in
+    /// its journal), in case the `done` frames died with the previous
+    /// connection. Idempotent — completions the coordinator already
+    /// credited are no-ops.
+    ReAdopt {
+        /// The worker's id.
+        worker: u32,
+        /// All leases completed by this process so far.
+        completed: Vec<CompletedLease>,
+    },
+    /// Either direction: a deliberate farewell. From a worker it means
+    /// "leaving the fleet" (elastic scale-in); from the coordinator it
+    /// means "campaign complete, exit" — so the worker's reconnect loop
+    /// can tell completion from a coordinator death.
+    Goodbye {
+        /// The departing worker's id (coordinator → worker frames echo
+        /// the recipient's id).
+        worker: u32,
+    },
+}
+
+/// One durable lease completion as carried by a [`Frame::ReAdopt`]:
+/// enough for the coordinator to credit the shard without the original
+/// `done` frame (cache/metrics detail is reconstructed by the journal
+/// merge either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletedLease {
+    /// The completed shard.
+    pub shard: u32,
+    /// Cases the shard executed.
+    pub cases: u64,
+    /// Findings the shard recorded.
+    pub findings: u64,
 }
 
 /// The verdict-cache/affinity counter trio that rides `progress` and
@@ -289,6 +353,34 @@ impl Frame {
                 cache.encode_into(&mut fields);
                 obj(fields)
             }
+            Frame::Hello { worker, journal } => obj(vec![
+                ("t", Json::Str("hello".into())),
+                ("worker", Json::U64(*worker as u64)),
+                ("journal", Json::Str(journal.clone())),
+            ]),
+            Frame::ReAdopt { worker, completed } => obj(vec![
+                ("t", Json::Str("re-adopt".into())),
+                ("worker", Json::U64(*worker as u64)),
+                (
+                    "completed",
+                    Json::Arr(
+                        completed
+                            .iter()
+                            .map(|c| {
+                                Json::Arr(vec![
+                                    Json::U64(c.shard as u64),
+                                    Json::U64(c.cases),
+                                    Json::U64(c.findings),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Frame::Goodbye { worker } => obj(vec![
+                ("t", Json::Str("goodbye".into())),
+                ("worker", Json::U64(*worker as u64)),
+            ]),
         };
         json.to_line()
     }
@@ -334,6 +426,44 @@ impl Frame {
                 cases_per_sec: f64_field_or_zero(&json, "cps"),
                 metrics: metrics_field(&json)?,
                 cache: CacheCounters::decode(&json),
+            }),
+            "hello" => Ok(Frame::Hello {
+                worker: u64_field(&json, "worker")? as u32,
+                journal: json
+                    .get("journal")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing journal"))?
+                    .to_string(),
+            }),
+            "re-adopt" => {
+                let mut completed = Vec::new();
+                for entry in json
+                    .get("completed")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing completed"))?
+                {
+                    let triple = entry.as_arr().ok_or_else(|| bad("bad completed entry"))?;
+                    if triple.len() != 3 {
+                        return Err(bad("completed entry needs [shard, cases, findings]"));
+                    }
+                    let field = |i: usize, what: &str| {
+                        triple[i]
+                            .as_u64()
+                            .ok_or_else(|| bad(format!("bad completed {what}")))
+                    };
+                    completed.push(CompletedLease {
+                        shard: field(0, "shard")? as u32,
+                        cases: field(1, "cases")?,
+                        findings: field(2, "findings")?,
+                    });
+                }
+                Ok(Frame::ReAdopt {
+                    worker: u64_field(&json, "worker")? as u32,
+                    completed,
+                })
+            }
+            "goodbye" => Ok(Frame::Goodbye {
+                worker: u64_field(&json, "worker")? as u32,
             }),
             other => Err(bad(format!("unknown frame '{other}'"))),
         }
@@ -456,6 +586,30 @@ mod tests {
                     prefix_reuses: 41,
                 },
             },
+            Frame::Hello {
+                worker: 7,
+                journal: "/tmp/worker-7.jsonl".into(),
+            },
+            Frame::ReAdopt {
+                worker: 7,
+                completed: vec![],
+            },
+            Frame::ReAdopt {
+                worker: 7,
+                completed: vec![
+                    CompletedLease {
+                        shard: 1,
+                        cases: 30,
+                        findings: 2,
+                    },
+                    CompletedLease {
+                        shard: 4,
+                        cases: 28,
+                        findings: 0,
+                    },
+                ],
+            },
+            Frame::Goodbye { worker: 7 },
         ];
         for frame in frames {
             let line = frame.to_line();
@@ -470,6 +624,14 @@ mod tests {
         assert!(Frame::from_line("not json").is_err());
         assert!(Frame::from_line("{\"t\":\"warp\"}").is_err());
         assert!(Frame::from_line("{\"shard\":1}").is_err());
+        // Elastic frames with missing or malformed fields.
+        assert!(Frame::from_line("{\"t\":\"hello\",\"worker\":1}").is_err());
+        assert!(Frame::from_line("{\"t\":\"re-adopt\",\"worker\":1}").is_err());
+        assert!(
+            Frame::from_line("{\"completed\":[[1,2]],\"t\":\"re-adopt\",\"worker\":1}").is_err(),
+            "completed entries must be [shard, cases, findings] triples"
+        );
+        assert!(Frame::from_line("{\"t\":\"goodbye\"}").is_err());
     }
 
     /// Frames from a worker predating the observability fields still

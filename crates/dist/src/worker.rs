@@ -1,14 +1,23 @@
 //! The worker side of a distributed campaign: a lease-execution loop
-//! around [`o4a_exec::run_shard_lease`].
+//! around [`o4a_exec::run_shard_lease`], over pipes or TCP.
 //!
 //! A worker process announces its findings journal, then serves leases
-//! read off stdin until EOF: each `lease` frame names one shard of the
+//! until told to stop: each `lease` frame names one shard of the
 //! campaign plan, the worker runs it with the repo's standard shard
 //! engine (every finding fsync'd into the worker's own journal the
 //! moment it is recorded), and the `done` frame goes out only **after**
 //! the shard's completion record is durable. Heartbeat `progress`
 //! frames flow while the shard runs so the coordinator's per-worker
 //! deadline can tell a slow worker from a wedged one.
+//!
+//! Over pipes ([`run_worker`]) the transport is stdin/stdout and EOF is
+//! the shutdown signal. Over TCP ([`run_worker_tcp`]) the worker
+//! *connects* to the coordinator, introduces itself with `hello`, and
+//! treats a dropped connection as a coordinator outage: it finishes any
+//! lease in flight (heartbeat writes fail silently — by design), then
+//! reconnects and replays its completed-lease list in a `re-adopt`
+//! frame so a **restarted** coordinator can credit work finished during
+//! the outage. Only an explicit `goodbye` ends the loop.
 //!
 //! Crash injection (for the recovery gauntlet) lives here too: a worker
 //! configured with [`CrashInjection`] dies abruptly — mid-lease, after
@@ -18,15 +27,16 @@
 //! finds the token and runs to completion, which is exactly the
 //! kill-mid-lease scenario the merge must absorb losslessly.
 
-use crate::protocol::{CacheCounters, Frame};
+use crate::protocol::{CacheCounters, CompletedLease, Frame};
+use crate::transport::connect_with_retry;
 use o4a_core::{Fuzzer, TestCase};
 use o4a_exec::json::Json;
 use o4a_exec::{run_shard_lease, ExecConfig, FindingsStore, StoreSession};
 use o4a_obs::metrics::MetricsSnapshot;
 use rand::rngs::StdRng;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cases between `progress` heartbeats.
 pub const DEFAULT_PROGRESS_EVERY: u64 = 16;
@@ -52,33 +62,46 @@ pub struct WorkerConfig {
     /// The findings journal this worker appends to. Unique per worker
     /// *process* — a respawned worker gets a fresh journal, so a crashed
     /// predecessor's torn tail can never sit in the middle of a live
-    /// file.
+    /// file. (One TCP worker keeps one journal across reconnects: same
+    /// process, same `StoreSession`.)
     pub journal: PathBuf,
-    /// Worker id, echoed in the `journal-path` frame.
+    /// Worker id, echoed in the `journal-path`/`hello` frames.
     pub worker_id: u32,
     /// Cases between `progress` heartbeats.
     pub progress_every: u64,
     /// Optional die-mid-lease injection.
     pub crash: Option<CrashInjection>,
+    /// Artificial per-case latency in milliseconds — the "slow machine"
+    /// knob for the heterogeneous-fleet gauntlet. Pure wall-clock drag
+    /// on the instrumentation wrapper: the engine's virtual time and RNG
+    /// never see it, so a slow worker's shard results stay bit-identical
+    /// to a fast worker's.
+    pub slow_case_ms: u64,
+    /// Elastic scale-in injection: after completing this many leases the
+    /// worker sends `goodbye` and exits cleanly, mid-campaign.
+    pub leave_after_leases: Option<u32>,
 }
 
 impl WorkerConfig {
     /// A worker bound to `journal` with default heartbeat cadence and no
-    /// crash injection.
+    /// fault injection.
     pub fn new(journal: impl Into<PathBuf>, worker_id: u32) -> WorkerConfig {
         WorkerConfig {
             journal: journal.into(),
             worker_id,
             progress_every: DEFAULT_PROGRESS_EVERY,
             crash: None,
+            slow_case_ms: 0,
+            leave_after_leases: None,
         }
     }
 }
 
 /// Wraps the shard's fuzzer to tap the case stream: heartbeats every
-/// `every` cases and the optional crash injection, both riding
-/// `next_case` so no engine code changes. The inner fuzzer's RNG usage
-/// is untouched — instrumentation cannot perturb the campaign.
+/// `every` cases, the optional crash injection, and the slow-machine
+/// latency, all riding `next_case` so no engine code changes. The inner
+/// fuzzer's RNG usage is untouched — instrumentation cannot perturb the
+/// campaign.
 struct Instrumented<'a, W: Write> {
     inner: &'a mut dyn Fuzzer,
     out: &'a mut W,
@@ -89,6 +112,7 @@ struct Instrumented<'a, W: Write> {
     /// Wall-clock flows *out* of the engine here, never back in.
     started: Instant,
     crash: Option<&'a CrashInjection>,
+    slow_case_ms: u64,
 }
 
 /// Throughput over the lease so far; zero before the clock has
@@ -134,10 +158,14 @@ impl<W: Write> Fuzzer for Instrumented<'_, W> {
                 std::process::exit(9);
             }
         }
+        if self.slow_case_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.slow_case_ms));
+        }
         self.cases += 1;
         if self.cases.is_multiple_of(self.every) {
             // Heartbeat only; a failed write means the coordinator is
-            // gone and the worker will exit on stdin EOF shortly.
+            // gone — over pipes the worker will exit on stdin EOF
+            // shortly, over TCP it finishes the lease and reconnects.
             // The lease's cache counters live in the shard stats, which
             // only exist once the lease completes — heartbeats carry the
             // zero trio (omitted on the wire), the `done` frame the real
@@ -165,17 +193,126 @@ fn latch(crash: &CrashInjection) -> bool {
         .is_ok()
 }
 
-/// Runs the worker loop: announce the journal, serve leases from
-/// `input` until EOF, emit `progress`/`done` frames on `output`.
-/// `factory(shard)` builds the fuzzer for each lease — it must be the
-/// same factory every worker of the campaign uses, or shard results
-/// stop being a pure function of the plan.
+/// The transport-agnostic lease engine: owns the journal session (one
+/// per process, shared across reconnects) and the cumulative
+/// completed-lease list that `re-adopt` frames replay.
+struct LeaseServer<'f, F> {
+    factory: &'f F,
+    cfg: &'f WorkerConfig,
+    store: FindingsStore,
+    session: Option<(Json, StoreSession)>,
+    /// Every lease this process completed, in completion order.
+    completed: Vec<CompletedLease>,
+}
+
+impl<F> LeaseServer<'_, F>
+where
+    F: Fn(u32) -> Box<dyn Fuzzer>,
+{
+    /// Serves one lease to completion and returns its `done` frame
+    /// (already recorded in [`Self::completed`]); the caller owns
+    /// sending it.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors and leases from a different campaign than this
+    /// worker's journal.
+    fn serve(
+        &mut self,
+        shard: u32,
+        plan: &crate::protocol::CampaignPlan,
+        out: &mut impl Write,
+    ) -> io::Result<Frame> {
+        let plan_fingerprint = plan.to_json();
+        let sink = match &self.session {
+            Some((known, sink)) => {
+                if *known != plan_fingerprint {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "lease belongs to a different campaign than this worker's journal",
+                    ));
+                }
+                sink
+            }
+            None => {
+                let (sink, _completed) = self.store.resume_or_create(&plan.config, plan.shards)?;
+                &self.session.insert((plan_fingerprint, sink)).1
+            }
+        };
+
+        // Transport knobs (inflight, external solver command) come from
+        // this worker's environment — the overlap/pipe equivalence laws
+        // guarantee they cannot change results, only throughput.
+        let exec = ExecConfig {
+            shards: plan.shards,
+            ..ExecConfig::from_env()
+        };
+        let mut fuzzer = (self.factory)(shard);
+        let started = Instant::now();
+        let result = {
+            let _span = o4a_obs::trace::span("dist", "lease.serve").arg("shard", u64::from(shard));
+            let mut instrumented = Instrumented {
+                inner: fuzzer.as_mut(),
+                out,
+                shard,
+                cases: 0,
+                every: self.cfg.progress_every.max(1),
+                started,
+                crash: self.cfg.crash.as_ref(),
+                slow_case_ms: self.cfg.slow_case_ms,
+            };
+            run_shard_lease(&mut instrumented, &plan.config, &exec, shard, Some(sink))
+        };
+        // `run_shard_lease` journaled `shard_done` (fsync'd) through the
+        // sink before returning — only now may the coordinator learn the
+        // lease is complete, and only now may `re-adopt` replay it.
+        self.completed.push(CompletedLease {
+            shard,
+            cases: result.stats.cases,
+            findings: result.findings.len() as u64,
+        });
+        Ok(Frame::Done {
+            shard,
+            cases: result.stats.cases,
+            findings: result.findings.len() as u64,
+            cases_per_sec: rate(result.stats.cases, started),
+            metrics: metrics_attachment(),
+            cache: CacheCounters {
+                hits: result.stats.cache_hits,
+                misses: result.stats.cache_misses,
+                prefix_reuses: result.stats.prefix_reuses,
+            },
+        })
+    }
+
+    /// True once the leave-after-N-leases injection should fire.
+    fn leave_due(&self) -> bool {
+        self.cfg
+            .leave_after_leases
+            .is_some_and(|n| self.completed.len() as u32 >= n)
+    }
+}
+
+/// Flushes this process's trace ring and metrics registry before a
+/// clean exit; losing them on a *crash* is fine (the ring is
+/// best-effort), losing them on shutdown would not be.
+fn drain_obs() {
+    if let Err(e) = o4a_obs::drain() {
+        eprintln!("o4a-obs: worker drain failed: {e}");
+    }
+}
+
+/// Runs the pipe worker loop: announce the journal, serve leases from
+/// `input` until EOF (or a `goodbye`), emit `progress`/`done` frames on
+/// `output`. `factory(shard)` builds the fuzzer for each lease — it
+/// must be the same factory every worker of the campaign uses, or shard
+/// results stop being a pure function of the plan.
 ///
 /// # Errors
 ///
 /// Protocol violations (malformed frames, a lease from a different
-/// campaign than the first one, non-lease frames on stdin) and journal
-/// I/O errors.
+/// campaign than the first one, frames only workers may send) and
+/// journal I/O errors.
 pub fn run_worker<F>(
     factory: F,
     cfg: &WorkerConfig,
@@ -197,81 +334,161 @@ where
     // environment decides.
     o4a_obs::init_from_env();
 
-    let store = FindingsStore::new(&cfg.journal);
-    let mut session: Option<(Json, StoreSession)> = None;
+    let mut server = LeaseServer {
+        factory: &factory,
+        cfg,
+        store: FindingsStore::new(&cfg.journal),
+        session: None,
+        completed: Vec::new(),
+    };
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let Frame::Lease { shard, plan } = Frame::from_line(&line)? else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "worker expects only lease frames on stdin",
-            ));
-        };
-        let plan_fingerprint = plan.to_json();
-        let sink = match &session {
-            Some((known, sink)) => {
-                if *known != plan_fingerprint {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "lease belongs to a different campaign than this worker's journal",
-                    ));
-                }
-                sink
-            }
-            None => {
-                let (sink, _completed) = store.resume_or_create(&plan.config, plan.shards)?;
-                &session.insert((plan_fingerprint, sink)).1
+        let shard_plan = match Frame::from_line(&line)? {
+            Frame::Lease { shard, plan } => (shard, plan),
+            Frame::Goodbye { .. } => break,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "worker expects only lease/goodbye frames on stdin",
+                ));
             }
         };
-
-        // Transport knobs (inflight, external solver command) come from
-        // this worker's environment — the overlap/pipe equivalence laws
-        // guarantee they cannot change results, only throughput.
-        let exec = ExecConfig {
-            shards: plan.shards,
-            ..ExecConfig::from_env()
-        };
-        let mut fuzzer = factory(shard);
-        let started = Instant::now();
-        let result = {
-            let _span = o4a_obs::trace::span("dist", "lease.serve").arg("shard", u64::from(shard));
-            let mut instrumented = Instrumented {
-                inner: fuzzer.as_mut(),
-                out: &mut output,
-                shard,
-                cases: 0,
-                every: cfg.progress_every.max(1),
-                started,
-                crash: cfg.crash.as_ref(),
-            };
-            run_shard_lease(&mut instrumented, &plan.config, &exec, shard, Some(sink))
-        };
-        // `run_shard_lease` journaled `shard_done` (fsync'd) through the
-        // sink before returning — only now may the coordinator learn the
-        // lease is complete.
-        let done = Frame::Done {
-            shard,
-            cases: result.stats.cases,
-            findings: result.findings.len() as u64,
-            cases_per_sec: rate(result.stats.cases, started),
-            metrics: metrics_attachment(),
-            cache: CacheCounters {
-                hits: result.stats.cache_hits,
-                misses: result.stats.cache_misses,
-                prefix_reuses: result.stats.prefix_reuses,
-            },
-        };
+        let done = server.serve(shard_plan.0, &shard_plan.1, &mut output)?;
         writeln!(output, "{}", done.to_line())?;
         output.flush()?;
+        if server.leave_due() {
+            let farewell = Frame::Goodbye {
+                worker: cfg.worker_id,
+            };
+            let _ = writeln!(output, "{}", farewell.to_line());
+            let _ = output.flush();
+            break;
+        }
     }
-    // Flush this process's trace ring and metrics registry to their
-    // files before the clean exit; losing them on a *crash* is fine (the
-    // ring is best-effort), losing them on EOF would not be.
-    if let Err(e) = o4a_obs::drain() {
-        eprintln!("o4a-obs: worker drain failed: {e}");
-    }
+    drain_obs();
     Ok(())
+}
+
+/// Runs the TCP worker loop: connect to the coordinator at `addr`
+/// (retrying for `reconnect_window` — it may not be up *yet*, or may be
+/// restarting), introduce this worker with `hello`, serve leases, and
+/// on any connection loss reconnect and `re-adopt`. Returns when the
+/// coordinator says `goodbye`, when the leave-after-leases injection
+/// fires, or with an error once the coordinator stays unreachable past
+/// `reconnect_window`.
+///
+/// The window bounds *continuous* unreachability: it rearms after every
+/// successful connect.
+///
+/// # Errors
+///
+/// Protocol violations, journal I/O errors, and a coordinator
+/// unreachable for longer than `reconnect_window`.
+pub fn run_worker_tcp<F>(
+    factory: F,
+    cfg: &WorkerConfig,
+    addr: &str,
+    reconnect_window: Duration,
+) -> io::Result<()>
+where
+    F: Fn(u32) -> Box<dyn Fuzzer>,
+{
+    o4a_obs::init_from_env();
+    let mut server = LeaseServer {
+        factory: &factory,
+        cfg,
+        store: FindingsStore::new(&cfg.journal),
+        session: None,
+        completed: Vec::new(),
+    };
+    let mut connections = 0u64;
+    loop {
+        let stream = connect_with_retry(addr, reconnect_window)?;
+        connections += 1;
+        let mut out = stream.try_clone()?;
+
+        // hello — and, past the first connection, the cumulative
+        // re-adopt list (one write, so they land in one coordinator
+        // drain). On a *re*connect the previous coordinator may have
+        // died before reading any number of our done frames; replaying
+        // every completion is idempotent on the other end.
+        let mut greeting = Frame::Hello {
+            worker: cfg.worker_id,
+            journal: cfg.journal.display().to_string(),
+        }
+        .to_line();
+        greeting.push('\n');
+        if connections > 1 {
+            greeting.push_str(
+                &Frame::ReAdopt {
+                    worker: cfg.worker_id,
+                    completed: server.completed.clone(),
+                }
+                .to_line(),
+            );
+            greeting.push('\n');
+        }
+        if out
+            .write_all(greeting.as_bytes())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            continue; // died mid-handshake; reconnect
+        }
+        o4a_obs::trace::event(
+            "dist",
+            if connections > 1 {
+                "worker.reconnect"
+            } else {
+                "worker.connect"
+            },
+            &[("worker", u64::from(cfg.worker_id))],
+        );
+
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else {
+                break; // connection error → reconnect
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Frame::from_line(&line)? {
+                Frame::Lease { shard, plan } => {
+                    let done = server.serve(shard, &plan, &mut out)?;
+                    let sent = writeln!(out, "{}", done.to_line())
+                        .and_then(|()| out.flush())
+                        .is_ok();
+                    if server.leave_due() {
+                        let farewell = Frame::Goodbye {
+                            worker: cfg.worker_id,
+                        };
+                        let _ = writeln!(out, "{}", farewell.to_line());
+                        let _ = out.flush();
+                        drain_obs();
+                        return Ok(());
+                    }
+                    if !sent {
+                        break; // done frame lost → reconnect + re-adopt
+                    }
+                }
+                Frame::Goodbye { .. } => {
+                    drain_obs();
+                    return Ok(());
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "worker expects only lease/goodbye frames from the coordinator",
+                    ));
+                }
+            }
+        }
+        // EOF without goodbye: the coordinator died — reconnect and
+        // re-adopt (the checkpoint will have it back, or the campaign is
+        // truly gone and the window expires above).
+    }
 }

@@ -104,6 +104,13 @@ pub struct ExecConfig {
     /// scope and route queries sharing it over it without resending.
     /// Ignored without [`ExecConfig::solver_cmd`] (and in spawn mode).
     pub affinity: bool,
+    /// Coordinator checkpoint path (the `O4A_CHECKPOINT` knob).
+    /// Consumed by the distributed layer (`o4a-dist`): when set, the
+    /// coordinator journals lease state there fsync-per-record and a
+    /// killed coordinator resumes the campaign from it. The in-process
+    /// engines ignore it — a single process already has the
+    /// [`crate::FindingsStore`] journal for kill/resume.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for ExecConfig {
@@ -117,6 +124,7 @@ impl Default for ExecConfig {
             solver_mode: SolverMode::Spawn,
             cache_dir: None,
             affinity: false,
+            checkpoint: None,
         }
     }
 }
@@ -132,8 +140,9 @@ impl ExecConfig {
     /// one persistent incremental session per lane), `O4A_CACHE`
     /// (verdict-cache directory; unset or blank means no cache), and
     /// `O4A_AFFINITY` (any value except empty, `0`, or `false` enables
-    /// prefix-affinity routing). Invalid or zero values fall back to
-    /// defaults.
+    /// prefix-affinity routing), and `O4A_CHECKPOINT` (coordinator
+    /// checkpoint path, consumed by `o4a-dist`; unset or blank means no
+    /// checkpoint). Invalid or zero values fall back to defaults.
     pub fn from_env() -> ExecConfig {
         fn parse<T: std::str::FromStr + PartialOrd + From<u8>>(name: &str) -> Option<T> {
             std::env::var(name)
@@ -166,6 +175,11 @@ impl ExecConfig {
                 .map(std::path::PathBuf::from),
             affinity: std::env::var("O4A_AFFINITY")
                 .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0" && v.trim() != "false"),
+            checkpoint: std::env::var("O4A_CHECKPOINT")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from),
         }
     }
 }

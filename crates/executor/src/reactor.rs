@@ -1,4 +1,5 @@
-//! The fd-readiness reactor: `poll(2)` over child-process pipes.
+//! The fd-readiness reactor: `poll(2)` over child-process pipes and
+//! sockets.
 //!
 //! The executor's only event sources so far were self-waking futures
 //! ([`crate::ticks`]); external solver processes add a second kind: a
@@ -27,6 +28,13 @@
 //! token so nothing stale ever fires. The reactor is single-threaded by
 //! design, like the rest of the executor — share it within a worker via
 //! `Rc`.
+//!
+//! Nothing here is pipe-specific: any pollable fd rides the same loop.
+//! The distributed coordinator (`o4a-dist`) registers a non-blocking TCP
+//! *listener* fd (readable ⇒ a worker is waiting in `accept(2)`) and its
+//! accepted *stream* fds (readable ⇒ a worker frame arrived) alongside
+//! its heartbeat deadlines — elastic scale-out through the very same
+//! `poll(2)` call that drives solver pipes.
 
 use std::cell::RefCell;
 use std::io::{self, Read};
@@ -656,6 +664,93 @@ mod tests {
         assert_eq!(reactor.registered(), 0, "drop must deregister");
         child.kill().ok();
         child.wait().ok();
+    }
+
+    /// Sockets ride the reactor exactly like pipes: a non-blocking TCP
+    /// listener's fd reports readable when a connection is queued, so
+    /// `accept(2)` readiness can share the coordinator's `poll(2)` loop.
+    #[test]
+    fn tcp_listener_accept_readiness_rides_the_reactor() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fd = listener.as_raw_fd();
+        let reactor = FdReactor::new();
+        // Nobody has connected: accept would block, so park on the fd,
+        // with a deadline proving the wake is readiness, not a timeout.
+        assert_eq!(
+            listener.accept().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        let connector = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            TcpStream::connect(addr).unwrap()
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let accepted = block_on_with(
+            async {
+                loop {
+                    match listener.accept() {
+                        Ok(_) => break true,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if Instant::now() >= deadline {
+                                break false;
+                            }
+                            readable(&reactor, fd, Some(deadline)).await;
+                        }
+                        Err(e) => panic!("accept: {e}"),
+                    }
+                }
+            },
+            || {
+                reactor.poll_io(None).unwrap();
+            },
+        );
+        assert!(accepted, "listener readiness never fired");
+        connector.join().unwrap();
+        assert_eq!(reactor.registered(), 0);
+    }
+
+    /// An accepted non-blocking TCP stream delivers read readiness
+    /// through the reactor like a child's stdout pipe does — the
+    /// coordinator's worker frames arrive through this path.
+    #[test]
+    fn tcp_stream_read_readiness_rides_the_reactor() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut peer = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(25));
+            peer.write_all(b"frame\n").unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let fd = stream.as_raw_fd();
+        let reactor = FdReactor::new();
+        let mut buf = Vec::new();
+        let got = block_on_with(
+            async {
+                loop {
+                    match read_available(&mut stream, &mut buf).unwrap() {
+                        Some(0) => break, // peer closed after writing
+                        Some(_) if buf.ends_with(b"\n") => break,
+                        Some(_) => continue,
+                        None => readable(&reactor, fd, None).await,
+                    }
+                }
+                String::from_utf8(buf.clone()).unwrap()
+            },
+            || {
+                reactor.poll_io(None).unwrap();
+            },
+        );
+        assert_eq!(got, "frame\n");
+        writer.join().unwrap();
+        assert_eq!(reactor.registered(), 0);
     }
 
     #[test]
