@@ -23,10 +23,18 @@
 //! re-running on the same machine should produce a minimal diff.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use o4a_core::{CampaignConfig, CampaignResult, Once4AllFuzzer};
+use o4a_core::{
+    adapt_fill_arena, parse_fill_into, skeletonize_arena, synthesize_arena, CampaignConfig,
+    CampaignResult, Once4AllFuzzer, SkeletonConfig,
+};
 use o4a_exec::{run_shard_overlapped, run_shard_piped, PipeBackend};
+use o4a_llm::RawTerm;
 use o4a_obs::json::{obj, Json};
+use o4a_smtlib::eval::{no_defs, DomainConfig, Evaluator};
+use o4a_smtlib::{ArenaScript, Model, Symbol, TermArena, Value};
 use o4a_solvers::SolverMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::Path;
 use std::time::Instant;
 
@@ -121,6 +129,109 @@ fn piped_duplicates(
     run_shard_piped(&mut fuzzer, config, 0, None, 8, &backend)
 }
 
+/// Iterations per timed run of each `term_*` micro scenario (the substrate
+/// inner loop measured in isolation; values land in the same `scenarios`
+/// object as ops/sec, gated by `bench_diff` like the campaign rates).
+const MICRO_ITERS: usize = 5_000;
+
+/// Median ops/sec over [`RUNS`] timed loops of `op`, `MICRO_ITERS` each.
+fn micro_rate(mut op: impl FnMut()) -> f64 {
+    let mut rates = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for _ in 0..MICRO_ITERS {
+            op();
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        rates.push(MICRO_ITERS as f64 / secs);
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[RUNS / 2]
+}
+
+/// The fixed seed script the micro scenarios mutate/print/eval — a
+/// quantified multi-theory formula shaped like the committed seed corpus.
+const MICRO_SEED: &str = "(declare-fun T () Int)(declare-const b Bool)\
+     (declare-const s (Seq Int))\
+     (assert (or (= T 0) (and b (< T 10))))\
+     (assert (exists ((f Int)) (and (> f T) (distinct (seq.len s) f))))\
+     (check-sat)";
+
+/// One full per-case substrate pass: re-intern the seed, skeletonize,
+/// parse + adapt two fills, synthesize — everything the fuzzer does per
+/// case except solver execution and printing.
+fn micro_term_fill() -> f64 {
+    let seed = o4a_smtlib::parse_script(MICRO_SEED).expect("micro seed parses");
+    let raws = [
+        RawTerm {
+            decls: vec!["(declare-const i0 Int)".into()],
+            term: "(= (mod i0 3) 0)".into(),
+        },
+        RawTerm {
+            decls: vec!["(declare-const str0 String)".into()],
+            term: "(= str0 \"ab\")".into(),
+        },
+    ];
+    let mut arena = TermArena::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    micro_rate(move || {
+        arena.reset();
+        let aseed = ArenaScript::from_script(&seed, &mut arena);
+        let sk = skeletonize_arena(&aseed, &mut arena, SkeletonConfig::default(), &mut rng);
+        let fills: Vec<_> = raws
+            .iter()
+            .map(|r| {
+                let f = parse_fill_into(r, &mut arena).expect("micro fill parses");
+                adapt_fill_arena(&f, &sk, &mut arena, &mut rng)
+            })
+            .collect();
+        let out = synthesize_arena(&sk, &fills, &mut arena, &mut rng);
+        assert!(!out.commands.is_empty());
+    })
+}
+
+/// Zero-copy printing of an interned script into a reused buffer.
+fn micro_term_print() -> f64 {
+    let seed = o4a_smtlib::parse_script(MICRO_SEED).expect("micro seed parses");
+    let mut arena = TermArena::new();
+    let script = ArenaScript::from_script(&seed, &mut arena);
+    let mut buf = String::new();
+    micro_rate(move || {
+        buf.clear();
+        script.print_into(&arena, &mut buf);
+        assert!(buf.ends_with("(check-sat)"));
+    })
+}
+
+/// Arena evaluation of the seed's assertions under a concrete model.
+fn micro_term_eval() -> f64 {
+    let seed = o4a_smtlib::parse_script(MICRO_SEED).expect("micro seed parses");
+    let mut arena = TermArena::new();
+    let script = ArenaScript::from_script(&seed, &mut arena);
+    let terms: Vec<_> = script
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            o4a_smtlib::ArenaCommand::Assert(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+    let mut model = Model::new();
+    model.set_const(Symbol::new("T"), Value::Int(3));
+    model.set_const(Symbol::new("b"), Value::Bool(true));
+    model.set_const(
+        Symbol::new("s"),
+        Value::Seq(o4a_smtlib::Sort::Int, vec![Value::Int(1), Value::Int(2)]),
+    );
+    let cfg = DomainConfig::default();
+    micro_rate(move || {
+        let ev = Evaluator::new(&model, no_defs(), &cfg, 100_000);
+        for &t in &terms {
+            let _ = ev.eval_arena(t, &arena);
+        }
+    })
+}
+
 /// Median cases/sec over [`RUNS`] timed executions of `run`.
 fn cases_per_sec(
     config: &CampaignConfig,
@@ -170,6 +281,9 @@ fn bench(c: &mut Criterion) {
             let _ = std::fs::remove_dir_all(&dir);
             rate
         }),
+        ("term_fill", micro_term_fill()),
+        ("term_print", micro_term_print()),
+        ("term_eval", micro_term_eval()),
     ];
 
     let report = obj(vec![

@@ -2,9 +2,12 @@
 //! generator output, rename generated variables to sort-compatible skeleton
 //! variables, merge declarations, and fill the placeholders.
 
-use crate::skeleton::Skeleton;
+use crate::skeleton::{ArenaSkeleton, Skeleton};
 use o4a_llm::RawTerm;
-use o4a_smtlib::{parse_script, typeck, Command, Script, Sort, Symbol, Term};
+use o4a_smtlib::{
+    parse_script, parse_script_arena, typeck, ArenaCommand, ArenaScript, Command, Script, Sort,
+    Symbol, Term, TermArena, TermId,
+};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -159,6 +162,168 @@ pub fn synthesize(skeleton: &Skeleton, fills: &[ParsedFill], rng: &mut impl Rng)
     script
 }
 
+/// Arena twin of [`ParsedFill`]: the term is a [`TermId`] into the
+/// fuzzer's arena.
+#[derive(Clone, Debug)]
+pub struct ArenaFill {
+    /// Declarations the term needs (name → sort).
+    pub decls: Vec<(Symbol, Sort)>,
+    /// The Boolean term.
+    pub term: TermId,
+}
+
+/// Arena twin of [`parse_fill`]: parses the sample straight into `arena`
+/// (no reset — the caller owns arena lifetime) and sort-checks it there,
+/// producing identical error strings.
+///
+/// # Errors
+///
+/// Same messages as [`parse_fill`].
+pub fn parse_fill_into(raw: &RawTerm, arena: &mut TermArena) -> Result<ArenaFill, String> {
+    let script_text = raw.to_script_text();
+    let script = parse_script_arena(&script_text, arena).map_err(|e| e.to_string())?;
+    typeck::check_script_arena(&script, arena).map_err(|e| e.to_string())?;
+    let decls = script
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            ArenaCommand::DeclareConst(n, s) => Some((n.clone(), s.clone())),
+            ArenaCommand::DeclareFun(n, args, ret) if args.is_empty() => {
+                Some((n.clone(), ret.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    let term = script
+        .commands
+        .iter()
+        .find_map(|c| match c {
+            ArenaCommand::Assert(t) => Some(*t),
+            _ => None,
+        })
+        .ok_or_else(|| "generator sample has no assertion".to_string())?;
+    Ok(ArenaFill { decls, term })
+}
+
+/// Arena twin of [`adapt_fill`]: identical RNG draw sequence
+/// (`gen_bool` only when a sort-compatible candidate list exists, then
+/// `gen_range` over it), renaming through the arena.
+pub fn adapt_fill_arena(
+    fill: &ArenaFill,
+    skeleton: &ArenaSkeleton,
+    arena: &mut TermArena,
+    rng: &mut impl Rng,
+) -> ArenaFill {
+    let mut by_sort: BTreeMap<&Sort, Vec<&Symbol>> = BTreeMap::new();
+    for (name, sort) in &skeleton.variables {
+        by_sort.entry(sort).or_default().push(name);
+    }
+    let mut term = fill.term;
+    let mut decls = Vec::new();
+    for (name, sort) in &fill.decls {
+        let candidates = by_sort.get(sort);
+        let adapt = candidates
+            .filter(|c| !c.is_empty())
+            .filter(|_| rng.gen_bool(ADAPT_PROBABILITY));
+        match adapt {
+            Some(c) => {
+                let target = c[rng.gen_range(0..c.len())].clone();
+                term = arena.rename_free_var(term, name, &target);
+            }
+            None => decls.push((name.clone(), sort.clone())),
+        }
+    }
+    ArenaFill { decls, term }
+}
+
+/// Arena twin of [`synthesize`]: identical declaration merging, clash
+/// renaming, insertion position, and round-robin placeholder fill — fills
+/// are shared by id rather than cloned per placeholder.
+pub fn synthesize_arena(
+    skeleton: &ArenaSkeleton,
+    fills: &[ArenaFill],
+    arena: &mut TermArena,
+    rng: &mut impl Rng,
+) -> ArenaScript {
+    let mut script = skeleton.script.clone();
+    crate::skeleton::strip_commands_arena(&mut script);
+
+    // Merge declarations, renaming on sort clashes.
+    let mut declared: BTreeMap<Symbol, Sort> = skeleton
+        .script
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            ArenaCommand::DeclareConst(n, s) => Some((n.clone(), s.clone())),
+            ArenaCommand::DeclareFun(n, args, ret) if args.is_empty() => {
+                Some((n.clone(), ret.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut renames: Vec<(Symbol, Symbol)> = Vec::new();
+    let mut new_decls: Vec<(Symbol, Sort)> = Vec::new();
+    for fill in fills {
+        for (name, sort) in &fill.decls {
+            match declared.get(name) {
+                Some(existing) if existing == sort => {} // share the variable
+                Some(_) => {
+                    let mut k = 0u64;
+                    let fresh = loop {
+                        let candidate = name.with_suffix(k);
+                        if !declared.contains_key(&candidate) {
+                            break candidate;
+                        }
+                        k += 1;
+                    };
+                    declared.insert(fresh.clone(), sort.clone());
+                    new_decls.push((fresh.clone(), sort.clone()));
+                    renames.push((name.clone(), fresh));
+                }
+                None => {
+                    declared.insert(name.clone(), sort.clone());
+                    new_decls.push((name.clone(), sort.clone()));
+                }
+            }
+        }
+    }
+
+    // Insert declarations before the first assert.
+    let insert_at = script
+        .commands
+        .iter()
+        .position(|c| matches!(c, ArenaCommand::Assert(_)))
+        .unwrap_or(script.commands.len());
+    for (i, (name, sort)) in new_decls.into_iter().enumerate() {
+        script
+            .commands
+            .insert(insert_at + i, ArenaCommand::DeclareConst(name, sort));
+    }
+
+    // Fill placeholders round-robin (with per-fill renames applied).
+    let adapted: Vec<TermId> = fills
+        .iter()
+        .map(|f| {
+            let mut t = f.term;
+            for (from, to) in &renames {
+                if f.decls.iter().any(|(n, _)| n == from) {
+                    t = arena.rename_free_var(t, from, to);
+                }
+            }
+            t
+        })
+        .collect();
+    let mut next = 0usize;
+    for cmd in script.commands.iter_mut() {
+        if let ArenaCommand::Assert(t) = cmd {
+            *t = arena.fill_placeholders(*t, &adapted, &mut next);
+        }
+    }
+    let _ = rng;
+    script.ensure_check_sat();
+    script
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +464,69 @@ mod tests {
         let out = synthesize(&sk, &[adapt_fill(&fill, &sk, &mut r)], &mut r);
         typeck::check_script(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
         assert!(out.to_string().contains("exists"));
+    }
+
+    #[test]
+    fn arena_pipeline_matches_boxed() {
+        use crate::skeleton::skeletonize_arena;
+        // Fixed generator samples exercising rename, clash, and merge paths.
+        let raws = [
+            RawTerm {
+                decls: vec!["(declare-const i0 Int)".into()],
+                term: "(= (mod i0 3) 0)".into(),
+            },
+            RawTerm {
+                decls: vec![
+                    "(declare-const s0 (Seq Int))".into(),
+                    "(declare-const i1 Int)".into(),
+                ],
+                term: "(= (seq.len s0) i1)".into(),
+            },
+            RawTerm {
+                decls: vec!["(declare-const T String)".into()],
+                term: "(= T \"x\")".into(),
+            },
+        ];
+        for seed in crate::seeds::parsed_seeds().iter().take(8) {
+            for s in 0..4u64 {
+                let mut rb = StdRng::seed_from_u64(s);
+                let mut ra = StdRng::seed_from_u64(s);
+                let mut cur_boxed = seed.clone();
+                let mut arena = TermArena::new();
+                let mut cur_arena = ArenaScript::from_script(seed, &mut arena);
+                // Three chained mutation rounds: the mutant feeds back as
+                // the next round's seed, exactly like the fuzzer loop.
+                for round in 0..3 {
+                    let sk = skeletonize(&cur_boxed, SkeletonConfig::default(), &mut rb);
+                    let fills: Vec<ParsedFill> = raws
+                        .iter()
+                        .map(|r| adapt_fill(&parse_fill(r).unwrap(), &sk, &mut rb))
+                        .collect();
+                    let out_boxed = synthesize(&sk, &fills, &mut rb);
+                    let expected = out_boxed.to_string();
+
+                    let ask = skeletonize_arena(
+                        &cur_arena,
+                        &mut arena,
+                        SkeletonConfig::default(),
+                        &mut ra,
+                    );
+                    let afills: Vec<ArenaFill> = raws
+                        .iter()
+                        .map(|r| {
+                            let f = parse_fill_into(r, &mut arena).unwrap();
+                            adapt_fill_arena(&f, &ask, &mut arena, &mut ra)
+                        })
+                        .collect();
+                    let out_arena = synthesize_arena(&ask, &afills, &mut arena, &mut ra);
+                    let mut printed = String::new();
+                    out_arena.print_into(&arena, &mut printed);
+                    assert_eq!(expected, printed, "diverged at rng seed {s}, round {round}");
+                    cur_boxed = out_boxed;
+                    cur_arena = out_arena;
+                }
+            }
+        }
     }
 
     #[test]

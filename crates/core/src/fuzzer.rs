@@ -1,16 +1,15 @@
 //! The `Fuzzer` plugin interface and the Once4All fuzzer itself
 //! (Algorithm 2's main loop).
 
-use crate::fill::{adapt_fill, parse_fill, synthesize, ParsedFill};
+use crate::fill::{adapt_fill_arena, parse_fill_into, synthesize_arena, ArenaFill};
 use crate::seeds::parsed_seeds;
-use crate::skeleton::{skeletonize, Skeleton, SkeletonConfig};
+use crate::skeleton::{skeletonize_arena, ArenaSkeleton, SkeletonConfig};
 use o4a_llm::{
     construct_generators, ConstructOptions, ConstructionReport, CorrectedGenerator, LlmProfile,
     SimulatedLlm, Validator,
 };
-use o4a_smtlib::Script;
-use o4a_solvers::coverage::universe;
-use o4a_solvers::{CoverageMap, Frontend, SolverId};
+use o4a_smtlib::{ArenaScript, Script, TermArena};
+use o4a_solvers::{Frontend, SolverId};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -44,16 +43,12 @@ pub trait Fuzzer {
 /// what Algorithm 1 plugs in for `Parse(t)`.
 pub struct FrontendValidator {
     solver: SolverId,
-    universe: o4a_solvers::Universe,
 }
 
 impl FrontendValidator {
     /// Creates a validator for one solver's frontend.
     pub fn new(solver: SolverId) -> FrontendValidator {
-        FrontendValidator {
-            solver,
-            universe: universe(solver),
-        }
+        FrontendValidator { solver }
     }
 }
 
@@ -63,10 +58,7 @@ impl Validator for FrontendValidator {
     }
 
     fn validate(&mut self, script_text: &str) -> Result<(), String> {
-        let mut cov = CoverageMap::new();
-        Frontend::new(self.solver)
-            .analyze(script_text, &self.universe, &mut cov)
-            .map(|_| ())
+        Frontend::new(self.solver).validate(script_text)
     }
 }
 
@@ -105,11 +97,16 @@ pub struct Once4AllFuzzer {
     seeds: Vec<Script>,
     generators: Vec<CorrectedGenerator>,
     construction: Option<ConstructionReport>,
-    current: Option<Script>,
+    /// The per-fuzzer term arena; reset whenever a fresh seed is loaded.
+    arena: TermArena,
+    current: Option<ArenaScript>,
     iterations_left: usize,
     cases_emitted: u64,
     invalid_fills: u64,
     total_fills: u64,
+    /// Reusable print buffer — cases are rendered into it and cloned out,
+    /// so the printer never reallocates once it has grown to steady state.
+    print_buf: String,
 }
 
 impl Once4AllFuzzer {
@@ -121,11 +118,13 @@ impl Once4AllFuzzer {
             seeds: parsed_seeds(),
             generators: Vec::new(),
             construction: None,
+            arena: TermArena::new(),
             current: None,
             iterations_left: 0,
             cases_emitted: 0,
             invalid_fills: 0,
             total_fills: 0,
+            print_buf: String::new(),
         }
     }
 
@@ -148,7 +147,7 @@ impl Once4AllFuzzer {
         }
     }
 
-    fn draw_fill(&mut self, rng: &mut StdRng) -> Result<ParsedFill, String> {
+    fn draw_fill(&mut self, rng: &mut StdRng) -> Result<ArenaFill, String> {
         self.draw_fill_from(None, rng)
     }
 
@@ -159,7 +158,7 @@ impl Once4AllFuzzer {
         &mut self,
         focus: Option<usize>,
         rng: &mut StdRng,
-    ) -> Result<ParsedFill, String> {
+    ) -> Result<ArenaFill, String> {
         if self.generators.is_empty() {
             return Err("no generators constructed".into());
         }
@@ -173,7 +172,7 @@ impl Once4AllFuzzer {
             .program
             .generate(&mut sample_rng)
             .map_err(|e| e.to_string())?;
-        match parse_fill(&raw) {
+        match parse_fill_into(&raw, &mut self.arena) {
             Ok(f) => Ok(f),
             Err(e) => {
                 self.invalid_fills += 1;
@@ -184,7 +183,7 @@ impl Once4AllFuzzer {
 
     /// Emits a skeleton-free case (the w/oS variant and the fallback when a
     /// seed yields no usable skeleton).
-    fn generator_only_case(&mut self, rng: &mut StdRng) -> Script {
+    fn generator_only_case(&mut self, rng: &mut StdRng) -> ArenaScript {
         let n = rng.gen_range(1..=self.config.max_fills.max(1));
         let mut fills = Vec::new();
         for _ in 0..n {
@@ -193,7 +192,7 @@ impl Once4AllFuzzer {
             }
         }
         // Assemble a flat conjunction script.
-        let mut script = Script::new();
+        let mut script = ArenaScript::new();
         let mut declared = std::collections::BTreeMap::new();
         for f in &fills {
             for (name, sort) in &f.decls {
@@ -203,17 +202,16 @@ impl Once4AllFuzzer {
         for (name, sort) in declared {
             script
                 .commands
-                .push(o4a_smtlib::Command::DeclareConst(name, sort));
+                .push(o4a_smtlib::ArenaCommand::DeclareConst(name, sort));
         }
         for f in &fills {
             script
                 .commands
-                .push(o4a_smtlib::Command::Assert(f.term.clone()));
+                .push(o4a_smtlib::ArenaCommand::Assert(f.term));
         }
         if fills.is_empty() {
-            script
-                .commands
-                .push(o4a_smtlib::Command::Assert(o4a_smtlib::Term::tru()));
+            let tru = self.arena.mk_const(o4a_smtlib::Value::Bool(true));
+            script.commands.push(o4a_smtlib::ArenaCommand::Assert(tru));
         }
         script.ensure_check_sat();
         script
@@ -267,19 +265,29 @@ impl Fuzzer for Once4AllFuzzer {
 
     fn next_case(&mut self, rng: &mut StdRng) -> TestCase {
         self.cases_emitted += 1;
-        let script = if !self.config.use_skeletons {
-            self.generator_only_case(rng)
+        self.print_buf.clear();
+        if !self.config.use_skeletons {
+            // No skeleton state survives between cases, so the arena can be
+            // recycled every time.
+            self.arena.reset();
+            let script = self.generator_only_case(rng);
+            script.print_into(&self.arena, &mut self.print_buf);
         } else {
             // Algorithm 2: pick a seed, then mutate it for N iterations
             // before picking the next.
             if self.current.is_none() || self.iterations_left == 0 {
                 let k = rng.gen_range(0..self.seeds.len());
-                self.current = Some(self.seeds[k].clone());
+                // Fresh seed: nothing references the arena any more, so all
+                // terms accumulated across the previous mutation chain can
+                // be dropped at once.
+                self.arena.reset();
+                self.current = Some(ArenaScript::from_script(&self.seeds[k], &mut self.arena));
                 self.iterations_left = self.config.mutations_per_seed;
             }
             self.iterations_left -= 1;
             let seed = self.current.clone().expect("seed selected above");
-            let skeleton: Skeleton = skeletonize(&seed, self.config.skeleton, rng);
+            let skeleton: ArenaSkeleton =
+                skeletonize_arena(&seed, &mut self.arena, self.config.skeleton, rng);
             let n_fills = rng.gen_range(1..=self.config.max_fills.max(1));
             let focus = if self.generators.is_empty() {
                 None
@@ -289,29 +297,30 @@ impl Fuzzer for Once4AllFuzzer {
             let mut fills = Vec::new();
             for _ in 0..n_fills {
                 if let Ok(f) = self.draw_fill_from(focus, rng) {
-                    fills.push(adapt_fill(&f, &skeleton, rng));
+                    fills.push(adapt_fill_arena(&f, &skeleton, &mut self.arena, rng));
                 }
             }
             if fills.is_empty() {
                 // All samples invalid this round: fall back to a
                 // generator-only case so throughput is preserved.
-                self.generator_only_case(rng)
+                let script = self.generator_only_case(rng);
+                script.print_into(&self.arena, &mut self.print_buf);
             } else {
-                let out = synthesize(&skeleton, &fills, rng);
+                let out = synthesize_arena(&skeleton, &fills, &mut self.arena, rng);
+                out.print_into(&self.arena, &mut self.print_buf);
                 // The mutant becomes the next iteration's seed (the paper
                 // mutates f in place across the repeat loop) — unless it
                 // outgrew the size budget, in which case the next call
                 // restarts from a fresh seed (keeps throughput and mean
                 // formula size in the paper's ballpark).
-                if out.byte_len() > 3_000 {
+                if self.print_buf.len() > 3_000 {
                     self.current = None;
                 } else {
-                    self.current = Some(out.clone());
+                    self.current = Some(out);
                 }
-                out
             }
-        };
-        let text = script.to_string();
+        }
+        let text = self.print_buf.clone();
         let gen_micros = 150 + text.len() as u64;
         TestCase { text, gen_micros }
     }

@@ -3,7 +3,10 @@
 //! logical structure — quantifiers, `let` binders, and connectives — that
 //! Observation 2 identifies as bug-critical.
 
-use o4a_smtlib::{Command, Script, Sort, Symbol, Term};
+use o4a_smtlib::{
+    ANode, ArenaCommand, ArenaScript, Command, Op, Script, Sort, Symbol, Term, TermArena, TermId,
+    Value,
+};
 use rand::Rng;
 
 /// Tuning for skeleton extraction.
@@ -162,6 +165,187 @@ pub fn strip_commands(script: &mut Script) {
     script
         .commands
         .retain(|c| !matches!(c, Command::CheckSat | Command::GetModel | Command::Exit));
+}
+
+/// Arena twin of [`Skeleton`]: the hollowed script's terms live as
+/// [`TermId`]s in the fuzzer's arena.
+#[derive(Clone, Debug)]
+pub struct ArenaSkeleton {
+    /// The script with placeholders in place of removed atoms.
+    pub script: ArenaScript,
+    /// Number of placeholders inserted.
+    pub placeholder_count: usize,
+    /// Declared variables visible to inserted terms (name, sort).
+    pub variables: Vec<(Symbol, Sort)>,
+}
+
+/// Arena twin of [`skeletonize`]: same traversal, same RNG draw sequence,
+/// byte-identical hollowed script — but untouched subtrees keep their node
+/// ids instead of being deep-cloned.
+pub fn skeletonize_arena(
+    seed: &ArenaScript,
+    arena: &mut TermArena,
+    cfg: SkeletonConfig,
+    rng: &mut impl Rng,
+) -> ArenaSkeleton {
+    let mut counter = 0u32;
+    let mut script = seed.clone();
+
+    let mut atom_total = 0usize;
+    for cmd in &seed.commands {
+        if let ArenaCommand::Assert(t) = cmd {
+            atom_total += count_atoms_arena(arena, *t);
+        }
+    }
+    let force_index = if atom_total > 0 {
+        Some(rng.gen_range(0..atom_total))
+    } else {
+        None
+    };
+
+    let mut seen = 0usize;
+    for cmd in script.commands.iter_mut() {
+        if let ArenaCommand::Assert(t) = cmd {
+            *t = replace_atoms_arena(arena, *t, cfg, rng, &mut counter, &mut seen, force_index);
+        }
+    }
+
+    let variables = script
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            ArenaCommand::DeclareConst(name, sort) => Some((name.clone(), sort.clone())),
+            ArenaCommand::DeclareFun(name, args, ret) if args.is_empty() => {
+                Some((name.clone(), ret.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+
+    ArenaSkeleton {
+        placeholder_count: counter as usize,
+        variables,
+        script,
+    }
+}
+
+/// Arena twin of `is_atom`.
+fn is_atom_arena(arena: &TermArena, id: TermId) -> bool {
+    match arena.node(id) {
+        ANode::App(op, _, _) => !matches!(
+            arena.op(op),
+            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite
+        ),
+        ANode::Const(vi) => matches!(arena.value(vi), Value::Bool(_)),
+        ANode::Var(_) => true,
+        _ => false,
+    }
+}
+
+/// Arena twin of `count_atoms`; identical traversal order.
+fn count_atoms_arena(arena: &TermArena, id: TermId) -> usize {
+    match arena.node(id) {
+        ANode::App(op, start, len)
+            if matches!(
+                arena.op(op),
+                Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite
+            ) =>
+        {
+            let mut n = 0;
+            for i in 0..len {
+                n += count_atoms_arena(arena, arena.args(start, len)[i as usize]);
+            }
+            n
+        }
+        ANode::Let(start, len, body) => {
+            let mut n = 0;
+            for i in 0..len {
+                n += count_atoms_arena(arena, arena.let_binds(start, len)[i as usize].1);
+            }
+            n + count_atoms_arena(arena, body)
+        }
+        ANode::Quant(_, _, _, body) => count_atoms_arena(arena, body),
+        _ if is_atom_arena(arena, id) => 1,
+        _ => 0,
+    }
+}
+
+/// Arena twin of `replace_atoms`: same RNG short-circuits (`forced ||
+/// gen_bool`, cap check first), same pre-order walk, rebuild-if-changed.
+fn replace_atoms_arena(
+    arena: &mut TermArena,
+    id: TermId,
+    cfg: SkeletonConfig,
+    rng: &mut impl Rng,
+    counter: &mut u32,
+    seen: &mut usize,
+    force_index: Option<usize>,
+) -> TermId {
+    if is_atom_arena(arena, id) {
+        let my_index = *seen;
+        *seen += 1;
+        let forced = force_index == Some(my_index);
+        let replace = (*counter as usize) < cfg.max_placeholders
+            && (forced || rng.gen_bool(cfg.replace_probability));
+        if replace {
+            let p = arena.mk_placeholder(*counter);
+            *counter += 1;
+            return p;
+        }
+        return id;
+    }
+    match arena.node(id) {
+        ANode::App(op, start, len)
+            if matches!(
+                arena.op(op),
+                Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite
+            ) =>
+        {
+            let kids = arena.args(start, len).to_vec();
+            let new: Vec<TermId> = kids
+                .iter()
+                .map(|&k| replace_atoms_arena(arena, k, cfg, rng, counter, seen, force_index))
+                .collect();
+            if new == kids {
+                id
+            } else {
+                arena.mk_app(op, &new)
+            }
+        }
+        ANode::Quant(q, start, len, body) => {
+            let new_body = replace_atoms_arena(arena, body, cfg, rng, counter, seen, force_index);
+            if new_body == body {
+                id
+            } else {
+                let vars = arena.quant_vars(start, len).to_vec();
+                arena.mk_quant(q, &vars, new_body)
+            }
+        }
+        ANode::Let(start, len, body) => {
+            // Binder values keep their atoms (counted but never replaced).
+            for &(_, v) in &arena.let_binds(start, len).to_vec() {
+                *seen += count_atoms_arena(arena, v);
+            }
+            let new_body = replace_atoms_arena(arena, body, cfg, rng, counter, seen, force_index);
+            if new_body == body {
+                id
+            } else {
+                let binds = arena.let_binds(start, len).to_vec();
+                arena.mk_let(&binds, new_body)
+            }
+        }
+        _ => id,
+    }
+}
+
+/// Arena twin of [`strip_commands`].
+pub fn strip_commands_arena(script: &mut ArenaScript) {
+    script.commands.retain(|c| {
+        !matches!(
+            c,
+            ArenaCommand::CheckSat | ArenaCommand::GetModel | ArenaCommand::Exit
+        )
+    });
 }
 
 #[cfg(test)]

@@ -385,10 +385,16 @@ fn render_production(p: &Production) -> String {
 /// Joins tokens with SMT-LIB-style spacing: no space after `(`, none before
 /// `)`.
 pub fn join_tokens(tokens: &[String]) -> String {
-    let mut out = String::new();
+    // Sized for the common case (token + separator); grows at most once or
+    // twice on outliers. Trailing whitespace is popped in place rather than
+    // re-allocating via `trim_end().to_string()` at every `)` — on deeply
+    // parenthesised derivations that rebuild was quadratic in output size.
+    let mut out = String::with_capacity(tokens.iter().map(|t| t.len() + 1).sum());
     for t in tokens {
         if t == ")" {
-            out = out.trim_end().to_string();
+            while out.ends_with(char::is_whitespace) {
+                out.pop();
+            }
             out.push(')');
             out.push(' ');
         } else if t == "(" {
@@ -398,7 +404,10 @@ pub fn join_tokens(tokens: &[String]) -> String {
             out.push(' ');
         }
     }
-    out.trim_end().to_string()
+    while out.ends_with(char::is_whitespace) {
+        out.pop();
+    }
+    out
 }
 
 /// Caller-supplied resolvers for hook nonterminals (data-generating leaves).

@@ -59,12 +59,17 @@ impl RawTerm {
     /// Assembles a standalone script: declarations, one assertion,
     /// `(check-sat)`.
     pub fn to_script_text(&self) -> String {
-        let mut out = String::new();
+        let cap = self.decls.iter().map(|d| d.len() + 1).sum::<usize>()
+            + self.term.len()
+            + "(assert )\n(check-sat)".len();
+        let mut out = String::with_capacity(cap);
         for d in &self.decls {
             out.push_str(d);
             out.push('\n');
         }
-        out.push_str(&format!("(assert {})\n(check-sat)", self.term));
+        out.push_str("(assert ");
+        out.push_str(&self.term);
+        out.push_str(")\n(check-sat)");
         out
     }
 }

@@ -1,4 +1,9 @@
 //! Tokenizer for SMT-LIB concrete syntax.
+//!
+//! The core lexer ([`lex`]) produces *borrowed* tokens — symbols, keywords,
+//! and string bodies are `&str` slices of the input, so tokenizing allocates
+//! only the token vector. The public owned [`Token`]/[`tokenize`] API is a
+//! thin wrapper kept for external callers that want `String`s.
 
 use crate::{ParseError, Rational};
 
@@ -48,7 +53,65 @@ impl Token {
     }
 }
 
-/// Tokenizes SMT-LIB text.
+/// A borrowed lexical token with its byte offset in the input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SpannedTok<'a> {
+    /// Byte offset where the token starts.
+    pub offset: usize,
+    /// The token itself.
+    pub tok: Tok<'a>,
+}
+
+/// A borrowed lexical token; text payloads are slices of the input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Tok<'a> {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// A simple or `|quoted|` symbol (quoting removed).
+    Symbol(&'a str),
+    /// A `:keyword`.
+    Keyword(&'a str),
+    /// An unsigned integer literal.
+    Numeral(i128),
+    /// A decimal literal, e.g. `1.5`.
+    Decimal(Rational),
+    /// `#x...` or `#b...` bit-vector literal: (width, bits).
+    BitVecLit(u32, u128),
+    /// A string literal body (between the quotes, `""` escapes unresolved)
+    /// plus a flag recording whether any `""` escape is present.
+    StringLit(&'a str, bool),
+}
+
+impl Tok<'_> {
+    /// Short description for error messages; byte-identical to the owned
+    /// [`Token::describe`].
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Symbol(s) => format!("symbol '{s}'"),
+            Tok::Keyword(k) => format!("keyword ':{k}'"),
+            Tok::Numeral(n) => format!("numeral {n}"),
+            Tok::Decimal(_) => "decimal literal".into(),
+            Tok::BitVecLit(w, _) => format!("bit-vector literal of width {w}"),
+            Tok::StringLit(..) => "string literal".into(),
+        }
+    }
+}
+
+/// Resolves a borrowed string-literal body into its value, rewriting `""`
+/// escapes only when the lexer flagged any.
+pub(crate) fn resolve_string_lit(body: &str, has_escape: bool) -> String {
+    if has_escape {
+        body.replace("\"\"", "\"")
+    } else {
+        body.to_string()
+    }
+}
+
+/// Tokenizes SMT-LIB text into owned tokens.
 ///
 /// # Errors
 ///
@@ -56,6 +119,27 @@ impl Token {
 /// `#x`/`#b` literals, oversized numerals, or characters outside the SMT-LIB
 /// character set.
 pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    Ok(lex(input)?
+        .into_iter()
+        .map(|t| SpannedToken {
+            offset: t.offset,
+            token: match t.tok {
+                Tok::LParen => Token::LParen,
+                Tok::RParen => Token::RParen,
+                Tok::Symbol(s) => Token::Symbol(s.to_string()),
+                Tok::Keyword(k) => Token::Keyword(k.to_string()),
+                Tok::Numeral(n) => Token::Numeral(n),
+                Tok::Decimal(d) => Token::Decimal(d),
+                Tok::BitVecLit(w, b) => Token::BitVecLit(w, b),
+                Tok::StringLit(s, esc) => Token::StringLit(resolve_string_lit(s, esc)),
+            },
+        })
+        .collect())
+}
+
+/// Tokenizes SMT-LIB text into borrowed tokens (the zero-copy fast path the
+/// parser uses).
+pub(crate) fn lex(input: &str) -> Result<Vec<SpannedTok<'_>>, ParseError> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -69,46 +153,44 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 }
             }
             '(' => {
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: i,
-                    token: Token::LParen,
+                    tok: Tok::LParen,
                 });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: i,
-                    token: Token::RParen,
+                    tok: Tok::RParen,
                 });
                 i += 1;
             }
             '"' => {
                 let start = i;
                 i += 1;
-                let mut s = String::new();
+                let begin = i;
+                let mut has_escape = false;
                 loop {
                     if i >= bytes.len() {
                         return Err(ParseError::new(start, "unterminated string literal"));
                     }
                     if bytes[i] == b'"' {
                         if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
-                            s.push('"');
+                            has_escape = true;
                             i += 2;
                         } else {
-                            i += 1;
                             break;
                         }
                     } else {
-                        // Keep multi-byte UTF-8 intact.
-                        let ch_len = utf8_len(bytes[i]);
-                        s.push_str(&input[i..i + ch_len]);
-                        i += ch_len;
+                        i += 1;
                     }
                 }
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: start,
-                    token: Token::StringLit(s),
+                    tok: Tok::StringLit(&input[begin..i], has_escape),
                 });
+                i += 1;
             }
             '|' => {
                 let start = i;
@@ -120,9 +202,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 if i >= bytes.len() {
                     return Err(ParseError::new(start, "unterminated quoted symbol"));
                 }
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: start,
-                    token: Token::Symbol(input[begin..i].to_string()),
+                    tok: Tok::Symbol(&input[begin..i]),
                 });
                 i += 1;
             }
@@ -168,9 +250,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                         "bit-vector literals wider than 128 bits are not supported",
                     ));
                 }
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: start,
-                    token: Token::BitVecLit(width, bits),
+                    tok: Tok::BitVecLit(width, bits),
                 });
             }
             ':' => {
@@ -180,9 +262,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 while i < bytes.len() && is_symbol_byte(bytes[i]) {
                     i += 1;
                 }
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: start,
-                    token: Token::Keyword(input[begin..i].to_string()),
+                    tok: Tok::Keyword(&input[begin..i]),
                 });
             }
             c if c.is_ascii_digit() => {
@@ -215,17 +297,17 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                         .ok_or_else(|| ParseError::new(start, "decimal literal too large"))?;
                     let r = Rational::new(num, den)
                         .ok_or_else(|| ParseError::new(start, "decimal literal too large"))?;
-                    out.push(SpannedToken {
+                    out.push(SpannedTok {
                         offset: start,
-                        token: Token::Decimal(r),
+                        tok: Tok::Decimal(r),
                     });
                 } else {
                     let n: i128 = input[start..i]
                         .parse()
                         .map_err(|_| ParseError::new(start, "numeral too large"))?;
-                    out.push(SpannedToken {
+                    out.push(SpannedTok {
                         offset: start,
-                        token: Token::Numeral(n),
+                        tok: Tok::Numeral(n),
                     });
                 }
             }
@@ -234,9 +316,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 while i < bytes.len() && is_symbol_byte(bytes[i]) {
                     i += 1;
                 }
-                out.push(SpannedToken {
+                out.push(SpannedTok {
                     offset: start,
-                    token: Token::Symbol(input[start..i].to_string()),
+                    tok: Tok::Symbol(&input[start..i]),
                 });
             }
             other => {
@@ -253,15 +335,6 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
 fn is_symbol_byte(b: u8) -> bool {
     let c = b as char;
     c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c)
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
 }
 
 #[cfg(test)]
@@ -297,6 +370,14 @@ mod tests {
     #[test]
     fn string_escapes() {
         assert_eq!(toks(r#""a""b""#), vec![Token::StringLit("a\"b".into())]);
+    }
+
+    #[test]
+    fn borrowed_string_keeps_escape_raw() {
+        let ts = lex(r#""a""b""#).unwrap();
+        assert_eq!(ts[0].tok, Tok::StringLit("a\"\"b", true));
+        let plain = lex(r#""ab""#).unwrap();
+        assert_eq!(plain[0].tok, Tok::StringLit("ab", false));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod command;
 mod error;
 pub mod eval;
@@ -49,12 +50,13 @@ mod theory;
 pub mod typeck;
 mod value;
 
+pub use arena::{ANode, ArenaCommand, ArenaScript, OpId, SortId, SymbolId, TermArena, TermId};
 pub use command::{Command, Script};
 pub use error::{EvalError, ParseError, SortError};
 pub use lexer::{tokenize, SpannedToken, Token};
 pub use model::{Model, ModelEntry};
 pub use op::Op;
-pub use parser::{parse_script, parse_sort, parse_term};
+pub use parser::{parse_script, parse_script_arena, parse_sort, parse_term, parse_term_arena};
 pub use sort::Sort;
 pub use symbol::Symbol;
 pub use term::{Quantifier, Term};

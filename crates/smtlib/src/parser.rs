@@ -1,11 +1,25 @@
 //! Recursive-descent parser from SMT-LIB text to [`Script`]/[`Term`].
+//!
+//! The core parser runs over borrowed tokens and builds terms directly into
+//! a [`TermArena`] — [`parse_script_arena`]/[`parse_term_arena`] are the
+//! zero-copy entry points the hot loop uses. The boxed [`parse_script`]/
+//! [`parse_term`] wrappers parse into a thread-local scratch arena and
+//! extract, so their behavior (including every error message) is unchanged.
 
-use crate::lexer::{tokenize, SpannedToken, Token};
+use crate::arena::{ANode, ArenaCommand, ArenaScript, SymbolId, TermArena, TermId};
+use crate::lexer::{lex, resolve_string_lit, SpannedTok, Tok};
 use crate::{
-    BitVecValue, Command, FiniteFieldValue, Op, ParseError, Quantifier, Rational, Script, Sort,
-    Symbol, Term, Value,
+    BitVecValue, FiniteFieldValue, Op, ParseError, Quantifier, Rational, Script, Sort, Symbol,
+    Term, Value,
 };
+use std::cell::RefCell;
 use std::str::FromStr;
+
+thread_local! {
+    /// Scratch arena backing the boxed `parse_script`/`parse_term` wrappers;
+    /// reset per call, interners stay warm for the thread's lifetime.
+    static PARSE_ARENA: RefCell<TermArena> = RefCell::new(TermArena::new());
+}
 
 /// Parses a complete SMT-LIB script.
 ///
@@ -22,13 +36,28 @@ use std::str::FromStr;
 /// # Ok::<(), o4a_smtlib::ParseError>(())
 /// ```
 pub fn parse_script(input: &str) -> Result<Script, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    PARSE_ARENA.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        arena.reset();
+        let script = parse_script_arena(input, &mut arena)?;
+        Ok(script.to_script(&arena))
+    })
+}
+
+/// Parses a complete SMT-LIB script into an arena. Does *not* reset the
+/// arena — the caller owns the reuse policy.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] exactly as [`parse_script`] does.
+pub fn parse_script_arena(input: &str, arena: &mut TermArena) -> Result<ArenaScript, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser::new(toks, arena);
     let mut commands = Vec::new();
     while !p.at_end() {
         commands.push(p.command()?);
     }
-    Ok(Script { commands })
+    Ok(ArenaScript { commands })
 }
 
 /// Parses a single term (for tests, generator output validation, and the
@@ -38,8 +67,22 @@ pub fn parse_script(input: &str) -> Result<Script, ParseError> {
 ///
 /// Returns [`ParseError`] when the input is not exactly one term.
 pub fn parse_term(input: &str) -> Result<Term, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    PARSE_ARENA.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        arena.reset();
+        let id = parse_term_arena(input, &mut arena)?;
+        Ok(arena.extract_term(id))
+    })
+}
+
+/// Parses a single term into an arena. Does *not* reset the arena.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the input is not exactly one term.
+pub fn parse_term_arena(input: &str, arena: &mut TermArena) -> Result<TermId, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser::new(toks, arena);
     let t = p.term()?;
     if !p.at_end() {
         return Err(p.error("trailing input after term"));
@@ -53,8 +96,9 @@ pub fn parse_term(input: &str) -> Result<Term, ParseError> {
 ///
 /// Returns [`ParseError`] when the input is not exactly one sort.
 pub fn parse_sort(input: &str) -> Result<Sort, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let toks = lex(input)?;
+    let mut arena = TermArena::new();
+    let mut p = Parser::new(toks, &mut arena);
     let s = p.sort()?;
     if !p.at_end() {
         return Err(p.error("trailing input after sort"));
@@ -83,80 +127,97 @@ impl FromStr for Sort {
     }
 }
 
-struct Parser {
-    tokens: Vec<SpannedToken>,
+struct Parser<'a, 'ar> {
+    toks: Vec<SpannedTok<'a>>,
     pos: usize,
+    arena: &'ar mut TermArena,
+    // Scratch stacks for in-flight argument/binding lists: each production
+    // records a mark, pushes as it parses, slices `[mark..]` to build the
+    // node, and truncates back — no per-node Vec allocations.
+    scratch: Vec<TermId>,
+    bscratch: Vec<(SymbolId, TermId)>,
+    qscratch: Vec<(SymbolId, crate::arena::SortId)>,
 }
 
-impl Parser {
+impl<'a, 'ar> Parser<'a, 'ar> {
+    fn new(toks: Vec<SpannedTok<'a>>, arena: &'ar mut TermArena) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            arena,
+            scratch: Vec::new(),
+            bscratch: Vec::new(),
+            qscratch: Vec::new(),
+        }
+    }
+
     fn at_end(&self) -> bool {
-        self.pos >= self.tokens.len()
+        self.pos >= self.toks.len()
     }
 
     fn offset(&self) -> usize {
-        self.tokens
+        self.toks
             .get(self.pos)
             .map(|t| t.offset)
-            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+            .unwrap_or_else(|| self.toks.last().map(|t| t.offset + 1).unwrap_or(0))
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
         ParseError::new(self.offset(), msg)
     }
 
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|t| &t.token)
+    fn peek(&self) -> Option<Tok<'a>> {
+        self.toks.get(self.pos).map(|t| t.tok)
     }
 
-    fn next(&mut self) -> Result<Token, ParseError> {
+    fn next(&mut self) -> Result<Tok<'a>, ParseError> {
         let t = self
-            .tokens
+            .toks
             .get(self.pos)
             .ok_or_else(|| self.error("unexpected end of input"))?
-            .token
-            .clone();
+            .tok;
         self.pos += 1;
         Ok(t)
     }
 
     fn expect_lparen(&mut self) -> Result<(), ParseError> {
         match self.next()? {
-            Token::LParen => Ok(()),
+            Tok::LParen => Ok(()),
             other => Err(self.error(format!("expected '(' but found {}", other.describe()))),
         }
     }
 
     fn expect_rparen(&mut self) -> Result<(), ParseError> {
         match self.next()? {
-            Token::RParen => Ok(()),
+            Tok::RParen => Ok(()),
             other => Err(self.error(format!("expected ')' but found {}", other.describe()))),
         }
     }
 
-    fn symbol(&mut self) -> Result<String, ParseError> {
+    fn symbol(&mut self) -> Result<&'a str, ParseError> {
         match self.next()? {
-            Token::Symbol(s) => Ok(s),
+            Tok::Symbol(s) => Ok(s),
             other => Err(self.error(format!("expected a symbol but found {}", other.describe()))),
         }
     }
 
     fn numeral(&mut self) -> Result<i128, ParseError> {
         match self.next()? {
-            Token::Numeral(n) => Ok(n),
+            Tok::Numeral(n) => Ok(n),
             other => Err(self.error(format!("expected a numeral but found {}", other.describe()))),
         }
     }
 
     // ---- commands ----
 
-    fn command(&mut self) -> Result<Command, ParseError> {
+    fn command(&mut self) -> Result<ArenaCommand, ParseError> {
         self.expect_lparen()?;
         let head = self.symbol()?;
-        let cmd = match head.as_str() {
-            "set-logic" => Command::SetLogic(self.symbol()?),
+        let cmd = match head {
+            "set-logic" => ArenaCommand::SetLogic(self.symbol()?.to_string()),
             "set-option" => {
                 let key = match self.next()? {
-                    Token::Keyword(k) => k,
+                    Tok::Keyword(k) => k.to_string(),
                     other => {
                         return Err(self.error(format!(
                             "expected option keyword, found {}",
@@ -164,41 +225,41 @@ impl Parser {
                         )))
                     }
                 };
-                Command::SetOption(key, self.attribute_value()?)
+                ArenaCommand::SetOption(key, self.attribute_value()?)
             }
             "set-info" => {
                 let key = match self.next()? {
-                    Token::Keyword(k) => k,
+                    Tok::Keyword(k) => k.to_string(),
                     other => {
                         return Err(self
                             .error(format!("expected info keyword, found {}", other.describe())))
                     }
                 };
-                Command::SetInfo(key, self.attribute_value()?)
+                ArenaCommand::SetInfo(key, self.attribute_value()?)
             }
             "declare-const" => {
                 let name = Symbol::new(self.symbol()?);
                 let sort = self.sort()?;
-                Command::DeclareConst(name, sort)
+                ArenaCommand::DeclareConst(name, sort)
             }
             "declare-fun" => {
                 let name = Symbol::new(self.symbol()?);
                 self.expect_lparen()?;
                 let mut args = Vec::new();
-                while self.peek() != Some(&Token::RParen) {
+                while !matches!(self.peek(), Some(Tok::RParen)) {
                     args.push(self.sort()?);
                 }
                 self.expect_rparen()?;
                 let ret = self.sort()?;
                 if args.is_empty() {
-                    Command::DeclareConst(name, ret)
+                    ArenaCommand::DeclareConst(name, ret)
                 } else {
-                    Command::DeclareFun(name, args, ret)
+                    ArenaCommand::DeclareFun(name, args, ret)
                 }
             }
             "declare-sort" => {
                 let name = Symbol::new(self.symbol()?);
-                let arity = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                let arity = if matches!(self.peek(), Some(Tok::Numeral(_))) {
                     self.numeral()?
                 } else {
                     0
@@ -206,13 +267,13 @@ impl Parser {
                 if arity != 0 {
                     return Err(self.error("only arity-0 sort declarations are supported"));
                 }
-                Command::DeclareSort(name)
+                ArenaCommand::DeclareSort(name)
             }
             "define-fun" => {
                 let name = Symbol::new(self.symbol()?);
                 self.expect_lparen()?;
                 let mut params = Vec::new();
-                while self.peek() != Some(&Token::RParen) {
+                while !matches!(self.peek(), Some(Tok::RParen)) {
                     self.expect_lparen()?;
                     let p = Symbol::new(self.symbol()?);
                     let s = self.sort()?;
@@ -222,37 +283,37 @@ impl Parser {
                 self.expect_rparen()?;
                 let ret = self.sort()?;
                 let body = self.term()?;
-                Command::DefineFun(name, params, ret, body)
+                ArenaCommand::DefineFun(name, params, ret, body)
             }
-            "assert" => Command::Assert(self.term()?),
-            "check-sat" => Command::CheckSat,
-            "get-model" => Command::GetModel,
+            "assert" => ArenaCommand::Assert(self.term()?),
+            "check-sat" => ArenaCommand::CheckSat,
+            "get-model" => ArenaCommand::GetModel,
             "get-value" => {
                 self.expect_lparen()?;
                 let mut ts = Vec::new();
-                while self.peek() != Some(&Token::RParen) {
+                while !matches!(self.peek(), Some(Tok::RParen)) {
                     ts.push(self.term()?);
                 }
                 self.expect_rparen()?;
-                Command::GetValue(ts)
+                ArenaCommand::GetValue(ts)
             }
             "push" => {
-                let n = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                let n = if matches!(self.peek(), Some(Tok::Numeral(_))) {
                     self.numeral()? as u32
                 } else {
                     1
                 };
-                Command::Push(n)
+                ArenaCommand::Push(n)
             }
             "pop" => {
-                let n = if matches!(self.peek(), Some(Token::Numeral(_))) {
+                let n = if matches!(self.peek(), Some(Tok::Numeral(_))) {
                     self.numeral()? as u32
                 } else {
                     1
                 };
-                Command::Pop(n)
+                ArenaCommand::Pop(n)
             }
-            "exit" => Command::Exit,
+            "exit" => ArenaCommand::Exit,
             other => return Err(self.error(format!("unknown command '{other}'"))),
         };
         self.expect_rparen()?;
@@ -262,30 +323,32 @@ impl Parser {
     /// Reads one attribute value (atom or balanced s-expression) as raw text.
     fn attribute_value(&mut self) -> Result<String, ParseError> {
         match self.next()? {
-            Token::Symbol(s) => Ok(s),
-            Token::Numeral(n) => Ok(n.to_string()),
-            Token::StringLit(s) => Ok(format!("\"{s}\"")),
-            Token::Decimal(d) => Ok(d.to_string()),
-            Token::Keyword(k) => Ok(format!(":{k}")),
-            Token::LParen => {
+            Tok::Symbol(s) => Ok(s.to_string()),
+            Tok::Numeral(n) => Ok(n.to_string()),
+            Tok::StringLit(s, esc) => Ok(format!("\"{}\"", resolve_string_lit(s, esc))),
+            Tok::Decimal(d) => Ok(d.to_string()),
+            Tok::Keyword(k) => Ok(format!(":{k}")),
+            Tok::LParen => {
                 let mut depth = 1;
                 let mut parts = vec!["(".to_string()];
                 while depth > 0 {
                     match self.next()? {
-                        Token::LParen => {
+                        Tok::LParen => {
                             depth += 1;
                             parts.push("(".into());
                         }
-                        Token::RParen => {
+                        Tok::RParen => {
                             depth -= 1;
                             parts.push(")".into());
                         }
-                        Token::Symbol(s) => parts.push(s),
-                        Token::Numeral(n) => parts.push(n.to_string()),
-                        Token::Decimal(d) => parts.push(d.to_string()),
-                        Token::StringLit(s) => parts.push(format!("\"{s}\"")),
-                        Token::Keyword(k) => parts.push(format!(":{k}")),
-                        Token::BitVecLit(w, b) => {
+                        Tok::Symbol(s) => parts.push(s.to_string()),
+                        Tok::Numeral(n) => parts.push(n.to_string()),
+                        Tok::Decimal(d) => parts.push(d.to_string()),
+                        Tok::StringLit(s, esc) => {
+                            parts.push(format!("\"{}\"", resolve_string_lit(s, esc)))
+                        }
+                        Tok::Keyword(k) => parts.push(format!(":{k}")),
+                        Tok::BitVecLit(w, b) => {
                             parts.push(BitVecValue::new(w.max(1), b).to_string())
                         }
                     }
@@ -300,7 +363,7 @@ impl Parser {
 
     fn sort(&mut self) -> Result<Sort, ParseError> {
         match self.next()? {
-            Token::Symbol(s) => match s.as_str() {
+            Tok::Symbol(s) => match s {
                 "Bool" => Ok(Sort::Bool),
                 "Int" => Ok(Sort::Int),
                 "Real" => Ok(Sort::Real),
@@ -308,12 +371,12 @@ impl Parser {
                 "UnitTuple" => Ok(Sort::unit_tuple()),
                 other => Ok(Sort::Uninterpreted(Symbol::new(other))),
             },
-            Token::LParen => {
+            Tok::LParen => {
                 let head = self.symbol()?;
-                let sort = match head.as_str() {
+                let sort = match head {
                     "_" => {
                         let name = self.symbol()?;
-                        match name.as_str() {
+                        match name {
                             "BitVec" => {
                                 let w = self.numeral()?;
                                 if !(1..=128).contains(&w) {
@@ -343,7 +406,7 @@ impl Parser {
                     }
                     "Tuple" => {
                         let mut elems = Vec::new();
-                        while self.peek() != Some(&Token::RParen) {
+                        while !matches!(self.peek(), Some(Tok::RParen)) {
                             elems.push(self.sort()?);
                         }
                         Sort::Tuple(elems)
@@ -351,7 +414,7 @@ impl Parser {
                     "Relation" => {
                         // cvc5 sugar: (Relation S1 ... Sn) = (Set (Tuple S1 ... Sn)).
                         let mut elems = Vec::new();
-                        while self.peek() != Some(&Token::RParen) {
+                        while !matches!(self.peek(), Some(Tok::RParen)) {
                             elems.push(self.sort()?);
                         }
                         Sort::set(Sort::Tuple(elems))
@@ -367,47 +430,56 @@ impl Parser {
 
     // ---- terms ----
 
-    fn term(&mut self) -> Result<Term, ParseError> {
+    fn term(&mut self) -> Result<TermId, ParseError> {
         match self.next()? {
-            Token::Numeral(n) => Ok(Term::Const(Value::Int(n))),
-            Token::Decimal(d) => Ok(Term::Const(Value::Real(d))),
-            Token::StringLit(s) => Ok(Term::Const(Value::Str(s))),
-            Token::BitVecLit(w, b) => {
+            Tok::Numeral(n) => Ok(self.arena.mk_const(Value::Int(n))),
+            Tok::Decimal(d) => Ok(self.arena.mk_const(Value::Real(d))),
+            Tok::StringLit(s, esc) => {
+                let v = resolve_string_lit(s, esc);
+                Ok(self.arena.mk_const(Value::Str(v)))
+            }
+            Tok::BitVecLit(w, b) => {
                 if w == 0 {
                     return Err(self.error("empty bit-vector literal"));
                 }
-                Ok(Term::Const(Value::BitVec(BitVecValue::new(w, b))))
+                Ok(self.arena.mk_const(Value::BitVec(BitVecValue::new(w, b))))
             }
-            Token::Symbol(s) => Ok(match s.as_str() {
-                "true" => Term::tru(),
-                "false" => Term::fls(),
-                "tuple.unit" => Term::Const(Value::Tuple(Vec::new())),
-                other => Term::Var(Symbol::new(other)),
+            Tok::Symbol(s) => Ok(match s {
+                "true" => self.arena.mk_const(Value::Bool(true)),
+                "false" => self.arena.mk_const(Value::Bool(false)),
+                "tuple.unit" => self.arena.mk_const(Value::Tuple(Vec::new())),
+                other => {
+                    let sid = self.arena.sym(other);
+                    self.arena.mk_var(sid)
+                }
             }),
-            Token::LParen => self.compound_term(),
+            Tok::LParen => self.compound_term(),
             other => Err(self.error(format!("expected a term but found {}", other.describe()))),
         }
     }
 
-    fn compound_term(&mut self) -> Result<Term, ParseError> {
+    fn compound_term(&mut self) -> Result<TermId, ParseError> {
         // After '('. Possible heads: symbol, (_ indexed), (as qualified), let,
         // quantifiers, ! annotations.
         match self.next()? {
-            Token::Symbol(head) => match head.as_str() {
+            Tok::Symbol(head) => match head {
                 "let" => {
                     self.expect_lparen()?;
-                    let mut binds = Vec::new();
-                    while self.peek() != Some(&Token::RParen) {
+                    let mark = self.bscratch.len();
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
                         self.expect_lparen()?;
-                        let name = Symbol::new(self.symbol()?);
+                        let name = self.symbol()?;
+                        let sid = self.arena.sym(name);
                         let value = self.term()?;
                         self.expect_rparen()?;
-                        binds.push((name, value));
+                        self.bscratch.push((sid, value));
                     }
                     self.expect_rparen()?;
                     let body = self.term()?;
                     self.expect_rparen()?;
-                    Ok(Term::Let(binds, Box::new(body)))
+                    let id = self.arena.mk_let(&self.bscratch[mark..], body);
+                    self.bscratch.truncate(mark);
+                    Ok(id)
                 }
                 "forall" | "exists" => {
                     let q = if head == "forall" {
@@ -416,29 +488,33 @@ impl Parser {
                         Quantifier::Exists
                     };
                     self.expect_lparen()?;
-                    let mut vars = Vec::new();
-                    while self.peek() != Some(&Token::RParen) {
+                    let mark = self.qscratch.len();
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
                         self.expect_lparen()?;
-                        let name = Symbol::new(self.symbol()?);
+                        let name = self.symbol()?;
+                        let sid = self.arena.sym(name);
                         let sort = self.sort()?;
+                        let sortid = self.arena.sort_id(&sort);
                         self.expect_rparen()?;
-                        vars.push((name, sort));
+                        self.qscratch.push((sid, sortid));
                     }
                     self.expect_rparen()?;
                     let body = self.term()?;
                     self.expect_rparen()?;
-                    Ok(Term::Quant(q, vars, Box::new(body)))
+                    let id = self.arena.mk_quant(q, &self.qscratch[mark..], body);
+                    self.qscratch.truncate(mark);
+                    Ok(id)
                 }
                 "!" => {
                     // Annotation: keep the term, drop attributes.
                     let t = self.term()?;
-                    while self.peek() != Some(&Token::RParen) {
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
                         match self.next()? {
-                            Token::Keyword(_) => {
+                            Tok::Keyword(_) => {
                                 // Attribute value may be an atom or s-expr; skip one
                                 // balanced unit if present.
-                                if self.peek() != Some(&Token::RParen)
-                                    && !matches!(self.peek(), Some(Token::Keyword(_)))
+                                if !matches!(self.peek(), Some(Tok::RParen))
+                                    && !matches!(self.peek(), Some(Tok::Keyword(_)))
                                 {
                                     self.skip_sexpr()?;
                                 }
@@ -455,16 +531,16 @@ impl Parser {
                     Ok(t)
                 }
                 "as" => {
-                    let t = self.qualified_identifier()?;
+                    let v = self.qualified_identifier()?;
                     self.expect_rparen()?;
-                    Ok(t)
+                    Ok(self.arena.mk_const(v))
                 }
                 "_" => {
                     let op = self.indexed_op_or_const()?;
                     match op {
                         IndexedHead::Const(v) => {
                             self.expect_rparen()?;
-                            Ok(Term::Const(v))
+                            Ok(self.arena.mk_const(v))
                         }
                         IndexedHead::Op(_) => {
                             Err(self.error("indexed operator used without arguments"))
@@ -472,32 +548,39 @@ impl Parser {
                     }
                 }
                 name => {
-                    let mut args = Vec::new();
-                    while self.peek() != Some(&Token::RParen) {
-                        args.push(self.term()?);
+                    let mark = self.scratch.len();
+                    while !matches!(self.peek(), Some(Tok::RParen)) {
+                        let t = self.term()?;
+                        self.scratch.push(t);
                     }
                     self.expect_rparen()?;
-                    self.application(name, args)
+                    self.application(name, mark)
                 }
             },
-            Token::LParen => {
+            Tok::LParen => {
                 // Head is itself an s-expression: (_ op idx...) or (as const Sort).
                 let head = self.symbol()?;
-                match head.as_str() {
+                match head {
                     "_" => {
                         let op = self.indexed_op_or_const()?;
                         self.expect_rparen()?; // close the head
-                        let mut args = Vec::new();
-                        while self.peek() != Some(&Token::RParen) {
-                            args.push(self.term()?);
+                        let mark = self.scratch.len();
+                        while !matches!(self.peek(), Some(Tok::RParen)) {
+                            let t = self.term()?;
+                            self.scratch.push(t);
                         }
                         self.expect_rparen()?;
                         match op {
-                            IndexedHead::Op(op) => Ok(Term::App(op, args)),
+                            IndexedHead::Op(op) => {
+                                let id = self.arena.mk_app_op(&op, &self.scratch[mark..]);
+                                self.scratch.truncate(mark);
+                                Ok(id)
+                            }
                             IndexedHead::Const(v) => {
-                                if args.is_empty() {
-                                    Ok(Term::Const(v))
+                                if self.scratch.len() == mark {
+                                    Ok(self.arena.mk_const(v))
                                 } else {
+                                    self.scratch.truncate(mark);
                                     Err(self.error("constant head applied to arguments"))
                                 }
                             }
@@ -518,7 +601,7 @@ impl Parser {
                             };
                             let default = self.term()?;
                             self.expect_rparen()?;
-                            Ok(Term::App(Op::ConstArray(arr_sort), vec![default]))
+                            Ok(self.arena.mk_app_op(&Op::ConstArray(arr_sort), &[default]))
                         } else {
                             Err(self.error(format!(
                                 "unsupported qualified head '(as {name} ...)' in application position"
@@ -537,24 +620,24 @@ impl Parser {
 
     /// Parses the body of `(as <name> <sort>)` — qualified constants such as
     /// `(as seq.empty (Seq Int))` and `(as ff-1 (_ FiniteField 3))`.
-    fn qualified_identifier(&mut self) -> Result<Term, ParseError> {
+    fn qualified_identifier(&mut self) -> Result<Value, ParseError> {
         let name = self.symbol()?;
         let sort = self.sort()?;
-        match name.as_str() {
+        match name {
             "seq.empty" => match sort {
-                Sort::Seq(e) => Ok(Term::Const(Value::Seq(*e, Vec::new()))),
+                Sort::Seq(e) => Ok(Value::Seq(*e, Vec::new())),
                 other => Err(self.error(format!("seq.empty annotated with non-Seq sort {other}"))),
             },
             "set.empty" => match sort {
-                Sort::Set(e) => Ok(Term::Const(Value::Set(*e, Default::default()))),
+                Sort::Set(e) => Ok(Value::Set(*e, Default::default())),
                 other => Err(self.error(format!("set.empty annotated with non-Set sort {other}"))),
             },
             "bag.empty" => match sort {
-                Sort::Bag(e) => Ok(Term::Const(Value::Bag(*e, Default::default()))),
+                Sort::Bag(e) => Ok(Value::Bag(*e, Default::default())),
                 other => Err(self.error(format!("bag.empty annotated with non-Bag sort {other}"))),
             },
             "tuple.unit" => match sort {
-                Sort::Tuple(es) if es.is_empty() => Ok(Term::Const(Value::Tuple(Vec::new()))),
+                Sort::Tuple(es) if es.is_empty() => Ok(Value::Tuple(Vec::new())),
                 other => Err(self.error(format!("tuple.unit annotated with sort {other}"))),
             },
             ff if ff.starts_with("ff") => {
@@ -563,9 +646,7 @@ impl Parser {
                     .parse()
                     .map_err(|_| self.error(format!("invalid finite-field literal '{ff}'")))?;
                 match sort {
-                    Sort::FiniteField(p) => Ok(Term::Const(Value::FiniteField(
-                        FiniteFieldValue::new(p, value),
-                    ))),
+                    Sort::FiniteField(p) => Ok(Value::FiniteField(FiniteFieldValue::new(p, value))),
                     other => Err(self.error(format!(
                         "finite-field literal annotated with non-field sort {other}"
                     ))),
@@ -577,7 +658,7 @@ impl Parser {
 
     fn indexed_op_or_const(&mut self) -> Result<IndexedHead, ParseError> {
         let name = self.symbol()?;
-        let head = match name.as_str() {
+        let head = match name {
             "extract" => {
                 let i = self.numeral()? as u32;
                 let j = self.numeral()? as u32;
@@ -611,52 +692,67 @@ impl Parser {
         Ok(head)
     }
 
-    /// Builds an application, folding literal negation/rationals so values
-    /// round-trip, and resolving symbolic heads to operators or UF calls.
-    fn application(&mut self, name: &str, args: Vec<Term>) -> Result<Term, ParseError> {
+    /// Builds an application from the scratch args above `mark`, folding
+    /// literal negation/rationals so values round-trip, and resolving
+    /// symbolic heads to operators or UF calls.
+    fn application(&mut self, name: &str, mark: usize) -> Result<TermId, ParseError> {
+        let argc = self.scratch.len() - mark;
         // Literal folding: (- 5) → -5, (- 1.5) → -1.5, (/ a b) over literals.
-        if name == "-" && args.len() == 1 {
-            match &args[0] {
-                Term::Const(Value::Int(n)) => return Ok(Term::Const(Value::Int(-n))),
-                Term::Const(Value::Real(r)) => {
-                    if let Some(neg) = r.neg() {
-                        return Ok(Term::Const(Value::Real(neg)));
+        if name == "-" && argc == 1 {
+            if let ANode::Const(vi) = self.arena.node(self.scratch[mark]) {
+                match self.arena.value(vi) {
+                    Value::Int(n) => {
+                        let neg = -*n;
+                        self.scratch.truncate(mark);
+                        return Ok(self.arena.mk_const(Value::Int(neg)));
                     }
+                    Value::Real(r) => {
+                        if let Some(neg) = r.neg() {
+                            self.scratch.truncate(mark);
+                            return Ok(self.arena.mk_const(Value::Real(neg)));
+                        }
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
         }
-        if name == "/" && args.len() == 2 {
-            if let (Term::Const(a), Term::Const(b)) = (&args[0], &args[1]) {
-                let num = match a {
+        if name == "/" && argc == 2 {
+            if let (ANode::Const(a), ANode::Const(b)) = (
+                self.arena.node(self.scratch[mark]),
+                self.arena.node(self.scratch[mark + 1]),
+            ) {
+                let num = match self.arena.value(a) {
                     Value::Int(n) => Some(Rational::from_int(*n)),
                     Value::Real(r) => Some(*r),
                     _ => None,
                 };
-                let den = match b {
+                let den = match self.arena.value(b) {
                     Value::Int(n) if *n != 0 => Some(Rational::from_int(*n)),
                     Value::Real(r) if *r != Rational::ZERO => Some(*r),
                     _ => None,
                 };
                 if let (Some(n), Some(d)) = (num, den) {
                     if let Some(q) = n.div(d) {
-                        return Ok(Term::Const(Value::Real(q)));
+                        self.scratch.truncate(mark);
+                        return Ok(self.arena.mk_const(Value::Real(q)));
                     }
                 }
             }
         }
         let op = Op::from_simple_name(name).unwrap_or_else(|| Op::Uf(Symbol::new(name)));
-        Ok(Term::App(op, args))
+        let id = self.arena.mk_app_op(&op, &self.scratch[mark..]);
+        self.scratch.truncate(mark);
+        Ok(id)
     }
 
     fn skip_sexpr(&mut self) -> Result<(), ParseError> {
         match self.next()? {
-            Token::LParen => {
+            Tok::LParen => {
                 let mut depth = 1;
                 while depth > 0 {
                     match self.next()? {
-                        Token::LParen => depth += 1,
-                        Token::RParen => depth -= 1,
+                        Tok::LParen => depth += 1,
+                        Tok::RParen => depth -= 1,
                         _ => {}
                     }
                 }
@@ -675,6 +771,7 @@ enum IndexedHead {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Command;
 
     #[test]
     fn parse_simple_script() {
@@ -843,5 +940,19 @@ mod tests {
             let again = parse_term(&printed).unwrap();
             assert_eq!(t, again, "round trip failed for {text}");
         }
+    }
+
+    #[test]
+    fn arena_parse_matches_boxed() {
+        let text = "(set-logic QF_LIA)(declare-const x Int)\
+                    (assert (let ((a (+ x 1))) (or (= a 2) (exists ((b Bool)) b))))\
+                    (check-sat)";
+        let boxed = parse_script(text).unwrap();
+        let mut arena = TermArena::new();
+        let script = parse_script_arena(text, &mut arena).unwrap();
+        assert_eq!(script.to_script(&arena), boxed);
+        let mut buf = String::new();
+        script.print_into(&arena, &mut buf);
+        assert_eq!(buf, boxed.to_string());
     }
 }

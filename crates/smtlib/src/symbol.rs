@@ -1,14 +1,27 @@
-//! Interned-ish symbols used for variable, function, and sort names.
+//! Interned symbols used for variable, function, and sort names.
 
 use std::borrow::Borrow;
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The global symbol interner: every distinct name is backed by exactly one
+/// `Arc<str>`, so equality of symbols with the same text is a pointer
+/// comparison and repeated `Symbol::new("x")` calls allocate nothing.
+///
+/// The table only ever grows, but the name population is bounded by the
+/// grammars and rename schemes in play (generator variables, seed symbols,
+/// clash suffixes), so this is an interner, not a leak.
+fn interner() -> &'static RwLock<HashSet<Arc<str>>> {
+    static INTERNER: OnceLock<RwLock<HashSet<Arc<str>>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashSet::new()))
+}
 
 /// A symbol (identifier) appearing in an SMT-LIB script.
 ///
-/// Symbols are immutable and cheap to clone (`Arc<str>` internally), which
-/// matters because fuzzing churns through millions of terms that share
-/// variable names.
+/// Symbols are immutable and cheap to clone (`Arc<str>` internally), and
+/// deduplicated through a global interner, which matters because fuzzing
+/// churns through millions of terms that share variable names.
 ///
 /// # Examples
 ///
@@ -18,13 +31,27 @@ use std::sync::Arc;
 /// assert_eq!(s.as_str(), "x0");
 /// assert_eq!(s.to_string(), "x0");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Eq, PartialOrd, Ord)]
 pub struct Symbol(Arc<str>);
 
 impl Symbol {
-    /// Creates a new symbol from anything string-like.
+    /// Creates a new symbol from anything string-like, deduplicated through
+    /// the global interner.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Arc::from(name.as_ref()))
+        let name = name.as_ref();
+        {
+            let set = interner().read().expect("symbol interner poisoned");
+            if let Some(existing) = set.get(name) {
+                return Symbol(existing.clone());
+            }
+        }
+        let mut set = interner().write().expect("symbol interner poisoned");
+        if let Some(existing) = set.get(name) {
+            return Symbol(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(name);
+        set.insert(arc.clone());
+        Symbol(arc)
     }
 
     /// Returns the symbol text.
@@ -61,6 +88,23 @@ impl Symbol {
 /// Characters allowed in unquoted SMT-LIB simple symbols.
 fn is_simple_symbol_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c)
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned symbols with equal text share one allocation, so the
+        // pointer comparison almost always decides; the content comparison
+        // only runs for symbols predating each other in different processes
+        // (never within one interner) and keeps the impl total.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Content hash, matching the content-based `PartialEq` above.
+        self.0.hash(state);
+    }
 }
 
 impl fmt::Display for Symbol {
@@ -132,6 +176,14 @@ mod tests {
     #[test]
     fn ordering_is_textual() {
         assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn interner_dedupes_allocations() {
+        let a = Symbol::new("interned-probe");
+        let b = Symbol::new(String::from("interned-probe"));
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same text must share one Arc");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! because those strict errors are exactly the feedback signal Once4All's
 //! self-correction loop consumes.
 
+use crate::arena::{ANode, ArenaCommand, ArenaScript, TermArena, TermId};
 use crate::{Command, Op, Script, Sort, SortError, Symbol, Term, Value};
 use std::collections::BTreeMap;
 
@@ -67,6 +68,33 @@ impl SortContext {
             _ => None,
         }
     }
+
+    /// Builds a context from an arena script's declarations; identical to
+    /// [`SortContext::from_script`] on the extracted boxed script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::Redeclaration`] when a symbol is declared twice.
+    pub fn from_arena_script(script: &ArenaScript) -> Result<SortContext, SortError> {
+        let mut ctx = SortContext::default();
+        for cmd in &script.commands {
+            match cmd {
+                ArenaCommand::DeclareConst(name, sort) => {
+                    ctx.declare(name.clone(), Vec::new(), sort.clone())?;
+                }
+                ArenaCommand::DeclareFun(name, args, ret) => {
+                    ctx.declare(name.clone(), args.clone(), ret.clone())?;
+                }
+                ArenaCommand::DeclareSort(name) => ctx.sorts.push(name.clone()),
+                ArenaCommand::DefineFun(name, params, ret, _) => {
+                    let args = params.iter().map(|(_, s)| s.clone()).collect();
+                    ctx.declare(name.clone(), args, ret.clone())?;
+                }
+                _ => {}
+            }
+        }
+        Ok(ctx)
+    }
 }
 
 /// Checks a whole script: declarations are consistent, every assertion is
@@ -120,6 +148,125 @@ pub fn check_script(script: &Script) -> Result<SortContext, SortError> {
 pub fn check_term(term: &Term, ctx: &SortContext) -> Result<Sort, SortError> {
     let mut locals = Vec::new();
     sort_of_with_locals(term, ctx, &mut locals)
+}
+
+/// Checks a whole arena script; errors (and their order) are identical to
+/// [`check_script`] on the extracted boxed script.
+///
+/// # Errors
+///
+/// Returns the first [`SortError`] encountered, in file order.
+pub fn check_script_arena(
+    script: &ArenaScript,
+    arena: &TermArena,
+) -> Result<SortContext, SortError> {
+    let ctx = SortContext::from_arena_script(script)?;
+    for cmd in &script.commands {
+        match cmd {
+            ArenaCommand::DefineFun(_, params, ret, body) => {
+                let mut locals: Vec<(Symbol, Sort)> = params.clone();
+                let got = sort_of_arena(*body, arena, &ctx, &mut locals)?;
+                if !compatible(&got, ret) {
+                    return Err(SortError::ArgSort {
+                        op: "define-fun".into(),
+                        index: 0,
+                        expected: ret.to_string(),
+                        got,
+                    });
+                }
+            }
+            ArenaCommand::Assert(t) => {
+                if arena.placeholder_count(*t) > 0 {
+                    return Err(SortError::PlaceholderPresent);
+                }
+                let got = check_term_arena(*t, arena, &ctx)?;
+                if got != Sort::Bool {
+                    return Err(SortError::ArgSort {
+                        op: "assert".into(),
+                        index: 0,
+                        expected: "Bool".into(),
+                        got,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(ctx)
+}
+
+/// Computes the sort of a closed arena term under a context.
+///
+/// # Errors
+///
+/// Returns a [`SortError`] describing the first violation found.
+pub fn check_term_arena(
+    id: TermId,
+    arena: &TermArena,
+    ctx: &SortContext,
+) -> Result<Sort, SortError> {
+    let mut locals = Vec::new();
+    sort_of_arena(id, arena, ctx, &mut locals)
+}
+
+fn sort_of_arena(
+    id: TermId,
+    arena: &TermArena,
+    ctx: &SortContext,
+    locals: &mut Vec<(Symbol, Sort)>,
+) -> Result<Sort, SortError> {
+    match arena.node(id) {
+        ANode::Const(vi) => Ok(arena.value(vi).sort()),
+        ANode::Placeholder(_) => Ok(Sort::Bool),
+        ANode::Var(sid) => {
+            let name = arena.symbol(sid);
+            if let Some((_, s)) = locals.iter().rev().find(|(n, _)| n == name) {
+                return Ok(s.clone());
+            }
+            ctx.const_sort(name)
+                .cloned()
+                .ok_or_else(|| SortError::UnknownSymbol(name.clone()))
+        }
+        ANode::Let(start, len, body) => {
+            let mut bound = Vec::with_capacity(len as usize);
+            for &(sid, value) in arena.let_binds(start, len) {
+                let s = sort_of_arena(value, arena, ctx, locals)?;
+                bound.push((arena.symbol(sid).clone(), s));
+            }
+            let n = locals.len();
+            locals.extend(bound);
+            let out = sort_of_arena(body, arena, ctx, locals);
+            locals.truncate(n);
+            out
+        }
+        ANode::Quant(_, start, len, body) => {
+            let n = locals.len();
+            locals.extend(
+                arena
+                    .quant_vars(start, len)
+                    .iter()
+                    .map(|&(sid, srt)| (arena.symbol(sid).clone(), arena.sort(srt).clone())),
+            );
+            let got = sort_of_arena(body, arena, ctx, locals)?;
+            locals.truncate(n);
+            if got != Sort::Bool {
+                return Err(SortError::ArgSort {
+                    op: "quantifier body".into(),
+                    index: 0,
+                    expected: "Bool".into(),
+                    got,
+                });
+            }
+            Ok(Sort::Bool)
+        }
+        ANode::App(opid, start, len) => {
+            let mut sorts = Vec::with_capacity(len as usize);
+            for &a in arena.args(start, len) {
+                sorts.push(sort_of_arena(a, arena, ctx, locals)?);
+            }
+            sort_of_app(arena.op(opid), &sorts, ctx)
+        }
+    }
 }
 
 /// `a` may be used where `b` is expected (numeral coercion Int → Real).

@@ -13,7 +13,7 @@
 //! conflict (property-tested in the workspace integration suite).
 
 use crate::bugs::apply_bug_effects;
-use crate::coverage::{op_slug, universe, CoverageMap, Universe};
+use crate::coverage::{universe, CoverageMap, Universe};
 use crate::features::fnv1a;
 use crate::frontend::{Analyzed, Frontend};
 use crate::oxiz::{domain_config, virtual_cost, EngineConfig};
@@ -83,20 +83,20 @@ impl Cervo {
         // selection (same scheme as OxiZ but over Cervo's own universe).
         nnf.visit(&mut |t| {
             if let Term::App(op, args) = t {
-                let th = op.theory().name();
-                let slug = op_slug(op);
-                let rw = format!("rewrite::{th}::{slug}");
-                self.coverage.hit(&self.universe, &rw, 0);
-                if args.len() > 2 {
-                    self.coverage.hit(&self.universe, &rw, 1);
-                }
-                let ev = format!("eval::{th}::{slug}");
-                self.coverage.hit(&self.universe, &ev, 0);
-                // Deep arms are rare value shapes; see the OxiZ twin note.
-                let roll = (features_hash ^ fnv1a(op.smt_name().as_bytes())) % 53;
-                if roll < 2 {
-                    self.coverage
-                        .hit(&self.universe, &ev, 1 + (roll % 2) as usize);
+                // Pre-resolved per-family point row; `None` (Uf) makes
+                // every hit a no-op, just as the name lookup would.
+                if let Some(r) = self.universe.op_row(op) {
+                    self.coverage.hit_idx(&self.universe, r.rewrite, 0);
+                    if args.len() > 2 {
+                        self.coverage.hit_idx(&self.universe, r.rewrite, 1);
+                    }
+                    self.coverage.hit_idx(&self.universe, r.eval, 0);
+                    // Deep arms are rare value shapes; see the OxiZ twin note.
+                    let roll = (features_hash ^ r.name_fnv) % 53;
+                    if roll < 2 {
+                        self.coverage
+                            .hit_idx(&self.universe, r.eval, 1 + (roll % 2) as usize);
+                    }
                 }
             }
             if matches!(t, Term::Quant(_, _, _)) {

@@ -13,9 +13,56 @@
 //! the default configuration (proof production, parallel mode, ...), which
 //! keeps absolute percentages below 50% as in the paper.
 
+use crate::features::fnv1a;
 use crate::SolverId;
 use o4a_smtlib::{Op, Theory};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::mem::Discriminant;
+
+/// The fixed `frontend::cmd_*` point names, in universe layout order.
+/// [`Universe::frontend_cmd`] caches their indices slot-for-slot.
+pub(crate) const CMD_POINTS: [&str; 12] = [
+    "set_logic",
+    "set_option",
+    "set_info",
+    "declare_const",
+    "declare_fun",
+    "declare_sort",
+    "define_fun",
+    "assert",
+    "check_sat",
+    "get_model",
+    "get_value",
+    "push_pop",
+];
+
+/// The fixed `frontend::term_*` point names, in universe layout order.
+pub(crate) const TERM_POINTS: [&str; 6] = ["const", "var", "app", "let", "quant", "annotation"];
+
+/// The fixed `frontend::sort_*` point names, in universe layout order.
+pub(crate) const SORT_POINTS: [&str; 12] = [
+    "bool", "int", "real", "string", "bitvec", "ff", "seq", "set", "bag", "array", "tuple", "usort",
+];
+
+/// Pre-resolved coverage row for one operator family: the universe indices
+/// of its `typeck::`/`rewrite::`/`eval::` points plus the FNV-1a hash of
+/// its SMT name. Indexed operators (`extract`, `zero_extend`, ...) share
+/// one row per family, exactly as they share one [`op_slug`] — the row is
+/// keyed by enum discriminant, so `(_ extract 7 3)` resolves to the same
+/// points as the `(_ extract 0 0)` representative the universe was built
+/// from.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRow {
+    /// Index of the family's `typeck::<theory>::<slug>` point.
+    pub typeck: usize,
+    /// Index of the family's `rewrite::<theory>::<slug>` point.
+    pub rewrite: usize,
+    /// Index of the family's `eval::<theory>::<slug>` point.
+    pub eval: usize,
+    /// `fnv1a(op.smt_name())`, cached for the engines' branch-selection
+    /// roll so the hot loop never re-hashes operator names.
+    pub name_fnv: u64,
+}
 
 /// A function's instrumentation record within the universe.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +89,16 @@ pub struct Universe {
     solver: SolverId,
     functions: Vec<FunctionInfo>,
     index: BTreeMap<String, usize>,
+    /// `frontend::cmd_*` indices, slot-for-slot with [`CMD_POINTS`].
+    pub(crate) frontend_cmd: [usize; 12],
+    /// `frontend::term_*` indices, slot-for-slot with [`TERM_POINTS`].
+    pub(crate) frontend_term: [usize; 6],
+    /// `frontend::sort_*` indices, slot-for-slot with [`SORT_POINTS`].
+    pub(crate) frontend_sort: [usize; 12],
+    /// Index of `frontend::error_reporting`.
+    pub(crate) error_reporting: usize,
+    /// Per-operator-family point rows, keyed by enum discriminant.
+    op_rows: HashMap<Discriminant<Op>, OpRow>,
 }
 
 impl Universe {
@@ -69,6 +126,14 @@ impl Universe {
     pub fn functions(&self) -> &[FunctionInfo] {
         &self.functions
     }
+
+    /// The pre-resolved point row for an operator's family, or `None` when
+    /// the solver does not instrument the family (`Op::Uf`, theories the
+    /// solver rejects). Behaviourally identical to formatting the point
+    /// name and calling [`Universe::function_index`], but allocation-free.
+    pub fn op_row(&self, op: &Op) -> Option<OpRow> {
+        self.op_rows.get(&std::mem::discriminant(op)).copied()
+    }
 }
 
 /// Builds the instrumentation universe for a solver.
@@ -88,29 +153,13 @@ pub fn universe(solver: SolverId) -> Universe {
     };
 
     // --- frontend ---
-    for cmd in [
-        "set_logic",
-        "set_option",
-        "set_info",
-        "declare_const",
-        "declare_fun",
-        "declare_sort",
-        "define_fun",
-        "assert",
-        "check_sat",
-        "get_model",
-        "get_value",
-        "push_pop",
-    ] {
+    for cmd in CMD_POINTS {
         push(format!("frontend::cmd_{cmd}"), vec![6, 4], true);
     }
-    for node in ["const", "var", "app", "let", "quant", "annotation"] {
+    for node in TERM_POINTS {
         push(format!("frontend::term_{node}"), vec![8, 5, 4], true);
     }
-    for sort in [
-        "bool", "int", "real", "string", "bitvec", "ff", "seq", "set", "bag", "array", "tuple",
-        "usort",
-    ] {
+    for sort in SORT_POINTS {
         push(format!("frontend::sort_{sort}"), vec![5, 3], true);
     }
     push("frontend::error_reporting".into(), vec![10, 6], true);
@@ -216,15 +265,44 @@ pub fn universe(solver: SolverId) -> Universe {
         }
     }
 
-    let index = functions
+    let index: BTreeMap<String, usize> = functions
         .iter()
         .enumerate()
         .map(|(i, f)| (f.name.clone(), i))
         .collect();
+
+    // Pre-resolve the hot-path point indices so per-node coverage hits
+    // need neither a `format!` nor a name lookup. Resolution goes through
+    // `index`, so slug collisions (e.g. `+`/`-`/`*` all slugging to
+    // `typeck::ints::_`) land on exactly the index a name lookup would.
+    let frontend_cmd = CMD_POINTS.map(|c| index[format!("frontend::cmd_{c}").as_str()]);
+    let frontend_term = TERM_POINTS.map(|n| index[format!("frontend::term_{n}").as_str()]);
+    let frontend_sort = SORT_POINTS.map(|s| index[format!("frontend::sort_{s}").as_str()]);
+    let error_reporting = index["frontend::error_reporting"];
+    let mut op_rows = HashMap::new();
+    for op in &supported {
+        let t = op.theory().name();
+        let slug = op_slug(op);
+        op_rows.insert(
+            std::mem::discriminant(op),
+            OpRow {
+                typeck: index[format!("typeck::{t}::{slug}").as_str()],
+                rewrite: index[format!("rewrite::{t}::{slug}").as_str()],
+                eval: index[format!("eval::{t}::{slug}").as_str()],
+                name_fnv: fnv1a(op.smt_name().as_bytes()),
+            },
+        );
+    }
+
     Universe {
         solver,
         functions,
         index,
+        frontend_cmd,
+        frontend_term,
+        frontend_sort,
+        error_reporting,
+        op_rows,
     }
 }
 
@@ -291,6 +369,19 @@ impl CoverageMap {
         if let Some(idx) = universe.function_index(name) {
             let n = universe.functions()[idx].branch_lines.len();
             if branch < n && universe.functions()[idx].reachable {
+                *self.hits.entry(idx).or_insert(0) |= 1 << branch;
+            }
+        }
+    }
+
+    /// Records a hit of `branch` in the function at `idx` — the
+    /// pre-resolved twin of [`CoverageMap::hit`] for hot paths that cache
+    /// point indices ([`Universe::op_row`], the frontend tables). Bounds,
+    /// reachability, and out-of-range behaviour are identical to the
+    /// name-based path.
+    pub fn hit_idx(&mut self, universe: &Universe, idx: usize, branch: usize) {
+        if let Some(f) = universe.functions().get(idx) {
+            if branch < f.branch_lines.len() && f.reachable {
                 *self.hits.entry(idx).or_insert(0) |= 1 << branch;
             }
         }
@@ -512,6 +603,80 @@ mod tests {
         assert!(ops.iter().any(|o| o.theory() == Theory::Sequences));
         let cv = supported_ops(SolverId::Cervo);
         assert!(cv.iter().any(|o| o.theory() == Theory::FiniteFields));
+    }
+
+    #[test]
+    fn fast_tables_match_name_lookups() {
+        for solver in SolverId::ALL {
+            let u = universe(solver);
+            for (slot, c) in CMD_POINTS.iter().enumerate() {
+                assert_eq!(
+                    Some(u.frontend_cmd[slot]),
+                    u.function_index(&format!("frontend::cmd_{c}"))
+                );
+            }
+            for (slot, n) in TERM_POINTS.iter().enumerate() {
+                assert_eq!(
+                    Some(u.frontend_term[slot]),
+                    u.function_index(&format!("frontend::term_{n}"))
+                );
+            }
+            for (slot, s) in SORT_POINTS.iter().enumerate() {
+                assert_eq!(
+                    Some(u.frontend_sort[slot]),
+                    u.function_index(&format!("frontend::sort_{s}"))
+                );
+            }
+            assert_eq!(
+                Some(u.error_reporting),
+                u.function_index("frontend::error_reporting")
+            );
+            for op in supported_ops(solver) {
+                let row = u.op_row(&op).expect("supported op has a row");
+                let t = op.theory().name();
+                let slug = op_slug(&op);
+                assert_eq!(
+                    Some(row.typeck),
+                    u.function_index(&format!("typeck::{t}::{slug}"))
+                );
+                assert_eq!(
+                    Some(row.rewrite),
+                    u.function_index(&format!("rewrite::{t}::{slug}"))
+                );
+                assert_eq!(
+                    Some(row.eval),
+                    u.function_index(&format!("eval::{t}::{slug}"))
+                );
+                assert_eq!(row.name_fnv, fnv1a(op.smt_name().as_bytes()));
+            }
+            // Indexed variants share the representative's row; Uf has none.
+            let a = u.op_row(&Op::Extract(7, 3)).unwrap();
+            let b = u.op_row(&Op::Extract(0, 0)).unwrap();
+            assert_eq!(a.typeck, b.typeck);
+            assert!(u.op_row(&Op::Uf(o4a_smtlib::Symbol::new("f"))).is_none());
+        }
+    }
+
+    #[test]
+    fn hit_idx_matches_hit() {
+        let u = universe(SolverId::Cervo);
+        let mut by_name = CoverageMap::new();
+        let mut by_idx = CoverageMap::new();
+        for (name, branch) in [
+            ("frontend::cmd_assert", 0),
+            ("frontend::cmd_assert", 1),
+            ("frontend::term_app", 1),
+            ("core::nnf", 0),
+            ("proof::fn_0", 0),        // dark: ignored on both paths
+            ("core::model_build", 99), // out of range: ignored on both
+        ] {
+            by_name.hit(&u, name, branch);
+            if let Some(i) = u.function_index(name) {
+                by_idx.hit_idx(&u, i, branch);
+            }
+        }
+        by_idx.hit_idx(&u, usize::MAX, 0); // unknown index: ignored
+        assert_eq!(by_name.export(&u), by_idx.export(&u));
     }
 
     #[test]

@@ -6,11 +6,22 @@
 //! extensions, like real Z3 rejects `ff.add`) and the engine that runs
 //! afterwards.
 
-use crate::coverage::{op_slug, supported_theories, CoverageMap, Universe};
+use crate::coverage::{supported_theories, CoverageMap, Universe};
 use crate::features::FormulaFeatures;
 use crate::SolverId;
-use o4a_smtlib::{parse_script, typeck, Command, Script, Sort, Symbol, Term, Theory};
+use o4a_smtlib::{
+    parse_script, parse_script_arena, typeck, ANode, ArenaCommand, ArenaScript, Command, Script,
+    Sort, Symbol, Term, TermArena, TermId, Theory,
+};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+thread_local! {
+    /// Scratch arena for [`Frontend::validate`]: reset per call, so the
+    /// mutation→validate inner loop reuses one node table and warm
+    /// symbol/sort/op interners instead of boxing a fresh AST per script.
+    static VALIDATE_ARENA: RefCell<TermArena> = RefCell::new(TermArena::new());
+}
 
 /// The result of frontend analysis: everything an engine needs to solve.
 #[derive(Clone, Debug)]
@@ -56,15 +67,15 @@ impl Frontend {
         universe: &Universe,
         cov: &mut CoverageMap,
     ) -> Result<Analyzed, String> {
-        cov.hit(universe, "frontend::error_reporting", 0);
+        cov.hit_idx(universe, universe.error_reporting, 0);
         let script = parse_script(text).map_err(|e| {
-            cov.hit(universe, "frontend::error_reporting", 1);
+            cov.hit_idx(universe, universe.error_reporting, 1);
             format!("{e}")
         })?;
         self.walk_coverage(&script, universe, cov);
         self.gate_theories(&script)?;
         typeck::check_script(&script).map_err(|e| {
-            cov.hit(universe, "frontend::error_reporting", 1);
+            cov.hit_idx(universe, universe.error_reporting, 1);
             format!("{e}")
         })?;
 
@@ -92,6 +103,94 @@ impl Frontend {
             input_bytes: text.len(),
             script,
         })
+    }
+
+    /// Parses, gates theories, and sort-checks a script on the arena fast
+    /// path, without boxing an AST or recording coverage.
+    ///
+    /// This is the validator twin of [`Frontend::analyze`]: it accepts
+    /// exactly the scripts `analyze` accepts and produces byte-identical
+    /// error messages (the generator self-correction loop consumes them),
+    /// but runs on a thread-local [`TermArena`] that is reset per call —
+    /// the hot mutation→validate loop allocates no per-node memory.
+    ///
+    /// # Errors
+    ///
+    /// The same solver-style messages as [`Frontend::analyze`].
+    pub fn validate(&self, text: &str) -> Result<(), String> {
+        VALIDATE_ARENA.with(|cell| {
+            let arena = &mut *cell.borrow_mut();
+            arena.reset();
+            let script = parse_script_arena(text, arena).map_err(|e| format!("{e}"))?;
+            self.gate_theories_arena(&script, arena)?;
+            typeck::check_script_arena(&script, arena).map_err(|e| format!("{e}"))?;
+            Ok(())
+        })
+    }
+
+    /// Arena twin of [`Frontend::gate_theories`]: an allocation-light
+    /// support scan over the node table. On failure it re-collects the
+    /// failing assertion's ops through the boxed path, so the reported
+    /// operator is exactly the one the boxed gate would pick (first
+    /// unsupported op in `BTreeSet<Op>` order of the first bad assertion).
+    fn gate_theories_arena(&self, script: &ArenaScript, arena: &TermArena) -> Result<(), String> {
+        let supported = supported_theories(self.solver);
+        let mut stack: Vec<TermId> = Vec::new();
+        for cmd in &script.commands {
+            let ArenaCommand::Assert(t) = cmd else {
+                continue;
+            };
+            stack.clear();
+            stack.push(*t);
+            let mut bad = false;
+            while let Some(id) = stack.pop() {
+                match arena.node(id) {
+                    ANode::App(op, start, len) => {
+                        if !supported.contains(&arena.op(op).theory()) {
+                            bad = true;
+                            break;
+                        }
+                        stack.extend_from_slice(arena.args(start, len));
+                    }
+                    ANode::Let(start, len, body) => {
+                        stack.push(body);
+                        stack.extend(arena.let_binds(start, len).iter().map(|&(_, bt)| bt));
+                    }
+                    ANode::Quant(_, _, _, body) => stack.push(body),
+                    ANode::Const(_) | ANode::Var(_) | ANode::Placeholder(_) => {}
+                }
+            }
+            if bad {
+                for op in arena.extract_term(*t).ops() {
+                    if !supported.contains(&op.theory()) {
+                        return Err(format!(
+                            "unknown constant or function symbol '{}' (theory '{}' is not supported by {})",
+                            op.smt_name(),
+                            op.theory(),
+                            self.solver.name(),
+                        ));
+                    }
+                }
+            }
+        }
+        for cmd in &script.commands {
+            let (args, ret) = match cmd {
+                ArenaCommand::DeclareConst(_, sort) => (&[][..], sort),
+                ArenaCommand::DeclareFun(_, args, ret) => (&args[..], ret),
+                _ => continue,
+            };
+            for s in args.iter().chain(std::iter::once(ret)) {
+                for t in deep_theories(s) {
+                    if !supported.contains(&t) {
+                        return Err(format!(
+                            "unknown sort '{s}' (theory '{t}' is not supported by {})",
+                            self.solver.name(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Rejects scripts that use theories this solver does not implement.
@@ -130,29 +229,31 @@ impl Frontend {
     /// structural diversity of inputs translates into line coverage.
     fn walk_coverage(&self, script: &Script, universe: &Universe, cov: &mut CoverageMap) {
         for cmd in &script.commands {
-            let name = match cmd {
-                Command::SetLogic(_) => "set_logic",
-                Command::SetOption(_, _) => "set_option",
-                Command::SetInfo(_, _) => "set_info",
-                Command::DeclareConst(_, _) => "declare_const",
-                Command::DeclareFun(_, _, _) => "declare_fun",
-                Command::DeclareSort(_) => "declare_sort",
-                Command::DefineFun(_, _, _, _) => "define_fun",
-                Command::Assert(_) => "assert",
-                Command::CheckSat => "check_sat",
-                Command::GetModel => "get_model",
-                Command::GetValue(_) => "get_value",
-                Command::Push(_) | Command::Pop(_) => "push_pop",
+            // Slot in the pre-resolved `frontend_cmd` table (CMD_POINTS order).
+            let slot = match cmd {
+                Command::SetLogic(_) => 0,
+                Command::SetOption(_, _) => 1,
+                Command::SetInfo(_, _) => 2,
+                Command::DeclareConst(_, _) => 3,
+                Command::DeclareFun(_, _, _) => 4,
+                Command::DeclareSort(_) => 5,
+                Command::DefineFun(_, _, _, _) => 6,
+                Command::Assert(_) => 7,
+                Command::CheckSat => 8,
+                Command::GetModel => 9,
+                Command::GetValue(_) => 10,
+                Command::Push(_) | Command::Pop(_) => 11,
                 Command::Exit => continue,
             };
-            cov.hit(universe, &format!("frontend::cmd_{name}"), 0);
+            let idx = universe.frontend_cmd[slot];
+            cov.hit_idx(universe, idx, 0);
             // Second branch: commands with non-trivial payloads.
             let deep = matches!(
                 cmd,
                 Command::Assert(_) | Command::DefineFun(_, _, _, _) | Command::DeclareFun(_, _, _)
             );
             if deep {
-                cov.hit(universe, &format!("frontend::cmd_{name}"), 1);
+                cov.hit_idx(universe, idx, 1);
             }
             if let Command::DeclareConst(_, sort) = cmd {
                 self.sort_coverage(sort, universe, cov);
@@ -169,23 +270,25 @@ impl Frontend {
     }
 
     fn sort_coverage(&self, sort: &Sort, universe: &Universe, cov: &mut CoverageMap) {
-        let name = match sort {
-            Sort::Bool => "bool",
-            Sort::Int => "int",
-            Sort::Real => "real",
-            Sort::String => "string",
-            Sort::BitVec(_) => "bitvec",
-            Sort::FiniteField(_) => "ff",
-            Sort::Seq(_) => "seq",
-            Sort::Set(_) => "set",
-            Sort::Bag(_) => "bag",
-            Sort::Array(_, _) => "array",
-            Sort::Tuple(_) => "tuple",
-            Sort::Uninterpreted(_) => "usort",
+        // Slot in the pre-resolved `frontend_sort` table (SORT_POINTS order).
+        let slot = match sort {
+            Sort::Bool => 0,
+            Sort::Int => 1,
+            Sort::Real => 2,
+            Sort::String => 3,
+            Sort::BitVec(_) => 4,
+            Sort::FiniteField(_) => 5,
+            Sort::Seq(_) => 6,
+            Sort::Set(_) => 7,
+            Sort::Bag(_) => 8,
+            Sort::Array(_, _) => 9,
+            Sort::Tuple(_) => 10,
+            Sort::Uninterpreted(_) => 11,
         };
-        cov.hit(universe, &format!("frontend::sort_{name}"), 0);
+        let idx = universe.frontend_sort[slot];
+        cov.hit_idx(universe, idx, 0);
         if sort.depth() > 1 {
-            cov.hit(universe, &format!("frontend::sort_{name}"), 1);
+            cov.hit_idx(universe, idx, 1);
         }
         for c in sort.children() {
             self.sort_coverage(c, universe, cov);
@@ -194,24 +297,25 @@ impl Frontend {
 
     fn term_coverage(&self, term: &Term, universe: &Universe, cov: &mut CoverageMap) {
         term.visit(&mut |t| {
-            let (node, deep) = match t {
-                Term::Const(_) => ("const", false),
-                Term::Var(_) => ("var", false),
-                Term::App(_, args) => ("app", args.len() > 2),
-                Term::Let(_, _) => ("let", true),
-                Term::Quant(_, _, _) => ("quant", true),
+            // Slot in the pre-resolved `frontend_term` table (TERM_POINTS order).
+            let (slot, deep) = match t {
+                Term::Const(_) => (0, false),
+                Term::Var(_) => (1, false),
+                Term::App(_, args) => (2, args.len() > 2),
+                Term::Let(_, _) => (3, true),
+                Term::Quant(_, _, _) => (4, true),
                 Term::Placeholder(_) => return,
             };
-            cov.hit(universe, &format!("frontend::term_{node}"), 0);
+            let idx = universe.frontend_term[slot];
+            cov.hit_idx(universe, idx, 0);
             if deep {
-                cov.hit(universe, &format!("frontend::term_{node}"), 1);
+                cov.hit_idx(universe, idx, 1);
             }
             if let Term::App(op, args) = t {
-                if !matches!(op, o4a_smtlib::Op::Uf(_)) {
-                    let point = format!("typeck::{}::{}", op.theory().name(), op_slug(op));
-                    cov.hit(universe, &point, 0);
+                if let Some(row) = universe.op_row(op) {
+                    cov.hit_idx(universe, row.typeck, 0);
                     if args.len() > 2 {
-                        cov.hit(universe, &point, 1);
+                        cov.hit_idx(universe, row.typeck, 1);
                     }
                 }
             }
@@ -301,6 +405,35 @@ mod tests {
         let mut cov = CoverageMap::new();
         let f = Frontend::new(SolverId::OxiZ);
         assert!(f.analyze("(assert (= 1 1)", &u, &mut cov).is_err());
+    }
+
+    #[test]
+    fn validate_matches_analyze() {
+        // The arena validate path must accept/reject exactly what analyze
+        // does, with byte-identical error text (the generator
+        // self-correction loop consumes these messages).
+        let cases = [
+            "(declare-const x Int)(assert (> x 1))(check-sat)",
+            "(declare-const v (_ FiniteField 3))(assert (= v (ff.add v v)))(check-sat)",
+            "(declare-const s (Set Int))(assert (set.member 1 s))(check-sat)",
+            "(declare-const a (_ BitVec 8))(declare-const b (_ BitVec 4))\
+             (assert (= a (bvadd a b)))(check-sat)",
+            "(assert (= 1 1)",
+            "(assert (and true unknown_var))(check-sat)",
+            "(define-fun inc ((x Int)) Int (+ x 1))(assert (= (inc 1) 2))(check-sat)",
+            "(declare-fun f (Int (Bag Real)) Bool)(assert (f 1 (bag.empty)))(check-sat)",
+            "(declare-const x Int)(assert (let ((y (+ x 1))) (forall ((z Int)) (= y z))))(check-sat)",
+        ];
+        for solver in SolverId::ALL {
+            let u = universe(solver);
+            let f = Frontend::new(solver);
+            for text in cases {
+                let mut cov = CoverageMap::new();
+                let boxed = f.analyze(text, &u, &mut cov).map(|_| ());
+                let fast = f.validate(text);
+                assert_eq!(boxed, fast, "{solver}: diverged on {text}");
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! exactly like latent bugs corrupting an otherwise-correct engine.
 
 use crate::bugs::apply_bug_effects;
-use crate::coverage::{op_slug, universe, CoverageMap, Universe};
-use crate::features::fnv1a;
+use crate::coverage::{universe, CoverageMap, Universe};
 use crate::frontend::{Analyzed, Frontend};
 use crate::response::{Outcome, SolveStats, SolverId, SolverResponse};
 use crate::versions::{commit_of, CommitIdx, TRUNK_COMMIT};
@@ -91,8 +90,13 @@ impl OxiZ {
         term.map_bottom_up(&mut |node| {
             match &node {
                 Term::App(op, args) => {
-                    let point = format!("rewrite::{}::{}", op.theory().name(), op_slug(op));
-                    self.coverage.hit(&self.universe, &point, 0);
+                    // Pre-resolved per-family point row; `None` (Uf,
+                    // unsupported theories) makes every hit a no-op, just
+                    // as the name lookup would.
+                    let row = self.universe.op_row(op);
+                    if let Some(r) = row {
+                        self.coverage.hit_idx(&self.universe, r.rewrite, 0);
+                    }
                     // Rule 1: constant folding.
                     if !matches!(op, Op::Uf(_))
                         && !args.is_empty()
@@ -106,7 +110,9 @@ impl OxiZ {
                             })
                             .collect();
                         if let Ok(v) = o4a_smtlib::eval::apply_op(op, &vals) {
-                            self.coverage.hit(&self.universe, &point, 2);
+                            if let Some(r) = row {
+                                self.coverage.hit_idx(&self.universe, r.rewrite, 2);
+                            }
                             self.coverage.hit(&self.universe, "core::const_fold", 0);
                             return Term::Const(v);
                         }
@@ -114,11 +120,15 @@ impl OxiZ {
                     // Rule 2: structural simplifications.
                     match (op, args.as_slice()) {
                         (Op::Not, [Term::App(Op::Not, inner)]) if inner.len() == 1 => {
-                            self.coverage.hit(&self.universe, &point, 1);
+                            if let Some(r) = row {
+                                self.coverage.hit_idx(&self.universe, r.rewrite, 1);
+                            }
                             return inner[0].clone();
                         }
                         (Op::Eq, [a, b]) if a == b => {
-                            self.coverage.hit(&self.universe, &point, 1);
+                            if let Some(r) = row {
+                                self.coverage.hit_idx(&self.universe, r.rewrite, 1);
+                            }
                             return Term::tru();
                         }
                         (Op::And | Op::Or, _)
@@ -126,7 +136,9 @@ impl OxiZ {
                         {
                             // Flatten nested same-op children.
                             self.coverage.hit(&self.universe, "core::flatten", 0);
-                            self.coverage.hit(&self.universe, &point, 1);
+                            if let Some(r) = row {
+                                self.coverage.hit_idx(&self.universe, r.rewrite, 1);
+                            }
                             let mut flat = Vec::new();
                             for a in args {
                                 match a {
@@ -143,16 +155,17 @@ impl OxiZ {
                     // Evaluation-arm coverage: which branch fires depends on
                     // formula content, so input diversity grows line
                     // coverage like real basic blocks do.
-                    let eval_point = format!("eval::{}::{}", op.theory().name(), op_slug(op));
-                    self.coverage.hit(&self.universe, &eval_point, 0);
-                    // Deep evaluation arms correspond to rare value
-                    // shapes: only ~4% of formulas take each one, so line
-                    // coverage keeps growing for hours like real gcov
-                    // curves.
-                    let roll = (features_hash ^ fnv1a(op.smt_name().as_bytes())) % 53;
-                    if roll < 2 {
-                        self.coverage
-                            .hit(&self.universe, &eval_point, 1 + (roll % 2) as usize);
+                    if let Some(r) = row {
+                        self.coverage.hit_idx(&self.universe, r.eval, 0);
+                        // Deep evaluation arms correspond to rare value
+                        // shapes: only ~4% of formulas take each one, so line
+                        // coverage keeps growing for hours like real gcov
+                        // curves.
+                        let roll = (features_hash ^ r.name_fnv) % 53;
+                        if roll < 2 {
+                            self.coverage
+                                .hit_idx(&self.universe, r.eval, 1 + (roll % 2) as usize);
+                        }
                     }
                 }
                 Term::Quant(_, _, _) => {
