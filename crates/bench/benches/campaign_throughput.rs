@@ -6,6 +6,10 @@
 //! compare like for like):
 //!
 //! * `serial` — the classic one-query-at-a-time stepper loop;
+//! * `serial_traced` — the same loop with the o4a-obs substrate armed
+//!   (trace spans + metrics recorded in-memory, ring drained per run);
+//!   the `serial` / `serial_traced` pair is the committed price of
+//!   turning observability on;
 //! * `overlapped_k1` / `overlapped_k8` — the async in-process backend
 //!   with K queries in flight per shard worker;
 //! * `pipe_spawn_k8` / `pipe_session_k8` — external mock-solver
@@ -56,6 +60,15 @@ fn plan() -> CampaignConfig {
 fn serial(config: &CampaignConfig) -> CampaignResult {
     let mut fuzzer = Once4AllFuzzer::with_defaults();
     o4a_exec::run_shard(&mut fuzzer, config, 0, None)
+}
+
+/// [`serial`] with tracing and metrics recording armed, the way a
+/// campaign under the scope plane runs. The per-run ring drain is part
+/// of the measured loop — a traced worker drains on every heartbeat.
+fn serial_traced(config: &CampaignConfig) -> CampaignResult {
+    let result = serial(config);
+    let _ = o4a_obs::trace::drain_events();
+    result
 }
 
 fn overlapped(config: &CampaignConfig, k: usize) -> CampaignResult {
@@ -253,6 +266,17 @@ fn bench(c: &mut Criterion) {
 
     let scenarios: Vec<(&str, f64)> = vec![
         ("serial", cases_per_sec(&config, serial)),
+        ("serial_traced", {
+            o4a_obs::install(o4a_obs::ObsConfig {
+                trace: true,
+                metrics: true,
+                dir: None,
+                ..o4a_obs::ObsConfig::default()
+            });
+            let rate = cases_per_sec(&config, serial_traced);
+            o4a_obs::uninstall();
+            rate
+        }),
         (
             "overlapped_k1",
             cases_per_sec(&config, |cfg| overlapped(cfg, 1)),

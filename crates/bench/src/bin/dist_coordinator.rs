@@ -4,9 +4,10 @@
 //! checkpoint so a killed coordinator resumes.
 //!
 //! ```text
-//! dist_coordinator --plan JSON --listen HOST:PORT --journal-dir DIR \
+//! dist_coordinator (--plan JSON | --quick-plan SHARDS) --listen HOST:PORT \
+//!     --journal-dir DIR \
 //!     [--checkpoint PATH] [--heartbeat-ms MS] [--accept-timeout-ms MS] \
-//!     [--workers N] [--static-split] [--exit-after-done K]
+//!     [--workers N] [--static-split] [--exit-after-done K] [--scope HOST:PORT]
 //! ```
 //!
 //! `--plan` is the canonical [`o4a_dist::CampaignPlan`] JSON (the same
@@ -24,9 +25,10 @@ use std::time::Duration;
 fn usage(msg: &str) -> ! {
     eprintln!("dist_coordinator: {msg}");
     eprintln!(
-        "usage: dist_coordinator --plan JSON --listen HOST:PORT --journal-dir DIR \
+        "usage: dist_coordinator (--plan JSON | --quick-plan SHARDS) --listen HOST:PORT \
+         --journal-dir DIR \
          [--checkpoint PATH] [--heartbeat-ms MS] [--accept-timeout-ms MS] \
-         [--workers N] [--static-split] [--exit-after-done K]"
+         [--workers N] [--static-split] [--exit-after-done K] [--scope HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -41,6 +43,7 @@ fn main() {
     let mut workers: u32 = 2;
     let mut static_split = false;
     let mut exit_after_done: Option<u64> = None;
+    let mut scope: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -61,6 +64,19 @@ fn main() {
                         .unwrap_or_else(|e| usage(&format!("--plan is not a campaign plan: {e}"))),
                 );
             }
+            "--quick-plan" => {
+                // The gauntlets' smoke-scale plan, built in-process so
+                // shell drivers (the CI scope leg) need no JSON at all.
+                plan = Some(CampaignPlan {
+                    config: o4a_core::CampaignConfig {
+                        virtual_hours: 2,
+                        time_scale: 50_000,
+                        max_cases: 120,
+                        ..o4a_core::CampaignConfig::default()
+                    },
+                    shards: int("--quick-plan", value()) as u32,
+                });
+            }
             "--listen" => listen = Some(value()),
             "--journal-dir" => journal_dir = Some(value()),
             "--checkpoint" => checkpoint = Some(value()),
@@ -69,11 +85,12 @@ fn main() {
             "--workers" => workers = int("--workers", value()) as u32,
             "--static-split" => static_split = true,
             "--exit-after-done" => exit_after_done = Some(int("--exit-after-done", value())),
+            "--scope" => scope = Some(value()),
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
     let Some(plan) = plan else {
-        usage("--plan is required");
+        usage("--plan or --quick-plan is required");
     };
     let Some(listen) = listen else {
         usage("--listen is required");
@@ -93,6 +110,9 @@ fn main() {
     }
     if let Some(k) = exit_after_done {
         dist = dist.with_exit_after_completions(k);
+    }
+    if let Some(addr) = scope {
+        dist = dist.with_scope(addr);
     }
 
     match run_distributed(&plan.config, plan.shards, &dist) {

@@ -1,0 +1,176 @@
+//! `dist_top`: a terminal fleet viewer for the o4a-scope observatory.
+//!
+//! Polls a coordinator's `GET /status` endpoint and renders each
+//! snapshot through the same [`o4a_bench::render_dist_stats`] the bench
+//! summaries use, plus the live rows the scope plane adds: per-worker
+//! EWMA throughput, in-flight lease progress, and straggler warnings.
+//! With `--events` it tails the SSE `GET /events` stream instead,
+//! printing one line per campaign milestone.
+//!
+//! ```text
+//! dist_top --connect HOST:PORT [--interval-ms MS] [--max-refreshes N] [--events]
+//! ```
+//!
+//! Output is plain append-only text (no cursor control), so it works
+//! under CI logs and examples as well as a terminal. `--max-refreshes`
+//! bounds the run (0 = until the coordinator goes away).
+
+use o4a_dist::ScopeStatus;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("dist_top: {msg}");
+    eprintln!(
+        "usage: dist_top --connect HOST:PORT [--interval-ms MS] [--max-refreshes N] [--events]"
+    );
+    std::process::exit(2);
+}
+
+/// One blocking HTTP/1.1 GET: returns the response body on a 200.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {text}"))?;
+    if !head.starts_with("HTTP/1.1 200") && !head.starts_with("HTTP/1.0 200") {
+        return Err(format!("{path}: {}", head.lines().next().unwrap_or("?")));
+    }
+    Ok(body.to_string())
+}
+
+/// Tails the SSE stream, printing one `event data` line per milestone.
+/// Returns when the coordinator closes the stream (campaign over).
+fn tail_events(addr: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET /events HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut event = String::new();
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // coordinator gone — campaign over
+        };
+        if let Some(name) = line.strip_prefix("event: ") {
+            event = name.to_string();
+        } else if let Some(data) = line.strip_prefix("data: ") {
+            println!("{event:<12} {data}");
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut max_refreshes: u64 = 0;
+    let mut events = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value()),
+            "--interval-ms" => {
+                interval_ms = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--interval-ms needs an integer"));
+            }
+            "--max-refreshes" => {
+                max_refreshes = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-refreshes needs an integer"));
+            }
+            "--events" => events = true,
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(addr) = connect else {
+        usage("--connect is required");
+    };
+
+    if events {
+        if let Err(e) = tail_events(&addr) {
+            eprintln!("dist_top: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut refreshes: u64 = 0;
+    let mut ever_connected = false;
+    loop {
+        match http_get(&addr, "/status") {
+            Ok(body) => {
+                ever_connected = true;
+                match ScopeStatus::from_json_text(&body) {
+                    Ok(status) => {
+                        println!(
+                            "o4a-scope @ {addr}  t+{:.1}s  {}/{} shards done ({} queued)",
+                            status.elapsed_ms as f64 / 1000.0,
+                            status.shards_done,
+                            status.shards,
+                            status.shards_pending,
+                        );
+                        print!("{}", o4a_bench::render_dist_stats(&status.to_dist_stats()));
+                        for worker in &status.fleet {
+                            println!(
+                                "live w{:<5} shard {:<5} {:>7} cases in flight  \
+                                 {:>8.1}/s (ewma {:.1})  heard {:.1}s ago{}",
+                                worker.worker,
+                                worker.lease.map_or("-".to_string(), |s| s.to_string()),
+                                worker.lease_cases,
+                                worker.cases_per_sec,
+                                worker.ewma_cases_per_sec,
+                                worker.last_heard_ms as f64 / 1000.0,
+                                if worker.straggler {
+                                    "  [STRAGGLER]"
+                                } else {
+                                    ""
+                                },
+                            );
+                        }
+                        for warning in &status.warnings {
+                            println!("warning: {warning}");
+                        }
+                        println!();
+                    }
+                    Err(e) => eprintln!("dist_top: bad /status body: {e}"),
+                }
+            }
+            Err(e) => {
+                if ever_connected {
+                    // The coordinator served us before and is gone now:
+                    // campaign over, a clean exit for watch loops.
+                    println!("dist_top: coordinator gone ({e}) — campaign over");
+                    return;
+                }
+                eprintln!("dist_top: {e}");
+            }
+        }
+        refreshes += 1;
+        if max_refreshes > 0 && refreshes >= max_refreshes {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}

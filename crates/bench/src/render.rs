@@ -300,16 +300,32 @@ pub fn render_dist_stats(stats: &o4a_dist::DistStats) -> String {
             let _ = writeln!(out, "  {name:<24} : {value}");
         }
         for (name, h) in &stats.fleet_metrics.histograms {
-            let _ = writeln!(
-                out,
-                "  {name:<24} : n={} mean={:.1} p99<={}",
-                h.count,
-                h.mean(),
-                h.quantile(0.99)
-            );
+            let _ = writeln!(out, "  {name:<24} : {}", render_histogram_line(h));
         }
     }
+    // Running coverage maxima arrive on `done` frames only when fleet
+    // tracing (o4a-scope) was on.
+    for (solver, pct) in &stats.coverage {
+        let _ = writeln!(out, "coverage (running max)   : {solver} {pct:.1}% lines");
+    }
+    if let Some(path) = &stats.fleet_trace {
+        let _ = writeln!(out, "fleet trace              : {}", path.display());
+    }
     out
+}
+
+/// One-line histogram summary: exact count and mean (snapshots carry an
+/// exact sum, so the mean is not bucket-quantized) plus the log2-bucket
+/// ceilings for the p50/p95/p99 quantiles.
+pub fn render_histogram_line(h: &o4a_obs::metrics::HistogramSnapshot) -> String {
+    format!(
+        "n={} mean={:.1} p50<={} p95<={} p99<={}",
+        h.count,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.95),
+        h.quantile(0.99)
+    )
 }
 
 /// The outcome of comparing two `BENCH_throughput.json` snapshots: a
@@ -506,6 +522,8 @@ mod tests {
                 prefix_reuses: 12,
             },
             fleet_metrics,
+            coverage: BTreeMap::from([("oxiz".to_string(), 61.5)]),
+            fleet_trace: Some(std::path::PathBuf::from("/tmp/fleet-trace.json")),
         };
         let s = render_dist_stats(&stats);
         assert!(s.contains("8 shards on 4 workers"));
@@ -517,7 +535,18 @@ mod tests {
         assert!(s.contains("clean"));
         assert!(s.contains("fleet metrics"), "metrics section missing: {s}");
         assert!(s.contains("campaign.cases"));
-        assert!(s.contains("n=4 mean=100.0 p99<=127"));
+        assert!(
+            s.contains("n=4 mean=100.0 p50<=127 p95<=127 p99<=127"),
+            "histogram line missing quantiles: {s}"
+        );
+        assert!(
+            s.contains("coverage (running max)   : oxiz 61.5% lines"),
+            "coverage line missing: {s}"
+        );
+        assert!(
+            s.contains("fleet trace              : /tmp/fleet-trace.json"),
+            "fleet trace line missing: {s}"
+        );
         assert!(
             s.contains("verdict cache (fleet)    : 40 hits / 80 misses, 12 prefix reuses"),
             "fleet cache line missing: {s}"

@@ -52,13 +52,16 @@
 //! a deterministic shard merge to the same bytes.
 
 use crate::checkpoint::{CheckpointSession, CheckpointStore};
-use crate::protocol::{CacheCounters, CampaignPlan, Frame};
+use crate::protocol::{CacheCounters, CampaignPlan, Frame, TraceBatch};
+use crate::scope::{ScopeServer, ScopeStatus, ScopeWorker};
 use crate::transport::{Link, Listener, Transport};
 use o4a_core::{CampaignConfig, CampaignResult};
+use o4a_exec::json::{obj, Json};
 use o4a_exec::{merge_shard_results, FindingsStore};
 use o4a_executor::{set_nonblocking, FdReactor, Interest, WakeFlag};
 use o4a_obs::metrics::MetricsSnapshot;
-use std::collections::{BTreeSet, VecDeque};
+use o4a_obs::trace::{TraceEvent, TraceMeta};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
@@ -127,6 +130,13 @@ pub struct DistConfig {
     /// point, which is precisely what the restarted coordinator resumes
     /// from. `None` (default) never fires.
     pub exit_after_completions: Option<u64>,
+    /// `host:port` for the o4a-scope observatory ([`crate::scope`]):
+    /// `GET /status`, `GET /metrics`, and an SSE `GET /events` served
+    /// off the coordinator's own reactor. `None` (default) runs dark —
+    /// no listener, no extra wakeups. Read-only either way: the
+    /// scope-on ≡ scope-off gauntlet pins that watching a campaign
+    /// cannot change its merged result.
+    pub scope: Option<String>,
 }
 
 impl DistConfig {
@@ -146,6 +156,7 @@ impl DistConfig {
             static_split: false,
             accept_timeout: Duration::from_secs(60),
             exit_after_completions: None,
+            scope: None,
         }
     }
 
@@ -208,6 +219,13 @@ impl DistConfig {
         self
     }
 
+    /// Opens the o4a-scope observatory at `addr` (see
+    /// [`DistConfig::scope`]; port 0 picks a free one).
+    pub fn with_scope(mut self, addr: impl Into<String>) -> DistConfig {
+        self.scope = Some(addr.into());
+        self
+    }
+
     /// Applies the coordinator environment knobs, tolerantly — unset or
     /// unparsable values leave the current setting untouched, matching
     /// [`o4a_exec::ExecConfig::from_env`]:
@@ -217,6 +235,8 @@ impl DistConfig {
     /// * `O4A_DIST_MAX_RESPAWNS` — respawn budget
     /// * `O4A_DIST_LISTEN` — switch to TCP, listening on this address
     /// * `O4A_CHECKPOINT` — coordinator checkpoint path
+    /// * `O4A_SCOPE` — serve the o4a-scope observatory on this
+    ///   `host:port`
     pub fn with_env_overrides(mut self) -> DistConfig {
         if let Some(workers) = parse_env_u64("O4A_DIST_WORKERS") {
             if workers >= 1 {
@@ -241,6 +261,11 @@ impl DistConfig {
         if let Ok(path) = std::env::var("O4A_CHECKPOINT") {
             if !path.trim().is_empty() {
                 self.checkpoint = Some(PathBuf::from(path.trim()));
+            }
+        }
+        if let Ok(addr) = std::env::var("O4A_SCOPE") {
+            if !addr.trim().is_empty() {
+                self.scope = Some(addr.trim().to_string());
             }
         }
         self
@@ -335,6 +360,15 @@ pub struct DistStats {
     /// from the journals); zero when the `O4A_CACHE`/`O4A_AFFINITY`
     /// knobs are off in the workers.
     pub cache: CacheCounters,
+    /// Running per-solver line-coverage maxima (percent) off completed
+    /// leases' `done` frames — the scope plane's live coverage view.
+    /// Empty unless fleet tracing was on (the coordinator ran with
+    /// `O4A_TRACE`).
+    pub coverage: BTreeMap<String, f64>,
+    /// The fleet-merged Chrome trace (one file, one lane per worker
+    /// process, coordinator included), written into the journal dir at
+    /// campaign end. `None` unless fleet tracing was on.
+    pub fleet_trace: Option<PathBuf>,
 }
 
 /// A finished distributed campaign: the merged result (bit-identical to
@@ -376,6 +410,12 @@ struct Worker {
     /// passthrough; the coordinator never schedules on either).
     live_rate: f64,
     latest_metrics: Option<MetricsSnapshot>,
+    /// Smoothed throughput (EWMA over `progress`/`done` reports) — what
+    /// the straggler sweep compares across the fleet. Observation only.
+    ewma_rate: f64,
+    /// Currently flagged by the straggler sweep; edge transitions emit
+    /// the SSE `straggler` event.
+    straggler: bool,
     last_heard: Instant,
     spawned_at: Instant,
     eof: bool,
@@ -386,10 +426,11 @@ impl Worker {
         self.link.read_fd()
     }
 
-    fn send_lease(&mut self, shard: u32, plan: &CampaignPlan) -> io::Result<()> {
+    fn send_lease(&mut self, shard: u32, plan: &CampaignPlan, trace: bool) -> io::Result<()> {
         let frame = Frame::Lease {
             shard,
             plan: plan.clone(),
+            trace,
         };
         self.link.send_line(&frame.to_line())
     }
@@ -462,6 +503,8 @@ fn spawn_worker(dist: &DistConfig, id: u32) -> io::Result<Worker> {
         leases_completed: 0,
         live_rate: 0.0,
         latest_metrics: None,
+        ewma_rate: 0.0,
+        straggler: false,
         last_heard: now,
         spawned_at: now,
         eof: false,
@@ -486,6 +529,8 @@ fn accepted_worker(link: Link) -> Worker {
         leases_completed: 0,
         live_rate: 0.0,
         latest_metrics: None,
+        ewma_rate: 0.0,
+        straggler: false,
         last_heard: now,
         spawned_at: now,
         eof: false,
@@ -534,6 +579,224 @@ impl FleetState {
             self.journals.push(journal);
         }
     }
+}
+
+/// EWMA smoothing for per-worker throughput: ~⅓ of each new report,
+/// so a straggler shows within a few heartbeats without one noisy
+/// sample flapping the flag.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// A leased worker whose smoothed throughput drops below this fraction
+/// of the fleet median (with at least two leased peers reporting) is
+/// flagged as a straggler.
+const STRAGGLER_RATE_FRACTION: f64 = 0.25;
+
+/// One worker process's accumulated trace-ring batches, keyed by pid in
+/// [`ScopeCtx::parts`] — becomes one lane of the fleet-merged Chrome
+/// trace.
+#[derive(Default)]
+struct TracePart {
+    epoch_unix_micros: u64,
+    dropped: u64,
+    events: Vec<TraceEvent>,
+}
+
+/// Everything the scope plane adds to the lease loop: the optional
+/// HTTP/SSE server, the fleet-trace piggyback switch, and the per-pid
+/// trace accumulation. All observation — nothing in here feeds
+/// scheduling.
+struct ScopeCtx {
+    server: Option<ScopeServer>,
+    /// Leases ask workers to piggyback their trace rings (set when the
+    /// coordinator itself runs with tracing on).
+    trace: bool,
+    parts: BTreeMap<u64, TracePart>,
+    started: Instant,
+}
+
+impl ScopeCtx {
+    /// Folds one piggybacked batch into its process's lane.
+    fn absorb(&mut self, batch: Option<TraceBatch>) {
+        let Some(batch) = batch else { return };
+        let part = self.parts.entry(batch.pid).or_default();
+        part.epoch_unix_micros = batch.epoch_unix_micros;
+        part.dropped += batch.dropped;
+        part.events.extend(batch.events);
+    }
+
+    /// Broadcasts one SSE event to `/events` subscribers, if any.
+    fn emit(&mut self, event: &str, fields: Vec<(&str, Json)>) {
+        if let Some(server) = self.server.as_mut() {
+            server.broadcast(event, &obj(fields));
+        }
+    }
+}
+
+/// One EWMA step (the first report seeds the average).
+fn ewma(prev: f64, sample: f64) -> f64 {
+    if prev == 0.0 {
+        sample
+    } else {
+        EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * prev
+    }
+}
+
+/// The straggler sweep: flags leased workers that went silent for half
+/// the heartbeat deadline, or whose smoothed throughput sits far below
+/// the fleet median. Flag transitions emit the SSE `straggler` event
+/// and a trace span; the flags themselves surface as `/status`
+/// warnings. Observation only — scheduling never reads them.
+fn sweep_stragglers(dist: &DistConfig, live: &mut [Worker], scope: &mut ScopeCtx) {
+    let now = Instant::now();
+    let mut rates: Vec<f64> = live
+        .iter()
+        .filter(|w| w.greeted && w.lease.is_some() && !w.eof && w.ewma_rate > 0.0)
+        .map(|w| w.ewma_rate)
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    let median = (!rates.is_empty()).then(|| rates[rates.len() / 2]);
+    for worker in live.iter_mut() {
+        let leased = worker.greeted && worker.lease.is_some() && !worker.eof && !worker.left;
+        let gap = now.duration_since(worker.last_heard);
+        let silent = leased && gap > dist.heartbeat_timeout / 2;
+        let slow = leased
+            && rates.len() >= 2
+            && worker.ewma_rate > 0.0
+            && median.is_some_and(|m| worker.ewma_rate < m * STRAGGLER_RATE_FRACTION);
+        let straggling = silent || slow;
+        if straggling && !worker.straggler {
+            o4a_obs::trace::event(
+                "dist",
+                "worker.straggle",
+                &[("worker", u64::from(worker.id))],
+            );
+            if o4a_obs::metrics_enabled() {
+                o4a_obs::metrics::counter("dist.stragglers_flagged").inc();
+            }
+            scope.emit(
+                "straggler",
+                vec![
+                    ("worker", Json::U64(u64::from(worker.id))),
+                    (
+                        "shard",
+                        worker.lease.map_or(Json::Null, |s| Json::U64(u64::from(s))),
+                    ),
+                    ("silent_ms", Json::U64(gap.as_millis() as u64)),
+                    ("ewma_cases_per_sec", Json::F64(worker.ewma_rate)),
+                    (
+                        "reason",
+                        Json::Str(
+                            if silent {
+                                "heartbeat gap"
+                            } else {
+                                "throughput far below fleet median"
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                ],
+            );
+        }
+        worker.straggler = straggling;
+    }
+}
+
+/// Renders the `GET /status` snapshot from the loop's live state.
+fn build_status(
+    stats: &DistStats,
+    live: &[Worker],
+    state: &FleetState,
+    started: Instant,
+) -> ScopeStatus {
+    let now = Instant::now();
+    let mut fleet: Vec<ScopeWorker> = live
+        .iter()
+        .filter(|w| w.greeted)
+        .map(|w| ScopeWorker {
+            worker: w.id,
+            lease: w.lease,
+            cases: w.cases,
+            lease_cases: w.lease_cases,
+            leases_completed: w.leases_completed,
+            cases_per_sec: w.live_rate,
+            ewma_cases_per_sec: w.ewma_rate,
+            last_heard_ms: now.duration_since(w.last_heard).as_millis() as u64,
+            wall_ms: now.duration_since(w.spawned_at).as_millis() as u64,
+            straggler: w.straggler,
+        })
+        .collect();
+    fleet.sort_by_key(|w| w.worker);
+    let warnings = live
+        .iter()
+        .filter(|w| w.greeted && w.straggler)
+        .map(|w| {
+            format!(
+                "worker {} straggling{}: {:.1}s since last frame, ewma {:.1} cases/sec",
+                w.id,
+                w.lease.map_or(String::new(), |s| format!(" on shard {s}")),
+                now.duration_since(w.last_heard).as_secs_f64(),
+                w.ewma_rate,
+            )
+        })
+        .collect();
+    ScopeStatus {
+        shards: stats.shards,
+        workers: stats.workers,
+        shards_done: state.done.len() as u32,
+        shards_pending: state.pending.len() as u32,
+        workers_spawned: stats.workers_spawned,
+        worker_deaths: stats.worker_deaths,
+        leases_granted: stats.leases_granted,
+        leases_reissued: stats.leases_reissued,
+        workers_joined: stats.workers_joined,
+        workers_readopted: stats.workers_readopted,
+        workers_left: stats.workers_left,
+        shards_readopted: stats.shards_readopted,
+        resumed: stats.resumed,
+        cache: stats.cache,
+        coverage: stats.coverage.clone(),
+        fleet,
+        warnings,
+        elapsed_ms: started.elapsed().as_millis() as u64,
+    }
+}
+
+/// Renders the `GET /metrics` Prometheus text: the coordinator's own
+/// snapshot merged with every worker's latest, plus fleet gauges that
+/// are present even when `O4A_METRICS` is off everywhere (so the
+/// endpoint is never empty).
+fn build_metrics(stats: &DistStats, live: &[Worker], state: &FleetState) -> String {
+    let mut merged = o4a_obs::metrics::snapshot();
+    for summary in &stats.per_worker {
+        if let Some(metrics) = &summary.metrics {
+            merged.merge(metrics);
+        }
+    }
+    for worker in live {
+        if let Some(metrics) = &worker.latest_metrics {
+            merged.merge(metrics);
+        }
+    }
+    let mut gauges: Vec<(String, f64)> = vec![
+        (
+            "fleet_workers_live".into(),
+            live.iter().filter(|w| w.greeted && !w.eof).count() as f64,
+        ),
+        ("fleet_shards_total".into(), f64::from(stats.shards)),
+        ("fleet_shards_done".into(), state.done.len() as f64),
+        ("fleet_shards_pending".into(), state.pending.len() as f64),
+        ("fleet_leases_granted".into(), stats.leases_granted as f64),
+        ("fleet_leases_reissued".into(), stats.leases_reissued as f64),
+        ("fleet_worker_deaths".into(), f64::from(stats.worker_deaths)),
+        (
+            "fleet_stragglers".into(),
+            live.iter().filter(|w| w.straggler).count() as f64,
+        ),
+    ];
+    for (solver, pct) in &stats.coverage {
+        gauges.push((format!("coverage_line_pct_{solver}"), *pct));
+    }
+    o4a_obs::serve::render_prometheus(&merged, &gauges)
 }
 
 /// Runs `config`, split into `shards` deterministic shards, across a
@@ -635,6 +898,30 @@ pub fn run_distributed(
         }
     };
 
+    // The scope plane: bound before the first lease so an observer can
+    // watch the whole campaign. Failing to bind *is* an error (the user
+    // asked for an observatory at a specific address); everything after
+    // the bind is best-effort.
+    let scope_server = match &dist.scope {
+        None => None,
+        Some(addr) => {
+            let server = ScopeServer::bind(addr).map_err(|e| {
+                io::Error::new(e.kind(), format!("cannot open scope plane on {addr}: {e}"))
+            })?;
+            eprintln!(
+                "o4a-scope: observatory on http://{}/status",
+                server.local_addr()
+            );
+            Some(server)
+        }
+    };
+    let mut scope_ctx = ScopeCtx {
+        server: scope_server,
+        trace: o4a_obs::trace_enabled(),
+        parts: BTreeMap::new(),
+        started: Instant::now(),
+    };
+
     let mut live: Vec<Worker> = Vec::new();
     if let Err(e) = drive_fleet(
         dist,
@@ -644,6 +931,7 @@ pub fn run_distributed(
         &mut state,
         checkpoint.as_ref(),
         listener.as_ref(),
+        &mut scope_ctx,
     ) {
         // No worker connection outlives the campaign: kill and reap the
         // fleet before surfacing the error.
@@ -706,6 +994,48 @@ pub fn run_distributed(
     result.stats.process_respawns += stats.worker_deaths as u64;
     result.stats.leases_granted += stats.leases_granted;
     result.stats.leases_reissued += stats.leases_reissued;
+    // Fleet-merged tracing: the piggybacked worker rings plus the
+    // coordinator's own become one Chrome trace with a lane per
+    // process. The coordinator's ring is folded in here, so its events
+    // land on the shared timeline instead of a separate file.
+    if scope_ctx.trace {
+        let (events, dropped) = o4a_obs::trace::drain_events();
+        if !events.is_empty() || dropped > 0 {
+            let own = scope_ctx
+                .parts
+                .entry(u64::from(std::process::id()))
+                .or_default();
+            own.epoch_unix_micros = o4a_obs::trace::epoch_unix_micros();
+            own.dropped += dropped;
+            own.events.extend(events);
+        }
+        let parts: Vec<(TraceMeta, Vec<TraceEvent>)> = std::mem::take(&mut scope_ctx.parts)
+            .into_iter()
+            .map(|(pid, part)| {
+                (
+                    TraceMeta {
+                        pid,
+                        epoch_unix_micros: part.epoch_unix_micros,
+                        events: part.events.len() as u64,
+                        dropped: part.dropped,
+                    },
+                    part.events,
+                )
+            })
+            .collect();
+        if !parts.is_empty() {
+            match o4a_obs::trace::export_chrome_trace_parts(&parts) {
+                Ok(body) => {
+                    let path = dist.journal_dir.join("fleet-trace.json");
+                    match std::fs::write(&path, body) {
+                        Ok(()) => stats.fleet_trace = Some(path),
+                        Err(e) => eprintln!("o4a-scope: cannot write fleet trace: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("o4a-scope: fleet trace export failed: {e}"),
+            }
+        }
+    }
     // The coordinator's own trace/metrics (lease lifecycle, spawns) go
     // to its configured obs dir; workers drained their own before the
     // clean exit above. Best-effort, like every obs path.
@@ -723,6 +1053,7 @@ const ACCEPT_TICK: Duration = Duration::from_millis(250);
 /// The lease loop: runs until every shard is done, or errors with the
 /// fleet in whatever state it reached — the caller owns `live` and must
 /// retire (kill + reap) whatever is left on either path.
+#[allow(clippy::too_many_arguments)]
 fn drive_fleet(
     dist: &DistConfig,
     plan: &CampaignPlan,
@@ -731,6 +1062,7 @@ fn drive_fleet(
     state: &mut FleetState,
     checkpoint: Option<&CheckpointSession>,
     listener: Option<&Listener>,
+    scope: &mut ScopeCtx,
 ) -> io::Result<()> {
     let reactor = FdReactor::new();
     let waker = WakeFlag::new().waker();
@@ -769,8 +1101,26 @@ fn drive_fleet(
                 if o4a_obs::metrics_enabled() {
                     o4a_obs::metrics::counter("dist.workers_left").inc();
                 }
+                scope.emit("goodbye", vec![("worker", Json::U64(u64::from(worker.id)))]);
             } else {
                 stats.worker_deaths += 1;
+                if wedged && !dead {
+                    // The wedge-kill is the one retirement an operator
+                    // will want to post-mortem: enumerate what the
+                    // coordinator knew when it pulled the trigger.
+                    eprintln!(
+                        "o4a-dist: killing wedged worker {}: {:.1}s since last frame \
+                         (deadline {:.1}s), holding shard {}, {} cases into the lease, \
+                         last rate {:.1} cases/sec, ewma {:.1}",
+                        worker.id,
+                        now.duration_since(worker.last_heard).as_secs_f64(),
+                        dist.heartbeat_timeout.as_secs_f64(),
+                        worker.lease.map_or(-1_i64, i64::from),
+                        worker.lease_cases,
+                        worker.live_rate,
+                        worker.ewma_rate,
+                    );
+                }
                 o4a_obs::trace::event(
                     "dist",
                     if dead {
@@ -783,6 +1133,16 @@ fn drive_fleet(
                 if o4a_obs::metrics_enabled() {
                     o4a_obs::metrics::counter("dist.worker_deaths").inc();
                 }
+                scope.emit(
+                    "death",
+                    vec![
+                        ("worker", Json::U64(u64::from(worker.id))),
+                        (
+                            "kind",
+                            Json::Str(if dead { "eof" } else { "wedged" }.to_string()),
+                        ),
+                    ],
+                );
             }
             // A lease whose shard a re-adopt already credited is
             // redundant — completed work is never re-queued.
@@ -800,6 +1160,13 @@ fn drive_fleet(
                 if o4a_obs::metrics_enabled() {
                     o4a_obs::metrics::counter("dist.leases_reissued").inc();
                 }
+                scope.emit(
+                    "reissue",
+                    vec![
+                        ("shard", Json::U64(u64::from(shard))),
+                        ("worker", Json::U64(u64::from(worker.id))),
+                    ],
+                );
             }
             stats.per_worker.push(worker.into_summary(left));
         }
@@ -836,6 +1203,7 @@ fn drive_fleet(
                 );
                 state.spawn_seq += 1;
                 stats.workers_spawned += 1;
+                scope.emit("hello", vec![("worker", Json::U64(u64::from(worker.id)))]);
                 live.push(worker);
             },
             // TCP: membership is elastic — nobody to spawn, but a fleet
@@ -883,7 +1251,7 @@ fn drive_fleet(
             if let Some(cp) = checkpoint {
                 cp.record_grant(shard, worker.id);
             }
-            match worker.send_lease(shard, plan) {
+            match worker.send_lease(shard, plan, scope.trace) {
                 Ok(()) => {
                     state.pending.remove(idx);
                     worker.lease = Some(shard);
@@ -900,6 +1268,13 @@ fn drive_fleet(
                     if o4a_obs::metrics_enabled() {
                         o4a_obs::metrics::counter("dist.leases_granted").inc();
                     }
+                    scope.emit(
+                        "lease",
+                        vec![
+                            ("shard", Json::U64(u64::from(shard))),
+                            ("worker", Json::U64(u64::from(worker.id))),
+                        ],
+                    );
                 }
                 // A broken pipe is a death notice; the retire pass picks
                 // the worker up next iteration and the shard stays queued.
@@ -927,6 +1302,12 @@ fn drive_fleet(
                 Some(Instant::now() + ACCEPT_TICK),
             ));
         }
+        // The scope plane rides the same poll: its listener gets the
+        // accept tick (which also keeps SSE flushes and straggler
+        // sweeps timely), its clients their read/write readiness.
+        if let Some(server) = scope.server.as_ref() {
+            server.register(&reactor, &waker, ACCEPT_TICK, &mut tokens);
+        }
         if !tokens.is_empty() {
             reactor.poll_io(None)?;
         }
@@ -943,6 +1324,23 @@ fn drive_fleet(
                     live.push(accepted_worker(link));
                 }
             }
+        }
+
+        // Observe the fleet: sweep for stragglers, then answer whatever
+        // the observatory's clients asked. Both are read-only over the
+        // campaign state, and the payload closures run at most once per
+        // pass — only when a matching request actually arrived.
+        sweep_stragglers(dist, live, scope);
+        if let Some(server) = scope.server.as_mut() {
+            let started = scope.started;
+            server.service(
+                || {
+                    build_status(stats, live, state, started)
+                        .to_json()
+                        .to_line()
+                },
+                || build_metrics(stats, live, state),
+            );
         }
 
         // Drain and handle frames.
@@ -983,6 +1381,7 @@ fn drive_fleet(
                             if o4a_obs::metrics_enabled() {
                                 o4a_obs::metrics::counter("dist.workers_joined").inc();
                             }
+                            scope.emit("hello", vec![("worker", Json::U64(u64::from(wid)))]);
                         }
                         if worker.journal.as_ref() != Some(&announced) {
                             state.track_journal(worker.id, announced.clone(), checkpoint);
@@ -1033,14 +1432,17 @@ fn drive_fleet(
                         cases,
                         cases_per_sec,
                         metrics,
+                        trace,
                         ..
                     }) => {
                         if worker.lease == Some(shard) {
                             worker.lease_cases = cases;
                             worker.live_rate = cases_per_sec;
+                            worker.ewma_rate = ewma(worker.ewma_rate, cases_per_sec);
                             if metrics.is_some() {
                                 worker.latest_metrics = metrics;
                             }
+                            scope.absorb(trace);
                         }
                     }
                     Ok(Frame::Done {
@@ -1050,6 +1452,8 @@ fn drive_fleet(
                         cases_per_sec,
                         metrics,
                         cache,
+                        trace,
+                        coverage,
                     }) => {
                         if worker.lease != Some(shard) {
                             if state.done.contains(&shard) {
@@ -1068,8 +1472,26 @@ fn drive_fleet(
                         worker.leases_completed += 1;
                         worker.cases += cases;
                         worker.live_rate = cases_per_sec;
+                        worker.ewma_rate = ewma(worker.ewma_rate, cases_per_sec);
                         if metrics.is_some() {
                             worker.latest_metrics = metrics;
+                        }
+                        scope.absorb(trace);
+                        // Coverage converges upward as shards complete:
+                        // keep the running maximum per solver, and tell
+                        // the observatory when it moves.
+                        for (solver, pct) in coverage {
+                            let best = stats.coverage.entry(solver.clone()).or_insert(0.0);
+                            if pct > *best {
+                                *best = pct;
+                                scope.emit(
+                                    "coverage",
+                                    vec![
+                                        ("solver", Json::Str(solver)),
+                                        ("line_pct", Json::F64(pct)),
+                                    ],
+                                );
+                            }
                         }
                         stats.cache.hits += cache.hits;
                         stats.cache.misses += cache.misses;
@@ -1088,6 +1510,24 @@ fn drive_fleet(
                                 ("cases", cases),
                             ],
                         );
+                        scope.emit(
+                            "done",
+                            vec![
+                                ("shard", Json::U64(u64::from(shard))),
+                                ("worker", Json::U64(u64::from(worker.id))),
+                                ("cases", Json::U64(cases)),
+                            ],
+                        );
+                        if findings > 0 {
+                            scope.emit(
+                                "findings",
+                                vec![
+                                    ("shard", Json::U64(u64::from(shard))),
+                                    ("worker", Json::U64(u64::from(worker.id))),
+                                    ("count", Json::U64(findings)),
+                                ],
+                            );
+                        }
                         exit_if_armed(dist, state);
                     }
                     // A worker speaking garbage — or echoing frames only
@@ -1135,6 +1575,7 @@ mod tests {
             "O4A_DIST_MAX_RESPAWNS",
             "O4A_DIST_LISTEN",
             "O4A_CHECKPOINT",
+            "O4A_SCOPE",
         ];
         for key in keys {
             std::env::remove_var(key);
@@ -1150,6 +1591,7 @@ mod tests {
         assert_eq!(cfg.max_respawns, 8);
         assert_eq!(cfg.transport, Transport::Pipes);
         assert!(cfg.checkpoint.is_none());
+        assert!(cfg.scope.is_none());
 
         // Invalid values: ignored, not errors — a campaign must not die
         // to a typo'd shell export.
@@ -1158,12 +1600,14 @@ mod tests {
         std::env::set_var("O4A_DIST_MAX_RESPAWNS", "8.5");
         std::env::set_var("O4A_DIST_LISTEN", "   ");
         std::env::set_var("O4A_CHECKPOINT", "");
+        std::env::set_var("O4A_SCOPE", "  ");
         let cfg = base().with_workers(3).with_env_overrides();
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.heartbeat_timeout, Duration::from_secs(30));
         assert_eq!(cfg.max_respawns, 8);
         assert_eq!(cfg.transport, Transport::Pipes);
         assert!(cfg.checkpoint.is_none());
+        assert!(cfg.scope.is_none(), "blank O4A_SCOPE stays dark");
 
         // Zero workers is invalid too (a fleet needs one).
         std::env::set_var("O4A_DIST_WORKERS", "0");
@@ -1175,7 +1619,9 @@ mod tests {
         std::env::set_var("O4A_DIST_MAX_RESPAWNS", "0");
         std::env::set_var("O4A_DIST_LISTEN", " 127.0.0.1:0 ");
         std::env::set_var("O4A_CHECKPOINT", "/tmp/cp.jsonl");
+        std::env::set_var("O4A_SCOPE", " 127.0.0.1:9090 ");
         let cfg = base().with_env_overrides();
+        assert_eq!(cfg.scope.as_deref(), Some("127.0.0.1:9090"));
         assert_eq!(cfg.workers, 6);
         assert_eq!(cfg.heartbeat_timeout, Duration::from_millis(250));
         assert_eq!(

@@ -27,6 +27,13 @@
 //!   appends to its own fsync'd [`o4a_exec::FindingsStore`] journal; the
 //!   coordinator merges them by the store's concatenation +
 //!   dedup-on-load law ([`o4a_exec::FindingsStore::merge_from`]).
+//! * **A live observatory** — `O4A_SCOPE=host:port` (or
+//!   [`DistConfig::with_scope`]) opens a read-only HTTP/SSE status
+//!   plane on the coordinator's own reactor ([`scope`]): `/status`
+//!   (JSON fleet snapshot), `/metrics` (Prometheus text), `/events`
+//!   (SSE campaign milestones), plus fleet-merged Chrome traces and an
+//!   EWMA straggler detector. Observation only — the scope-on ≡
+//!   scope-off gauntlet pins that watching a campaign cannot change it.
 //! * **Crash recovery that cannot show** — a worker killed mid-lease
 //!   gets its lease re-issued; the shard re-derives deterministically,
 //!   so a 1-worker and an N-worker campaign (crashes, elastic churn,
@@ -58,11 +65,13 @@
 pub mod checkpoint;
 pub mod coordinator;
 pub mod protocol;
+pub mod scope;
 pub mod transport;
 pub mod worker;
 
 pub use checkpoint::{CheckpointSession, CheckpointState, CheckpointStore};
 pub use coordinator::{run_distributed, DistConfig, DistReport, DistStats, WorkerSummary};
-pub use protocol::{CacheCounters, CampaignPlan, CompletedLease, Frame};
+pub use protocol::{CacheCounters, CampaignPlan, CompletedLease, Frame, TraceBatch};
+pub use scope::{ScopeServer, ScopeStatus, ScopeWorker};
 pub use transport::{connect_with_retry, Transport};
 pub use worker::{run_worker, run_worker_tcp, CrashInjection, WorkerConfig};

@@ -49,7 +49,9 @@
 use o4a_core::CampaignConfig;
 use o4a_exec::json::{obj, parse, Json};
 use o4a_obs::metrics::MetricsSnapshot;
+use o4a_obs::trace::TraceEvent;
 use o4a_solvers::{EngineConfig, SolverId};
+use std::collections::BTreeMap;
 use std::io;
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -168,6 +170,12 @@ pub enum Frame {
         shard: u32,
         /// The campaign plan the shard belongs to.
         plan: CampaignPlan,
+        /// The coordinator wants the worker's trace ring piggybacked on
+        /// `progress`/`done` frames (fleet-merged tracing). Absent on
+        /// the wire when false, so trace-off leases stay byte-identical
+        /// to the pre-scope protocol; workers with tracing disabled
+        /// ignore it (they have nothing buffered to send).
+        trace: bool,
     },
     /// Worker → coordinator: startup announcement of the worker's
     /// findings-journal location.
@@ -198,6 +206,11 @@ pub enum Frame {
         /// neither knob is on; frames from workers predating the
         /// counters read as zero.
         cache: CacheCounters,
+        /// A bounded batch of the worker's trace ring, attached only
+        /// when the lease asked for it ([`Frame::Lease`] `trace`) and
+        /// the worker has tracing on. Like `metrics`: absent is fine,
+        /// present-but-corrupt is a protocol error.
+        trace: Option<TraceBatch>,
     },
     /// Worker → coordinator: the lease ran to completion (and its
     /// `shard_done` record is already durable in the journal).
@@ -216,6 +229,13 @@ pub enum Frame {
         /// (from the shard's [`o4a_core::CampaignStats`], so they match
         /// what the journal merge reconstructs).
         cache: CacheCounters,
+        /// Trace-ring batch (see [`Frame::Progress`]).
+        trace: Option<TraceBatch>,
+        /// Final per-solver line-coverage percentages of the completed
+        /// shard — the scope plane's live coverage view. Empty (and
+        /// absent on the wire) unless the lease asked for tracing, so
+        /// scope-off frames stay byte-identical.
+        coverage: BTreeMap<String, f64>,
     },
     /// Worker → coordinator: the first frame on every TCP connection —
     /// identity plus journal location (the TCP `journal-path`).
@@ -299,15 +319,81 @@ impl CacheCounters {
     }
 }
 
+/// A bounded slice of one worker's trace ring, riding a `progress` or
+/// `done` frame toward the coordinator's fleet-merged Chrome trace.
+/// Batches are cut from the ring in drain order; `dropped` carries ring
+/// overflow plus any events the worker had to shed to keep frames
+/// bounded, so the merged trace is honest about gaps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceBatch {
+    /// The recording worker process.
+    pub pid: u64,
+    /// Unix micros of that process's monotonic epoch
+    /// ([`o4a_obs::trace::epoch_unix_micros`]) — lets the coordinator
+    /// align all lanes onto one time axis.
+    pub epoch_unix_micros: u64,
+    /// Events lost before this batch (ring overflow + batch shedding).
+    pub dropped: u64,
+    /// The events, in the ring's deterministic `(ts, tid)` order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceBatch {
+    /// True when there is nothing to report (omitted from the wire).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("pid", Json::U64(self.pid)),
+            ("epoch_unix_micros", Json::U64(self.epoch_unix_micros)),
+            ("dropped", Json::U64(self.dropped)),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TraceBatch, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace batch missing {key}"))
+        };
+        let mut events = Vec::new();
+        for entry in v
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("trace batch missing events")?
+        {
+            events.push(TraceEvent::from_json(entry)?);
+        }
+        Ok(TraceBatch {
+            pid: field("pid")?,
+            epoch_unix_micros: field("epoch_unix_micros")?,
+            dropped: field("dropped")?,
+            events,
+        })
+    }
+}
+
 impl Frame {
     /// Serializes the frame to one JSONL line (no trailing newline).
     pub fn to_line(&self) -> String {
         let json = match self {
-            Frame::Lease { shard, plan } => obj(vec![
-                ("t", Json::Str("lease".into())),
-                ("shard", Json::U64(*shard as u64)),
-                ("campaign", plan.to_json()),
-            ]),
+            Frame::Lease { shard, plan, trace } => {
+                let mut fields = vec![
+                    ("t", Json::Str("lease".into())),
+                    ("shard", Json::U64(*shard as u64)),
+                    ("campaign", plan.to_json()),
+                ];
+                if *trace {
+                    fields.push(("trace", Json::Bool(true)));
+                }
+                obj(fields)
+            }
             Frame::JournalPath { worker, path } => obj(vec![
                 ("t", Json::Str("journal-path".into())),
                 ("worker", Json::U64(*worker as u64)),
@@ -319,6 +405,7 @@ impl Frame {
                 cases_per_sec,
                 metrics,
                 cache,
+                trace,
             } => {
                 let mut fields = vec![
                     ("t", Json::Str("progress".into())),
@@ -330,6 +417,9 @@ impl Frame {
                     fields.push(("metrics", snapshot.to_json()));
                 }
                 cache.encode_into(&mut fields);
+                if let Some(batch) = trace {
+                    fields.push(("trace", batch.to_json()));
+                }
                 obj(fields)
             }
             Frame::Done {
@@ -339,6 +429,8 @@ impl Frame {
                 cases_per_sec,
                 metrics,
                 cache,
+                trace,
+                coverage,
             } => {
                 let mut fields = vec![
                     ("t", Json::Str("done".into())),
@@ -351,6 +443,20 @@ impl Frame {
                     fields.push(("metrics", snapshot.to_json()));
                 }
                 cache.encode_into(&mut fields);
+                if let Some(batch) = trace {
+                    fields.push(("trace", batch.to_json()));
+                }
+                if !coverage.is_empty() {
+                    fields.push((
+                        "coverage",
+                        Json::Obj(
+                            coverage
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                                .collect(),
+                        ),
+                    ));
+                }
                 obj(fields)
             }
             Frame::Hello { worker, journal } => obj(vec![
@@ -403,6 +509,7 @@ impl Frame {
                     json.get("campaign")
                         .ok_or_else(|| bad("missing campaign"))?,
                 )?,
+                trace: matches!(json.get("trace"), Some(Json::Bool(true))),
             }),
             "journal-path" => Ok(Frame::JournalPath {
                 worker: u64_field(&json, "worker")? as u32,
@@ -418,6 +525,7 @@ impl Frame {
                 cases_per_sec: f64_field_or_zero(&json, "cps"),
                 metrics: metrics_field(&json)?,
                 cache: CacheCounters::decode(&json),
+                trace: trace_field(&json)?,
             }),
             "done" => Ok(Frame::Done {
                 shard: u64_field(&json, "shard")? as u32,
@@ -426,6 +534,8 @@ impl Frame {
                 cases_per_sec: f64_field_or_zero(&json, "cps"),
                 metrics: metrics_field(&json)?,
                 cache: CacheCounters::decode(&json),
+                trace: trace_field(&json)?,
+                coverage: coverage_field(&json)?,
             }),
             "hello" => Ok(Frame::Hello {
                 worker: u64_field(&json, "worker")? as u32,
@@ -499,6 +609,35 @@ fn metrics_field(json: &Json) -> io::Result<Option<MetricsSnapshot>> {
     }
 }
 
+/// Same tolerance for the trace piggyback: absent is `None`, corrupt is
+/// a protocol error.
+fn trace_field(json: &Json) -> io::Result<Option<TraceBatch>> {
+    match json.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => TraceBatch::from_json(v)
+            .map(Some)
+            .map_err(|e| bad(format!("bad trace batch: {e}"))),
+    }
+}
+
+/// And for the coverage map: absent reads as empty, corrupt errors.
+fn coverage_field(json: &Json) -> io::Result<BTreeMap<String, f64>> {
+    match json.get("coverage") {
+        None | Some(Json::Null) => Ok(BTreeMap::new()),
+        Some(Json::Obj(map)) => {
+            let mut out = BTreeMap::new();
+            for (name, pct) in map {
+                let pct = pct
+                    .as_f64()
+                    .ok_or_else(|| bad(format!("bad coverage for {name}")))?;
+                out.insert(name.clone(), pct);
+            }
+            Ok(out)
+        }
+        Some(_) => Err(bad("coverage is not an object")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +654,22 @@ mod tests {
             },
         );
         snapshot
+    }
+
+    fn sample_trace_batch() -> TraceBatch {
+        TraceBatch {
+            pid: 4242,
+            epoch_unix_micros: 1_700_000_000_000_000,
+            dropped: 1,
+            events: vec![TraceEvent {
+                ts_micros: 12,
+                dur_micros: Some(3),
+                cat: "dist".into(),
+                name: "lease.serve".into(),
+                tid: 1,
+                args: vec![("shard".into(), 3)],
+            }],
+        }
     }
 
     fn plan() -> CampaignPlan {
@@ -551,6 +706,12 @@ mod tests {
             Frame::Lease {
                 shard: 3,
                 plan: plan(),
+                trace: false,
+            },
+            Frame::Lease {
+                shard: 4,
+                plan: plan(),
+                trace: true,
             },
             Frame::JournalPath {
                 worker: 2,
@@ -562,6 +723,7 @@ mod tests {
                 cases_per_sec: 12.5,
                 metrics: None,
                 cache: CacheCounters::default(),
+                trace: None,
             },
             Frame::Progress {
                 shard: 3,
@@ -573,6 +735,7 @@ mod tests {
                     misses: 18,
                     prefix_reuses: 0,
                 },
+                trace: Some(sample_trace_batch()),
             },
             Frame::Done {
                 shard: 3,
@@ -585,6 +748,8 @@ mod tests {
                     misses: 20,
                     prefix_reuses: 41,
                 },
+                trace: Some(sample_trace_batch()),
+                coverage: BTreeMap::from([("oxiz".to_string(), 61.5), ("cervo".to_string(), 58.0)]),
             },
             Frame::Hello {
                 worker: 7,
@@ -645,6 +810,7 @@ mod tests {
             cases_per_sec,
             metrics,
             cache,
+            trace,
         } = Frame::from_line(old).unwrap()
         else {
             panic!("expected progress frame");
@@ -653,11 +819,16 @@ mod tests {
         assert_eq!(cases_per_sec, 0.0);
         assert!(metrics.is_none());
         assert!(cache.is_zero(), "pre-cache frames read as zero counters");
+        assert!(trace.is_none(), "pre-scope frames read as no trace batch");
 
         let old_done = "{\"cases\":80,\"findings\":2,\"shard\":3,\"t\":\"done\"}";
         assert!(matches!(
             Frame::from_line(old_done).unwrap(),
-            Frame::Done { metrics: None, .. }
+            Frame::Done {
+                metrics: None,
+                trace: None,
+                ..
+            }
         ));
 
         // A present-but-corrupt snapshot is a protocol error, not a
@@ -674,10 +845,59 @@ mod tests {
             cases_per_sec: 0.0,
             metrics: None,
             cache: CacheCounters::default(),
+            trace: None,
+            coverage: BTreeMap::new(),
         };
         assert!(
             !off.to_line().contains("cache_"),
             "zero trio must not encode"
         );
+        assert!(
+            !off.to_line().contains("trace") && !off.to_line().contains("coverage"),
+            "scope-off done frames must stay byte-identical to the old wire"
+        );
+    }
+
+    /// The scope additions follow the same tolerance law as the PR 6
+    /// metrics piggyback: absent fields read as inert defaults, corrupt
+    /// fields are protocol errors.
+    #[test]
+    fn scope_fields_are_tolerant() {
+        // A pre-scope lease reads as trace-off; a trace-off lease
+        // encodes with no trace key at all.
+        let lease = Frame::Lease {
+            shard: 1,
+            plan: plan(),
+            trace: false,
+        };
+        assert!(!lease.to_line().contains("\"trace\""));
+        assert!(matches!(
+            Frame::from_line(&lease.to_line()).unwrap(),
+            Frame::Lease { trace: false, .. }
+        ));
+        let on = Frame::Lease {
+            shard: 1,
+            plan: plan(),
+            trace: true,
+        };
+        assert!(matches!(
+            Frame::from_line(&on.to_line()).unwrap(),
+            Frame::Lease { trace: true, .. }
+        ));
+
+        // Corrupt trace batches and coverage maps are refused.
+        let bad_trace = "{\"cases\":40,\"shard\":3,\"t\":\"progress\",\"trace\":7}";
+        assert!(Frame::from_line(bad_trace).is_err());
+        let bad_cov =
+            "{\"cases\":80,\"coverage\":{\"oxiz\":\"high\"},\"findings\":2,\"shard\":3,\"t\":\"done\"}";
+        assert!(Frame::from_line(bad_cov).is_err());
+
+        // A well-formed coverage map round-trips through the codec.
+        let done =
+            "{\"cases\":80,\"coverage\":{\"oxiz\":61.5},\"findings\":2,\"shard\":3,\"t\":\"done\"}";
+        let Frame::Done { coverage, .. } = Frame::from_line(done).unwrap() else {
+            panic!("expected done frame");
+        };
+        assert_eq!(coverage.get("oxiz"), Some(&61.5));
     }
 }

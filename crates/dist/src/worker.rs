@@ -27,19 +27,26 @@
 //! finds the token and runs to completion, which is exactly the
 //! kill-mid-lease scenario the merge must absorb losslessly.
 
-use crate::protocol::{CacheCounters, CompletedLease, Frame};
+use crate::protocol::{CacheCounters, CompletedLease, Frame, TraceBatch};
 use crate::transport::connect_with_retry;
 use o4a_core::{Fuzzer, TestCase};
 use o4a_exec::json::Json;
 use o4a_exec::{run_shard_lease, ExecConfig, FindingsStore, StoreSession};
 use o4a_obs::metrics::MetricsSnapshot;
+use o4a_obs::trace::TraceEvent;
 use rand::rngs::StdRng;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Cases between `progress` heartbeats.
 pub const DEFAULT_PROGRESS_EVERY: u64 = 16;
+
+/// Most trace events one `progress` heartbeat carries; the remainder
+/// stays queued for later frames (and the `done` frame flushes the
+/// queue), so heartbeats stay small no matter how chatty a lease is.
+pub const TRACE_BATCH_EVENTS: usize = 2048;
 
 /// Deterministic die-mid-lease injection for the crash-recovery
 /// gauntlet.
@@ -113,6 +120,13 @@ struct Instrumented<'a, W: Write> {
     started: Instant,
     crash: Option<&'a CrashInjection>,
     slow_case_ms: u64,
+    /// The lease asked for trace piggyback (fleet-merged tracing).
+    trace: bool,
+    /// Ring drainage waiting for frame space, owned by the lease server
+    /// so nothing is lost between heartbeats or leases.
+    trace_spill: &'a mut VecDeque<TraceEvent>,
+    /// Ring-overflow drops not yet reported in a batch.
+    trace_shed: &'a mut u64,
 }
 
 /// Throughput over the lease so far; zero before the clock has
@@ -134,6 +148,36 @@ fn metrics_attachment() -> Option<MetricsSnapshot> {
     } else {
         None
     }
+}
+
+/// Cuts the next trace batch for an outbound frame: drains this
+/// process's ring into `spill`, then takes up to `limit` events off the
+/// front (drain order is the deterministic `(ts, tid)` order). Returns
+/// `None` — and touches nothing — unless the lease asked for piggyback,
+/// and `None` when there is nothing to report, so scope-off campaigns
+/// keep the exact pre-scope wire bytes.
+fn trace_attachment(
+    requested: bool,
+    spill: &mut VecDeque<TraceEvent>,
+    shed: &mut u64,
+    limit: usize,
+) -> Option<TraceBatch> {
+    if !requested {
+        return None;
+    }
+    let (events, dropped) = o4a_obs::trace::drain_events();
+    spill.extend(events);
+    *shed += dropped;
+    if spill.is_empty() && *shed == 0 {
+        return None;
+    }
+    let take = spill.len().min(limit);
+    Some(TraceBatch {
+        pid: u64::from(std::process::id()),
+        epoch_unix_micros: o4a_obs::trace::epoch_unix_micros(),
+        dropped: std::mem::take(shed),
+        events: spill.drain(..take).collect(),
+    })
 }
 
 impl<W: Write> Fuzzer for Instrumented<'_, W> {
@@ -176,6 +220,12 @@ impl<W: Write> Fuzzer for Instrumented<'_, W> {
                 cases_per_sec: rate(self.cases, self.started),
                 metrics: metrics_attachment(),
                 cache: CacheCounters::default(),
+                trace: trace_attachment(
+                    self.trace,
+                    self.trace_spill,
+                    self.trace_shed,
+                    TRACE_BATCH_EVENTS,
+                ),
             };
             let _ = writeln!(self.out, "{}", frame.to_line());
             let _ = self.out.flush();
@@ -203,6 +253,10 @@ struct LeaseServer<'f, F> {
     session: Option<(Json, StoreSession)>,
     /// Every lease this process completed, in completion order.
     completed: Vec<CompletedLease>,
+    /// Drained-but-unsent trace events (see [`trace_attachment`]).
+    trace_spill: VecDeque<TraceEvent>,
+    /// Ring drops not yet reported in a batch.
+    trace_shed: u64,
 }
 
 impl<F> LeaseServer<'_, F>
@@ -221,6 +275,7 @@ where
         &mut self,
         shard: u32,
         plan: &crate::protocol::CampaignPlan,
+        trace_requested: bool,
         out: &mut impl Write,
     ) -> io::Result<Frame> {
         let plan_fingerprint = plan.to_json();
@@ -260,6 +315,9 @@ where
                 started,
                 crash: self.cfg.crash.as_ref(),
                 slow_case_ms: self.cfg.slow_case_ms,
+                trace: trace_requested,
+                trace_spill: &mut self.trace_spill,
+                trace_shed: &mut self.trace_shed,
             };
             run_shard_lease(&mut instrumented, &plan.config, &exec, shard, Some(sink))
         };
@@ -271,6 +329,19 @@ where
             cases: result.stats.cases,
             findings: result.findings.len() as u64,
         });
+        // The done frame flushes the whole trace spill (the lease span
+        // just closed, so its events are in the ring now) and carries
+        // the shard's final per-solver coverage for the scope plane's
+        // live view. Both stay off the wire unless the lease asked.
+        let coverage: BTreeMap<String, f64> = if trace_requested {
+            result
+                .final_coverage
+                .iter()
+                .map(|(id, cov)| (id.name().to_string(), cov.line_pct))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         Ok(Frame::Done {
             shard,
             cases: result.stats.cases,
@@ -282,6 +353,13 @@ where
                 misses: result.stats.cache_misses,
                 prefix_reuses: result.stats.prefix_reuses,
             },
+            trace: trace_attachment(
+                trace_requested,
+                &mut self.trace_spill,
+                &mut self.trace_shed,
+                usize::MAX,
+            ),
+            coverage,
         })
     }
 
@@ -290,15 +368,6 @@ where
         self.cfg
             .leave_after_leases
             .is_some_and(|n| self.completed.len() as u32 >= n)
-    }
-}
-
-/// Flushes this process's trace ring and metrics registry before a
-/// clean exit; losing them on a *crash* is fine (the ring is
-/// best-effort), losing them on shutdown would not be.
-fn drain_obs() {
-    if let Err(e) = o4a_obs::drain() {
-        eprintln!("o4a-obs: worker drain failed: {e}");
     }
 }
 
@@ -333,6 +402,11 @@ where
     // programmatically (tests) keeps it; otherwise the worker's own
     // environment decides.
     o4a_obs::init_from_env();
+    // Flushes this process's trace ring and metrics registry on every
+    // exit path — clean shutdown, protocol error, or a panicking lease.
+    // Only a hard crash (the injected `exit(9)`) loses the ring, and
+    // that is best-effort by design.
+    let _drain = o4a_obs::DrainGuard::new();
 
     let mut server = LeaseServer {
         factory: &factory,
@@ -340,6 +414,8 @@ where
         store: FindingsStore::new(&cfg.journal),
         session: None,
         completed: Vec::new(),
+        trace_spill: VecDeque::new(),
+        trace_shed: 0,
     };
     for line in input.lines() {
         let line = line?;
@@ -347,7 +423,7 @@ where
             continue;
         }
         let shard_plan = match Frame::from_line(&line)? {
-            Frame::Lease { shard, plan } => (shard, plan),
+            Frame::Lease { shard, plan, trace } => (shard, plan, trace),
             Frame::Goodbye { .. } => break,
             _ => {
                 return Err(io::Error::new(
@@ -356,7 +432,7 @@ where
                 ));
             }
         };
-        let done = server.serve(shard_plan.0, &shard_plan.1, &mut output)?;
+        let done = server.serve(shard_plan.0, &shard_plan.1, shard_plan.2, &mut output)?;
         writeln!(output, "{}", done.to_line())?;
         output.flush()?;
         if server.leave_due() {
@@ -368,7 +444,6 @@ where
             break;
         }
     }
-    drain_obs();
     Ok(())
 }
 
@@ -397,12 +472,18 @@ where
     F: Fn(u32) -> Box<dyn Fuzzer>,
 {
     o4a_obs::init_from_env();
+    // Same RAII drain barrier as the pipe loop: every return path —
+    // goodbye, leave injection, protocol error, panic — flushes the
+    // ring and registry.
+    let _drain = o4a_obs::DrainGuard::new();
     let mut server = LeaseServer {
         factory: &factory,
         cfg,
         store: FindingsStore::new(&cfg.journal),
         session: None,
         completed: Vec::new(),
+        trace_spill: VecDeque::new(),
+        trace_shed: 0,
     };
     let mut connections = 0u64;
     loop {
@@ -457,8 +538,8 @@ where
                 continue;
             }
             match Frame::from_line(&line)? {
-                Frame::Lease { shard, plan } => {
-                    let done = server.serve(shard, &plan, &mut out)?;
+                Frame::Lease { shard, plan, trace } => {
+                    let done = server.serve(shard, &plan, trace, &mut out)?;
                     let sent = writeln!(out, "{}", done.to_line())
                         .and_then(|()| out.flush())
                         .is_ok();
@@ -468,7 +549,6 @@ where
                         };
                         let _ = writeln!(out, "{}", farewell.to_line());
                         let _ = out.flush();
-                        drain_obs();
                         return Ok(());
                     }
                     if !sent {
@@ -476,7 +556,6 @@ where
                     }
                 }
                 Frame::Goodbye { .. } => {
-                    drain_obs();
                     return Ok(());
                 }
                 _ => {

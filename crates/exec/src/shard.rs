@@ -371,6 +371,14 @@ where
     F: Fn(u32) -> Box<dyn Fuzzer> + Sync,
 {
     o4a_obs::init_from_env();
+    // The engine-level drain barrier, RAII form: flush every worker
+    // thread's trace ring and the metrics registry to the configured
+    // directory when this scope exits — including on a panicking shard,
+    // so the trace leading up to the failure survives. A campaign with
+    // observability off (the default) skips all I/O; a write failure
+    // must not cost campaign results, so the guard reports it to stderr
+    // instead of propagating.
+    let _drain = o4a_obs::DrainGuard::new();
     let todo: Vec<u32> = (0..exec.shards)
         .filter(|shard| !completed.contains_key(shard))
         .collect();
@@ -386,16 +394,7 @@ where
         by_shard.insert(todo[j], result);
     }
     let ordered: Vec<CampaignResult> = by_shard.into_values().collect();
-    let merged = merge_shard_results(config, &ordered);
-    // The engine-level drain barrier: flush every worker thread's trace
-    // ring and the metrics registry to the configured directory. A
-    // campaign with observability off (the default) skips all I/O; a
-    // write failure must not cost campaign results, so it is reported,
-    // not propagated.
-    if let Err(e) = o4a_obs::drain() {
-        eprintln!("o4a-obs: drain failed: {e}");
-    }
-    merged
+    merge_shard_results(config, &ordered)
 }
 
 /// Merges per-shard campaign results (in ascending shard order) into one

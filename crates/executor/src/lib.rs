@@ -55,7 +55,7 @@ mod waker;
 pub use future::{ticks, yield_now, Ticks};
 pub use pool::{InFlightPool, Sequencer};
 pub use reactor::{
-    read_available, readable, set_nonblocking, writable, write_available, FdReactor, FdReady,
-    Interest,
+    flush_outbuf, read_available, readable, set_nonblocking, writable, write_available, FdReactor,
+    FdReady, Interest,
 };
 pub use waker::{block_on, block_on_with, WakeFlag};

@@ -447,6 +447,28 @@ pub fn write_available(writer: &mut impl std::io::Write, buf: &[u8]) -> io::Resu
     Ok(written)
 }
 
+/// Flushes the front of a pending output buffer into a non-blocking
+/// writer, compacting `buf` down to the unwritten tail.
+///
+/// Returns `true` when the buffer fully drained, `false` when the
+/// writer stalled (`WouldBlock`) and the caller should await
+/// [`writable`] — or, for best-effort client sockets like the scope
+/// plane's, simply retry on the next reactor pass.
+///
+/// # Errors
+///
+/// Real write errors, e.g. `EPIPE` from a hung-up peer.
+pub fn flush_outbuf(writer: &mut impl std::io::Write, buf: &mut Vec<u8>) -> io::Result<bool> {
+    if buf.is_empty() {
+        return Ok(true);
+    }
+    let written = write_available(writer, buf)?;
+    if written > 0 {
+        buf.drain(..written);
+    }
+    Ok(buf.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,5 +807,34 @@ mod tests {
         );
         assert!(eof);
         child.wait().unwrap();
+    }
+
+    #[test]
+    fn flush_outbuf_compacts_to_the_unwritten_tail() {
+        use std::io::Read;
+        use std::os::unix::net::UnixStream;
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+
+        let mut small = b"hello".to_vec();
+        assert!(flush_outbuf(&mut a, &mut small).unwrap());
+        assert!(small.is_empty());
+        let mut got = [0u8; 5];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello");
+
+        // Overwhelm the kernel buffer: the helper reports a stall and
+        // keeps exactly the unwritten tail queued.
+        let mut big = vec![7u8; 16 << 20];
+        assert!(!flush_outbuf(&mut a, &mut big).unwrap(), "16 MiB can't fit");
+        let stalled_len = big.len();
+        assert!(stalled_len > 0 && stalled_len < 16 << 20);
+
+        // Draining the peer lets the next flush make progress.
+        let mut sink = vec![0u8; 1 << 20];
+        let drained = b.read(&mut sink).unwrap();
+        assert!(drained > 0);
+        flush_outbuf(&mut a, &mut big).unwrap();
+        assert!(big.len() < stalled_len, "flush resumed after the drain");
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod trace;
 
 use std::path::{Path, PathBuf};
@@ -226,6 +227,50 @@ pub fn drain() -> std::io::Result<Option<DrainReport>> {
         report.metrics_file = Some(path);
     }
     Ok(Some(report))
+}
+
+/// RAII form of the [`drain`] barrier: drains when dropped, including
+/// on unwind, so a panicking worker still flushes its trace ring and
+/// metrics registry before the process dies.
+///
+/// Create one at the top of a scope that records observability data
+/// (an engine run, a worker lease loop); the drop at scope exit
+/// replaces the explicit `drain()` call — and unlike that call it also
+/// fires when the scope unwinds. Drain errors are reported to stderr
+/// (a drop has nowhere to return them) exactly like the explicit
+/// call sites did. Call [`DrainGuard::finish`] instead when the final
+/// [`DrainReport`] is needed.
+#[derive(Debug, Default)]
+pub struct DrainGuard {
+    disarmed: bool,
+}
+
+impl DrainGuard {
+    /// Arms a guard; [`drain`] runs when it drops.
+    pub fn new() -> DrainGuard {
+        DrainGuard::default()
+    }
+
+    /// Drains now and disarms the guard, returning what was written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`drain`] errors.
+    pub fn finish(mut self) -> std::io::Result<Option<DrainReport>> {
+        self.disarmed = true;
+        drain()
+    }
+}
+
+impl Drop for DrainGuard {
+    fn drop(&mut self) {
+        if self.disarmed {
+            return;
+        }
+        if let Err(e) = drain() {
+            eprintln!("o4a-obs: drain failed: {e}");
+        }
+    }
 }
 
 /// The `trace-*.jsonl` / `metrics-*.jsonl` files under `dir`, sorted —

@@ -1,0 +1,237 @@
+//! Socket-free building blocks for the o4a-scope status plane: a
+//! minimal HTTP/1.1 request parser, response and Server-Sent-Events
+//! formatting, and a Prometheus text-exposition renderer over
+//! [`MetricsSnapshot`].
+//!
+//! This module owns no sockets and never blocks — it turns byte buffers
+//! into requests and values into byte buffers, so the caller (the
+//! coordinator's `poll(2)` reactor loop in `o4a-dist`) keeps full
+//! control of when I/O happens. That split is what keeps the scope
+//! plane read-only and unable to perturb the campaign: the worst a
+//! slow HTTP client can do is have its buffered response dropped.
+
+use crate::metrics::{bucket_upper_bound, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Longest request head (request line + headers) we accept before
+/// answering 400 — scope requests are a short GET line plus a handful
+/// of headers.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// One parsed HTTP request head (the scope plane ignores bodies).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target path, query string stripped, e.g. `/status`.
+    pub path: String,
+}
+
+/// Incrementally parses a request head from `buf`.
+///
+/// Returns `None` while the head is still incomplete (no blank line
+/// yet and the buffer is under [`MAX_REQUEST_BYTES`]), `Some(Ok(..))`
+/// once the request line is readable, and `Some(Err(..))` for input
+/// that can never become a valid request (oversized or malformed) —
+/// the caller should answer 400 and close.
+pub fn parse_request(buf: &[u8]) -> Option<Result<HttpRequest, String>> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let Some(end) = head_end else {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Some(Err(format!(
+                "request head exceeds {MAX_REQUEST_BYTES} bytes"
+            )));
+        }
+        return None;
+    };
+    let head = match std::str::from_utf8(&buf[..end]) {
+        Ok(s) => s,
+        Err(_) => return Some(Err("request head is not UTF-8".into())),
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Some(Err(format!("malformed request line: {request_line:?}")));
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Some(Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+    }))
+}
+
+/// Bytes consumed by the head [`parse_request`] just parsed (through
+/// the blank line), so pipelined bytes stay buffered.
+pub fn request_head_len(buf: &[u8]) -> usize {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map_or(buf.len(), |end| end + 4)
+}
+
+/// Renders one complete `Connection: close` HTTP/1.1 response.
+pub fn http_response(status: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Cache-Control: no-cache\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// The response head that upgrades a connection to a Server-Sent-Events
+/// stream: headers, then a `retry:` hint. Events follow via
+/// [`sse_event`]; the connection stays open until either side closes.
+pub fn sse_preamble() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\n\
+      Content-Type: text/event-stream\r\n\
+      Cache-Control: no-cache\r\n\
+      Connection: keep-alive\r\n\
+      \r\n\
+      retry: 2000\n\n"
+        .to_vec()
+}
+
+/// Formats one SSE frame: `event: <name>` + `data: <data>` + blank
+/// line. `data` must be a single line (the scope plane sends line-JSON).
+pub fn sse_event(name: &str, data: &str) -> Vec<u8> {
+    format!("event: {name}\ndata: {data}\n\n").into_bytes()
+}
+
+/// Maps a metric name onto the Prometheus charset: `[a-zA-Z0-9_:]`,
+/// with `.`/`-` and anything else becoming `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    if !name.starts_with("o4a_") {
+        out.push_str("o4a_");
+    }
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let ok = ok && !(i == 0 && c.is_ascii_digit() && out.is_empty());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] plus caller-supplied gauges in the
+/// Prometheus text exposition format (version 0.0.4): counters become
+/// `counter` families, log2 histograms become cumulative `histogram`
+/// families with `le` set to each bucket's inclusive upper bound.
+pub fn render_prometheus(snapshot: &MetricsSnapshot, gauges: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    for (name, value) in gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for &(idx, n) in &hist.buckets {
+            cumulative += n;
+            let le = bucket_upper_bound(idx);
+            if le == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    #[test]
+    fn parse_waits_for_the_blank_line() {
+        assert_eq!(parse_request(b"GET /status HTTP/1.1\r\nHost: x\r\n"), None);
+        let req = parse_request(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+    }
+
+    #[test]
+    fn parse_strips_query_strings() {
+        let req = parse_request(b"GET /events?since=3 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/events");
+    }
+
+    #[test]
+    fn parse_rejects_oversized_and_malformed_heads() {
+        let huge = vec![b'a'; MAX_REQUEST_BYTES + 1];
+        assert!(parse_request(&huge).unwrap().is_err());
+        assert!(parse_request(b"garbage\r\n\r\n").unwrap().is_err());
+    }
+
+    #[test]
+    fn head_len_covers_the_blank_line() {
+        let buf = b"GET / HTTP/1.1\r\n\r\nleftover";
+        assert_eq!(request_head_len(buf), buf.len() - "leftover".len());
+    }
+
+    #[test]
+    fn response_has_exact_content_length() {
+        let bytes = http_response(200, "OK", "application/json", "{\"ok\":true}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn sse_frames_end_with_a_blank_line() {
+        let frame = String::from_utf8(sse_event("finding", "{\"shard\":2}")).unwrap();
+        assert_eq!(frame, "event: finding\ndata: {\"shard\":2}\n\n");
+        let preamble = String::from_utf8(sse_preamble()).unwrap();
+        assert!(preamble.contains("text/event-stream"));
+        assert!(preamble.ends_with("retry: 2000\n\n"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_and_prefixed() {
+        assert_eq!(prometheus_name("campaign.cases"), "o4a_campaign_cases");
+        assert_eq!(prometheus_name("lease-churn"), "o4a_lease_churn");
+        assert_eq!(prometheus_name("o4a_workers_live"), "o4a_workers_live");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("campaign.cases".into(), 42);
+        snap.histograms.insert(
+            "pipe.query_micros".into(),
+            HistogramSnapshot {
+                count: 7,
+                sum: 900,
+                buckets: vec![(1, 3), (3, 4)],
+            },
+        );
+        let text = render_prometheus(&snap, &[("o4a_workers_live".into(), 2.0)]);
+        assert!(text.contains("# TYPE o4a_workers_live gauge\no4a_workers_live 2\n"));
+        assert!(text.contains("# TYPE o4a_campaign_cases counter\no4a_campaign_cases 42\n"));
+        assert!(text.contains("# TYPE o4a_pipe_query_micros histogram\n"));
+        // Buckets are cumulative and end at +Inf == count.
+        assert!(text.contains("o4a_pipe_query_micros_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("o4a_pipe_query_micros_bucket{le=\"7\"} 7\n"));
+        assert!(text.contains("o4a_pipe_query_micros_bucket{le=\"+Inf\"} 7\n"));
+        assert!(text.contains("o4a_pipe_query_micros_sum 900\n"));
+        assert!(text.contains("o4a_pipe_query_micros_count 7\n"));
+    }
+}

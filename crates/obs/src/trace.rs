@@ -361,13 +361,30 @@ pub fn export_chrome_trace<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<Strin
     for path in paths {
         files.push(read_trace_file(path.as_ref())?);
     }
+    export_chrome_trace_parts(&files)
+}
+
+/// The in-memory form of [`export_chrome_trace`]: merges per-process
+/// `(meta, events)` parts — whether they came from trace files or rode
+/// the dist protocol as trace batches — into one Chrome trace-event
+/// document with one `pid` lane per process.
+///
+/// # Errors
+///
+/// Requires at least one part.
+pub fn export_chrome_trace_parts(
+    files: &[(TraceMeta, Vec<TraceEvent>)],
+) -> std::io::Result<String> {
+    if files.is_empty() {
+        return Err(bad_data("no trace parts to export"));
+    }
     let base = files
         .iter()
         .map(|(m, _)| m.epoch_unix_micros)
         .min()
         .unwrap_or(0);
     let mut entries = Vec::new();
-    for (meta, events) in &files {
+    for (meta, events) in files {
         let shift = meta.epoch_unix_micros - base;
         for event in events {
             let mut pairs = vec![

@@ -128,6 +128,159 @@ fn chrome_export_merges_and_aligns_multiple_files() {
 }
 
 #[test]
+fn drain_guard_flushes_on_panic() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("guard-panic");
+    o4a_obs::install(ObsConfig::enabled_in(&dir));
+
+    let result = std::panic::catch_unwind(|| {
+        let _drain = o4a_obs::DrainGuard::new();
+        trace::event("test", "before.panic", &[("k", 1)]);
+        metrics::counter("panic.cases").inc();
+        panic!("worker blew up mid-lease");
+    });
+    assert!(result.is_err(), "the panic must reach catch_unwind");
+
+    // The guard drained during unwind: the ring and registry hit disk
+    // even though no drain() call site was ever reached.
+    let (traces, metrics_files) = o4a_obs::observability_files(&dir).unwrap();
+    assert_eq!(traces.len(), 1, "panicking scope drained exactly once");
+    assert_eq!(metrics_files.len(), 1);
+    let (_meta, events) = trace::read_trace_file(&traces[0]).unwrap();
+    assert!(events.iter().any(|e| e.name == "before.panic"));
+    let (_pid, snap) = metrics::read_metrics_file(&metrics_files[0]).unwrap();
+    assert_eq!(snap.counters["panic.cases"], 1);
+
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_guard_finish_drains_once_and_returns_the_report() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("guard-finish");
+    o4a_obs::install(ObsConfig::enabled_in(&dir));
+
+    let drain = o4a_obs::DrainGuard::new();
+    trace::event("test", "tick", &[]);
+    let report = drain.finish().unwrap().expect("installed with a dir");
+    assert_eq!(report.events, 1);
+
+    // finish() disarmed the guard — exactly one file set exists.
+    let (traces, _) = o4a_obs::observability_files(&dir).unwrap();
+    assert_eq!(traces.len(), 1);
+
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hand-writes another process's drain output (distinct pid, an epoch
+/// 5 ms earlier) so merge behavior across processes is testable without
+/// spawning one.
+fn fake_remote_drain(dir: &std::path::Path, pid: u64, epoch_shift_micros: u64) {
+    use o4a_obs::json::{obj, Json};
+    let epoch = trace::epoch_unix_micros() - epoch_shift_micros;
+    let event = obj(vec![
+        ("ts", Json::U64(10)),
+        ("cat", Json::Str("exec".into())),
+        ("name", Json::Str("shard.start".into())),
+        ("tid", Json::U64(1)),
+    ]);
+    let meta = obj(vec![
+        ("meta", Json::Str("o4a-trace".into())),
+        ("pid", Json::U64(pid)),
+        ("epoch_unix_micros", Json::U64(epoch)),
+        ("events", Json::U64(1)),
+        ("dropped", Json::U64(0)),
+    ]);
+    std::fs::write(
+        dir.join(format!("trace-{pid}-0.jsonl")),
+        format!("{}\n{}\n", meta.to_line(), event.to_line()),
+    )
+    .unwrap();
+
+    let mut snap = metrics::MetricsSnapshot::default();
+    snap.counters.insert("campaign.cases".into(), 5);
+    snap.histograms.insert(
+        "pipe.query_micros".into(),
+        metrics::HistogramSnapshot {
+            count: 2,
+            sum: 30,
+            buckets: vec![(4, 2)],
+        },
+    );
+    let meta = obj(vec![
+        ("meta", Json::Str("o4a-metrics".into())),
+        ("pid", Json::U64(pid)),
+        ("epoch_unix_micros", Json::U64(epoch)),
+    ]);
+    std::fs::write(
+        dir.join(format!("metrics-{pid}-0.jsonl")),
+        format!("{}\n{}\n", meta.to_line(), snap.to_json().to_line()),
+    )
+    .unwrap();
+}
+
+#[test]
+fn observability_files_merge_losslessly_across_processes() {
+    let _guard = lock();
+    o4a_obs::uninstall();
+    let dir = scratch("multi-process");
+    o4a_obs::install(ObsConfig::enabled_in(&dir));
+
+    // This process drains one file set; two "remote" processes left
+    // theirs in the same directory (what a worker fleet sharing an obs
+    // dir produces).
+    trace::event("exec", "shard.start", &[("shard", 0)]);
+    metrics::counter("campaign.cases").add(7);
+    metrics::histogram("pipe.query_micros").record(20);
+    o4a_obs::drain().unwrap().unwrap();
+    fake_remote_drain(&dir, 70001, 5_000);
+    fake_remote_drain(&dir, 70002, 2_500);
+
+    let (traces, metrics_files) = o4a_obs::observability_files(&dir).unwrap();
+    assert_eq!(traces.len(), 3, "one trace file per process: {traces:?}");
+    assert_eq!(metrics_files.len(), 3);
+
+    // Metrics merge is lossless: counters add, histogram count/sum add.
+    let mut merged = metrics::MetricsSnapshot::default();
+    let mut pids = Vec::new();
+    for path in &metrics_files {
+        let (pid, snap) = metrics::read_metrics_file(path).unwrap();
+        pids.push(pid);
+        merged.merge(&snap);
+    }
+    pids.sort_unstable();
+    assert!(pids.windows(2).all(|w| w[0] != w[1]), "distinct pids");
+    assert_eq!(merged.counters["campaign.cases"], 7 + 5 + 5);
+    let hist = &merged.histograms["pipe.query_micros"];
+    assert_eq!(hist.count, 1 + 2 + 2);
+    assert_eq!(hist.sum, 20 + 30 + 30);
+
+    // The Chrome export keeps one pid lane per process and aligns all
+    // three monotonic clocks onto the earliest epoch.
+    let doc = trace::export_chrome_trace(&traces).unwrap();
+    let parsed = o4a_obs::json::parse(&doc).unwrap();
+    let events = parsed
+        .get("traceEvents")
+        .and_then(o4a_obs::json::Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), 3);
+    let mut lanes: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("pid").and_then(o4a_obs::json::Json::as_u64).unwrap())
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    assert_eq!(lanes.len(), 3, "one lane per process: {lanes:?}");
+
+    o4a_obs::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn invalid_files_are_rejected() {
     let _guard = lock();
     let dir = scratch("invalid");
